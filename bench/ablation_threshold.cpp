@@ -1,0 +1,32 @@
+// Ablation: sweep the pairing distance threshold. The paper fixes it at
+// twice the standard NV-cell width (3.35 um) "so that there are no timing
+// penalties"; this sweep shows what a looser/tighter rule would buy.
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace nvff;
+
+  const char* names[] = {"s344", "s5378", "s35932", "b15"};
+  std::printf("ABLATION — pairing threshold sweep (area improvement %% / pairs)\n\n");
+  std::printf("%10s", "thr [um]");
+  for (const char* n : names) std::printf(" %18s", n);
+  std::printf("\n");
+
+  for (double threshold : {1.0, 1.68, 2.5, 3.35, 4.5, 6.0, 10.0}) {
+    std::printf("%10.2f", threshold);
+    for (const char* n : names) {
+      core::FlowOptions opt;
+      opt.pairing.maxDistance = threshold;
+      const core::FlowReport r = core::run_flow(bench::find_benchmark(n), opt);
+      std::printf("     %6.2f%% / %-5zu", r.areaImprovementPct, r.pairs);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nnote: 3.35 um is the paper's operating point; beyond it the gains\n"
+              "saturate (most FFs already merged) while the merged cell would span\n"
+              "more than its own footprint, i.e. timing/legalization penalties.\n");
+  return 0;
+}

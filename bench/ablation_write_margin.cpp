@@ -1,0 +1,41 @@
+// ABLATION — write margin vs supply voltage.
+//
+// The write path pushes ~70 uA through two MTJs in series (5k + 11k at low
+// bias); at VDD = 1.1 V that is marginal by design, which is why the paper
+// reports 2 ns *worst-case* switching. This sweep quantifies the margin:
+// write latency and energy vs VDD, at typical and worst process corners —
+// the data behind write-assist (boost) decisions.
+#include <cstdio>
+
+#include "cell/characterize.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace nvff;
+  using namespace nvff::cell;
+
+  std::printf("ABLATION — 2-bit latch store vs supply voltage\n\n");
+  std::printf("%8s | %14s %14s | %14s %14s\n", "VDD [V]", "typ lat [ns]",
+              "typ E [fJ]", "worst lat [ns]", "worst E [fJ]");
+  for (double vdd : {0.9, 1.0, 1.1, 1.2, 1.3, 1.4}) {
+    Technology tech = Technology::table1();
+    tech.vdd = vdd;
+    Characterizer chr(tech);
+    chr.timestep = 5e-12;
+    const WriteResult typ = chr.proposed_write(Corner::Typical, true, false);
+    const WriteResult worst = chr.proposed_write(Corner::Worst, true, false);
+    auto cell = [](const WriteResult& w) {
+      return w.switched ? format("%14.2f", w.latency * 1e9)
+                        : std::string("          FAIL");
+    };
+    std::printf("%8.2f | %s %14.1f | %s %14.1f\n", vdd, cell(typ).c_str(),
+                typ.energy * 1e15, cell(worst).c_str(), worst.energy * 1e15);
+  }
+  std::printf(
+      "\nreading: the store fails outright below ~1.0 V (series MTJ resistance\n"
+      "caps the current under the critical value) and the worst-corner latency\n"
+      "only meets the paper's 2 ns at elevated supply — quantifying why real\n"
+      "STT designs add write-assist boosting, and why the paper's write path\n"
+      "is kept untouched and identical in both designs.\n");
+  return 0;
+}

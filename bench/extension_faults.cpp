@@ -1,0 +1,137 @@
+// EXTENSION — MTJ defect injection into the proposed 2-bit latch (the
+// fault-model the paper's companion work, ref [16], studies for NV FFs).
+//
+// For every single-MTJ defect (pinned-P, pinned-AP, shorted barrier, open
+// barrier, on each of the four pillars), run the full store+restore across
+// all data values and report which ones are detected (wrong restore) vs
+// silently tolerated — the data a test-pattern designer needs.
+#include <cmath>
+#include <cstdio>
+
+#include "cell/multibit_latch.hpp"
+#include "spice/analysis.hpp"
+#include "spice/trace.hpp"
+#include "util/units.hpp"
+
+using namespace nvff;
+using namespace nvff::cell;
+using namespace nvff::units;
+
+namespace {
+
+const char* defect_name(mtj::MtjDefect d) {
+  switch (d) {
+    case mtj::MtjDefect::None: return "none";
+    case mtj::MtjDefect::PinnedParallel: return "pinned-P";
+    case mtj::MtjDefect::PinnedAntiParallel: return "pinned-AP";
+    case mtj::MtjDefect::ShortedBarrier: return "short";
+    case mtj::MtjDefect::OpenBarrier: return "open";
+  }
+  return "?";
+}
+
+/// Runs store(d0,d1) with the defect present, then — after a long power-off
+/// that erases all volatile residue (modelled by starting the restore from
+/// the all-discharged state) — restores and checks the read.
+///
+/// The two-stage structure matters: a short simulated power gap leaves the
+/// written data as residual charge on the latch internals, which masks dead
+/// MTJs; real standby intervals are orders of magnitude longer.
+bool run_with_defect(int victim, mtj::MtjDefect defect, bool d0, bool d1) {
+  const Technology tech = Technology::table1();
+  const TechCorner readCorner = tech.read_corner(Corner::Typical);
+  const TechCorner writeCorner = tech.write_corner(Corner::Typical);
+
+  // Stage 1: the store, with the defect in place.
+  mtj::MtjOrientation stored[4];
+  {
+    auto inst = MultibitNvLatch::build_write(tech, writeCorner, d0, d1,
+                                             WriteTiming{});
+    mtj::MtjDevice* mtjs[4] = {inst.mtj1, inst.mtj2, inst.mtj3, inst.mtj4};
+    mtjs[victim]->inject_defect(defect);
+    spice::Simulator sim(inst.circuit);
+    spice::TransientOptions opt;
+    opt.tStop = inst.tEnd;
+    opt.dt = 5 * ps;
+    try {
+      sim.transient(opt, nullptr);
+    } catch (const spice::ConvergenceError&) {
+      return false;
+    }
+    for (int i = 0; i < 4; ++i) stored[i] = mtjs[i]->orientation();
+  }
+
+  // Stage 2: wake-up restore from a fully discharged chip.
+  TwoBitReadTiming timing{};
+  auto inst = MultibitNvLatch::build_read(tech, readCorner, d0, d1, timing);
+  mtj::MtjDevice* mtjs[4] = {inst.mtj1, inst.mtj2, inst.mtj3, inst.mtj4};
+  for (int i = 0; i < 4; ++i) mtjs[i]->set_orientation(stored[i]);
+  mtjs[victim]->inject_defect(defect);
+
+  spice::Trace trace;
+  trace.watch_node(inst.circuit, "out");
+  trace.watch_node(inst.circuit, "outb");
+  spice::Simulator sim(inst.circuit);
+  spice::TransientOptions opt;
+  opt.tStop = inst.tEnd;
+  opt.dt = 5 * ps;
+  spice::Solution zero(std::vector<double>(inst.circuit.num_unknowns(), 0.0),
+                       inst.circuit.num_nodes());
+  try {
+    sim.transient_from(zero, opt, trace.observer());
+  } catch (const spice::ConvergenceError&) {
+    return false; // electrically broken = detected
+  }
+  // Healthy only when the differential resolved cleanly AND matches — a
+  // defect that collapses the race to a tie is a metastable read that real
+  // silicon resolves by noise, so it counts as detectable.
+  auto resolved = [&](double tCapture, bool expected) {
+    const double vo = trace.value_at("out", tCapture);
+    const double vb = trace.value_at("outb", tCapture);
+    if (std::fabs(vo - vb) < 0.4 * tech.vdd) return false; // tie/metastable
+    return (vo > vb) == expected;
+  };
+  return resolved(inst.tCapture0, d0) && resolved(inst.tCapture1, d1);
+}
+
+} // namespace
+
+int main() {
+  std::printf("EXTENSION — single-MTJ defect injection, proposed 2-bit latch\n");
+  std::printf("entry = data values (of 4) that still restore correctly; a defect\n");
+  std::printf("is TESTABLE when some data value fails (0-3), UNDETECTABLE at 4.\n\n");
+  std::printf("%-10s %8s %8s %8s %8s\n", "defect", "MTJ1", "MTJ2", "MTJ3", "MTJ4");
+
+  const mtj::MtjDefect defects[] = {
+      mtj::MtjDefect::PinnedParallel, mtj::MtjDefect::PinnedAntiParallel,
+      mtj::MtjDefect::ShortedBarrier, mtj::MtjDefect::OpenBarrier};
+  int totalFaults = 0;
+  int testable = 0;
+  for (const auto defect : defects) {
+    std::printf("%-10s", defect_name(defect));
+    for (int victim = 0; victim < 4; ++victim) {
+      int pass = 0;
+      for (int v = 0; v < 4; ++v) {
+        if (run_with_defect(victim, defect, (v & 1) != 0, (v & 2) != 0)) ++pass;
+      }
+      std::printf(" %7d/4", pass);
+      ++totalFaults;
+      if (pass < 4) ++testable;
+    }
+    std::printf("\n");
+  }
+  std::printf("\nfault coverage of the exhaustive 2-bit data sweep: %d/%d faults "
+              "testable (%.0f%%)\n",
+              testable, totalFaults, 100.0 * testable / totalFaults);
+  std::printf(
+      "pinned defects flip exactly the data values whose write needed the\n"
+      "blocked transition; barrier defects skew the differential race for\n"
+      "every read of the affected pair — both observable via restore\n"
+      "mismatch, i.e. a march-like store/restore test suffices (as ref\n"
+      "[16] concludes for single-bit NV flip-flops).\n\n"
+      "caveat found while building this: with a SHORT power gap the written\n"
+      "data survives as residual charge on the latch internals and masks dead\n"
+      "MTJs — production tests must ensure a full discharge (or actively\n"
+      "clamp the internals) before the restore that checks the NV path.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// EXTENSION — integration with CMOS multi-bit flip-flops (paper Sec III-E).
+//
+// The same FF pairs that share an NV shadow cell can also share the CMOS
+// flip-flop's clock inverter pair (a standard MBFF). This bench combines the
+// two effects per benchmark: NV-component area/restore-energy savings (the
+// paper's Table III) plus clock-network capacitance/dynamic-power savings
+// from the merged clock sinks.
+#include <cstdio>
+
+#include "core/clock_network.hpp"
+#include "core/flow.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace nvff;
+  using namespace nvff::core;
+
+  const ClockModelParams clk;
+  std::printf("EXTENSION — NV multi-bit cell inside a CMOS multi-bit flip-flop\n");
+  std::printf("clock model: %.0f MHz, pin %.2f fF, wire %.2f fF/um, leaf fanout %d\n\n",
+              clk.frequency / 1e6, clk.cPinClkFf * 1e15, clk.cWirePerUm * 1e15,
+              clk.sinksPerLeafBuffer);
+  std::printf("%-8s %7s %7s | %12s %12s %8s | %12s %12s %8s\n", "bench", "FFs",
+              "pairs", "clkC 1b [fF]", "clkC MB [fF]", "saving", "clkP 1b [uW]",
+              "clkP MB [uW]", "saving");
+
+  RunningStats capSavings;
+  RunningStats powerSavings;
+  for (const char* name :
+       {"s5378", "s13207", "s38584", "s35932", "b14", "b15", "b17", "or1200"}) {
+    const FlowReport flow = run_flow(bench::find_benchmark(name));
+    const auto single = estimate_clock_network(flow.ffSites, clk);
+    const auto mbff = estimate_clock_network_mbff(flow.ffSites, flow.pairing, clk);
+    const double capSave = improvement_percent(single.totalCapF(), mbff.totalCapF());
+    const double powSave =
+        improvement_percent(single.dynamicPowerW, mbff.dynamicPowerW);
+    capSavings.add(capSave);
+    powerSavings.add(powSave);
+    std::printf("%-8s %7zu %7zu | %12.1f %12.1f %7.1f%% | %12.2f %12.2f %7.1f%%\n",
+                name, flow.totalFlipFlops, flow.pairs, single.totalCapF() * 1e15,
+                mbff.totalCapF() * 1e15, capSave, single.dynamicPowerW * 1e6,
+                mbff.dynamicPowerW * 1e6, powSave);
+  }
+  std::printf("\naverage clock-network saving from MBFF merging of the SAME pairs\n"
+              "the NV flow found: capacitance %.1f%%, dynamic power %.1f%% —\n"
+              "on top of the paper's 26%%/14%% NV area/restore-energy savings,\n"
+              "supporting Sec III-E's claim that the NV multi-bit component\n"
+              "composes with industrial CMOS MBFF methodology.\n",
+              capSavings.mean(), powerSavings.mean());
+  return 0;
+}

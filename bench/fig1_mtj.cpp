@@ -1,0 +1,39 @@
+// Regenerates Fig. 1 (MTJ cell behaviour) as data series: resistance vs
+// bias for both orientations, and switching time vs write current.
+#include <cstdio>
+#include <initializer_list>
+
+#include "mtj/model.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace nvff;
+  using namespace nvff::units;
+  const mtj::MtjModel model(mtj::MtjParams::table1());
+
+  std::printf("FIG 1a — MTJ resistance vs bias (TMR roll-off)\n");
+  std::printf("%8s %12s %12s %8s\n", "V [V]", "R_P [Ohm]", "R_AP [Ohm]", "TMR");
+  for (double v = 0.0; v <= 1.1001; v += 0.1) {
+    std::printf("%8.2f %12.1f %12.1f %7.1f%%\n", v,
+                model.resistance(mtj::MtjOrientation::Parallel, v),
+                model.resistance(mtj::MtjOrientation::AntiParallel, v),
+                100.0 * model.tmr(v));
+  }
+
+  std::printf("\nFIG 1b — STT switching time vs current (Sun + thermal regimes)\n");
+  std::printf("%12s %16s %s\n", "I [uA]", "tau", "regime");
+  for (double iUa : {5.0, 15.0, 25.0, 30.0, 35.0, 36.9, 38.0, 45.0, 55.0, 70.0,
+                     90.0, 120.0}) {
+    const double tau = model.switching_time(iUa * uA);
+    const char* regime = (iUa * uA > model.params().iCritical) ? "precessional"
+                                                               : "thermal";
+    if (tau > 1.0) {
+      std::printf("%12.1f %16s %s\n", iUa, "> 1 s", regime);
+    } else {
+      std::printf("%12.1f %13.3f ns %s\n", iUa, tau * 1e9, regime);
+    }
+  }
+  std::printf("\ncalibration: tau(70 uA) = %.2f ns (paper: ~2 ns worst-case write)\n",
+              model.switching_time(70 * uA) * 1e9);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Google-benchmark microbenchmarks for the substrate engines themselves:
+// MNA solves, transient stepping, placement and pairing scaling. These
+// quantify the cost of the reproduction infrastructure (not a paper table).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_circuits/generator.hpp"
+#include "cell/characterize.hpp"
+#include "cell/multibit_latch.hpp"
+#include "pairing/pairing.hpp"
+#include "physdes/placement.hpp"
+#include "spice/analysis.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nvff;
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  spice::DenseMatrix a(n);
+  std::vector<double> b(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a.add(i, j, (i == j) ? 10.0 : 1.0 / static_cast<double>(1 + i + j));
+    }
+  }
+  std::vector<double> x;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.solve(b, x));
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(16)->Arg(48)->Arg(96);
+
+void BM_MultibitLatchDcOp(benchmark::State& state) {
+  const auto tech = cell::Technology::table1();
+  const auto corner = tech.read_corner(cell::Corner::Typical);
+  auto inst = cell::MultibitNvLatch::build_idle(tech, corner);
+  spice::Simulator sim(inst.circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.dc_operating_point());
+  }
+}
+BENCHMARK(BM_MultibitLatchDcOp);
+
+void BM_MultibitLatchRestoreTransient(benchmark::State& state) {
+  const auto tech = cell::Technology::table1();
+  cell::Characterizer chr(tech);
+  chr.timestep = 4e-12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chr.proposed_read(cell::Corner::Typical, true, false));
+  }
+}
+BENCHMARK(BM_MultibitLatchRestoreTransient)->Unit(benchmark::kMillisecond);
+
+void BM_PlacementScaling(benchmark::State& state) {
+  const char* names[] = {"s344", "s5378", "s38584"};
+  const auto& spec =
+      bench::find_benchmark(names[static_cast<std::size_t>(state.range(0))]);
+  const auto nl = bench::generate_benchmark(spec);
+  physdes::PlacerOptions opt;
+  opt.utilization = spec.utilization;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        physdes::place(nl, cell::CmosCellLibrary::tsmc40_like(), opt));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_PlacementScaling)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_PairingScaling(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<pairing::FlipFlopSite> sites;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double side = std::sqrt(static_cast<double>(n)) * 3.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sites.push_back({"f", rng.uniform(0, side), rng.uniform(0, side)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::pair_flip_flops(sites));
+  }
+}
+BENCHMARK(BM_PairingScaling)->Arg(100)->Arg(1000)->Arg(6042);
+
+void BM_BenchmarkGeneration(benchmark::State& state) {
+  const auto& spec = bench::find_benchmark("s13207");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::generate_benchmark(spec));
+  }
+}
+BENCHMARK(BM_BenchmarkGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Regenerates Table I: the circuit-level setup actually used by this
+// reproduction, next to the paper's values.
+#include <cstdio>
+
+#include "cell/technology.hpp"
+#include "mtj/model.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace nvff;
+  using namespace nvff::units;
+  const auto tech = cell::Technology::table1();
+  const auto mtj = mtj::MtjParams::table1();
+
+  TextTable t({"Parameter", "Paper (Table I)", "This reproduction"});
+  t.add_row({"VDD and Temperature", "1.1 V and 27 C",
+             format("%.1f V and %.0f C", tech.vdd, tech.tempC)});
+  t.add_row({"MTJ radius", "20 nm", eng(mtj.radius, "m", 0)});
+  t.add_row({"Free/Oxide layer thickness", "1.84/1.48 nm",
+             format("%.2f/%.2f nm", mtj.freeThickness * 1e9, mtj.oxideThickness * 1e9)});
+  t.add_row({"RA", "1.26 Ohm um^2", format("%.2f Ohm um^2", mtj.ra * 1e12)});
+  t.add_row({"TMR @ 0V", "123%", format("%.0f%%", mtj.tmr0 * 100.0)});
+  t.add_row({"Critical current", "37 uA", eng(mtj.iCritical, "A", 0)});
+  t.add_row({"Switching current", "70 uA", eng(mtj.iSwitching, "A", 0)});
+  t.add_row({"'AP'/'P' resistance", "11 kOhm / 5 kOhm",
+             format("%.0f kOhm / %.0f kOhm", mtj.rAntiParallel / 1e3,
+                    mtj.rParallel / 1e3)});
+  t.add_row({"CMOS process", "TSMC 40 nm LP SPICE",
+             "synthetic 40 nm LP EKV model (see DESIGN.md)"});
+  t.add_row({"Process corners", "+-3 sigma RA/TMR/Isw",
+             format("+-3 sigma, sigma = %.0f%%/%.0f%%/%.0f%%",
+                    mtj::MtjParams::kSigmaRaRel * 100, mtj::MtjParams::kSigmaTmrRel * 100,
+                    mtj::MtjParams::kSigmaIcRel * 100)});
+
+  std::printf("TABLE I — circuit-level setup\n%s\n", t.render().c_str());
+  std::printf("note: the paper's published RA (1.26 Ohm um^2) and R_P (5 kOhm) are\n"
+              "mutually inconsistent for a 20 nm-radius pillar (RA/area ~ 1 kOhm);\n"
+              "the electrical values R_P/R_AP are authoritative in this model.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates Table III: the full system-level flow (generate -> place ->
+// pair -> replace -> roll up) over all 13 benchmarks.
+//
+// Two roll-up modes are printed:
+//  * paper cell values (validates placement/pairing against the published
+//    rows: identical arithmetic, our pair counts), and
+//  * measured cell values (the fully self-contained reproduction where even
+//    the per-cell area/energy come from our analog engine + layout model).
+#include <cstdio>
+#include <fstream>
+
+#include "core/reports.hpp"
+#include "util/log.hpp"
+
+int main() {
+  using namespace nvff;
+  set_log_level(LogLevel::Info);
+
+  // Pass 1: paper cell values.
+  std::vector<core::FlowReport> reports;
+  for (const auto& spec : bench::paper_benchmarks()) {
+    reports.push_back(core::run_flow(spec));
+  }
+  std::printf("%s\n", core::render_table3(reports).c_str());
+
+  std::ofstream csv("table3.csv");
+  csv << core::table3_csv(reports);
+  std::printf("(machine-readable rows written to table3.csv)\n\n");
+
+  // Pass 2: measured cell values (re-uses the same pairing results; only the
+  // roll-up constants change).
+  cell::Characterizer chr;
+  chr.timestep = 2e-12;
+  const core::NvCellSet measured = core::NvCellSet::measured(chr);
+  std::printf("measured cell values: std 1-bit %.3f um^2 / %.3f fJ per bit, "
+              "proposed 2-bit %.3f um^2 / %.3f fJ\n",
+              measured.standard1bit.areaUm2, measured.standard1bit.readEnergyJ * 1e15,
+              measured.proposed2bit.areaUm2, measured.proposed2bit.readEnergyJ * 1e15);
+  std::printf("\nTable III with MEASURED cell values (self-contained reproduction):\n");
+  std::printf("%-8s %10s %10s %12s %12s\n", "bench", "pairs", "frac", "area impr",
+              "energy impr");
+  double areaAvg = 0.0;
+  double energyAvg = 0.0;
+  for (auto& r : reports) {
+    const core::RollUp roll = core::roll_up(r.totalFlipFlops, r.pairs, measured);
+    const double aImpr = improvement_percent(roll.areaStd, roll.areaProp);
+    const double eImpr = improvement_percent(roll.energyStd, roll.energyProp);
+    areaAvg += aImpr;
+    energyAvg += eImpr;
+    std::printf("%-8s %10zu %9.0f%% %11.2f%% %11.2f%%\n", r.benchmark.c_str(), r.pairs,
+                100.0 * r.pairedFraction, aImpr, eImpr);
+  }
+  areaAvg /= static_cast<double>(reports.size());
+  energyAvg /= static_cast<double>(reports.size());
+  std::printf("average: area %.1f%% (paper 26%%), energy %.1f%% (paper 14%%)\n",
+              areaAvg, energyAvg);
+  return 0;
+}

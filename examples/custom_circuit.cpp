@@ -1,0 +1,82 @@
+// Using the library on your own circuit: describe it in ISCAS .bench text
+// (or load a .bench file), then run the whole multi-bit NV replacement flow
+// on it and simulate a power cycle.
+//
+//   $ ./examples/custom_circuit [file.bench]
+#include <cstdio>
+
+#include "bench_circuits/bench_io.hpp"
+#include "core/flow.hpp"
+#include "core/reports.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace {
+
+// A 4-bit counter with enable — a typical small register bank.
+const char* kCounter = R"(
+# 4-bit synchronous counter with enable
+INPUT(en)
+c0 = AND(en, q0)
+c1 = AND(c0, q1)
+c2 = AND(c1, q2)
+n0 = XOR(q0, en)
+n1 = XOR(q1, c0)
+n2 = XOR(q2, c1)
+n3 = XOR(q3, c2)
+q0 = DFF(n0)
+q1 = DFF(n1)
+q2 = DFF(n2)
+q3 = DFF(n3)
+OUTPUT(q0)
+OUTPUT(q1)
+OUTPUT(q2)
+OUTPUT(q3)
+)";
+
+int counter_value(const nvff::sim::LogicSimulator& sim,
+                  const nvff::bench::Netlist& nl) {
+  int value = 0;
+  for (int b = 0; b < 4; ++b) {
+    if (sim.value(nl.find("q" + std::to_string(b)))) value |= 1 << b;
+  }
+  return value;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace nvff;
+
+  bench::Netlist nl = (argc > 1) ? bench::load_bench_file(argv[1])
+                                 : bench::parse_bench_string(kCounter, "counter4");
+  std::printf("circuit %s: %zu inputs, %zu outputs, %zu FFs, %zu gates\n\n",
+              nl.name().c_str(), nl.num_inputs(), nl.num_outputs(),
+              nl.num_flip_flops(), nl.num_logic_gates());
+
+  // --- run it, power-gate it mid-count, continue ------------------------------
+  sim::LogicSimulator lsim(nl);
+  sim::NvShadowBank bank(nl.num_flip_flops());
+  if (argc == 1) {
+    for (int i = 0; i < 11; ++i) lsim.cycle({true});
+    std::printf("counted 11 ticks -> value %d\n", counter_value(lsim, nl));
+    bank.store(lsim);
+    Rng destroyer(3);
+    lsim.scramble_state(destroyer);
+    std::printf("power removed (state scrambled) -> value %d\n",
+                counter_value(lsim, nl));
+    bank.restore(lsim);
+    std::printf("restored from NV shadow        -> value %d\n",
+                counter_value(lsim, nl));
+    for (int i = 0; i < 5; ++i) lsim.cycle({true});
+    std::printf("5 more ticks                   -> value %d (expected 16 -> 0)\n\n",
+                counter_value(lsim, nl));
+  }
+
+  // --- the replacement flow works on any netlist ------------------------------
+  const core::FlowReport report = core::run_flow_on_netlist(nl);
+  std::printf("placement + pairing: %zu FFs, %zu merged pairs\n",
+              report.totalFlipFlops, report.pairs);
+  std::printf("NV area %.2f -> %.2f um^2 (%.1f%% improvement)\n", report.areaStd,
+              report.areaProp, report.areaImprovementPct);
+  return 0;
+}

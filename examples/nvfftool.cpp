@@ -1,0 +1,144 @@
+// nvfftool — command-line front-end to the library.
+//
+//   nvfftool list                      # available benchmarks
+//   nvfftool flow <benchmark>          # place + pair + Table III row
+//   nvfftool characterize [corner]     # Table II column(s)
+//   nvfftool table2                    # full Table II
+//   nvfftool table3                    # full Table III (all benchmarks)
+//   nvfftool cycle <d0> <d1>           # simulate a store/power-off/restore
+//   nvfftool export <benchmark> <dir>  # write .bench, .v and .def artifacts
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_circuits/bench_io.hpp"
+#include "bench_circuits/verilog_io.hpp"
+#include "cell/spice_deck.hpp"
+#include "cell/characterize.hpp"
+#include "cell/multibit_latch.hpp"
+#include "core/reports.hpp"
+#include "physdes/def_io.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace nvff;
+
+int cmd_list() {
+  std::printf("%-10s %8s %8s %8s %10s\n", "name", "FFs", "gates", "inputs",
+              "paper 2b");
+  for (const auto& spec : bench::paper_benchmarks()) {
+    std::printf("%-10s %8d %8d %8d %10d\n", spec.name.c_str(), spec.flipFlops,
+                spec.logicGates, spec.inputs, spec.paperPairs);
+  }
+  return 0;
+}
+
+int cmd_flow(const std::string& name) {
+  const core::FlowReport r = core::run_flow(bench::find_benchmark(name));
+  std::printf("%s: %zu FFs, %zu merged pairs (%.0f%% of FFs)\n", name.c_str(),
+              r.totalFlipFlops, r.pairs, 100.0 * r.pairedFraction);
+  std::printf("NV area   : %.3f -> %.3f um^2 (%.2f%% improvement)\n", r.areaStd,
+              r.areaProp, r.areaImprovementPct);
+  std::printf("NV energy : %.3f -> %.3f fJ (%.2f%% improvement)\n",
+              r.energyStd * 1e15, r.energyProp * 1e15, r.energyImprovementPct);
+  return 0;
+}
+
+int cmd_characterize(const std::string& cornerName) {
+  cell::Characterizer chr;
+  chr.timestep = 2e-12;
+  for (cell::Corner c : cell::kAllCorners) {
+    if (!cornerName.empty() && cornerName != cell::corner_name(c)) continue;
+    const cell::LatchMetrics s = chr.standard_pair(c);
+    const cell::LatchMetrics p = chr.proposed_2bit(c);
+    std::printf("[%s]\n", cell::corner_name(c));
+    std::printf("  2x standard : read %s / %s, leak %s, area %.3f um^2\n",
+                eng(s.readEnergy, "J").c_str(), eng(s.readDelay, "s", 0).c_str(),
+                eng(s.leakage, "W", 0).c_str(), s.areaUm2);
+    std::printf("  proposed    : read %s / %s, leak %s, area %.3f um^2\n",
+                eng(p.readEnergy, "J").c_str(), eng(p.readDelay, "s", 0).c_str(),
+                eng(p.leakage, "W", 0).c_str(), p.areaUm2);
+  }
+  return 0;
+}
+
+int cmd_table2() {
+  cell::Characterizer chr;
+  chr.timestep = 2e-12;
+  std::printf("%s", core::render_table2(core::measure_table2(chr)).c_str());
+  return 0;
+}
+
+int cmd_table3() {
+  std::vector<core::FlowReport> reports;
+  for (const auto& spec : bench::paper_benchmarks()) {
+    reports.push_back(core::run_flow(spec));
+  }
+  std::printf("%s", core::render_table3(reports).c_str());
+  return 0;
+}
+
+int cmd_cycle(bool d0, bool d1) {
+  cell::Characterizer chr;
+  chr.timestep = 4e-12;
+  const bool ok = chr.proposed_power_cycle_ok(cell::Corner::Typical, d0, d1);
+  std::printf("store (%d,%d) -> power off -> wake -> restore: %s\n", d0, d1,
+              ok ? "data intact" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
+int cmd_export(const std::string& name, const std::string& dir) {
+  const auto& spec = bench::find_benchmark(name);
+  const auto nl = bench::generate_benchmark(spec);
+  physdes::PlacerOptions opt;
+  opt.utilization = spec.utilization;
+  const auto placement =
+      physdes::place(nl, cell::CmosCellLibrary::tsmc40_like(), opt);
+  bench::save_bench_file(nl, dir + "/" + name + ".bench");
+  bench::save_verilog_file(nl, dir + "/" + name + ".v");
+  physdes::save_def_file(placement, nl, dir + "/" + name + ".def");
+  // The 2-bit NV cell itself, as a SPICE deck.
+  auto latch = cell::MultibitNvLatch::build_idle(
+      cell::Technology::table1(),
+      cell::Technology::table1().read_corner(cell::Corner::Typical));
+  cell::save_spice_deck(latch.circuit, dir + "/nv_2bit_latch.sp");
+  std::printf("wrote %s/%s.{bench,v,def} and %s/nv_2bit_latch.sp\n", dir.c_str(),
+              name.c_str(), dir.c_str());
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: nvfftool <command>\n"
+      "  list                     benchmarks\n"
+      "  flow <benchmark>         run the NV replacement flow\n"
+      "  characterize [corner]    circuit metrics (worst|typical|best)\n"
+      "  table2 | table3          regenerate the paper tables\n"
+      "  cycle <d0> <d1>          simulate a full normally-off cycle\n"
+      "  export <benchmark> <dir> write .bench/.v/.def/.sp artifacts\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "flow" && argc >= 3) return cmd_flow(argv[2]);
+    if (cmd == "characterize") return cmd_characterize(argc >= 3 ? argv[2] : "");
+    if (cmd == "table2") return cmd_table2();
+    if (cmd == "table3") return cmd_table3();
+    if (cmd == "cycle" && argc >= 4) {
+      return cmd_cycle(std::strcmp(argv[2], "0") != 0,
+                       std::strcmp(argv[3], "0") != 0);
+    }
+    if (cmd == "export" && argc >= 4) return cmd_export(argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,143 @@
+#include "bench_circuits/bench_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace nvff::bench {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error(format("bench parse error at line %d: %s", line,
+                                  what.c_str()));
+}
+
+} // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& circuitName) {
+  Netlist nl(circuitName);
+
+  // Two-phase: collect declarations first (signals may be referenced before
+  // they are defined, and DFFs form cycles), then resolve fanins.
+  struct PendingGate {
+    GateType type;
+    std::string name;
+    std::vector<std::string> fanins;
+    int line;
+  };
+  std::vector<PendingGate> defs;
+  std::vector<std::pair<std::string, int>> outputMarks;
+
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    const std::string text(sv);
+
+    auto parseCall = [&](const std::string& s) -> std::pair<std::string, std::string> {
+      const auto open = s.find('(');
+      const auto close = s.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close < open) {
+        fail(lineNo, "expected FUNC(args): " + s);
+      }
+      return {std::string(trim(s.substr(0, open))),
+              std::string(trim(s.substr(open + 1, close - open - 1)))};
+    };
+
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) {
+      auto [func, arg] = parseCall(text);
+      const std::string funcLower = to_lower(func);
+      if (funcLower == "input") {
+        defs.push_back({GateType::Input, arg, {}, lineNo});
+      } else if (funcLower == "output") {
+        outputMarks.emplace_back(arg, lineNo);
+      } else {
+        fail(lineNo, "unknown directive: " + func);
+      }
+      continue;
+    }
+
+    const std::string lhs(trim(text.substr(0, eq)));
+    if (lhs.empty()) fail(lineNo, "missing signal name");
+    auto [func, args] = parseCall(text.substr(eq + 1));
+    GateType type;
+    if (!parse_gate_type(func, type) || type == GateType::Input) {
+      fail(lineNo, "unknown gate type: " + func);
+    }
+    PendingGate pg{type, lhs, {}, lineNo};
+    for (const auto& a : split(args, ", \t")) pg.fanins.push_back(a);
+    defs.push_back(std::move(pg));
+  }
+
+  // Create all gates, then wire fanins by name.
+  for (const auto& d : defs) {
+    nl.add_gate(d.type, d.name);
+  }
+  for (const auto& d : defs) {
+    if (d.fanins.empty()) continue;
+    std::vector<GateId> fanin;
+    for (const auto& f : d.fanins) {
+      const GateId id = nl.find(f);
+      if (id == kNoGate) fail(d.line, "undefined signal: " + f);
+      fanin.push_back(id);
+    }
+    nl.set_fanin(nl.find(d.name), std::move(fanin));
+  }
+  for (const auto& [sig, markLine] : outputMarks) {
+    const GateId id = nl.find(sig);
+    if (id == kNoGate) fail(markLine, "OUTPUT references undefined signal: " + sig);
+    nl.mark_output(id);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist parse_bench_string(const std::string& text, const std::string& circuitName) {
+  std::istringstream in(text);
+  return parse_bench(in, circuitName);
+}
+
+Netlist load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  // Circuit name = file stem.
+  auto slash = path.find_last_of('/');
+  std::string stem = (slash == std::string::npos) ? path : path.substr(slash + 1);
+  const auto dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  return parse_bench(in, stem);
+}
+
+std::string to_bench(const Netlist& nl) {
+  std::ostringstream out;
+  out << "# " << nl.name() << " — " << nl.num_inputs() << " inputs, "
+      << nl.num_outputs() << " outputs, " << nl.num_flip_flops() << " DFFs, "
+      << nl.num_logic_gates() << " gates\n";
+  for (GateId id : nl.inputs()) out << "INPUT(" << nl.gate(id).name << ")\n";
+  for (GateId id : nl.outputs()) out << "OUTPUT(" << nl.gate(id).name << ")\n";
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const Gate& g = nl.gate(static_cast<GateId>(i));
+    if (g.type == GateType::Input) continue;
+    out << g.name << " = " << gate_type_name(g.type) << "(";
+    for (std::size_t f = 0; f < g.fanin.size(); ++f) {
+      if (f != 0) out << ", ";
+      out << nl.gate(g.fanin[f]).name;
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+void save_bench_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write bench file: " + path);
+  out << to_bench(netlist);
+}
+
+} // namespace nvff::bench

@@ -1,0 +1,29 @@
+// ISCAS'89 ".bench" format reader/writer.
+//
+// Format:
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NAND(G0, G1)
+//   G7  = DFF(G10)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bench_circuits/netlist.hpp"
+
+namespace nvff::bench {
+
+/// Parses .bench text. Throws std::runtime_error with a line number on
+/// malformed input. The returned netlist is finalized.
+Netlist parse_bench(std::istream& in, const std::string& circuitName = "top");
+Netlist parse_bench_string(const std::string& text,
+                           const std::string& circuitName = "top");
+Netlist load_bench_file(const std::string& path);
+
+/// Serializes to .bench text (round-trips with parse_bench).
+std::string to_bench(const Netlist& netlist);
+void save_bench_file(const Netlist& netlist, const std::string& path);
+
+} // namespace nvff::bench

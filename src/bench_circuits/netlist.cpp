@@ -1,0 +1,145 @@
+#include "bench_circuits/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace nvff::bench {
+
+const char* gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::Input: return "INPUT";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Dff: return "DFF";
+  }
+  return "?";
+}
+
+bool parse_gate_type(const std::string& name, GateType& out) {
+  const std::string lower = to_lower(name);
+  if (lower == "buf" || lower == "buff") out = GateType::Buf;
+  else if (lower == "not" || lower == "inv") out = GateType::Not;
+  else if (lower == "and") out = GateType::And;
+  else if (lower == "nand") out = GateType::Nand;
+  else if (lower == "or") out = GateType::Or;
+  else if (lower == "nor") out = GateType::Nor;
+  else if (lower == "xor") out = GateType::Xor;
+  else if (lower == "xnor") out = GateType::Xnor;
+  else if (lower == "dff") out = GateType::Dff;
+  else if (lower == "input") out = GateType::Input;
+  else return false;
+  return true;
+}
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+GateId Netlist::add_gate(GateType type, const std::string& gateName,
+                         std::vector<GateId> fanin) {
+  if (byName_.count(gateName) != 0) {
+    throw std::runtime_error("Netlist: duplicate gate " + gateName);
+  }
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.type = type;
+  g.name = gateName;
+  g.fanin = std::move(fanin);
+  gates_.push_back(std::move(g));
+  byName_.emplace(gateName, id);
+  if (type == GateType::Input) inputs_.push_back(id);
+  if (type == GateType::Dff) dffs_.push_back(id);
+  finalized_ = false;
+  return id;
+}
+
+void Netlist::set_fanin(GateId gate, std::vector<GateId> fanin) {
+  gates_.at(static_cast<std::size_t>(gate)).fanin = std::move(fanin);
+  finalized_ = false;
+}
+
+void Netlist::mark_output(GateId gate) {
+  if (gate < 0 || static_cast<std::size_t>(gate) >= gates_.size()) {
+    throw std::runtime_error("Netlist: output marks unknown gate");
+  }
+  outputs_.push_back(gate);
+}
+
+GateId Netlist::find(const std::string& name) const {
+  auto it = byName_.find(name);
+  return it == byName_.end() ? kNoGate : it->second;
+}
+
+std::size_t Netlist::num_logic_gates() const {
+  return gates_.size() - inputs_.size() - dffs_.size();
+}
+
+void Netlist::finalize() {
+  // Arity checks + fanout rebuild.
+  for (auto& g : gates_) g.fanout.clear();
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    Gate& g = gates_[i];
+    const auto arity = g.fanin.size();
+    switch (g.type) {
+      case GateType::Input:
+        if (arity != 0) throw std::runtime_error("INPUT with fanin: " + g.name);
+        break;
+      case GateType::Buf:
+      case GateType::Not:
+      case GateType::Dff:
+        if (arity != 1) {
+          throw std::runtime_error(std::string(gate_type_name(g.type)) +
+                                   " needs exactly one fanin: " + g.name);
+        }
+        break;
+      default:
+        if (arity < 2 || arity > kMaxFanin) {
+          throw std::runtime_error(std::string(gate_type_name(g.type)) +
+                                   " has bad fanin count: " + g.name);
+        }
+    }
+    for (GateId f : g.fanin) {
+      if (f < 0 || static_cast<std::size_t>(f) >= gates_.size()) {
+        throw std::runtime_error("dangling fanin in " + g.name);
+      }
+      gates_[static_cast<std::size_t>(f)].fanout.push_back(static_cast<GateId>(i));
+    }
+  }
+
+  // Kahn topological sort over combinational edges only: DFFs and inputs are
+  // sources; an edge into a DFF's D pin is ignored for ordering (it is a
+  // sequential boundary).
+  topo_.clear();
+  std::vector<int> pending(gates_.size(), 0);
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.type == GateType::Input || g.type == GateType::Dff) continue;
+    pending[i] = static_cast<int>(g.fanin.size());
+  }
+  std::vector<GateId> queue;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (pending[i] == 0) queue.push_back(static_cast<GateId>(i));
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const GateId id = queue[head++];
+    topo_.push_back(id);
+    for (GateId out : gates_[static_cast<std::size_t>(id)].fanout) {
+      const Gate& og = gates_[static_cast<std::size_t>(out)];
+      if (og.type == GateType::Dff || og.type == GateType::Input) continue;
+      if (--pending[static_cast<std::size_t>(out)] == 0) queue.push_back(out);
+    }
+  }
+  if (topo_.size() != gates_.size()) {
+    throw std::runtime_error("Netlist '" + name_ + "': combinational cycle detected");
+  }
+  finalized_ = true;
+}
+
+} // namespace nvff::bench

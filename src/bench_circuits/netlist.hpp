@@ -1,0 +1,101 @@
+// Gate-level netlist representation of the benchmark circuits (ISCAS'89 /
+// ITC'99 style: primary IOs, combinational gates, D flip-flops).
+//
+// Each gate drives exactly one signal named after the gate; primary outputs
+// are markers referencing driver gates, as in the .bench format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nvff::bench {
+
+enum class GateType {
+  Input, ///< primary input
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+  Dff, ///< D flip-flop (single fanin = D; output = Q)
+};
+
+const char* gate_type_name(GateType type);
+/// Parses "NAND", "dff", ... Returns false on unknown names.
+bool parse_gate_type(const std::string& name, GateType& out);
+
+/// Maximum supported fanin of a single gate.
+inline constexpr std::size_t kMaxFanin = 16;
+
+using GateId = std::int32_t;
+inline constexpr GateId kNoGate = -1;
+
+struct Gate {
+  GateType type = GateType::Buf;
+  std::string name;
+  std::vector<GateId> fanin;
+  std::vector<GateId> fanout; ///< derived; rebuilt by finalize()
+};
+
+/// A named gate-level circuit.
+class Netlist {
+public:
+  explicit Netlist(std::string name = "top");
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a gate; fanins may reference gates added later only via
+  /// `set_fanin` (two-phase construction for cyclic FF paths).
+  GateId add_gate(GateType type, const std::string& name,
+                  std::vector<GateId> fanin = {});
+
+  /// Re-targets the fanin list of an existing gate.
+  void set_fanin(GateId gate, std::vector<GateId> fanin);
+
+  /// Marks a gate's signal as a primary output.
+  void mark_output(GateId gate);
+
+  /// Validates the structure and rebuilds fanout lists. Throws
+  /// std::runtime_error on dangling references, fanin arity violations, or
+  /// combinational cycles (cycles through DFFs are fine).
+  void finalize();
+
+  // --- queries ---------------------------------------------------------------
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[static_cast<std::size_t>(id)]; }
+  GateId find(const std::string& name) const;
+
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+  const std::vector<GateId>& flip_flops() const { return dffs_; }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  std::size_t num_flip_flops() const { return dffs_.size(); }
+  /// Combinational gate count (everything except inputs and DFFs).
+  std::size_t num_logic_gates() const;
+
+  /// Gates in topological order over the combinational edges (DFF outputs
+  /// and primary inputs first). Valid after finalize().
+  const std::vector<GateId>& topo_order() const { return topo_; }
+
+  bool finalized() const { return finalized_; }
+
+private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::unordered_map<std::string, GateId> byName_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+  std::vector<GateId> topo_;
+  bool finalized_ = false;
+};
+
+} // namespace nvff::bench

@@ -1,0 +1,29 @@
+// Structural Verilog netlist writer.
+//
+// Emits the benchmark circuits as gate-level Verilog (primitive gates +
+// a behavioural DFF macro), so the generated stand-ins can be fed to
+// external synthesis/P&R tools or simulators for cross-checking.
+#pragma once
+
+#include <string>
+
+#include "bench_circuits/netlist.hpp"
+
+namespace nvff::bench {
+
+struct VerilogOptions {
+  std::string clockName = "clk";
+  bool emitDffModule = true; ///< include a simple DFF module definition
+};
+
+/// Serializes the netlist as a synthesizable structural module.
+std::string to_verilog(const Netlist& netlist, const VerilogOptions& options = {});
+
+/// Writes to a file; throws std::runtime_error on IO failure.
+void save_verilog_file(const Netlist& netlist, const std::string& path,
+                       const VerilogOptions& options = {});
+
+/// True if `name` is directly usable as a Verilog identifier.
+bool is_valid_verilog_identifier(const std::string& name);
+
+} // namespace nvff::bench

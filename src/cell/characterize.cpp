@@ -1,0 +1,310 @@
+#include "cell/characterize.hpp"
+
+#include <cmath>
+
+#include "spice/analysis.hpp"
+#include "spice/trace.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace nvff::cell {
+
+using spice::Edge;
+using spice::Simulator;
+using spice::Solution;
+using spice::SupplyEnergyMeter;
+using spice::Trace;
+using spice::TransientOptions;
+
+namespace {
+
+/// Power-up-like initial condition: every node at 0 V, as after the supply
+/// was gated. Restore is *defined* to happen at wake-up, so read scenarios
+/// start from this state for both designs — otherwise the standard latch
+/// gets its output precharge "for free" from its idle leakage equilibrium
+/// (its cross-coupled PMOS sources tie straight to VDD) and the comparison
+/// is skewed.
+Solution zero_state(const spice::Circuit& circuit) {
+  return Solution(std::vector<double>(circuit.num_unknowns(), 0.0),
+                  circuit.num_nodes());
+}
+
+/// Resolution instant: the falling output reaching 10 % of the rail (for a
+/// VDD-precharged discharge race) or the rising output reaching 90 % (for a
+/// GND-precharged charge race). Returns NaN if it never resolves.
+double resolve_time(const Trace& trace, const std::string& fallingSignal, double vdd,
+                    double tStart, Edge edge) {
+  const double threshold = (edge == Edge::Falling) ? 0.1 * vdd : 0.9 * vdd;
+  const auto t = trace.crossing_time(fallingSignal, threshold, edge, tStart);
+  return t ? *t : std::numeric_limits<double>::quiet_NaN();
+}
+
+bool logic_level(double v, double vdd) { return v > 0.5 * vdd; }
+
+} // namespace
+
+Characterizer::Characterizer(Technology tech) : tech_(std::move(tech)) {}
+
+ReadResult Characterizer::standard_read(Corner corner, bool storedBit) const {
+  return standard_read_at(tech_.read_corner(corner), storedBit);
+}
+
+ReadResult Characterizer::standard_read_at(const TechCorner& tc, bool storedBit,
+                                           Rng* mismatchRng, double sigmaVth) const {
+  ReadTiming timing{};
+  auto inst =
+      StandardNvLatch::build_read(tech_, tc, storedBit, timing, mismatchRng, sigmaVth);
+
+  Trace trace;
+  trace.watch_node(inst.circuit, "out");
+  trace.watch_node(inst.circuit, "outb");
+  SupplyEnergyMeter meter(inst.circuit, "VDD");
+
+  Simulator sim(inst.circuit);
+  TransientOptions opt;
+  opt.tStop = inst.tEnd;
+  opt.dt = timestep;
+  auto traceObs = trace.observer();
+  sim.transient_from(zero_state(inst.circuit), opt, [&](double t, const Solution& s) {
+    traceObs(t, s);
+    meter.observe(t, s);
+  });
+
+  ReadResult r;
+  r.energy = meter.energy();
+  // The side whose MTJ is P (low resistance) discharges first.
+  const std::string falling = storedBit ? "outb" : "out";
+  r.delay = resolve_time(trace, falling, tech_.vdd, inst.tEvalStart, Edge::Falling) -
+            inst.tEvalStart;
+  r.correct = logic_level(trace.value_at("out", inst.tEnd), tech_.vdd) == storedBit &&
+              logic_level(trace.value_at("outb", inst.tEnd), tech_.vdd) == !storedBit;
+  return r;
+}
+
+ReadResult Characterizer::proposed_read(Corner corner, bool d0, bool d1) const {
+  return proposed_read_at(tech_.read_corner(corner), d0, d1);
+}
+
+ReadResult Characterizer::proposed_read_at(const TechCorner& tc, bool d0, bool d1,
+                                           Rng* mismatchRng, double sigmaVth) const {
+  TwoBitReadTiming timing{};
+  auto inst = MultibitNvLatch::build_read(tech_, tc, d0, d1, timing,
+                                          ControlScheme::OptimizedSinglePc,
+                                          mismatchRng, sigmaVth);
+
+  Trace trace;
+  trace.watch_node(inst.circuit, "out");
+  trace.watch_node(inst.circuit, "outb");
+  SupplyEnergyMeter meter(inst.circuit, "VDD");
+
+  Simulator sim(inst.circuit);
+  TransientOptions opt;
+  opt.tStop = inst.tEnd;
+  opt.dt = timestep;
+  auto traceObs = trace.observer();
+  sim.transient_from(zero_state(inst.circuit), opt, [&](double t, const Solution& s) {
+    traceObs(t, s);
+    meter.observe(t, s);
+  });
+
+  ReadResult r;
+  r.energy = meter.energy();
+  // Phase 0 (lower pair, VDD precharge): discharge race; out falls iff D0=0.
+  const std::string fall0 = d0 ? "outb" : "out";
+  const double t0 =
+      resolve_time(trace, fall0, tech_.vdd, inst.tEval0Start, Edge::Falling);
+  // Phase 1 (upper pair, GND precharge): charge race; out rises iff D1=1.
+  const std::string rise1 = d1 ? "out" : "outb";
+  const double t1 =
+      resolve_time(trace, rise1, tech_.vdd, inst.tEval1Start, Edge::Rising);
+  r.delay = (t0 - inst.tEval0Start) + (t1 - inst.tEval1Start);
+  const bool ok0 =
+      logic_level(trace.value_at("out", inst.tCapture0), tech_.vdd) == d0 &&
+      logic_level(trace.value_at("outb", inst.tCapture0), tech_.vdd) == !d0;
+  const bool ok1 =
+      logic_level(trace.value_at("out", inst.tCapture1), tech_.vdd) == d1 &&
+      logic_level(trace.value_at("outb", inst.tCapture1), tech_.vdd) == !d1;
+  r.correct = ok0 && ok1;
+  return r;
+}
+
+WriteResult Characterizer::standard_write(Corner corner, bool d) const {
+  const TechCorner tc = tech_.write_corner(corner);
+  WriteTiming timing{};
+  auto inst = StandardNvLatch::build_write(tech_, tc, d, timing);
+
+  SupplyEnergyMeter meter(inst.circuit, "VDD");
+  Simulator sim(inst.circuit);
+  TransientOptions opt;
+  opt.tStop = inst.tEnd;
+  opt.dt = timestep;
+  double lastFlip = std::numeric_limits<double>::quiet_NaN();
+  int flips = 0;
+  sim.transient(opt, [&](double t, const Solution& s) {
+    meter.observe(t, s);
+    const int nowFlips = inst.mtjOut->flip_count() + inst.mtjOutb->flip_count();
+    if (nowFlips > flips) {
+      flips = nowFlips;
+      lastFlip = t;
+    }
+  });
+
+  WriteResult r;
+  r.energy = meter.energy();
+  r.latency = lastFlip - timing.start;
+  using mtj::MtjOrientation;
+  const MtjOrientation wantOut = d ? MtjOrientation::AntiParallel : MtjOrientation::Parallel;
+  r.switched = inst.mtjOut->orientation() == wantOut &&
+               inst.mtjOutb->orientation() != wantOut;
+  return r;
+}
+
+WriteResult Characterizer::proposed_write(Corner corner, bool d0, bool d1) const {
+  const TechCorner tc = tech_.write_corner(corner);
+  WriteTiming timing{};
+  auto inst = MultibitNvLatch::build_write(tech_, tc, d0, d1, timing);
+
+  SupplyEnergyMeter meter(inst.circuit, "VDD");
+  Simulator sim(inst.circuit);
+  TransientOptions opt;
+  opt.tStop = inst.tEnd;
+  opt.dt = timestep;
+  double lastFlip = std::numeric_limits<double>::quiet_NaN();
+  int flips = 0;
+  sim.transient(opt, [&](double t, const Solution& s) {
+    meter.observe(t, s);
+    const int nowFlips = inst.mtj1->flip_count() + inst.mtj2->flip_count() +
+                         inst.mtj3->flip_count() + inst.mtj4->flip_count();
+    if (nowFlips > flips) {
+      flips = nowFlips;
+      lastFlip = t;
+    }
+  });
+
+  WriteResult r;
+  r.energy = meter.energy();
+  r.latency = lastFlip - timing.start;
+  using mtj::MtjOrientation;
+  const MtjOrientation m1 = d1 ? MtjOrientation::Parallel : MtjOrientation::AntiParallel;
+  const MtjOrientation m3 = d0 ? MtjOrientation::AntiParallel : MtjOrientation::Parallel;
+  r.switched = inst.mtj1->orientation() == m1 && inst.mtj2->orientation() != m1 &&
+               inst.mtj3->orientation() == m3 && inst.mtj4->orientation() != m3;
+  return r;
+}
+
+double Characterizer::standard_leakage(Corner corner) const {
+  const TechCorner tc = tech_.leakage_corner(corner);
+  auto inst = StandardNvLatch::build_idle(tech_, tc);
+  Simulator sim(inst.circuit);
+  const Solution op = sim.dc_operating_point();
+  const auto* vdd =
+      dynamic_cast<const spice::VoltageSource*>(inst.circuit.find_device("VDD"));
+  return vdd->delivered_current(op.as_state()) * tech_.vdd;
+}
+
+double Characterizer::proposed_leakage(Corner corner) const {
+  const TechCorner tc = tech_.leakage_corner(corner);
+  auto inst = MultibitNvLatch::build_idle(tech_, tc);
+  Simulator sim(inst.circuit);
+  const Solution op = sim.dc_operating_point();
+  const auto* vdd =
+      dynamic_cast<const spice::VoltageSource*>(inst.circuit.find_device("VDD"));
+  return vdd->delivered_current(op.as_state()) * tech_.vdd;
+}
+
+LatchMetrics Characterizer::standard_pair(Corner corner) const {
+  LatchMetrics m;
+  // Average the two data values, then double for the pair (paper Table II:
+  // "we have multiplied all single bit standard latch results by a factor of
+  // two, except for the layout area").
+  const ReadResult r0 = standard_read(corner, false);
+  const ReadResult r1 = standard_read(corner, true);
+  m.readEnergy = r0.energy + r1.energy; // = 2 * average
+  m.readDelay = 0.5 * (r0.delay + r1.delay); // parallel restore: no doubling
+  m.functional = r0.correct && r1.correct;
+
+  const WriteResult w0 = standard_write(corner, false);
+  const WriteResult w1 = standard_write(corner, true);
+  m.writeEnergy = w0.energy + w1.energy;
+  m.writeLatency = 0.5 * (w0.latency + w1.latency);
+  m.functional = m.functional && w0.switched && w1.switched;
+
+  m.leakage = 2.0 * standard_leakage(corner);
+  m.readTransistors = 2 * StandardNvLatch::kReadTransistors;
+  m.areaUm2 = standard_pair_area_um2();
+  return m;
+}
+
+LatchMetrics Characterizer::proposed_2bit(Corner corner) const {
+  LatchMetrics m;
+  // Average over the four data combinations.
+  double energy = 0.0;
+  double delay = 0.0;
+  bool functional = true;
+  for (int v = 0; v < 4; ++v) {
+    const ReadResult r = proposed_read(corner, (v & 1) != 0, (v & 2) != 0);
+    energy += r.energy;
+    delay += r.delay;
+    functional = functional && r.correct;
+  }
+  m.readEnergy = energy / 4.0;
+  m.readDelay = delay / 4.0;
+
+  double wEnergy = 0.0;
+  double wLatency = 0.0;
+  for (int v = 0; v < 4; ++v) {
+    const WriteResult w = proposed_write(corner, (v & 1) != 0, (v & 2) != 0);
+    wEnergy += w.energy;
+    wLatency = std::max(wLatency, w.latency);
+    functional = functional && w.switched;
+  }
+  m.writeEnergy = wEnergy / 4.0;
+  m.writeLatency = wLatency;
+  m.functional = functional;
+
+  m.leakage = proposed_leakage(corner);
+  m.readTransistors = MultibitNvLatch::kReadTransistors;
+  m.areaUm2 = proposed_2bit_area_um2();
+  return m;
+}
+
+bool Characterizer::standard_power_cycle_ok(Corner corner, bool d) const {
+  const TechCorner tc = tech_.read_corner(corner);
+  PowerCycleTiming timing{};
+  auto inst = StandardNvLatch::build_power_cycle(tech_, tc, d, timing);
+
+  Trace trace;
+  trace.watch_node(inst.circuit, "out");
+  trace.watch_node(inst.circuit, "outb");
+  Simulator sim(inst.circuit);
+  TransientOptions opt;
+  opt.tStop = inst.tEnd;
+  opt.dt = timestep;
+  sim.transient(opt, trace.observer());
+
+  return logic_level(trace.value_at("out", inst.tEnd), tech_.vdd) == d &&
+         logic_level(trace.value_at("outb", inst.tEnd), tech_.vdd) == !d;
+}
+
+bool Characterizer::proposed_power_cycle_ok(Corner corner, bool d0, bool d1) const {
+  const TechCorner tc = tech_.read_corner(corner);
+  PowerCycleTiming timing{};
+  auto inst = MultibitNvLatch::build_power_cycle(tech_, tc, d0, d1, timing);
+
+  Trace trace;
+  trace.watch_node(inst.circuit, "out");
+  trace.watch_node(inst.circuit, "outb");
+  Simulator sim(inst.circuit);
+  TransientOptions opt;
+  opt.tStop = inst.tEnd;
+  opt.dt = timestep;
+  sim.transient(opt, trace.observer());
+
+  const bool ok0 =
+      logic_level(trace.value_at("out", inst.tCapture0), tech_.vdd) == d0;
+  const bool ok1 =
+      logic_level(trace.value_at("out", inst.tCapture1), tech_.vdd) == d1;
+  return ok0 && ok1;
+}
+
+} // namespace nvff::cell

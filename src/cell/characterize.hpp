@@ -1,0 +1,98 @@
+// Circuit-level characterization harness (paper Section IV-B, Table II).
+//
+// Runs the latch netlists through the analog engine and extracts the design
+// parameters the paper reports: read energy, read delay, leakage, write
+// energy/latency, transistor count, cell area. Measurement definitions:
+//
+//  * read energy    — energy delivered by VDD over one complete restore
+//                     sequence (precharge(s) + evaluation(s)) of ALL bits in
+//                     the design, averaged over the stored-data values.
+//  * read delay     — sense resolution time: sense-enable edge until the
+//                     resolving output crosses 10 % / 90 % of the rail. For
+//                     the 2-bit design the total is the SUM of the two
+//                     sequential per-bit resolutions (the paper's "~2x").
+//  * leakage        — VDD power at the DC operating point with every control
+//                     inactive and the supply on.
+//  * write energy   — VDD energy over the store window, all bits flipped.
+//  * write latency  — write-enable edge until the last MTJ commits its flip.
+//
+// Standard-design numbers follow the paper's Table II convention: one latch
+// is simulated and energy/leakage are doubled ("equal number of storage
+// bits"), while the delay is that of a single latch (the two 1-bit latches
+// restore in parallel).
+#pragma once
+
+#include "cell/layout.hpp"
+#include "cell/multibit_latch.hpp"
+#include "cell/standard_latch.hpp"
+#include "cell/technology.hpp"
+#include "util/rng.hpp"
+
+namespace nvff::cell {
+
+/// One Table II column (all values in SI units).
+struct LatchMetrics {
+  double readEnergy = 0.0;  ///< [J] per 2-bit restore
+  double readDelay = 0.0;   ///< [s] total restore resolution time
+  double leakage = 0.0;     ///< [W]
+  double writeEnergy = 0.0; ///< [J] per 2-bit store
+  double writeLatency = 0.0; ///< [s]
+  int readTransistors = 0;  ///< excluding write drivers
+  double areaUm2 = 0.0;     ///< layout-model footprint
+  bool functional = false;  ///< every simulated restore returned the data
+};
+
+/// Result of a single restore simulation.
+struct ReadResult {
+  double energy = 0.0;
+  double delay = 0.0;  ///< single-bit resolution (standard) / sum (2-bit)
+  bool correct = false;
+};
+
+/// Result of a single store simulation.
+struct WriteResult {
+  double energy = 0.0;
+  double latency = 0.0;
+  bool switched = false;
+};
+
+class Characterizer {
+public:
+  explicit Characterizer(Technology tech = Technology::table1());
+
+  const Technology& technology() const { return tech_; }
+
+  // --- single-scenario runs -------------------------------------------------
+  ReadResult standard_read(Corner corner, bool storedBit) const;
+  ReadResult proposed_read(Corner corner, bool d0, bool d1) const;
+  /// Variants taking an explicit device-parameter set (Monte-Carlo studies
+  /// inject sampled MTJ/CMOS parameters here). `mismatchRng`/`sigmaVth`
+  /// additionally inject per-transistor local Vth variation.
+  ReadResult standard_read_at(const TechCorner& tc, bool storedBit,
+                              Rng* mismatchRng = nullptr, double sigmaVth = 0.0) const;
+  ReadResult proposed_read_at(const TechCorner& tc, bool d0, bool d1,
+                              Rng* mismatchRng = nullptr, double sigmaVth = 0.0) const;
+  WriteResult standard_write(Corner corner, bool d) const;
+  WriteResult proposed_write(Corner corner, bool d0, bool d1) const;
+  double standard_leakage(Corner corner) const; ///< one latch [W]
+  double proposed_leakage(Corner corner) const; ///< [W]
+
+  // --- Table II rows ----------------------------------------------------------
+  /// Metrics of TWO standard 1-bit latches (2-bit equivalent).
+  LatchMetrics standard_pair(Corner corner) const;
+  /// Metrics of the proposed 2-bit latch.
+  LatchMetrics proposed_2bit(Corner corner) const;
+
+  /// Verifies a full store -> power-off -> wake -> restore cycle returns the
+  /// stored data. Returns true when the restored outputs match.
+  bool standard_power_cycle_ok(Corner corner, bool d) const;
+  bool proposed_power_cycle_ok(Corner corner, bool d0, bool d1) const;
+
+  /// Transient step used by all runs (tests may coarsen for speed).
+  double timestep = 2e-12;
+
+private:
+  Technology tech_;
+};
+
+} // namespace nvff::cell

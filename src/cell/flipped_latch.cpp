@@ -1,0 +1,171 @@
+#include "cell/flipped_latch.hpp"
+
+namespace nvff::cell {
+
+using spice::kGround;
+using spice::NodeId;
+using spice::Waveform;
+
+namespace {
+
+struct Controls {
+  ControlSignal pcg;  ///< GND pre-charge (active high)
+  ControlSignal renb; ///< header + T-gate enable, active low
+  ControlSignal ren;  ///< complement for the T-gate NMOS
+  ControlSignal wen;
+  ControlSignal wenb;
+  ControlSignal din;
+  ControlSignal dinb;
+
+  Controls(double vdd, double ramp, bool dataHigh)
+      : pcg(vdd, ramp, false),
+        renb(vdd, ramp, true),
+        ren(vdd, ramp, false),
+        wen(vdd, ramp, false),
+        wenb(vdd, ramp, true),
+        din(vdd, ramp, dataHigh),
+        dinb(vdd, ramp, !dataHigh) {}
+
+  void install(spice::Circuit& c) const {
+    pcg.install(c, "pcg");
+    renb.install(c, "renb");
+    ren.install(c, "ren");
+    wen.install(c, "wen");
+    wenb.install(c, "wenb");
+    din.install(c, "din");
+    dinb.install(c, "dinb");
+  }
+
+  void schedule_read(const ReadTiming& t) {
+    pcg.pulse(t.start, t.start + t.precharge);
+    ren.pulse(t.evalStart(), t.evalEnd());
+    renb.pulse_low(t.evalStart(), t.evalEnd());
+  }
+
+  void schedule_write(const WriteTiming& t) {
+    // Outputs pre-charged to GND during the store (mirrors the 2-bit cell's
+    // requirement: keeps the cross-coupled NMOS off while the write rails
+    // swing above them... here the write terminals sit beyond the T-gates,
+    // so the clamp simply parks the amplifier).
+    pcg.pulse(t.start - 2.0 * t.ramp, t.end() + 2.0 * t.ramp);
+    wen.pulse(t.start, t.end());
+    wenb.pulse_low(t.start, t.end());
+  }
+};
+
+struct CoreHandles {
+  mtj::MtjDevice* mtjOut;
+  mtj::MtjDevice* mtjOutb;
+};
+
+CoreHandles build_core(BuildContext& ctx, mtj::MtjOrientation stateOut,
+                       mtj::MtjOrientation stateOutb) {
+  spice::Circuit& c = *ctx.circuit;
+  const Technology& tech = *ctx.tech;
+  const TechCorner& corner = *ctx.corner;
+  const NodeId vdd = ctx.vdd;
+  const NodeId out = c.node("out");
+  const NodeId outb = c.node("outb");
+  const NodeId sp1 = c.node("sp1");
+  const NodeId sp2 = c.node("sp2");
+  const NodeId w1 = c.node("w1");
+  const NodeId w2 = c.node("w2");
+  const NodeId head = c.node("head");
+  const NodeId pcg = c.node("pcg");
+  const NodeId ren = c.node("ren");
+  const NodeId renb = c.node("renb");
+  const NodeId wen = c.node("wen");
+  const NodeId wenb = c.node("wenb");
+  const NodeId din = c.node("din");
+  const NodeId dinb = c.node("dinb");
+
+  // GND pre-charge pair.
+  c.add_nmos("Npc1", out, pcg, kGround, kGround, ctx.ngeom(tech.wPrecharge),
+             ctx.nparams());
+  c.add_nmos("Npc2", outb, pcg, kGround, kGround, ctx.ngeom(tech.wPrecharge),
+             ctx.nparams());
+  // Cross-coupled pair; NMOS sources tied straight to ground (the mirror of
+  // the standard latch's VDD-tied PMOS).
+  c.add_pmos("P1", out, outb, sp1, vdd, ctx.pgeom(tech.wSenseP), ctx.pparams());
+  c.add_pmos("P2", outb, out, sp2, vdd, ctx.pgeom(tech.wSenseP), ctx.pparams());
+  c.add_nmos("N1", out, outb, kGround, kGround, ctx.ngeom(tech.wSenseN),
+             ctx.nparams());
+  c.add_nmos("N2", outb, out, kGround, kGround, ctx.ngeom(tech.wSenseN),
+             ctx.nparams());
+  // Isolation T-gates between the PMOS sources and the MTJ/write terminals.
+  add_transmission_gate(ctx, "T1", sp1, w1, ren, renb);
+  add_transmission_gate(ctx, "T2", sp2, w2, ren, renb);
+  auto& mtjA = c.add_device<mtj::MtjDevice>("MTJa", w1, head,
+                                            mtj::MtjModel(corner.mtj), stateOut);
+  auto& mtjB = c.add_device<mtj::MtjDevice>("MTJb", w2, head,
+                                            mtj::MtjModel(corner.mtj), stateOutb);
+  // PMOS read header (paper: "read operation is enabled using a PMOS
+  // transistor based on the R_en signal").
+  c.add_pmos("Phead", head, renb, vdd, vdd, ctx.pgeom(tech.wEnable), ctx.pparams());
+  // Write drivers at the outer terminals.
+  add_tristate_inverter(ctx, "TI1", dinb, w1, wen, wenb);
+  add_tristate_inverter(ctx, "TI2", din, w2, wen, wenb);
+  c.add_capacitor("Cw.out", out, kGround, tech.cWire);
+  c.add_capacitor("Cw.outb", outb, kGround, tech.cWire);
+  return {&mtjA, &mtjB};
+}
+
+// D = 1 <=> MTJa = P (out charges faster).
+mtj::MtjOrientation out_state(bool d) {
+  return d ? mtj::MtjOrientation::Parallel : mtj::MtjOrientation::AntiParallel;
+}
+mtj::MtjOrientation outb_state(bool d) { return out_state(!d); }
+
+} // namespace
+
+FlippedLatchInstance FlippedNvLatch::build_read(const Technology& tech,
+                                                const TechCorner& corner,
+                                                bool storedBit,
+                                                const ReadTiming& timing) {
+  FlippedLatchInstance inst;
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  inst.circuit.add_vsource("VDD", ctx.vdd, kGround, Waveform::dc(tech.vdd));
+  const CoreHandles core = build_core(ctx, out_state(storedBit), outb_state(storedBit));
+  inst.mtjOut = core.mtjOut;
+  inst.mtjOutb = core.mtjOutb;
+  Controls ctl(tech.vdd, timing.ramp, false);
+  ctl.schedule_read(timing);
+  ctl.install(inst.circuit);
+  inst.tEvalStart = timing.evalStart();
+  inst.tEnd = timing.total();
+  return inst;
+}
+
+FlippedLatchInstance FlippedNvLatch::build_write(const Technology& tech,
+                                                 const TechCorner& corner, bool d,
+                                                 const WriteTiming& timing) {
+  FlippedLatchInstance inst;
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  inst.circuit.add_vsource("VDD", ctx.vdd, kGround, Waveform::dc(tech.vdd));
+  const CoreHandles core = build_core(ctx, out_state(!d), outb_state(!d));
+  inst.mtjOut = core.mtjOut;
+  inst.mtjOutb = core.mtjOutb;
+  Controls ctl(tech.vdd, timing.ramp, d);
+  ctl.schedule_write(timing);
+  ctl.install(inst.circuit);
+  inst.tEvalStart = timing.start;
+  inst.tEnd = timing.total();
+  return inst;
+}
+
+FlippedLatchInstance FlippedNvLatch::build_idle(const Technology& tech,
+                                                const TechCorner& corner) {
+  FlippedLatchInstance inst;
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  inst.circuit.add_vsource("VDD", ctx.vdd, kGround, Waveform::dc(tech.vdd));
+  const CoreHandles core = build_core(ctx, mtj::MtjOrientation::Parallel,
+                                      mtj::MtjOrientation::AntiParallel);
+  inst.mtjOut = core.mtjOut;
+  inst.mtjOutb = core.mtjOutb;
+  Controls ctl(tech.vdd, 20e-12, false);
+  ctl.install(inst.circuit);
+  inst.tEnd = 1e-9;
+  return inst;
+}
+
+} // namespace nvff::cell

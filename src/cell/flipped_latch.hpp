@@ -1,0 +1,63 @@
+// The "flipped" 1-bit NV latch of paper Fig. 4(a): the mirror image of the
+// standard latch, with the MTJ pair connected ABOVE the read component and a
+// PMOS header enabling the read.
+//
+//                 vdd
+//                  |
+//                 Phead (R_en, active low)
+//                  |
+//                 head
+//                /    \
+//             MTJa    MTJb        (free layers toward the write terminals)
+//              w1      w2         write terminals (tristate drivers)
+//              T1      T2         isolation transmission gates
+//              sp1     sp2        PMOS sources
+//               |       |
+//              P1       P2        cross-coupled PMOS
+//               |       |
+//              out     outb       (pre-charged to GND, charge race)
+//               |       |
+//              N1       N2        cross-coupled NMOS, sources at gnd
+//              gnd     gnd        + GND-precharge NMOS pair
+//
+// This is the building block the paper combines with the standard latch to
+// form the 2-bit cell (Fig. 4b): the 2-bit design is literally this upper
+// structure and the standard lower structure sharing one cross-coupled pair.
+// Read: pre-charge out/outb to GND, enable Phead + T-gates, and the charge
+// race through the MTJs resolves — the lower-resistance side rises first.
+// Stored bit convention: D = 1 <=> MTJa (out side) is P <=> out resolves 1.
+#pragma once
+
+#include "cell/latch_common.hpp"
+#include "cell/scenarios.hpp"
+#include "mtj/device.hpp"
+
+namespace nvff::cell {
+
+struct FlippedLatchInstance {
+  spice::Circuit circuit;
+  mtj::MtjDevice* mtjOut = nullptr;
+  mtj::MtjDevice* mtjOutb = nullptr;
+  double tEvalStart = 0.0;
+  double tEnd = 0.0;
+};
+
+/// Fig. 4(a) single-bit latch with the MTJs above the sense amplifier.
+class FlippedNvLatch {
+public:
+  /// Same read-path budget as the standard latch (11 transistors): 2 GND
+  /// pre-charge NMOS, 4 cross-coupled, 2x2 T-gates, 1 PMOS header.
+  static constexpr int kReadTransistors = 11;
+  static constexpr int kMtjCount = 2;
+
+  static FlippedLatchInstance build_read(const Technology& tech,
+                                         const TechCorner& corner, bool storedBit,
+                                         const ReadTiming& timing);
+  static FlippedLatchInstance build_write(const Technology& tech,
+                                          const TechCorner& corner, bool d,
+                                          const WriteTiming& timing);
+  static FlippedLatchInstance build_idle(const Technology& tech,
+                                         const TechCorner& corner);
+};
+
+} // namespace nvff::cell

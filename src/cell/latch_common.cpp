@@ -1,0 +1,61 @@
+#include "cell/latch_common.hpp"
+
+namespace nvff::cell {
+
+using spice::kGround;
+using spice::NodeId;
+
+void add_tristate_inverter(BuildContext& ctx, const std::string& prefix, NodeId in,
+                           NodeId out, NodeId en, NodeId enB) {
+  spice::Circuit& c = *ctx.circuit;
+  const NodeId pMid = c.node(prefix + ".pmid");
+  const NodeId nMid = c.node(prefix + ".nmid");
+  // Pull-up stack: input PMOS then enable PMOS (enB low = enabled).
+  c.add_pmos(prefix + ".PIN", pMid, in, ctx.vdd, ctx.vdd,
+             ctx.pgeom(ctx.tech->wWriteP), ctx.pparams());
+  c.add_pmos(prefix + ".PEN", out, enB, pMid, ctx.vdd,
+             ctx.pgeom(ctx.tech->wWriteP), ctx.pparams());
+  // Pull-down stack.
+  c.add_nmos(prefix + ".NEN", out, en, nMid, kGround,
+             ctx.ngeom(ctx.tech->wWriteN), ctx.nparams());
+  c.add_nmos(prefix + ".NIN", nMid, in, kGround, kGround,
+             ctx.ngeom(ctx.tech->wWriteN), ctx.nparams());
+}
+
+void add_transmission_gate(BuildContext& ctx, const std::string& prefix, NodeId a,
+                           NodeId b, NodeId ctl, NodeId ctlB) {
+  spice::Circuit& c = *ctx.circuit;
+  c.add_nmos(prefix + ".TN", a, ctl, b, kGround, ctx.ngeom(ctx.tech->wTgate),
+             ctx.nparams());
+  c.add_pmos(prefix + ".TP", a, ctlB, b, ctx.vdd, ctx.pgeom(ctx.tech->wTgate),
+             ctx.pparams());
+}
+
+ControlSignal::ControlSignal(double vdd, double rampTime, bool initialHigh)
+    : vdd_(vdd), ramp_(rampTime), lastHigh_(initialHigh) {
+  pwl_.add_point(0.0, initialHigh ? vdd_ : 0.0);
+}
+
+void ControlSignal::set_at(double t, bool high) {
+  if (high == lastHigh_) return;
+  pwl_.add_step(t, high ? vdd_ : 0.0, ramp_);
+  lastHigh_ = high;
+}
+
+void ControlSignal::pulse(double t0, double t1) {
+  set_at(t0, true);
+  set_at(t1, false);
+}
+
+void ControlSignal::pulse_low(double t0, double t1) {
+  set_at(t0, false);
+  set_at(t1, true);
+}
+
+spice::Waveform ControlSignal::waveform() const { return spice::Waveform::pwl(pwl_); }
+
+void ControlSignal::install(spice::Circuit& circuit, const std::string& name) const {
+  circuit.add_vsource("V" + name, circuit.node(name), kGround, waveform());
+}
+
+} // namespace nvff::cell

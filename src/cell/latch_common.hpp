@@ -1,0 +1,89 @@
+// Shared subcircuit builders for the NV latch netlists:
+// tristate write drivers, transmission gates, precharge devices, and the
+// PWL-based digital control-signal generator.
+#pragma once
+
+#include <string>
+
+#include "cell/technology.hpp"
+#include "spice/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace nvff::cell {
+
+/// Bundle of the state every latch builder needs.
+///
+/// When `mismatchRng` is set, every transistor's threshold voltage receives
+/// an independent gaussian offset of sigma `sigmaVthMismatch` — local (
+/// within-die) variation, the mechanism that limits sense-amplifier offset.
+/// Corner variation (global) is carried by `corner` as before.
+struct BuildContext {
+  spice::Circuit* circuit;
+  const Technology* tech;
+  const TechCorner* corner;
+  spice::NodeId vdd;
+  Rng* mismatchRng = nullptr;
+  double sigmaVthMismatch = 0.0; ///< [V], one sigma per device
+
+  spice::MosGeometry ngeom(double w) const { return {w, tech->lMin}; }
+  spice::MosGeometry pgeom(double w) const { return {w, tech->lMin}; }
+
+  /// Per-device parameter draws (identical to the corner set when no
+  /// mismatch source is attached).
+  spice::MosParams nparams() const {
+    spice::MosParams p = corner->nmos;
+    if (mismatchRng != nullptr && sigmaVthMismatch > 0.0) {
+      p.vth += mismatchRng->normal(0.0, sigmaVthMismatch);
+    }
+    return p;
+  }
+  spice::MosParams pparams() const {
+    spice::MosParams p = corner->pmos;
+    if (mismatchRng != nullptr && sigmaVthMismatch > 0.0) {
+      p.vth += mismatchRng->normal(0.0, sigmaVthMismatch);
+    }
+    return p;
+  }
+};
+
+/// Adds a tristate inverter: out = NOT(in) when en is high, Hi-Z otherwise.
+/// Structure (4 transistors): vdd - P(in) - P(enB) - out - N(en) - N(in) - gnd.
+void add_tristate_inverter(BuildContext& ctx, const std::string& prefix,
+                           spice::NodeId in, spice::NodeId out, spice::NodeId en,
+                           spice::NodeId enB);
+
+/// Adds a CMOS transmission gate between a and b; conducts when ctl is high
+/// (ctlB low). 2 transistors.
+void add_transmission_gate(BuildContext& ctx, const std::string& prefix,
+                           spice::NodeId a, spice::NodeId b, spice::NodeId ctl,
+                           spice::NodeId ctlB);
+
+/// Digital control signal described as ideal rail-to-rail steps with a short
+/// ramp; realized as a PWL voltage source driving a named node.
+class ControlSignal {
+public:
+  /// `initialHigh` sets the level before the first event.
+  ControlSignal(double vdd, double rampTime, bool initialHigh);
+
+  /// Schedules a level change at absolute time t.
+  void set_at(double t, bool high);
+
+  /// High during [t0, t1), returning to the previous level afterwards.
+  void pulse(double t0, double t1);
+  /// Low during [t0, t1).
+  void pulse_low(double t0, double t1);
+
+  /// Materializes the waveform.
+  spice::Waveform waveform() const;
+
+  /// Convenience: create the source in the circuit driving node `name`.
+  void install(spice::Circuit& circuit, const std::string& name) const;
+
+private:
+  double vdd_;
+  double ramp_;
+  spice::Pwl pwl_;
+  bool lastHigh_;
+};
+
+} // namespace nvff::cell

@@ -1,0 +1,62 @@
+#include "cell/layout.hpp"
+
+#include <sstream>
+
+namespace nvff::cell {
+
+CellLayout::CellLayout(std::string name, int transistors, int mtjs, LayoutParams params)
+    : name_(std::move(name)), transistors_(transistors), mtjs_(mtjs), params_(params) {}
+
+double CellLayout::height_um() const {
+  return params_.tracks * params_.trackPitchUm;
+}
+
+double CellLayout::width_um() const {
+  return columns() * params_.columnPitchUm + mtjs_ * params_.mtjPitchUm +
+         params_.overheadUm;
+}
+
+std::string CellLayout::track_map() const {
+  std::ostringstream out;
+  const int cols = columns();
+  const int mtjCols = mtjs_;
+  const int total = cols + mtjCols;
+  auto row = [&](const std::string& label, char device, char mtjGlyph) {
+    out << label;
+    for (int i = 0; i < cols; ++i) out << device;
+    for (int i = 0; i < mtjCols; ++i) out << mtjGlyph;
+    out << "|\n";
+  };
+  out << name_ << " (" << transistors_ << "T + " << mtjs_ << " MTJ, " << params_.tracks
+      << "-track)\n";
+  row("VDD  |", '=', '='); // power rail (M1)
+  row("pmos |", 'P', '.');
+  row("m2   |", '-', 'o'); // MTJ pillars land between M1 and M2
+  row("nmos |", 'N', '.');
+  row("GND  |", '=', '=');
+  out << "width " << width_um() << " um x height " << height_um() << " um = "
+      << area_um2() << " um^2\n";
+  return out.str();
+}
+
+CellLayout standard_1bit_layout() { return CellLayout("std_nv_1bit", 11, 2); }
+
+CellLayout proposed_2bit_layout() { return CellLayout("proposed_nv_2bit", 16, 4); }
+
+double standard_pair_area_um2(const LayoutParams& params) {
+  const CellLayout cell("std_nv_1bit", 11, 2, params);
+  return (2.0 * cell.width_um() + params.minSpacingUm) * cell.height_um();
+}
+
+double standard_per_bit_area_um2() { return standard_pair_area_um2() / 2.0; }
+
+double proposed_2bit_area_um2() { return proposed_2bit_layout().area_um2(); }
+
+double pairing_distance_threshold_um() {
+  // Twice the width of the standard NV component, plus the spacing margin —
+  // i.e. exactly the width budget a merged 2-bit cell may span (3.35 um).
+  const CellLayout cell = standard_1bit_layout();
+  return 2.0 * cell.width_um() + LayoutParams{}.minSpacingUm;
+}
+
+} // namespace nvff::cell

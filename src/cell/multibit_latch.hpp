@@ -1,0 +1,117 @@
+// The proposed 2-bit non-volatile shadow latch (paper Fig. 5).
+//
+// Topology (16 read-path transistors + 4 MTJs + 16 write transistors):
+//
+//                       vdd
+//                        |
+//                       P3  (upper read enable, gate p3b)
+//                        |
+//                      head
+//                     /      \
+//                  MTJ1      MTJ2        upper pair (bit D1)
+//                   sp1       sp2        upper write terminals
+//                    T1        T2        transmission gates (Ren)
+//                   p1s --P4-- p2s       P4 equalizer (lower read)
+//                    |          |
+//   vdd -Ppcv1-+    P1          P2    +-Ppcv2- vdd    VDD-precharge
+//              |     |          |     |
+//              +--- out        outb---+
+//              |     |          |     |
+//   gnd -Npcg1-+    N1          N2    +-Npcg2- gnd    GND-precharge
+//                    |          |
+//                   sn1 --N4-- sn2       N4 equalizer (upper read)
+//                  MTJ3      MTJ4        lower pair (bit D0)
+//                     \      /           (sn1/sn2 are the lower write
+//                      tail               terminals, no T-gates needed:
+//                       |                 out/outb are clamped to GND
+//                      N3 (Ren)           during the store so N1/N2 stay
+//                       |                 off)
+//                      gnd
+//
+// P1/P2/N1/N2 form the shared cross-coupled sense amplifier. The two bits
+// are restored sequentially: precharge out/outb to VDD and race the lower
+// discharge paths (bit D0), then precharge to GND and race the upper charge
+// paths (bit D1). That sequential reuse of one sense amplifier is the
+// paper's core idea; the two bits' write paths stay fully independent.
+//
+// Bit conventions:  D0 = 1 <=> MTJ3 = AP (out resolves high in phase 1)
+//                   D1 = 1 <=> MTJ1 = P  (out resolves high in phase 2)
+#pragma once
+
+#include "cell/latch_common.hpp"
+#include "cell/scenarios.hpp"
+#include "mtj/device.hpp"
+
+namespace nvff::cell {
+
+/// Restore sequence of both bits: two precharge+evaluate phases.
+struct TwoBitReadTiming {
+  ReadTiming phase{};       ///< shape of each phase
+  double interPhaseGap = 0.1e-9;
+
+  double phase0Start() const { return phase.start; }
+  double phase0EvalStart() const { return phase.evalStart(); }
+  double phase0End() const { return phase.evalEnd(); }
+  double phase1Start() const { return phase0End() + interPhaseGap; }
+  double phase1EvalStart() const { return phase1Start() + phase.precharge; }
+  double phase1End() const { return phase1EvalStart() + phase.evaluate; }
+  double total() const { return phase1End() + phase.gap; }
+};
+
+/// Control-generation scheme (paper Fig. 7): the explicit scheme exposes
+/// PC_VDD, PC_GND and SEL-class signals individually; the optimized scheme
+/// derives everything from a single PC plus Ren. Electrically the applied
+/// gate waveforms are the same; the difference is how many externally routed
+/// control nets toggle (measured by the Fig. 7 bench).
+enum class ControlScheme { ThreeSignal, OptimizedSinglePc };
+
+struct MultibitLatchInstance {
+  spice::Circuit circuit;
+  mtj::MtjDevice* mtj1 = nullptr; ///< upper pair, out side (D1)
+  mtj::MtjDevice* mtj2 = nullptr; ///< upper pair, outb side
+  mtj::MtjDevice* mtj3 = nullptr; ///< lower pair, out side (D0)
+  mtj::MtjDevice* mtj4 = nullptr; ///< lower pair, outb side
+  double tEval0Start = 0.0; ///< lower-bit sense enable
+  double tCapture0 = 0.0;   ///< when out == D0 is valid
+  double tEval1Start = 0.0; ///< upper-bit sense enable
+  double tCapture1 = 0.0;   ///< when out == D1 is valid
+  double tEnd = 0.0;
+
+  static constexpr const char* kOut = "out";
+  static constexpr const char* kOutb = "outb";
+  static constexpr const char* kVdd = "VDD";
+};
+
+class MultibitNvLatch {
+public:
+  static constexpr int kReadTransistors = 16; ///< paper Table II
+  static constexpr int kWriteTransistors = 16; ///< four tristate inverters
+  static constexpr int kMtjCount = 4;
+
+  /// Restore scenario: MTJs preset to hold (d0, d1); sequential 2-bit read.
+  /// `mismatchRng`/`sigmaVth` inject per-transistor local Vth variation
+  /// (sense-amplifier offset studies); nullptr disables mismatch.
+  static MultibitLatchInstance build_read(const Technology& tech,
+                                          const TechCorner& corner, bool d0, bool d1,
+                                          const TwoBitReadTiming& timing,
+                                          ControlScheme scheme = ControlScheme::OptimizedSinglePc,
+                                          Rng* mismatchRng = nullptr,
+                                          double sigmaVth = 0.0);
+
+  /// Store scenario: write (d0, d1) in parallel from the opposite states.
+  static MultibitLatchInstance build_write(const Technology& tech,
+                                           const TechCorner& corner, bool d0, bool d1,
+                                           const WriteTiming& timing);
+
+  /// Idle scenario for leakage measurement.
+  static MultibitLatchInstance build_idle(const Technology& tech,
+                                          const TechCorner& corner);
+
+  /// Full normally-off cycle for both bits.
+  static MultibitLatchInstance build_power_cycle(const Technology& tech,
+                                                 const TechCorner& corner, bool d0,
+                                                 bool d1,
+                                                 const PowerCycleTiming& timing);
+};
+
+} // namespace nvff::cell

@@ -1,0 +1,350 @@
+#include "cell/scalable_latch.hpp"
+
+#include <stdexcept>
+
+#include "cell/layout.hpp"
+#include "spice/analysis.hpp"
+#include "spice/trace.hpp"
+#include "util/strings.hpp"
+
+namespace nvff::cell {
+
+using spice::kGround;
+using spice::NodeId;
+using spice::Waveform;
+
+namespace {
+
+struct ScalableControls {
+  ControlSignal pcvb;
+  ControlSignal pcg;
+  ControlSignal p4b;
+  ControlSignal n4;
+  ControlSignal wen;
+  ControlSignal wenb;
+  std::vector<ControlSignal> selLo;  ///< per lower pair
+  std::vector<ControlSignal> selUp;  ///< per upper pair
+  std::vector<ControlSignal> selUpB; ///< complements (T-gate PMOS + P3 gates)
+  std::vector<ControlSignal> data;   ///< per bit
+  std::vector<ControlSignal> dataB;
+
+  ScalableControls(double vdd, double ramp, const std::vector<bool>& bits,
+                   std::size_t lower, std::size_t upper)
+      : pcvb(vdd, ramp, true),
+        pcg(vdd, ramp, false),
+        p4b(vdd, ramp, true),
+        n4(vdd, ramp, false),
+        wen(vdd, ramp, false),
+        wenb(vdd, ramp, true) {
+    for (std::size_t k = 0; k < lower; ++k) selLo.emplace_back(vdd, ramp, false);
+    for (std::size_t j = 0; j < upper; ++j) {
+      selUp.emplace_back(vdd, ramp, false);
+      selUpB.emplace_back(vdd, ramp, true);
+    }
+    for (bool b : bits) {
+      data.emplace_back(vdd, ramp, b);
+      dataB.emplace_back(vdd, ramp, !b);
+    }
+  }
+
+  void install(spice::Circuit& c) const {
+    pcvb.install(c, "pcvb");
+    pcg.install(c, "pcg");
+    p4b.install(c, "p4b");
+    n4.install(c, "n4");
+    wen.install(c, "wen");
+    wenb.install(c, "wenb");
+    for (std::size_t k = 0; k < selLo.size(); ++k) {
+      selLo[k].install(c, format("sel_lo%zu", k));
+    }
+    for (std::size_t j = 0; j < selUp.size(); ++j) {
+      selUp[j].install(c, format("sel_up%zu", j));
+      selUpB[j].install(c, format("sel_up%zub", j));
+    }
+    for (std::size_t b = 0; b < data.size(); ++b) {
+      data[b].install(c, format("d%zu", b));
+      dataB[b].install(c, format("d%zub", b));
+    }
+  }
+};
+
+mtj::MtjOrientation lower_true_state(bool d) {
+  return d ? mtj::MtjOrientation::AntiParallel : mtj::MtjOrientation::Parallel;
+}
+mtj::MtjOrientation upper_true_state(bool d) {
+  return d ? mtj::MtjOrientation::Parallel : mtj::MtjOrientation::AntiParallel;
+}
+mtj::MtjOrientation flip(mtj::MtjOrientation s) {
+  return s == mtj::MtjOrientation::Parallel ? mtj::MtjOrientation::AntiParallel
+                                            : mtj::MtjOrientation::Parallel;
+}
+
+/// Builds the N-bit netlist. `data` selects MTJ preset states (complemented
+/// when `presetComplement` — write scenarios start from the opposite data).
+void build_scalable(BuildContext& ctx, ScalableLatchInstance& inst,
+                    const std::vector<bool>& data, bool presetComplement) {
+  spice::Circuit& c = *ctx.circuit;
+  const Technology& tech = *ctx.tech;
+  const TechCorner& corner = *ctx.corner;
+  const NodeId vdd = ctx.vdd;
+  const std::size_t bits = data.size();
+  const std::size_t lower = bits / 2;
+  const std::size_t upper = bits - lower;
+
+  const NodeId out = c.node("out");
+  const NodeId outb = c.node("outb");
+  const NodeId p1s = c.node("p1s");
+  const NodeId p2s = c.node("p2s");
+  const NodeId sn1 = c.node("sn1");
+  const NodeId sn2 = c.node("sn2");
+  const NodeId pcvb = c.node("pcvb");
+  const NodeId pcg = c.node("pcg");
+  const NodeId p4b = c.node("p4b");
+  const NodeId n4 = c.node("n4");
+  const NodeId wen = c.node("wen");
+  const NodeId wenb = c.node("wenb");
+
+  // Shared core.
+  c.add_pmos("Ppcv1", out, pcvb, vdd, vdd, ctx.pgeom(tech.wPrecharge), ctx.pparams());
+  c.add_pmos("Ppcv2", outb, pcvb, vdd, vdd, ctx.pgeom(tech.wPrecharge), ctx.pparams());
+  c.add_nmos("Npcg1", out, pcg, kGround, kGround, ctx.ngeom(tech.wPrecharge),
+             ctx.nparams());
+  c.add_nmos("Npcg2", outb, pcg, kGround, kGround, ctx.ngeom(tech.wPrecharge),
+             ctx.nparams());
+  c.add_pmos("P1", out, outb, p1s, vdd, ctx.pgeom(tech.wSenseP), ctx.pparams());
+  c.add_pmos("P2", outb, out, p2s, vdd, ctx.pgeom(tech.wSenseP), ctx.pparams());
+  c.add_nmos("N1", out, outb, sn1, kGround, ctx.ngeom(tech.wSenseN), ctx.nparams());
+  c.add_nmos("N2", outb, out, sn2, kGround, ctx.ngeom(tech.wSenseN), ctx.nparams());
+  c.add_pmos("P4", p1s, p4b, p2s, vdd, ctx.pgeom(tech.wEqualizer), ctx.pparams());
+  c.add_nmos("N4", sn1, n4, sn2, kGround, ctx.ngeom(tech.wEqualizer), ctx.nparams());
+  c.add_capacitor("Cw.out", out, kGround, tech.cWire);
+  c.add_capacitor("Cw.outb", outb, kGround, tech.cWire);
+
+  inst.mtjs.resize(bits);
+
+  // Lower pairs (bits 0 .. lower-1).
+  for (std::size_t k = 0; k < lower; ++k) {
+    const bool d = presetComplement ? !data[k] : data[k];
+    const NodeId w3 = c.node(format("w3_%zu", k));
+    const NodeId w4 = c.node(format("w4_%zu", k));
+    const NodeId tail = c.node(format("tail_%zu", k));
+    const NodeId sel = c.node(format("sel_lo%zu", k));
+    c.add_nmos(format("SN1_%zu", k), sn1, sel, w3, kGround, ctx.ngeom(tech.wTgate),
+               ctx.nparams());
+    c.add_nmos(format("SN2_%zu", k), sn2, sel, w4, kGround, ctx.ngeom(tech.wTgate),
+               ctx.nparams());
+    auto& mtjT = c.add_device<mtj::MtjDevice>(format("MTJ3_%zu", k), w3, tail,
+                                              mtj::MtjModel(corner.mtj),
+                                              lower_true_state(d));
+    auto& mtjC = c.add_device<mtj::MtjDevice>(format("MTJ4_%zu", k), w4, tail,
+                                              mtj::MtjModel(corner.mtj),
+                                              flip(lower_true_state(d)));
+    c.add_nmos(format("N3_%zu", k), tail, sel, kGround, kGround,
+               ctx.ngeom(tech.wEnable), ctx.nparams());
+    // Independent write drivers.
+    add_tristate_inverter(ctx, format("TI3_%zu", k), c.node(format("d%zu", k)), w3,
+                          wen, wenb);
+    add_tristate_inverter(ctx, format("TI4_%zu", k), c.node(format("d%zub", k)), w4,
+                          wen, wenb);
+    inst.mtjs[k] = {&mtjT, &mtjC};
+  }
+
+  // Upper pairs (bits lower .. bits-1).
+  for (std::size_t j = 0; j < upper; ++j) {
+    const std::size_t bit = lower + j;
+    const bool d = presetComplement ? !data[bit] : data[bit];
+    const NodeId sp1 = c.node(format("sp1_%zu", j));
+    const NodeId sp2 = c.node(format("sp2_%zu", j));
+    const NodeId head = c.node(format("head_%zu", j));
+    const NodeId sel = c.node(format("sel_up%zu", j));
+    const NodeId selb = c.node(format("sel_up%zub", j));
+    add_transmission_gate(ctx, format("T1_%zu", j), p1s, sp1, sel, selb);
+    add_transmission_gate(ctx, format("T2_%zu", j), p2s, sp2, sel, selb);
+    auto& mtjT = c.add_device<mtj::MtjDevice>(format("MTJ1_%zu", j), sp1, head,
+                                              mtj::MtjModel(corner.mtj),
+                                              upper_true_state(d));
+    auto& mtjC = c.add_device<mtj::MtjDevice>(format("MTJ2_%zu", j), sp2, head,
+                                              mtj::MtjModel(corner.mtj),
+                                              flip(upper_true_state(d)));
+    c.add_pmos(format("P3_%zu", j), head, selb, vdd, vdd, ctx.pgeom(tech.wEnable),
+               ctx.pparams());
+    add_tristate_inverter(ctx, format("TI1_%zu", j), c.node(format("d%zub", bit)),
+                          sp1, wen, wenb);
+    add_tristate_inverter(ctx, format("TI2_%zu", j), c.node(format("d%zu", bit)),
+                          sp2, wen, wenb);
+    inst.mtjs[bit] = {&mtjT, &mtjC};
+  }
+}
+
+void validate_bits(const std::vector<bool>& data) {
+  if (data.size() < 2 || data.size() % 2 != 0) {
+    throw std::invalid_argument("ScalableNvLatch: bits must be even and >= 2");
+  }
+}
+
+} // namespace
+
+ScalableLatchInstance ScalableNvLatch::build_read(const Technology& tech,
+                                                  const TechCorner& corner,
+                                                  const std::vector<bool>& data,
+                                                  const ReadTiming& phase) {
+  validate_bits(data);
+  ScalableLatchInstance inst;
+  inst.bits = static_cast<int>(data.size());
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  inst.circuit.add_vsource("VDD", ctx.vdd, kGround, Waveform::dc(tech.vdd));
+  build_scalable(ctx, inst, data, /*presetComplement=*/false);
+
+  const std::size_t bits = data.size();
+  const std::size_t lower = bits / 2;
+  const std::size_t upper = bits - lower;
+  const double gap = 0.1e-9;
+  const double phaseLen = phase.precharge + phase.evaluate + gap;
+
+  ScalableControls ctl(tech.vdd, phase.ramp, data, lower, upper);
+  double t = phase.start;
+  inst.evalStart.resize(bits);
+  inst.captureAt.resize(bits);
+  // Lower phases: VDD precharge + discharge race per pair.
+  for (std::size_t k = 0; k < lower; ++k) {
+    ctl.pcvb.pulse_low(t, t + phase.precharge);
+    const double evalStart = t + phase.precharge;
+    const double evalEnd = evalStart + phase.evaluate;
+    ctl.selLo[k].pulse(evalStart, evalEnd);
+    ctl.p4b.pulse_low(evalStart, evalEnd);
+    inst.evalStart[k] = evalStart;
+    inst.captureAt[k] = evalEnd;
+    t += phaseLen;
+  }
+  // Upper phases: GND precharge + charge race; lower pair 0 supplies the
+  // regeneration pull-down path (equalized by N4), mirroring the 2-bit cell.
+  for (std::size_t j = 0; j < upper; ++j) {
+    ctl.pcg.pulse(t, t + phase.precharge);
+    const double evalStart = t + phase.precharge;
+    const double evalEnd = evalStart + phase.evaluate;
+    ctl.selUp[j].pulse(evalStart, evalEnd);
+    ctl.selUpB[j].pulse_low(evalStart, evalEnd);
+    ctl.selLo[0].pulse(evalStart, evalEnd);
+    ctl.n4.pulse(evalStart, evalEnd);
+    inst.evalStart[lower + j] = evalStart;
+    inst.captureAt[lower + j] = evalEnd;
+    t += phaseLen;
+  }
+  ctl.install(inst.circuit);
+  inst.tEnd = t + phase.gap;
+  return inst;
+}
+
+ScalableLatchInstance ScalableNvLatch::build_write(const Technology& tech,
+                                                   const TechCorner& corner,
+                                                   const std::vector<bool>& data,
+                                                   const WriteTiming& timing) {
+  validate_bits(data);
+  ScalableLatchInstance inst;
+  inst.bits = static_cast<int>(data.size());
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  inst.circuit.add_vsource("VDD", ctx.vdd, kGround, Waveform::dc(tech.vdd));
+  build_scalable(ctx, inst, data, /*presetComplement=*/true);
+
+  const std::size_t bits = data.size();
+  ScalableControls ctl(tech.vdd, timing.ramp, data, bits / 2, bits - bits / 2);
+  ctl.pcg.pulse(timing.start - 2 * timing.ramp, timing.end() + 2 * timing.ramp);
+  ctl.wen.pulse(timing.start, timing.end());
+  ctl.wenb.pulse_low(timing.start, timing.end());
+  ctl.install(inst.circuit);
+  inst.tEnd = timing.total();
+  return inst;
+}
+
+ScalableLatchInstance ScalableNvLatch::build_idle(const Technology& tech,
+                                                  const TechCorner& corner, int bits) {
+  std::vector<bool> data(static_cast<std::size_t>(bits), false);
+  for (std::size_t i = 0; i < data.size(); i += 2) data[i] = true;
+  validate_bits(data);
+  ScalableLatchInstance inst;
+  inst.bits = bits;
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  inst.circuit.add_vsource("VDD", ctx.vdd, kGround, Waveform::dc(tech.vdd));
+  build_scalable(ctx, inst, data, false);
+  ScalableControls ctl(tech.vdd, 20e-12, data, data.size() / 2,
+                       data.size() - data.size() / 2);
+  ctl.install(inst.circuit);
+  inst.tEnd = 1e-9;
+  return inst;
+}
+
+ScalableMetrics characterize_scalable(const Technology& tech, Corner corner, int bits,
+                                      double timestep) {
+  const TechCorner readTc = tech.read_corner(corner);
+  const TechCorner leakTc = tech.leakage_corner(corner);
+  ScalableMetrics m;
+  m.bits = bits;
+  m.readTransistors = scalable_read_transistors(bits);
+  m.areaUm2 =
+      CellLayout(format("scalable_%dbit", bits), m.readTransistors,
+                 scalable_mtj_count(bits))
+          .area_um2();
+
+  // Two data patterns: alternating and all-ones.
+  std::vector<std::vector<bool>> patterns;
+  {
+    std::vector<bool> alt(static_cast<std::size_t>(bits));
+    for (std::size_t i = 0; i < alt.size(); ++i) alt[i] = (i % 2) == 0;
+    patterns.push_back(alt);
+    patterns.push_back(std::vector<bool>(static_cast<std::size_t>(bits), true));
+  }
+
+  bool functional = true;
+  double energy = 0.0;
+  double delay = 0.0;
+  double wall = 0.0;
+  for (const auto& data : patterns) {
+    ReadTiming phase{};
+    auto inst = ScalableNvLatch::build_read(tech, readTc, data, phase);
+    spice::Trace trace;
+    trace.watch_node(inst.circuit, "out");
+    trace.watch_node(inst.circuit, "outb");
+    spice::SupplyEnergyMeter meter(inst.circuit, "VDD");
+    spice::Simulator sim(inst.circuit);
+    spice::TransientOptions opt;
+    opt.tStop = inst.tEnd;
+    opt.dt = timestep;
+    auto obs = trace.observer();
+    spice::Solution zero(std::vector<double>(inst.circuit.num_unknowns(), 0.0),
+                         inst.circuit.num_nodes());
+    sim.transient_from(zero, opt,
+                       [&](double t, const spice::Solution& s) {
+                         obs(t, s);
+                         meter.observe(t, s);
+                       });
+    energy += meter.energy();
+    wall += inst.tEnd - phase.start;
+    const std::size_t lower = data.size() / 2;
+    for (std::size_t b = 0; b < data.size(); ++b) {
+      const bool isLower = b < lower;
+      // Lower: discharge race (falling side resolves); upper: charge race.
+      const std::string resolving =
+          isLower ? (data[b] ? "outb" : "out") : (data[b] ? "out" : "outb");
+      const auto tCross = trace.crossing_time(
+          resolving, isLower ? 0.1 * tech.vdd : 0.9 * tech.vdd,
+          isLower ? spice::Edge::Falling : spice::Edge::Rising, inst.evalStart[b]);
+      if (tCross) delay += *tCross - inst.evalStart[b];
+      const bool got = trace.value_at("out", inst.captureAt[b]) > tech.vdd / 2;
+      functional = functional && (got == data[b]);
+    }
+  }
+  m.readEnergy = energy / static_cast<double>(patterns.size());
+  m.readDelayTotal = delay / static_cast<double>(patterns.size());
+  m.restoreWallClock = wall / static_cast<double>(patterns.size());
+  m.functional = functional;
+
+  auto idle = ScalableNvLatch::build_idle(tech, leakTc, bits);
+  spice::Simulator sim(idle.circuit);
+  const auto op = sim.dc_operating_point();
+  const auto* vddSrc =
+      dynamic_cast<const spice::VoltageSource*>(idle.circuit.find_device("VDD"));
+  m.leakage = vddSrc->delivered_current(op.as_state()) * tech.vdd;
+  return m;
+}
+
+} // namespace nvff::cell

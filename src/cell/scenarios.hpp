@@ -1,0 +1,51 @@
+// Timing descriptions of the store / restore / power-cycle scenarios the
+// characterization harness runs on the latch netlists. All times absolute
+// seconds from simulation start.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace nvff::cell {
+
+/// Store (write) phase timing.
+struct WriteTiming {
+  double start = 0.5e-9;    ///< write-enable rise
+  double duration = 4.0e-9; ///< enable width (worst-corner switching + margin)
+  double tail = 0.5e-9;     ///< quiet time after the write
+  double ramp = 20e-12;     ///< control edge rate
+
+  double end() const { return start + duration; }
+  double total() const { return end() + tail; }
+};
+
+/// Restore (read) phase timing for one sense operation.
+struct ReadTiming {
+  double start = 0.2e-9;      ///< precharge begins
+  double precharge = 0.25e-9; ///< precharge width
+  double evaluate = 0.4e-9;   ///< sense window (short: the 2-bit lower read
+                              ///< holds its winning output dynamically)
+  double gap = 0.1e-9;        ///< quiet tail
+  double ramp = 20e-12;
+
+  double evalStart() const { return start + precharge; }
+  double evalEnd() const { return evalStart() + evaluate; }
+  double total() const { return evalEnd() + gap; }
+};
+
+/// Full normally-off cycle: store, power-gate, wake, restore.
+struct PowerCycleTiming {
+  WriteTiming write{};
+  double offRamp = 0.5e-9;  ///< supply collapse time
+  double offDuration = 10e-9; ///< gated interval (arbitrary; zero leakage)
+  double onRamp = 0.5e-9;   ///< supply restore time
+  double wakeSettle = 1.0e-9; ///< settle before the read sequence starts
+  ReadTiming read{}; ///< interpreted relative to wake completion
+
+  double offStart() const { return write.total(); }
+  double onStart() const { return offStart() + offRamp + offDuration; }
+  double wakeDone() const { return onStart() + onRamp + wakeSettle; }
+  double readStartAbs() const { return wakeDone() + read.start; }
+  double total() const { return wakeDone() + read.total(); }
+};
+
+} // namespace nvff::cell

@@ -1,0 +1,156 @@
+#include "cell/spice_deck.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "mtj/device.hpp"
+#include "util/strings.hpp"
+
+namespace nvff::cell {
+
+using spice::Capacitor;
+using spice::Circuit;
+using spice::CurrentSource;
+using spice::Mosfet;
+using spice::NodeId;
+using spice::Resistor;
+using spice::VoltageSource;
+
+namespace {
+
+std::string node_name(const Circuit& c, NodeId n) {
+  return n == spice::kGround ? "0" : c.node_name(n);
+}
+
+std::string safe(const std::string& s) {
+  std::string out = s;
+  for (char& ch : out) {
+    if (ch == '.' || ch == ' ') ch = '_';
+  }
+  return out;
+}
+
+/// SPICE source expression for a waveform. DC values inline; PWL/pulse
+/// expanded; the Waveform interface exposes value(t), so PWL points are
+/// sampled from the authoritative representation where available.
+std::string source_expr(const spice::Waveform& w) {
+  // Sample-based PWL reconstruction: 41 points across the active window is
+  // exact for our step-built control signals (their ramps are linear).
+  const double active = w.active_until();
+  if (active <= 0.0) return format("DC %g", w.value(0.0));
+  std::ostringstream out;
+  out << "PWL(";
+  const int points = 80;
+  for (int i = 0; i <= points; ++i) {
+    const double t = active * static_cast<double>(i) / points;
+    out << format("%g %g ", t, w.value(t));
+  }
+  out << ")";
+  return out.str();
+}
+
+/// One .model card per distinct MOSFET parameter set.
+class ModelRegistry {
+public:
+  std::string model_for(const Mosfet& fet) {
+    const auto key = std::make_tuple(fet.type() == spice::MosType::Nmos,
+                                     fet.params().vth, fet.params().kp,
+                                     fet.params().lambda);
+    auto it = names_.find(key);
+    if (it != names_.end()) return it->second;
+    const std::string name =
+        format("%s%zu", fet.type() == spice::MosType::Nmos ? "nch" : "pch",
+               names_.size());
+    names_.emplace(key, name);
+    cards_ << format(
+        ".model %s %s (LEVEL=1 VTO=%g KP=%g LAMBDA=%g)\n", name.c_str(),
+        fet.type() == spice::MosType::Nmos ? "NMOS" : "PMOS",
+        fet.type() == spice::MosType::Nmos ? fet.params().vth : -fet.params().vth,
+        fet.params().kp, fet.params().lambda);
+    cards_ << format("* ^ EKV approx: n=%g tempK=%g\n", fet.params().n,
+                     fet.params().tempK);
+    return name;
+  }
+  std::string cards() const { return cards_.str(); }
+
+private:
+  std::map<std::tuple<bool, double, double, double>, std::string> names_;
+  std::ostringstream cards_;
+};
+
+} // namespace
+
+std::string to_spice_deck(const Circuit& circuit, const SpiceDeckOptions& options) {
+  std::ostringstream body;
+  ModelRegistry models;
+  std::size_t anon = 0;
+
+  for (const auto& devicePtr : circuit.devices()) {
+    const spice::Device* device = devicePtr.get();
+    const std::string id = safe(device->name());
+    if (const auto* r = dynamic_cast<const Resistor*>(device)) {
+      body << format("R%s %s %s %g\n", id.c_str(),
+                     node_name(circuit, r->node_a()).c_str(),
+                     node_name(circuit, r->node_b()).c_str(), r->resistance());
+    } else if (const auto* c = dynamic_cast<const Capacitor*>(device)) {
+      body << format("C%s %s %s %g\n", id.c_str(),
+                     node_name(circuit, c->node_a()).c_str(),
+                     node_name(circuit, c->node_b()).c_str(), c->capacitance());
+    } else if (const auto* v = dynamic_cast<const VoltageSource*>(device)) {
+      body << format("V%s %s %s %s\n", id.c_str(),
+                     node_name(circuit, v->plus()).c_str(),
+                     node_name(circuit, v->minus()).c_str(),
+                     source_expr(v->waveform()).c_str());
+    } else if (const auto* i = dynamic_cast<const CurrentSource*>(device)) {
+      body << format("I%s %s %s %s\n", id.c_str(),
+                     node_name(circuit, i->from()).c_str(),
+                     node_name(circuit, i->to()).c_str(),
+                     source_expr(i->waveform()).c_str());
+    } else if (const auto* m = dynamic_cast<const Mosfet*>(device)) {
+      body << format("M%s %s %s %s %s %s W=%g L=%g\n", id.c_str(),
+                     node_name(circuit, m->drain()).c_str(),
+                     node_name(circuit, m->gate()).c_str(),
+                     node_name(circuit, m->source()).c_str(),
+                     node_name(circuit, m->bulk()).c_str(),
+                     models.model_for(*m).c_str(), m->geometry().w,
+                     m->geometry().l);
+    } else if (const auto* x = dynamic_cast<const mtj::MtjDevice*>(device)) {
+      const double r0 = x->model().resistance(
+          x->orientation() == mtj::MtjOrientation::Parallel
+              ? mtj::MtjOrientation::Parallel
+              : mtj::MtjOrientation::AntiParallel,
+          0.0);
+      body << format("R%s %s %s %g\n", id.c_str(),
+                     node_name(circuit, x->free_node()).c_str(),
+                     node_name(circuit, x->ref_node()).c_str(), r0);
+      body << format(
+          "* ^ MTJ %s state=%s Rp=%g Rap=%g Ic=%g Isw=%g (switching dynamics "
+          "not exported)\n",
+          id.c_str(),
+          x->orientation() == mtj::MtjOrientation::Parallel ? "P" : "AP",
+          x->model().params().rParallel, x->model().params().rAntiParallel,
+          x->model().params().iCritical, x->model().params().iSwitching);
+    } else {
+      body << format("* device %s (%zu) not exportable\n", id.c_str(), anon++);
+    }
+  }
+
+  std::ostringstream out;
+  out << "* " << options.title << "\n";
+  out << models.cards();
+  out << body.str();
+  out << format(".tran %g %g\n", options.tStepSeconds, options.tStopSeconds);
+  out << ".end\n";
+  return out.str();
+}
+
+void save_spice_deck(const Circuit& circuit, const std::string& path,
+                     const SpiceDeckOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write SPICE deck: " + path);
+  out << to_spice_deck(circuit, options);
+}
+
+} // namespace nvff::cell

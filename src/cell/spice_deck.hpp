@@ -1,0 +1,31 @@
+// SPICE deck export: serializes a Circuit (including the MTJ devices) as a
+// .sp netlist so the latch designs can be inspected, archived, or
+// cross-checked in an external simulator.
+//
+// MOSFETs are emitted against LEVEL=1 .model cards approximating the EKV
+// parameters (VTO/KP/LAMBDA); MTJs become resistors at their current
+// orientation's zero-bias value, with the full compact-model parameters in
+// comments (external simulators lack the switching dynamics). The deck is
+// therefore a faithful DC/small-transient view, not a bit-switching one.
+#pragma once
+
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace nvff::cell {
+
+struct SpiceDeckOptions {
+  std::string title = "nvff export";
+  double tStopSeconds = 5e-9; ///< .tran horizon
+  double tStepSeconds = 2e-12;
+};
+
+/// Serializes every device of the circuit into SPICE netlist text.
+std::string to_spice_deck(const spice::Circuit& circuit,
+                          const SpiceDeckOptions& options = {});
+
+void save_spice_deck(const spice::Circuit& circuit, const std::string& path,
+                     const SpiceDeckOptions& options = {});
+
+} // namespace nvff::cell

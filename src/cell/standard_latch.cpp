@@ -1,0 +1,221 @@
+#include "cell/standard_latch.hpp"
+
+namespace nvff::cell {
+
+using spice::kGround;
+using spice::NodeId;
+using spice::Waveform;
+
+namespace {
+
+/// Control levels of one standard-latch scenario, expressed as signals.
+struct Controls {
+  ControlSignal pcb;  ///< precharge-bar (low = precharge out/outb to VDD)
+  ControlSignal sen;  ///< sense-enable footer
+  ControlSignal tg;   ///< transmission gates (tgb derived)
+  ControlSignal tgb;
+  ControlSignal wen;  ///< write enable (wenb derived)
+  ControlSignal wenb;
+  ControlSignal din;  ///< write data (dinb derived)
+  ControlSignal dinb;
+
+  Controls(double vdd, double ramp, bool dataHigh)
+      : pcb(vdd, ramp, true),
+        sen(vdd, ramp, false),
+        tg(vdd, ramp, false),
+        tgb(vdd, ramp, true),
+        wen(vdd, ramp, false),
+        wenb(vdd, ramp, true),
+        din(vdd, ramp, dataHigh),
+        dinb(vdd, ramp, !dataHigh) {}
+
+  void install(spice::Circuit& c) const {
+    pcb.install(c, "pcb");
+    sen.install(c, "sen");
+    tg.install(c, "tg");
+    tgb.install(c, "tgb");
+    wen.install(c, "wen");
+    wenb.install(c, "wenb");
+    din.install(c, "din");
+    dinb.install(c, "dinb");
+  }
+
+  /// Schedules a precharge + evaluate sequence starting at timing.start
+  /// (+offset for power-cycle scenarios).
+  void schedule_read(const ReadTiming& t, double offset = 0.0) {
+    pcb.pulse_low(offset + t.start, offset + t.start + t.precharge);
+    sen.pulse(offset + t.evalStart(), offset + t.evalEnd());
+    tg.pulse(offset + t.evalStart(), offset + t.evalEnd());
+    tgb.pulse_low(offset + t.evalStart(), offset + t.evalEnd());
+  }
+
+  void schedule_write(const WriteTiming& t) {
+    wen.pulse(t.start, t.end());
+    wenb.pulse_low(t.start, t.end());
+  }
+
+  /// Drops every control to ground while the supply is collapsed (the
+  /// control logic is inside the power-gated domain).
+  void schedule_power_gap(double tOff, double tOn) {
+    for (ControlSignal* s : {&pcb, &tgb, &wenb, &dinb}) {
+      s->set_at(tOff, false);
+      s->set_at(tOn, true);
+    }
+    // Active-high signals are already low in idle; din returns to its level.
+  }
+};
+
+/// Builds the latch netlist (devices only; control sources installed by the
+/// caller). Returns the two MTJ device pointers.
+struct CoreHandles {
+  mtj::MtjDevice* mtjOut;
+  mtj::MtjDevice* mtjOutb;
+};
+
+CoreHandles build_core(BuildContext& ctx, mtj::MtjOrientation stateOut,
+                       mtj::MtjOrientation stateOutb) {
+  spice::Circuit& c = *ctx.circuit;
+  const Technology& tech = *ctx.tech;
+  const TechCorner& corner = *ctx.corner;
+  const NodeId vdd = ctx.vdd;
+  const NodeId out = c.node("out");
+  const NodeId outb = c.node("outb");
+  const NodeId sn1 = c.node("sn1");
+  const NodeId sn2 = c.node("sn2");
+  const NodeId w1 = c.node("w1");
+  const NodeId w2 = c.node("w2");
+  const NodeId tail = c.node("tail");
+  const NodeId pcb = c.node("pcb");
+  const NodeId sen = c.node("sen");
+  const NodeId tg = c.node("tg");
+  const NodeId tgb = c.node("tgb");
+  const NodeId wen = c.node("wen");
+  const NodeId wenb = c.node("wenb");
+  const NodeId din = c.node("din");
+  const NodeId dinb = c.node("dinb");
+
+  // Pre-charge PMOS pair.
+  c.add_pmos("Ppc1", out, pcb, vdd, vdd, ctx.pgeom(tech.wPrecharge), ctx.pparams());
+  c.add_pmos("Ppc2", outb, pcb, vdd, vdd, ctx.pgeom(tech.wPrecharge), ctx.pparams());
+  // Cross-coupled sense pair.
+  c.add_pmos("P1", out, outb, vdd, vdd, ctx.pgeom(tech.wSenseP), ctx.pparams());
+  c.add_pmos("P2", outb, out, vdd, vdd, ctx.pgeom(tech.wSenseP), ctx.pparams());
+  c.add_nmos("N1", out, outb, sn1, kGround, ctx.ngeom(tech.wSenseN), ctx.nparams());
+  c.add_nmos("N2", outb, out, sn2, kGround, ctx.ngeom(tech.wSenseN), ctx.nparams());
+  // Isolation transmission gates.
+  add_transmission_gate(ctx, "T1", sn1, w1, tg, tgb);
+  add_transmission_gate(ctx, "T2", sn2, w2, tg, tgb);
+  // Complementary MTJ pair (free layer toward the write terminals).
+  auto& mtjA = c.add_device<mtj::MtjDevice>(
+      "MTJa", w1, tail, mtj::MtjModel(corner.mtj), stateOut);
+  auto& mtjB = c.add_device<mtj::MtjDevice>(
+      "MTJb", w2, tail, mtj::MtjModel(corner.mtj), stateOutb);
+  // Sense-enable footer.
+  c.add_nmos("Nfoot", tail, sen, kGround, kGround, ctx.ngeom(tech.wEnable),
+             ctx.nparams());
+  // Write drivers: w1 = NOT(din), w2 = NOT(dinb) = din when enabled.
+  add_tristate_inverter(ctx, "TI1", din, w1, wen, wenb);
+  add_tristate_inverter(ctx, "TI2", dinb, w2, wen, wenb);
+  // Interconnect loading on the sense outputs.
+  c.add_capacitor("Cw.out", out, kGround, tech.cWire);
+  c.add_capacitor("Cw.outb", outb, kGround, tech.cWire);
+  return {&mtjA, &mtjB};
+}
+
+/// Orientations encoding a stored bit: D = 1 <=> MTJa (out side) AP.
+mtj::MtjOrientation out_state(bool d) {
+  return d ? mtj::MtjOrientation::AntiParallel : mtj::MtjOrientation::Parallel;
+}
+mtj::MtjOrientation outb_state(bool d) {
+  return d ? mtj::MtjOrientation::Parallel : mtj::MtjOrientation::AntiParallel;
+}
+
+} // namespace
+
+StandardLatchInstance StandardNvLatch::build_read(const Technology& tech,
+                                                  const TechCorner& corner,
+                                                  bool storedBit,
+                                                  const ReadTiming& timing,
+                                                  Rng* mismatchRng, double sigmaVth) {
+  StandardLatchInstance inst;
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd"),
+                   mismatchRng, sigmaVth};
+  inst.circuit.add_vsource("VDD", ctx.vdd, kGround, Waveform::dc(tech.vdd));
+  const CoreHandles core = build_core(ctx, out_state(storedBit), outb_state(storedBit));
+  inst.mtjOut = core.mtjOut;
+  inst.mtjOutb = core.mtjOutb;
+
+  Controls ctl(tech.vdd, timing.ramp, false);
+  ctl.schedule_read(timing);
+  ctl.install(inst.circuit);
+
+  inst.tEvalStart = timing.evalStart();
+  inst.tEnd = timing.total();
+  return inst;
+}
+
+StandardLatchInstance StandardNvLatch::build_write(const Technology& tech,
+                                                   const TechCorner& corner, bool d,
+                                                   const WriteTiming& timing) {
+  StandardLatchInstance inst;
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  inst.circuit.add_vsource("VDD", ctx.vdd, kGround, Waveform::dc(tech.vdd));
+  // Start from the OPPOSITE stored bit so the write must flip both MTJs.
+  const CoreHandles core = build_core(ctx, out_state(!d), outb_state(!d));
+  inst.mtjOut = core.mtjOut;
+  inst.mtjOutb = core.mtjOutb;
+
+  Controls ctl(tech.vdd, timing.ramp, d);
+  ctl.schedule_write(timing);
+  ctl.install(inst.circuit);
+
+  inst.tEvalStart = timing.start;
+  inst.tEnd = timing.total();
+  return inst;
+}
+
+StandardLatchInstance StandardNvLatch::build_idle(const Technology& tech,
+                                                  const TechCorner& corner) {
+  StandardLatchInstance inst;
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  inst.circuit.add_vsource("VDD", ctx.vdd, kGround, Waveform::dc(tech.vdd));
+  const CoreHandles core =
+      build_core(ctx, mtj::MtjOrientation::Parallel, mtj::MtjOrientation::AntiParallel);
+  inst.mtjOut = core.mtjOut;
+  inst.mtjOutb = core.mtjOutb;
+
+  Controls ctl(tech.vdd, 20e-12, false);
+  ctl.install(inst.circuit);
+  inst.tEnd = 1e-9;
+  return inst;
+}
+
+StandardLatchInstance StandardNvLatch::build_power_cycle(const Technology& tech,
+                                                         const TechCorner& corner,
+                                                         bool d,
+                                                         const PowerCycleTiming& timing) {
+  StandardLatchInstance inst;
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  // Supply collapses after the store and returns before the restore.
+  spice::Pwl vddWave;
+  vddWave.add_point(0.0, tech.vdd);
+  vddWave.add_step(timing.offStart(), 0.0, timing.offRamp);
+  vddWave.add_step(timing.onStart(), tech.vdd, timing.onRamp);
+  inst.circuit.add_vsource("VDD", ctx.vdd, kGround, Waveform::pwl(vddWave));
+
+  const CoreHandles core = build_core(ctx, out_state(!d), outb_state(!d));
+  inst.mtjOut = core.mtjOut;
+  inst.mtjOutb = core.mtjOutb;
+
+  Controls ctl(tech.vdd, timing.write.ramp, d);
+  ctl.schedule_write(timing.write);
+  ctl.schedule_power_gap(timing.offStart(), timing.onStart() + timing.onRamp);
+  ctl.schedule_read(timing.read, timing.wakeDone());
+  ctl.install(inst.circuit);
+
+  inst.tEvalStart = timing.wakeDone() + timing.read.evalStart();
+  inst.tEnd = timing.total();
+  return inst;
+}
+
+} // namespace nvff::cell

@@ -1,0 +1,84 @@
+// The state-of-the-art single-bit NV shadow latch (paper Fig. 2b).
+//
+// Topology (11 read-path transistors + 2 MTJs + 8 write transistors):
+//
+//          vdd        vdd   vdd        vdd
+//           |          |     |          |
+//         Ppc1         P1    P2        Ppc2      pre-charge + cross-coupled
+//           |     .----+--x--+----.     |          PMOS pair
+//           +-----|   out   outb  |-----+
+//                 N1   |     |    N2              cross-coupled NMOS pair
+//                  \  sn1   sn2  /
+//                   T1 |     | T2                 isolation transmission gates
+//                     w1     w2                   write terminals
+//                    MTJa   MTJb                  complementary MTJ pair
+//                      \     /
+//                       tail
+//                        |
+//                      Nfoot (SEN)                sense-enable footer
+//                        |
+//                       gnd
+//
+// Write: tristate inverters drive w1/w2 with complementary rails; the
+// current w2 -> tail -> w1 (or reverse) writes the two MTJs into opposite
+// states. Read: pre-charge out/outb to VDD, then race the two discharge
+// paths through the MTJs; the lower-resistance side loses its charge first
+// and the cross-coupled pair regenerates a full-rail complementary output.
+// Stored bit convention: D = 1 <=> MTJa (under `out`) is AP <=> `out`
+// resolves to 1 on restore.
+#pragma once
+
+#include "cell/latch_common.hpp"
+#include "cell/scenarios.hpp"
+#include "mtj/device.hpp"
+
+namespace nvff::cell {
+
+/// A built testbench around one standard latch.
+struct StandardLatchInstance {
+  spice::Circuit circuit;
+  mtj::MtjDevice* mtjOut = nullptr;  ///< MTJ on the `out` discharge path
+  mtj::MtjDevice* mtjOutb = nullptr; ///< MTJ on the `outb` discharge path
+  double tEvalStart = 0.0; ///< sense-enable rise (read scenarios)
+  double tEnd = 0.0;       ///< transient stop time
+
+  static constexpr const char* kOut = "out";
+  static constexpr const char* kOutb = "outb";
+  static constexpr const char* kVdd = "VDD";
+};
+
+/// Builder for the standard 1-bit NV latch in the scenarios the paper's
+/// Table II evaluation needs.
+class StandardNvLatch {
+public:
+  /// Read-path transistor count (excludes write drivers), paper Table II
+  /// reports 22 for two latches.
+  static constexpr int kReadTransistors = 11;
+  /// Write driver transistors (two tristate inverters).
+  static constexpr int kWriteTransistors = 8;
+  static constexpr int kMtjCount = 2;
+
+  /// Restore scenario: MTJs preset to hold `storedBit`, supply always on,
+  /// one precharge + evaluate sequence.
+  static StandardLatchInstance build_read(const Technology& tech,
+                                          const TechCorner& corner, bool storedBit,
+                                          const ReadTiming& timing,
+                                          Rng* mismatchRng = nullptr,
+                                          double sigmaVth = 0.0);
+
+  /// Store scenario: write `d`, starting from the opposite stored state.
+  static StandardLatchInstance build_write(const Technology& tech,
+                                           const TechCorner& corner, bool d,
+                                           const WriteTiming& timing);
+
+  /// Idle scenario for leakage: supply on, every control inactive.
+  static StandardLatchInstance build_idle(const Technology& tech,
+                                          const TechCorner& corner);
+
+  /// Full normally-off cycle: store `d`, collapse the supply, wake, restore.
+  static StandardLatchInstance build_power_cycle(const Technology& tech,
+                                                 const TechCorner& corner, bool d,
+                                                 const PowerCycleTiming& timing);
+};
+
+} // namespace nvff::cell

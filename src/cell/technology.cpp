@@ -1,0 +1,86 @@
+#include "cell/technology.hpp"
+
+namespace nvff::cell {
+
+const char* corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::Worst: return "worst";
+    case Corner::Typical: return "typical";
+    case Corner::Best: return "best";
+  }
+  return "?";
+}
+
+Technology Technology::table1() { return Technology{}; }
+
+TechCorner Technology::read_corner(Corner corner) const {
+  TechCorner tc;
+  switch (corner) {
+    case Corner::Typical:
+      tc.nmos = spice::MosParams::nmos_40nm_lp();
+      tc.pmos = spice::MosParams::pmos_40nm_lp();
+      tc.mtj = mtj::MtjParams::table1();
+      break;
+    case Corner::Worst:
+      // Slow CMOS + weak sensing window: higher RA (less read current),
+      // lower TMR (smaller resistance contrast).
+      tc.nmos = spice::MosParams::nmos_40nm_lp().at_corner(spice::CmosCorner::SlowSlow);
+      tc.pmos = spice::MosParams::pmos_40nm_lp().at_corner(spice::CmosCorner::SlowSlow);
+      tc.mtj = mtj::MtjParams::table1().at_sigma(+3.0, -3.0, 0.0);
+      break;
+    case Corner::Best:
+      tc.nmos = spice::MosParams::nmos_40nm_lp().at_corner(spice::CmosCorner::FastFast);
+      tc.pmos = spice::MosParams::pmos_40nm_lp().at_corner(spice::CmosCorner::FastFast);
+      tc.mtj = mtj::MtjParams::table1().at_sigma(-3.0, +3.0, 0.0);
+      break;
+  }
+  return tc;
+}
+
+TechCorner Technology::leakage_corner(Corner corner) const {
+  TechCorner tc;
+  tc.mtj = mtj::MtjParams::table1();
+  switch (corner) {
+    case Corner::Typical:
+      tc.nmos = spice::MosParams::nmos_40nm_lp();
+      tc.pmos = spice::MosParams::pmos_40nm_lp();
+      break;
+    case Corner::Worst:
+      // Leakage is worst on the fast (low-Vth) corner.
+      tc.nmos = spice::MosParams::nmos_40nm_lp().at_corner(spice::CmosCorner::FastFast);
+      tc.pmos = spice::MosParams::pmos_40nm_lp().at_corner(spice::CmosCorner::FastFast);
+      break;
+    case Corner::Best:
+      tc.nmos = spice::MosParams::nmos_40nm_lp().at_corner(spice::CmosCorner::SlowSlow);
+      tc.pmos = spice::MosParams::pmos_40nm_lp().at_corner(spice::CmosCorner::SlowSlow);
+      break;
+  }
+  return tc;
+}
+
+TechCorner Technology::write_corner(Corner corner) const {
+  TechCorner tc;
+  switch (corner) {
+    case Corner::Typical:
+      tc.nmos = spice::MosParams::nmos_40nm_lp();
+      tc.pmos = spice::MosParams::pmos_40nm_lp();
+      tc.mtj = mtj::MtjParams::table1();
+      break;
+    case Corner::Worst:
+      // Hardest write: high switching threshold and weak drivers.
+      tc.nmos = spice::MosParams::nmos_40nm_lp().at_corner(spice::CmosCorner::SlowSlow);
+      tc.pmos = spice::MosParams::pmos_40nm_lp().at_corner(spice::CmosCorner::SlowSlow);
+      tc.mtj = mtj::MtjParams::table1().at_sigma(+3.0, 0.0, +3.0);
+      break;
+    case Corner::Best:
+      tc.nmos = spice::MosParams::nmos_40nm_lp().at_corner(spice::CmosCorner::FastFast);
+      tc.pmos = spice::MosParams::pmos_40nm_lp().at_corner(spice::CmosCorner::FastFast);
+      tc.mtj = mtj::MtjParams::table1().at_sigma(-3.0, 0.0, -3.0);
+      break;
+  }
+  return tc;
+}
+
+CmosCellLibrary CmosCellLibrary::tsmc40_like() { return CmosCellLibrary{}; }
+
+} // namespace nvff::cell

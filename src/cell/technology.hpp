@@ -1,0 +1,89 @@
+// Technology setup shared by the latch netlists: supply, device sizes,
+// corner definitions, and the CMOS standard-cell library used at system
+// level.
+//
+// Corner semantics. Table II reports worst/typical/best per metric, which is
+// the usual datasheet convention: each metric is evaluated at the corner
+// that pessimizes (or optimizes) *that metric*:
+//  * read delay / read energy: worst = slow CMOS + weak sense window
+//    (RA +3s, TMR -3s); best = fast CMOS + strong window.
+//  * leakage: worst = fast (low-Vth) CMOS; best = slow CMOS.
+//  * write: worst = high critical current (Ic +3s) and slow CMOS drivers.
+// Both designs are always evaluated at the same corner, so the comparison is
+// apples-to-apples, as in the paper.
+#pragma once
+
+#include "mtj/model.hpp"
+#include "spice/mosfet.hpp"
+
+namespace nvff::cell {
+
+/// Worst/typical/best labels of Table II.
+enum class Corner { Worst, Typical, Best };
+
+/// Name for reports ("worst", "typical", "best").
+const char* corner_name(Corner corner);
+
+/// All three corners in table order.
+inline constexpr Corner kAllCorners[] = {Corner::Worst, Corner::Typical, Corner::Best};
+
+/// One fully resolved device-parameter set.
+struct TechCorner {
+  spice::MosParams nmos;
+  spice::MosParams pmos;
+  mtj::MtjParams mtj;
+};
+
+/// Technology container with the Table I operating point.
+struct Technology {
+  double vdd = 1.1;        ///< supply [V]
+  double tempC = 27.0;     ///< ambient [degC]
+
+  // Transistor sizings used inside the NV latches (widths in meters,
+  // minimum length 40 nm). The sense transistors are near-minimum; write
+  // drivers are sized to push the 70 uA switching current through ~5-11k.
+  double lMin = 40e-9;
+  double wSenseN = 240e-9;
+  double wSenseP = 240e-9;
+  double wEnable = 360e-9;   ///< footer/header enable devices
+  double wEqualizer = 120e-9;
+  double wPrecharge = 240e-9;
+  double wTgate = 240e-9;
+  double wWriteN = 720e-9;  ///< write tristate pull-down
+  double wWriteP = 1440e-9; ///< write tristate pull-up
+
+  /// Interconnect load on each sense output node [F]. The restore outputs
+  /// route to the master latch of the conventional flip-flop, so they carry
+  /// real wire; this value calibrates the typical standard-latch read delay
+  /// onto the paper's 187 ps and is where the energy advantage of the shared
+  /// sense amplifier physically lives (fewer output-node charge events).
+  double cWire = 3.0e-15;
+
+  /// Corner resolution per metric family (see file comment).
+  TechCorner read_corner(Corner corner) const;
+  TechCorner leakage_corner(Corner corner) const;
+  TechCorner write_corner(Corner corner) const;
+
+  /// Default technology (Table I).
+  static Technology table1();
+};
+
+/// Areas of the CMOS standard cells used by the system-level flow, in um^2.
+/// The NV shadow-cell areas come from the layout model (cell/layout.hpp);
+/// these are the ordinary logic cells needed to floorplan the benchmarks.
+struct CmosCellLibrary {
+  double ffArea = 2.4;       ///< conventional master-slave DFF
+  double ffWidth = 1.43;     ///< um (12-track height assumed for all cells)
+  double inverterArea = 0.35;
+  double nand2Area = 0.55;
+  double nor2Area = 0.55;
+  double and2Area = 0.65;
+  double or2Area = 0.65;
+  double xor2Area = 0.95;
+  double bufArea = 0.45;
+  double rowHeight = 1.68;   ///< um, 12 tracks x 0.14 um pitch
+
+  static CmosCellLibrary tsmc40_like();
+};
+
+} // namespace nvff::cell

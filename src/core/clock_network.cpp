@@ -1,0 +1,116 @@
+#include "core/clock_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvff::core {
+
+namespace {
+
+/// Recursive H-tree wire length over a set of sink positions: splits the
+/// bounding box along its longer side, adds the trunk connecting the two
+/// halves' centers, and recurses until <= sinksPerLeafBuffer sinks remain
+/// (those are wired as a short local spine).
+struct HtreeAccumulator {
+  double wireUm = 0.0;
+  int buffers = 0;
+  int leafLimit = 16;
+
+  void build(std::vector<std::pair<double, double>>& pts, std::size_t lo,
+             std::size_t hi) {
+    const std::size_t n = hi - lo;
+    if (n == 0) return;
+    if (n <= static_cast<std::size_t>(leafLimit)) {
+      // Local spine: length of the bounding box half-perimeter.
+      double minX = pts[lo].first;
+      double maxX = minX;
+      double minY = pts[lo].second;
+      double maxY = minY;
+      for (std::size_t i = lo; i < hi; ++i) {
+        minX = std::min(minX, pts[i].first);
+        maxX = std::max(maxX, pts[i].first);
+        minY = std::min(minY, pts[i].second);
+        maxY = std::max(maxY, pts[i].second);
+      }
+      wireUm += (maxX - minX) + (maxY - minY);
+      buffers += 1;
+      return;
+    }
+    // Split along the longer dimension at the median.
+    double minX = pts[lo].first;
+    double maxX = minX;
+    double minY = pts[lo].second;
+    double maxY = minY;
+    for (std::size_t i = lo; i < hi; ++i) {
+      minX = std::min(minX, pts[i].first);
+      maxX = std::max(maxX, pts[i].first);
+      minY = std::min(minY, pts[i].second);
+      maxY = std::max(maxY, pts[i].second);
+    }
+    const bool splitX = (maxX - minX) >= (maxY - minY);
+    const std::size_t mid = lo + n / 2;
+    std::nth_element(pts.begin() + static_cast<std::ptrdiff_t>(lo),
+                     pts.begin() + static_cast<std::ptrdiff_t>(mid),
+                     pts.begin() + static_cast<std::ptrdiff_t>(hi),
+                     [&](const auto& a, const auto& b) {
+                       return splitX ? a.first < b.first : a.second < b.second;
+                     });
+    // Trunk connecting the halves: half the span of the split dimension.
+    wireUm += 0.5 * (splitX ? (maxX - minX) : (maxY - minY));
+    buffers += 1;
+    build(pts, lo, mid);
+    build(pts, mid, hi);
+  }
+};
+
+ClockNetworkEstimate estimate(const std::vector<std::pair<double, double>>& sinks,
+                              const std::vector<double>& pinCaps,
+                              const ClockModelParams& params) {
+  ClockNetworkEstimate e;
+  e.sinks = sinks.size();
+  for (double c : pinCaps) e.pinCapF += c;
+  std::vector<std::pair<double, double>> pts = sinks;
+  HtreeAccumulator tree;
+  tree.leafLimit = params.sinksPerLeafBuffer;
+  tree.build(pts, 0, pts.size());
+  e.wireCapF = tree.wireUm * params.cWirePerUm;
+  e.buffers = tree.buffers;
+  e.bufferCapF = tree.buffers * params.cBuffer;
+  e.dynamicPowerW = params.frequency * params.vdd * params.vdd * e.totalCapF();
+  return e;
+}
+
+} // namespace
+
+ClockNetworkEstimate estimate_clock_network(
+    const std::vector<pairing::FlipFlopSite>& sites, const ClockModelParams& params) {
+  std::vector<std::pair<double, double>> sinks;
+  std::vector<double> caps;
+  sinks.reserve(sites.size());
+  for (const auto& s : sites) {
+    sinks.emplace_back(s.x, s.y);
+    caps.push_back(params.cPinClkFf);
+  }
+  return estimate(sinks, caps, params);
+}
+
+ClockNetworkEstimate estimate_clock_network_mbff(
+    const std::vector<pairing::FlipFlopSite>& sites,
+    const pairing::PairingResult& pairs, const ClockModelParams& params) {
+  std::vector<std::pair<double, double>> sinks;
+  std::vector<double> caps;
+  for (const auto& p : pairs.pairs) {
+    const auto& a = sites[static_cast<std::size_t>(p.a)];
+    const auto& b = sites[static_cast<std::size_t>(p.b)];
+    sinks.emplace_back(0.5 * (a.x + b.x), 0.5 * (a.y + b.y));
+    caps.push_back(params.cPinClkFf + params.cPinSlave);
+  }
+  for (int u : pairs.unmatched) {
+    const auto& s = sites[static_cast<std::size_t>(u)];
+    sinks.emplace_back(s.x, s.y);
+    caps.push_back(params.cPinClkFf);
+  }
+  return estimate(sinks, caps, params);
+}
+
+} // namespace nvff::core

@@ -1,0 +1,57 @@
+// Clock-network model for the multi-bit flip-flop (MBFF) integration study
+// (paper Sec. III-E: "our proposed multi-bit non-volatile component can
+// easily be integrated in such [CMOS multi-bit flip-flop] designs, that can
+// further enhance the overall efficiency ... in terms of both static and
+// dynamic energy consumption as well as area").
+//
+// CMOS MBFFs share the local clock inverter pair between the merged bits,
+// which removes clock pins from the clock tree and shrinks the tree itself.
+// This model quantifies that on top of the NV sharing:
+//
+//   clock pin capacitance : each FF presents cPinClk to the tree; a k-bit
+//                           MBFF presents cPinClk + (k-1) * cPinSlave (the
+//                           internal slave loads remain, the input inverter
+//                           pair is shared).
+//   tree capacitance      : estimated from a recursive H-tree over the FF
+//                           sites (wire cap per um + one buffer per branch).
+//   dynamic clock power   : P = f * Vdd^2 * (C_pins + C_tree).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pairing/pairing.hpp"
+
+namespace nvff::core {
+
+struct ClockModelParams {
+  double frequency = 500e6;    ///< [Hz]
+  double vdd = 1.1;            ///< [V]
+  double cPinClkFf = 1.2e-15;  ///< clock-pin cap of a single-bit FF [F]
+  double cPinSlave = 0.35e-15; ///< extra internal load per added MBFF bit [F]
+  double cWirePerUm = 0.20e-15; ///< clock wire capacitance [F/um]
+  double cBuffer = 2.0e-15;    ///< one clock buffer input+output cap [F]
+  int sinksPerLeafBuffer = 16; ///< leaf buffer fanout
+};
+
+struct ClockNetworkEstimate {
+  std::size_t sinks = 0;       ///< clock tree leaf pins (FFs or MBFFs)
+  double pinCapF = 0.0;        ///< sum of sink pin caps
+  double wireCapF = 0.0;       ///< H-tree wiring estimate
+  double bufferCapF = 0.0;     ///< buffers along the tree
+  int buffers = 0;
+  double totalCapF() const { return pinCapF + wireCapF + bufferCapF; }
+  double dynamicPowerW = 0.0;  ///< f * V^2 * totalCap
+};
+
+/// Estimates the clock network for single-bit flip-flops at the given sites.
+ClockNetworkEstimate estimate_clock_network(
+    const std::vector<pairing::FlipFlopSite>& sites, const ClockModelParams& params);
+
+/// Estimates the clock network when the given pairing merges FFs into 2-bit
+/// MBFFs (each pair becomes ONE clock sink at the pair midpoint).
+ClockNetworkEstimate estimate_clock_network_mbff(
+    const std::vector<pairing::FlipFlopSite>& sites,
+    const pairing::PairingResult& pairs, const ClockModelParams& params);
+
+} // namespace nvff::core

@@ -1,0 +1,102 @@
+#include "core/flow.hpp"
+
+#include "physdes/def_io.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace nvff::core {
+
+using bench::GateId;
+
+std::vector<pairing::FlipFlopSite> ff_sites_from_placement(
+    const physdes::Placement& placement, const bench::Netlist& netlist) {
+  std::vector<pairing::FlipFlopSite> sites;
+  sites.reserve(netlist.num_flip_flops());
+  for (GateId ff : netlist.flip_flops()) {
+    pairing::FlipFlopSite site;
+    site.name = netlist.gate(ff).name;
+    site.x = placement.cx(ff);
+    site.y = placement.cy(ff);
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+std::vector<pairing::FlipFlopSite> ff_sites_from_def(const std::string& defText) {
+  const physdes::DefDesign design = physdes::parse_def_string(defText);
+  const auto lib = cell::CmosCellLibrary::tsmc40_like();
+  std::vector<pairing::FlipFlopSite> sites;
+  for (const auto& comp : design.components) {
+    if (comp.cellType != "DFF") continue;
+    // DEF stores the cell origin; pairing distances use cell centers, so
+    // shift by the library FF half-footprint.
+    pairing::FlipFlopSite site;
+    site.name = comp.name;
+    site.x = comp.x + 0.5 * lib.ffWidth;
+    site.y = comp.y + 0.5 * lib.rowHeight;
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+RollUp roll_up(std::size_t totalFfs, std::size_t pairs, const NvCellSet& cells) {
+  RollUp r;
+  const auto total = static_cast<double>(totalFfs);
+  const auto paired = static_cast<double>(pairs);
+  const double singles = total - 2.0 * paired;
+  r.areaStd = total * cells.standard1bit.areaUm2;
+  r.energyStd = total * cells.standard1bit.readEnergyJ;
+  r.areaProp = paired * cells.proposed2bit.areaUm2 + singles * cells.standard1bit.areaUm2;
+  r.energyProp =
+      paired * cells.proposed2bit.readEnergyJ + singles * cells.standard1bit.readEnergyJ;
+  return r;
+}
+
+namespace {
+
+/// Shared pipeline tail: placement -> pairing -> roll-up, filling `report`.
+void run_pipeline(const bench::Netlist& netlist, const FlowOptions& options,
+                  FlowReport& report) {
+  report.totalFlipFlops = netlist.num_flip_flops();
+  report.placement =
+      physdes::place(netlist, cell::CmosCellLibrary::tsmc40_like(), options.placer);
+  report.ffSites = ff_sites_from_placement(report.placement, netlist);
+  report.pairing = pairing::pair_flip_flops(report.ffSites, options.pairing);
+  report.pairs = report.pairing.num_pairs();
+  report.pairedFraction = report.pairing.paired_fraction(report.totalFlipFlops);
+
+  const RollUp r = roll_up(report.totalFlipFlops, report.pairs, options.cells);
+  report.areaStd = r.areaStd;
+  report.energyStd = r.energyStd;
+  report.areaProp = r.areaProp;
+  report.energyProp = r.energyProp;
+  report.areaImprovementPct = improvement_percent(r.areaStd, r.areaProp);
+  report.energyImprovementPct = improvement_percent(r.energyStd, r.energyProp);
+
+  log_info(format("flow(%s): %zu FFs, %zu pairs (%.0f%%), area %.1f -> %.1f um^2",
+                  report.benchmark.c_str(), report.totalFlipFlops, report.pairs,
+                  100.0 * report.pairedFraction, report.areaStd, report.areaProp));
+}
+
+} // namespace
+
+FlowReport run_flow(const bench::BenchmarkSpec& spec, const FlowOptions& options) {
+  FlowReport report;
+  report.benchmark = spec.name;
+  report.circuit = bench::generate_benchmark_detailed(spec);
+  FlowOptions effective = options;
+  effective.placer.utilization = spec.utilization;
+  run_pipeline(report.circuit.netlist, effective, report);
+  return report;
+}
+
+FlowReport run_flow_on_netlist(const bench::Netlist& netlist,
+                               const FlowOptions& options) {
+  FlowReport report;
+  report.benchmark = netlist.name();
+  run_pipeline(netlist, options, report);
+  return report;
+}
+
+} // namespace nvff::core

@@ -1,0 +1,74 @@
+// The paper's system-level flow (Sec. IV-C):
+//
+//   RTL netlist -> synthesis/mapping -> floorplan + placement -> DEF
+//       -> pairing script (<= 3.35 um) -> replace paired FFs with the 2-bit
+//          NV cell, the rest with the standard 1-bit NV cell
+//       -> roll up NV-component area and restore energy (Table III).
+//
+// run_flow() executes the whole pipeline on one benchmark and returns the
+// Table III row plus all intermediate artifacts (placement, DEF text,
+// pairing) so the figure benches can render them.
+#pragma once
+
+#include <string>
+
+#include "bench_circuits/generator.hpp"
+#include "core/nv_cells.hpp"
+#include "pairing/pairing.hpp"
+#include "physdes/placement.hpp"
+
+namespace nvff::core {
+
+struct FlowOptions {
+  physdes::PlacerOptions placer{};
+  pairing::PairingOptions pairing{};
+  NvCellSet cells = NvCellSet::paper();
+
+  FlowOptions() {
+    // The paper's threshold: twice the standard NV component width.
+    pairing.maxDistance = cell::pairing_distance_threshold_um();
+  }
+};
+
+/// One row of Table III plus intermediates.
+struct FlowReport {
+  std::string benchmark;
+  std::size_t totalFlipFlops = 0;
+  std::size_t pairs = 0; ///< "number of 2-bit NV flip-flops"
+  double pairedFraction = 0.0;
+
+  double areaStd = 0.0;    ///< [um^2] all-1-bit backup
+  double energyStd = 0.0;  ///< [J] all-1-bit restore energy
+  double areaProp = 0.0;   ///< [um^2] mixed 2-bit/1-bit backup
+  double energyProp = 0.0; ///< [J]
+  double areaImprovementPct = 0.0;
+  double energyImprovementPct = 0.0;
+
+  // Intermediates for figures / inspection.
+  bench::GeneratedCircuit circuit;
+  physdes::Placement placement;
+  pairing::PairingResult pairing;
+  std::vector<pairing::FlipFlopSite> ffSites;
+};
+
+/// Full pipeline on a generated paper benchmark.
+FlowReport run_flow(const bench::BenchmarkSpec& spec, const FlowOptions& options = {});
+
+/// Pipeline on an externally supplied netlist (e.g. parsed from .bench).
+FlowReport run_flow_on_netlist(const bench::Netlist& netlist,
+                               const FlowOptions& options = {});
+
+/// Extracts flip-flop sites (cell centers) from a placement — the "script
+/// over the DEF" step. The overload taking DEF text parses the actual DEF
+/// artifact, exactly as the paper's script does.
+std::vector<pairing::FlipFlopSite> ff_sites_from_placement(
+    const physdes::Placement& placement, const bench::Netlist& netlist);
+std::vector<pairing::FlipFlopSite> ff_sites_from_def(const std::string& defText);
+
+/// Roll-up of the NV-component area/energy given pairing counts.
+struct RollUp {
+  double areaStd, energyStd, areaProp, energyProp;
+};
+RollUp roll_up(std::size_t totalFfs, std::size_t pairs, const NvCellSet& cells);
+
+} // namespace nvff::core

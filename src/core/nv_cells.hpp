@@ -1,0 +1,38 @@
+// Per-cell area/energy values that the system-level roll-up consumes.
+//
+// Two sources are supported:
+//  * Paper     — Table II's published per-cell values. Using these, our
+//                Table III roll-up reproduces the paper's arithmetic exactly
+//                for any given pair count (we verified the published rows
+//                are linear combinations of Table II values: e.g. s344 area
+//                42.255 = 15 x 5.635/2).
+//  * Measured  — characterize the latches with the analog engine and the
+//                layout model (the full end-to-end reproduction).
+#pragma once
+
+#include "cell/characterize.hpp"
+
+namespace nvff::core {
+
+/// Values of one shadow-cell flavour.
+struct NvCellValues {
+  double areaUm2 = 0.0;     ///< layout footprint
+  double readEnergyJ = 0.0; ///< restore energy for the WHOLE cell
+  int bits = 1;
+};
+
+struct NvCellSet {
+  NvCellValues standard1bit; ///< per single-bit shadow cell
+  NvCellValues proposed2bit; ///< per merged 2-bit shadow cell
+
+  /// Published typical-corner values (Table II).
+  static NvCellSet paper();
+
+  /// Values measured by the characterization harness at the given corner.
+  static NvCellSet measured(const cell::Characterizer& characterizer,
+                            cell::Corner corner = cell::Corner::Typical);
+};
+
+enum class CellValueSource { Paper, Measured };
+
+} // namespace nvff::core

@@ -1,0 +1,196 @@
+#include "core/reports.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace nvff::core {
+
+Table2Result measure_table2(const cell::Characterizer& characterizer) {
+  Table2Result result;
+  const cell::Corner order[3] = {cell::Corner::Worst, cell::Corner::Typical,
+                                 cell::Corner::Best};
+  for (int i = 0; i < 3; ++i) {
+    result.standard[i] = characterizer.standard_pair(order[i]);
+    result.proposed[i] = characterizer.proposed_2bit(order[i]);
+  }
+  return result;
+}
+
+std::string render_table2(const Table2Result& r) {
+  const Table2Reference ref;
+  TextTable t({"metric", "corner", "2x std 1-bit (ours)", "2x std (paper)",
+               "proposed 2-bit (ours)", "proposed (paper)"});
+  static const char* kCorners[3] = {"worst", "typical", "best"};
+
+  for (int i = 0; i < 3; ++i) {
+    t.add_row({"Read energy [fJ]", kCorners[i],
+               format("%.3f", r.standard[i].readEnergy * 1e15),
+               format("%.3f", ref.stdReadEnergyFj[i]),
+               format("%.3f", r.proposed[i].readEnergy * 1e15),
+               format("%.3f", ref.propReadEnergyFj[i])});
+  }
+  t.add_separator();
+  for (int i = 0; i < 3; ++i) {
+    t.add_row({"Read delay [ps]", kCorners[i],
+               format("%.0f", r.standard[i].readDelay * 1e12),
+               format("%.0f", ref.stdReadDelayPs[i]),
+               format("%.0f", r.proposed[i].readDelay * 1e12),
+               format("%.0f", ref.propReadDelayPs[i])});
+  }
+  t.add_separator();
+  for (int i = 0; i < 3; ++i) {
+    t.add_row({"Leakage [pW]", kCorners[i],
+               format("%.0f", r.standard[i].leakage * 1e12),
+               format("%.0f", ref.stdLeakagePw[i]),
+               format("%.0f", r.proposed[i].leakage * 1e12),
+               format("%.0f", ref.propLeakagePw[i])});
+  }
+  t.add_separator();
+  t.add_row({"# of transistors", "-", format("%d", r.standard[1].readTransistors),
+             format("%d", ref.stdTransistors),
+             format("%d", r.proposed[1].readTransistors),
+             format("%d", ref.propTransistors)});
+  t.add_row({"Area [um^2]", "-", format("%.3f", r.standard[1].areaUm2),
+             format("%.3f", ref.stdAreaUm2), format("%.3f", r.proposed[1].areaUm2),
+             format("%.3f", ref.propAreaUm2)});
+  t.add_separator();
+  for (int i = 0; i < 3; ++i) {
+    t.add_row({"Write energy [fJ]", kCorners[i],
+               format("%.1f", r.standard[i].writeEnergy * 1e15), "~208 (2x104)",
+               format("%.1f", r.proposed[i].writeEnergy * 1e15), "~208 (2x104)"});
+  }
+  for (int i = 0; i < 3; ++i) {
+    t.add_row({"Write latency [ns]", kCorners[i],
+               format("%.2f", r.standard[i].writeLatency * 1e9), "~2 (worst)",
+               format("%.2f", r.proposed[i].writeLatency * 1e9), "~2 (worst)"});
+  }
+
+  std::ostringstream out;
+  out << "TABLE II — two standard 1-bit latches vs proposed 2-bit latch\n";
+  out << t.render();
+  // Summary deltas (the paper's headline circuit-level claims).
+  const double energyImpr = improvement_percent(r.standard[1].readEnergy,
+                                                r.proposed[1].readEnergy);
+  const double areaImpr =
+      improvement_percent(r.standard[1].areaUm2, r.proposed[1].areaUm2);
+  const double delayRatio = r.proposed[1].readDelay / r.standard[1].readDelay;
+  out << format(
+      "\nheadline: read energy improvement %.1f%% (paper ~19%%), cell area "
+      "improvement %.1f%% (paper ~34%%), sequential read delay ratio %.2fx "
+      "(paper ~1.9x)\n",
+      energyImpr, areaImpr, delayRatio);
+  return out.str();
+}
+
+std::string render_table3(const std::vector<FlowReport>& reports) {
+  TextTable t({"benchmark", "total FFs", "2-bit FFs", "2-bit (paper)", "area std",
+               "area prop", "area impr", "area (paper)", "energy std [fJ]",
+               "energy prop [fJ]", "energy impr", "energy (paper)"});
+  double areaSum = 0.0;
+  double energySum = 0.0;
+  double paperAreaSum = 0.0;
+  double paperEnergySum = 0.0;
+  for (const auto& r : reports) {
+    const bench::BenchmarkSpec* spec = nullptr;
+    for (const auto& s : bench::paper_benchmarks()) {
+      if (s.name == r.benchmark) spec = &s;
+    }
+    t.add_row({r.benchmark, format("%zu", r.totalFlipFlops), format("%zu", r.pairs),
+               spec ? format("%d", spec->paperPairs) : "-",
+               format("%.2f", r.areaStd), format("%.2f", r.areaProp),
+               format("%.2f%%", r.areaImprovementPct),
+               spec ? format("%.2f%%", spec->paperAreaImpr) : "-",
+               format("%.2f", r.energyStd * 1e15), format("%.2f", r.energyProp * 1e15),
+               format("%.2f%%", r.energyImprovementPct),
+               spec ? format("%.2f%%", spec->paperEnergyImpr) : "-"});
+    areaSum += r.areaImprovementPct;
+    energySum += r.energyImprovementPct;
+    if (spec != nullptr) {
+      paperAreaSum += spec->paperAreaImpr;
+      paperEnergySum += spec->paperEnergyImpr;
+    }
+  }
+  std::ostringstream out;
+  out << "TABLE III — system-level NV-component area and restore energy\n";
+  out << t.render();
+  const auto n = static_cast<double>(reports.size());
+  if (n > 0) {
+    out << format(
+        "\naverage improvement: area %.1f%% (paper avg %.1f%%), energy %.1f%% "
+        "(paper avg %.1f%%)\n",
+        areaSum / n, paperAreaSum / n, energySum / n, paperEnergySum / n);
+  }
+  return out.str();
+}
+
+std::string table3_csv(const std::vector<FlowReport>& reports) {
+  TextTable t({"benchmark", "total_ffs", "pairs", "area_std_um2", "area_prop_um2",
+               "area_impr_pct", "energy_std_fj", "energy_prop_fj",
+               "energy_impr_pct", "paired_fraction"});
+  for (const auto& r : reports) {
+    t.add_row({r.benchmark, format("%zu", r.totalFlipFlops), format("%zu", r.pairs),
+               format("%.4f", r.areaStd), format("%.4f", r.areaProp),
+               format("%.3f", r.areaImprovementPct), format("%.4f", r.energyStd * 1e15),
+               format("%.4f", r.energyProp * 1e15),
+               format("%.3f", r.energyImprovementPct),
+               format("%.4f", r.pairedFraction)});
+  }
+  return t.to_csv();
+}
+
+std::string render_floorplan(const FlowReport& report, std::size_t columns,
+                             std::size_t rows) {
+  const auto& placement = report.placement;
+  if (placement.dieWidth <= 0 || placement.dieHeight <= 0 || columns == 0 || rows == 0) {
+    return "(empty placement)\n";
+  }
+  std::vector<std::string> grid(rows, std::string(columns, ' '));
+  auto plot = [&](double x, double y, char glyph, bool force) {
+    auto cx = static_cast<long>(x / placement.dieWidth * static_cast<double>(columns));
+    auto cy = static_cast<long>(y / placement.dieHeight * static_cast<double>(rows));
+    cx = std::min<long>(std::max<long>(cx, 0), static_cast<long>(columns) - 1);
+    cy = std::min<long>(std::max<long>(cy, 0), static_cast<long>(rows) - 1);
+    char& cell = grid[static_cast<std::size_t>(rows - 1 - static_cast<std::size_t>(cy))]
+                     [static_cast<std::size_t>(cx)];
+    if (force || cell == ' ' || cell == '.') cell = glyph;
+  };
+
+  // Logic cells as background dots.
+  const bench::Netlist& nl = report.circuit.netlist;
+  const bool haveNetlist = nl.size() == placement.cells.size();
+  for (const auto& c : placement.cells) {
+    if (c.fixedPad) continue;
+    const bool isFf =
+        haveNetlist && nl.gate(c.gate).type == bench::GateType::Dff;
+    if (!isFf) plot(c.x, c.y, '.', false);
+  }
+  // Unpaired FFs.
+  for (int idx : report.pairing.unmatched) {
+    const auto& s = report.ffSites[static_cast<std::size_t>(idx)];
+    plot(s.x, s.y, 'f', true);
+  }
+  // Pairs get matching letters (cycled).
+  const char* letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  for (std::size_t p = 0; p < report.pairing.pairs.size(); ++p) {
+    const auto& pr = report.pairing.pairs[p];
+    const char glyph = letters[p % 26];
+    plot(report.ffSites[static_cast<std::size_t>(pr.a)].x,
+         report.ffSites[static_cast<std::size_t>(pr.a)].y, glyph, true);
+    plot(report.ffSites[static_cast<std::size_t>(pr.b)].x,
+         report.ffSites[static_cast<std::size_t>(pr.b)].y, glyph, true);
+  }
+
+  std::ostringstream out;
+  out << "Floorplan of " << report.benchmark << " ("
+      << format("%.1f x %.1f um", placement.dieWidth, placement.dieHeight)
+      << "): '.' logic, 'f' unpaired FF, same letter = merged pair\n";
+  out << '+' << std::string(columns, '-') << "+\n";
+  for (const auto& row : grid) out << '|' << row << "|\n";
+  out << '+' << std::string(columns, '-') << "+\n";
+  return out.str();
+}
+
+} // namespace nvff::core

@@ -1,0 +1,50 @@
+// Report renderers that regenerate the paper's tables and figures as text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cell/characterize.hpp"
+#include "core/flow.hpp"
+
+namespace nvff::core {
+
+/// Paper reference values for Table II (typical/worst/best per metric).
+struct Table2Reference {
+  // indices: 0 = worst, 1 = typical, 2 = best
+  double stdReadEnergyFj[3] = {6.348, 5.650, 4.916};
+  double stdReadDelayPs[3] = {310, 187, 127};
+  double stdLeakagePw[3] = {4998, 1565, 424};
+  double propReadEnergyFj[3] = {4.799, 4.587, 4.327};
+  double propReadDelayPs[3] = {600, 360, 228};
+  double propLeakagePw[3] = {4960, 1528, 394};
+  int stdTransistors = 22;
+  int propTransistors = 16;
+  double stdAreaUm2 = 5.635;
+  double propAreaUm2 = 3.696;
+};
+
+/// Measured Table II rows for both designs at all corners.
+struct Table2Result {
+  cell::LatchMetrics standard[3]; ///< worst, typical, best
+  cell::LatchMetrics proposed[3];
+};
+
+/// Runs the full circuit-level characterization (Table II).
+Table2Result measure_table2(const cell::Characterizer& characterizer);
+
+/// Renders Table II side by side with the paper's published values.
+std::string render_table2(const Table2Result& result);
+
+/// Renders Table III from flow reports, with the paper's reference columns.
+std::string render_table3(const std::vector<FlowReport>& reports);
+
+/// Machine-readable CSV twin of Table III.
+std::string table3_csv(const std::vector<FlowReport>& reports);
+
+/// ASCII floorplan (Fig. 9): '.' logic cell, 'f' unpaired FF, letter pairs
+/// for merged FFs (both members of a pair get the same letter).
+std::string render_floorplan(const FlowReport& report, std::size_t columns = 100,
+                             std::size_t rows = 40);
+
+} // namespace nvff::core

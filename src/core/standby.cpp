@@ -1,0 +1,73 @@
+#include "core/standby.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace nvff::core {
+
+StandbyParams StandbyParams::from_measured(const cell::Characterizer& chr,
+                                           cell::Corner corner, std::size_t totalFfs,
+                                           std::size_t pairs) {
+  StandbyParams p;
+  p.totalFfs = totalFfs;
+  p.pairs = pairs;
+  const cell::LatchMetrics stdPair = chr.standard_pair(corner);
+  const cell::LatchMetrics prop = chr.proposed_2bit(corner);
+  p.ffRetentionPowerW = 10.0 * (stdPair.leakage / 2.0);
+  p.nvWriteEnergyPerBitJ = stdPair.writeEnergy / 2.0;
+  p.nv1RestorePerBitJ = stdPair.readEnergy / 2.0;
+  p.nv2RestorePerCellJ = prop.readEnergy;
+  return p;
+}
+
+StandbyEnergies standby_energy(const StandbyParams& p, double seconds) {
+  StandbyEnergies e;
+  const auto n = static_cast<double>(p.totalFfs);
+  const auto paired = static_cast<double>(p.pairs);
+  const double singles = n - 2.0 * paired;
+
+  e.retentionJ = (n * p.ffRetentionPowerW + p.logicLeakageW) * seconds;
+
+  e.saveRestoreJ =
+      2.0 * n * p.busTransferPerBitJ + p.memoryArrayLeakageW * seconds;
+
+  const double storeJ = n * p.nvWriteEnergyPerBitJ; // identical both designs
+  e.nvShadow1bitJ = storeJ + n * p.nv1RestorePerBitJ;
+  e.nvShadowMultibitJ =
+      storeJ + paired * p.nv2RestorePerCellJ + singles * p.nv1RestorePerBitJ;
+  return e;
+}
+
+double nv_break_even_seconds(const StandbyParams& p, bool multibit) {
+  const double retentionPower =
+      static_cast<double>(p.totalFfs) * p.ffRetentionPowerW + p.logicLeakageW;
+  if (retentionPower <= 0.0) return std::numeric_limits<double>::infinity();
+  const StandbyEnergies fixed = standby_energy(p, 0.0);
+  const double nvCost = multibit ? fixed.nvShadowMultibitJ : fixed.nvShadow1bitJ;
+  return nvCost / retentionPower;
+}
+
+double total_standby_energy(const StandbyParams& params,
+                            const std::vector<double>& idleSeconds,
+                            GatingPolicy policy, bool multibit) {
+  const double breakEven = nv_break_even_seconds(params, multibit);
+  double total = 0.0;
+  for (double t : idleSeconds) {
+    const StandbyEnergies e = standby_energy(params, t);
+    const double nvCost = multibit ? e.nvShadowMultibitJ : e.nvShadow1bitJ;
+    switch (policy) {
+      case GatingPolicy::NeverGate:
+        total += e.retentionJ;
+        break;
+      case GatingPolicy::AlwaysGate:
+        total += nvCost;
+        break;
+      case GatingPolicy::BreakEvenThreshold:
+        total += (t >= breakEven) ? nvCost : e.retentionJ;
+        break;
+    }
+  }
+  return total;
+}
+
+} // namespace nvff::core

@@ -1,0 +1,73 @@
+// Normally-off standby energy model (the paper's motivation, Sec. I):
+// compares the three ways an SoC can survive a standby interval —
+//
+//  * retention    — keep a retention rail on every flip-flop (the
+//                   conventional approach the paper argues against):
+//                   E = N_ff * P_ret * T
+//  * save+restore — copy all FF state to a far-away memory over a bus
+//                   (ref [4]): E = 2 * N_ff * E_transfer + latency cost
+//  * NV shadow    — local store + restore with shadow cells:
+//                   E = N_ff * E_write + restore energy (1-bit or multi-bit)
+//
+// and answers the questions the paper's introduction raises: when does
+// normally-off win, and how much does the multi-bit cell move the
+// break-even point.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cell/characterize.hpp"
+
+namespace nvff::core {
+
+struct StandbyParams {
+  std::size_t totalFfs = 0;
+  std::size_t pairs = 0; ///< FF pairs merged into 2-bit NV cells
+
+  double ffRetentionPowerW = 0.0; ///< per FF on the retention rail
+  double logicLeakageW = 0.0;     ///< rest of the power domain, if kept on
+
+  double nvWriteEnergyPerBitJ = 0.0;
+  double nv1RestorePerBitJ = 0.0;
+  double nv2RestorePerCellJ = 0.0; ///< whole 2-bit cell
+
+  // save+restore over a memory bus (ref [4]).
+  double busTransferPerBitJ = 15e-15; ///< move one bit to/from the array
+  double memoryArrayLeakageW = 0.0;   ///< the array must stay powered
+
+  /// Builds the parameter set from measured latch metrics plus a pairing
+  /// outcome. Retention power per FF defaults to 10x a shadow cell's
+  /// leakage (master+slave+local clocking of a 40 nm LP FF).
+  static StandbyParams from_measured(const cell::Characterizer& chr,
+                                     cell::Corner corner, std::size_t totalFfs,
+                                     std::size_t pairs);
+};
+
+struct StandbyEnergies {
+  double retentionJ = 0.0;
+  double saveRestoreJ = 0.0;
+  double nvShadow1bitJ = 0.0;
+  double nvShadowMultibitJ = 0.0;
+};
+
+/// Energy of one standby episode of duration `seconds` under each scheme.
+StandbyEnergies standby_energy(const StandbyParams& params, double seconds);
+
+/// Standby duration beyond which the 1-bit (or multi-bit) NV scheme beats
+/// keeping the retention rail. Returns +inf when NV never wins.
+double nv_break_even_seconds(const StandbyParams& params, bool multibit);
+
+/// Power-gating policy applied to each idle episode of a workload.
+enum class GatingPolicy {
+  NeverGate,          ///< retention rail for every idle period
+  AlwaysGate,         ///< NV store + restore for every idle period
+  BreakEvenThreshold, ///< gate only when the episode exceeds break-even
+};
+
+/// Total standby energy over a trace of idle-episode durations [s].
+double total_standby_energy(const StandbyParams& params,
+                            const std::vector<double>& idleSeconds,
+                            GatingPolicy policy, bool multibit);
+
+} // namespace nvff::core

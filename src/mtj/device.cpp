@@ -1,0 +1,87 @@
+#include "mtj/device.hpp"
+
+#include <cmath>
+
+namespace nvff::mtj {
+
+MtjDevice::MtjDevice(std::string name, spice::NodeId free, spice::NodeId ref,
+                     MtjModel model, MtjOrientation initial)
+    : Device(std::move(name)),
+      free_(free),
+      ref_(ref),
+      model_(std::move(model)),
+      orientation_(initial) {}
+
+double MtjDevice::effective_resistance(double bias) const {
+  switch (defect_) {
+    case MtjDefect::ShortedBarrier:
+      return 300.0; // pinhole short
+    case MtjDefect::OpenBarrier:
+      return 50e6; // broken contact
+    default:
+      return model_.resistance(orientation_, bias);
+  }
+}
+
+void MtjDevice::stamp(spice::Stamper& stamper, const spice::SimState& state) {
+  const double v = state.v(free_) - state.v(ref_);
+  const double r = effective_resistance(v);
+  const double drdv = (defect_ == MtjDefect::ShortedBarrier ||
+                       defect_ == MtjDefect::OpenBarrier)
+                          ? 0.0
+                          : model_.resistance_derivative(orientation_, v);
+  // I(V) = V / R(V); dI/dV = 1/R - V * R' / R^2.
+  const double i0 = v / r;
+  const double didv = 1.0 / r - v * drdv / (r * r);
+  stamper.nonlinear_current(free_, ref_, i0,
+                            {{free_, didv}, {ref_, -didv}}, state);
+}
+
+void MtjDevice::end_step(const spice::SimState& state) {
+  if (defect_ != MtjDefect::None) return; // a defective pillar never switches
+  if (!state.transient || state.dt <= 0.0) return;
+  const double i = current(state);
+  const MtjOrientation target = (i > 0.0) ? MtjOrientation::Parallel
+                                          : MtjOrientation::AntiParallel;
+  if (target == orientation_ || i == 0.0) {
+    // No torque toward a flip; relax accumulated progress (the free layer
+    // falls back into its well). Full reset is the standard compact-model
+    // simplification for pulses separated by more than the precession time.
+    progress_ = 0.0;
+    return;
+  }
+  const double tau = model_.switching_time(i);
+  if (!std::isfinite(tau)) return;
+  progress_ += state.dt / tau;
+  if (progress_ >= 1.0) {
+    orientation_ = target;
+    progress_ = 0.0;
+    ++flipCount_;
+  }
+}
+
+void MtjDevice::set_orientation(MtjOrientation orientation) {
+  orientation_ = orientation;
+  progress_ = 0.0;
+}
+
+double MtjDevice::current(const spice::SimState& state) const {
+  const double v = state.v(free_) - state.v(ref_);
+  return v / effective_resistance(v);
+}
+
+double MtjDevice::resistance(const spice::SimState& state) const {
+  const double v = state.v(free_) - state.v(ref_);
+  return effective_resistance(v);
+}
+
+void MtjDevice::inject_defect(MtjDefect defect) {
+  defect_ = defect;
+  progress_ = 0.0;
+  if (defect == MtjDefect::PinnedParallel) orientation_ = MtjOrientation::Parallel;
+  if (defect == MtjDefect::PinnedAntiParallel) {
+    orientation_ = MtjOrientation::AntiParallel;
+  }
+}
+
+} // namespace nvff::mtj

@@ -1,0 +1,74 @@
+// SPICE-engine adapter for the MTJ compact model.
+//
+// Electrically the MTJ is a state- and bias-dependent nonlinear resistor.
+// Magnetically it integrates "switching progress" whenever the through
+// current favours a flip, and commits the flip once the accumulated
+// progress reaches one mean switching time. The progress integral makes the
+// device respond correctly to a write pulse that is briefly interrupted, and
+// to sub-critical read currents (progress accumulates astronomically slowly).
+#pragma once
+
+#include "mtj/model.hpp"
+#include "spice/device.hpp"
+
+namespace nvff::mtj {
+
+/// Manufacturing-defect modes of an MTJ pillar (for the fault-injection
+/// study; ref [16] of the paper treats these for NV flip-flops).
+enum class MtjDefect {
+  None,
+  PinnedParallel,     ///< free layer cannot leave P (write fails toward AP)
+  PinnedAntiParallel, ///< free layer cannot leave AP
+  ShortedBarrier,     ///< pinhole: resistance collapses to a few hundred ohm
+  OpenBarrier,        ///< broken contact: mega-ohm open
+};
+
+class MtjDevice : public spice::Device {
+public:
+  /// `free` is the free-layer terminal, `ref` the reference-layer terminal.
+  /// Positive current free->ref favours the Parallel state (see MtjModel).
+  MtjDevice(std::string name, spice::NodeId free, spice::NodeId ref, MtjModel model,
+            MtjOrientation initial);
+
+  void stamp(spice::Stamper& stamper, const spice::SimState& state) override;
+  bool is_nonlinear() const override { return true; }
+  void end_step(const spice::SimState& state) override;
+
+  MtjOrientation orientation() const { return orientation_; }
+  void set_orientation(MtjOrientation orientation);
+
+  /// Through current (free -> ref) at the given solver state.
+  double current(const spice::SimState& state) const;
+
+  /// Resistance at the given solver state's bias.
+  double resistance(const spice::SimState& state) const;
+
+  const MtjModel& model() const { return model_; }
+  spice::NodeId free_node() const { return free_; }
+  spice::NodeId ref_node() const { return ref_; }
+
+  /// Fraction [0, 1) of the switching process accumulated so far.
+  double switching_progress() const { return progress_; }
+
+  /// Number of orientation flips committed during simulation.
+  int flip_count() const { return flipCount_; }
+
+  /// Injects a manufacturing defect (see MtjDefect). Pinned defects force
+  /// the orientation immediately and block all future switching; barrier
+  /// defects override the electrical resistance.
+  void inject_defect(MtjDefect defect);
+  MtjDefect defect() const { return defect_; }
+
+private:
+  /// Effective resistance honouring barrier defects.
+  double effective_resistance(double bias) const;
+  spice::NodeId free_;
+  spice::NodeId ref_;
+  MtjModel model_;
+  MtjOrientation orientation_;
+  double progress_ = 0.0;
+  int flipCount_ = 0;
+  MtjDefect defect_ = MtjDefect::None;
+};
+
+} // namespace nvff::mtj

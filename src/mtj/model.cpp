@@ -1,0 +1,98 @@
+#include "mtj/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace nvff::mtj {
+
+MtjParams MtjParams::table1() { return MtjParams{}; }
+
+MtjParams MtjParams::at_sigma(double nSigmaRa, double nSigmaTmr, double nSigmaIc) const {
+  MtjParams p = *this;
+  const double raScale = 1.0 + nSigmaRa * kSigmaRaRel;
+  const double tmrScale = 1.0 + nSigmaTmr * kSigmaTmrRel;
+  const double icScale = 1.0 + nSigmaIc * kSigmaIcRel;
+  p.ra *= raScale;
+  // R_P tracks the RA product; R_AP = R_P * (1 + TMR).
+  p.rParallel *= raScale;
+  p.tmr0 *= tmrScale;
+  p.rAntiParallel = p.rParallel * (1.0 + p.tmr0);
+  p.iCritical *= icScale;
+  p.iSwitching *= icScale;
+  return p;
+}
+
+MtjParams MtjParams::sample(Rng& rng) const {
+  return at_sigma(rng.normal_clamped(0.0, 1.0, 3.0), rng.normal_clamped(0.0, 1.0, 3.0),
+                  rng.normal_clamped(0.0, 1.0, 3.0));
+}
+
+MtjModel::MtjModel(MtjParams params) : params_(params) {
+  if (params_.iSwitching <= params_.iCritical) {
+    throw std::invalid_argument("MtjModel: iSwitching must exceed iCritical");
+  }
+  // Calibrate the Sun coefficient so the nominal write current switches in
+  // the paper's 2 ns write window, accounting for the (small) thermal rate
+  // floor: 1/2ns = 1/tauCrossover + (Isw - Ic)/c.
+  constexpr double kNominalSwitchTime = 2e-9;
+  const double targetRate = 1.0 / kNominalSwitchTime - 1.0 / params_.tauCrossover;
+  if (targetRate <= 0.0) {
+    throw std::invalid_argument("MtjModel: tauCrossover must exceed 2 ns");
+  }
+  sunCoefficient_ = (params_.iSwitching - params_.iCritical) / targetRate;
+}
+
+double MtjModel::tmr(double bias) const {
+  const double x = bias / params_.vHalf;
+  return params_.tmr0 / (1.0 + x * x);
+}
+
+double MtjModel::resistance(MtjOrientation state, double bias) const {
+  if (state == MtjOrientation::Parallel) return params_.rParallel;
+  return params_.rParallel * (1.0 + tmr(bias));
+}
+
+double MtjModel::resistance_derivative(MtjOrientation state, double bias) const {
+  if (state == MtjOrientation::Parallel) return 0.0;
+  const double vh2 = params_.vHalf * params_.vHalf;
+  const double denom = 1.0 + bias * bias / vh2;
+  return params_.rParallel * params_.tmr0 * (-2.0 * bias / vh2) / (denom * denom);
+}
+
+double MtjModel::switching_time(double current) const {
+  const double i = std::fabs(current);
+  if (i <= 0.0) return std::numeric_limits<double>::infinity();
+
+  // Thermal (Arrhenius) rate; the barrier term vanishes at and above Ic.
+  const double barrier =
+      params_.thermalStability * std::max(0.0, 1.0 - i / params_.iCritical);
+  double rate = 0.0;
+  if (barrier < 700.0) {
+    rate += std::exp(-barrier) / params_.tauCrossover;
+  }
+  // Precessional (Sun) rate above the critical current.
+  if (i > params_.iCritical) {
+    rate += (i - params_.iCritical) / sunCoefficient_;
+  }
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / rate;
+}
+
+double MtjModel::retention_time() const {
+  if (params_.thermalStability > 700.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return params_.tauCrossover * std::exp(params_.thermalStability);
+}
+
+bool MtjModel::polarity_favours(double current, MtjOrientation target) {
+  // Positive current = conventional current from free layer to reference
+  // layer = electrons traverse the reference layer first and torque the free
+  // layer parallel.
+  if (target == MtjOrientation::Parallel) return current > 0.0;
+  return current < 0.0;
+}
+
+} // namespace nvff::mtj

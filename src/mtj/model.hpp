@@ -1,0 +1,106 @@
+// Compact model of a Spin-Transfer-Torque Magnetic Tunnel Junction.
+//
+// Reproduces the observable behaviour of the perpendicular-anisotropy MTJ
+// model the paper uses ([29], Mejdoubi et al.) at the level the evaluation
+// needs:
+//  * resistance in the P / AP states, with the experimentally observed
+//    bias-dependent TMR roll-off (AP resistance falls with |V|),
+//  * spin-transfer switching with the Sun precessional model above the
+//    critical current and an Arrhenius thermal-activation term below it,
+//  * +-3 sigma process variation on the RA product, TMR and critical
+//    current (the paper's corner variables, Section IV-A).
+//
+// Parameter defaults are Table I of the paper.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace nvff::mtj {
+
+/// Magnetization configuration of the free layer relative to the reference
+/// layer. Parallel = low resistance, AntiParallel = high resistance.
+enum class MtjOrientation { Parallel, AntiParallel };
+
+/// Physical + electrical parameters (Table I defaults).
+struct MtjParams {
+  // Geometry (informational; the electrical values below are authoritative,
+  // see note on the paper's RA/R_P inconsistency in EXPERIMENTS.md).
+  double radius = 20e-9;         ///< [m]
+  double freeThickness = 1.84e-9; ///< [m]
+  double oxideThickness = 1.48e-9; ///< [m]
+
+  double ra = 1.26e-12;   ///< resistance-area product [Ohm m^2]
+  double tmr0 = 1.23;     ///< TMR at zero bias (123 %)
+  double rParallel = 5e3; ///< 'P' resistance [Ohm]
+  double rAntiParallel = 11e3; ///< 'AP' resistance at 0 V [Ohm]
+
+  double vHalf = 0.5;  ///< bias at which TMR halves [V]
+  double iCritical = 37e-6;  ///< critical switching current [A]
+  double iSwitching = 70e-6; ///< nominal write current [A]
+  /// Switching time exactly at the critical current — the crossover point
+  /// between the thermally-activated and precessional regimes. The combined
+  /// rate model is continuous and monotone through I = Ic.
+  double tauCrossover = 50e-9;
+  double thermalStability = 60.0; ///< Delta = E_b / kT
+  double tempK = 300.15;
+
+  /// Defaults straight from Table I.
+  static MtjParams table1();
+
+  /// Returns parameters shifted by the given number of standard deviations
+  /// on each corner variable (the paper's +-3 sigma analysis). Positive
+  /// nSigma* increases the variable.
+  MtjParams at_sigma(double nSigmaRa, double nSigmaTmr, double nSigmaIc) const;
+
+  /// Monte-Carlo sample with independent gaussian variation, clamped at
+  /// +-3 sigma (matching the paper's corner envelope).
+  MtjParams sample(Rng& rng) const;
+
+  /// One-sigma relative variations used by at_sigma()/sample().
+  static constexpr double kSigmaRaRel = 0.05;
+  static constexpr double kSigmaTmrRel = 0.05;
+  static constexpr double kSigmaIcRel = 0.05;
+};
+
+/// Stateless electrical/dynamic model evaluated against MtjParams.
+class MtjModel {
+public:
+  explicit MtjModel(MtjParams params);
+
+  const MtjParams& params() const { return params_; }
+
+  /// Bias-dependent TMR: TMR(V) = TMR0 / (1 + (V/Vh)^2).
+  double tmr(double bias) const;
+
+  /// Resistance in the given orientation at the given bias [Ohm].
+  /// P-state resistance is bias-independent; AP follows the TMR roll-off.
+  double resistance(MtjOrientation state, double bias) const;
+
+  /// d(resistance)/d(bias) — needed for the Newton stamp.
+  double resistance_derivative(MtjOrientation state, double bias) const;
+
+  /// Mean switching time for a sustained current of magnitude `current` in
+  /// the favourable polarity [s]. Combined-rate model, continuous and
+  /// monotone in |I|:
+  ///   1/tau = 1/tau_th + 1/tau_prec
+  ///   tau_th   = tauCrossover * exp(Delta * max(0, 1 - I/Ic))   (Arrhenius)
+  ///   tau_prec = c / (I - Ic) for I > Ic, infinite otherwise    (Sun)
+  /// with c calibrated so tau(iSwitching) is exactly the paper's 2 ns.
+  double switching_time(double current) const;
+
+  /// Zero-current data-retention time: the Arrhenius lifetime of the stored
+  /// state, tauCrossover * exp(Delta). With Table I's Delta = 60 this is
+  /// astronomically long (decades) — the "non-volatile" in the paper title.
+  double retention_time() const;
+
+  /// True if a current of this polarity drives the device toward `target`.
+  /// Positive current is defined as flowing from the free-layer terminal to
+  /// the reference-layer terminal, which favours the AP->P transition.
+  static bool polarity_favours(double current, MtjOrientation target);
+
+private:
+  MtjParams params_;
+  double sunCoefficient_; // c in tau = c / (I - Ic)
+};
+
+} // namespace nvff::mtj

@@ -1,0 +1,70 @@
+#include "pairing/grouping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvff::pairing {
+
+std::size_t GroupingResult::grouped_ffs() const {
+  std::size_t n = 0;
+  for (const auto& g : groups) n += g.members.size();
+  return n;
+}
+
+GroupingResult group_flip_flops(const std::vector<FlipFlopSite>& sites,
+                                const GroupingOptions& options) {
+  GroupingResult result;
+  if (options.groupSize < 2) {
+    result.ungrouped.resize(sites.size());
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      result.ungrouped[i] = static_cast<int>(i);
+    }
+    return result;
+  }
+
+  // Neighbour lists within the distance budget (reuse the pairing grid).
+  PairingOptions edgeOpt;
+  edgeOpt.maxDistance = options.maxDistance;
+  const auto edges = candidate_edges(sites, edgeOpt);
+  std::vector<std::vector<std::pair<double, int>>> neighbours(sites.size());
+  for (const auto& e : edges) {
+    neighbours[static_cast<std::size_t>(e.a)].push_back({e.distance, e.b});
+    neighbours[static_cast<std::size_t>(e.b)].push_back({e.distance, e.a});
+  }
+  for (auto& list : neighbours) std::sort(list.begin(), list.end());
+
+  // Seed order: densest neighbourhoods first — they fill complete groups,
+  // sparse outskirts are handled last.
+  std::vector<std::size_t> order(sites.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return neighbours[a].size() > neighbours[b].size();
+  });
+
+  std::vector<char> taken(sites.size(), 0);
+  for (std::size_t seed : order) {
+    if (taken[seed]) continue;
+    Group group;
+    group.members.push_back(static_cast<int>(seed));
+    for (const auto& [dist, idx] : neighbours[seed]) {
+      if (group.members.size() >= static_cast<std::size_t>(options.groupSize)) break;
+      if (taken[static_cast<std::size_t>(idx)]) continue;
+      group.members.push_back(idx);
+      group.spanUm = std::max(group.spanUm, dist);
+    }
+    const bool keep =
+        options.requireFull
+            ? group.members.size() == static_cast<std::size_t>(options.groupSize)
+            : group.members.size() >= 2;
+    if (!keep) continue;
+    for (int m : group.members) taken[static_cast<std::size_t>(m)] = 1;
+    result.groupSizes.add(static_cast<double>(group.members.size()));
+    result.groups.push_back(std::move(group));
+  }
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (!taken[i]) result.ungrouped.push_back(static_cast<int>(i));
+  }
+  return result;
+}
+
+} // namespace nvff::pairing

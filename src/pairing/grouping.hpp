@@ -1,0 +1,41 @@
+// Flip-flop grouping for N-bit shadow cells (the scalability extension of
+// the paper's pairing step): partition placed flip-flops into groups of up
+// to `groupSize` mutually close members, each group sharing one scalable
+// N-bit NV cell.
+//
+// The constraint generalizes the paper's pairing rule: every member of a
+// group must lie within `maxDistance` (the width budget of the merged cell)
+// of the group's seed. Greedy seeding by local density plus a balanced
+// k-nearest gather keeps the algorithm at the complexity of a DEF script,
+// like the paper's.
+#pragma once
+
+#include "pairing/pairing.hpp"
+
+namespace nvff::pairing {
+
+struct Group {
+  std::vector<int> members; ///< site indices, 2..groupSize of them
+  double spanUm = 0.0;      ///< max member distance from the seed
+};
+
+struct GroupingResult {
+  std::vector<Group> groups;   ///< only groups with >= 2 members
+  std::vector<int> ungrouped;  ///< left as 1-bit cells
+  SampleSet groupSizes;
+
+  /// Number of flip-flops absorbed into multi-bit cells.
+  std::size_t grouped_ffs() const;
+};
+
+struct GroupingOptions {
+  int groupSize = 4;          ///< capacity of one N-bit cell
+  double maxDistance = 3.35;  ///< [um] distance budget from the group seed
+  bool requireFull = false;   ///< only emit exactly-full groups
+};
+
+/// Greedy density-seeded grouping.
+GroupingResult group_flip_flops(const std::vector<FlipFlopSite>& sites,
+                                const GroupingOptions& options);
+
+} // namespace nvff::pairing

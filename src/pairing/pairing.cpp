@@ -1,0 +1,185 @@
+#include "pairing/pairing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nvff::pairing {
+namespace {
+
+double site_distance(const FlipFlopSite& a, const FlipFlopSite& b,
+                     const PairingOptions& options) {
+  if (options.sameRowOnly) {
+    // Different rows never pair; same row pairs by horizontal distance.
+    const double rowA = std::floor(a.y / options.rowHeight + 0.5);
+    const double rowB = std::floor(b.y / options.rowHeight + 0.5);
+    if (rowA != rowB) return std::numeric_limits<double>::infinity();
+    return std::fabs(a.x - b.x);
+  }
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+} // namespace
+
+std::vector<Pair> candidate_edges(const std::vector<FlipFlopSite>& sites,
+                                  const PairingOptions& options) {
+  std::vector<Pair> edges;
+  if (sites.empty() || options.maxDistance <= 0.0) return edges;
+
+  // Uniform grid binning: only neighbouring bins can hold candidates.
+  const double cell = options.maxDistance;
+  std::unordered_map<long long, std::vector<int>> bins;
+  auto key = [&](double x, double y) {
+    const auto bx = static_cast<long long>(std::floor(x / cell));
+    const auto by = static_cast<long long>(std::floor(y / cell));
+    return bx * 1000003LL + by;
+  };
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    bins[key(sites[i].x, sites[i].y)].push_back(static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const auto bx = static_cast<long long>(std::floor(sites[i].x / cell));
+    const auto by = static_cast<long long>(std::floor(sites[i].y / cell));
+    for (long long dx = -1; dx <= 1; ++dx) {
+      for (long long dy = -1; dy <= 1; ++dy) {
+        const auto it = bins.find((bx + dx) * 1000003LL + (by + dy));
+        if (it == bins.end()) continue;
+        for (int j : it->second) {
+          if (j <= static_cast<int>(i)) continue;
+          const double d = site_distance(sites[i], sites[j], options);
+          if (d <= options.maxDistance) {
+            edges.push_back({static_cast<int>(i), j, d});
+          }
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+PairingResult pair_flip_flops(const std::vector<FlipFlopSite>& sites,
+                              const PairingOptions& options) {
+  PairingResult result;
+  std::vector<Pair> edges = candidate_edges(sites, options);
+  std::sort(edges.begin(), edges.end(),
+            [](const Pair& a, const Pair& b) { return a.distance < b.distance; });
+
+  std::vector<int> match(sites.size(), -1);
+  for (const auto& e : edges) {
+    if (match[static_cast<std::size_t>(e.a)] < 0 &&
+        match[static_cast<std::size_t>(e.b)] < 0) {
+      match[static_cast<std::size_t>(e.a)] = e.b;
+      match[static_cast<std::size_t>(e.b)] = e.a;
+    }
+  }
+
+  if (options.algorithm == MatchAlgorithm::GreedyImproved) {
+    // Length-3 alternating-path improvement: an unmatched u adjacent to a
+    // matched v (v-w) can free w; if w has another unmatched neighbour z,
+    // re-pairing as (u,v) + (w,z) gains one pair. Iterate to fixpoint.
+    std::vector<std::vector<int>> adjacency(sites.size());
+    for (const auto& e : edges) {
+      adjacency[static_cast<std::size_t>(e.a)].push_back(e.b);
+      adjacency[static_cast<std::size_t>(e.b)].push_back(e.a);
+    }
+    bool improved = true;
+    int rounds = 0;
+    while (improved && rounds < 16) {
+      improved = false;
+      ++rounds;
+      for (std::size_t u = 0; u < sites.size(); ++u) {
+        if (match[u] >= 0) continue;
+        bool done = false;
+        for (int v : adjacency[u]) {
+          const int w = match[static_cast<std::size_t>(v)];
+          if (w < 0) {
+            // Direct free edge (can happen after other swaps).
+            match[u] = v;
+            match[static_cast<std::size_t>(v)] = static_cast<int>(u);
+            improved = true;
+            done = true;
+            break;
+          }
+          for (int z : adjacency[static_cast<std::size_t>(w)]) {
+            if (z == v || match[static_cast<std::size_t>(z)] >= 0 ||
+                static_cast<std::size_t>(z) == u) {
+              continue;
+            }
+            match[u] = v;
+            match[static_cast<std::size_t>(v)] = static_cast<int>(u);
+            match[static_cast<std::size_t>(w)] = z;
+            match[static_cast<std::size_t>(z)] = w;
+            improved = true;
+            done = true;
+            break;
+          }
+          if (done) break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const int m = match[i];
+    if (m < 0) {
+      result.unmatched.push_back(static_cast<int>(i));
+    } else if (static_cast<int>(i) < m) {
+      const double d = site_distance(sites[i], sites[static_cast<std::size_t>(m)],
+                                     options);
+      result.pairs.push_back({static_cast<int>(i), m, d});
+      result.pairDistances.add(d);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::size_t max_matching_mask(const std::vector<std::vector<int>>& adjacency,
+                              unsigned mask, std::vector<int>& memo) {
+  if (memo[mask] >= 0) return static_cast<std::size_t>(memo[mask]);
+  // Find lowest set bit (unprocessed vertex).
+  int u = -1;
+  for (std::size_t i = 0; i < adjacency.size(); ++i) {
+    if (mask & (1u << i)) {
+      u = static_cast<int>(i);
+      break;
+    }
+  }
+  if (u < 0) {
+    memo[mask] = 0;
+    return 0;
+  }
+  // Option 1: leave u unmatched.
+  std::size_t best = max_matching_mask(adjacency, mask & ~(1u << u), memo);
+  // Option 2: match u with any available neighbour.
+  for (int v : adjacency[static_cast<std::size_t>(u)]) {
+    if (!(mask & (1u << v))) continue;
+    best = std::max(best, 1 + max_matching_mask(
+                              adjacency, mask & ~(1u << u) & ~(1u << v), memo));
+  }
+  memo[mask] = static_cast<int>(best);
+  return best;
+}
+
+} // namespace
+
+std::size_t exact_max_matching(const std::vector<FlipFlopSite>& sites,
+                               const PairingOptions& options) {
+  if (sites.size() > 20) {
+    throw std::invalid_argument("exact_max_matching: too many sites (max 20)");
+  }
+  const auto edges = candidate_edges(sites, options);
+  std::vector<std::vector<int>> adjacency(sites.size());
+  for (const auto& e : edges) {
+    adjacency[static_cast<std::size_t>(e.a)].push_back(e.b);
+    adjacency[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+  std::vector<int> memo(1u << sites.size(), -1);
+  return max_matching_mask(adjacency, (1u << sites.size()) - 1, memo);
+}
+
+} // namespace nvff::pairing

@@ -1,0 +1,72 @@
+// Flip-flop pairing: the paper's "script executed over the DEF file"
+// (Sec. IV-C). Finds flip-flop pairs closer than the distance threshold
+// (twice the width of the standard NV component, <= 3.35 um) and matches
+// them so each FF joins at most one 2-bit cell.
+//
+// Greedy matching (sorted by distance) is what a practical script does; the
+// local-improvement matcher augments it toward maximum cardinality so we can
+// also quantify how much the simple script leaves on the table (an ablation
+// the paper does not run).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace nvff::pairing {
+
+struct FlipFlopSite {
+  std::string name;
+  double x = 0.0; ///< center [um]
+  double y = 0.0; ///< center [um]
+};
+
+struct Pair {
+  int a = -1; ///< index into the site list
+  int b = -1;
+  double distance = 0.0; ///< [um]
+};
+
+struct PairingResult {
+  std::vector<Pair> pairs;
+  std::vector<int> unmatched; ///< site indices left as 1-bit cells
+  SampleSet pairDistances;
+
+  std::size_t num_pairs() const { return pairs.size(); }
+  /// Fraction of flip-flops absorbed into 2-bit cells.
+  double paired_fraction(std::size_t totalFfs) const {
+    return totalFfs == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(pairs.size()) / static_cast<double>(totalFfs);
+  }
+};
+
+enum class MatchAlgorithm {
+  Greedy,           ///< sort candidate edges by distance, take greedily
+  GreedyImproved,   ///< greedy + alternating-path local improvement
+};
+
+struct PairingOptions {
+  double maxDistance = 3.35;    ///< [um], paper's threshold
+  MatchAlgorithm algorithm = MatchAlgorithm::GreedyImproved;
+  /// Distance metric: center-to-center Euclidean (default) or same-row
+  /// horizontal distance only (stricter: merged cells occupy one row pair).
+  bool sameRowOnly = false;
+  double rowHeight = 1.68; ///< [um], used when sameRowOnly is set
+};
+
+/// Runs the pairing over flip-flop sites.
+PairingResult pair_flip_flops(const std::vector<FlipFlopSite>& sites,
+                              const PairingOptions& options = {});
+
+/// Candidate edges within the threshold (exposed for tests/ablations).
+std::vector<Pair> candidate_edges(const std::vector<FlipFlopSite>& sites,
+                                  const PairingOptions& options);
+
+/// Exact maximum matching by exhaustive search; only for <= ~20 sites
+/// (tests use it as the ground truth for the heuristics).
+std::size_t exact_max_matching(const std::vector<FlipFlopSite>& sites,
+                               const PairingOptions& options);
+
+} // namespace nvff::pairing

@@ -1,0 +1,103 @@
+#include "physdes/def_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace nvff::physdes {
+namespace {
+constexpr double kDbuPerMicron = 1000.0;
+
+long to_dbu(double um) { return std::lround(um * kDbuPerMicron); }
+} // namespace
+
+std::string to_def(const Placement& placement, const bench::Netlist& netlist) {
+  std::ostringstream out;
+  out << "VERSION 5.8 ;\n";
+  out << "DESIGN " << placement.designName << " ;\n";
+  out << "UNITS DISTANCE MICRONS " << static_cast<long>(kDbuPerMicron) << " ;\n";
+  out << "DIEAREA ( 0 0 ) ( " << to_dbu(placement.dieWidth) << " "
+      << to_dbu(placement.dieHeight) << " ) ;\n";
+  // Count row components (pads excluded: DEF would list them as PINS).
+  std::size_t numComponents = 0;
+  for (const auto& c : placement.cells) {
+    if (!c.fixedPad) ++numComponents;
+  }
+  out << "COMPONENTS " << numComponents << " ;\n";
+  for (const auto& c : placement.cells) {
+    if (c.fixedPad) continue;
+    const auto& g = netlist.gate(c.gate);
+    out << "  - " << g.name << " " << bench::gate_type_name(g.type) << " + PLACED ( "
+        << to_dbu(c.x) << " " << to_dbu(c.y) << " ) N ;\n";
+  }
+  out << "END COMPONENTS\n";
+  out << "END DESIGN\n";
+  return out.str();
+}
+
+void save_def_file(const Placement& placement, const bench::Netlist& netlist,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write DEF file: " + path);
+  out << to_def(placement, netlist);
+}
+
+DefDesign parse_def(std::istream& in) {
+  DefDesign design;
+  std::string line;
+  bool inComponents = false;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto tokens = split(line, " \t;");
+    if (tokens.empty()) continue;
+    if (tokens[0] == "DESIGN" && tokens.size() >= 2) {
+      design.name = tokens[1];
+    } else if (tokens[0] == "DIEAREA" && tokens.size() >= 8) {
+      // DIEAREA ( x0 y0 ) ( x1 y1 )
+      design.dieWidth = std::stod(tokens[6]) / kDbuPerMicron;
+      design.dieHeight = std::stod(tokens[7]) / kDbuPerMicron;
+    } else if (tokens[0] == "COMPONENTS") {
+      inComponents = true;
+    } else if (tokens[0] == "END" && tokens.size() >= 2 &&
+               tokens[1] == "COMPONENTS") {
+      inComponents = false;
+    } else if (inComponents && tokens[0] == "-") {
+      // - name cellType + PLACED ( x y ) N
+      if (tokens.size() < 9) {
+        throw std::runtime_error(
+            format("DEF parse error at line %d: short component record", lineNo));
+      }
+      DefComponent comp;
+      comp.name = tokens[1];
+      comp.cellType = tokens[2];
+      std::size_t k = 3;
+      while (k < tokens.size() && tokens[k] != "PLACED" && tokens[k] != "FIXED") ++k;
+      if (k + 3 >= tokens.size()) {
+        throw std::runtime_error(
+            format("DEF parse error at line %d: missing placement", lineNo));
+      }
+      comp.fixed = tokens[k] == "FIXED";
+      comp.x = std::stod(tokens[k + 2]) / kDbuPerMicron;
+      comp.y = std::stod(tokens[k + 3]) / kDbuPerMicron;
+      design.components.push_back(std::move(comp));
+    }
+  }
+  return design;
+}
+
+DefDesign parse_def_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_def(in);
+}
+
+DefDesign load_def_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open DEF file: " + path);
+  return parse_def(in);
+}
+
+} // namespace nvff::physdes

@@ -1,0 +1,44 @@
+// Minimal DEF (Design Exchange Format) subset writer/reader.
+//
+// The paper's merging step is "a script executed over the DEF file"
+// (Sec. IV-C); we reproduce that interface so the pairing stage consumes the
+// same artifact a real flow would produce. Supported subset: DESIGN, UNITS,
+// DIEAREA, COMPONENTS with fixed/placed locations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bench_circuits/netlist.hpp"
+#include "physdes/placement.hpp"
+
+namespace nvff::physdes {
+
+/// Serializes a placement as DEF text. `cellTypeOf` names each component's
+/// library cell (defaults to the gate type name).
+std::string to_def(const Placement& placement, const bench::Netlist& netlist);
+void save_def_file(const Placement& placement, const bench::Netlist& netlist,
+                   const std::string& path);
+
+/// A component parsed back from DEF.
+struct DefComponent {
+  std::string name;
+  std::string cellType;
+  double x = 0.0; ///< [um]
+  double y = 0.0; ///< [um]
+  bool fixed = false;
+};
+
+struct DefDesign {
+  std::string name;
+  double dieWidth = 0.0;
+  double dieHeight = 0.0;
+  std::vector<DefComponent> components;
+};
+
+/// Parses the DEF subset back. Throws std::runtime_error on malformed text.
+DefDesign parse_def(std::istream& in);
+DefDesign parse_def_string(const std::string& text);
+DefDesign load_def_file(const std::string& path);
+
+} // namespace nvff::physdes

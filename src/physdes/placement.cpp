@@ -1,0 +1,298 @@
+#include "physdes/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace nvff::physdes {
+
+using bench::GateId;
+using bench::GateType;
+using bench::Netlist;
+
+double cell_width(const Netlist& netlist, GateId id, const cell::CmosCellLibrary& lib) {
+  const auto& g = netlist.gate(id);
+  double area = 0.0;
+  switch (g.type) {
+    case GateType::Input: return 0.0; // pads live on the boundary, not in rows
+    case GateType::Dff: return lib.ffWidth;
+    case GateType::Buf: area = lib.bufArea; break;
+    case GateType::Not: area = lib.inverterArea; break;
+    case GateType::And: area = lib.and2Area; break;
+    case GateType::Nand: area = lib.nand2Area; break;
+    case GateType::Or: area = lib.or2Area; break;
+    case GateType::Nor: area = lib.nor2Area; break;
+    case GateType::Xor:
+    case GateType::Xnor: area = lib.xor2Area; break;
+  }
+  // Multi-input gates scale like stacked 2-input stages.
+  if (g.fanin.size() > 2) {
+    area *= 1.0 + 0.45 * static_cast<double>(g.fanin.size() - 2);
+  }
+  return area / lib.rowHeight;
+}
+
+namespace {
+
+/// Sparse symmetric matrix-free CG for the placement Laplacian.
+/// L = D - A over movable vertices; fixed vertices contribute to rhs.
+class LaplacianSystem {
+public:
+  LaplacianSystem(std::size_t n) : diag_(n, 0.0), adj_(n) {}
+
+  void add_edge(std::size_t a, std::size_t b, double w) {
+    diag_[a] += w;
+    diag_[b] += w;
+    adj_[a].push_back({b, w});
+    adj_[b].push_back({a, w});
+  }
+  void add_fixed_edge(std::size_t movable, double fixedCoord, double w,
+                      std::vector<double>& rhs) {
+    diag_[movable] += w;
+    rhs[movable] += w * fixedCoord;
+  }
+  void add_tether(std::size_t v, double center, double w, std::vector<double>& rhs) {
+    diag_[v] += w;
+    rhs[v] += w * center;
+  }
+
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const {
+    const std::size_t n = diag_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = diag_[i] * x[i];
+      for (const auto& [j, w] : adj_[i]) acc -= w * x[j];
+      y[i] = acc;
+    }
+  }
+
+  /// Jacobi-preconditioned CG.
+  void solve(const std::vector<double>& rhs, std::vector<double>& x, int maxIter,
+             double tol) const {
+    const std::size_t n = diag_.size();
+    std::vector<double> r(n), z(n), p(n), ap(n);
+    multiply(x, ap);
+    for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - ap[i];
+    auto precond = [&](const std::vector<double>& in, std::vector<double>& out) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = (diag_[i] > 0) ? in[i] / diag_[i] : in[i];
+      }
+    };
+    precond(r, z);
+    p = z;
+    double rz = std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
+    const double rhsNorm =
+        std::sqrt(std::inner_product(rhs.begin(), rhs.end(), rhs.begin(), 0.0)) + 1e-30;
+    for (int iter = 0; iter < maxIter; ++iter) {
+      multiply(p, ap);
+      const double pap = std::inner_product(p.begin(), p.end(), ap.begin(), 0.0);
+      if (pap <= 0.0) break;
+      const double alpha = rz / pap;
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] += alpha * p[i];
+        r[i] -= alpha * ap[i];
+      }
+      const double rNorm =
+          std::sqrt(std::inner_product(r.begin(), r.end(), r.begin(), 0.0));
+      if (rNorm / rhsNorm < tol) break;
+      precond(r, z);
+      const double rzNew = std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
+      const double beta = rzNew / rz;
+      rz = rzNew;
+      for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
+  }
+
+private:
+  std::vector<double> diag_;
+  std::vector<std::vector<std::pair<std::size_t, double>>> adj_;
+};
+
+} // namespace
+
+double Placement::hpwl(const Netlist& netlist) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < netlist.size(); ++i) {
+    const auto id = static_cast<GateId>(i);
+    for (GateId f : netlist.gate(id).fanin) {
+      total += std::fabs(cx(id) - cx(f)) + std::fabs(cy(id) - cy(f));
+    }
+  }
+  return total;
+}
+
+double Placement::utilization() const {
+  double used = 0.0;
+  for (const auto& c : cells) {
+    if (!c.fixedPad) used += c.width * rowHeight;
+  }
+  const double avail = dieWidth * dieHeight;
+  return avail > 0 ? used / avail : 0.0;
+}
+
+Placement place(const Netlist& netlist, const cell::CmosCellLibrary& lib,
+                const PlacerOptions& options) {
+  if (!netlist.finalized()) {
+    throw std::invalid_argument("place: netlist must be finalized");
+  }
+  const std::size_t n = netlist.size();
+
+  Placement result;
+  result.designName = netlist.name();
+  result.rowHeight = lib.rowHeight;
+  result.cells.resize(n);
+
+  // --- floorplan -------------------------------------------------------------
+  double totalArea = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<GateId>(i);
+    result.cells[i].gate = id;
+    result.cells[i].width = cell_width(netlist, id, lib);
+    totalArea += result.cells[i].width * lib.rowHeight;
+  }
+  const double dieArea = totalArea / options.utilization;
+  double side = std::sqrt(std::max(dieArea, lib.rowHeight * lib.rowHeight));
+  int numRows = std::max(1, static_cast<int>(std::ceil(side / lib.rowHeight)));
+  result.numRows = numRows;
+  result.dieHeight = numRows * lib.rowHeight;
+  result.dieWidth = std::max(dieArea / result.dieHeight, lib.rowHeight);
+
+  // --- fixed boundary pads for primary IOs ------------------------------------
+  // Pads are spread uniformly around the perimeter in id order.
+  std::vector<char> isPad(n, 0);
+  {
+    std::vector<GateId> ios = netlist.inputs();
+    for (GateId o : netlist.outputs()) ios.push_back(o);
+    // Outputs are real gates; only INPUT gates are pure pads, but both act
+    // as boundary anchors the way IO pins do after floorplanning. Inputs are
+    // pinned; output-driving gates just get an extra boundary pull.
+    const std::size_t numAnchors = ios.size();
+    const double perimeter = 2.0 * (result.dieWidth + result.dieHeight);
+    for (std::size_t k = 0; k < numAnchors; ++k) {
+      const GateId id = ios[k];
+      const double s = perimeter * static_cast<double>(k) /
+                       std::max<std::size_t>(1, numAnchors);
+      double px = 0.0;
+      double py = 0.0;
+      if (s < result.dieWidth) {
+        px = s;
+        py = 0.0;
+      } else if (s < result.dieWidth + result.dieHeight) {
+        px = result.dieWidth;
+        py = s - result.dieWidth;
+      } else if (s < 2.0 * result.dieWidth + result.dieHeight) {
+        px = s - result.dieWidth - result.dieHeight;
+        py = result.dieHeight;
+      } else {
+        px = 0.0;
+        py = s - 2.0 * result.dieWidth - result.dieHeight;
+      }
+      if (netlist.gate(id).type == GateType::Input) {
+        auto& c = result.cells[static_cast<std::size_t>(id)];
+        c.x = px;
+        c.y = py;
+        c.fixedPad = true;
+        isPad[static_cast<std::size_t>(id)] = 1;
+      }
+    }
+  }
+
+  // --- quadratic global placement ---------------------------------------------
+  LaplacianSystem sysX(n);
+  std::vector<double> rhsX(n, 0.0);
+  std::vector<double> rhsY(n, 0.0);
+  // Single system: the Laplacian is identical for x and y (only rhs differ),
+  // but fixed-edge terms add to the diagonal, also identical. So one matrix,
+  // two rhs/solves.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<GateId>(i);
+    for (GateId f : netlist.gate(id).fanin) {
+      const auto fi = static_cast<std::size_t>(f);
+      const bool iPad = isPad[i] != 0;
+      const bool fPad = isPad[fi] != 0;
+      if (iPad && fPad) continue;
+      if (iPad) {
+        sysX.add_fixed_edge(fi, result.cells[i].x, 1.0, rhsX);
+        // y handled with the same diagonal; add rhs only.
+        rhsY[fi] += 1.0 * result.cells[i].y;
+      } else if (fPad) {
+        sysX.add_fixed_edge(i, result.cells[fi].x, 1.0, rhsX);
+        rhsY[i] += 1.0 * result.cells[fi].y;
+      } else {
+        sysX.add_edge(i, fi, 1.0);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (isPad[i]) continue;
+    sysX.add_tether(i, result.dieWidth / 2.0, options.centerTether, rhsX);
+    rhsY[i] += options.centerTether * result.dieHeight / 2.0;
+  }
+
+  std::vector<double> x(n, result.dieWidth / 2.0);
+  std::vector<double> y(n, result.dieHeight / 2.0);
+  sysX.solve(rhsX, x, options.cgMaxIterations, options.cgTolerance);
+  sysX.solve(rhsY, y, options.cgMaxIterations, options.cgTolerance);
+
+  // Deterministic tie-break jitter so identical coordinates legalize stably.
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (isPad[i]) continue;
+    x[i] += rng.uniform(-1e-4, 1e-4);
+    y[i] += rng.uniform(-1e-4, 1e-4);
+  }
+
+  // --- legalization: row assignment by y-order, in-row packing by x-order ----
+  std::vector<std::size_t> movable;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!isPad[i]) movable.push_back(i);
+  }
+  std::sort(movable.begin(), movable.end(),
+            [&](std::size_t a, std::size_t b) { return y[a] < y[b]; });
+
+  // Distribute cells to rows proportionally to width so every row fits.
+  const double totalWidth =
+      std::accumulate(movable.begin(), movable.end(), 0.0,
+                      [&](double acc, std::size_t i) { return acc + result.cells[i].width; });
+  const double widthPerRow = totalWidth / numRows;
+
+  std::size_t cursor = 0;
+  for (int row = 0; row < numRows && cursor < movable.size(); ++row) {
+    // Collect this row's cells by cumulative width.
+    std::vector<std::size_t> rowCells;
+    double acc = 0.0;
+    while (cursor < movable.size() &&
+           (acc < widthPerRow || row == numRows - 1)) {
+      rowCells.push_back(movable[cursor]);
+      acc += result.cells[movable[cursor]].width;
+      ++cursor;
+    }
+    std::sort(rowCells.begin(), rowCells.end(),
+              [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+    // Pack left-to-right with uniform extra spacing.
+    double rowWidth = 0.0;
+    for (std::size_t i : rowCells) rowWidth += result.cells[i].width;
+    const double slack = std::max(0.0, result.dieWidth - rowWidth);
+    const double gap =
+        rowCells.size() > 0 ? slack / static_cast<double>(rowCells.size() + 1) : 0.0;
+    double pen = gap;
+    for (std::size_t i : rowCells) {
+      auto& c = result.cells[i];
+      c.x = pen;
+      c.y = row * lib.rowHeight;
+      c.row = row;
+      pen += c.width + gap;
+    }
+  }
+
+  log_debug(format("place(%s): %zu cells, die %.1f x %.1f um, hpwl %.0f um",
+                   netlist.name().c_str(), n, result.dieWidth, result.dieHeight,
+                   result.hpwl(netlist)));
+  return result;
+}
+
+} // namespace nvff::physdes

@@ -1,0 +1,77 @@
+// Standard-cell placement substrate (stand-in for Cadence Encounter).
+//
+// The Table III experiment needs realistic *spatial statistics* of placed
+// flip-flops, not timing closure. We use the classic analytic recipe:
+//
+//  1. floorplan: die area = total cell area / utilization, row grid of
+//     12-track rows;
+//  2. global placement: quadratic (conjugate-gradient solve of the
+//     connectivity Laplacian, each fanin edge a 2-pin net) with primary IOs
+//     fixed as boundary pads and a weak centre tether for regularization;
+//  3. legalization: row assignment by y-order, in-row packing by x-order
+//     with uniform spreading.
+//
+// Connectivity locality survives the sort-based legalization, so register
+// banks land adjacently — the phenomenon (Fig. 9) that makes multi-bit
+// merging profitable.
+#pragma once
+
+#include <vector>
+
+#include "bench_circuits/netlist.hpp"
+#include "cell/technology.hpp"
+
+namespace nvff::physdes {
+
+struct PlacedCell {
+  bench::GateId gate = bench::kNoGate;
+  double x = 0.0; ///< cell left edge [um]
+  double y = 0.0; ///< row bottom [um]
+  double width = 0.0; ///< [um]
+  int row = -1;
+  bool fixedPad = false; ///< primary IO on the boundary
+};
+
+struct Placement {
+  std::string designName;
+  double dieWidth = 0.0;  ///< [um]
+  double dieHeight = 0.0; ///< [um]
+  double rowHeight = 0.0; ///< [um]
+  int numRows = 0;
+  std::vector<PlacedCell> cells; ///< index == GateId
+
+  /// Center of a cell [um].
+  double cx(bench::GateId id) const {
+    const auto& c = cells[static_cast<std::size_t>(id)];
+    return c.x + 0.5 * c.width;
+  }
+  double cy(bench::GateId id) const {
+    const auto& c = cells[static_cast<std::size_t>(id)];
+    return c.y + 0.5 * rowHeight;
+  }
+
+  /// Half-perimeter wirelength over all fanin edges [um].
+  double hpwl(const bench::Netlist& netlist) const;
+
+  /// Fraction of row capacity used (sanity metric).
+  double utilization() const;
+};
+
+struct PlacerOptions {
+  double utilization = 0.70;
+  int cgMaxIterations = 300;
+  double cgTolerance = 1e-7;
+  double centerTether = 1e-4; ///< weak pull keeping the system non-singular
+  std::uint64_t seed = 7;     ///< tie-break jitter
+};
+
+/// Places a finalized netlist. Cell widths come from the CMOS library (the
+/// NV shadow component is accounted for separately by the core flow).
+Placement place(const bench::Netlist& netlist, const cell::CmosCellLibrary& lib,
+                const PlacerOptions& options = {});
+
+/// Width of one cell type in um (exposed for the core flow / tests).
+double cell_width(const bench::Netlist& netlist, bench::GateId id,
+                  const cell::CmosCellLibrary& lib);
+
+} // namespace nvff::physdes

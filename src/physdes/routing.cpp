@@ -1,0 +1,145 @@
+#include "physdes/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace nvff::physdes {
+
+using bench::GateId;
+
+namespace {
+
+/// Accumulates wire through the bins along a straight horizontal or
+/// vertical segment.
+class BinGrid {
+public:
+  BinGrid(RoutingResult& result, double binSize)
+      : result_(result), binSize_(binSize) {}
+
+  int clampX(int x) const { return std::clamp(x, 0, result_.binsX - 1); }
+  int clampY(int y) const { return std::clamp(y, 0, result_.binsY - 1); }
+  int binOf(double coord) const {
+    return static_cast<int>(std::floor(coord / binSize_));
+  }
+
+  double& at(int x, int y) {
+    return result_.usage[static_cast<std::size_t>(clampY(y)) *
+                             static_cast<std::size_t>(result_.binsX) +
+                         static_cast<std::size_t>(clampX(x))];
+  }
+
+  /// Cost of running a segment (peeks at bin loads without committing).
+  double segment_cost(double x0, double y0, double x1, double y1) {
+    double cost = 0.0;
+    walk(x0, y0, x1, y1, [&](int bx, int by, double len) {
+      const double load = at(bx, by);
+      // Quadratic congestion penalty on top of length.
+      cost += len * (1.0 + std::pow(load / 400.0, 2.0));
+    });
+    return cost;
+  }
+
+  void commit(double x0, double y0, double x1, double y1) {
+    walk(x0, y0, x1, y1, [&](int bx, int by, double len) { at(bx, by) += len; });
+  }
+
+private:
+  template <typename Fn>
+  void walk(double x0, double y0, double x1, double y1, Fn&& fn) {
+    if (std::fabs(x1 - x0) >= std::fabs(y1 - y0)) {
+      // Horizontal segment in row bin(y0).
+      const int by = binOf(y0);
+      const double lo = std::min(x0, x1);
+      const double hi = std::max(x0, x1);
+      for (int bx = binOf(lo); bx <= binOf(hi); ++bx) {
+        const double left = std::max(lo, bx * binSize_);
+        const double right = std::min(hi, (bx + 1) * binSize_);
+        if (right > left) fn(bx, by, right - left);
+      }
+    } else {
+      const int bx = binOf(x0);
+      const double lo = std::min(y0, y1);
+      const double hi = std::max(y0, y1);
+      for (int by = binOf(lo); by <= binOf(hi); ++by) {
+        const double bottom = std::max(lo, by * binSize_);
+        const double top = std::min(hi, (by + 1) * binSize_);
+        if (top > bottom) fn(bx, by, top - bottom);
+      }
+    }
+  }
+
+  RoutingResult& result_;
+  double binSize_;
+};
+
+} // namespace
+
+RoutingResult route(const bench::Netlist& netlist, const Placement& placement,
+                    const RouterOptions& options) {
+  if (!netlist.finalized()) {
+    throw std::invalid_argument("route: netlist must be finalized");
+  }
+  if (placement.cells.size() != netlist.size()) {
+    throw std::invalid_argument("route: placement/netlist mismatch");
+  }
+  RoutingResult result;
+  result.capacityPerBin = options.capacityPerBin;
+  result.binsX = std::max(
+      1, static_cast<int>(std::ceil(placement.dieWidth / options.binSizeUm)));
+  result.binsY = std::max(
+      1, static_cast<int>(std::ceil(placement.dieHeight / options.binSizeUm)));
+  result.usage.assign(
+      static_cast<std::size_t>(result.binsX) * static_cast<std::size_t>(result.binsY),
+      0.0);
+  BinGrid grid(result, options.binSizeUm);
+
+  for (std::size_t i = 0; i < netlist.size(); ++i) {
+    const auto id = static_cast<GateId>(i);
+    const double x1 = placement.cx(id);
+    const double y1 = placement.cy(id);
+    for (GateId f : netlist.gate(id).fanin) {
+      const double x0 = placement.cx(f);
+      const double y0 = placement.cy(f);
+      // Choose the cheaper L (horizontal-then-vertical vs the other).
+      const double costHV = grid.segment_cost(x0, y0, x1, y0) +
+                            grid.segment_cost(x1, y0, x1, y1);
+      const double costVH = grid.segment_cost(x0, y0, x0, y1) +
+                            grid.segment_cost(x0, y1, x1, y1);
+      if (costHV <= costVH) {
+        grid.commit(x0, y0, x1, y0);
+        grid.commit(x1, y0, x1, y1);
+      } else {
+        grid.commit(x0, y0, x0, y1);
+        grid.commit(x0, y1, x1, y1);
+      }
+      result.totalWirelengthUm += std::fabs(x1 - x0) + std::fabs(y1 - y0);
+    }
+  }
+
+  for (double u : result.usage) {
+    result.maxUtilization = std::max(result.maxUtilization, u / options.capacityPerBin);
+    if (u > options.capacityPerBin) ++result.overflowedBins;
+  }
+  return result;
+}
+
+std::string RoutingResult::congestion_map() const {
+  std::ostringstream out;
+  for (int y = binsY - 1; y >= 0; --y) {
+    for (int x = 0; x < binsX; ++x) {
+      const double u = utilization(x, y);
+      char glyph = '.';
+      if (u > 1.0) glyph = '!';
+      else if (u > 0.75) glyph = '#';
+      else if (u > 0.5) glyph = '+';
+      else if (u > 0.25) glyph = '-';
+      out << glyph;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+} // namespace nvff::physdes

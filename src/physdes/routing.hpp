@@ -1,0 +1,51 @@
+// Global routing substrate (the "routing" third of the paper's
+// floorplan/placement/routing flow, Sec. IV-A).
+//
+// Grid-based global router: the die is divided into routing bins (g-cells);
+// every fanin edge is routed as an L-shape chosen to minimize congestion
+// (the cheaper of the two Ls by current bin load). Outputs: total routed
+// wirelength, per-bin utilization, overflow statistics — enough to check
+// that replacing FF pairs with multi-bit cells does not wreck (in fact
+// slightly relieves) local routing, supporting the paper's claim that the
+// merged cells drop into the normal flow.
+#pragma once
+
+#include <vector>
+
+#include "bench_circuits/netlist.hpp"
+#include "physdes/placement.hpp"
+
+namespace nvff::physdes {
+
+struct RouterOptions {
+  double binSizeUm = 5.0; ///< g-cell edge
+  /// Routable wire per bin [um]: ~35 tracks/layer at a 0.14 um pitch over a
+  /// 5 um g-cell, ~5 signal layers -> ~175 tracks x 5 um ≈ 875 um.
+  double capacityPerBin = 875.0;
+};
+
+struct RoutingResult {
+  int binsX = 0;
+  int binsY = 0;
+  std::vector<double> usage; ///< row-major [y * binsX + x], um of wire
+  double totalWirelengthUm = 0.0;
+  int overflowedBins = 0;
+  double maxUtilization = 0.0; ///< worst bin usage / capacity
+  double capacityPerBin = 0.0;
+
+  double utilization(int x, int y) const {
+    return usage[static_cast<std::size_t>(y) * static_cast<std::size_t>(binsX) +
+                 static_cast<std::size_t>(x)] /
+           capacityPerBin;
+  }
+
+  /// ASCII congestion heat map ('.' < 25 %, '-' < 50 %, '+' < 75 %,
+  /// '#' < 100 %, '!' overflow).
+  std::string congestion_map() const;
+};
+
+/// Routes every fanin edge of the placed netlist.
+RoutingResult route(const bench::Netlist& netlist, const Placement& placement,
+                    const RouterOptions& options = {});
+
+} // namespace nvff::physdes

@@ -1,0 +1,115 @@
+#include "physdes/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nvff::physdes {
+
+using bench::GateId;
+using bench::GateType;
+using bench::Netlist;
+
+TimingReport analyze_timing(const Netlist& netlist, const Placement& placement,
+                            const StaOptions& options) {
+  if (!netlist.finalized()) {
+    throw std::invalid_argument("analyze_timing: netlist must be finalized");
+  }
+  if (placement.cells.size() != netlist.size()) {
+    throw std::invalid_argument("analyze_timing: placement/netlist mismatch");
+  }
+
+  TimingReport report;
+  report.arrivalPs.assign(netlist.size(), 0.0);
+  std::vector<GateId> worstFanin(netlist.size(), bench::kNoGate);
+
+  auto wire = [&](GateId from, GateId to) {
+    const double dx = placement.cx(from) - placement.cx(to);
+    const double dy = placement.cy(from) - placement.cy(to);
+    return options.wirePsPerUm * (std::fabs(dx) + std::fabs(dy));
+  };
+
+  // Launch points.
+  for (GateId id : netlist.inputs()) {
+    report.arrivalPs[static_cast<std::size_t>(id)] = 0.0;
+  }
+  for (GateId id : netlist.flip_flops()) {
+    report.arrivalPs[static_cast<std::size_t>(id)] = options.clkToQPs;
+  }
+
+  // Propagate in topological order (combinational gates only).
+  for (GateId id : netlist.topo_order()) {
+    const auto& g = netlist.gate(id);
+    if (g.type == GateType::Input || g.type == GateType::Dff) continue;
+    double worst = 0.0;
+    GateId argWorst = bench::kNoGate;
+    for (GateId f : g.fanin) {
+      const double a = report.arrivalPs[static_cast<std::size_t>(f)] + wire(f, id);
+      if (a >= worst) {
+        worst = a;
+        argWorst = f;
+      }
+    }
+    const double fanout = static_cast<double>(g.fanout.size());
+    report.arrivalPs[static_cast<std::size_t>(id)] =
+        worst + options.intrinsicPs + options.perFanoutPs * fanout;
+    worstFanin[static_cast<std::size_t>(id)] = argWorst;
+  }
+
+  // Capture points: FF D pins (with setup) and primary outputs.
+  double critical = 0.0;
+  GateId endpoint = bench::kNoGate;
+  GateId endpointSource = bench::kNoGate;
+  auto consider = [&](GateId ep, GateId source, double pathDelay) {
+    if (pathDelay > critical) {
+      critical = pathDelay;
+      endpoint = ep;
+      endpointSource = source;
+    }
+  };
+  for (GateId ff : netlist.flip_flops()) {
+    const GateId d = netlist.gate(ff).fanin[0];
+    consider(ff, d,
+             report.arrivalPs[static_cast<std::size_t>(d)] + wire(d, ff) +
+                 options.setupPs);
+  }
+  for (GateId out : netlist.outputs()) {
+    consider(out, out, report.arrivalPs[static_cast<std::size_t>(out)]);
+  }
+
+  report.criticalPathPs = critical;
+  report.worstSlackPs = options.clockPeriodPs - critical;
+  report.criticalEndpoint = endpoint;
+
+  // Reconstruct the critical path endpoint -> source.
+  GateId walk = endpointSource;
+  if (endpoint != bench::kNoGate) report.criticalPath.push_back(endpoint);
+  while (walk != bench::kNoGate) {
+    report.criticalPath.push_back(walk);
+    walk = worstFanin[static_cast<std::size_t>(walk)];
+  }
+  return report;
+}
+
+Placement apply_pair_displacement(const Placement& placement, const Netlist& netlist,
+                                  const std::vector<std::pair<int, int>>& pairs) {
+  Placement moved = placement;
+  const auto& ffs = netlist.flip_flops();
+  for (const auto& [ia, ib] : pairs) {
+    const GateId a = ffs.at(static_cast<std::size_t>(ia));
+    const GateId b = ffs.at(static_cast<std::size_t>(ib));
+    auto& ca = moved.cells[static_cast<std::size_t>(a)];
+    auto& cb = moved.cells[static_cast<std::size_t>(b)];
+    // Meet at the midpoint; the merged cell keeps both bits side by side,
+    // so offset the two bit positions by half a cell width.
+    const double mx = 0.5 * (ca.x + cb.x);
+    const double my = 0.5 * (ca.y + cb.y);
+    ca.x = mx - 0.5 * ca.width;
+    cb.x = mx + 0.5 * cb.width;
+    ca.y = my;
+    cb.y = my;
+  }
+  return moved;
+}
+
+} // namespace nvff::physdes

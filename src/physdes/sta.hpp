@@ -1,0 +1,52 @@
+// Static timing analysis over a placed netlist.
+//
+// The paper picks the pairing threshold "in such a way that there should not
+// be any timing penalties" (Sec. IV-C). Merging two flip-flops into one
+// multi-bit cell physically moves both to a common site, stretching their
+// data wires; this STA quantifies that penalty so the threshold rule can be
+// validated instead of assumed (bench_ablation_timing).
+//
+// Delay model (linear, buffered-wire regime):
+//   gate delay  = intrinsic + perFanout * fanout_count
+//   wire delay  = perUm * manhattan_distance(driver, sink)
+//   launch      = primary inputs at 0, FF outputs at clkToQ
+//   capture     = FF D pins and primary outputs against the clock period
+#pragma once
+
+#include <vector>
+
+#include "bench_circuits/netlist.hpp"
+#include "physdes/placement.hpp"
+
+namespace nvff::physdes {
+
+struct StaOptions {
+  double intrinsicPs = 15.0;    ///< per-gate intrinsic delay
+  double perFanoutPs = 4.0;     ///< load-dependent delay per fanout
+  double wirePsPerUm = 0.9;     ///< buffered-wire delay
+  double clkToQPs = 60.0;       ///< FF clock-to-output
+  double setupPs = 40.0;        ///< FF setup time
+  double clockPeriodPs = 2000.0; ///< 500 MHz
+};
+
+struct TimingReport {
+  double criticalPathPs = 0.0; ///< worst launch->capture delay (incl. setup)
+  double worstSlackPs = 0.0;   ///< clockPeriod - criticalPath
+  bench::GateId criticalEndpoint = bench::kNoGate;
+  std::vector<bench::GateId> criticalPath; ///< endpoint back to the source
+  std::vector<double> arrivalPs;           ///< per gate (signal valid time)
+};
+
+/// Full-netlist STA with placement-aware wire delays.
+TimingReport analyze_timing(const bench::Netlist& netlist, const Placement& placement,
+                            const StaOptions& options = {});
+
+/// Returns a copy of the placement where each merged flip-flop pair sits at
+/// the pair's midpoint (the physical effect of replacing two 1-bit cells
+/// with one multi-bit cell). `pairs` holds index pairs into
+/// netlist.flip_flops().
+Placement apply_pair_displacement(const Placement& placement,
+                                  const bench::Netlist& netlist,
+                                  const std::vector<std::pair<int, int>>& pairs);
+
+} // namespace nvff::physdes

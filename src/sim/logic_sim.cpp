@@ -1,0 +1,186 @@
+#include "sim/logic_sim.hpp"
+
+#include <stdexcept>
+
+namespace nvff::sim {
+
+using bench::GateId;
+using bench::GateType;
+using bench::Netlist;
+
+LogicSimulator::LogicSimulator(const Netlist& netlist) : netlist_(netlist) {
+  if (!netlist.finalized()) {
+    throw std::invalid_argument("LogicSimulator: netlist must be finalized");
+  }
+  values_.assign(netlist.size(), false);
+  nextFfState_.assign(netlist.num_flip_flops(), false);
+}
+
+void LogicSimulator::set_inputs(const std::vector<bool>& values) {
+  if (values.size() != netlist_.num_inputs()) {
+    throw std::invalid_argument("LogicSimulator: input arity mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values_[static_cast<std::size_t>(netlist_.inputs()[i])] = values[i];
+  }
+}
+
+void LogicSimulator::set_input(std::size_t index, bool value) {
+  values_[static_cast<std::size_t>(netlist_.inputs().at(index))] = value;
+}
+
+void LogicSimulator::evaluate() {
+  for (GateId id : netlist_.topo_order()) {
+    const auto& g = netlist_.gate(id);
+    if (g.type == GateType::Input || g.type == GateType::Dff) continue;
+    bool v = false;
+    switch (g.type) {
+      case GateType::Buf:
+        v = values_[static_cast<std::size_t>(g.fanin[0])];
+        break;
+      case GateType::Not:
+        v = !values_[static_cast<std::size_t>(g.fanin[0])];
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        v = true;
+        for (GateId f : g.fanin) v = v && values_[static_cast<std::size_t>(f)];
+        if (g.type == GateType::Nand) v = !v;
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        v = false;
+        for (GateId f : g.fanin) v = v || values_[static_cast<std::size_t>(f)];
+        if (g.type == GateType::Nor) v = !v;
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        v = false;
+        for (GateId f : g.fanin) v = v != values_[static_cast<std::size_t>(f)];
+        if (g.type == GateType::Xnor) v = !v;
+        break;
+      }
+      default:
+        break;
+    }
+    values_[static_cast<std::size_t>(id)] = v;
+  }
+  // Capture D pins for the next tick.
+  const auto& ffs = netlist_.flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    const auto& g = netlist_.gate(ffs[i]);
+    nextFfState_[i] = values_[static_cast<std::size_t>(g.fanin[0])];
+  }
+}
+
+void LogicSimulator::tick() {
+  const auto& ffs = netlist_.flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(ffs[i]);
+    if (values_[idx] != nextFfState_[i]) ++ffToggles_;
+    values_[idx] = nextFfState_[i];
+  }
+}
+
+void LogicSimulator::cycle(const std::vector<bool>& inputs) {
+  set_inputs(inputs);
+  evaluate();
+  tick();
+}
+
+std::vector<bool> LogicSimulator::output_values() const {
+  std::vector<bool> out;
+  out.reserve(netlist_.outputs().size());
+  for (GateId id : netlist_.outputs()) {
+    out.push_back(values_[static_cast<std::size_t>(id)]);
+  }
+  return out;
+}
+
+std::vector<bool> LogicSimulator::flip_flop_state() const {
+  std::vector<bool> state;
+  state.reserve(netlist_.num_flip_flops());
+  for (GateId id : netlist_.flip_flops()) {
+    state.push_back(values_[static_cast<std::size_t>(id)]);
+  }
+  return state;
+}
+
+void LogicSimulator::load_flip_flop_state(const std::vector<bool>& state) {
+  if (state.size() != netlist_.num_flip_flops()) {
+    throw std::invalid_argument("load_flip_flop_state: size mismatch");
+  }
+  const auto& ffs = netlist_.flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    values_[static_cast<std::size_t>(ffs[i])] = state[i];
+  }
+}
+
+void LogicSimulator::scramble_state(Rng& rng) {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (netlist_.gate(static_cast<GateId>(i)).type == GateType::Input) continue;
+    values_[i] = rng.chance(0.5);
+  }
+  for (std::size_t i = 0; i < nextFfState_.size(); ++i) {
+    nextFfState_[i] = rng.chance(0.5);
+  }
+}
+
+NvShadowBank::NvShadowBank(std::size_t numBits) : bits_(numBits, false) {}
+
+void NvShadowBank::store(const LogicSimulator& sim) {
+  const auto state = sim.flip_flop_state();
+  if (state.size() != bits_.size()) {
+    throw std::invalid_argument("NvShadowBank: bit-count mismatch");
+  }
+  bits_ = state;
+  hasBackup_ = true;
+  ++storeCount_;
+}
+
+void NvShadowBank::restore(LogicSimulator& sim) {
+  if (!hasBackup_) throw std::logic_error("NvShadowBank: restore before store");
+  sim.load_flip_flop_state(bits_);
+  ++restoreCount_;
+}
+
+bool verify_power_cycle_transparency(const Netlist& netlist, int activeCycles,
+                                     int checkCycles, std::uint64_t seed) {
+  LogicSimulator gated(netlist);
+  LogicSimulator golden(netlist);
+  NvShadowBank bank(netlist.num_flip_flops());
+  Rng stimulus(seed);
+  Rng scramble(seed ^ 0xdeadbeefULL);
+
+  auto randomInputs = [&](Rng& rng) {
+    std::vector<bool> in(netlist.num_inputs());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.chance(0.5);
+    return in;
+  };
+
+  // Identical stimulus streams.
+  Rng stimulusGolden(seed);
+  for (int c = 0; c < activeCycles; ++c) {
+    const auto in = randomInputs(stimulus);
+    gated.cycle(in);
+    golden.cycle(randomInputs(stimulusGolden));
+  }
+
+  // Standby: store, power collapse, wake, restore.
+  bank.store(gated);
+  gated.scramble_state(scramble);
+  bank.restore(gated);
+
+  for (int c = 0; c < checkCycles; ++c) {
+    const auto in = randomInputs(stimulus);
+    gated.cycle(in);
+    golden.cycle(randomInputs(stimulusGolden));
+    if (gated.output_values() != golden.output_values()) return false;
+    if (gated.flip_flop_state() != golden.flip_flop_state()) return false;
+  }
+  return true;
+}
+
+} // namespace nvff::sim

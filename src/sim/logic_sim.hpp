@@ -1,0 +1,91 @@
+// Cycle-based gate-level logic simulator with a behavioural model of the NV
+// shadow back-up (store / power-gate / restore).
+//
+// Used to verify at system level that replacing flip-flops with shadow NV
+// cells is functionally transparent: run a workload, store, collapse power
+// (all volatile state destroyed), restore, and continue — the architectural
+// state must be identical to an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_circuits/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace nvff::sim {
+
+/// Simulates one finalized netlist. Two-valued logic (0/1); X modelling is
+/// handled by the power-gating harness (destroyed state is randomized, which
+/// is strictly stronger than X-propagation for catching retention bugs).
+class LogicSimulator {
+public:
+  explicit LogicSimulator(const bench::Netlist& netlist);
+
+  /// Sets all primary inputs.
+  void set_inputs(const std::vector<bool>& values);
+  /// Sets one primary input by position.
+  void set_input(std::size_t index, bool value);
+
+  /// Recomputes combinational values in topological order.
+  void evaluate();
+
+  /// Clock edge: every DFF captures its D value (evaluate() first!).
+  void tick();
+
+  /// Convenience: set inputs, evaluate, tick.
+  void cycle(const std::vector<bool>& inputs);
+
+  bool value(bench::GateId gate) const {
+    return values_[static_cast<std::size_t>(gate)];
+  }
+  std::vector<bool> output_values() const;
+  std::vector<bool> flip_flop_state() const;
+  void load_flip_flop_state(const std::vector<bool>& state);
+
+  /// Destroys all volatile state (power collapse): flip-flops and wires take
+  /// attacker-chosen garbage from the rng.
+  void scramble_state(Rng& rng);
+
+  /// Number of flip-flop bit-toggles since construction (activity metric).
+  std::uint64_t ff_toggle_count() const { return ffToggles_; }
+
+  const bench::Netlist& netlist() const { return netlist_; }
+
+private:
+  const bench::Netlist& netlist_;
+  std::vector<bool> values_;      ///< current signal values, index = GateId
+  std::vector<bool> nextFfState_; ///< D values captured at evaluate()
+  std::uint64_t ffToggles_ = 0;
+};
+
+/// Behavioural NV shadow bank: stores/restores the flip-flop state of a
+/// simulator, tracking how many store/restore operations and bits moved
+/// (feeds the system-level energy accounting).
+class NvShadowBank {
+public:
+  explicit NvShadowBank(std::size_t numBits);
+
+  void store(const LogicSimulator& sim);
+  void restore(LogicSimulator& sim);
+  bool has_backup() const { return hasBackup_; }
+  std::size_t num_bits() const { return bits_.size(); }
+  std::uint64_t store_count() const { return storeCount_; }
+  std::uint64_t restore_count() const { return restoreCount_; }
+
+private:
+  std::vector<bool> bits_;
+  bool hasBackup_ = false;
+  std::uint64_t storeCount_ = 0;
+  std::uint64_t restoreCount_ = 0;
+};
+
+/// End-to-end normally-off check: runs `activeCycles` of random stimulus,
+/// stores, scrambles (power-off), restores, runs `checkCycles` more, and
+/// compares against an uninterrupted golden run. Returns true if the two
+/// executions are indistinguishable.
+bool verify_power_cycle_transparency(const bench::Netlist& netlist,
+                                     int activeCycles, int checkCycles,
+                                     std::uint64_t seed);
+
+} // namespace nvff::sim

@@ -1,0 +1,183 @@
+#include "sim/xlogic_sim.hpp"
+
+#include <stdexcept>
+
+namespace nvff::sim {
+
+using bench::GateId;
+using bench::GateType;
+using bench::Netlist;
+
+Trit trit_from_bool(bool b) { return b ? Trit::One : Trit::Zero; }
+
+char trit_char(Trit t) {
+  switch (t) {
+    case Trit::Zero: return '0';
+    case Trit::One: return '1';
+    case Trit::X: return 'x';
+  }
+  return '?';
+}
+
+namespace {
+
+Trit trit_not(Trit a) {
+  if (a == Trit::X) return Trit::X;
+  return a == Trit::Zero ? Trit::One : Trit::Zero;
+}
+
+Trit trit_and(Trit a, Trit b) {
+  if (a == Trit::Zero || b == Trit::Zero) return Trit::Zero;
+  if (a == Trit::X || b == Trit::X) return Trit::X;
+  return Trit::One;
+}
+
+Trit trit_or(Trit a, Trit b) {
+  if (a == Trit::One || b == Trit::One) return Trit::One;
+  if (a == Trit::X || b == Trit::X) return Trit::X;
+  return Trit::Zero;
+}
+
+Trit trit_xor(Trit a, Trit b) {
+  if (a == Trit::X || b == Trit::X) return Trit::X;
+  return (a == b) ? Trit::Zero : Trit::One;
+}
+
+} // namespace
+
+XLogicSimulator::XLogicSimulator(const Netlist& netlist) : netlist_(netlist) {
+  if (!netlist.finalized()) {
+    throw std::invalid_argument("XLogicSimulator: netlist must be finalized");
+  }
+  values_.assign(netlist.size(), Trit::X);
+  nextFfState_.assign(netlist.num_flip_flops(), Trit::X);
+  // Primary inputs default to 0 (driven from outside the gated domain).
+  for (GateId id : netlist.inputs()) {
+    values_[static_cast<std::size_t>(id)] = Trit::Zero;
+  }
+}
+
+void XLogicSimulator::set_inputs(const std::vector<Trit>& values) {
+  if (values.size() != netlist_.num_inputs()) {
+    throw std::invalid_argument("XLogicSimulator: input arity mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values_[static_cast<std::size_t>(netlist_.inputs()[i])] = values[i];
+  }
+}
+
+void XLogicSimulator::set_inputs_bool(const std::vector<bool>& values) {
+  std::vector<Trit> trits(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) trits[i] = trit_from_bool(values[i]);
+  set_inputs(trits);
+}
+
+void XLogicSimulator::evaluate() {
+  for (GateId id : netlist_.topo_order()) {
+    const auto& g = netlist_.gate(id);
+    if (g.type == GateType::Input || g.type == GateType::Dff) continue;
+    auto in = [&](std::size_t k) {
+      return values_[static_cast<std::size_t>(g.fanin[k])];
+    };
+    Trit v = Trit::X;
+    switch (g.type) {
+      case GateType::Buf:
+        v = in(0);
+        break;
+      case GateType::Not:
+        v = trit_not(in(0));
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        v = Trit::One;
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) v = trit_and(v, in(k));
+        if (g.type == GateType::Nand) v = trit_not(v);
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        v = Trit::Zero;
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) v = trit_or(v, in(k));
+        if (g.type == GateType::Nor) v = trit_not(v);
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        v = Trit::Zero;
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) v = trit_xor(v, in(k));
+        if (g.type == GateType::Xnor) v = trit_not(v);
+        break;
+      }
+      default:
+        break;
+    }
+    values_[static_cast<std::size_t>(id)] = v;
+  }
+  const auto& ffs = netlist_.flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    nextFfState_[i] = values_[static_cast<std::size_t>(netlist_.gate(ffs[i]).fanin[0])];
+  }
+}
+
+void XLogicSimulator::tick() {
+  const auto& ffs = netlist_.flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    values_[static_cast<std::size_t>(ffs[i])] = nextFfState_[i];
+  }
+}
+
+void XLogicSimulator::cycle(const std::vector<Trit>& inputs) {
+  set_inputs(inputs);
+  evaluate();
+  tick();
+}
+
+std::vector<Trit> XLogicSimulator::flip_flop_state() const {
+  std::vector<Trit> state;
+  state.reserve(netlist_.num_flip_flops());
+  for (GateId id : netlist_.flip_flops()) {
+    state.push_back(values_[static_cast<std::size_t>(id)]);
+  }
+  return state;
+}
+
+void XLogicSimulator::load_flip_flop_state(const std::vector<Trit>& state) {
+  if (state.size() != netlist_.num_flip_flops()) {
+    throw std::invalid_argument("XLogicSimulator: state size mismatch");
+  }
+  const auto& ffs = netlist_.flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    values_[static_cast<std::size_t>(ffs[i])] = state[i];
+  }
+}
+
+void XLogicSimulator::load_flip_flop_state_bool(const std::vector<bool>& state) {
+  std::vector<Trit> trits(state.size());
+  for (std::size_t i = 0; i < state.size(); ++i) trits[i] = trit_from_bool(state[i]);
+  load_flip_flop_state(trits);
+}
+
+void XLogicSimulator::x_out_state() {
+  for (GateId id : netlist_.flip_flops()) {
+    values_[static_cast<std::size_t>(id)] = Trit::X;
+  }
+  for (auto& t : nextFfState_) t = Trit::X;
+}
+
+std::size_t XLogicSimulator::x_flip_flops() const {
+  std::size_t n = 0;
+  for (GateId id : netlist_.flip_flops()) {
+    if (values_[static_cast<std::size_t>(id)] == Trit::X) ++n;
+  }
+  return n;
+}
+
+std::size_t XLogicSimulator::x_outputs() const {
+  std::size_t n = 0;
+  for (GateId id : netlist_.outputs()) {
+    if (values_[static_cast<std::size_t>(id)] == Trit::X) ++n;
+  }
+  return n;
+}
+
+} // namespace nvff::sim

@@ -1,0 +1,60 @@
+// Three-valued (0/1/X) logic simulation for wake-up verification.
+//
+// After power collapse every volatile node is unknown; verification flows
+// model that as X and check that restored state drives every X out of the
+// machine. This simulator implements pessimistic X-propagation semantics:
+//
+//   AND: any 0 -> 0; else any X -> X        OR: any 1 -> 1; else any X -> X
+//   XOR/XNOR/NOT/BUF: any X input -> X
+//
+// which is exactly gate-level Verilog X semantics. The paper's normally-off
+// claim in this language: with the NV restore, zero X remain after wake-up;
+// without it, X floods the design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_circuits/netlist.hpp"
+
+namespace nvff::sim {
+
+enum class Trit : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+Trit trit_from_bool(bool b);
+char trit_char(Trit t); ///< '0', '1', 'x'
+
+class XLogicSimulator {
+public:
+  explicit XLogicSimulator(const bench::Netlist& netlist);
+
+  void set_inputs(const std::vector<Trit>& values);
+  void set_inputs_bool(const std::vector<bool>& values);
+  void evaluate();
+  void tick();
+  void cycle(const std::vector<Trit>& inputs);
+
+  Trit value(bench::GateId gate) const {
+    return values_[static_cast<std::size_t>(gate)];
+  }
+  std::vector<Trit> flip_flop_state() const;
+  void load_flip_flop_state(const std::vector<Trit>& state);
+  /// Bool overload: a restore from the NV bank is always fully known.
+  void load_flip_flop_state_bool(const std::vector<bool>& state);
+
+  /// Power collapse: every flip-flop becomes X.
+  void x_out_state();
+
+  /// Number of X flip-flops / X primary outputs right now.
+  std::size_t x_flip_flops() const;
+  std::size_t x_outputs() const;
+
+  const bench::Netlist& netlist() const { return netlist_; }
+
+private:
+  const bench::Netlist& netlist_;
+  std::vector<Trit> values_;
+  std::vector<Trit> nextFfState_;
+};
+
+} // namespace nvff::sim

@@ -1,0 +1,163 @@
+#include "spice/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace nvff::spice {
+
+Simulator::Simulator(const Circuit& circuit) : circuit_(circuit) {}
+
+bool Simulator::newton_solve(std::vector<double>& x, const SimState& stateTemplate,
+                             const NewtonOptions& options) {
+  const std::size_t numNodes = circuit_.num_nodes();
+  const std::size_t unknowns = circuit_.num_unknowns();
+  jacobian_.resize(unknowns);
+  rhs_.assign(unknowns, 0.0);
+  std::vector<double> xNew(unknowns, 0.0);
+
+  for (int iter = 0; iter < options.maxIterations; ++iter) {
+    ++stats_.totalNewtonIterations;
+    jacobian_.clear();
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+    SimState state = stateTemplate;
+    state.numNodes = numNodes;
+    state.iterate = &x;
+
+    Stamper stamper(jacobian_, rhs_, numNodes);
+    for (const auto& device : circuit_.devices()) device->stamp(stamper, state);
+    // gmin from every node to ground stabilizes floating nodes.
+    for (std::size_t i = 0; i < numNodes; ++i) jacobian_.add(i, i, options.gmin);
+
+    if (!jacobian_.solve(rhs_, xNew)) return false;
+
+    // Damped update with voltage clamping.
+    double maxDv = 0.0;
+    double maxDi = 0.0;
+    for (std::size_t i = 0; i < unknowns; ++i) {
+      double dx = xNew[i] - x[i];
+      if (i < numNodes) {
+        dx = std::clamp(dx, -options.maxVoltageStep, options.maxVoltageStep);
+        x[i] = std::clamp(x[i] + dx, -options.voltageLimit, options.voltageLimit);
+        maxDv = std::max(maxDv, std::fabs(dx));
+      } else {
+        x[i] += dx;
+        maxDi = std::max(maxDi, std::fabs(dx));
+      }
+    }
+
+    const bool vOk = maxDv < options.vAbsTol + options.relTol * 1.0;
+    const bool iOk = maxDi < options.iAbsTol + options.relTol * 1e-3;
+    if (iter > 0 && vOk && iOk) return true;
+  }
+  return false;
+}
+
+Solution Simulator::dc_operating_point(const NewtonOptions& options) {
+  const std::size_t unknowns = circuit_.num_unknowns();
+  std::vector<double> x(unknowns, 0.0);
+
+  SimState state;
+  state.time = 0.0;
+  state.dt = 0.0;
+  state.transient = false;
+
+  // Direct attempt first, then gmin stepping from a heavily regularized
+  // solution down to the target gmin.
+  if (newton_solve(x, state, options)) {
+    return Solution(std::move(x), circuit_.num_nodes());
+  }
+
+  std::fill(x.begin(), x.end(), 0.0);
+  NewtonOptions stepped = options;
+  for (double gmin = 1e-2; gmin >= options.gmin * 0.99; gmin /= 10.0) {
+    stepped.gmin = gmin;
+    if (!newton_solve(x, state, stepped)) {
+      throw ConvergenceError(
+          format("dc_operating_point: gmin stepping failed at gmin=%g", gmin));
+    }
+  }
+  // Final polish at the target gmin.
+  stepped.gmin = options.gmin;
+  if (!newton_solve(x, state, stepped)) {
+    throw ConvergenceError("dc_operating_point: final polish failed");
+  }
+  return Solution(std::move(x), circuit_.num_nodes());
+}
+
+void Simulator::transient(const TransientOptions& options, const Observer& observer) {
+  const Solution initial = dc_operating_point(options.newton);
+  transient_from(initial, options, observer);
+}
+
+void Simulator::transient_from(const Solution& initial, const TransientOptions& options,
+                               const Observer& observer) {
+  if (options.tStop <= 0.0 || options.dt <= 0.0) {
+    throw std::invalid_argument("transient: tStop and dt must be positive");
+  }
+  const std::size_t numNodes = circuit_.num_nodes();
+  std::vector<double> prev = initial.raw();
+  prev.resize(circuit_.num_unknowns(), 0.0);
+
+  if (observer) observer(0.0, Solution(prev, numNodes));
+
+  double t = 0.0;
+  while (t < options.tStop - options.dt * 0.5) {
+    const double tNext = std::min(t + options.dt, options.tStop);
+    // Try the full step; on Newton failure subdivide.
+    int pieces = 1;
+    bool done = false;
+    for (int attempt = 0; attempt <= options.maxSubdivisions && !done; ++attempt) {
+      std::vector<double> work = prev;
+      std::vector<double> segPrev = prev;
+      double tSeg = t;
+      const double h = (tNext - t) / pieces;
+      bool ok = true;
+      for (int p = 0; p < pieces; ++p) {
+        tSeg += h;
+        SimState state;
+        state.time = tSeg;
+        state.dt = h;
+        state.transient = true;
+        state.numNodes = numNodes;
+        state.previous = &segPrev;
+        if (!newton_solve(work, state, options.newton)) {
+          ok = false;
+          break;
+        }
+        segPrev = work;
+      }
+      if (ok) {
+        prev = std::move(segPrev);
+        done = true;
+        if (pieces > 1) ++stats_.subdividedSteps;
+      } else {
+        pieces *= 2;
+      }
+    }
+    if (!done) {
+      throw ConvergenceError(
+          format("transient: step at t=%g failed after %d subdivisions", tNext,
+                 options.maxSubdivisions));
+    }
+    t = tNext;
+    ++stats_.totalSteps;
+
+    // Let stateful devices (MTJs) advance their internal state.
+    SimState converged;
+    converged.time = t;
+    converged.dt = options.dt;
+    converged.transient = true;
+    converged.numNodes = numNodes;
+    converged.iterate = &prev;
+    converged.previous = &prev;
+    for (const auto& device : circuit_.devices()) device->end_step(converged);
+
+    if (observer) observer(t, Solution(prev, numNodes));
+  }
+}
+
+} // namespace nvff::spice

@@ -1,0 +1,107 @@
+// Analyses: DC operating point and transient.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace nvff::spice {
+
+/// Thrown when Newton-Raphson cannot converge even with all fallbacks.
+class ConvergenceError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Newton-Raphson tuning knobs.
+struct NewtonOptions {
+  int maxIterations = 150;
+  double vAbsTol = 1e-6;      ///< node voltage convergence [V]
+  double iAbsTol = 1e-9;      ///< branch current convergence [A]
+  double relTol = 1e-4;       ///< relative convergence criterion
+  double maxVoltageStep = 0.4; ///< per-iteration damping clamp [V]
+  double voltageLimit = 10.0;  ///< hard clamp on node voltages [V]
+  double gmin = 1e-12;         ///< conductance to ground on every node [S]
+};
+
+struct TransientOptions {
+  double tStop = 0.0;     ///< end time [s]
+  double dt = 1e-12;      ///< major step [s]
+  int maxSubdivisions = 8; ///< halvings of dt when a step fails to converge
+  NewtonOptions newton;
+};
+
+/// A converged solution: node voltages + branch currents at one time point.
+class Solution {
+public:
+  Solution() = default;
+  Solution(std::vector<double> x, std::size_t numNodes)
+      : x_(std::move(x)), numNodes_(numNodes) {}
+
+  double v(NodeId node) const {
+    if (node == kGround) return 0.0;
+    return x_[static_cast<std::size_t>(node - 1)];
+  }
+  double branch_current(std::size_t branchIndex) const {
+    return x_[numNodes_ + branchIndex];
+  }
+  const std::vector<double>& raw() const { return x_; }
+  std::size_t num_nodes() const { return numNodes_; }
+
+  /// SimState view of this solution (iterate == previous == this).
+  SimState as_state(double time = 0.0) const {
+    SimState s;
+    s.time = time;
+    s.numNodes = numNodes_;
+    s.iterate = &x_;
+    s.previous = &x_;
+    return s;
+  }
+
+private:
+  std::vector<double> x_;
+  std::size_t numNodes_ = 0;
+};
+
+/// Runs analyses over a Circuit. The circuit must outlive the simulator and
+/// must not gain nodes/devices between analyses.
+class Simulator {
+public:
+  explicit Simulator(const Circuit& circuit);
+
+  /// DC operating point with gmin stepping fallback.
+  Solution dc_operating_point(const NewtonOptions& options = {});
+
+  /// Observer invoked after the initial operating point (t = 0) and after
+  /// every converged major step.
+  using Observer = std::function<void(double time, const Solution& solution)>;
+
+  /// Transient from a DC operating point at the t=0 source values.
+  void transient(const TransientOptions& options, const Observer& observer);
+
+  /// Transient from a caller-provided initial condition.
+  void transient_from(const Solution& initial, const TransientOptions& options,
+                      const Observer& observer);
+
+  /// Statistics of the most recent analysis (for tests and tuning).
+  struct Stats {
+    long totalNewtonIterations = 0;
+    long totalSteps = 0;
+    long subdividedSteps = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+private:
+  /// One Newton solve; returns true on convergence, leaving the result in x.
+  bool newton_solve(std::vector<double>& x, const SimState& stateTemplate,
+                    const NewtonOptions& options);
+
+  const Circuit& circuit_;
+  DenseMatrix jacobian_;
+  std::vector<double> rhs_;
+  Stats stats_;
+};
+
+} // namespace nvff::spice

@@ -1,0 +1,86 @@
+#include "spice/circuit.hpp"
+
+#include <stdexcept>
+
+namespace nvff::spice {
+namespace {
+const std::string kGroundName = "gnd";
+
+bool is_ground_name(const std::string& name) {
+  return name == "0" || name == "gnd" || name == "GND" || name == "vss" ||
+         name == "VSS";
+}
+} // namespace
+
+NodeId Circuit::node(const std::string& name) {
+  if (is_ground_name(name)) return kGround;
+  auto it = nodesByName_.find(name);
+  if (it != nodesByName_.end()) return it->second;
+  nodeNames_.push_back(name);
+  const NodeId id = static_cast<NodeId>(nodeNames_.size());
+  nodesByName_.emplace(name, id);
+  return id;
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  if (is_ground_name(name)) return kGround;
+  auto it = nodesByName_.find(name);
+  if (it == nodesByName_.end()) return kGround - 1;
+  return it->second;
+}
+
+const std::string& Circuit::node_name(NodeId node) const {
+  if (node == kGround) return kGroundName;
+  const auto idx = static_cast<std::size_t>(node - 1);
+  if (idx >= nodeNames_.size()) throw std::out_of_range("Circuit::node_name");
+  return nodeNames_[idx];
+}
+
+Resistor& Circuit::add_resistor(std::string name, NodeId a, NodeId b, double ohms) {
+  return add_device<Resistor>(std::move(name), a, b, ohms);
+}
+
+Capacitor& Circuit::add_capacitor(std::string name, NodeId a, NodeId b, double farads) {
+  return add_device<Capacitor>(std::move(name), a, b, farads);
+}
+
+VoltageSource& Circuit::add_vsource(std::string name, NodeId plus, NodeId minus,
+                                    Waveform w) {
+  const std::size_t branch = alloc_branch();
+  return add_device<VoltageSource>(std::move(name), plus, minus, std::move(w), branch);
+}
+
+CurrentSource& Circuit::add_isource(std::string name, NodeId from, NodeId to, Waveform w) {
+  return add_device<CurrentSource>(std::move(name), from, to, std::move(w));
+}
+
+Mosfet& Circuit::add_mos(std::string name, MosType type, NodeId d, NodeId g, NodeId s,
+                         NodeId b, MosGeometry geom, MosParams params) {
+  Mosfet& fet = add_device<Mosfet>(name, type, d, g, s, b, geom, params);
+  // Parasitic capacitances as linear companions (keeps the Newton loop's
+  // nonlinearity purely resistive).
+  add_capacitor(name + ".cgs", g, s, fet.cgs());
+  add_capacitor(name + ".cgd", g, d, fet.cgd());
+  add_capacitor(name + ".cdb", d, b, fet.cdb());
+  add_capacitor(name + ".csb", s, b, fet.csb());
+  return fet;
+}
+
+Mosfet& Circuit::add_nmos(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+                          MosGeometry geom, MosParams params) {
+  return add_mos(std::move(name), MosType::Nmos, d, g, s, b, geom, params);
+}
+
+Mosfet& Circuit::add_pmos(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+                          MosGeometry geom, MosParams params) {
+  return add_mos(std::move(name), MosType::Pmos, d, g, s, b, geom, params);
+}
+
+Device* Circuit::find_device(const std::string& name) const {
+  for (const auto& d : devices_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+} // namespace nvff::spice

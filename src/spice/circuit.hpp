@@ -1,0 +1,104 @@
+// Circuit: named nodes + owned devices + unknown-vector layout.
+//
+// Typical use (see src/cell/ for the real latch builders):
+//
+//   Circuit ckt;
+//   const NodeId vdd = ckt.node("vdd");
+//   const NodeId out = ckt.node("out");
+//   ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+//   ckt.add_nmos("MN1", out, in, kGround, kGround, {.w = 240e-9});
+//   ...
+//   Simulator sim(ckt);
+//   auto op = sim.dc_operating_point();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/device.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/waveform.hpp"
+
+namespace nvff::spice {
+
+class Circuit {
+public:
+  Circuit() = default;
+  Circuit(const Circuit&) = delete;
+  Circuit& operator=(const Circuit&) = delete;
+  Circuit(Circuit&&) = default;
+  Circuit& operator=(Circuit&&) = default;
+
+  /// Returns the node with this name, creating it on first use.
+  /// "0", "gnd" and "GND" all alias ground.
+  NodeId node(const std::string& name);
+
+  /// Returns the node if it exists, kGround-1 (invalid) otherwise.
+  NodeId find_node(const std::string& name) const;
+
+  /// Name of a node id (for reports); ground renders as "gnd".
+  const std::string& node_name(NodeId node) const;
+
+  /// Number of non-ground nodes.
+  std::size_t num_nodes() const { return nodeNames_.size(); }
+
+  /// Number of branch-current unknowns allocated so far.
+  std::size_t num_branches() const { return numBranches_; }
+
+  /// Total unknown count (node voltages + branch currents).
+  std::size_t num_unknowns() const { return num_nodes() + num_branches(); }
+
+  // --- factories -----------------------------------------------------------
+  Resistor& add_resistor(std::string name, NodeId a, NodeId b, double ohms);
+  Capacitor& add_capacitor(std::string name, NodeId a, NodeId b, double farads);
+  VoltageSource& add_vsource(std::string name, NodeId plus, NodeId minus, Waveform w);
+  CurrentSource& add_isource(std::string name, NodeId from, NodeId to, Waveform w);
+
+  /// Adds a MOSFET plus its four parasitic capacitances (Cgs, Cgd, Cdb, Csb)
+  /// as separate linear devices.
+  Mosfet& add_nmos(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+                   MosGeometry geom, MosParams params);
+  Mosfet& add_pmos(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+                   MosGeometry geom, MosParams params);
+
+  /// Adds an externally constructed device (used by the MTJ adapter).
+  template <typename T, typename... Args>
+  T& add_device(Args&&... args) {
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *dev;
+    devices_.push_back(std::move(dev));
+    return ref;
+  }
+
+  /// Allocates a branch-current unknown (voltage sources call this).
+  std::size_t alloc_branch() { return numBranches_++; }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+
+  /// Finds a device by name; nullptr if absent.
+  Device* find_device(const std::string& name) const;
+
+  /// Counts devices of a given dynamic type (transistor-count reporting).
+  template <typename T>
+  std::size_t count_of() const {
+    std::size_t n = 0;
+    for (const auto& d : devices_) {
+      if (dynamic_cast<const T*>(d.get()) != nullptr) ++n;
+    }
+    return n;
+  }
+
+private:
+  Mosfet& add_mos(std::string name, MosType type, NodeId d, NodeId g, NodeId s, NodeId b,
+                  MosGeometry geom, MosParams params);
+
+  std::unordered_map<std::string, NodeId> nodesByName_;
+  std::vector<std::string> nodeNames_; // index i holds name of node i+1
+  std::size_t numBranches_ = 0;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+} // namespace nvff::spice

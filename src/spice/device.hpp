@@ -1,0 +1,172 @@
+// Device abstraction for the MNA engine.
+//
+// Unknown vector layout: x[0 .. numNodes-1] are node voltages for nodes
+// 1..numNodes (node 0 is ground and eliminated); x[numNodes ..] are branch
+// currents of devices that requested one (voltage sources).
+//
+// The solver assembles J * x_new = rhs at every Newton-Raphson iteration;
+// devices contribute via Stamper. Linear devices stamp constants; nonlinear
+// devices stamp their linearization around the current iterate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/matrix.hpp"
+
+namespace nvff::spice {
+
+/// Node identifier; 0 is always ground.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+/// Snapshot of the solver state a device sees while stamping.
+struct SimState {
+  double time = 0.0;       ///< current timestep's absolute time
+  double dt = 0.0;         ///< timestep size (0 in DC analysis)
+  bool transient = false;  ///< false during DC operating point
+  std::size_t numNodes = 0;
+  const std::vector<double>* iterate = nullptr; ///< current NR iterate
+  const std::vector<double>* previous = nullptr; ///< converged previous step
+
+  /// Voltage of `node` in the current NR iterate (0 for ground).
+  double v(NodeId node) const {
+    if (node == kGround || iterate == nullptr) return 0.0;
+    return (*iterate)[static_cast<std::size_t>(node - 1)];
+  }
+  /// Voltage of `node` in the previously converged timestep.
+  double v_prev(NodeId node) const {
+    if (node == kGround || previous == nullptr) return 0.0;
+    return (*previous)[static_cast<std::size_t>(node - 1)];
+  }
+  /// Branch current unknown in the current iterate.
+  double branch(std::size_t branchIndex) const {
+    if (iterate == nullptr) return 0.0;
+    return (*iterate)[numNodes + branchIndex];
+  }
+  double branch_prev(std::size_t branchIndex) const {
+    if (previous == nullptr) return 0.0;
+    return (*previous)[numNodes + branchIndex];
+  }
+};
+
+/// Write access to the MNA matrix and right-hand side with ground folding.
+class Stamper {
+public:
+  Stamper(DenseMatrix& jacobian, std::vector<double>& rhs, std::size_t numNodes)
+      : jacobian_(jacobian), rhs_(rhs), numNodes_(numNodes) {}
+
+  std::size_t num_nodes() const { return numNodes_; }
+
+  /// Two-terminal conductance g between nodes a and b.
+  void conductance(NodeId a, NodeId b, double g) {
+    add(row(a), col(a), g);
+    add(row(b), col(b), g);
+    add(row(a), col(b), -g);
+    add(row(b), col(a), -g);
+  }
+
+  /// Independent current `i` flowing from node `from` through the device to
+  /// node `to` (i.e. out of `from`, into `to`).
+  void current(NodeId from, NodeId to, double i) {
+    rhs_entry(row(from), -i);
+    rhs_entry(row(to), +i);
+  }
+
+  /// Raw Jacobian entry: d(KCL residual of `node`)/d(V of `byNode`).
+  void jacobian_entry(NodeId node, NodeId byNode, double value) {
+    add(row(node), col(byNode), value);
+  }
+
+  /// Raw Jacobian entry against a branch-current unknown.
+  void jacobian_branch(NodeId node, std::size_t branchIndex, double value) {
+    add(row(node), numNodes_ + branchIndex, value);
+  }
+
+  /// Raw RHS addition on a node row.
+  void rhs_node(NodeId node, double value) { rhs_entry(row(node), value); }
+
+  /// Branch equation for an ideal voltage source: V(plus) - V(minus) = v.
+  /// The branch-current unknown is the current flowing from the `plus` node
+  /// INTO the source (so a source delivering power to the circuit has a
+  /// negative branch current).
+  void branch_voltage(std::size_t branchIndex, NodeId plus, NodeId minus, double v) {
+    const std::size_t bRow = numNodes_ + branchIndex;
+    // KCL: branch current leaves `plus`, enters `minus`.
+    add(row(plus), bRow, 1.0);
+    add(row(minus), bRow, -1.0);
+    // Branch equation row.
+    add(bRow, col(plus), 1.0);
+    add(bRow, col(minus), -1.0);
+    rhs_entry(bRow, v);
+  }
+
+  /// Linearized nonlinear current I(V...) flowing from node `out` to node
+  /// `in`: given the operating-point current `i0` and partial derivatives
+  /// dI/dV(node) for a set of controlling nodes, stamps the NR companion.
+  struct Partial {
+    NodeId node;
+    double dIdV;
+  };
+  void nonlinear_current(NodeId out, NodeId in, double i0,
+                         std::initializer_list<Partial> partials,
+                         const SimState& state) {
+    double rhsAdj = -i0;
+    for (const auto& p : partials) {
+      add(row(out), col(p.node), p.dIdV);
+      add(row(in), col(p.node), -p.dIdV);
+      rhsAdj += p.dIdV * state.v(p.node);
+    }
+    rhs_entry(row(out), rhsAdj);
+    rhs_entry(row(in), -rhsAdj);
+  }
+
+private:
+  static constexpr std::size_t kGroundRow = static_cast<std::size_t>(-1);
+
+  std::size_t row(NodeId n) const {
+    return n == kGround ? kGroundRow : static_cast<std::size_t>(n - 1);
+  }
+  std::size_t col(NodeId n) const { return row(n); }
+
+  void add(std::size_t r, std::size_t c, double v) {
+    if (r == kGroundRow || c == kGroundRow) return;
+    jacobian_.add(r, c, v);
+  }
+  void rhs_entry(std::size_t r, double v) {
+    if (r == kGroundRow) return;
+    rhs_[r] += v;
+  }
+
+  DenseMatrix& jacobian_;
+  std::vector<double>& rhs_;
+  std::size_t numNodes_;
+};
+
+class Circuit;
+
+/// Base class of every circuit element.
+class Device {
+public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Contributes the device's linearized equations for the current iterate.
+  virtual void stamp(Stamper& stamper, const SimState& state) = 0;
+
+  /// True if the device needs Newton-Raphson iteration.
+  virtual bool is_nonlinear() const { return false; }
+
+  /// Called once after a transient step converged; devices with internal
+  /// state (MTJ magnetization) integrate it here.
+  virtual void end_step(const SimState& /*state*/) {}
+
+private:
+  std::string name_;
+};
+
+} // namespace nvff::spice

@@ -1,0 +1,71 @@
+#include "spice/devices.hpp"
+
+#include <stdexcept>
+
+namespace nvff::spice {
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
+    : Device(std::move(name)), a_(a), b_(b), resistance_(resistance) {
+  if (resistance <= 0.0) throw std::invalid_argument("Resistor: R must be > 0");
+}
+
+void Resistor::stamp(Stamper& stamper, const SimState&) {
+  stamper.conductance(a_, b_, 1.0 / resistance_);
+}
+
+double Resistor::current(const SimState& state) const {
+  return (state.v(a_) - state.v(b_)) / resistance_;
+}
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance)
+    : Device(std::move(name)), a_(a), b_(b), capacitance_(capacitance) {
+  if (capacitance < 0.0) throw std::invalid_argument("Capacitor: C must be >= 0");
+}
+
+void Capacitor::stamp(Stamper& stamper, const SimState& state) {
+  if (!state.transient || state.dt <= 0.0) {
+    // DC: open circuit. A tiny conductance keeps floating internal nodes from
+    // making the matrix singular without disturbing the solution.
+    stamper.conductance(a_, b_, 1e-12);
+    return;
+  }
+  // Backward Euler companion: i = C/dt * (v - v_prev)
+  // -> conductance geq = C/dt in parallel with a current source
+  //    ieq = C/dt * v_prev flowing b->a (charging history).
+  const double geq = capacitance_ / state.dt;
+  const double vPrev = state.v_prev(a_) - state.v_prev(b_);
+  stamper.conductance(a_, b_, geq);
+  stamper.current(b_, a_, geq * vPrev);
+}
+
+double Capacitor::energy(const SimState& state) const {
+  const double v = state.v(a_) - state.v(b_);
+  return 0.5 * capacitance_ * v * v;
+}
+
+VoltageSource::VoltageSource(std::string name, NodeId plus, NodeId minus,
+                             Waveform waveform, std::size_t branchIndex)
+    : Device(std::move(name)),
+      plus_(plus),
+      minus_(minus),
+      waveform_(std::move(waveform)),
+      branchIndex_(branchIndex) {}
+
+void VoltageSource::stamp(Stamper& stamper, const SimState& state) {
+  stamper.branch_voltage(branchIndex_, plus_, minus_, waveform_.value(state.time));
+}
+
+double VoltageSource::delivered_current(const SimState& state) const {
+  // The branch unknown is the current flowing into the + terminal; the
+  // current delivered to the circuit is its negative.
+  return -state.branch(branchIndex_);
+}
+
+CurrentSource::CurrentSource(std::string name, NodeId from, NodeId to, Waveform waveform)
+    : Device(std::move(name)), from_(from), to_(to), waveform_(std::move(waveform)) {}
+
+void CurrentSource::stamp(Stamper& stamper, const SimState& state) {
+  stamper.current(from_, to_, waveform_.value(state.time));
+}
+
+} // namespace nvff::spice

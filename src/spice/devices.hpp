@@ -1,0 +1,93 @@
+// Linear devices and independent sources.
+#pragma once
+
+#include "spice/device.hpp"
+#include "spice/waveform.hpp"
+
+namespace nvff::spice {
+
+/// Ideal linear resistor.
+class Resistor : public Device {
+public:
+  Resistor(std::string name, NodeId a, NodeId b, double resistance);
+
+  void stamp(Stamper& stamper, const SimState& state) override;
+
+  double resistance() const { return resistance_; }
+  NodeId node_a() const { return a_; }
+  NodeId node_b() const { return b_; }
+  /// Current from a to b given a converged solution state.
+  double current(const SimState& state) const;
+
+private:
+  NodeId a_;
+  NodeId b_;
+  double resistance_;
+};
+
+/// Linear capacitor, discretized with the backward-Euler companion model
+/// (trapezoidal optional via Circuit-level integration setting in the
+/// simulator; BE is the robust default for strongly nonlinear latches).
+class Capacitor : public Device {
+public:
+  Capacitor(std::string name, NodeId a, NodeId b, double capacitance);
+
+  void stamp(Stamper& stamper, const SimState& state) override;
+
+  double capacitance() const { return capacitance_; }
+  NodeId node_a() const { return a_; }
+  NodeId node_b() const { return b_; }
+  /// Stored energy 0.5 C V^2 at the current iterate.
+  double energy(const SimState& state) const;
+
+private:
+  NodeId a_;
+  NodeId b_;
+  double capacitance_;
+};
+
+/// Ideal independent voltage source with a branch-current unknown.
+class VoltageSource : public Device {
+public:
+  VoltageSource(std::string name, NodeId plus, NodeId minus, Waveform waveform,
+                std::size_t branchIndex);
+
+  void stamp(Stamper& stamper, const SimState& state) override;
+
+  std::size_t branch_index() const { return branchIndex_; }
+  /// Source value at time t.
+  double value(double time) const { return waveform_.value(time); }
+  /// Current drawn out of the + terminal through the external circuit,
+  /// i.e. the power delivered by the source is value(t) * current(state).
+  double delivered_current(const SimState& state) const;
+  const Waveform& waveform() const { return waveform_; }
+  void set_waveform(Waveform waveform) { waveform_ = std::move(waveform); }
+  NodeId plus() const { return plus_; }
+  NodeId minus() const { return minus_; }
+
+private:
+  NodeId plus_;
+  NodeId minus_;
+  Waveform waveform_;
+  std::size_t branchIndex_;
+};
+
+/// Ideal independent current source (current flows from `from` node through
+/// the source to `to` node).
+class CurrentSource : public Device {
+public:
+  CurrentSource(std::string name, NodeId from, NodeId to, Waveform waveform);
+
+  void stamp(Stamper& stamper, const SimState& state) override;
+
+  NodeId from() const { return from_; }
+  NodeId to() const { return to_; }
+  const Waveform& waveform() const { return waveform_; }
+
+private:
+  NodeId from_;
+  NodeId to_;
+  Waveform waveform_;
+};
+
+} // namespace nvff::spice

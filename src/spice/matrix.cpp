@@ -1,0 +1,80 @@
+#include "spice/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvff::spice {
+
+DenseMatrix::DenseMatrix(std::size_t n) { resize(n); }
+
+void DenseMatrix::resize(std::size_t n) {
+  n_ = n;
+  data_.assign(n * n, 0.0);
+}
+
+void DenseMatrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+bool DenseMatrix::solve(const std::vector<double>& b, std::vector<double>& x) const {
+  const std::size_t n = n_;
+  if (b.size() != n) return false;
+  std::vector<double> lu = data_;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  // Doolittle LU with partial pivoting.
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::fabs(lu[perm[k] * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu[perm[i] * n + k]);
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) return false;
+    std::swap(perm[k], perm[pivot]);
+    const double diag = lu[perm[k] * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double& factor = lu[perm[i] * n + k];
+      factor /= diag;
+      const double f = factor;
+      if (f == 0.0) continue;
+      const double* src = &lu[perm[k] * n];
+      double* dst = &lu[perm[i] * n];
+      for (std::size_t j = k + 1; j < n; ++j) dst[j] -= f * src[j];
+    }
+  }
+
+  // Forward substitution (unit lower triangular).
+  x.assign(n, 0.0);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm[i]];
+    const double* row = &lu[perm[i] * n];
+    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * y[j];
+    y[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    const double* row = &lu[perm[ii] * n];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+    const double diag = row[ii];
+    if (std::fabs(diag) < 1e-300) return false;
+    x[ii] = acc / diag;
+  }
+  return true;
+}
+
+double DenseMatrix::norm_inf() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    double rowSum = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) rowSum += std::fabs(data_[i * n_ + j]);
+    best = std::max(best, rowSum);
+  }
+  return best;
+}
+
+} // namespace nvff::spice

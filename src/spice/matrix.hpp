@@ -1,0 +1,44 @@
+// Dense linear algebra for the MNA solver.
+//
+// The latch circuits this library simulates have tens of unknowns, so a
+// cache-friendly dense LU with partial pivoting beats any sparse machinery.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nvff::spice {
+
+/// Row-major dense matrix with LU factorization (partial pivoting).
+class DenseMatrix {
+public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n);
+
+  void resize(std::size_t n);
+  std::size_t size() const { return n_; }
+
+  /// Sets every entry to zero (keeps dimensions).
+  void clear();
+
+  double& at(std::size_t row, std::size_t col) { return data_[row * n_ + col]; }
+  double at(std::size_t row, std::size_t col) const { return data_[row * n_ + col]; }
+
+  /// Adds `value` to entry (row, col).
+  void add(std::size_t row, std::size_t col, double value) {
+    data_[row * n_ + col] += value;
+  }
+
+  /// Factorizes a copy of this matrix and solves A x = b.
+  /// Returns false if the matrix is numerically singular.
+  bool solve(const std::vector<double>& b, std::vector<double>& x) const;
+
+  /// Infinity norm of the matrix (max absolute row sum).
+  double norm_inf() const;
+
+private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+} // namespace nvff::spice

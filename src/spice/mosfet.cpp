@@ -1,0 +1,168 @@
+#include "spice/mosfet.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace nvff::spice {
+namespace {
+
+// Numerically safe softplus-squared interpolation function of the EKV model:
+// F(u) = ln^2(1 + exp(u/2)). For u >> 0, F -> (u/2)^2 (square law); for
+// u << 0, F -> exp(u) (subthreshold exponential).
+struct Interp {
+  double value;
+  double derivative; // dF/du
+};
+
+Interp ekv_interp(double u) {
+  // Clamp to keep exp() finite during wild Newton excursions; the clamp is
+  // far outside the physically reachable range (|u| ~ 40 at 1.1 V supplies).
+  if (u > 400.0) u = 400.0;
+  if (u < -400.0) u = -400.0;
+  double softplus; // ln(1 + exp(u/2))
+  if (u > 80.0) {
+    softplus = u / 2.0;
+  } else {
+    softplus = std::log1p(std::exp(u / 2.0));
+  }
+  const double sigmoid = 1.0 / (1.0 + std::exp(-u / 2.0));
+  return Interp{softplus * softplus, softplus * sigmoid};
+}
+
+double smooth_abs(double x) {
+  constexpr double eps = 1e-3;
+  return std::sqrt(x * x + eps * eps);
+}
+
+} // namespace
+
+MosParams MosParams::nmos_40nm_lp() {
+  MosParams p;
+  p.vth = 0.37;
+  p.kp = 2.0e-4;
+  p.n = 1.35;
+  p.lambda = 0.15;
+  return p;
+}
+
+MosParams MosParams::pmos_40nm_lp() {
+  MosParams p;
+  p.vth = 0.39;
+  p.kp = 0.9e-4; // hole mobility deficit
+  p.n = 1.35;
+  p.lambda = 0.17;
+  return p;
+}
+
+MosParams MosParams::at_corner(CmosCorner corner) const {
+  MosParams p = *this;
+  switch (corner) {
+    case CmosCorner::Typical:
+      break;
+    case CmosCorner::FastFast:
+      // Fast & leaky: lower threshold, higher mobility.
+      p.vth -= 0.042;
+      p.kp *= 1.15;
+      break;
+    case CmosCorner::SlowSlow:
+      p.vth += 0.042;
+      p.kp *= 0.87;
+      break;
+  }
+  return p;
+}
+
+Mosfet::Mosfet(std::string name, MosType type, NodeId drain, NodeId gate, NodeId source,
+               NodeId bulk, MosGeometry geometry, MosParams params)
+    : Device(std::move(name)),
+      type_(type),
+      drain_(drain),
+      gate_(gate),
+      source_(source),
+      bulk_(bulk),
+      geometry_(geometry),
+      params_(params) {}
+
+Mosfet::Evaluation Mosfet::evaluate(double vd, double vg, double vs, double vb) const {
+  // Map PMOS onto the NMOS equations by mirroring every terminal voltage
+  // about the bulk. In the mirrored space the device is an NMOS; the real
+  // drain->source current is the negative of the mirrored one, and the
+  // double sign flip makes the real-space partials equal the mirrored ones.
+  const bool pmos = (type_ == MosType::Pmos);
+  const double mg = pmos ? (vb - vg) : (vg - vb);
+  const double ms = pmos ? (vb - vs) : (vs - vb);
+  const double md = pmos ? (vb - vd) : (vd - vb);
+
+  const double vt = units::thermal_voltage(params_.tempK);
+  const double beta = params_.kp * geometry_.w / geometry_.l;
+  const double is = 2.0 * params_.n * beta * vt * vt;
+
+  const double vp = (mg - params_.vth) / params_.n;
+  const auto forward = ekv_interp((vp - ms) / vt);
+  const auto reverse = ekv_interp((vp - md) / vt);
+
+  const double i0 = is * (forward.value - reverse.value);
+  // Partials of i0 in mirrored space.
+  const double di0_dmg = is * (forward.derivative - reverse.derivative) / (params_.n * vt);
+  const double di0_dms = -is * forward.derivative / vt;
+  const double di0_dmd = is * reverse.derivative / vt;
+
+  // Channel-length modulation on the mirrored drain-source voltage.
+  const double mds = md - ms;
+  const double sa = smooth_abs(mds);
+  const double mclm = 1.0 + params_.lambda * sa;
+  const double dsa_dmds = mds / sa;
+  const double dm_dmd = params_.lambda * dsa_dmds;
+  const double dm_dms = -params_.lambda * dsa_dmds;
+
+  const double mi = i0 * mclm; // mirrored drain->source current
+  const double dmi_dmg = di0_dmg * mclm;
+  const double dmi_dmd = di0_dmd * mclm + i0 * dm_dmd;
+  const double dmi_dms = di0_dms * mclm + i0 * dm_dms;
+
+  Evaluation e;
+  if (!pmos) {
+    e.ids = mi;
+    e.dVg = dmi_dmg;
+    e.dVd = dmi_dmd;
+    e.dVs = dmi_dms;
+  } else {
+    // real ids = -mi, d(real)/dV(x) = -d(mi)/d(mx) * d(mx)/dV(x) = +d(mi)/d(mx)
+    e.ids = -mi;
+    e.dVg = dmi_dmg;
+    e.dVd = dmi_dmd;
+    e.dVs = dmi_dms;
+  }
+  // Current depends only on voltage differences to bulk, so the bulk partial
+  // balances the other three.
+  e.dVb = -(e.dVg + e.dVd + e.dVs);
+  return e;
+}
+
+void Mosfet::stamp(Stamper& stamper, const SimState& state) {
+  const Evaluation e =
+      evaluate(state.v(drain_), state.v(gate_), state.v(source_), state.v(bulk_));
+  stamper.nonlinear_current(drain_, source_, e.ids,
+                            {{gate_, e.dVg},
+                             {drain_, e.dVd},
+                             {source_, e.dVs},
+                             {bulk_, e.dVb}},
+                            state);
+}
+
+double Mosfet::ids(const SimState& state) const {
+  return evaluate(state.v(drain_), state.v(gate_), state.v(source_), state.v(bulk_)).ids;
+}
+
+double Mosfet::cgs() const {
+  return 0.5 * params_.coxArea * geometry_.w * geometry_.l + params_.covPerW * geometry_.w;
+}
+
+double Mosfet::cgd() const { return cgs(); }
+
+double Mosfet::cdb() const { return params_.cjPerW * geometry_.w; }
+
+double Mosfet::csb() const { return cdb(); }
+
+} // namespace nvff::spice

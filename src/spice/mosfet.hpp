@@ -1,0 +1,103 @@
+// Compact MOSFET model for the MNA engine.
+//
+// This is an EKV-flavoured long-channel model: a single smooth interpolation
+// function covers weak inversion (exponential subthreshold conduction — the
+// source of the leakage numbers in Table II) and strong inversion (square
+// law), with a channel-length-modulation term for finite output conductance.
+// The model is bulk-referenced and drain/source symmetric, which matters for
+// transmission gates and the sense amplifier where terminals swap roles.
+//
+// It is not a TSMC 40 nm PDK replacement; it is calibrated so that an
+// inverter built from it has 40 nm LP-class drive current, switching energy
+// and off-state leakage, which is what the paper's relative comparisons need
+// (see DESIGN.md, substitution table).
+#pragma once
+
+#include "spice/device.hpp"
+
+namespace nvff::spice {
+
+enum class MosType { Nmos, Pmos };
+
+/// Global process corner for the CMOS devices. Worst/best per-metric mapping
+/// is done by the characterization driver in src/core/.
+enum class CmosCorner { SlowSlow, Typical, FastFast };
+
+/// Electrical parameters of one device type at one corner.
+struct MosParams {
+  double vth = 0.37;       ///< threshold magnitude [V]
+  double kp = 2.0e-4;      ///< transconductance factor mu*Cox [A/V^2]
+  double n = 1.35;         ///< subthreshold slope factor
+  double lambda = 0.15;    ///< channel-length modulation [1/V]
+  double tempK = 300.15;   ///< device temperature (27 C default)
+  double coxArea = 1.4e-2; ///< gate oxide capacitance per area [F/m^2]
+  double covPerW = 3.0e-10; ///< overlap capacitance per width [F/m]
+  double cjPerW = 3.0e-10;  ///< junction capacitance per width [F/m]
+
+  /// Nominal NMOS parameters for the synthetic 40 nm LP process.
+  static MosParams nmos_40nm_lp();
+  /// Nominal PMOS parameters for the synthetic 40 nm LP process.
+  static MosParams pmos_40nm_lp();
+
+  /// Returns a copy shifted to `corner`. FastFast lowers Vth and raises kp
+  /// (fast, leaky); SlowSlow does the opposite.
+  MosParams at_corner(CmosCorner corner) const;
+};
+
+/// Physical geometry of one transistor.
+struct MosGeometry {
+  double w = 120e-9; ///< channel width [m]
+  double l = 40e-9;  ///< channel length [m]
+};
+
+/// Four-terminal MOSFET (drain, gate, source, bulk).
+///
+/// Only the channel current is modelled here; the Circuit factory adds the
+/// gate/junction capacitances as separate linear Capacitor devices so the
+/// Newton iteration sees a purely resistive nonlinearity.
+class Mosfet : public Device {
+public:
+  Mosfet(std::string name, MosType type, NodeId drain, NodeId gate, NodeId source,
+         NodeId bulk, MosGeometry geometry, MosParams params);
+
+  void stamp(Stamper& stamper, const SimState& state) override;
+  bool is_nonlinear() const override { return true; }
+
+  /// Channel current, positive from drain terminal to source terminal,
+  /// evaluated at the given solver state.
+  double ids(const SimState& state) const;
+
+  MosType type() const { return type_; }
+  const MosGeometry& geometry() const { return geometry_; }
+  const MosParams& params() const { return params_; }
+  NodeId drain() const { return drain_; }
+  NodeId gate() const { return gate_; }
+  NodeId source() const { return source_; }
+  NodeId bulk() const { return bulk_; }
+
+  /// Total gate capacitance (for the factory that creates the cap devices).
+  double cgs() const;
+  double cgd() const;
+  double cdb() const;
+  double csb() const;
+
+private:
+  struct Evaluation {
+    double ids;   // drain->source current
+    double dVg;   // partial derivatives wrt real terminal voltages
+    double dVd;
+    double dVs;
+    double dVb;
+  };
+  Evaluation evaluate(double vd, double vg, double vs, double vb) const;
+
+  MosType type_;
+  NodeId drain_;
+  NodeId gate_;
+  NodeId source_;
+  NodeId bulk_;
+  MosGeometry geometry_;
+  MosParams params_;
+};
+
+} // namespace nvff::spice

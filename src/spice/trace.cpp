@@ -1,0 +1,241 @@
+#include "spice/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace nvff::spice {
+
+void Trace::watch_node(const Circuit& circuit, const std::string& nodeName) {
+  const NodeId node = circuit.find_node(nodeName);
+  if (node < kGround) throw std::invalid_argument("Trace: unknown node " + nodeName);
+  nodeProbes_.push_back(NodeProbe{nodeName, node});
+  data_.emplace_back();
+}
+
+void Trace::watch_source_current(const Circuit& circuit, const std::string& sourceName) {
+  const auto* dev = dynamic_cast<const VoltageSource*>(circuit.find_device(sourceName));
+  if (dev == nullptr) {
+    throw std::invalid_argument("Trace: unknown voltage source " + sourceName);
+  }
+  // Branch unknown is the current into the + terminal; report the delivered
+  // current (out of + into the circuit) instead, which is what users expect.
+  sourceProbes_.push_back(SourceProbe{sourceName + ".i", dev->branch_index(), -1.0});
+  data_.emplace_back();
+}
+
+Simulator::Observer Trace::observer() {
+  return [this](double time, const Solution& solution) {
+    times_.push_back(time);
+    std::size_t column = 0;
+    for (const auto& probe : nodeProbes_) {
+      data_[column++].push_back(solution.v(probe.node));
+    }
+    for (const auto& probe : sourceProbes_) {
+      data_[column++].push_back(probe.sign *
+                                solution.branch_current(probe.branchIndex));
+    }
+  };
+}
+
+std::size_t Trace::index_of(const std::string& name) const {
+  std::size_t column = 0;
+  for (const auto& probe : nodeProbes_) {
+    if (probe.label == name) return column;
+    ++column;
+  }
+  for (const auto& probe : sourceProbes_) {
+    if (probe.label == name) return column;
+    ++column;
+  }
+  throw std::invalid_argument("Trace: unknown signal " + name);
+}
+
+const std::vector<double>& Trace::samples(const std::string& name) const {
+  return data_[index_of(name)];
+}
+
+bool Trace::has(const std::string& name) const {
+  for (const auto& probe : nodeProbes_) {
+    if (probe.label == name) return true;
+  }
+  for (const auto& probe : sourceProbes_) {
+    if (probe.label == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Trace::signal_names() const {
+  std::vector<std::string> names;
+  for (const auto& probe : nodeProbes_) names.push_back(probe.label);
+  for (const auto& probe : sourceProbes_) names.push_back(probe.label);
+  return names;
+}
+
+double Trace::value_at(const std::string& name, double t) const {
+  const auto& ys = samples(name);
+  if (ys.empty()) return 0.0;
+  if (t <= times_.front()) return ys.front();
+  if (t >= times_.back()) return ys.back();
+  const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - times_.begin());
+  if (hi == 0) return ys.front();
+  const double t0 = times_[hi - 1];
+  const double t1 = times_[hi];
+  if (t1 <= t0) return ys[hi];
+  const double frac = (t - t0) / (t1 - t0);
+  return ys[hi - 1] * (1.0 - frac) + ys[hi] * frac;
+}
+
+std::optional<double> Trace::crossing_time(const std::string& name, double threshold,
+                                           Edge edge, double tStart) const {
+  const auto& ys = samples(name);
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    if (times_[i] < tStart) continue;
+    const double y0 = ys[i - 1];
+    const double y1 = ys[i];
+    const bool rising = y0 < threshold && y1 >= threshold;
+    const bool falling = y0 > threshold && y1 <= threshold;
+    const bool match = (edge == Edge::Rising && rising) ||
+                       (edge == Edge::Falling && falling) ||
+                       (edge == Edge::Either && (rising || falling));
+    if (!match) continue;
+    const double dy = y1 - y0;
+    const double frac = (dy == 0.0) ? 0.0 : (threshold - y0) / dy;
+    return times_[i - 1] + frac * (times_[i] - times_[i - 1]);
+  }
+  return std::nullopt;
+}
+
+double Trace::final_value(const std::string& name) const {
+  const auto& ys = samples(name);
+  return ys.empty() ? 0.0 : ys.back();
+}
+
+double Trace::min_value(const std::string& name, double tStart) const {
+  const auto& ys = samples(name);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (times_[i] >= tStart) best = std::min(best, ys[i]);
+  }
+  return std::isfinite(best) ? best : 0.0;
+}
+
+double Trace::max_value(const std::string& name, double tStart) const {
+  const auto& ys = samples(name);
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (times_[i] >= tStart) best = std::max(best, ys[i]);
+  }
+  return std::isfinite(best) ? best : 0.0;
+}
+
+double Trace::integral(const std::string& name, double t0, double t1) const {
+  const auto& ys = samples(name);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    const double ta = std::max(times_[i - 1], t0);
+    const double tb = std::min(times_[i], t1);
+    if (tb <= ta) continue;
+    // Interpolate the endpoints of the clipped interval.
+    const double span = times_[i] - times_[i - 1];
+    auto lerp = [&](double t) {
+      if (span <= 0.0) return ys[i];
+      const double frac = (t - times_[i - 1]) / span;
+      return ys[i - 1] * (1.0 - frac) + ys[i] * frac;
+    };
+    acc += 0.5 * (lerp(ta) + lerp(tb)) * (tb - ta);
+  }
+  return acc;
+}
+
+int Trace::count_transitions(const std::string& name, double swing) const {
+  const auto& ys = samples(name);
+  if (ys.empty()) return 0;
+  const double hi = 0.6 * swing;
+  const double lo = 0.4 * swing;
+  int transitions = 0;
+  bool state = ys.front() > 0.5 * swing;
+  for (double y : ys) {
+    if (state && y < lo) {
+      state = false;
+      ++transitions;
+    } else if (!state && y > hi) {
+      state = true;
+      ++transitions;
+    }
+  }
+  return transitions;
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream out;
+  out << "time";
+  for (const auto& probe : nodeProbes_) out << ',' << probe.label;
+  for (const auto& probe : sourceProbes_) out << ',' << probe.label;
+  out << '\n';
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    out << times_[i];
+    for (const auto& column : data_) out << ',' << column[i];
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string Trace::ascii_waves(const std::vector<std::string>& names,
+                               std::size_t columns, double vHigh) const {
+  std::ostringstream out;
+  if (times_.empty() || columns == 0) return "(no samples)\n";
+  const double t0 = times_.front();
+  const double t1 = times_.back();
+  std::size_t width = 0;
+  for (const auto& n : names) width = std::max(width, n.size());
+  for (const auto& name : names) {
+    out << name << std::string(width - name.size(), ' ') << " |";
+    for (std::size_t c = 0; c < columns; ++c) {
+      const double t = t0 + (t1 - t0) * (static_cast<double>(c) + 0.5) /
+                                static_cast<double>(columns);
+      const double v = value_at(name, t);
+      char glyph = '-';
+      if (v > 0.75 * vHigh) glyph = '#';
+      else if (v > 0.5 * vHigh) glyph = '+';
+      else if (v > 0.25 * vHigh) glyph = '.';
+      else glyph = '_';
+      out << glyph;
+    }
+    out << "|\n";
+  }
+  out << std::string(width, ' ') << " t=" << t0 << " .. " << t1 << " s\n";
+  return out.str();
+}
+
+SupplyEnergyMeter::SupplyEnergyMeter(const Circuit& circuit,
+                                     const std::string& sourceName) {
+  source_ = dynamic_cast<const VoltageSource*>(circuit.find_device(sourceName));
+  if (source_ == nullptr) {
+    throw std::invalid_argument("SupplyEnergyMeter: unknown source " + sourceName);
+  }
+}
+
+void SupplyEnergyMeter::observe(double time, const Solution& solution) {
+  // The branch unknown is the current into the + terminal, so the power the
+  // source delivers to the circuit is -V * I_branch.
+  const double v = source_->value(time);
+  const double i = solution.branch_current(source_->branch_index());
+  const double power = -v * i;
+  if (!first_) {
+    energy_ += 0.5 * (power + lastPower_) * (time - lastTime_);
+  }
+  first_ = false;
+  lastTime_ = time;
+  lastPower_ = power;
+}
+
+void SupplyEnergyMeter::reset() {
+  energy_ = 0.0;
+  markedEnergy_ = 0.0;
+  first_ = true;
+}
+
+} // namespace nvff::spice

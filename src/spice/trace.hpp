@@ -1,0 +1,112 @@
+// Waveform capture and post-processing measurements.
+//
+// A Trace subscribes to the transient observer, records selected node
+// voltages and source currents, and afterwards answers the questions the
+// paper's evaluation asks: when did the output cross half-rail, how much
+// energy did the supply deliver in a window, what is the final value.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spice/analysis.hpp"
+
+namespace nvff::spice {
+
+/// Direction of a threshold crossing.
+enum class Edge { Rising, Falling, Either };
+
+/// Records named signals over a transient run.
+class Trace {
+public:
+  /// Registers a node voltage signal.
+  void watch_node(const Circuit& circuit, const std::string& nodeName);
+  /// Registers the branch current of a voltage source (positive = current
+  /// delivered out of the + terminal into the circuit).
+  void watch_source_current(const Circuit& circuit, const std::string& sourceName);
+
+  /// Observer to pass to Simulator::transient.
+  Simulator::Observer observer();
+
+  std::size_t num_points() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+
+  /// Samples of a watched signal by name; throws if unknown.
+  const std::vector<double>& samples(const std::string& name) const;
+  bool has(const std::string& name) const;
+  std::vector<std::string> signal_names() const;
+
+  /// Value of `name` at (or interpolated to) time t.
+  double value_at(const std::string& name, double t) const;
+
+  /// First time after `tStart` where the signal crosses `threshold` with the
+  /// given edge; linear interpolation between samples.
+  std::optional<double> crossing_time(const std::string& name, double threshold,
+                                      Edge edge, double tStart = 0.0) const;
+
+  double final_value(const std::string& name) const;
+  double min_value(const std::string& name, double tStart = 0.0) const;
+  double max_value(const std::string& name, double tStart = 0.0) const;
+
+  /// Trapezoidal integral of signal * weight(t) over [t0, t1]; used for
+  /// charge (integral of current).
+  double integral(const std::string& name, double t0, double t1) const;
+
+  /// Number of logic transitions of the signal across half of `swing`
+  /// (hysteresis 10%); used by the Fig. 7 control-activity comparison.
+  int count_transitions(const std::string& name, double swing) const;
+
+  /// CSV dump: time column + one column per watched signal.
+  std::string to_csv() const;
+
+  /// Compact ASCII rendering of the selected signals (for Fig. 6 output).
+  std::string ascii_waves(const std::vector<std::string>& names, std::size_t columns,
+                          double vHigh) const;
+
+private:
+  struct NodeProbe {
+    std::string label;
+    NodeId node;
+  };
+  struct SourceProbe {
+    std::string label;
+    std::size_t branchIndex;
+    double sign;
+  };
+  std::size_t index_of(const std::string& name) const;
+
+  std::vector<NodeProbe> nodeProbes_;
+  std::vector<SourceProbe> sourceProbes_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> data_; // one vector per signal, probe order
+};
+
+/// Integrates the energy delivered by one voltage source:
+///   E = integral of V(t) * I_delivered(t) dt.
+/// Attach via observer chaining (call operator() from the transient
+/// observer). Supports window reset to measure per-phase energy.
+class SupplyEnergyMeter {
+public:
+  SupplyEnergyMeter(const Circuit& circuit, const std::string& sourceName);
+
+  /// Accumulates one observed timestep.
+  void observe(double time, const Solution& solution);
+
+  /// Total accumulated energy [J].
+  double energy() const { return energy_; }
+  /// Energy accumulated since the last mark() call.
+  double energy_since_mark() const { return energy_ - markedEnergy_; }
+  void mark() { markedEnergy_ = energy_; }
+  void reset();
+
+private:
+  const VoltageSource* source_;
+  double energy_ = 0.0;
+  double markedEnergy_ = 0.0;
+  double lastTime_ = 0.0;
+  double lastPower_ = 0.0;
+  bool first_ = true;
+};
+
+} // namespace nvff::spice

@@ -1,0 +1,97 @@
+#include "spice/vcd.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nvff::spice {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, multi-char when exhausted.
+std::string id_code(std::size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+} // namespace
+
+std::string to_vcd(const Trace& trace, const VcdOptions& options) {
+  const auto names = trace.signal_names();
+  std::ostringstream out;
+  out << "$date nvff simulation $end\n";
+  out << "$version nvff spice engine $end\n";
+  out << "$timescale " << options.timescale << " $end\n";
+  out << "$scope module " << options.moduleName << " $end\n";
+
+  // Declare variables: real + digital per signal.
+  std::vector<std::string> realIds(names.size());
+  std::vector<std::string> bitIds(names.size());
+  std::size_t code = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    // VCD identifiers for name-safe output: replace dots.
+    std::string safe = names[i];
+    for (char& c : safe) {
+      if (c == '.' || c == ' ') c = '_';
+    }
+    if (options.emitReal) {
+      realIds[i] = id_code(code++);
+      out << "$var real 64 " << realIds[i] << " " << safe << "_v $end\n";
+    }
+    if (options.emitDigital) {
+      bitIds[i] = id_code(code++);
+      out << "$var wire 1 " << bitIds[i] << " " << safe << " $end\n";
+    }
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  const auto& times = trace.times();
+  const double hi = 0.6 * options.swing;
+  const double lo = 0.4 * options.swing;
+  std::vector<int> digital(names.size(), -1); // -1 unknown, 0/1 known
+  std::vector<double> lastReal(names.size(),
+                               std::numeric_limits<double>::quiet_NaN());
+
+  for (std::size_t t = 0; t < times.size(); ++t) {
+    std::ostringstream changes;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const double v = trace.samples(names[i])[t];
+      if (options.emitReal &&
+          (std::isnan(lastReal[i]) || v != lastReal[i])) {
+        changes << "r" << v << " " << realIds[i] << "\n";
+        lastReal[i] = v;
+      }
+      if (options.emitDigital) {
+        int next = digital[i];
+        if (digital[i] != 1 && v > hi) next = 1;
+        else if (digital[i] != 0 && v < lo) next = 0;
+        else if (digital[i] == -1) next = (v > 0.5 * options.swing) ? 1 : 0;
+        if (next != digital[i]) {
+          changes << next << bitIds[i] << "\n";
+          digital[i] = next;
+        }
+      }
+    }
+    const std::string block = changes.str();
+    if (!block.empty() || t == 0) {
+      out << "#" << static_cast<long long>(std::llround(times[t] / options.timeUnit))
+          << "\n"
+          << block;
+    }
+  }
+  return out.str();
+}
+
+void save_vcd_file(const Trace& trace, const std::string& path,
+                   const VcdOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write VCD file: " + path);
+  out << to_vcd(trace, options);
+}
+
+} // namespace nvff::spice

@@ -1,0 +1,31 @@
+// VCD (Value Change Dump) export of simulated traces, so waveforms can be
+// inspected in GTKWave or any EDA waveform viewer.
+//
+// Analog node voltages are exported twice: as `real` variables (exact
+// values) and as 1-bit digital views thresholded at half the given swing
+// with 10 % hysteresis (the same digitization count_transitions() uses).
+#pragma once
+
+#include <string>
+
+#include "spice/trace.hpp"
+
+namespace nvff::spice {
+
+struct VcdOptions {
+  std::string timescale = "1ps";
+  double timeUnit = 1e-12;   ///< seconds per VCD time tick
+  double swing = 1.1;        ///< rail for the digital views [V]
+  bool emitDigital = true;   ///< 1-bit thresholded views
+  bool emitReal = true;      ///< real-valued views
+  std::string moduleName = "nvff";
+};
+
+/// Serializes every watched signal of the trace to VCD text.
+std::string to_vcd(const Trace& trace, const VcdOptions& options = {});
+
+/// Writes the VCD to a file; throws std::runtime_error on IO failure.
+void save_vcd_file(const Trace& trace, const std::string& path,
+                   const VcdOptions& options = {});
+
+} // namespace nvff::spice

@@ -1,0 +1,105 @@
+#include "spice/waveform.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nvff::spice {
+
+void Pwl::add_point(double time, double value) {
+  if (!points_.empty() && time < points_.back().first) {
+    throw std::invalid_argument("Pwl: non-monotonic time");
+  }
+  points_.emplace_back(time, value);
+}
+
+void Pwl::add_step(double time, double value, double rampTime) {
+  const double prev = points_.empty() ? value : points_.back().second;
+  if (points_.empty()) {
+    add_point(0.0, value);
+    return;
+  }
+  add_point(time, prev);
+  add_point(time + rampTime, value);
+}
+
+double Pwl::value(double time) const {
+  if (points_.empty()) return 0.0;
+  if (time <= points_.front().first) return points_.front().second;
+  if (time >= points_.back().first) return points_.back().second;
+  // Linear scan is fine: waveforms have tens of points and value() is called
+  // in time order; could binary-search if profiles ever say otherwise.
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (time <= points_[i].first) {
+      const auto& [t0, v0] = points_[i - 1];
+      const auto& [t1, v1] = points_[i];
+      if (t1 <= t0) return v1;
+      const double frac = (time - t0) / (t1 - t0);
+      return v0 + frac * (v1 - v0);
+    }
+  }
+  return points_.back().second;
+}
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.kind_ = Kind::Dc;
+  w.dc_ = value;
+  return w;
+}
+
+Waveform Waveform::pulse(double v1, double v2, double delay, double rise, double fall,
+                         double width, double period) {
+  Waveform w;
+  w.kind_ = Kind::Pulse;
+  w.v1_ = v1;
+  w.v2_ = v2;
+  w.delay_ = delay;
+  w.rise_ = rise;
+  w.fall_ = fall;
+  w.width_ = width;
+  w.period_ = period;
+  return w;
+}
+
+Waveform Waveform::pwl(Pwl pwl) {
+  Waveform w;
+  w.kind_ = Kind::PwlKind;
+  w.pwl_ = std::move(pwl);
+  return w;
+}
+
+double Waveform::value(double time) const {
+  switch (kind_) {
+    case Kind::Dc:
+      return dc_;
+    case Kind::PwlKind:
+      return pwl_.value(time);
+    case Kind::Pulse: {
+      if (time < delay_) return v1_;
+      double t = time - delay_;
+      if (period_ > 0.0) t = std::fmod(t, period_);
+      if (t < rise_) return v1_ + (v2_ - v1_) * (rise_ > 0 ? t / rise_ : 1.0);
+      t -= rise_;
+      if (t < width_) return v2_;
+      t -= width_;
+      if (t < fall_) return v2_ + (v1_ - v2_) * (fall_ > 0 ? t / fall_ : 1.0);
+      return v1_;
+    }
+  }
+  return 0.0;
+}
+
+double Waveform::active_until() const {
+  switch (kind_) {
+    case Kind::Dc:
+      return 0.0;
+    case Kind::PwlKind:
+      return pwl_.last_time();
+    case Kind::Pulse:
+      // Periodic forever; report one period past the delay as "interesting".
+      return delay_ + rise_ + width_ + fall_ + period_;
+  }
+  return 0.0;
+}
+
+} // namespace nvff::spice

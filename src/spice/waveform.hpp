@@ -1,0 +1,64 @@
+// Source waveforms: DC, pulse trains, and piecewise-linear sequences.
+//
+// Control signals of the latch (clock, PD, R_en, PC, SEL, ...) are described
+// as PWL waveforms assembled by the sequencers in src/cell/. Pulse gives the
+// familiar SPICE PULSE() source for clocks.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace nvff::spice {
+
+/// Piecewise-linear waveform; between points the value is linearly
+/// interpolated, before the first and after the last it is held constant.
+class Pwl {
+public:
+  Pwl() = default;
+
+  /// Appends a (time, value) point; times must be non-decreasing.
+  void add_point(double time, double value);
+
+  /// Appends a step: hold the previous value until `time`, then ramp to
+  /// `value` over `rampTime`. Convenient for digital control sequences.
+  void add_step(double time, double value, double rampTime);
+
+  double value(double time) const;
+  bool empty() const { return points_.empty(); }
+  double last_time() const { return points_.empty() ? 0.0 : points_.back().first; }
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Any source waveform: constant, SPICE-style pulse, or PWL.
+class Waveform {
+public:
+  /// Constant value for all time.
+  static Waveform dc(double value);
+
+  /// SPICE PULSE(v1 v2 delay rise fall width period).
+  static Waveform pulse(double v1, double v2, double delay, double rise, double fall,
+                        double width, double period);
+
+  /// Piecewise linear.
+  static Waveform pwl(Pwl pwl);
+
+  double value(double time) const;
+
+  /// Largest time at which the waveform still changes (used to pick the
+  /// transient window); 0 for DC.
+  double active_until() const;
+
+private:
+  enum class Kind { Dc, Pulse, PwlKind };
+  Kind kind_ = Kind::Dc;
+  double dc_ = 0.0;
+  // pulse parameters
+  double v1_ = 0.0, v2_ = 0.0, delay_ = 0.0, rise_ = 0.0, fall_ = 0.0, width_ = 0.0,
+         period_ = 0.0;
+  Pwl pwl_;
+};
+
+} // namespace nvff::spice

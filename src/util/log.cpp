@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace nvff {
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+} // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[nvff %s] %s\n", level_tag(level), msg.c_str());
+}
+
+void log_debug(const std::string& msg) { log_message(LogLevel::Debug, msg); }
+void log_info(const std::string& msg) { log_message(LogLevel::Info, msg); }
+void log_warn(const std::string& msg) { log_message(LogLevel::Warn, msg); }
+void log_error(const std::string& msg) { log_message(LogLevel::Error, msg); }
+
+} // namespace nvff

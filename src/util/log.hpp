@@ -1,0 +1,26 @@
+// Minimal leveled logger writing to stderr.
+//
+// The library itself is silent at default level (warn); benches and examples
+// raise the level for progress reporting. Not thread-safe by design — all
+// nvff flows are single-threaded.
+#pragma once
+
+#include <string>
+
+namespace nvff {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Core sink. Prefer the convenience wrappers below.
+void log_message(LogLevel level, const std::string& msg);
+
+void log_debug(const std::string& msg);
+void log_info(const std::string& msg);
+void log_warn(const std::string& msg);
+void log_error(const std::string& msg);
+
+} // namespace nvff

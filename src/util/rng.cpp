@@ -1,0 +1,92 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace nvff {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+} // namespace
+
+Rng::Rng(std::uint64_t seedValue) { seed(seedValue); }
+
+void Rng::seed(std::uint64_t seedValue) {
+  std::uint64_t sm = seedValue;
+  for (auto& lane : state_) lane = splitmix64(sm);
+  // xoshiro must not start from the all-zero state; splitmix64 of any seed
+  // cannot produce four zero lanes, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  hasCachedNormal_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 bits of mantissa -> [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // Lemire-style rejection-free-ish bounded draw; bias is < 2^-64 * n which is
+  // negligible for our n (netlist sizes), but do a rejection loop for rigor.
+  if (n == 0) return 0;
+  const std::uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (hasCachedNormal_) {
+    hasCachedNormal_ = false;
+    return cachedNormal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double twoPi = 6.283185307179586;
+  cachedNormal_ = mag * std::sin(twoPi * u2);
+  hasCachedNormal_ = true;
+  return mag * std::cos(twoPi * u2);
+}
+
+double Rng::normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+double Rng::normal_clamped(double mean, double sigma, double clampSigmas) {
+  const double v = normal(mean, sigma);
+  const double lo = mean - clampSigmas * sigma;
+  const double hi = mean + clampSigmas * sigma;
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+} // namespace nvff

@@ -1,0 +1,57 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic parts of the library (placement jitter, synthetic netlist
+// generation, Monte-Carlo process variation) draw from `Rng`, a xoshiro256++
+// generator seeded explicitly. The same seed always yields the same
+// experiment, independent of platform and standard-library version (the C++
+// standard does not pin down std::normal_distribution, so we implement our
+// own transforms).
+#pragma once
+
+#include <cstdint>
+
+namespace nvff {
+
+/// Deterministic xoshiro256++ PRNG with explicit seeding and portable
+/// uniform/normal transforms.
+class Rng {
+public:
+  /// Seeds the state from a single 64-bit seed via splitmix64 expansion.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal variate (Box-Muller with caching).
+  double normal();
+
+  /// Normal variate with given mean and standard deviation.
+  double normal(double mean, double sigma);
+
+  /// Normal variate truncated to [mean - clampSigmas*sigma,
+  /// mean + clampSigmas*sigma]. Used for +-3sigma corner sampling where the
+  /// physical parameter cannot take unbounded values.
+  double normal_clamped(double mean, double sigma, double clampSigmas);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Re-seed in place.
+  void seed(std::uint64_t seed);
+
+private:
+  std::uint64_t state_[4];
+  double cachedNormal_ = 0.0;
+  bool hasCachedNormal_ = false;
+};
+
+} // namespace nvff

@@ -1,0 +1,130 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace nvff {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+void SampleSet::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : samples_) total += x;
+  return total / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mu = mean();
+  double m2 = 0.0;
+  for (double x : samples_) m2 += (x - mu) * (x - mu);
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::string SampleSet::ascii_histogram(std::size_t bins, std::size_t width) const {
+  std::ostringstream out;
+  if (samples_.empty() || bins == 0) return "(no samples)\n";
+  const double lo = min();
+  const double hi = max();
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+  std::vector<std::size_t> counts(bins, 0);
+  for (double x : samples_) {
+    auto bin = static_cast<std::size_t>((x - lo) / span * static_cast<double>(bins));
+    if (bin >= bins) bin = bins - 1;
+    ++counts[bin];
+  }
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double binLo = lo + span * static_cast<double>(b) / static_cast<double>(bins);
+    const double binHi = lo + span * static_cast<double>(b + 1) / static_cast<double>(bins);
+    const std::size_t bar =
+        peak == 0 ? 0 : counts[b] * width / peak;
+    out << "[" << binLo << ", " << binHi << ") ";
+    for (std::size_t i = 0; i < bar; ++i) out << '#';
+    out << " " << counts[b] << "\n";
+  }
+  return out.str();
+}
+
+double improvement_percent(double baseline, double proposed) {
+  if (baseline == 0.0) return 0.0;
+  return (baseline - proposed) / baseline * 100.0;
+}
+
+} // namespace nvff

@@ -1,0 +1,69 @@
+// Small statistics toolkit: running moments, percentiles, histograms.
+//
+// Used by the physical-design and system-level analysis code to summarize
+// pair distances, improvement percentages and Monte-Carlo corner sweeps.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nvff {
+
+/// Accumulates count/mean/variance/min/max in a single pass (Welford).
+class RunningStats {
+public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Collects all samples; supports exact percentiles and histogram rendering.
+class SampleSet {
+public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Exact percentile with linear interpolation, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Fixed-width ASCII histogram for terminal reports.
+  std::string ascii_histogram(std::size_t bins, std::size_t width) const;
+
+private:
+  std::vector<double> samples_;
+};
+
+/// Relative improvement of `b` over `a` in percent: (a - b) / a * 100.
+/// Matches the improvement columns in Table III of the paper.
+double improvement_percent(double baseline, double proposed);
+
+} // namespace nvff

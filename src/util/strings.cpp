@@ -1,0 +1,88 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace nvff {
+
+std::string_view trim(std::string_view s) {
+  std::size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  std::size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+    std::size_t start = i;
+    while (i < s.size() && delims.find(s[i]) == std::string_view::npos) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string> split_keep_empty(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list argsCopy;
+  va_copy(argsCopy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, argsCopy);
+  }
+  va_end(argsCopy);
+  return out;
+}
+
+std::string eng(double value, const char* unit, int precision) {
+  struct Prefix {
+    double scale;
+    const char* symbol;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},    {1e-3, "m"},
+      {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
+  };
+  if (value == 0.0) return format("0 %s", unit);
+  const double mag = std::fabs(value);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale * 0.9999999) {
+      return format("%.*f %s%s", precision, value / p.scale, p.symbol, unit);
+    }
+  }
+  const auto& last = kPrefixes[sizeof(kPrefixes) / sizeof(kPrefixes[0]) - 1];
+  return format("%.*g %s%s", precision, value / last.scale, last.symbol, unit);
+}
+
+} // namespace nvff

@@ -1,0 +1,32 @@
+// String helpers shared by parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nvff {
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on any character in `delims`, dropping empty tokens.
+std::vector<std::string> split(std::string_view s, std::string_view delims = " \t");
+
+/// Splits on a single delimiter, keeping empty tokens (CSV-style).
+std::vector<std::string> split_keep_empty(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII in place and returns the result.
+std::string to_lower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Engineering notation with unit suffix, e.g. 4.587e-15 J -> "4.587 fJ".
+/// `unit` is the SI base unit symbol ("J", "s", "W", "m").
+std::string eng(double value, const char* unit, int precision = 3);
+
+} // namespace nvff

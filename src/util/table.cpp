@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace nvff {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row arity mismatch");
+  }
+  rows_.push_back(Row{std::move(row), pendingSeparator_});
+  pendingSeparator_ = false;
+}
+
+void TextTable::add_separator() { pendingSeparator_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto renderLine = [&](const std::vector<std::string>& cells) {
+    std::ostringstream out;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << " | ";
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    return out.str();
+  };
+  auto renderSeparator = [&] {
+    std::ostringstream out;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      if (c != 0) out << "-+-";
+      out << std::string(widths[c], '-');
+    }
+    return out.str();
+  };
+
+  std::ostringstream out;
+  out << renderLine(header_) << "\n" << renderSeparator() << "\n";
+  for (const auto& row : rows_) {
+    if (row.separatorBefore) out << renderSeparator() << "\n";
+    out << renderLine(row.cells) << "\n";
+  }
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) out << ',';
+    out << quote(header_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c != 0) out << ',';
+      out << quote(row.cells[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+} // namespace nvff

@@ -1,0 +1,46 @@
+// Aligned plain-text table rendering + CSV export.
+//
+// Every bench binary regenerates one of the paper's tables; this class gives
+// them a uniform look (column alignment, separators, optional title) and a
+// machine-readable CSV twin for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nvff {
+
+/// Column-aligned text table. Cells are strings; numeric formatting is the
+/// caller's job (use nvff::format / nvff::eng).
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator line before the next added row.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with padded columns, e.g.
+  ///   name   | area  | energy
+  ///   -------+-------+-------
+  ///   s344   | 42.26 | 42.38
+  std::string render() const;
+
+  /// Renders as CSV (comma-separated, quotes only when needed).
+  std::string to_csv() const;
+
+private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separatorBefore = false;
+  };
+  std::vector<Row> rows_;
+  bool pendingSeparator_ = false;
+};
+
+} // namespace nvff

@@ -1,0 +1,65 @@
+// Physical units and constants used throughout the nvff library.
+//
+// All internal computation is done in SI base units (volts, amperes, ohms,
+// farads, seconds, meters, joules, watts). The constants below make netlist
+// and model code read like the paper: `20 * nm`, `70 * uA`, `1.48 * nm`.
+#pragma once
+
+namespace nvff::units {
+
+// --- scale prefixes -------------------------------------------------------
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+inline constexpr double milli = 1e-3;
+inline constexpr double micro = 1e-6;
+inline constexpr double nano = 1e-9;
+inline constexpr double pico = 1e-12;
+inline constexpr double femto = 1e-15;
+inline constexpr double atto = 1e-18;
+
+// --- convenience unit literals (value * unit) ------------------------------
+inline constexpr double V = 1.0;    ///< volt
+inline constexpr double mV = milli; ///< millivolt
+inline constexpr double A = 1.0;    ///< ampere
+inline constexpr double mA = milli; ///< milliampere
+inline constexpr double uA = micro; ///< microampere
+inline constexpr double nA = nano;  ///< nanoampere
+inline constexpr double pA = pico;  ///< picoampere
+inline constexpr double Ohm = 1.0;  ///< ohm
+inline constexpr double kOhm = kilo;
+inline constexpr double F = 1.0; ///< farad
+inline constexpr double pF = pico;
+inline constexpr double fF = femto;
+inline constexpr double aF = atto;
+inline constexpr double s = 1.0; ///< second
+inline constexpr double ms = milli;
+inline constexpr double us = micro;
+inline constexpr double ns = nano;
+inline constexpr double ps = pico;
+inline constexpr double m = 1.0; ///< meter
+inline constexpr double um = micro;
+inline constexpr double nm = nano;
+inline constexpr double J = 1.0; ///< joule
+inline constexpr double pJ = pico;
+inline constexpr double fJ = femto;
+inline constexpr double aJ = atto;
+inline constexpr double W = 1.0; ///< watt
+inline constexpr double uW = micro;
+inline constexpr double nW = nano;
+inline constexpr double pW = pico;
+inline constexpr double um2 = 1e-12; ///< square micrometer in m^2
+
+// --- physical constants ----------------------------------------------------
+inline constexpr double kBoltzmann = 1.380649e-23;     ///< J/K
+inline constexpr double qElectron = 1.602176634e-19;   ///< C
+inline constexpr double muBohr = 9.2740100783e-24;     ///< J/T
+inline constexpr double hbar = 1.054571817e-34;        ///< J.s
+inline constexpr double kZeroCelsiusK = 273.15;        ///< K
+
+/// Thermal voltage kT/q at absolute temperature `tempK` (volts).
+constexpr double thermal_voltage(double tempK) {
+  return kBoltzmann * tempK / qElectron;
+}
+
+} // namespace nvff::units

@@ -1,0 +1,88 @@
+#include "bench_circuits/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvff::bench {
+namespace {
+
+const char* kSample = R"(# a tiny sequential circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(o)
+n1 = NAND(a, b)
+q = DFF(n1)
+o = NOT(q)
+)";
+
+TEST(BenchIo, ParsesSample) {
+  const Netlist nl = parse_bench_string(kSample, "tiny");
+  EXPECT_EQ(nl.name(), "tiny");
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_flip_flops(), 1u);
+  EXPECT_EQ(nl.num_logic_gates(), 2u);
+  const Gate& n1 = nl.gate(nl.find("n1"));
+  EXPECT_EQ(n1.type, GateType::Nand);
+  ASSERT_EQ(n1.fanin.size(), 2u);
+}
+
+TEST(BenchIo, ForwardReferencesAllowed) {
+  // DFF referenced before its definition (feedback).
+  const char* text = R"(
+INPUT(a)
+g = XOR(a, q)
+q = DFF(g)
+OUTPUT(g)
+)";
+  const Netlist nl = parse_bench_string(text);
+  EXPECT_EQ(nl.num_flip_flops(), 1u);
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+  const Netlist nl = parse_bench_string(kSample, "tiny");
+  const std::string text = to_bench(nl);
+  const Netlist again = parse_bench_string(text, "tiny");
+  EXPECT_EQ(again.size(), nl.size());
+  EXPECT_EQ(again.num_inputs(), nl.num_inputs());
+  EXPECT_EQ(again.num_outputs(), nl.num_outputs());
+  EXPECT_EQ(again.num_flip_flops(), nl.num_flip_flops());
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const Gate& g = nl.gate(static_cast<GateId>(i));
+    const GateId id = again.find(g.name);
+    ASSERT_NE(id, kNoGate) << g.name;
+    EXPECT_EQ(again.gate(id).type, g.type);
+    EXPECT_EQ(again.gate(id).fanin.size(), g.fanin.size());
+  }
+}
+
+TEST(BenchIo, ReportsLineNumbersOnErrors) {
+  try {
+    parse_bench_string("INPUT(a)\nz = FROB(a)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, RejectsUndefinedSignals) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nz = AND(a, ghost)\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(ghost)\n"), std::runtime_error);
+}
+
+TEST(BenchIo, IgnoresCommentsAndBlankLines) {
+  const Netlist nl = parse_bench_string("\n# comment\n\nINPUT(x)\n\n");
+  EXPECT_EQ(nl.num_inputs(), 1u);
+}
+
+TEST(BenchIo, FileRoundTrip) {
+  const Netlist nl = parse_bench_string(kSample, "tiny");
+  const std::string path = testing::TempDir() + "/nvff_roundtrip.bench";
+  save_bench_file(nl, path);
+  const Netlist loaded = load_bench_file(path);
+  EXPECT_EQ(loaded.name(), "nvff_roundtrip");
+  EXPECT_EQ(loaded.size(), nl.size());
+}
+
+} // namespace
+} // namespace nvff::bench

@@ -1,0 +1,123 @@
+#include "bench_circuits/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvff::bench {
+namespace {
+
+Netlist tiny() {
+  // a, b inputs; n1 = NAND(a,b); q = DFF(n1); out = NOT(q)
+  Netlist nl("tiny");
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId b = nl.add_gate(GateType::Input, "b");
+  const GateId n1 = nl.add_gate(GateType::Nand, "n1", {a, b});
+  const GateId q = nl.add_gate(GateType::Dff, "q", {n1});
+  const GateId o = nl.add_gate(GateType::Not, "o", {q});
+  nl.mark_output(o);
+  nl.finalize();
+  return nl;
+}
+
+TEST(Netlist, CountsAndLookup) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.size(), 5u);
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_flip_flops(), 1u);
+  EXPECT_EQ(nl.num_logic_gates(), 2u);
+  EXPECT_EQ(nl.find("n1"), 2);
+  EXPECT_EQ(nl.find("missing"), kNoGate);
+}
+
+TEST(Netlist, RejectsDuplicateNames) {
+  Netlist nl;
+  nl.add_gate(GateType::Input, "a");
+  EXPECT_THROW(nl.add_gate(GateType::Input, "a"), std::runtime_error);
+}
+
+TEST(Netlist, FinalizeRejectsBadArity) {
+  {
+    Netlist nl;
+    const GateId a = nl.add_gate(GateType::Input, "a");
+    nl.add_gate(GateType::Nand, "n", {a}); // needs >= 2
+    EXPECT_THROW(nl.finalize(), std::runtime_error);
+  }
+  {
+    Netlist nl;
+    nl.add_gate(GateType::Not, "n", {}); // needs exactly 1
+    EXPECT_THROW(nl.finalize(), std::runtime_error);
+  }
+  {
+    Netlist nl;
+    const GateId a = nl.add_gate(GateType::Input, "a");
+    const GateId b = nl.add_gate(GateType::Input, "b");
+    nl.add_gate(GateType::Dff, "q", {a, b}); // DFF takes 1
+    EXPECT_THROW(nl.finalize(), std::runtime_error);
+  }
+}
+
+TEST(Netlist, FinalizeRejectsDanglingFanin) {
+  Netlist nl;
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId n = nl.add_gate(GateType::Buf, "n", {a});
+  nl.set_fanin(n, {static_cast<GateId>(99)});
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(Netlist, FinalizeRejectsCombinationalCycle) {
+  Netlist nl;
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId g1 = nl.add_gate(GateType::Nand, "g1", {a, a});
+  const GateId g2 = nl.add_gate(GateType::Nand, "g2", {g1, a});
+  nl.set_fanin(g1, {a, g2}); // g1 -> g2 -> g1 without a DFF
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(Netlist, CycleThroughDffIsLegal) {
+  Netlist nl;
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId q = nl.add_gate(GateType::Dff, "q", {});
+  const GateId g = nl.add_gate(GateType::Xor, "g", {a, q});
+  nl.set_fanin(q, {g}); // feedback through the DFF
+  EXPECT_NO_THROW(nl.finalize());
+}
+
+TEST(Netlist, TopoOrderRespectsCombinationalEdges) {
+  const Netlist nl = tiny();
+  const auto& topo = nl.topo_order();
+  ASSERT_EQ(topo.size(), nl.size());
+  std::vector<std::size_t> position(nl.size());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    position[static_cast<std::size_t>(topo[i])] = i;
+  }
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const Gate& g = nl.gate(static_cast<GateId>(i));
+    if (g.type == GateType::Dff || g.type == GateType::Input) continue;
+    for (GateId f : g.fanin) {
+      EXPECT_LT(position[static_cast<std::size_t>(f)], position[i])
+          << "fanin must precede gate " << g.name;
+    }
+  }
+}
+
+TEST(Netlist, FanoutRebuiltOnFinalize) {
+  const Netlist nl = tiny();
+  const Gate& a = nl.gate(nl.find("a"));
+  ASSERT_EQ(a.fanout.size(), 1u);
+  EXPECT_EQ(a.fanout[0], nl.find("n1"));
+}
+
+TEST(Netlist, GateTypeNamesRoundTrip) {
+  for (GateType t : {GateType::Buf, GateType::Not, GateType::And, GateType::Nand,
+                     GateType::Or, GateType::Nor, GateType::Xor, GateType::Xnor,
+                     GateType::Dff}) {
+    GateType parsed;
+    ASSERT_TRUE(parse_gate_type(gate_type_name(t), parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  GateType dummy;
+  EXPECT_FALSE(parse_gate_type("FROB", dummy));
+}
+
+} // namespace
+} // namespace nvff::bench

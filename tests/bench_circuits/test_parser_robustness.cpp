@@ -1,0 +1,116 @@
+// Parser robustness: malformed and adversarial inputs must throw cleanly
+// (never crash, never accept garbage), and valid inputs must round-trip.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_circuits/bench_io.hpp"
+#include "bench_circuits/generator.hpp"
+#include "physdes/def_io.hpp"
+#include "util/rng.hpp"
+
+namespace nvff::bench {
+namespace {
+
+TEST(ParserRobustness, BenchMalformedInputsThrow) {
+  const char* cases[] = {
+      "INPUT(",                    // unterminated
+      "x = (a)",                   // missing function
+      "x = AND(a",                 // unterminated args (a undefined anyway)
+      "= AND(a, b)",               // missing lhs
+      "INPUT(a)\nx = DFF()",       // empty args
+      "INPUT(a)\nx = AND(a)",      // arity violation (caught at finalize)
+      "INPUT(a)\nINPUT(a)",        // duplicate
+      "OUTPUT(nothing)",           // undefined output
+      "INPUT(a)\nx = NOPE(a)",     // unknown gate
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(parse_bench_string(text), std::runtime_error) << text;
+  }
+}
+
+TEST(ParserRobustness, BenchRandomGarbageNeverCrashes) {
+  Rng rng(0xfeed);
+  const std::string alphabet = "ABC()=, \n#xyz019_";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const auto len = 1 + rng.uniform_index(120);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.uniform_index(alphabet.size())]);
+    }
+    try {
+      parse_bench_string(text);
+    } catch (const std::exception&) {
+      // Throwing is fine; crashing or hanging is not.
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ParserRobustness, BenchRoundTripAllSmallBenchmarks) {
+  for (const char* name : {"s344", "s838", "s1423", "s5378"}) {
+    const Netlist original = generate_benchmark(find_benchmark(name));
+    const Netlist again = parse_bench_string(to_bench(original), name);
+    ASSERT_EQ(again.size(), original.size()) << name;
+    ASSERT_EQ(again.num_outputs(), original.num_outputs()) << name;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      const Gate& g = original.gate(static_cast<GateId>(i));
+      const GateId id = again.find(g.name);
+      ASSERT_NE(id, kNoGate) << name << ":" << g.name;
+      const Gate& h = again.gate(id);
+      ASSERT_EQ(h.type, g.type) << name << ":" << g.name;
+      ASSERT_EQ(h.fanin.size(), g.fanin.size()) << name << ":" << g.name;
+      for (std::size_t f = 0; f < g.fanin.size(); ++f) {
+        ASSERT_EQ(again.gate(h.fanin[f]).name, original.gate(g.fanin[f]).name);
+      }
+    }
+  }
+}
+
+TEST(ParserRobustness, DefRandomGarbageNeverCrashes) {
+  Rng rng(0xdef);
+  const std::string alphabet = "-+();DESIGNCOMPONENTSPLACED 0123456789\n";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const auto len = 1 + rng.uniform_index(200);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.uniform_index(alphabet.size())]);
+    }
+    try {
+      physdes::parse_def_string(text);
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ParserRobustness, DefIgnoresUnknownSections) {
+  const char* text = R"(VERSION 5.8 ;
+DESIGN x ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 1000 1000 ) ;
+TRACKS X 0 DO 10 STEP 100 ;
+SPECIALNETS 1 ;
+END SPECIALNETS
+COMPONENTS 1 ;
+  - u1 DFF + PLACED ( 10 20 ) N ;
+END COMPONENTS
+END DESIGN
+)";
+  const auto d = physdes::parse_def_string(text);
+  EXPECT_EQ(d.components.size(), 1u);
+}
+
+TEST(ParserRobustness, LargeBenchFileParsesLinearly) {
+  // Guard against accidental quadratic behaviour: 20k gates parse quickly.
+  BenchmarkSpec spec = find_benchmark("s5378");
+  spec.logicGates = 20000;
+  spec.flipFlops = 500;
+  const Netlist big = generate_benchmark(spec);
+  const std::string text = to_bench(big);
+  const Netlist parsed = parse_bench_string(text);
+  EXPECT_EQ(parsed.size(), big.size());
+}
+
+} // namespace
+} // namespace nvff::bench

@@ -1,0 +1,86 @@
+#include "bench_circuits/verilog_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <iterator>
+
+#include "bench_circuits/bench_io.hpp"
+#include "bench_circuits/generator.hpp"
+
+namespace nvff::bench {
+namespace {
+
+TEST(VerilogIo, IdentifierValidation) {
+  EXPECT_TRUE(is_valid_verilog_identifier("q0"));
+  EXPECT_TRUE(is_valid_verilog_identifier("_n1$x"));
+  EXPECT_FALSE(is_valid_verilog_identifier("0q"));
+  EXPECT_FALSE(is_valid_verilog_identifier("a.b"));
+  EXPECT_FALSE(is_valid_verilog_identifier(""));
+}
+
+TEST(VerilogIo, EmitsModuleStructure) {
+  const Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+n1 = NAND(a, b)
+q = DFF(n1)
+o = NOT(q)
+OUTPUT(o)
+)",
+                                        "demo");
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("module demo ("), std::string::npos);
+  EXPECT_NE(v.find("module nvff_dff"), std::string::npos);
+  EXPECT_NE(v.find("nand u"), std::string::npos);
+  EXPECT_NE(v.find(".d(n1), .q(q)"), std::string::npos);
+  EXPECT_NE(v.find("assign po0 = o;"), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+}
+
+TEST(VerilogIo, NoDffModuleWithoutFlipFlops) {
+  const Netlist nl = parse_bench_string("INPUT(a)\ng = NOT(a)\nOUTPUT(g)\n");
+  const std::string v = to_verilog(nl);
+  EXPECT_EQ(v.find("nvff_dff"), std::string::npos);
+}
+
+TEST(VerilogIo, InstanceCountMatchesGates) {
+  const auto nl = generate_benchmark(find_benchmark("s344"));
+  const std::string v = to_verilog(nl);
+  std::size_t instances = 0;
+  std::size_t pos = 0;
+  while ((pos = v.find(" u", pos)) != std::string::npos) {
+    // count "uN (" instance markers
+    std::size_t k = pos + 2;
+    bool digits = false;
+    while (k < v.size() && std::isdigit(static_cast<unsigned char>(v[k]))) {
+      ++k;
+      digits = true;
+    }
+    if (digits && k < v.size() && v[k] == ' ') ++instances;
+    pos = pos + 2;
+  }
+  EXPECT_EQ(instances, nl.num_logic_gates() + nl.num_flip_flops());
+}
+
+TEST(VerilogIo, RejectsUnfinalizedNetlist) {
+  Netlist nl;
+  nl.add_gate(GateType::Input, "a");
+  EXPECT_THROW(to_verilog(nl), std::invalid_argument);
+}
+
+TEST(VerilogIo, FileExport) {
+  const auto nl = generate_benchmark(find_benchmark("s344"));
+  const std::string path = testing::TempDir() + "/nvff_s344.v";
+  save_verilog_file(nl, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("module s344"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+}
+
+} // namespace
+} // namespace nvff::bench

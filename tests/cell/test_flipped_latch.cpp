@@ -1,0 +1,103 @@
+// Fig. 4(a) flipped latch: functional store/restore, symmetry with the
+// standard design.
+#include <gtest/gtest.h>
+
+#include "cell/flipped_latch.hpp"
+#include "spice/analysis.hpp"
+#include "spice/trace.hpp"
+#include "util/units.hpp"
+
+namespace nvff::cell {
+namespace {
+using namespace nvff::units;
+
+struct ReadOutcome {
+  bool correct;
+  double delay;
+  double energy;
+};
+
+ReadOutcome run_read(bool storedBit) {
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.read_corner(Corner::Typical);
+  ReadTiming timing{};
+  auto inst = FlippedNvLatch::build_read(tech, tc, storedBit, timing);
+  spice::Trace trace;
+  trace.watch_node(inst.circuit, "out");
+  trace.watch_node(inst.circuit, "outb");
+  spice::SupplyEnergyMeter meter(inst.circuit, "VDD");
+  spice::Simulator sim(inst.circuit);
+  spice::TransientOptions opt;
+  opt.tStop = inst.tEnd;
+  opt.dt = 4 * ps;
+  auto obs = trace.observer();
+  spice::Solution zero(std::vector<double>(inst.circuit.num_unknowns(), 0.0),
+                       inst.circuit.num_nodes());
+  sim.transient_from(zero, opt, [&](double t, const spice::Solution& s) {
+    obs(t, s);
+    meter.observe(t, s);
+  });
+  ReadOutcome r;
+  const std::string rising = storedBit ? "out" : "outb";
+  const auto tCross =
+      trace.crossing_time(rising, 0.9 * tech.vdd, spice::Edge::Rising, inst.tEvalStart);
+  r.delay = tCross ? *tCross - inst.tEvalStart : -1.0;
+  r.energy = meter.energy();
+  const bool outHigh = trace.value_at("out", inst.tEnd) > tech.vdd / 2;
+  const bool outbHigh = trace.value_at("outb", inst.tEnd) > tech.vdd / 2;
+  r.correct = (outHigh == storedBit) && (outbHigh == !storedBit);
+  return r;
+}
+
+TEST(FlippedLatch, RestoresBothValues) {
+  for (bool bit : {false, true}) {
+    const ReadOutcome r = run_read(bit);
+    EXPECT_TRUE(r.correct) << "bit " << bit;
+    EXPECT_GT(r.delay, 0.0);
+    EXPECT_LT(r.delay, 500 * ps);
+  }
+}
+
+TEST(FlippedLatch, WriteFlipsBothMtjs) {
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.write_corner(Corner::Typical);
+  for (bool d : {false, true}) {
+    auto inst = FlippedNvLatch::build_write(tech, tc, d, WriteTiming{});
+    spice::Simulator sim(inst.circuit);
+    spice::TransientOptions opt;
+    opt.tStop = inst.tEnd;
+    opt.dt = 5 * ps;
+    sim.transient(opt, nullptr);
+    const auto want = d ? mtj::MtjOrientation::Parallel
+                        : mtj::MtjOrientation::AntiParallel;
+    EXPECT_EQ(inst.mtjOut->orientation(), want) << "d=" << d;
+    EXPECT_NE(inst.mtjOutb->orientation(), want) << "d=" << d;
+  }
+}
+
+TEST(FlippedLatch, LeakageComparableToStandard) {
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.leakage_corner(Corner::Typical);
+  auto inst = FlippedNvLatch::build_idle(tech, tc);
+  spice::Simulator sim(inst.circuit);
+  const auto op = sim.dc_operating_point();
+  const auto* vdd =
+      dynamic_cast<const spice::VoltageSource*>(inst.circuit.find_device("VDD"));
+  const double leak = vdd->delivered_current(op.as_state()) * tech.vdd;
+  EXPECT_GT(leak, 1 * pW);
+  EXPECT_LT(leak, 10 * nW);
+}
+
+TEST(FlippedLatch, TransistorBudgetMatchesStandard) {
+  // Fig. 4's point: same cost as the standard latch, opposite orientation —
+  // which is what makes the combination into the 2-bit cell nearly free.
+  EXPECT_EQ(FlippedNvLatch::kReadTransistors, 11);
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.read_corner(Corner::Typical);
+  auto inst = FlippedNvLatch::build_read(tech, tc, true, ReadTiming{});
+  // 11 read transistors + 8 write-driver transistors in the netlist.
+  EXPECT_EQ(inst.circuit.count_of<spice::Mosfet>(), 19u);
+}
+
+} // namespace
+} // namespace nvff::cell

@@ -1,0 +1,102 @@
+// Corner-parameterized latch behaviour: correctness at every corner and the
+// Table II orderings.
+#include <gtest/gtest.h>
+
+#include "cell/characterize.hpp"
+
+namespace nvff::cell {
+namespace {
+
+struct CornerCase {
+  Corner corner;
+  bool d0;
+  bool d1;
+};
+
+class LatchAtCorner : public ::testing::TestWithParam<CornerCase> {
+protected:
+  LatchAtCorner() { chr.timestep = 5e-12; }
+  Characterizer chr;
+};
+
+TEST_P(LatchAtCorner, StandardReadCorrect) {
+  const auto& tc = GetParam();
+  EXPECT_TRUE(chr.standard_read(tc.corner, tc.d0).correct);
+}
+
+TEST_P(LatchAtCorner, ProposedReadCorrect) {
+  const auto& tc = GetParam();
+  EXPECT_TRUE(chr.proposed_read(tc.corner, tc.d0, tc.d1).correct);
+}
+
+std::vector<CornerCase> all_corner_cases() {
+  std::vector<CornerCase> cases;
+  for (Corner c : kAllCorners) {
+    for (int v = 0; v < 4; ++v) {
+      cases.push_back({c, (v & 1) != 0, (v & 2) != 0});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCornersAllData, LatchAtCorner,
+                         ::testing::ValuesIn(all_corner_cases()),
+                         [](const ::testing::TestParamInfo<CornerCase>& info) {
+                           return std::string(corner_name(info.param.corner)) + "_d" +
+                                  (info.param.d0 ? "1" : "0") +
+                                  (info.param.d1 ? "1" : "0");
+                         });
+
+TEST(Table2Orderings, DelayWorstSlowerThanBest) {
+  Characterizer chr;
+  chr.timestep = 5e-12;
+  const double stdWorst = chr.standard_read(Corner::Worst, true).delay;
+  const double stdTyp = chr.standard_read(Corner::Typical, true).delay;
+  const double stdBest = chr.standard_read(Corner::Best, true).delay;
+  EXPECT_GT(stdWorst, stdTyp);
+  EXPECT_GT(stdTyp, stdBest);
+  const double propWorst = chr.proposed_read(Corner::Worst, true, true).delay;
+  const double propBest = chr.proposed_read(Corner::Best, true, true).delay;
+  EXPECT_GT(propWorst, propBest);
+}
+
+TEST(Table2Orderings, LeakageWorstExceedsBest) {
+  Characterizer chr;
+  const double worst = chr.proposed_leakage(Corner::Worst);
+  const double typ = chr.proposed_leakage(Corner::Typical);
+  const double best = chr.proposed_leakage(Corner::Best);
+  EXPECT_GT(worst, typ);
+  EXPECT_GT(typ, best);
+  // The corner spread matches the paper's order of magnitude (~12x).
+  EXPECT_GT(worst / best, 5.0);
+  EXPECT_LT(worst / best, 30.0);
+}
+
+TEST(Table2Orderings, ProposedBeatsStandardEnergyAtEveryCorner) {
+  Characterizer chr;
+  chr.timestep = 5e-12;
+  for (Corner c : kAllCorners) {
+    const double stdE =
+        chr.standard_read(c, false).energy + chr.standard_read(c, true).energy;
+    const double propE = 0.5 * (chr.proposed_read(c, false, false).energy +
+                                chr.proposed_read(c, true, true).energy);
+    EXPECT_LT(propE, stdE) << corner_name(c);
+  }
+}
+
+TEST(Table2Orderings, WriteMetricsIdenticalBetweenDesigns) {
+  // The paper's reliability argument: write paths untouched, so write
+  // energy/latency must match between designs at every corner.
+  Characterizer chr;
+  chr.timestep = 5e-12;
+  for (Corner c : kAllCorners) {
+    const WriteResult s = chr.standard_write(c, true);
+    const WriteResult p = chr.proposed_write(c, true, false);
+    ASSERT_TRUE(s.switched);
+    ASSERT_TRUE(p.switched);
+    EXPECT_NEAR(p.latency, s.latency, 0.05 * s.latency) << corner_name(c);
+  }
+}
+
+} // namespace
+} // namespace nvff::cell

@@ -1,0 +1,114 @@
+// Functional verification of both NV latch netlists: store, restore,
+// power-cycle retention, across data values.
+#include <gtest/gtest.h>
+
+#include "cell/characterize.hpp"
+#include "util/units.hpp"
+
+namespace nvff::cell {
+namespace {
+using namespace nvff::units;
+
+class LatchTest : public ::testing::Test {
+protected:
+  LatchTest() : chr(Technology::table1()) {
+    chr.timestep = 4e-12; // coarser grid for test runtime; benches use 2 ps
+  }
+  Characterizer chr;
+};
+
+TEST_F(LatchTest, StandardReadRestoresBothValues) {
+  for (bool bit : {false, true}) {
+    const ReadResult r = chr.standard_read(Corner::Typical, bit);
+    EXPECT_TRUE(r.correct) << "stored bit " << bit;
+    EXPECT_GT(r.delay, 1 * ps);
+    EXPECT_LT(r.delay, 700 * ps);
+    EXPECT_GT(r.energy, 0.1 * fJ);
+    EXPECT_LT(r.energy, 100 * fJ);
+  }
+}
+
+TEST_F(LatchTest, ProposedReadRestoresAllFourCombinations) {
+  for (int v = 0; v < 4; ++v) {
+    const bool d0 = (v & 1) != 0;
+    const bool d1 = (v & 2) != 0;
+    const ReadResult r = chr.proposed_read(Corner::Typical, d0, d1);
+    EXPECT_TRUE(r.correct) << "d0=" << d0 << " d1=" << d1;
+    EXPECT_GT(r.delay, 1 * ps);
+    EXPECT_GT(r.energy, 0.1 * fJ);
+  }
+}
+
+TEST_F(LatchTest, StandardWriteFlipsBothMtjs) {
+  for (bool d : {false, true}) {
+    const WriteResult w = chr.standard_write(Corner::Typical, d);
+    EXPECT_TRUE(w.switched) << "write " << d;
+    EXPECT_GT(w.latency, 0.5 * ns);
+    EXPECT_LT(w.latency, 3.0 * ns);
+  }
+}
+
+TEST_F(LatchTest, ProposedWriteFlipsAllFourMtjs) {
+  for (int v = 0; v < 4; ++v) {
+    const bool d0 = (v & 1) != 0;
+    const bool d1 = (v & 2) != 0;
+    const WriteResult w = chr.proposed_write(Corner::Typical, d0, d1);
+    EXPECT_TRUE(w.switched) << "d0=" << d0 << " d1=" << d1;
+    EXPECT_LT(w.latency, 3.0 * ns);
+  }
+}
+
+TEST_F(LatchTest, LeakageIsNanowattClassAndProposedNotWorse) {
+  const double stdLeak = 2.0 * chr.standard_leakage(Corner::Typical);
+  const double propLeak = chr.proposed_leakage(Corner::Typical);
+  EXPECT_GT(stdLeak, 1 * pW);
+  EXPECT_LT(stdLeak, 100 * nW);
+  // Table II: proposed leakage slightly lower (fewer transistors).
+  EXPECT_LT(propLeak, stdLeak * 1.05);
+}
+
+TEST_F(LatchTest, StandardPowerCycleRetainsData) {
+  for (bool d : {false, true}) {
+    EXPECT_TRUE(chr.standard_power_cycle_ok(Corner::Typical, d)) << "d=" << d;
+  }
+}
+
+TEST_F(LatchTest, ProposedPowerCycleRetainsBothBits) {
+  for (int v = 0; v < 4; ++v) {
+    const bool d0 = (v & 1) != 0;
+    const bool d1 = (v & 2) != 0;
+    EXPECT_TRUE(chr.proposed_power_cycle_ok(Corner::Typical, d0, d1))
+        << "d0=" << d0 << " d1=" << d1;
+  }
+}
+
+TEST_F(LatchTest, ProposedReadEnergyBeatsStandardPair) {
+  // The headline circuit-level claim (Table II): shared sense amplifier cuts
+  // the 2-bit read energy by roughly 15-25 %.
+  double stdE = 0.0;
+  stdE += chr.standard_read(Corner::Typical, false).energy;
+  stdE += chr.standard_read(Corner::Typical, true).energy;
+  double propE = 0.0;
+  propE += chr.proposed_read(Corner::Typical, false, false).energy;
+  propE += chr.proposed_read(Corner::Typical, true, true).energy;
+  propE /= 2.0;
+  EXPECT_LT(propE, stdE);
+}
+
+TEST_F(LatchTest, ProposedDelayRoughlyTwiceStandard) {
+  const double stdD = chr.standard_read(Corner::Typical, true).delay;
+  const double propD = chr.proposed_read(Corner::Typical, true, true).delay;
+  EXPECT_GT(propD, 1.3 * stdD);
+  EXPECT_LT(propD, 3.5 * stdD);
+}
+
+TEST_F(LatchTest, TransistorCountsMatchPaper) {
+  const LatchMetrics stdM = chr.standard_pair(Corner::Typical);
+  EXPECT_EQ(stdM.readTransistors, 22);
+  // (full proposed_2bit() is exercised in the Table II bench; counts are
+  // static constants here)
+  EXPECT_EQ(MultibitNvLatch::kReadTransistors, 16);
+}
+
+} // namespace
+} // namespace nvff::cell

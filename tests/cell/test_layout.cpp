@@ -1,0 +1,64 @@
+// Layout/area model: must reproduce the paper's published footprints.
+#include <gtest/gtest.h>
+
+#include "cell/layout.hpp"
+
+namespace nvff::cell {
+namespace {
+
+TEST(Layout, TwelveTrackHeight) {
+  EXPECT_NEAR(standard_1bit_layout().height_um(), 1.68, 1e-9);
+  EXPECT_NEAR(proposed_2bit_layout().height_um(), 1.68, 1e-9);
+}
+
+TEST(Layout, ProposedCellAreaMatchesPaper) {
+  // Table II: 3.696 um^2.
+  EXPECT_NEAR(proposed_2bit_area_um2(), 3.696, 0.002);
+}
+
+TEST(Layout, StandardPairAreaMatchesPaper) {
+  // Table II: 5.635 um^2 for two cells + minimum spacing.
+  EXPECT_NEAR(standard_pair_area_um2(), 5.635, 0.002);
+}
+
+TEST(Layout, PerBitAreasAndImprovement) {
+  const double std2 = standard_pair_area_um2();
+  const double prop = proposed_2bit_area_um2();
+  // Paper: ~34 % cell-level improvement.
+  EXPECT_NEAR((std2 - prop) / std2 * 100.0, 34.4, 1.0);
+}
+
+TEST(Layout, PairingThresholdMatchesPaper) {
+  // Paper Sec IV-C: <= 3.35 um.
+  EXPECT_NEAR(pairing_distance_threshold_um(), 3.35, 0.01);
+}
+
+TEST(Layout, ColumnsFollowTransistorPairs) {
+  EXPECT_EQ(standard_1bit_layout().columns(), 6);  // 11 transistors
+  EXPECT_EQ(proposed_2bit_layout().columns(), 8);  // 16 transistors
+  EXPECT_EQ(CellLayout("x", 1, 0).columns(), 1);
+}
+
+TEST(Layout, WidthMonotoneInDevices) {
+  const CellLayout small("s", 10, 2);
+  const CellLayout big("b", 14, 2);
+  const CellLayout moreMtj("m", 10, 4);
+  EXPECT_LT(small.width_um(), big.width_um());
+  EXPECT_LT(small.width_um(), moreMtj.width_um());
+}
+
+TEST(Layout, TrackMapRendersDimensions) {
+  const std::string map = proposed_2bit_layout().track_map();
+  EXPECT_NE(map.find("16T + 4 MTJ"), std::string::npos);
+  EXPECT_NE(map.find("12-track"), std::string::npos);
+  EXPECT_NE(map.find("um^2"), std::string::npos);
+}
+
+TEST(Layout, MergedCellFitsThreshold) {
+  // The merged 2-bit cell must physically fit within the span that defined
+  // the pairing threshold (that's what makes replacement legal).
+  EXPECT_LE(proposed_2bit_layout().width_um(), pairing_distance_threshold_um());
+}
+
+} // namespace
+} // namespace nvff::cell

@@ -1,0 +1,99 @@
+// Scalable N-bit latch: functional restore for N in {2,4,6}, transistor
+// accounting, per-bit area scaling, write independence.
+#include <gtest/gtest.h>
+
+#include "cell/layout.hpp"
+#include "cell/scalable_latch.hpp"
+#include "spice/analysis.hpp"
+#include "util/units.hpp"
+
+namespace nvff::cell {
+namespace {
+using namespace nvff::units;
+
+TEST(ScalableLatch, TransistorFormula) {
+  EXPECT_EQ(scalable_read_transistors(2), 18);
+  EXPECT_EQ(scalable_read_transistors(4), 26);
+  EXPECT_EQ(scalable_read_transistors(8), 42);
+  EXPECT_EQ(scalable_mtj_count(4), 8);
+}
+
+TEST(ScalableLatch, RejectsOddOrTinyBitCounts) {
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.read_corner(Corner::Typical);
+  EXPECT_THROW(ScalableNvLatch::build_read(tech, tc, {true}, ReadTiming{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ScalableNvLatch::build_read(tech, tc, {true, false, true}, ReadTiming{}),
+      std::invalid_argument);
+}
+
+class ScalableBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalableBits, SequentialRestoreReturnsEveryBit) {
+  const int bits = GetParam();
+  const ScalableMetrics m =
+      characterize_scalable(Technology::table1(), Corner::Typical, bits, 6e-12);
+  EXPECT_TRUE(m.functional) << bits << "-bit restore failed";
+  EXPECT_EQ(m.bits, bits);
+  EXPECT_GT(m.readEnergy, 0.0);
+  EXPECT_GT(m.readDelayTotal, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitCounts, ScalableBits, ::testing::Values(2, 4, 6));
+
+TEST(ScalableLatch, PerBitAreaShrinksWithBits) {
+  const double perBit2 =
+      CellLayout("s2", scalable_read_transistors(2), scalable_mtj_count(2)).area_um2() /
+      2.0;
+  const double perBit4 =
+      CellLayout("s4", scalable_read_transistors(4), scalable_mtj_count(4)).area_um2() /
+      4.0;
+  const double perBit8 =
+      CellLayout("s8", scalable_read_transistors(8), scalable_mtj_count(8)).area_um2() /
+      8.0;
+  EXPECT_GT(perBit2, perBit4);
+  EXPECT_GT(perBit4, perBit8);
+  // Amortization saturates toward the per-pair increment.
+  EXPECT_GT(perBit8, 0.9);
+}
+
+TEST(ScalableLatch, RestoreWallClockGrowsLinearly) {
+  const ScalableMetrics m2 =
+      characterize_scalable(Technology::table1(), Corner::Typical, 2, 8e-12);
+  const ScalableMetrics m4 =
+      characterize_scalable(Technology::table1(), Corner::Typical, 4, 8e-12);
+  EXPECT_GT(m4.restoreWallClock, 1.7 * m2.restoreWallClock);
+  EXPECT_LT(m4.restoreWallClock, 2.5 * m2.restoreWallClock);
+}
+
+TEST(ScalableLatch, ParallelWriteFlipsAllMtjs) {
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.write_corner(Corner::Typical);
+  const std::vector<bool> data = {true, false, false, true};
+  auto inst = ScalableNvLatch::build_write(tech, tc, data, WriteTiming{});
+  spice::Simulator sim(inst.circuit);
+  spice::TransientOptions opt;
+  opt.tStop = inst.tEnd;
+  opt.dt = 6e-12;
+  sim.transient(opt, nullptr);
+  // Every bit's pair must hold complementary states encoding `data`.
+  for (std::size_t b = 0; b < data.size(); ++b) {
+    const auto [t, c] = inst.mtjs[b];
+    EXPECT_NE(t->orientation(), c->orientation()) << "bit " << b;
+    EXPECT_EQ(t->flip_count() + c->flip_count(), 2) << "bit " << b;
+  }
+}
+
+TEST(ScalableLatch, LeakageGrowsSlowlyWithBits) {
+  const ScalableMetrics m2 =
+      characterize_scalable(Technology::table1(), Corner::Typical, 2, 8e-12);
+  const ScalableMetrics m6 =
+      characterize_scalable(Technology::table1(), Corner::Typical, 6, 8e-12);
+  EXPECT_GT(m6.leakage, m2.leakage);
+  // Sub-linear in bits: the shared core does not replicate.
+  EXPECT_LT(m6.leakage, 3.0 * m2.leakage);
+}
+
+} // namespace
+} // namespace nvff::cell

@@ -1,0 +1,75 @@
+#include "cell/spice_deck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "cell/multibit_latch.hpp"
+#include "cell/standard_latch.hpp"
+
+namespace nvff::cell {
+namespace {
+
+TEST(SpiceDeck, ExportsEveryDeviceClass) {
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.read_corner(Corner::Typical);
+  auto inst = MultibitNvLatch::build_read(tech, tc, true, false, TwoBitReadTiming{});
+  const std::string deck = to_spice_deck(inst.circuit);
+  // Header + models + directives.
+  EXPECT_NE(deck.find(" NMOS (LEVEL=1"), std::string::npos);
+  EXPECT_NE(deck.find(" PMOS (LEVEL=1"), std::string::npos);
+  EXPECT_NE(deck.find(".tran"), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+  // Key devices present.
+  EXPECT_NE(deck.find("MP1 "), std::string::npos);       // cross-coupled PMOS
+  EXPECT_NE(deck.find("RMTJ3 "), std::string::npos);     // MTJ as resistor
+  EXPECT_NE(deck.find("state=AP"), std::string::npos);   // orientation comment
+  EXPECT_NE(deck.find("VVDD "), std::string::npos);      // supply
+  EXPECT_NE(deck.find("PWL("), std::string::npos);       // control waveform
+  EXPECT_NE(deck.find("CCw_out "), std::string::npos);   // wire cap, sanitized
+}
+
+TEST(SpiceDeck, MtjResistanceTracksState) {
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.read_corner(Corner::Typical);
+  // d0 = 1 -> MTJ3 AP (11150 Ohm), MTJ4 P (5000 Ohm).
+  auto inst = MultibitNvLatch::build_read(tech, tc, true, false, TwoBitReadTiming{});
+  const std::string deck = to_spice_deck(inst.circuit);
+  const auto mtj3 = deck.find("RMTJ3 ");
+  const auto mtj4 = deck.find("RMTJ4 ");
+  ASSERT_NE(mtj3, std::string::npos);
+  ASSERT_NE(mtj4, std::string::npos);
+  EXPECT_NE(deck.find("11150", mtj3), std::string::npos);
+  EXPECT_NE(deck.find("5000", mtj4), std::string::npos);
+}
+
+TEST(SpiceDeck, ModelCardsDeduplicated) {
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.read_corner(Corner::Typical);
+  auto inst = StandardNvLatch::build_read(tech, tc, true, ReadTiming{});
+  const std::string deck = to_spice_deck(inst.circuit);
+  // All NMOS share identical corner params -> exactly one NMOS model card.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = deck.find(".model nch", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(SpiceDeck, FileExport) {
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.read_corner(Corner::Typical);
+  auto inst = StandardNvLatch::build_idle(tech, tc);
+  const std::string path = testing::TempDir() + "/nvff_latch.sp";
+  save_spice_deck(inst.circuit, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("* ", 0), 0u);
+}
+
+} // namespace
+} // namespace nvff::cell

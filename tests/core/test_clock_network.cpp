@@ -1,0 +1,76 @@
+// Clock-network model: H-tree accounting, MBFF merging effect.
+#include <gtest/gtest.h>
+
+#include "core/clock_network.hpp"
+#include "util/rng.hpp"
+
+namespace nvff::core {
+namespace {
+
+std::vector<pairing::FlipFlopSite> grid_sites(int n, double pitch) {
+  std::vector<pairing::FlipFlopSite> sites;
+  for (int i = 0; i < n; ++i) {
+    sites.push_back({"f" + std::to_string(i), (i % 8) * pitch, (i / 8) * pitch});
+  }
+  return sites;
+}
+
+TEST(ClockNetwork, PinCapIsLinearInSinks) {
+  const ClockModelParams p;
+  const auto e16 = estimate_clock_network(grid_sites(16, 3.0), p);
+  const auto e64 = estimate_clock_network(grid_sites(64, 3.0), p);
+  EXPECT_NEAR(e16.pinCapF, 16 * p.cPinClkFf, 1e-20);
+  EXPECT_NEAR(e64.pinCapF, 64 * p.cPinClkFf, 1e-20);
+  EXPECT_GT(e64.wireCapF, e16.wireCapF);
+  EXPECT_GE(e64.buffers, e16.buffers);
+}
+
+TEST(ClockNetwork, PowerFollowsFV2C) {
+  ClockModelParams p;
+  const auto sites = grid_sites(32, 2.0);
+  const auto base = estimate_clock_network(sites, p);
+  p.frequency *= 2.0;
+  const auto doubled = estimate_clock_network(sites, p);
+  EXPECT_NEAR(doubled.dynamicPowerW, 2.0 * base.dynamicPowerW, 1e-12);
+}
+
+TEST(ClockNetwork, MbffMergingReducesCapAndPower) {
+  const ClockModelParams p;
+  const auto sites = grid_sites(64, 2.0);
+  pairing::PairingOptions popt;
+  popt.maxDistance = 3.35;
+  const auto pairs = pairing::pair_flip_flops(sites, popt);
+  ASSERT_GT(pairs.num_pairs(), 20u);
+  const auto single = estimate_clock_network(sites, p);
+  const auto mbff = estimate_clock_network_mbff(sites, pairs, p);
+  EXPECT_EQ(mbff.sinks, pairs.num_pairs() + pairs.unmatched.size());
+  EXPECT_LT(mbff.pinCapF, single.pinCapF);
+  EXPECT_LT(mbff.dynamicPowerW, single.dynamicPowerW);
+}
+
+TEST(ClockNetwork, MergedSinkSitsBetweenItsMembers) {
+  std::vector<pairing::FlipFlopSite> sites = {{"a", 0, 0}, {"b", 2, 0}};
+  pairing::PairingResult pairs;
+  pairs.pairs.push_back({0, 1, 2.0});
+  const auto e = estimate_clock_network_mbff(sites, pairs, {});
+  EXPECT_EQ(e.sinks, 1u);
+}
+
+TEST(ClockNetwork, EmptyInputIsSafe) {
+  const auto e = estimate_clock_network({}, {});
+  EXPECT_EQ(e.sinks, 0u);
+  EXPECT_DOUBLE_EQ(e.totalCapF(), 0.0);
+}
+
+TEST(ClockNetwork, UnmatchedKeepSingleBitPins) {
+  const ClockModelParams p;
+  std::vector<pairing::FlipFlopSite> sites = {{"a", 0, 0}, {"b", 50, 0}};
+  pairing::PairingResult none;
+  none.unmatched = {0, 1};
+  const auto merged = estimate_clock_network_mbff(sites, none, p);
+  const auto plain = estimate_clock_network(sites, p);
+  EXPECT_DOUBLE_EQ(merged.pinCapF, plain.pinCapF);
+}
+
+} // namespace
+} // namespace nvff::core

@@ -1,0 +1,162 @@
+// System-level flow: roll-up arithmetic against the published Table III,
+// end-to-end pipeline checks, DEF-script equivalence.
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "core/reports.hpp"
+#include "physdes/def_io.hpp"
+
+namespace nvff::core {
+namespace {
+
+/// Published Table III row (the ground truth the roll-up must reproduce
+/// when fed the paper's pair counts and the paper's Table II cell values).
+struct Table3Row {
+  const char* name;
+  int totalFfs;
+  int pairs;
+  double areaStd;
+  double energyStd;
+  double areaProp;
+  double energyProp;
+  double areaImpr;
+  double energyImpr;
+};
+
+const Table3Row kPaperRows[] = {
+    {"s344", 15, 5, 42.255, 42.375, 32.565, 37.06, 22.93, 12.54},
+    {"s838", 32, 12, 90.144, 90.4, 66.888, 77.644, 25.80, 14.11},
+    {"s1423", 74, 23, 208.458, 209.05, 163.884, 184.601, 21.38, 11.70},
+    {"s5378", 176, 64, 495.792, 497.2, 371.76, 429.168, 25.02, 13.68},
+    {"s13207", 627, 259, 1766.259, 1771.275, 1264.317, 1495.958, 28.42, 15.54},
+    {"s38584", 1424, 473, 4011.408, 4022.8, 3094.734, 3520.001, 22.85, 12.50},
+    {"s35932", 1728, 472, 4867.776, 4881.6, 3953.04, 4379.864, 18.79, 10.28},
+    {"b14", 215, 90, 605.655, 607.375, 431.235, 511.705, 28.80, 15.75},
+    {"b15", 416, 189, 1171.872, 1175.2, 805.59, 974.293, 31.26, 17.10},
+    {"b17", 1317, 542, 3709.989, 3720.525, 2659.593, 3144.379, 28.31, 15.49},
+    {"b18", 3020, 1260, 8507.34, 8531.5, 6065.46, 7192.12, 28.70, 15.70},
+    {"b19", 6042, 2530, 17020.314, 17068.65, 12117.174, 14379.26, 28.81, 15.76},
+    {"or1200", 2887, 1269, 8132.679, 8155.775, 5673.357, 6806.828, 30.24, 16.54},
+};
+
+class RollUpVsPaper : public ::testing::TestWithParam<Table3Row> {};
+
+TEST_P(RollUpVsPaper, ReproducesPublishedRowExactly) {
+  // Feeding the published pair counts + Table II cell values through our
+  // roll-up must land on the published areas/energies — this validates that
+  // we decoded the paper's accounting exactly.
+  const Table3Row& row = GetParam();
+  const RollUp r = roll_up(static_cast<std::size_t>(row.totalFfs),
+                           static_cast<std::size_t>(row.pairs), NvCellSet::paper());
+  EXPECT_NEAR(r.areaStd, row.areaStd, 0.01) << row.name;
+  EXPECT_NEAR(r.energyStd * 1e15, row.energyStd, 0.15) << row.name;
+  EXPECT_NEAR(r.areaProp, row.areaProp, 0.01) << row.name;
+  EXPECT_NEAR(r.energyProp * 1e15, row.energyProp, 0.15) << row.name;
+  EXPECT_NEAR(improvement_percent(r.areaStd, r.areaProp), row.areaImpr, 0.05)
+      << row.name;
+  EXPECT_NEAR(improvement_percent(r.energyStd, r.energyProp), row.energyImpr, 0.30)
+      << row.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, RollUpVsPaper, ::testing::ValuesIn(kPaperRows),
+                         [](const ::testing::TestParamInfo<Table3Row>& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(Flow, SmallBenchmarkEndToEnd) {
+  const FlowReport r = run_flow(bench::find_benchmark("s344"));
+  EXPECT_EQ(r.totalFlipFlops, 15u);
+  EXPECT_GT(r.pairs, 0u);
+  EXPECT_LE(2 * r.pairs, r.totalFlipFlops);
+  EXPECT_GT(r.areaImprovementPct, 0.0);
+  EXPECT_GT(r.energyImprovementPct, 0.0);
+  // Area improvement can never beat the 2-bit cell-level bound.
+  EXPECT_LT(r.areaImprovementPct, 35.0);
+  // All pairs within the paper threshold.
+  for (const auto& p : r.pairing.pairs) EXPECT_LE(p.distance, 3.36);
+}
+
+TEST(Flow, PairCountsTrackPaperWithinTolerance) {
+  // Spatial-statistics validation for the small/medium benchmarks (the full
+  // set runs in bench_table3): pair counts within ~20 % of published.
+  for (const char* name : {"s344", "s838", "s1423", "s5378", "s13207"}) {
+    const auto& spec = bench::find_benchmark(name);
+    const FlowReport r = run_flow(spec);
+    const double ratio =
+        static_cast<double>(r.pairs) / static_cast<double>(spec.paperPairs);
+    EXPECT_GT(ratio, 0.8) << name;
+    EXPECT_LT(ratio, 1.25) << name;
+  }
+}
+
+TEST(Flow, DefScriptPathMatchesDirectPath) {
+  // The paper runs pairing over the DEF artifact; our direct placement path
+  // and the DEF round-trip path must agree.
+  const auto& spec = bench::find_benchmark("s838");
+  const FlowReport direct = run_flow(spec);
+  const std::string defText =
+      physdes::to_def(direct.placement, direct.circuit.netlist);
+  const auto defSites = ff_sites_from_def(defText);
+  ASSERT_EQ(defSites.size(), direct.ffSites.size());
+  FlowOptions opt;
+  const auto defPairing = pairing::pair_flip_flops(defSites, opt.pairing);
+  EXPECT_EQ(defPairing.num_pairs(), direct.pairs);
+}
+
+TEST(Flow, ImprovementGrowsWithPairedFraction) {
+  // The paper's observation: "improvements increase with the number of
+  // 2-bit NV flip-flop designs".
+  const NvCellSet cells = NvCellSet::paper();
+  const RollUp low = roll_up(100, 10, cells);
+  const RollUp high = roll_up(100, 45, cells);
+  EXPECT_GT(improvement_percent(high.areaStd, high.areaProp),
+            improvement_percent(low.areaStd, low.areaProp));
+  EXPECT_GT(improvement_percent(high.energyStd, high.energyProp),
+            improvement_percent(low.energyStd, low.energyProp));
+}
+
+TEST(Flow, ZeroPairsMeansZeroImprovement) {
+  const RollUp r = roll_up(50, 0, NvCellSet::paper());
+  EXPECT_DOUBLE_EQ(r.areaStd, r.areaProp);
+  EXPECT_DOUBLE_EQ(r.energyStd, r.energyProp);
+}
+
+TEST(Flow, MeasuredCellValuesAreSane) {
+  cell::Characterizer chr;
+  chr.timestep = 4e-12;
+  const NvCellSet cells = NvCellSet::measured(chr);
+  EXPECT_NEAR(cells.standard1bit.areaUm2, 5.635 / 2, 0.01);
+  EXPECT_NEAR(cells.proposed2bit.areaUm2, 3.696, 0.01);
+  // Measured energy advantage per 2 bits must exist.
+  EXPECT_LT(cells.proposed2bit.readEnergyJ, 2.0 * cells.standard1bit.readEnergyJ);
+}
+
+TEST(Flow, NetlistOverloadWorks) {
+  const auto nl = bench::generate_benchmark(bench::find_benchmark("s344"));
+  const FlowReport r = run_flow_on_netlist(nl);
+  EXPECT_EQ(r.benchmark, "s344");
+  EXPECT_EQ(r.totalFlipFlops, 15u);
+}
+
+TEST(Reports, FloorplanRendersPairsAndLogic) {
+  const FlowReport r = run_flow(bench::find_benchmark("s344"));
+  const std::string art = render_floorplan(r, 60, 20);
+  EXPECT_NE(art.find("s344"), std::string::npos);
+  EXPECT_NE(art.find('A'), std::string::npos); // at least one pair letter
+  EXPECT_NE(art.find('.'), std::string::npos); // logic background
+}
+
+TEST(Reports, Table3RendersAllBenchmarks) {
+  std::vector<FlowReport> reports;
+  reports.push_back(run_flow(bench::find_benchmark("s344")));
+  reports.push_back(run_flow(bench::find_benchmark("s838")));
+  const std::string text = render_table3(reports);
+  EXPECT_NE(text.find("s344"), std::string::npos);
+  EXPECT_NE(text.find("s838"), std::string::npos);
+  EXPECT_NE(text.find("average improvement"), std::string::npos);
+  const std::string csv = table3_csv(reports);
+  EXPECT_NE(csv.find("benchmark,total_ffs"), std::string::npos);
+}
+
+} // namespace
+} // namespace nvff::core

@@ -1,0 +1,116 @@
+// Standby energy model: scheme accounting, break-even semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/standby.hpp"
+
+namespace nvff::core {
+namespace {
+
+StandbyParams toy() {
+  StandbyParams p;
+  p.totalFfs = 100;
+  p.pairs = 40; // 80 FFs in 2-bit cells, 20 singles
+  p.ffRetentionPowerW = 1e-9;
+  p.nvWriteEnergyPerBitJ = 100e-15;
+  p.nv1RestorePerBitJ = 10e-15;
+  p.nv2RestorePerCellJ = 16e-15; // 20 % cheaper than 2 x 10 fJ
+  p.busTransferPerBitJ = 15e-15;
+  return p;
+}
+
+TEST(Standby, RetentionScalesLinearlyWithTime) {
+  const StandbyParams p = toy();
+  const auto e1 = standby_energy(p, 1e-6);
+  const auto e2 = standby_energy(p, 2e-6);
+  EXPECT_NEAR(e2.retentionJ, 2.0 * e1.retentionJ, 1e-24);
+  // NV cost is time-independent (store+restore only).
+  EXPECT_DOUBLE_EQ(e1.nvShadow1bitJ, e2.nvShadow1bitJ);
+  EXPECT_DOUBLE_EQ(e1.nvShadowMultibitJ, e2.nvShadowMultibitJ);
+}
+
+TEST(Standby, HandComputedValues) {
+  const StandbyParams p = toy();
+  const auto e = standby_energy(p, 1e-6);
+  // retention: 100 * 1nW * 1us = 1e-13.
+  EXPECT_NEAR(e.retentionJ, 1e-13, 1e-20);
+  // save+restore: 2 * 100 * 15 fJ = 3e-12.
+  EXPECT_NEAR(e.saveRestoreJ, 3e-12, 1e-20);
+  // NV 1-bit: 100 * 100 fJ + 100 * 10 fJ = 1.1e-11.
+  EXPECT_NEAR(e.nvShadow1bitJ, 1.1e-11, 1e-20);
+  // NV multibit: store same, restore 40 * 16 fJ + 20 * 10 fJ = 0.84 pJ.
+  EXPECT_NEAR(e.nvShadowMultibitJ, 100 * 100e-15 + 0.84e-12, 1e-20);
+}
+
+TEST(Standby, MultibitAlwaysAtMostOneBit) {
+  const StandbyParams p = toy();
+  for (double t : {0.0, 1e-6, 1e-3, 1.0}) {
+    const auto e = standby_energy(p, t);
+    EXPECT_LE(e.nvShadowMultibitJ, e.nvShadow1bitJ);
+  }
+}
+
+TEST(Standby, BreakEvenCrossoverIsConsistent) {
+  const StandbyParams p = toy();
+  const double t1 = nv_break_even_seconds(p, false);
+  const double tm = nv_break_even_seconds(p, true);
+  // Multibit restores cheaper -> earlier break-even.
+  EXPECT_LT(tm, t1);
+  // At the break-even instant, retention equals the NV cost.
+  const auto at = standby_energy(p, t1);
+  EXPECT_NEAR(at.retentionJ, at.nvShadow1bitJ, 1e-18);
+  // Just before, retention is cheaper; just after, NV wins.
+  EXPECT_LT(standby_energy(p, 0.9 * t1).retentionJ, at.nvShadow1bitJ);
+  EXPECT_GT(standby_energy(p, 1.1 * t1).retentionJ, at.nvShadow1bitJ);
+}
+
+TEST(Standby, ZeroRetentionPowerNeverBreaksEven) {
+  StandbyParams p = toy();
+  p.ffRetentionPowerW = 0.0;
+  EXPECT_TRUE(std::isinf(nv_break_even_seconds(p, false)));
+}
+
+TEST(Standby, FromMeasuredPopulatesEverything) {
+  cell::Characterizer chr;
+  chr.timestep = 6e-12;
+  const StandbyParams p =
+      StandbyParams::from_measured(chr, cell::Corner::Typical, 64, 20);
+  EXPECT_EQ(p.totalFfs, 64u);
+  EXPECT_EQ(p.pairs, 20u);
+  EXPECT_GT(p.ffRetentionPowerW, 0.0);
+  EXPECT_GT(p.nvWriteEnergyPerBitJ, 0.0);
+  EXPECT_GT(p.nv1RestorePerBitJ, 0.0);
+  // The multi-bit restore must beat two single-bit restores (Table II).
+  EXPECT_LT(p.nv2RestorePerCellJ, 2.0 * p.nv1RestorePerBitJ);
+}
+
+TEST(Standby, PolicySemantics) {
+  const StandbyParams p = toy();
+  const double breakEven = nv_break_even_seconds(p, true);
+  const std::vector<double> shortOnly(50, 0.1 * breakEven);
+  const std::vector<double> longOnly(50, 10.0 * breakEven);
+  // Threshold policy equals the better naive policy on one-sided traces.
+  EXPECT_DOUBLE_EQ(
+      total_standby_energy(p, shortOnly, GatingPolicy::BreakEvenThreshold, true),
+      total_standby_energy(p, shortOnly, GatingPolicy::NeverGate, true));
+  EXPECT_DOUBLE_EQ(
+      total_standby_energy(p, longOnly, GatingPolicy::BreakEvenThreshold, true),
+      total_standby_energy(p, longOnly, GatingPolicy::AlwaysGate, true));
+}
+
+TEST(Standby, ThresholdPolicyNeverLosesToNaive) {
+  const StandbyParams p = toy();
+  const double breakEven = nv_break_even_seconds(p, true);
+  std::vector<double> mixed;
+  for (int i = 0; i < 100; ++i) {
+    mixed.push_back(breakEven * (0.05 + 0.05 * i)); // straddles the threshold
+  }
+  const double smart =
+      total_standby_energy(p, mixed, GatingPolicy::BreakEvenThreshold, true);
+  EXPECT_LE(smart, total_standby_energy(p, mixed, GatingPolicy::NeverGate, true));
+  EXPECT_LE(smart, total_standby_energy(p, mixed, GatingPolicy::AlwaysGate, true));
+}
+
+} // namespace
+} // namespace nvff::core

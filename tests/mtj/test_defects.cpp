@@ -1,0 +1,67 @@
+// MTJ defect-injection semantics.
+#include <gtest/gtest.h>
+
+#include "mtj/device.hpp"
+#include "spice/analysis.hpp"
+#include "util/units.hpp"
+
+namespace nvff::mtj {
+namespace {
+using namespace nvff::units;
+using spice::Circuit;
+using spice::kGround;
+using spice::Waveform;
+
+TEST(MtjDefect, PinnedForcesOrientationAndBlocksWrites) {
+  Circuit ckt;
+  const auto drive = ckt.node("drive");
+  ckt.add_isource("IW", kGround, drive, Waveform::pulse(0.0, 70 * uA, 0.1 * ns,
+                                                        10 * ps, 10 * ps, 3 * ns, 0.0));
+  auto& dev = ckt.add_device<MtjDevice>("X", drive, kGround,
+                                        MtjModel(MtjParams::table1()),
+                                        MtjOrientation::Parallel);
+  dev.inject_defect(MtjDefect::PinnedAntiParallel);
+  EXPECT_EQ(dev.orientation(), MtjOrientation::AntiParallel);
+  spice::Simulator sim(ckt);
+  spice::TransientOptions opt;
+  opt.tStop = 4 * ns;
+  opt.dt = 10 * ps;
+  sim.transient(opt, nullptr); // 70 uA toward P for 3 ns
+  EXPECT_EQ(dev.orientation(), MtjOrientation::AntiParallel);
+  EXPECT_EQ(dev.flip_count(), 0);
+}
+
+TEST(MtjDefect, BarrierDefectsOverrideResistance) {
+  for (auto [defect, lo, hi] :
+       {std::tuple{MtjDefect::ShortedBarrier, 100.0, 1000.0},
+        std::tuple{MtjDefect::OpenBarrier, 1e6, 1e8}}) {
+    Circuit ckt;
+    const auto a = ckt.node("a");
+    ckt.add_vsource("V", a, kGround, Waveform::dc(0.1));
+    auto& dev = ckt.add_device<MtjDevice>("X", a, kGround,
+                                          MtjModel(MtjParams::table1()),
+                                          MtjOrientation::Parallel);
+    dev.inject_defect(defect);
+    spice::Simulator sim(ckt);
+    const auto op = sim.dc_operating_point();
+    const double r = dev.resistance(op.as_state());
+    EXPECT_GT(r, lo);
+    EXPECT_LT(r, hi);
+  }
+}
+
+TEST(MtjDefect, HealthyDeviceUnaffected) {
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add_vsource("V", a, kGround, Waveform::dc(0.1));
+  auto& dev = ckt.add_device<MtjDevice>("X", a, kGround,
+                                        MtjModel(MtjParams::table1()),
+                                        MtjOrientation::Parallel);
+  EXPECT_EQ(dev.defect(), MtjDefect::None);
+  spice::Simulator sim(ckt);
+  const auto op = sim.dc_operating_point();
+  EXPECT_NEAR(dev.resistance(op.as_state()), 5e3, 1.0);
+}
+
+} // namespace
+} // namespace nvff::mtj

@@ -1,0 +1,135 @@
+// MTJ compact model: Table I values, TMR roll-off, switching dynamics,
+// process variation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mtj/model.hpp"
+#include "util/units.hpp"
+
+namespace nvff::mtj {
+namespace {
+using namespace nvff::units;
+
+TEST(MtjParams, Table1Defaults) {
+  const MtjParams p = MtjParams::table1();
+  EXPECT_DOUBLE_EQ(p.rParallel, 5e3);
+  EXPECT_DOUBLE_EQ(p.rAntiParallel, 11e3);
+  EXPECT_DOUBLE_EQ(p.tmr0, 1.23);
+  EXPECT_DOUBLE_EQ(p.iCritical, 37 * uA);
+  EXPECT_DOUBLE_EQ(p.iSwitching, 70 * uA);
+  EXPECT_DOUBLE_EQ(p.radius, 20 * nm);
+  // Consistency: R_AP ~= R_P * (1 + TMR) within rounding of the paper table.
+  EXPECT_NEAR(p.rParallel * (1.0 + p.tmr0), p.rAntiParallel, 0.2e3);
+}
+
+TEST(MtjModel, ZeroBiasResistances) {
+  const MtjModel m(MtjParams::table1());
+  EXPECT_DOUBLE_EQ(m.resistance(MtjOrientation::Parallel, 0.0), 5e3);
+  EXPECT_NEAR(m.resistance(MtjOrientation::AntiParallel, 0.0), 11.15e3, 200.0);
+}
+
+TEST(MtjModel, TmrRollsOffWithBias) {
+  const MtjModel m(MtjParams::table1());
+  EXPECT_NEAR(m.tmr(0.0), 1.23, 1e-12);
+  EXPECT_NEAR(m.tmr(m.params().vHalf), 1.23 / 2.0, 1e-12);
+  EXPECT_LT(m.tmr(1.0), m.tmr(0.5));
+  // Symmetric in bias sign.
+  EXPECT_DOUBLE_EQ(m.tmr(0.3), m.tmr(-0.3));
+}
+
+TEST(MtjModel, ApResistanceFallsWithBias) {
+  const MtjModel m(MtjParams::table1());
+  const double r0 = m.resistance(MtjOrientation::AntiParallel, 0.0);
+  const double r5 = m.resistance(MtjOrientation::AntiParallel, 0.5);
+  EXPECT_LT(r5, r0);
+  // P state is bias-independent.
+  EXPECT_DOUBLE_EQ(m.resistance(MtjOrientation::Parallel, 0.5),
+                   m.resistance(MtjOrientation::Parallel, 0.0));
+}
+
+TEST(MtjModel, ResistanceDerivativeMatchesFiniteDifference) {
+  const MtjModel m(MtjParams::table1());
+  const double h = 1e-6;
+  for (double v : {-0.8, -0.3, 0.0, 0.2, 0.7}) {
+    const double fd = (m.resistance(MtjOrientation::AntiParallel, v + h) -
+                       m.resistance(MtjOrientation::AntiParallel, v - h)) /
+                      (2 * h);
+    EXPECT_NEAR(m.resistance_derivative(MtjOrientation::AntiParallel, v), fd,
+                std::abs(fd) * 1e-4 + 1e-6);
+  }
+}
+
+TEST(MtjModel, SwitchingTimeCalibratedToPaper) {
+  const MtjModel m(MtjParams::table1());
+  // 70 uA write -> 2 ns (the paper's worst-case write latency).
+  EXPECT_NEAR(m.switching_time(70 * uA), 2 * ns, 0.01 * ns);
+}
+
+TEST(MtjModel, SwitchingTimeMonotoneInCurrent) {
+  const MtjModel m(MtjParams::table1());
+  EXPECT_GT(m.switching_time(50 * uA), m.switching_time(70 * uA));
+  EXPECT_GT(m.switching_time(70 * uA), m.switching_time(100 * uA));
+}
+
+TEST(MtjModel, SubcriticalCurrentsAreAstronomicallySlow) {
+  const MtjModel m(MtjParams::table1());
+  // A ~5 uA read current must not disturb on any realistic timescale.
+  EXPECT_GT(m.switching_time(5 * uA), 1.0); // > 1 second
+  EXPECT_TRUE(std::isinf(m.switching_time(0.0)));
+}
+
+TEST(MtjModel, PolarityConvention) {
+  EXPECT_TRUE(MtjModel::polarity_favours(50 * uA, MtjOrientation::Parallel));
+  EXPECT_FALSE(MtjModel::polarity_favours(50 * uA, MtjOrientation::AntiParallel));
+  EXPECT_TRUE(MtjModel::polarity_favours(-50 * uA, MtjOrientation::AntiParallel));
+}
+
+TEST(MtjModel, RejectsInconsistentCurrents) {
+  MtjParams p = MtjParams::table1();
+  p.iSwitching = p.iCritical; // not above critical
+  EXPECT_THROW(MtjModel{p}, std::invalid_argument);
+}
+
+TEST(MtjParams, SigmaShiftsScaleLinearly) {
+  const MtjParams base = MtjParams::table1();
+  const MtjParams hi = base.at_sigma(3.0, 0.0, 0.0);
+  EXPECT_NEAR(hi.rParallel, base.rParallel * 1.15, 1.0);
+  EXPECT_NEAR(hi.ra, base.ra * 1.15, 1e-15);
+  // TMR shift moves R_AP but not R_P.
+  const MtjParams tmrLo = base.at_sigma(0.0, -3.0, 0.0);
+  EXPECT_DOUBLE_EQ(tmrLo.rParallel, base.rParallel);
+  EXPECT_LT(tmrLo.rAntiParallel, base.rAntiParallel);
+  // Ic shift tracks both critical and nominal write current.
+  const MtjParams icHi = base.at_sigma(0.0, 0.0, 3.0);
+  EXPECT_NEAR(icHi.iCritical, base.iCritical * 1.15, 1e-9);
+  EXPECT_NEAR(icHi.iSwitching, base.iSwitching * 1.15, 1e-9);
+}
+
+TEST(MtjParams, SampleStaysWithinThreeSigma) {
+  const MtjParams base = MtjParams::table1();
+  Rng rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    const MtjParams s = base.sample(rng);
+    EXPECT_GE(s.rParallel, base.rParallel * (1 - 3 * MtjParams::kSigmaRaRel) - 1e-9);
+    EXPECT_LE(s.rParallel, base.rParallel * (1 + 3 * MtjParams::kSigmaRaRel) + 1e-9);
+    EXPECT_GE(s.iCritical, base.iCritical * (1 - 3 * MtjParams::kSigmaIcRel) - 1e-12);
+    EXPECT_LE(s.iCritical, base.iCritical * (1 + 3 * MtjParams::kSigmaIcRel) + 1e-12);
+  }
+}
+
+TEST(MtjParams, WorstCaseReadCornerShrinksWindow) {
+  // Worst read corner: TMR down (smaller R difference). The sensing margin
+  // R_AP - R_P must shrink but stay positive at -3 sigma.
+  // Compare against the recomputed (not paper-rounded) nominal point so both
+  // sides use the same R_AP = R_P * (1 + TMR) convention.
+  const MtjParams base = MtjParams::table1().at_sigma(0.0, 0.0, 0.0);
+  const MtjParams worst = base.at_sigma(3.0, -3.0, 0.0);
+  const double marginBase = base.rAntiParallel - base.rParallel;
+  const double marginWorst = worst.rAntiParallel - worst.rParallel;
+  EXPECT_LT(marginWorst, marginBase);
+  EXPECT_GT(marginWorst, 0.0);
+}
+
+} // namespace
+} // namespace nvff::mtj

@@ -1,0 +1,119 @@
+// Grouping for N-bit cells: capacity, distance budget, degradation to
+// pairing, density seeding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pairing/grouping.hpp"
+#include "util/rng.hpp"
+
+namespace nvff::pairing {
+namespace {
+
+std::vector<FlipFlopSite> cluster_at(double x, double y, int n, double spread,
+                                     Rng& rng) {
+  std::vector<FlipFlopSite> sites;
+  for (int i = 0; i < n; ++i) {
+    sites.push_back({"f", x + rng.uniform(-spread, spread),
+                     y + rng.uniform(-spread, spread)});
+  }
+  return sites;
+}
+
+TEST(Grouping, EachFlipFlopInExactlyOneGroupOrUngrouped) {
+  Rng rng(1);
+  std::vector<FlipFlopSite> sites;
+  for (int c = 0; c < 10; ++c) {
+    auto cl = cluster_at(c * 12.0, 0.0, 5, 1.0, rng);
+    sites.insert(sites.end(), cl.begin(), cl.end());
+  }
+  GroupingOptions opt;
+  opt.groupSize = 4;
+  const GroupingResult r = group_flip_flops(sites, opt);
+  std::vector<int> seen(sites.size(), 0);
+  for (const auto& g : r.groups) {
+    EXPECT_GE(g.members.size(), 2u);
+    EXPECT_LE(g.members.size(), 4u);
+    for (int m : g.members) ++seen[static_cast<std::size_t>(m)];
+  }
+  for (int u : r.ungrouped) ++seen[static_cast<std::size_t>(u)];
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Grouping, RespectsDistanceBudget) {
+  Rng rng(2);
+  auto sites = cluster_at(0, 0, 30, 5.0, rng);
+  GroupingOptions opt;
+  opt.groupSize = 4;
+  opt.maxDistance = 2.0;
+  const GroupingResult r = group_flip_flops(sites, opt);
+  for (const auto& g : r.groups) {
+    EXPECT_LE(g.spanUm, opt.maxDistance + 1e-12);
+    const auto& seed = sites[static_cast<std::size_t>(g.members[0])];
+    for (int m : g.members) {
+      const auto& s = sites[static_cast<std::size_t>(m)];
+      const double d = std::hypot(s.x - seed.x, s.y - seed.y);
+      EXPECT_LE(d, opt.maxDistance + 1e-12);
+    }
+  }
+}
+
+TEST(Grouping, GroupSizeTwoMatchesPairingSemantics) {
+  Rng rng(3);
+  auto sites = cluster_at(0, 0, 40, 6.0, rng);
+  GroupingOptions gopt;
+  gopt.groupSize = 2;
+  gopt.maxDistance = 3.35;
+  const GroupingResult groups = group_flip_flops(sites, gopt);
+  PairingOptions popt;
+  popt.maxDistance = 3.35;
+  const PairingResult pairs = pair_flip_flops(sites, popt);
+  // Same threshold, same capacity: counts should be comparable (greedy
+  // strategies differ, allow 20 % slack).
+  EXPECT_NEAR(static_cast<double>(groups.groups.size()),
+              static_cast<double>(pairs.num_pairs()),
+              0.2 * static_cast<double>(pairs.num_pairs()) + 1.0);
+}
+
+TEST(Grouping, DenseClusterFillsFullGroups) {
+  Rng rng(4);
+  auto sites = cluster_at(0, 0, 16, 1.0, rng); // all within ~2.8 um
+  GroupingOptions opt;
+  opt.groupSize = 4;
+  opt.maxDistance = 3.35;
+  const GroupingResult r = group_flip_flops(sites, opt);
+  EXPECT_EQ(r.grouped_ffs(), 16u);
+  EXPECT_EQ(r.groups.size(), 4u);
+  for (const auto& g : r.groups) EXPECT_EQ(g.members.size(), 4u);
+}
+
+TEST(Grouping, RequireFullDropsPartialGroups) {
+  Rng rng(5);
+  auto sites = cluster_at(0, 0, 6, 0.5, rng); // 6 FFs, groupSize 4
+  GroupingOptions opt;
+  opt.groupSize = 4;
+  opt.requireFull = true;
+  const GroupingResult r = group_flip_flops(sites, opt);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].members.size(), 4u);
+  EXPECT_EQ(r.ungrouped.size(), 2u);
+}
+
+TEST(Grouping, IsolatedSitesStayUngrouped) {
+  std::vector<FlipFlopSite> sites = {{"a", 0, 0}, {"b", 100, 0}, {"c", 200, 0}};
+  const GroupingResult r = group_flip_flops(sites, {});
+  EXPECT_TRUE(r.groups.empty());
+  EXPECT_EQ(r.ungrouped.size(), 3u);
+}
+
+TEST(Grouping, DegenerateGroupSizeReturnsAllUngrouped) {
+  std::vector<FlipFlopSite> sites = {{"a", 0, 0}, {"b", 1, 0}};
+  GroupingOptions opt;
+  opt.groupSize = 1;
+  const GroupingResult r = group_flip_flops(sites, opt);
+  EXPECT_TRUE(r.groups.empty());
+  EXPECT_EQ(r.ungrouped.size(), 2u);
+}
+
+} // namespace
+} // namespace nvff::pairing

@@ -1,0 +1,144 @@
+// Pairing: threshold semantics, matcher quality vs exact optimum, stats.
+#include <gtest/gtest.h>
+
+#include "pairing/pairing.hpp"
+#include "util/rng.hpp"
+
+namespace nvff::pairing {
+namespace {
+
+std::vector<FlipFlopSite> line(std::initializer_list<double> xs) {
+  std::vector<FlipFlopSite> sites;
+  int i = 0;
+  for (double x : xs) {
+    sites.push_back({"ff" + std::to_string(i++), x, 0.0});
+  }
+  return sites;
+}
+
+TEST(Pairing, RespectsDistanceThreshold) {
+  PairingOptions opt;
+  opt.maxDistance = 3.35;
+  const auto sites = line({0.0, 2.0, 10.0, 12.0, 30.0});
+  const auto edges = candidate_edges(sites, opt);
+  // Only (0,1) and (2,3) are close enough.
+  EXPECT_EQ(edges.size(), 2u);
+  const PairingResult r = pair_flip_flops(sites, opt);
+  EXPECT_EQ(r.num_pairs(), 2u);
+  ASSERT_EQ(r.unmatched.size(), 1u);
+  EXPECT_EQ(r.unmatched[0], 4);
+}
+
+TEST(Pairing, EveryFlipFlopInAtMostOnePair) {
+  Rng rng(5);
+  std::vector<FlipFlopSite> sites;
+  for (int i = 0; i < 200; ++i) {
+    sites.push_back({"f" + std::to_string(i), rng.uniform(0, 50), rng.uniform(0, 50)});
+  }
+  const PairingResult r = pair_flip_flops(sites);
+  std::vector<int> seen(sites.size(), 0);
+  for (const auto& p : r.pairs) {
+    ++seen[static_cast<std::size_t>(p.a)];
+    ++seen[static_cast<std::size_t>(p.b)];
+  }
+  for (int idx : r.unmatched) ++seen[static_cast<std::size_t>(idx)];
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Pairing, PairDistancesWithinThreshold) {
+  Rng rng(6);
+  std::vector<FlipFlopSite> sites;
+  for (int i = 0; i < 300; ++i) {
+    sites.push_back({"f" + std::to_string(i), rng.uniform(0, 40), rng.uniform(0, 40)});
+  }
+  PairingOptions opt;
+  opt.maxDistance = 3.35;
+  const PairingResult r = pair_flip_flops(sites, opt);
+  for (const auto& p : r.pairs) EXPECT_LE(p.distance, opt.maxDistance + 1e-12);
+  EXPECT_EQ(r.pairDistances.size(), r.pairs.size());
+  EXPECT_LE(r.pairDistances.max(), opt.maxDistance + 1e-12);
+}
+
+TEST(Pairing, GreedyImprovedFixesChainTrap) {
+  // Chain 0-1-2-3 where greedy shortest-first takes the middle edge (1,2)
+  // and strands 0 and 3; improved matching finds (0,1)+(2,3).
+  PairingOptions opt;
+  opt.maxDistance = 1.5;
+  const auto sites = line({0.0, 1.2, 2.2, 3.4});
+  opt.algorithm = MatchAlgorithm::Greedy;
+  const auto greedy = pair_flip_flops(sites, opt);
+  EXPECT_EQ(greedy.num_pairs(), 1u);
+  opt.algorithm = MatchAlgorithm::GreedyImproved;
+  const auto improved = pair_flip_flops(sites, opt);
+  EXPECT_EQ(improved.num_pairs(), 2u);
+}
+
+class MatcherQuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherQuality, ImprovedNearOptimalOnRandomClusters) {
+  // Property: on random instances the improved matcher reaches the exact
+  // maximum computed by bitmask DP (or at most one pair short, which the
+  // length-3 improvement cannot always close).
+  Rng rng(GetParam());
+  std::vector<FlipFlopSite> sites;
+  const int n = 3 + static_cast<int>(rng.uniform_index(14)); // 3..16
+  for (int i = 0; i < n; ++i) {
+    sites.push_back({"f" + std::to_string(i), rng.uniform(0, 8), rng.uniform(0, 8)});
+  }
+  PairingOptions opt;
+  opt.maxDistance = 3.0;
+  const std::size_t exact = exact_max_matching(sites, opt);
+  opt.algorithm = MatchAlgorithm::GreedyImproved;
+  const std::size_t ours = pair_flip_flops(sites, opt).num_pairs();
+  EXPECT_LE(ours, exact);
+  EXPECT_GE(ours + 1, exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MatcherQuality,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+TEST(Pairing, SameRowOnlyMode) {
+  PairingOptions opt;
+  opt.maxDistance = 3.0;
+  opt.sameRowOnly = true;
+  opt.rowHeight = 1.68;
+  std::vector<FlipFlopSite> sites = {
+      {"a", 0.0, 0.84}, {"b", 2.0, 0.84},  // same row, close
+      {"c", 0.0, 2.52}, {"d", 0.5, 4.20},  // different rows, vertically close
+  };
+  const PairingResult r = pair_flip_flops(sites, opt);
+  EXPECT_EQ(r.num_pairs(), 1u);
+  EXPECT_EQ(r.pairs[0].a, 0);
+  EXPECT_EQ(r.pairs[0].b, 1);
+}
+
+TEST(Pairing, PairedFractionFormula) {
+  PairingResult r;
+  r.pairs.resize(5);
+  EXPECT_DOUBLE_EQ(r.paired_fraction(15), 2.0 * 5 / 15);
+  EXPECT_DOUBLE_EQ(r.paired_fraction(0), 0.0);
+}
+
+TEST(Pairing, EmptyAndSingletonInputs) {
+  const PairingResult empty = pair_flip_flops({});
+  EXPECT_EQ(empty.num_pairs(), 0u);
+  const PairingResult one = pair_flip_flops({{"solo", 1.0, 1.0}});
+  EXPECT_EQ(one.num_pairs(), 0u);
+  ASSERT_EQ(one.unmatched.size(), 1u);
+}
+
+TEST(Pairing, ExactMatcherRejectsLargeInputs) {
+  std::vector<FlipFlopSite> sites(21);
+  EXPECT_THROW(exact_max_matching(sites, {}), std::invalid_argument);
+}
+
+TEST(Pairing, GridBinningFindsDiagonalNeighbors) {
+  // Two sites in adjacent diagonal bins but within the radius.
+  PairingOptions opt;
+  opt.maxDistance = 2.0;
+  std::vector<FlipFlopSite> sites = {{"a", 1.9, 1.9}, {"b", 2.1, 2.1}};
+  EXPECT_EQ(candidate_edges(sites, opt).size(), 1u);
+}
+
+} // namespace
+} // namespace nvff::pairing

@@ -1,0 +1,88 @@
+#include "physdes/def_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generator.hpp"
+
+namespace nvff::physdes {
+namespace {
+
+TEST(DefIo, RoundTripPlacement) {
+  const auto spec = bench::find_benchmark("s344");
+  const auto nl = bench::generate_benchmark(spec);
+  PlacerOptions opt;
+  opt.utilization = spec.utilization;
+  const Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like(), opt);
+
+  const std::string text = to_def(p, nl);
+  const DefDesign parsed = parse_def_string(text);
+
+  EXPECT_EQ(parsed.name, "s344");
+  EXPECT_NEAR(parsed.dieWidth, p.dieWidth, 0.01);
+  EXPECT_NEAR(parsed.dieHeight, p.dieHeight, 0.01);
+
+  std::size_t rowCells = 0;
+  for (const auto& c : p.cells) {
+    if (!c.fixedPad) ++rowCells;
+  }
+  ASSERT_EQ(parsed.components.size(), rowCells);
+
+  // Coordinates survive with DBU rounding (1/1000 um).
+  std::size_t ffCount = 0;
+  for (const auto& comp : parsed.components) {
+    if (comp.cellType == "DFF") ++ffCount;
+    const auto id = nl.find(comp.name);
+    ASSERT_NE(id, bench::kNoGate) << comp.name;
+    const auto& cell = p.cells[static_cast<std::size_t>(id)];
+    EXPECT_NEAR(comp.x, cell.x, 0.002);
+    EXPECT_NEAR(comp.y, cell.y, 0.002);
+  }
+  EXPECT_EQ(ffCount, nl.num_flip_flops());
+}
+
+TEST(DefIo, ParsesHandWrittenDef) {
+  const char* text = R"(VERSION 5.8 ;
+DESIGN demo ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 50000 30000 ) ;
+COMPONENTS 2 ;
+  - u1 DFF + PLACED ( 1000 2000 ) N ;
+  - u2 NAND + FIXED ( 3000 4000 ) N ;
+END COMPONENTS
+END DESIGN
+)";
+  const DefDesign d = parse_def_string(text);
+  EXPECT_EQ(d.name, "demo");
+  EXPECT_DOUBLE_EQ(d.dieWidth, 50.0);
+  EXPECT_DOUBLE_EQ(d.dieHeight, 30.0);
+  ASSERT_EQ(d.components.size(), 2u);
+  EXPECT_EQ(d.components[0].name, "u1");
+  EXPECT_EQ(d.components[0].cellType, "DFF");
+  EXPECT_DOUBLE_EQ(d.components[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(d.components[0].y, 2.0);
+  EXPECT_FALSE(d.components[0].fixed);
+  EXPECT_TRUE(d.components[1].fixed);
+}
+
+TEST(DefIo, RejectsMalformedComponent) {
+  const char* text = R"(DESIGN x ;
+COMPONENTS 1 ;
+  - u1 DFF ;
+END COMPONENTS
+)";
+  EXPECT_THROW(parse_def_string(text), std::runtime_error);
+}
+
+TEST(DefIo, FileRoundTrip) {
+  const auto spec = bench::find_benchmark("s344");
+  const auto nl = bench::generate_benchmark(spec);
+  const Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like());
+  const std::string path = testing::TempDir() + "/nvff_test.def";
+  save_def_file(p, nl, path);
+  const DefDesign d = load_def_file(path);
+  EXPECT_EQ(d.name, "s344");
+  EXPECT_FALSE(d.components.empty());
+}
+
+} // namespace
+} // namespace nvff::physdes

@@ -1,0 +1,155 @@
+// Placement substrate: legality, locality, determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_circuits/generator.hpp"
+#include "physdes/placement.hpp"
+#include "util/rng.hpp"
+
+namespace nvff::physdes {
+namespace {
+
+using bench::GateId;
+using bench::GateType;
+
+Placement place_benchmark(const std::string& name) {
+  const auto spec = bench::find_benchmark(name);
+  const auto nl = bench::generate_benchmark(spec);
+  PlacerOptions opt;
+  opt.utilization = spec.utilization;
+  return place(nl, cell::CmosCellLibrary::tsmc40_like(), opt);
+}
+
+TEST(Placement, CellsInsideDieAndOnRows) {
+  const auto spec = bench::find_benchmark("s5378");
+  const auto nl = bench::generate_benchmark(spec);
+  PlacerOptions opt;
+  opt.utilization = spec.utilization;
+  const Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like(), opt);
+  for (const auto& c : p.cells) {
+    if (c.fixedPad) continue;
+    EXPECT_GE(c.x, -1e-9);
+    EXPECT_LE(c.x + c.width, p.dieWidth + 1e-6);
+    EXPECT_GE(c.row, 0);
+    EXPECT_LT(c.row, p.numRows);
+    // y snapped to the row grid.
+    EXPECT_NEAR(c.y, c.row * p.rowHeight, 1e-9);
+  }
+}
+
+TEST(Placement, NoOverlapsWithinRows) {
+  const auto spec = bench::find_benchmark("s1423");
+  const auto nl = bench::generate_benchmark(spec);
+  PlacerOptions opt;
+  opt.utilization = spec.utilization;
+  const Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like(), opt);
+  // Group by row, sort by x, check pairwise.
+  std::vector<std::vector<const PlacedCell*>> rows(
+      static_cast<std::size_t>(p.numRows));
+  for (const auto& c : p.cells) {
+    if (!c.fixedPad && c.row >= 0) rows[static_cast<std::size_t>(c.row)].push_back(&c);
+  }
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const PlacedCell* a, const PlacedCell* b) { return a->x < b->x; });
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      EXPECT_GE(row[i]->x + 1e-9, row[i - 1]->x + row[i - 1]->width)
+          << "overlap in row " << row[i]->row;
+    }
+  }
+}
+
+TEST(Placement, UtilizationNearTarget) {
+  const auto spec = bench::find_benchmark("s13207");
+  const auto nl = bench::generate_benchmark(spec);
+  PlacerOptions opt;
+  opt.utilization = 0.65;
+  const Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like(), opt);
+  EXPECT_NEAR(p.utilization(), 0.65, 0.1);
+}
+
+TEST(Placement, ConnectivityBeatsRandomShuffle) {
+  // The quadratic placement must produce markedly lower wirelength than a
+  // random permutation of the same legal sites.
+  const auto spec = bench::find_benchmark("s5378");
+  const auto nl = bench::generate_benchmark(spec);
+  PlacerOptions opt;
+  opt.utilization = spec.utilization;
+  Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like(), opt);
+  const double placedHpwl = p.hpwl(nl);
+
+  // Shuffle movable cell positions among themselves.
+  Rng rng(99);
+  std::vector<std::size_t> movable;
+  for (std::size_t i = 0; i < p.cells.size(); ++i) {
+    if (!p.cells[i].fixedPad) movable.push_back(i);
+  }
+  for (std::size_t i = movable.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(p.cells[movable[i - 1]].x, p.cells[movable[j]].x);
+    std::swap(p.cells[movable[i - 1]].y, p.cells[movable[j]].y);
+  }
+  const double shuffledHpwl = p.hpwl(nl);
+  EXPECT_LT(placedHpwl, 0.6 * shuffledHpwl);
+}
+
+TEST(Placement, FlipFlopNeighborhoodsForm) {
+  // Register banks should land close: median nearest-neighbour FF distance
+  // well under the pairing threshold.
+  const Placement p = place_benchmark("s13207");
+  const auto spec = bench::find_benchmark("s13207");
+  const auto nl = bench::generate_benchmark(spec);
+  std::vector<std::pair<double, double>> ffs;
+  for (GateId id : nl.flip_flops()) ffs.emplace_back(p.cx(id), p.cy(id));
+  std::vector<double> nearest;
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    double best = 1e18;
+    for (std::size_t j = 0; j < ffs.size(); ++j) {
+      if (i == j) continue;
+      const double dx = ffs[i].first - ffs[j].first;
+      const double dy = ffs[i].second - ffs[j].second;
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    nearest.push_back(std::sqrt(best));
+  }
+  std::nth_element(nearest.begin(), nearest.begin() + nearest.size() / 2,
+                   nearest.end());
+  EXPECT_LT(nearest[nearest.size() / 2], 3.35);
+}
+
+TEST(Placement, DeterministicForSameSeed) {
+  const Placement a = place_benchmark("s838");
+  const Placement b = place_benchmark("s838");
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells[i].x, b.cells[i].x);
+    EXPECT_DOUBLE_EQ(a.cells[i].y, b.cells[i].y);
+  }
+}
+
+TEST(Placement, RejectsUnfinalizedNetlist) {
+  bench::Netlist nl;
+  nl.add_gate(GateType::Input, "a");
+  EXPECT_THROW(place(nl, cell::CmosCellLibrary::tsmc40_like()), std::invalid_argument);
+}
+
+TEST(Placement, CellWidthsFollowLibrary) {
+  const auto lib = cell::CmosCellLibrary::tsmc40_like();
+  bench::Netlist nl;
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId ff = nl.add_gate(GateType::Dff, "ff", {a});
+  const GateId inv = nl.add_gate(GateType::Not, "inv", {ff});
+  const GateId big = nl.add_gate(GateType::Nand, "big4", {a, ff, inv});
+  nl.mark_output(big);
+  nl.finalize();
+  EXPECT_DOUBLE_EQ(cell_width(nl, ff, lib), lib.ffWidth);
+  EXPECT_NEAR(cell_width(nl, inv, lib), lib.inverterArea / lib.rowHeight, 1e-12);
+  EXPECT_DOUBLE_EQ(cell_width(nl, a, lib), 0.0); // pad
+  // 3-input gate wider than the 2-input version.
+  EXPECT_GT(cell_width(nl, big, lib), lib.nand2Area / lib.rowHeight);
+}
+
+} // namespace
+} // namespace nvff::physdes

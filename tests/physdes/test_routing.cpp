@@ -1,0 +1,158 @@
+// Global router: wirelength accounting, congestion avoidance, merge impact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_circuits/bench_io.hpp"
+#include "bench_circuits/generator.hpp"
+#include "physdes/routing.hpp"
+#include "physdes/sta.hpp"
+
+namespace nvff::physdes {
+namespace {
+
+using bench::GateId;
+using bench::Netlist;
+
+Placement two_cell_placement(const Netlist& nl, double x0, double y0, double x1,
+                             double y1) {
+  Placement p;
+  p.designName = nl.name();
+  p.dieWidth = 50;
+  p.dieHeight = 50;
+  p.rowHeight = 1.68;
+  p.numRows = 30;
+  p.cells.resize(nl.size());
+  const std::vector<std::pair<double, double>> xy = {{x0, y0}, {x1, y1}};
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    p.cells[i].gate = static_cast<GateId>(i);
+    p.cells[i].width = 0.0; // point cells: cx == x
+    p.cells[i].x = xy[i].first;
+    p.cells[i].y = xy[i].second;
+  }
+  return p;
+}
+
+TEST(Routing, SingleNetWirelengthIsManhattan) {
+  const Netlist nl = bench::parse_bench_string("INPUT(a)\ng = NOT(a)\nOUTPUT(g)\n");
+  const Placement p = two_cell_placement(nl, 2.0, 3.0, 12.0, 23.0);
+  const RoutingResult r = route(nl, p);
+  EXPECT_NEAR(r.totalWirelengthUm, 10.0 + 20.0, 1e-9);
+  // The routed wire must appear in the bins.
+  double used = 0.0;
+  for (double u : r.usage) used += u;
+  EXPECT_NEAR(used, 30.0, 1e-6);
+}
+
+TEST(Routing, GridDimensionsCoverDie) {
+  const Netlist nl = bench::parse_bench_string("INPUT(a)\ng = NOT(a)\nOUTPUT(g)\n");
+  const Placement p = two_cell_placement(nl, 0, 0, 49, 49);
+  RouterOptions opt;
+  opt.binSizeUm = 10.0;
+  const RoutingResult r = route(nl, p, opt);
+  EXPECT_EQ(r.binsX, 5);
+  EXPECT_EQ(r.binsY, 5);
+}
+
+TEST(Routing, CongestionSpreadsAcrossLs) {
+  // Many identical nets between two points: with congestion-aware L choice
+  // the two L routes share the load instead of all piling on one.
+  Netlist nl;
+  const GateId a = nl.add_gate(bench::GateType::Input, "a");
+  std::vector<GateId> sinks;
+  for (int i = 0; i < 40; ++i) {
+    sinks.push_back(nl.add_gate(bench::GateType::Buf, "b" + std::to_string(i), {a}));
+  }
+  nl.finalize();
+  Placement p;
+  p.designName = "cong";
+  p.dieWidth = 40;
+  p.dieHeight = 40;
+  p.rowHeight = 1.68;
+  p.numRows = 20;
+  p.cells.resize(nl.size());
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    p.cells[i].gate = static_cast<GateId>(i);
+    p.cells[i].width = 0;
+    // Source at (5,5), all sinks at (35,35): two L corners available.
+    p.cells[i].x = (i == 0) ? 5.0 : 35.0;
+    p.cells[i].y = (i == 0) ? 5.0 : 35.0;
+  }
+  RouterOptions opt;
+  opt.binSizeUm = 5.0;
+  const RoutingResult r = route(nl, p, opt);
+  // Load in the two corner bins (35,5) and (5,35) should both be nonzero.
+  const int cornerA = r.binsX * (5 / 5) + (35 / 5); // y=5 row, x=35
+  const int cornerB = r.binsX * (35 / 5) + (5 / 5);
+  EXPECT_GT(r.usage[static_cast<std::size_t>(cornerA)], 0.0);
+  EXPECT_GT(r.usage[static_cast<std::size_t>(cornerB)], 0.0);
+}
+
+TEST(Routing, BenchmarkRoutesWithoutPathologicalOverflow) {
+  const auto spec = bench::find_benchmark("s5378");
+  const auto nl = bench::generate_benchmark(spec);
+  PlacerOptions popt;
+  popt.utilization = spec.utilization;
+  const Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like(), popt);
+  const RoutingResult r = route(nl, p);
+  EXPECT_GT(r.totalWirelengthUm, 0.0);
+  // Most bins healthy: overflow limited to a small fraction.
+  const int totalBins = r.binsX * r.binsY;
+  EXPECT_LT(r.overflowedBins, totalBins / 4);
+}
+
+TEST(Routing, MergedPairsDoNotIncreaseWirelength) {
+  // Moving paired FFs to their midpoints shortens (or preserves) their nets
+  // on average — routing supports the merge.
+  const auto spec = bench::find_benchmark("s1423");
+  const auto nl = bench::generate_benchmark(spec);
+  PlacerOptions popt;
+  popt.utilization = spec.utilization;
+  const Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like(), popt);
+  const RoutingResult before = route(nl, p);
+
+  std::vector<std::pair<int, int>> pairs;
+  const auto& ffs = nl.flip_flops();
+  std::vector<char> used(ffs.size(), 0);
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (used[i]) continue;
+    for (std::size_t j = i + 1; j < ffs.size(); ++j) {
+      if (used[j]) continue;
+      const double dx = p.cx(ffs[i]) - p.cx(ffs[j]);
+      const double dy = p.cy(ffs[i]) - p.cy(ffs[j]);
+      if (std::hypot(dx, dy) <= 3.35) {
+        pairs.emplace_back(static_cast<int>(i), static_cast<int>(j));
+        used[i] = used[j] = 1;
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(pairs.empty());
+  const Placement moved = apply_pair_displacement(p, nl, pairs);
+  const RoutingResult after = route(nl, moved);
+  EXPECT_LT(after.totalWirelengthUm, before.totalWirelengthUm * 1.02);
+}
+
+TEST(Routing, CongestionMapRenders) {
+  const auto spec = bench::find_benchmark("s344");
+  const auto nl = bench::generate_benchmark(spec);
+  const Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like());
+  const RoutingResult r = route(nl, p);
+  const std::string map = r.congestion_map();
+  // binsY lines of binsX glyphs.
+  std::size_t lines = 0;
+  for (char c : map) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(r.binsY));
+}
+
+TEST(Routing, RejectsMismatchedInputs) {
+  const Netlist nl = bench::parse_bench_string("INPUT(a)\ng = NOT(a)\nOUTPUT(g)\n");
+  Placement wrong;
+  wrong.cells.resize(1);
+  EXPECT_THROW(route(nl, wrong), std::invalid_argument);
+}
+
+} // namespace
+} // namespace nvff::physdes

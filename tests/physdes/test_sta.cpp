@@ -1,0 +1,173 @@
+// STA: hand-computed paths, launch/capture semantics, displacement effects.
+#include <gtest/gtest.h>
+
+#include "bench_circuits/bench_io.hpp"
+#include "bench_circuits/generator.hpp"
+#include "physdes/sta.hpp"
+
+namespace nvff::physdes {
+namespace {
+
+using bench::GateId;
+using bench::Netlist;
+
+/// Places every cell of a small netlist at explicit coordinates.
+Placement manual_placement(const Netlist& nl,
+                           const std::vector<std::pair<double, double>>& xy) {
+  Placement p;
+  p.designName = nl.name();
+  p.dieWidth = 100;
+  p.dieHeight = 100;
+  p.rowHeight = 1.68;
+  p.numRows = 60;
+  p.cells.resize(nl.size());
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    p.cells[i].gate = static_cast<GateId>(i);
+    p.cells[i].width = 1.0;
+    p.cells[i].x = xy[i].first;
+    p.cells[i].y = xy[i].second;
+  }
+  return p;
+}
+
+TEST(Sta, HandComputedChain) {
+  // in -> g1 -> g2 -> ff, all at the same spot (no wire delay).
+  const Netlist nl = bench::parse_bench_string(R"(
+INPUT(in)
+g1 = NOT(in)
+g2 = NOT(g1)
+ff = DFF(g2)
+OUTPUT(g2)
+)");
+  const Placement p = manual_placement(nl, {{0, 0}, {0, 0}, {0, 0}, {0, 0}});
+  StaOptions opt;
+  opt.intrinsicPs = 10;
+  opt.perFanoutPs = 2;
+  opt.wirePsPerUm = 0;
+  opt.setupPs = 5;
+  opt.clkToQPs = 7;
+  const TimingReport r = analyze_timing(nl, p, opt);
+  // g1: 0 + 10 + 2*1(fanout g2) = 12; g2: 12 + 10 + 2*2(ff + output... g2
+  // fans out to ff only -> fanout 1) = 24; capture at ff: 24 + setup 5 = 29.
+  const GateId g1 = nl.find("g1");
+  const GateId g2 = nl.find("g2");
+  EXPECT_DOUBLE_EQ(r.arrivalPs[static_cast<std::size_t>(g1)], 12.0);
+  EXPECT_DOUBLE_EQ(r.arrivalPs[static_cast<std::size_t>(g2)], 24.0);
+  EXPECT_DOUBLE_EQ(r.criticalPathPs, 29.0);
+  EXPECT_EQ(r.criticalEndpoint, nl.find("ff"));
+}
+
+TEST(Sta, FfLaunchUsesClkToQ) {
+  const Netlist nl = bench::parse_bench_string(R"(
+INPUT(in)
+q = DFF(g)
+g = NOT(q)
+OUTPUT(g)
+)");
+  const Placement p = manual_placement(nl, {{0, 0}, {0, 0}, {0, 0}});
+  StaOptions opt;
+  opt.intrinsicPs = 10;
+  opt.perFanoutPs = 0;
+  opt.wirePsPerUm = 0;
+  opt.setupPs = 5;
+  opt.clkToQPs = 50;
+  const TimingReport r = analyze_timing(nl, p, opt);
+  // q(50) -> g(60) -> back to q's D with setup: 65.
+  EXPECT_DOUBLE_EQ(r.criticalPathPs, 65.0);
+}
+
+TEST(Sta, WireDelayFollowsManhattanDistance) {
+  const Netlist nl = bench::parse_bench_string(R"(
+INPUT(in)
+g = NOT(in)
+OUTPUT(g)
+)");
+  StaOptions opt;
+  opt.intrinsicPs = 0;
+  opt.perFanoutPs = 0;
+  opt.wirePsPerUm = 2.0;
+  const Placement near = manual_placement(nl, {{0, 0}, {1, 0}});
+  const Placement far = manual_placement(nl, {{0, 0}, {10, 5}});
+  const double dNear = analyze_timing(nl, near, opt).criticalPathPs;
+  const double dFar = analyze_timing(nl, far, opt).criticalPathPs;
+  EXPECT_NEAR(dFar - dNear, 2.0 * ((10 - 1) + 5), 1e-9);
+}
+
+TEST(Sta, CriticalPathIsTraceable) {
+  const auto spec = bench::find_benchmark("s838");
+  const auto nl = bench::generate_benchmark(spec);
+  PlacerOptions popt;
+  popt.utilization = spec.utilization;
+  const Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like(), popt);
+  const TimingReport r = analyze_timing(nl, p);
+  EXPECT_GT(r.criticalPathPs, 0.0);
+  ASSERT_GE(r.criticalPath.size(), 2u);
+  // Path must start (back of vector) at a launch point.
+  const auto& src = nl.gate(r.criticalPath.back());
+  EXPECT_TRUE(src.type == bench::GateType::Input || src.type == bench::GateType::Dff);
+}
+
+TEST(Sta, PairDisplacementMovesBothToMidpoint) {
+  const Netlist nl = bench::parse_bench_string(R"(
+INPUT(in)
+a = DFF(in)
+b = DFF(in)
+OUTPUT(a)
+)");
+  Placement p = manual_placement(nl, {{0, 0}, {0, 0}, {10, 4}});
+  p.cells[1].width = 1.0;
+  p.cells[2].width = 1.0;
+  const Placement moved = apply_pair_displacement(p, nl, {{0, 1}});
+  const auto a = nl.find("a");
+  const auto b = nl.find("b");
+  EXPECT_NEAR(moved.cx(a) + moved.cx(b),
+              p.cx(a) + p.cx(b), 1e-9); // midpoint preserved
+  EXPECT_DOUBLE_EQ(moved.cells[static_cast<std::size_t>(a)].y,
+                   moved.cells[static_cast<std::size_t>(b)].y);
+  EXPECT_NEAR(moved.cx(b) - moved.cx(a), 1.0, 1e-9); // side by side
+}
+
+TEST(Sta, SmallDisplacementSmallPenalty) {
+  // Merging close FFs must barely move the critical path.
+  const auto spec = bench::find_benchmark("s1423");
+  const auto nl = bench::generate_benchmark(spec);
+  PlacerOptions popt;
+  popt.utilization = spec.utilization;
+  const Placement p = place(nl, cell::CmosCellLibrary::tsmc40_like(), popt);
+  const TimingReport before = analyze_timing(nl, p);
+
+  // Pair FFs within the paper threshold.
+  std::vector<std::pair<int, int>> pairs;
+  const auto& ffs = nl.flip_flops();
+  std::vector<char> used(ffs.size(), 0);
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    if (used[i]) continue;
+    for (std::size_t j = i + 1; j < ffs.size(); ++j) {
+      if (used[j]) continue;
+      const double dx = p.cx(ffs[i]) - p.cx(ffs[j]);
+      const double dy = p.cy(ffs[i]) - p.cy(ffs[j]);
+      if (dx * dx + dy * dy <= 3.35 * 3.35) {
+        pairs.emplace_back(static_cast<int>(i), static_cast<int>(j));
+        used[i] = used[j] = 1;
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(pairs.empty());
+  const Placement moved = apply_pair_displacement(p, nl, pairs);
+  const TimingReport after = analyze_timing(nl, moved);
+  // Penalty bounded by the wire delay of half the threshold distance plus
+  // rounding: a few ps on a multi-hundred-ps path.
+  EXPECT_LT(after.criticalPathPs - before.criticalPathPs,
+            0.05 * before.criticalPathPs + 5.0);
+}
+
+TEST(Sta, RejectsMismatchedInputs) {
+  const Netlist nl = bench::parse_bench_string("INPUT(a)\ng = NOT(a)\nOUTPUT(g)\n");
+  Placement wrong;
+  wrong.cells.resize(1);
+  EXPECT_THROW(analyze_timing(nl, wrong), std::invalid_argument);
+}
+
+} // namespace
+} // namespace nvff::physdes

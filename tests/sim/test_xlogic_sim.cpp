@@ -1,0 +1,115 @@
+// Three-valued simulation: X semantics, wake-up contamination, restore.
+#include <gtest/gtest.h>
+
+#include "bench_circuits/bench_io.hpp"
+#include "bench_circuits/generator.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/xlogic_sim.hpp"
+
+namespace nvff::sim {
+namespace {
+
+using bench::GateType;
+using bench::Netlist;
+
+TEST(XLogic, ControllingValuesDominateX) {
+  // AND(0, X) = 0, OR(1, X) = 1, but AND(1, X) = X, XOR(_, X) = X.
+  const Netlist nl = bench::parse_bench_string(R"(
+INPUT(a)
+q = DFF(a)
+g_and = AND(a, q)
+g_or = OR(a, q)
+g_xor = XOR(a, q)
+OUTPUT(g_and)
+)");
+  XLogicSimulator sim(nl);
+  sim.x_out_state(); // q = X
+  sim.set_inputs({Trit::Zero});
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("g_and")), Trit::Zero);
+  EXPECT_EQ(sim.value(nl.find("g_xor")), Trit::X);
+  sim.set_inputs({Trit::One});
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("g_and")), Trit::X);
+  EXPECT_EQ(sim.value(nl.find("g_or")), Trit::One);
+}
+
+TEST(XLogic, InverterPropagatesX) {
+  const Netlist nl = bench::parse_bench_string(R"(
+INPUT(a)
+q = DFF(a)
+n = NOT(q)
+OUTPUT(n)
+)");
+  XLogicSimulator sim(nl);
+  sim.x_out_state();
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("n")), Trit::X);
+}
+
+TEST(XLogic, MatchesBooleanSimWhenFullyKnown) {
+  const auto nl = bench::generate_benchmark(bench::find_benchmark("s344"));
+  LogicSimulator boolSim(nl);
+  XLogicSimulator xSim(nl);
+  xSim.load_flip_flop_state_bool(boolSim.flip_flop_state());
+  Rng rng(5);
+  for (int c = 0; c < 25; ++c) {
+    std::vector<bool> in(nl.num_inputs());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.chance(0.5);
+    boolSim.cycle(in);
+    std::vector<Trit> xin(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) xin[i] = trit_from_bool(in[i]);
+    xSim.cycle(xin);
+    for (std::size_t i = 0; i < nl.size(); ++i) {
+      const auto id = static_cast<bench::GateId>(i);
+      ASSERT_NE(xSim.value(id), Trit::X) << "unexpected X at " << nl.gate(id).name;
+      ASSERT_EQ(xSim.value(id) == Trit::One, boolSim.value(id))
+          << nl.gate(id).name << " cycle " << c;
+    }
+  }
+}
+
+TEST(XLogic, WakeWithoutRestoreFloodsX) {
+  const auto nl = bench::generate_benchmark(bench::find_benchmark("s1423"));
+  XLogicSimulator sim(nl);
+  sim.x_out_state(); // wake-up, no restore
+  std::vector<Trit> zeros(nl.num_inputs(), Trit::Zero);
+  for (int c = 0; c < 5; ++c) sim.cycle(zeros);
+  // X must persist in a meaningful part of the machine.
+  EXPECT_GT(sim.x_flip_flops(), nl.num_flip_flops() / 10);
+}
+
+TEST(XLogic, RestoreEliminatesEveryX) {
+  const auto nl = bench::generate_benchmark(bench::find_benchmark("s1423"));
+  // Golden run captures a state into the shadow bank.
+  LogicSimulator golden(nl);
+  Rng rng(11);
+  for (int c = 0; c < 20; ++c) {
+    std::vector<bool> in(nl.num_inputs());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.chance(0.5);
+    golden.cycle(in);
+  }
+  NvShadowBank bank(nl.num_flip_flops());
+  bank.store(golden);
+
+  // Wake: X everywhere, then NV restore.
+  XLogicSimulator waking(nl);
+  waking.x_out_state();
+  EXPECT_EQ(waking.x_flip_flops(), nl.num_flip_flops());
+  waking.load_flip_flop_state_bool(golden.flip_flop_state());
+  EXPECT_EQ(waking.x_flip_flops(), 0u);
+  std::vector<Trit> zeros(nl.num_inputs(), Trit::Zero);
+  waking.cycle(zeros);
+  EXPECT_EQ(waking.x_flip_flops(), 0u);
+  EXPECT_EQ(waking.x_outputs(), 0u);
+}
+
+TEST(XLogic, TritHelpers) {
+  EXPECT_EQ(trit_from_bool(true), Trit::One);
+  EXPECT_EQ(trit_from_bool(false), Trit::Zero);
+  EXPECT_EQ(trit_char(Trit::X), 'x');
+  EXPECT_EQ(trit_char(Trit::One), '1');
+}
+
+} // namespace
+} // namespace nvff::sim

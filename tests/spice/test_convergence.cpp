@@ -1,0 +1,178 @@
+// Solver robustness: bistable circuits, stiff networks, integration
+// accuracy order, power-collapse transients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/trace.hpp"
+#include "util/units.hpp"
+
+namespace nvff::spice {
+namespace {
+using namespace nvff::units;
+
+constexpr double kVdd = 1.1;
+
+void add_inverter(Circuit& ckt, const std::string& prefix, NodeId vdd, NodeId in,
+                  NodeId out) {
+  ckt.add_pmos(prefix + "P", out, in, vdd, vdd, MosGeometry{240e-9, 40e-9},
+               MosParams::pmos_40nm_lp());
+  ckt.add_nmos(prefix + "N", out, in, kGround, kGround, MosGeometry{120e-9, 40e-9},
+               MosParams::nmos_40nm_lp());
+}
+
+TEST(Convergence, CrossCoupledPairFindsValidState) {
+  // Bistable: the DC solver must converge to *some* self-consistent state
+  // (typically the metastable point without an initial kick).
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(kVdd));
+  add_inverter(ckt, "I1", vdd, a, b);
+  add_inverter(ckt, "I2", vdd, b, a);
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  EXPECT_TRUE(std::isfinite(op.v(a)));
+  EXPECT_TRUE(std::isfinite(op.v(b)));
+  // Self-consistency: both nodes within the rails.
+  EXPECT_GE(op.v(a), -0.01);
+  EXPECT_LE(op.v(a), kVdd + 0.01);
+}
+
+TEST(Convergence, BistableResolvesInTransientWithKick) {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(kVdd));
+  add_inverter(ckt, "I1", vdd, a, b);
+  add_inverter(ckt, "I2", vdd, b, a);
+  // Small asymmetric kick through a current pulse.
+  ckt.add_isource("IK", kGround, a,
+                  Waveform::pulse(0.0, 5 * uA, 10 * ps, 5 * ps, 5 * ps, 100 * ps, 0.0));
+  ckt.add_capacitor("Ca", a, kGround, 1 * fF);
+  ckt.add_capacitor("Cb", b, kGround, 1 * fF);
+  Trace trace;
+  trace.watch_node(ckt, "a");
+  trace.watch_node(ckt, "b");
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 2 * ns;
+  opt.dt = 2 * ps;
+  sim.transient(opt, trace.observer());
+  // Fully resolved complementary state.
+  EXPECT_GT(trace.final_value("a"), 0.9 * kVdd);
+  EXPECT_LT(trace.final_value("b"), 0.1 * kVdd);
+}
+
+TEST(Convergence, StiffResistorLadder) {
+  // 9 decades of resistance spread in one network.
+  Circuit ckt;
+  NodeId prev = ckt.node("n0");
+  ckt.add_vsource("V", prev, kGround, Waveform::dc(1.0));
+  double r = 1.0;
+  for (int i = 1; i <= 9; ++i) {
+    const NodeId next = ckt.node("n" + std::to_string(i));
+    ckt.add_resistor("R" + std::to_string(i), prev, next, r);
+    ckt.add_resistor("Rg" + std::to_string(i), next, kGround, r * 10.0);
+    prev = next;
+    r *= 10.0;
+  }
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  for (int i = 0; i <= 9; ++i) {
+    EXPECT_TRUE(std::isfinite(op.v(ckt.find_node("n" + std::to_string(i)))));
+  }
+}
+
+TEST(Convergence, DiodeConnectedMosfet) {
+  Circuit ckt;
+  const NodeId d = ckt.node("d");
+  ckt.add_isource("IB", kGround, d, Waveform::dc(10 * uA));
+  ckt.add_nmos("M", d, d, kGround, kGround, MosGeometry{}, MosParams::nmos_40nm_lp());
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  // Gate-drain tied: settles at Vth-ish overdrive above ground.
+  EXPECT_GT(op.v(d), 0.3);
+  EXPECT_LT(op.v(d), 0.9);
+}
+
+TEST(Convergence, BackwardEulerIsFirstOrderAccurate) {
+  // Global RC error at t = tau must shrink ~linearly with dt.
+  auto errorAt = [](double dt) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    Pwl step;
+    step.add_point(0.0, 1.0); // start charged source; cap from 0
+    ckt.add_vsource("V", in, kGround, Waveform::pwl(step));
+    ckt.add_resistor("R", in, out, 1 * kOhm);
+    ckt.add_capacitor("C", out, kGround, 1 * pF);
+    Trace trace;
+    trace.watch_node(ckt, "out");
+    Simulator sim(ckt);
+    // Start the cap discharged explicitly (zero initial state).
+    Solution zero(std::vector<double>(ckt.num_unknowns(), 0.0), ckt.num_nodes());
+    TransientOptions opt;
+    opt.tStop = 1 * ns;
+    opt.dt = dt;
+    sim.transient_from(zero, opt, trace.observer());
+    const double exact = 1.0 - std::exp(-1.0);
+    return std::fabs(trace.final_value("out") - exact);
+  };
+  const double eCoarse = errorAt(20 * ps);
+  const double eFine = errorAt(5 * ps);
+  // First order: 4x smaller step -> ~4x smaller error (allow 2.5x..6x).
+  EXPECT_GT(eCoarse / eFine, 2.5);
+  EXPECT_LT(eCoarse / eFine, 6.0);
+}
+
+TEST(Convergence, SupplyCollapseAndRecovery) {
+  // An inverter chain through a full power cycle must end in a consistent
+  // logic state with all nodes inside the rails at every step.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  Pwl rail;
+  rail.add_point(0.0, kVdd);
+  rail.add_step(1 * ns, 0.0, 0.3 * ns);
+  rail.add_step(3 * ns, kVdd, 0.3 * ns);
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::pwl(rail));
+  ckt.add_vsource("VIN", ckt.node("in"), kGround, Waveform::dc(0.0));
+  NodeId prev = ckt.node("in");
+  for (int i = 0; i < 4; ++i) {
+    const NodeId next = ckt.node("s" + std::to_string(i));
+    add_inverter(ckt, "I" + std::to_string(i), vdd, prev, next);
+    prev = next;
+  }
+  Trace trace;
+  trace.watch_node(ckt, "s3");
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 5 * ns;
+  opt.dt = 5 * ps;
+  sim.transient(opt, trace.observer());
+  // s3 is the 4th inversion of a low input: s0=1, s1=0, s2=1, s3=0.
+  EXPECT_NEAR(trace.final_value("s3"), 0.0, 0.05);
+  EXPECT_GT(trace.min_value("s3"), -0.2);
+  EXPECT_LT(trace.max_value("s3"), kVdd + 0.2);
+}
+
+TEST(Convergence, SimulatorStatsAreTracked) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V", a, kGround, Waveform::dc(1.0));
+  ckt.add_resistor("R", a, kGround, 1 * kOhm);
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 100 * ps;
+  opt.dt = 10 * ps;
+  sim.transient(opt, nullptr);
+  EXPECT_EQ(sim.stats().totalSteps, 10);
+  EXPECT_GT(sim.stats().totalNewtonIterations, 0);
+}
+
+} // namespace
+} // namespace nvff::spice

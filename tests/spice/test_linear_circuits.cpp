@@ -1,0 +1,137 @@
+// DC correctness of the MNA engine on circuits with known closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "util/units.hpp"
+
+namespace nvff::spice {
+namespace {
+using namespace nvff::units;
+
+TEST(LinearDc, VoltageDivider) {
+  Circuit ckt;
+  const NodeId vin = ckt.node("vin");
+  const NodeId mid = ckt.node("mid");
+  ckt.add_vsource("V1", vin, kGround, Waveform::dc(10.0));
+  ckt.add_resistor("R1", vin, mid, 1.0 * kOhm);
+  ckt.add_resistor("R2", mid, kGround, 3.0 * kOhm);
+
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  EXPECT_NEAR(op.v(vin), 10.0, 1e-6);
+  EXPECT_NEAR(op.v(mid), 7.5, 1e-6);
+}
+
+TEST(LinearDc, SourceCurrentSign) {
+  // 5 V across 1 kOhm: source delivers +5 mA.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  auto& src = ckt.add_vsource("V1", a, kGround, Waveform::dc(5.0));
+  ckt.add_resistor("R1", a, kGround, 1.0 * kOhm);
+
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  EXPECT_NEAR(src.delivered_current(op.as_state()), 5.0 * mA, 1e-9);
+}
+
+TEST(LinearDc, CurrentSourceIntoResistor) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  // 1 mA from ground into node a through the source, 2 kOhm to ground.
+  ckt.add_isource("I1", kGround, a, Waveform::dc(1.0 * mA));
+  ckt.add_resistor("R1", a, kGround, 2.0 * kOhm);
+
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  EXPECT_NEAR(op.v(a), 2.0, 1e-6);
+}
+
+TEST(LinearDc, WheatstoneBridge) {
+  // Balanced bridge: zero differential voltage.
+  Circuit ckt;
+  const NodeId top = ckt.node("top");
+  const NodeId left = ckt.node("left");
+  const NodeId right = ckt.node("right");
+  ckt.add_vsource("V1", top, kGround, Waveform::dc(5.0));
+  ckt.add_resistor("R1", top, left, 1.0 * kOhm);
+  ckt.add_resistor("R2", left, kGround, 2.0 * kOhm);
+  ckt.add_resistor("R3", top, right, 2.0 * kOhm);
+  ckt.add_resistor("R4", right, kGround, 4.0 * kOhm);
+  ckt.add_resistor("Rbridge", left, right, 10.0 * kOhm);
+
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  EXPECT_NEAR(op.v(left), op.v(right), 1e-6);
+  EXPECT_NEAR(op.v(left), 5.0 * 2.0 / 3.0, 1e-5);
+}
+
+TEST(LinearDc, TwoSourcesSuperpose) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add_vsource("V1", a, kGround, Waveform::dc(4.0));
+  ckt.add_vsource("V2", b, kGround, Waveform::dc(2.0));
+  ckt.add_resistor("R1", a, b, 1.0 * kOhm);
+
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  EXPECT_NEAR(op.v(a), 4.0, 1e-6);
+  EXPECT_NEAR(op.v(b), 2.0, 1e-6);
+}
+
+TEST(LinearDc, FloatingNodeStabilizedByGmin) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId fl = ckt.node("floating");
+  ckt.add_vsource("V1", a, kGround, Waveform::dc(1.0));
+  ckt.add_capacitor("C1", a, fl, 1.0 * fF);
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  // Must solve without throwing; floating node pulled near the cap divider /
+  // gmin equilibrium, which is a finite value.
+  EXPECT_TRUE(std::isfinite(op.v(fl)));
+}
+
+TEST(LinearDc, GroundAliasesResolve) {
+  Circuit ckt;
+  EXPECT_EQ(ckt.node("0"), kGround);
+  EXPECT_EQ(ckt.node("gnd"), kGround);
+  EXPECT_EQ(ckt.node("GND"), kGround);
+  EXPECT_EQ(ckt.node("vss"), kGround);
+  EXPECT_EQ(ckt.node_name(kGround), "gnd");
+}
+
+TEST(Circuit, NodeIdentityIsStable) {
+  Circuit ckt;
+  const NodeId a1 = ckt.node("a");
+  const NodeId a2 = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(ckt.num_nodes(), 2u);
+  EXPECT_EQ(ckt.node_name(a1), "a");
+}
+
+TEST(Circuit, FindNodeAndDevice) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_resistor("R1", a, kGround, 1.0);
+  EXPECT_EQ(ckt.find_node("a"), a);
+  EXPECT_LT(ckt.find_node("missing"), kGround);
+  EXPECT_NE(ckt.find_device("R1"), nullptr);
+  EXPECT_EQ(ckt.find_device("R2"), nullptr);
+}
+
+TEST(Circuit, RejectsNonPhysicalComponents) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  EXPECT_THROW(ckt.add_resistor("R", a, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_resistor("R", a, kGround, -5.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_capacitor("C", a, kGround, -1.0 * fF), std::invalid_argument);
+}
+
+} // namespace
+} // namespace nvff::spice

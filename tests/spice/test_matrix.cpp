@@ -1,0 +1,89 @@
+#include "spice/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nvff::spice {
+namespace {
+
+TEST(DenseMatrix, SolvesIdentity) {
+  DenseMatrix a(3);
+  for (std::size_t i = 0; i < 3; ++i) a.add(i, i, 1.0);
+  std::vector<double> x;
+  ASSERT_TRUE(a.solve({1.0, 2.0, 3.0}, x));
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(DenseMatrix, SolvesGeneralSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  DenseMatrix a(2);
+  a.add(0, 0, 2.0);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  a.add(1, 1, 3.0);
+  std::vector<double> x;
+  ASSERT_TRUE(a.solve({5.0, 10.0}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseMatrix, PivotingHandlesZeroDiagonal) {
+  // [0 1; 1 0] x = [2; 7] -> x = [7; 2]; requires row pivot.
+  DenseMatrix a(2);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  std::vector<double> x;
+  ASSERT_TRUE(a.solve({2.0, 7.0}, x));
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(DenseMatrix, DetectsSingular) {
+  DenseMatrix a(2);
+  a.add(0, 0, 1.0);
+  a.add(0, 1, 2.0);
+  a.add(1, 0, 2.0);
+  a.add(1, 1, 4.0);
+  std::vector<double> x;
+  EXPECT_FALSE(a.solve({1.0, 2.0}, x));
+}
+
+TEST(DenseMatrix, SolveLargeWellConditioned) {
+  // Diagonally dominant random-ish system; verify A*x = b.
+  const std::size_t n = 40;
+  DenseMatrix a(n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a.add(i, j, (i == j) ? 50.0 : std::sin(static_cast<double>(i * 7 + j * 3)));
+    }
+    b[i] = static_cast<double>(i) - 10.0;
+  }
+  std::vector<double> x;
+  ASSERT_TRUE(a.solve(b, x));
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += a.at(i, j) * x[j];
+    ASSERT_NEAR(acc, b[i], 1e-9);
+  }
+}
+
+TEST(DenseMatrix, ClearKeepsSize) {
+  DenseMatrix a(4);
+  a.add(2, 2, 5.0);
+  a.clear();
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 0.0);
+}
+
+TEST(DenseMatrix, RejectsWrongRhsSize) {
+  DenseMatrix a(3);
+  std::vector<double> x;
+  EXPECT_FALSE(a.solve({1.0}, x));
+}
+
+} // namespace
+} // namespace nvff::spice

@@ -1,0 +1,168 @@
+// MOSFET model sanity: regions of operation, symmetry, corners, inverter VTC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "util/units.hpp"
+
+namespace nvff::spice {
+namespace {
+using namespace nvff::units;
+
+constexpr double kVdd = 1.1;
+
+/// Drain current of a single NMOS at the given gate/drain voltages (source
+/// and bulk grounded), measured via a DC operating point with ideal sources.
+double nmos_id(double vg, double vd, CmosCorner corner = CmosCorner::Typical) {
+  Circuit ckt;
+  const NodeId g = ckt.node("g");
+  const NodeId d = ckt.node("d");
+  ckt.add_vsource("VG", g, kGround, Waveform::dc(vg));
+  auto& vds = ckt.add_vsource("VD", d, kGround, Waveform::dc(vd));
+  ckt.add_nmos("M1", d, g, kGround, kGround, MosGeometry{},
+               MosParams::nmos_40nm_lp().at_corner(corner));
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  // All drain current comes from VD.
+  return vds.delivered_current(op.as_state());
+}
+
+double pmos_id(double vg, double vd, CmosCorner corner = CmosCorner::Typical) {
+  Circuit ckt;
+  const NodeId g = ckt.node("g");
+  const NodeId d = ckt.node("d");
+  const NodeId vddN = ckt.node("vdd");
+  ckt.add_vsource("VDD", vddN, kGround, Waveform::dc(kVdd));
+  ckt.add_vsource("VG", g, kGround, Waveform::dc(vg));
+  auto& vds = ckt.add_vsource("VD", d, kGround, Waveform::dc(vd));
+  ckt.add_pmos("M1", d, g, vddN, vddN, MosGeometry{},
+               MosParams::pmos_40nm_lp().at_corner(corner));
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  // Current INTO the VD source = current sourced by the PMOS.
+  return -vds.delivered_current(op.as_state());
+}
+
+TEST(Mosfet, NmosCutoffLeakageIsPicoampere) {
+  const double ioff = nmos_id(0.0, kVdd);
+  EXPECT_GT(ioff, 0.1 * pA);
+  EXPECT_LT(ioff, 1.0 * nA);
+}
+
+TEST(Mosfet, NmosOnCurrentIsTensOfMicroamps) {
+  const double ion = nmos_id(kVdd, kVdd);
+  EXPECT_GT(ion, 20 * uA);
+  EXPECT_LT(ion, 300 * uA);
+}
+
+TEST(Mosfet, OnOffRatioExceedsFiveDecades) {
+  const double ratio = nmos_id(kVdd, kVdd) / nmos_id(0.0, kVdd);
+  EXPECT_GT(ratio, 1e5);
+}
+
+TEST(Mosfet, SubthresholdSlopeNearIdeal) {
+  // Current should change by about a decade per n*Vt*ln(10) ~ 84 mV.
+  const double i1 = nmos_id(0.10, kVdd);
+  const double i2 = nmos_id(0.20, kVdd);
+  const double decadesPer100mV = std::log10(i2 / i1);
+  EXPECT_GT(decadesPer100mV, 0.8);
+  EXPECT_LT(decadesPer100mV, 1.6);
+}
+
+TEST(Mosfet, LinearVsSaturationRegions) {
+  const double iLin = nmos_id(kVdd, 0.05);
+  const double iSat = nmos_id(kVdd, kVdd);
+  EXPECT_LT(iLin, iSat);
+  // Saturation: doubling Vd beyond saturation barely changes current.
+  const double iSat2 = nmos_id(kVdd, 0.8);
+  EXPECT_NEAR(iSat / iSat2, 1.0, 0.15);
+}
+
+TEST(Mosfet, DrainSourceSymmetry) {
+  // Swap drain/source roles: current magnitude must match (EKV symmetry).
+  Circuit ckt;
+  const NodeId g = ckt.node("g");
+  const NodeId d = ckt.node("d");
+  ckt.add_vsource("VG", g, kGround, Waveform::dc(0.9));
+  auto& vd = ckt.add_vsource("VD", d, kGround, Waveform::dc(-0.5));
+  ckt.add_nmos("M1", d, g, kGround, kGround, MosGeometry{}, MosParams::nmos_40nm_lp());
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  const double reverse = vd.delivered_current(op.as_state());
+  // Conduction with drain below source: current flows INTO VD.
+  EXPECT_LT(reverse, 0.0);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  // PMOS fully on (gate at 0) sources current; fully off (gate at VDD) leaks.
+  const double ion = pmos_id(0.0, 0.0);
+  const double ioff = pmos_id(kVdd, 0.0);
+  EXPECT_GT(ion, 10 * uA);
+  EXPECT_LT(ioff, 1.0 * nA);
+  EXPECT_GT(ion / ioff, 1e4);
+}
+
+TEST(Mosfet, CornerOrderingOnCurrent) {
+  const double ss = nmos_id(kVdd, kVdd, CmosCorner::SlowSlow);
+  const double tt = nmos_id(kVdd, kVdd, CmosCorner::Typical);
+  const double ff = nmos_id(kVdd, kVdd, CmosCorner::FastFast);
+  EXPECT_LT(ss, tt);
+  EXPECT_LT(tt, ff);
+}
+
+TEST(Mosfet, CornerOrderingOnLeakage) {
+  const double ss = nmos_id(0.0, kVdd, CmosCorner::SlowSlow);
+  const double tt = nmos_id(0.0, kVdd, CmosCorner::Typical);
+  const double ff = nmos_id(0.0, kVdd, CmosCorner::FastFast);
+  EXPECT_LT(ss, tt);
+  EXPECT_LT(tt, ff);
+  // The corner spread should be large (exponential in delta-Vth), matching
+  // the 3-12x leakage spread in Table II.
+  EXPECT_GT(ff / ss, 4.0);
+}
+
+TEST(Inverter, VtcSwitchesNearMidrail) {
+  // CMOS inverter driven by a swept input; check VTC endpoints and midpoint.
+  auto vtc = [](double vin) {
+    Circuit ckt;
+    const NodeId vddN = ckt.node("vdd");
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add_vsource("VDD", vddN, kGround, Waveform::dc(kVdd));
+    ckt.add_vsource("VIN", in, kGround, Waveform::dc(vin));
+    ckt.add_pmos("MP", out, in, vddN, vddN, MosGeometry{240e-9, 40e-9},
+                 MosParams::pmos_40nm_lp());
+    ckt.add_nmos("MN", out, in, kGround, kGround, MosGeometry{120e-9, 40e-9},
+                 MosParams::nmos_40nm_lp());
+    Simulator sim(ckt);
+    return sim.dc_operating_point().v(out);
+  };
+  EXPECT_GT(vtc(0.0), 0.95 * kVdd);
+  EXPECT_LT(vtc(kVdd), 0.05 * kVdd);
+  // Transition region: output crosses mid-rail somewhere between 0.3 and 0.8.
+  EXPECT_GT(vtc(0.3), kVdd / 2);
+  EXPECT_LT(vtc(0.8), kVdd / 2);
+}
+
+TEST(Inverter, StaticLeakagePowerIsNanowattClass) {
+  Circuit ckt;
+  const NodeId vddN = ckt.node("vdd");
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  auto& vdd = ckt.add_vsource("VDD", vddN, kGround, Waveform::dc(kVdd));
+  ckt.add_vsource("VIN", in, kGround, Waveform::dc(0.0));
+  ckt.add_pmos("MP", out, in, vddN, vddN, MosGeometry{240e-9, 40e-9},
+               MosParams::pmos_40nm_lp());
+  ckt.add_nmos("MN", out, in, kGround, kGround, MosGeometry{120e-9, 40e-9},
+               MosParams::nmos_40nm_lp());
+  Simulator sim(ckt);
+  const Solution op = sim.dc_operating_point();
+  const double leakW = vdd.delivered_current(op.as_state()) * kVdd;
+  EXPECT_GT(leakW, 0.01 * pW);
+  EXPECT_LT(leakW, 10 * nW);
+}
+
+} // namespace
+} // namespace nvff::spice

@@ -1,0 +1,138 @@
+// MOSFET model property tests: monotonicity, geometric scaling, smoothness,
+// temperature behaviour — parameterized across corners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "util/units.hpp"
+
+namespace nvff::spice {
+namespace {
+using namespace nvff::units;
+
+constexpr double kVdd = 1.1;
+
+double nmos_id(double vg, double vd, MosGeometry geom, MosParams params) {
+  Circuit ckt;
+  const NodeId g = ckt.node("g");
+  const NodeId d = ckt.node("d");
+  ckt.add_vsource("VG", g, kGround, Waveform::dc(vg));
+  auto& vds = ckt.add_vsource("VD", d, kGround, Waveform::dc(vd));
+  ckt.add_nmos("M1", d, g, kGround, kGround, geom, params);
+  Simulator sim(ckt);
+  return vds.delivered_current(sim.dc_operating_point().as_state());
+}
+
+class MosfetCorners : public ::testing::TestWithParam<CmosCorner> {
+protected:
+  MosParams params() const {
+    return MosParams::nmos_40nm_lp().at_corner(GetParam());
+  }
+};
+
+TEST_P(MosfetCorners, CurrentMonotoneInGateVoltage) {
+  double last = -1.0;
+  for (double vg = 0.0; vg <= kVdd + 1e-9; vg += 0.05) {
+    const double id = nmos_id(vg, kVdd, MosGeometry{}, params());
+    EXPECT_GT(id, last) << "vg=" << vg;
+    last = id;
+  }
+}
+
+TEST_P(MosfetCorners, CurrentMonotoneInDrainVoltage) {
+  double last = -1e-18;
+  for (double vd = 0.05; vd <= kVdd + 1e-9; vd += 0.05) {
+    const double id = nmos_id(kVdd, vd, MosGeometry{}, params());
+    EXPECT_GE(id, last) << "vd=" << vd;
+    last = id;
+  }
+}
+
+TEST_P(MosfetCorners, CurrentScalesWithWidth) {
+  const double i1 = nmos_id(kVdd, kVdd, MosGeometry{120e-9, 40e-9}, params());
+  const double i2 = nmos_id(kVdd, kVdd, MosGeometry{240e-9, 40e-9}, params());
+  EXPECT_NEAR(i2 / i1, 2.0, 0.01);
+}
+
+TEST_P(MosfetCorners, CurrentScalesInverselyWithLength) {
+  const double iShort = nmos_id(kVdd, 0.05, MosGeometry{120e-9, 40e-9}, params());
+  const double iLong = nmos_id(kVdd, 0.05, MosGeometry{120e-9, 80e-9}, params());
+  // Linear region: Id ~ W/L (CLM effects are negligible at Vds = 50 mV).
+  EXPECT_NEAR(iShort / iLong, 2.0, 0.1);
+}
+
+TEST_P(MosfetCorners, TransferCurveIsSmooth) {
+  // No kinks across the subthreshold/strong-inversion boundary: the relative
+  // second difference of log(Id) stays bounded.
+  std::vector<double> logId;
+  for (double vg = 0.05; vg <= kVdd; vg += 0.02) {
+    logId.push_back(std::log(nmos_id(vg, kVdd, MosGeometry{}, params())));
+  }
+  for (std::size_t i = 2; i < logId.size(); ++i) {
+    const double d2 = logId[i] - 2 * logId[i - 1] + logId[i - 2];
+    EXPECT_LT(std::fabs(d2), 0.2) << "kink near sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorners, MosfetCorners,
+                         ::testing::Values(CmosCorner::SlowSlow, CmosCorner::Typical,
+                                           CmosCorner::FastFast),
+                         [](const ::testing::TestParamInfo<CmosCorner>& info) {
+                           switch (info.param) {
+                             case CmosCorner::SlowSlow: return "SS";
+                             case CmosCorner::Typical: return "TT";
+                             case CmosCorner::FastFast: return "FF";
+                           }
+                           return "?";
+                         });
+
+TEST(MosfetTemperature, LeakageGrowsExponentially) {
+  MosParams cold = MosParams::nmos_40nm_lp();
+  cold.tempK = 273.15;
+  MosParams hot = MosParams::nmos_40nm_lp();
+  hot.tempK = 273.15 + 85.0;
+  const double iCold = nmos_id(0.0, kVdd, MosGeometry{}, cold);
+  const double iHot = nmos_id(0.0, kVdd, MosGeometry{}, hot);
+  EXPECT_GT(iHot / iCold, 5.0);
+}
+
+TEST(MosfetDuality, PmosMirrorsNmosShape) {
+  // A PMOS biased at mirrored voltages conducts like a (weaker) NMOS.
+  Circuit ckt;
+  const NodeId vddN = ckt.node("vdd");
+  const NodeId g = ckt.node("g");
+  const NodeId d = ckt.node("d");
+  ckt.add_vsource("VDD", vddN, kGround, Waveform::dc(kVdd));
+  ckt.add_vsource("VG", g, kGround, Waveform::dc(0.0)); // full PMOS drive
+  auto& vd = ckt.add_vsource("VD", d, kGround, Waveform::dc(0.0));
+  ckt.add_pmos("MP", d, g, vddN, vddN, MosGeometry{}, MosParams::pmos_40nm_lp());
+  Simulator sim(ckt);
+  const double ip = -vd.delivered_current(sim.dc_operating_point().as_state());
+  const double in = nmos_id(kVdd, kVdd, MosGeometry{}, MosParams::nmos_40nm_lp());
+  const double kpRatio =
+      MosParams::pmos_40nm_lp().kp / MosParams::nmos_40nm_lp().kp;
+  // Same shape scaled by the mobility deficit (tolerance for Vth/lambda
+  // differences between the N and P parameter sets).
+  EXPECT_NEAR(ip / in, kpRatio, 0.5 * kpRatio);
+}
+
+TEST(MosfetCaps, GeometryDrivesParasitics) {
+  Circuit ckt;
+  const auto& fet = ckt.add_nmos("M", ckt.node("d"), ckt.node("g"), kGround, kGround,
+                                 MosGeometry{240e-9, 40e-9},
+                                 MosParams::nmos_40nm_lp());
+  // Doubling the width doubles every parasitic.
+  Circuit ckt2;
+  const auto& fet2 = ckt2.add_nmos("M", ckt2.node("d"), ckt2.node("g"), kGround,
+                                   kGround, MosGeometry{480e-9, 40e-9},
+                                   MosParams::nmos_40nm_lp());
+  EXPECT_NEAR(fet2.cgs() / fet.cgs(), 2.0, 1e-9);
+  EXPECT_NEAR(fet2.cdb() / fet.cdb(), 2.0, 1e-9);
+  EXPECT_GT(fet.cgs(), 0.0);
+  EXPECT_DOUBLE_EQ(fet.cgs(), fet.cgd());
+}
+
+} // namespace
+} // namespace nvff::spice

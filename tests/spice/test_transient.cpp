@@ -1,0 +1,174 @@
+// Transient engine: RC analytic comparison, energy accounting, inverter
+// switching, trace measurements.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/trace.hpp"
+#include "util/units.hpp"
+
+namespace nvff::spice {
+namespace {
+using namespace nvff::units;
+
+constexpr double kVdd = 1.1;
+
+TEST(Transient, RcChargingMatchesAnalytic) {
+  // 1 kOhm / 1 pF driven by a step: tau = 1 ns.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  Pwl step;
+  step.add_point(0.0, 0.0);
+  step.add_point(1 * ps, 1.0);
+  ckt.add_vsource("V1", in, kGround, Waveform::pwl(step));
+  ckt.add_resistor("R1", in, out, 1.0 * kOhm);
+  ckt.add_capacitor("C1", out, kGround, 1.0 * pF);
+
+  Trace trace;
+  trace.watch_node(ckt, "out");
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 5 * ns;
+  opt.dt = 5 * ps;
+  sim.transient(opt, trace.observer());
+
+  // v(t) = 1 - exp(-t/tau); check at t = tau, 2tau, 3tau (offset by the
+  // 1 ps ramp, negligible vs 1 ns tau).
+  const double tau = 1 * ns;
+  EXPECT_NEAR(trace.value_at("out", tau), 1.0 - std::exp(-1.0), 0.01);
+  EXPECT_NEAR(trace.value_at("out", 2 * tau), 1.0 - std::exp(-2.0), 0.01);
+  EXPECT_NEAR(trace.value_at("out", 3 * tau), 1.0 - std::exp(-3.0), 0.01);
+}
+
+TEST(Transient, SupplyEnergyOfCapCharge) {
+  // Charging C through R from a step supply delivers E = C * V^2 total
+  // (half stored, half dissipated), independent of R.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  Pwl step;
+  step.add_point(0.0, 0.0);
+  step.add_point(1 * ps, 1.0);
+  ckt.add_vsource("V1", in, kGround, Waveform::pwl(step));
+  ckt.add_resistor("R1", in, out, 10.0 * kOhm);
+  ckt.add_capacitor("C1", out, kGround, 10.0 * fF);
+
+  SupplyEnergyMeter meter(ckt, "V1");
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 2 * ns; // 20 tau
+  opt.dt = 1 * ps;
+  sim.transient(opt, [&](double t, const Solution& s) { meter.observe(t, s); });
+
+  const double expected = 10 * fF * 1.0 * 1.0; // C V^2
+  EXPECT_NEAR(meter.energy(), expected, 0.05 * expected);
+}
+
+TEST(Transient, EnergyMeterMarkWindows) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V1", a, kGround, Waveform::dc(1.0));
+  ckt.add_resistor("R1", a, kGround, 1.0 * mega);
+  SupplyEnergyMeter meter(ckt, "V1");
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 1 * us;
+  opt.dt = 10 * ns;
+  double halfEnergy = 0.0;
+  bool marked = false;
+  sim.transient(opt, [&](double t, const Solution& s) {
+    meter.observe(t, s);
+    if (!marked && t >= 0.5 * us) {
+      halfEnergy = meter.energy();
+      meter.mark();
+      marked = true;
+    }
+  });
+  // P = V^2/R = 1 uW; over 1 us -> 1 pJ total, 0.5 pJ per half.
+  EXPECT_NEAR(meter.energy(), 1.0 * pJ, 0.02 * pJ);
+  EXPECT_NEAR(halfEnergy, 0.5 * pJ, 0.02 * pJ);
+  EXPECT_NEAR(meter.energy_since_mark(), 0.5 * pJ, 0.02 * pJ);
+}
+
+TEST(Transient, InverterPropagationDelay) {
+  Circuit ckt;
+  const NodeId vddN = ckt.node("vdd");
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add_vsource("VDD", vddN, kGround, Waveform::dc(kVdd));
+  ckt.add_vsource("VIN", in, kGround,
+                  Waveform::pulse(0.0, kVdd, 100 * ps, 20 * ps, 20 * ps, 2 * ns, 0.0));
+  ckt.add_pmos("MP", out, in, vddN, vddN, MosGeometry{240e-9, 40e-9},
+               MosParams::pmos_40nm_lp());
+  ckt.add_nmos("MN", out, in, kGround, kGround, MosGeometry{120e-9, 40e-9},
+               MosParams::nmos_40nm_lp());
+  ckt.add_capacitor("CL", out, kGround, 1.0 * fF);
+
+  Trace trace;
+  trace.watch_node(ckt, "in");
+  trace.watch_node(ckt, "out");
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 1 * ns;
+  opt.dt = 1 * ps;
+  sim.transient(opt, trace.observer());
+
+  const auto tIn = trace.crossing_time("in", kVdd / 2, Edge::Rising);
+  const auto tOut = trace.crossing_time("out", kVdd / 2, Edge::Falling);
+  ASSERT_TRUE(tIn.has_value());
+  ASSERT_TRUE(tOut.has_value());
+  const double delay = *tOut - *tIn;
+  // 40 nm-class inverter into 1 fF: a few ps to a few tens of ps.
+  EXPECT_GT(delay, 0.1 * ps);
+  EXPECT_LT(delay, 100 * ps);
+}
+
+TEST(Transient, TraceMeasurements) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V1", a, kGround,
+                  Waveform::pulse(0.0, 1.0, 1 * ns, 10 * ps, 10 * ps, 1 * ns, 0.0));
+  ckt.add_resistor("R1", a, kGround, 1.0 * kOhm);
+  Trace trace;
+  trace.watch_node(ckt, "a");
+  trace.watch_source_current(ckt, "V1");
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 4 * ns;
+  opt.dt = 10 * ps;
+  sim.transient(opt, trace.observer());
+
+  EXPECT_NEAR(trace.max_value("a"), 1.0, 1e-6);
+  EXPECT_NEAR(trace.min_value("a"), 0.0, 1e-6);
+  EXPECT_NEAR(trace.final_value("a"), 0.0, 1e-6);
+  // Pulse of 1 V across 1 kOhm for ~1 ns -> charge ~ 1 nA*s * 1e-3 = 1 pC.
+  const double charge = trace.integral("V1.i", 0.0, 4 * ns);
+  EXPECT_NEAR(charge, 1.0 * mA * ns + 0.01 * pico, 0.05 * pico);
+  EXPECT_EQ(trace.count_transitions("a", 1.0), 2); // up then down
+  // CSV includes both columns.
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("time,a,V1.i"), std::string::npos);
+}
+
+TEST(Transient, RejectsBadOptions) {
+  Circuit ckt;
+  ckt.add_resistor("R1", ckt.node("a"), kGround, 1.0);
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 0.0;
+  EXPECT_THROW(sim.transient(opt, nullptr), std::invalid_argument);
+}
+
+TEST(Trace, UnknownSignalsThrow) {
+  Circuit ckt;
+  ckt.node("a");
+  Trace trace;
+  EXPECT_THROW(trace.watch_node(ckt, "nope"), std::invalid_argument);
+  EXPECT_THROW(trace.watch_source_current(ckt, "nope"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace nvff::spice

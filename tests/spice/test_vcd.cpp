@@ -1,0 +1,102 @@
+#include "spice/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "spice/analysis.hpp"
+#include "util/units.hpp"
+
+namespace nvff::spice {
+namespace {
+using namespace nvff::units;
+
+Trace make_pulse_trace() {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V1", a, kGround,
+                  Waveform::pulse(0.0, 1.1, 1 * ns, 50 * ps, 50 * ps, 1 * ns, 0.0));
+  ckt.add_resistor("R1", a, kGround, 1 * kOhm);
+  Trace trace;
+  trace.watch_node(ckt, "a");
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 3 * ns;
+  opt.dt = 20 * ps;
+  sim.transient(opt, trace.observer());
+  return trace;
+}
+
+TEST(Vcd, HeaderAndDeclarations) {
+  const Trace trace = make_pulse_trace();
+  const std::string vcd = to_vcd(trace);
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var real 64"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(vcd.find("a_v $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, DigitalViewTogglesOncePerEdge) {
+  const Trace trace = make_pulse_trace();
+  const std::string vcd = to_vcd(trace);
+  // The digital 'a' bit should change exactly: initial 0, rise to 1, fall
+  // to 0 -> one "1<id>" and two "0<id>" records (including the initial).
+  // Find the bit id from the declaration line.
+  const auto pos = vcd.find("$var wire 1 ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string id = vcd.substr(pos + 12, vcd.find(' ', pos + 12) - pos - 12);
+  int ones = 0;
+  int zeros = 0;
+  std::istringstream lines(vcd);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line == "1" + id) ++ones;
+    if (line == "0" + id) ++zeros;
+  }
+  EXPECT_EQ(ones, 1);
+  EXPECT_EQ(zeros, 2);
+}
+
+TEST(Vcd, TimeTicksAreMonotonic) {
+  const Trace trace = make_pulse_trace();
+  const std::string vcd = to_vcd(trace);
+  long long last = -1;
+  std::istringstream lines(vcd);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '#') {
+      const long long tick = std::stoll(line.substr(1));
+      EXPECT_GT(tick, last);
+      last = tick;
+    }
+  }
+  // The last CHANGE is when the pulse finishes falling (~2.1 ns); quiet
+  // samples after it correctly emit no timestamp.
+  EXPECT_GE(last, 2000);
+}
+
+TEST(Vcd, RealOnlyAndDigitalOnlyModes) {
+  const Trace trace = make_pulse_trace();
+  VcdOptions realOnly;
+  realOnly.emitDigital = false;
+  EXPECT_EQ(to_vcd(trace, realOnly).find("$var wire"), std::string::npos);
+  VcdOptions bitsOnly;
+  bitsOnly.emitReal = false;
+  EXPECT_EQ(to_vcd(trace, bitsOnly).find("$var real"), std::string::npos);
+}
+
+TEST(Vcd, FileExport) {
+  const Trace trace = make_pulse_trace();
+  const std::string path = testing::TempDir() + "/nvff_test.vcd";
+  save_vcd_file(trace, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("$date"), std::string::npos);
+}
+
+} // namespace
+} // namespace nvff::spice

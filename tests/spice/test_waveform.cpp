@@ -1,0 +1,67 @@
+#include "spice/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace nvff::spice {
+namespace {
+using namespace nvff::units;
+
+TEST(Waveform, DcIsConstant) {
+  const auto w = Waveform::dc(1.1);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.1);
+  EXPECT_DOUBLE_EQ(w.value(1e9), 1.1);
+  EXPECT_DOUBLE_EQ(w.active_until(), 0.0);
+}
+
+TEST(Waveform, PulseShape) {
+  // PULSE(0 1 delay=1n rise=0.1n width=2n fall=0.1n period=10n)
+  const auto w = Waveform::pulse(0.0, 1.0, 1 * ns, 0.1 * ns, 0.1 * ns, 2 * ns, 10 * ns);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.9 * ns), 0.0);
+  EXPECT_NEAR(w.value(1.05 * ns), 0.5, 1e-9); // mid rise
+  EXPECT_DOUBLE_EQ(w.value(2.0 * ns), 1.0);   // plateau
+  EXPECT_NEAR(w.value(3.15 * ns), 0.5, 1e-9); // mid fall
+  EXPECT_DOUBLE_EQ(w.value(5.0 * ns), 0.0);
+  // Periodicity.
+  EXPECT_DOUBLE_EQ(w.value(12.0 * ns), 1.0);
+}
+
+TEST(Waveform, PwlInterpolatesAndHolds) {
+  Pwl p;
+  p.add_point(0.0, 0.0);
+  p.add_point(1.0, 2.0);
+  p.add_point(3.0, 2.0);
+  const auto w = Waveform::pwl(p);
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.value(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.active_until(), 3.0);
+}
+
+TEST(Waveform, PwlRejectsNonMonotonicTime) {
+  Pwl p;
+  p.add_point(1.0, 0.0);
+  EXPECT_THROW(p.add_point(0.5, 1.0), std::invalid_argument);
+}
+
+TEST(Waveform, PwlAddStepBuildsDigitalSequence) {
+  Pwl p;
+  p.add_step(0.0, 0.0, 10 * ps);  // initial level 0
+  p.add_step(1 * ns, 1.1, 10 * ps);
+  p.add_step(2 * ns, 0.0, 10 * ps);
+  const auto w = Waveform::pwl(p);
+  EXPECT_DOUBLE_EQ(w.value(0.5 * ns), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(1.5 * ns), 1.1);
+  EXPECT_DOUBLE_EQ(w.value(3.0 * ns), 0.0);
+}
+
+TEST(Waveform, PulseZeroRiseIsStep) {
+  const auto w = Waveform::pulse(0.0, 1.0, 0.0, 0.0, 0.0, 1 * ns, 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5 * ns), 1.0);
+}
+
+} // namespace
+} // namespace nvff::spice

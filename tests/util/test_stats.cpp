@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvff {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    a.add(x);
+    whole.add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = 0.37 * i - 3.0;
+    b.add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 17.5);
+}
+
+TEST(SampleSet, StatsMatchRunningStats) {
+  SampleSet set;
+  RunningStats run;
+  for (int i = 0; i < 200; ++i) {
+    const double x = (i * 37) % 101;
+    set.add(x);
+    run.add(x);
+  }
+  EXPECT_NEAR(set.mean(), run.mean(), 1e-9);
+  EXPECT_NEAR(set.stddev(), run.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(set.min(), run.min());
+  EXPECT_DOUBLE_EQ(set.max(), run.max());
+}
+
+TEST(SampleSet, HistogramCountsAllSamples) {
+  SampleSet s;
+  for (int i = 0; i < 64; ++i) s.add(static_cast<double>(i));
+  const std::string h = s.ascii_histogram(8, 20);
+  // Eight bins, each with count 8.
+  int lines = 0;
+  for (char c : h) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 8);
+}
+
+TEST(Improvement, MatchesPaperConvention) {
+  // Table III s344: area 42.255 -> 32.565 = 22.93 % improvement.
+  EXPECT_NEAR(improvement_percent(42.255, 32.565), 22.93, 0.01);
+  EXPECT_DOUBLE_EQ(improvement_percent(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(0.0, 5.0), 0.0); // guarded
+  EXPECT_LT(improvement_percent(10.0, 12.0), 0.0);       // regressions go negative
+}
+
+} // namespace
+} // namespace nvff

@@ -1,0 +1,54 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvff {
+namespace {
+
+TEST(Strings, TrimRemovesEdges) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitDropsEmptyTokens) {
+  const auto parts = split("  a  b\tc ", " \t");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepEmptyPreservesFields) {
+  const auto parts = split_keep_empty("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("INPUT(x)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("DfF_Q1"), "dff_q1"); }
+
+TEST(Strings, FormatBehavesLikePrintf) {
+  EXPECT_EQ(format("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(Strings, EngineeringNotation) {
+  EXPECT_EQ(eng(4.587e-15, "J"), "4.587 fJ");
+  EXPECT_EQ(eng(360e-12, "s"), "360.000 ps");
+  EXPECT_EQ(eng(1.1, "V", 1), "1.1 V");
+  EXPECT_EQ(eng(1528e-12, "W", 0), "2 nW"); // 1528 pW rounds to 2 nW at P=0
+  EXPECT_EQ(eng(0.0, "J"), "0 J");
+  EXPECT_EQ(eng(11e3, "Ohm", 0), "11 kOhm");
+}
+
+} // namespace
+} // namespace nvff

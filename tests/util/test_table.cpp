@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvff {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name   | value"), std::string::npos);
+  EXPECT_NE(out.find("longer | 22"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, SeparatorAppearsBetweenSections) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header separator + section separator = two dash lines.
+  int dashLines = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("\n-", pos)) != std::string::npos) {
+    ++dashLines;
+    ++pos;
+  }
+  EXPECT_EQ(dashLines, 2);
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"a", "b"});
+  t.add_row({"x,y", "quote\"inside"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TextTable, CsvRowCountMatches) {
+  TextTable t({"h"});
+  t.add_row({"r1"});
+  t.add_row({"r2"});
+  const std::string csv = t.to_csv();
+  int lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3); // header + 2 rows
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+} // namespace
+} // namespace nvff
