@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mismatch.dir/ablation_mismatch.cpp.o"
+  "CMakeFiles/bench_ablation_mismatch.dir/ablation_mismatch.cpp.o.d"
+  "bench_ablation_mismatch"
+  "bench_ablation_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timing.dir/ablation_timing.cpp.o"
+  "CMakeFiles/bench_ablation_timing.dir/ablation_timing.cpp.o.d"
+  "bench_ablation_timing"
+  "bench_ablation_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

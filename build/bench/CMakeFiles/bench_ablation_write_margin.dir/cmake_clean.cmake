@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_write_margin.dir/ablation_write_margin.cpp.o"
+  "CMakeFiles/bench_ablation_write_margin.dir/ablation_write_margin.cpp.o.d"
+  "bench_ablation_write_margin"
+  "bench_ablation_write_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_write_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

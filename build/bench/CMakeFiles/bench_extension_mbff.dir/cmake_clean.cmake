@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_mbff.dir/extension_mbff.cpp.o"
+  "CMakeFiles/bench_extension_mbff.dir/extension_mbff.cpp.o.d"
+  "bench_extension_mbff"
+  "bench_extension_mbff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_mbff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

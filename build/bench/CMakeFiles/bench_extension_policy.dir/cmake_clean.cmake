@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_policy.dir/extension_policy.cpp.o"
+  "CMakeFiles/bench_extension_policy.dir/extension_policy.cpp.o.d"
+  "bench_extension_policy"
+  "bench_extension_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

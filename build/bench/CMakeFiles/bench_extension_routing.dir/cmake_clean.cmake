@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_routing.dir/extension_routing.cpp.o"
+  "CMakeFiles/bench_extension_routing.dir/extension_routing.cpp.o.d"
+  "bench_extension_routing"
+  "bench_extension_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_scaling.dir/extension_scaling.cpp.o"
+  "CMakeFiles/bench_extension_scaling.dir/extension_scaling.cpp.o.d"
+  "bench_extension_scaling"
+  "bench_extension_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mtj.dir/fig1_mtj.cpp.o"
+  "CMakeFiles/bench_fig1_mtj.dir/fig1_mtj.cpp.o.d"
+  "bench_fig1_mtj"
+  "bench_fig1_mtj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mtj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_waveforms.dir/fig6_waveforms.cpp.o"
+  "CMakeFiles/bench_fig6_waveforms.dir/fig6_waveforms.cpp.o.d"
+  "bench_fig6_waveforms"
+  "bench_fig6_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

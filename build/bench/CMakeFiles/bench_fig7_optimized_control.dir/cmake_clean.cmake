@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_optimized_control.dir/fig7_optimized_control.cpp.o"
+  "CMakeFiles/bench_fig7_optimized_control.dir/fig7_optimized_control.cpp.o.d"
+  "bench_fig7_optimized_control"
+  "bench_fig7_optimized_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_optimized_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_layout.dir/fig8_layout.cpp.o"
+  "CMakeFiles/bench_fig8_layout.dir/fig8_layout.cpp.o.d"
+  "bench_fig8_layout"
+  "bench_fig8_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_floorplan.dir/fig9_floorplan.cpp.o"
+  "CMakeFiles/bench_fig9_floorplan.dir/fig9_floorplan.cpp.o.d"
+  "bench_fig9_floorplan"
+  "bench_fig9_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_standby.dir/motivation_standby.cpp.o"
+  "CMakeFiles/bench_motivation_standby.dir/motivation_standby.cpp.o.d"
+  "bench_motivation_standby"
+  "bench_motivation_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

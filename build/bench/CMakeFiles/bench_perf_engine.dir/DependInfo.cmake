@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_engine.cpp" "bench/CMakeFiles/bench_perf_engine.dir/perf_engine.cpp.o" "gcc" "bench/CMakeFiles/bench_perf_engine.dir/perf_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nvff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physdes/CMakeFiles/nvff_physdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/nvff_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtj/CMakeFiles/nvff_mtj.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nvff_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/nvff_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_circuits/CMakeFiles/nvff_bench_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nvff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

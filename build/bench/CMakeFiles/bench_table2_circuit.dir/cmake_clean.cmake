@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_circuit.dir/table2_circuit.cpp.o"
+  "CMakeFiles/bench_table2_circuit.dir/table2_circuit.cpp.o.d"
+  "bench_table2_circuit"
+  "bench_table2_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_system.dir/table3_system.cpp.o"
+  "CMakeFiles/bench_table3_system.dir/table3_system.cpp.o.d"
+  "bench_table3_system"
+  "bench_table3_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multibit_sharing.dir/multibit_sharing.cpp.o"
+  "CMakeFiles/multibit_sharing.dir/multibit_sharing.cpp.o.d"
+  "multibit_sharing"
+  "multibit_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multibit_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

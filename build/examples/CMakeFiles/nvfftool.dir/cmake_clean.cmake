@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvfftool.dir/nvfftool.cpp.o"
+  "CMakeFiles/nvfftool.dir/nvfftool.cpp.o.d"
+  "nvfftool"
+  "nvfftool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvfftool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_gated_soc.dir/power_gated_soc.cpp.o"
+  "CMakeFiles/power_gated_soc.dir/power_gated_soc.cpp.o.d"
+  "power_gated_soc"
+  "power_gated_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_gated_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

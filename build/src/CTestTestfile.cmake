@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("spice")
+subdirs("mtj")
+subdirs("cell")
+subdirs("sim")
+subdirs("bench_circuits")
+subdirs("physdes")
+subdirs("pairing")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_circuits/bench_io.cpp" "src/bench_circuits/CMakeFiles/nvff_bench_circuits.dir/bench_io.cpp.o" "gcc" "src/bench_circuits/CMakeFiles/nvff_bench_circuits.dir/bench_io.cpp.o.d"
+  "/root/repo/src/bench_circuits/generator.cpp" "src/bench_circuits/CMakeFiles/nvff_bench_circuits.dir/generator.cpp.o" "gcc" "src/bench_circuits/CMakeFiles/nvff_bench_circuits.dir/generator.cpp.o.d"
+  "/root/repo/src/bench_circuits/netlist.cpp" "src/bench_circuits/CMakeFiles/nvff_bench_circuits.dir/netlist.cpp.o" "gcc" "src/bench_circuits/CMakeFiles/nvff_bench_circuits.dir/netlist.cpp.o.d"
+  "/root/repo/src/bench_circuits/verilog_io.cpp" "src/bench_circuits/CMakeFiles/nvff_bench_circuits.dir/verilog_io.cpp.o" "gcc" "src/bench_circuits/CMakeFiles/nvff_bench_circuits.dir/verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

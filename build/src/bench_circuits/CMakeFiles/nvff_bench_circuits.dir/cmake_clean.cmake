@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvff_bench_circuits.dir/bench_io.cpp.o"
+  "CMakeFiles/nvff_bench_circuits.dir/bench_io.cpp.o.d"
+  "CMakeFiles/nvff_bench_circuits.dir/generator.cpp.o"
+  "CMakeFiles/nvff_bench_circuits.dir/generator.cpp.o.d"
+  "CMakeFiles/nvff_bench_circuits.dir/netlist.cpp.o"
+  "CMakeFiles/nvff_bench_circuits.dir/netlist.cpp.o.d"
+  "CMakeFiles/nvff_bench_circuits.dir/verilog_io.cpp.o"
+  "CMakeFiles/nvff_bench_circuits.dir/verilog_io.cpp.o.d"
+  "libnvff_bench_circuits.a"
+  "libnvff_bench_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvff_bench_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/characterize.cpp" "src/cell/CMakeFiles/nvff_cell.dir/characterize.cpp.o" "gcc" "src/cell/CMakeFiles/nvff_cell.dir/characterize.cpp.o.d"
+  "/root/repo/src/cell/flipped_latch.cpp" "src/cell/CMakeFiles/nvff_cell.dir/flipped_latch.cpp.o" "gcc" "src/cell/CMakeFiles/nvff_cell.dir/flipped_latch.cpp.o.d"
+  "/root/repo/src/cell/latch_common.cpp" "src/cell/CMakeFiles/nvff_cell.dir/latch_common.cpp.o" "gcc" "src/cell/CMakeFiles/nvff_cell.dir/latch_common.cpp.o.d"
+  "/root/repo/src/cell/layout.cpp" "src/cell/CMakeFiles/nvff_cell.dir/layout.cpp.o" "gcc" "src/cell/CMakeFiles/nvff_cell.dir/layout.cpp.o.d"
+  "/root/repo/src/cell/multibit_latch.cpp" "src/cell/CMakeFiles/nvff_cell.dir/multibit_latch.cpp.o" "gcc" "src/cell/CMakeFiles/nvff_cell.dir/multibit_latch.cpp.o.d"
+  "/root/repo/src/cell/scalable_latch.cpp" "src/cell/CMakeFiles/nvff_cell.dir/scalable_latch.cpp.o" "gcc" "src/cell/CMakeFiles/nvff_cell.dir/scalable_latch.cpp.o.d"
+  "/root/repo/src/cell/spice_deck.cpp" "src/cell/CMakeFiles/nvff_cell.dir/spice_deck.cpp.o" "gcc" "src/cell/CMakeFiles/nvff_cell.dir/spice_deck.cpp.o.d"
+  "/root/repo/src/cell/standard_latch.cpp" "src/cell/CMakeFiles/nvff_cell.dir/standard_latch.cpp.o" "gcc" "src/cell/CMakeFiles/nvff_cell.dir/standard_latch.cpp.o.d"
+  "/root/repo/src/cell/technology.cpp" "src/cell/CMakeFiles/nvff_cell.dir/technology.cpp.o" "gcc" "src/cell/CMakeFiles/nvff_cell.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nvff_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtj/CMakeFiles/nvff_mtj.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvff_cell.dir/characterize.cpp.o"
+  "CMakeFiles/nvff_cell.dir/characterize.cpp.o.d"
+  "CMakeFiles/nvff_cell.dir/flipped_latch.cpp.o"
+  "CMakeFiles/nvff_cell.dir/flipped_latch.cpp.o.d"
+  "CMakeFiles/nvff_cell.dir/latch_common.cpp.o"
+  "CMakeFiles/nvff_cell.dir/latch_common.cpp.o.d"
+  "CMakeFiles/nvff_cell.dir/layout.cpp.o"
+  "CMakeFiles/nvff_cell.dir/layout.cpp.o.d"
+  "CMakeFiles/nvff_cell.dir/multibit_latch.cpp.o"
+  "CMakeFiles/nvff_cell.dir/multibit_latch.cpp.o.d"
+  "CMakeFiles/nvff_cell.dir/scalable_latch.cpp.o"
+  "CMakeFiles/nvff_cell.dir/scalable_latch.cpp.o.d"
+  "CMakeFiles/nvff_cell.dir/spice_deck.cpp.o"
+  "CMakeFiles/nvff_cell.dir/spice_deck.cpp.o.d"
+  "CMakeFiles/nvff_cell.dir/standard_latch.cpp.o"
+  "CMakeFiles/nvff_cell.dir/standard_latch.cpp.o.d"
+  "CMakeFiles/nvff_cell.dir/technology.cpp.o"
+  "CMakeFiles/nvff_cell.dir/technology.cpp.o.d"
+  "libnvff_cell.a"
+  "libnvff_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvff_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

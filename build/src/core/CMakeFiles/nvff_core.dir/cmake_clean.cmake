@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvff_core.dir/clock_network.cpp.o"
+  "CMakeFiles/nvff_core.dir/clock_network.cpp.o.d"
+  "CMakeFiles/nvff_core.dir/flow.cpp.o"
+  "CMakeFiles/nvff_core.dir/flow.cpp.o.d"
+  "CMakeFiles/nvff_core.dir/nv_cells.cpp.o"
+  "CMakeFiles/nvff_core.dir/nv_cells.cpp.o.d"
+  "CMakeFiles/nvff_core.dir/reports.cpp.o"
+  "CMakeFiles/nvff_core.dir/reports.cpp.o.d"
+  "CMakeFiles/nvff_core.dir/standby.cpp.o"
+  "CMakeFiles/nvff_core.dir/standby.cpp.o.d"
+  "libnvff_core.a"
+  "libnvff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

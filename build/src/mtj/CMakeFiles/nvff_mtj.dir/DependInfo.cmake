@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mtj/device.cpp" "src/mtj/CMakeFiles/nvff_mtj.dir/device.cpp.o" "gcc" "src/mtj/CMakeFiles/nvff_mtj.dir/device.cpp.o.d"
+  "/root/repo/src/mtj/model.cpp" "src/mtj/CMakeFiles/nvff_mtj.dir/model.cpp.o" "gcc" "src/mtj/CMakeFiles/nvff_mtj.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nvff_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

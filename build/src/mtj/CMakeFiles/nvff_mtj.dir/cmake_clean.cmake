@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvff_mtj.dir/device.cpp.o"
+  "CMakeFiles/nvff_mtj.dir/device.cpp.o.d"
+  "CMakeFiles/nvff_mtj.dir/model.cpp.o"
+  "CMakeFiles/nvff_mtj.dir/model.cpp.o.d"
+  "libnvff_mtj.a"
+  "libnvff_mtj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvff_mtj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvff_pairing.dir/grouping.cpp.o"
+  "CMakeFiles/nvff_pairing.dir/grouping.cpp.o.d"
+  "CMakeFiles/nvff_pairing.dir/pairing.cpp.o"
+  "CMakeFiles/nvff_pairing.dir/pairing.cpp.o.d"
+  "libnvff_pairing.a"
+  "libnvff_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvff_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

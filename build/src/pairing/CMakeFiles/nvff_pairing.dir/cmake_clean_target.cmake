@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvff_pairing.a"
+)

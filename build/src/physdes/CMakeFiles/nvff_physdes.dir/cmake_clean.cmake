@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvff_physdes.dir/def_io.cpp.o"
+  "CMakeFiles/nvff_physdes.dir/def_io.cpp.o.d"
+  "CMakeFiles/nvff_physdes.dir/placement.cpp.o"
+  "CMakeFiles/nvff_physdes.dir/placement.cpp.o.d"
+  "CMakeFiles/nvff_physdes.dir/routing.cpp.o"
+  "CMakeFiles/nvff_physdes.dir/routing.cpp.o.d"
+  "CMakeFiles/nvff_physdes.dir/sta.cpp.o"
+  "CMakeFiles/nvff_physdes.dir/sta.cpp.o.d"
+  "libnvff_physdes.a"
+  "libnvff_physdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvff_physdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/logic_sim.cpp" "src/sim/CMakeFiles/nvff_sim.dir/logic_sim.cpp.o" "gcc" "src/sim/CMakeFiles/nvff_sim.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/sim/xlogic_sim.cpp" "src/sim/CMakeFiles/nvff_sim.dir/xlogic_sim.cpp.o" "gcc" "src/sim/CMakeFiles/nvff_sim.dir/xlogic_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_circuits/CMakeFiles/nvff_bench_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

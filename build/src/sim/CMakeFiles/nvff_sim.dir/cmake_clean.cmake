@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvff_sim.dir/logic_sim.cpp.o"
+  "CMakeFiles/nvff_sim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/nvff_sim.dir/xlogic_sim.cpp.o"
+  "CMakeFiles/nvff_sim.dir/xlogic_sim.cpp.o.d"
+  "libnvff_sim.a"
+  "libnvff_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvff_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvff_spice.dir/analysis.cpp.o"
+  "CMakeFiles/nvff_spice.dir/analysis.cpp.o.d"
+  "CMakeFiles/nvff_spice.dir/circuit.cpp.o"
+  "CMakeFiles/nvff_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/nvff_spice.dir/devices.cpp.o"
+  "CMakeFiles/nvff_spice.dir/devices.cpp.o.d"
+  "CMakeFiles/nvff_spice.dir/matrix.cpp.o"
+  "CMakeFiles/nvff_spice.dir/matrix.cpp.o.d"
+  "CMakeFiles/nvff_spice.dir/mosfet.cpp.o"
+  "CMakeFiles/nvff_spice.dir/mosfet.cpp.o.d"
+  "CMakeFiles/nvff_spice.dir/trace.cpp.o"
+  "CMakeFiles/nvff_spice.dir/trace.cpp.o.d"
+  "CMakeFiles/nvff_spice.dir/vcd.cpp.o"
+  "CMakeFiles/nvff_spice.dir/vcd.cpp.o.d"
+  "CMakeFiles/nvff_spice.dir/waveform.cpp.o"
+  "CMakeFiles/nvff_spice.dir/waveform.cpp.o.d"
+  "libnvff_spice.a"
+  "libnvff_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvff_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

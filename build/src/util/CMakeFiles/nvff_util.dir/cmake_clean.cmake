@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvff_util.dir/log.cpp.o"
+  "CMakeFiles/nvff_util.dir/log.cpp.o.d"
+  "CMakeFiles/nvff_util.dir/rng.cpp.o"
+  "CMakeFiles/nvff_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nvff_util.dir/stats.cpp.o"
+  "CMakeFiles/nvff_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nvff_util.dir/strings.cpp.o"
+  "CMakeFiles/nvff_util.dir/strings.cpp.o.d"
+  "CMakeFiles/nvff_util.dir/table.cpp.o"
+  "CMakeFiles/nvff_util.dir/table.cpp.o.d"
+  "libnvff_util.a"
+  "libnvff_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvff_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

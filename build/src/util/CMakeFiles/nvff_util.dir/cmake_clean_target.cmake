@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvff_util.a"
+)

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_circuits.dir/bench_circuits/test_bench_io.cpp.o"
+  "CMakeFiles/test_bench_circuits.dir/bench_circuits/test_bench_io.cpp.o.d"
+  "CMakeFiles/test_bench_circuits.dir/bench_circuits/test_generator.cpp.o"
+  "CMakeFiles/test_bench_circuits.dir/bench_circuits/test_generator.cpp.o.d"
+  "CMakeFiles/test_bench_circuits.dir/bench_circuits/test_netlist.cpp.o"
+  "CMakeFiles/test_bench_circuits.dir/bench_circuits/test_netlist.cpp.o.d"
+  "CMakeFiles/test_bench_circuits.dir/bench_circuits/test_parser_robustness.cpp.o"
+  "CMakeFiles/test_bench_circuits.dir/bench_circuits/test_parser_robustness.cpp.o.d"
+  "CMakeFiles/test_bench_circuits.dir/bench_circuits/test_verilog_io.cpp.o"
+  "CMakeFiles/test_bench_circuits.dir/bench_circuits/test_verilog_io.cpp.o.d"
+  "test_bench_circuits"
+  "test_bench_circuits.pdb"
+  "test_bench_circuits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

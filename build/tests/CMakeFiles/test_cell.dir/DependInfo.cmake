@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cell/test_flipped_latch.cpp" "tests/CMakeFiles/test_cell.dir/cell/test_flipped_latch.cpp.o" "gcc" "tests/CMakeFiles/test_cell.dir/cell/test_flipped_latch.cpp.o.d"
+  "/root/repo/tests/cell/test_latch_corners.cpp" "tests/CMakeFiles/test_cell.dir/cell/test_latch_corners.cpp.o" "gcc" "tests/CMakeFiles/test_cell.dir/cell/test_latch_corners.cpp.o.d"
+  "/root/repo/tests/cell/test_latches.cpp" "tests/CMakeFiles/test_cell.dir/cell/test_latches.cpp.o" "gcc" "tests/CMakeFiles/test_cell.dir/cell/test_latches.cpp.o.d"
+  "/root/repo/tests/cell/test_layout.cpp" "tests/CMakeFiles/test_cell.dir/cell/test_layout.cpp.o" "gcc" "tests/CMakeFiles/test_cell.dir/cell/test_layout.cpp.o.d"
+  "/root/repo/tests/cell/test_mismatch.cpp" "tests/CMakeFiles/test_cell.dir/cell/test_mismatch.cpp.o" "gcc" "tests/CMakeFiles/test_cell.dir/cell/test_mismatch.cpp.o.d"
+  "/root/repo/tests/cell/test_scalable_latch.cpp" "tests/CMakeFiles/test_cell.dir/cell/test_scalable_latch.cpp.o" "gcc" "tests/CMakeFiles/test_cell.dir/cell/test_scalable_latch.cpp.o.d"
+  "/root/repo/tests/cell/test_spice_deck.cpp" "tests/CMakeFiles/test_cell.dir/cell/test_spice_deck.cpp.o" "gcc" "tests/CMakeFiles/test_cell.dir/cell/test_spice_deck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nvff_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtj/CMakeFiles/nvff_mtj.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/nvff_cell.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell.dir/cell/test_flipped_latch.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_flipped_latch.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_latch_corners.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_latch_corners.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_latches.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_latches.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_layout.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_layout.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_mismatch.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_mismatch.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_scalable_latch.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_scalable_latch.cpp.o.d"
+  "CMakeFiles/test_cell.dir/cell/test_spice_deck.cpp.o"
+  "CMakeFiles/test_cell.dir/cell/test_spice_deck.cpp.o.d"
+  "test_cell"
+  "test_cell.pdb"
+  "test_cell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mtj/test_defects.cpp" "tests/CMakeFiles/test_mtj.dir/mtj/test_defects.cpp.o" "gcc" "tests/CMakeFiles/test_mtj.dir/mtj/test_defects.cpp.o.d"
+  "/root/repo/tests/mtj/test_device.cpp" "tests/CMakeFiles/test_mtj.dir/mtj/test_device.cpp.o" "gcc" "tests/CMakeFiles/test_mtj.dir/mtj/test_device.cpp.o.d"
+  "/root/repo/tests/mtj/test_model.cpp" "tests/CMakeFiles/test_mtj.dir/mtj/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_mtj.dir/mtj/test_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nvff_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtj/CMakeFiles/nvff_mtj.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

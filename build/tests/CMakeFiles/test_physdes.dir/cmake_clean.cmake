@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physdes.dir/physdes/test_def_io.cpp.o"
+  "CMakeFiles/test_physdes.dir/physdes/test_def_io.cpp.o.d"
+  "CMakeFiles/test_physdes.dir/physdes/test_placement.cpp.o"
+  "CMakeFiles/test_physdes.dir/physdes/test_placement.cpp.o.d"
+  "CMakeFiles/test_physdes.dir/physdes/test_routing.cpp.o"
+  "CMakeFiles/test_physdes.dir/physdes/test_routing.cpp.o.d"
+  "CMakeFiles/test_physdes.dir/physdes/test_sta.cpp.o"
+  "CMakeFiles/test_physdes.dir/physdes/test_sta.cpp.o.d"
+  "test_physdes"
+  "test_physdes.pdb"
+  "test_physdes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

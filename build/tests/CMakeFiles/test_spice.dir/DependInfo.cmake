@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spice/test_convergence.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_convergence.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_convergence.cpp.o.d"
+  "/root/repo/tests/spice/test_linear_circuits.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_linear_circuits.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_linear_circuits.cpp.o.d"
+  "/root/repo/tests/spice/test_matrix.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o.d"
+  "/root/repo/tests/spice/test_mosfet.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_mosfet.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_mosfet.cpp.o.d"
+  "/root/repo/tests/spice/test_mosfet_properties.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_mosfet_properties.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_mosfet_properties.cpp.o.d"
+  "/root/repo/tests/spice/test_transient.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_transient.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_transient.cpp.o.d"
+  "/root/repo/tests/spice/test_vcd.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_vcd.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_vcd.cpp.o.d"
+  "/root/repo/tests/spice/test_waveform.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nvff_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtj/CMakeFiles/nvff_mtj.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

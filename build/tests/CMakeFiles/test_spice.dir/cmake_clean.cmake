@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice.dir/spice/test_convergence.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_convergence.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_linear_circuits.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_linear_circuits.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_mosfet.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_mosfet.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_mosfet_properties.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_mosfet_properties.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_transient.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_transient.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_vcd.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_vcd.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_waveform.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_waveform.cpp.o.d"
+  "test_spice"
+  "test_spice.pdb"
+  "test_spice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
