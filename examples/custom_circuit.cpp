@@ -4,10 +4,12 @@
 //
 //   $ ./examples/custom_circuit [file.bench]
 #include <cstdio>
+#include <exception>
 
 #include "bench_circuits/bench_io.hpp"
 #include "core/flow.hpp"
 #include "core/reports.hpp"
+#include "erc/netlist_lint.hpp"
 #include "sim/logic_sim.hpp"
 
 namespace {
@@ -47,6 +49,21 @@ int counter_value(const nvff::sim::LogicSimulator& sim,
 int main(int argc, char** argv) {
   using namespace nvff;
 
+  // Lint before the strict parse: broken files get a full diagnostic report
+  // (rule ids, offending signals, cycle paths) instead of one exception.
+  erc::Report lint;
+  try {
+    lint = (argc > 1) ? erc::lint_bench_file(argv[1])
+                      : erc::lint_bench_text(kCounter, "counter4");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (!lint.clean()) {
+    std::fprintf(stderr, "%s fails lint:\n%s",
+                 argc > 1 ? argv[1] : "counter4", lint.to_text().c_str());
+    return 1;
+  }
   bench::Netlist nl = (argc > 1) ? bench::load_bench_file(argv[1])
                                  : bench::parse_bench_string(kCounter, "counter4");
   std::printf("circuit %s: %zu inputs, %zu outputs, %zu FFs, %zu gates\n\n",

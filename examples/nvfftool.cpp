@@ -7,16 +7,25 @@
 //   nvfftool table3                    # full Table III (all benchmarks)
 //   nvfftool cycle <d0> <d1>           # simulate a store/power-off/restore
 //   nvfftool export <benchmark> <dir>  # write .bench, .v and .def artifacts
+//   nvfftool lint [--json] <target>    # static ERC/lint; nonzero exit on errors
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_circuits/bench_io.hpp"
 #include "bench_circuits/verilog_io.hpp"
 #include "cell/spice_deck.hpp"
 #include "cell/characterize.hpp"
+#include "cell/flipped_latch.hpp"
 #include "cell/multibit_latch.hpp"
+#include "cell/scalable_latch.hpp"
+#include "cell/standard_latch.hpp"
 #include "core/reports.hpp"
+#include "erc/erc.hpp"
 #include "physdes/def_io.hpp"
 #include "util/strings.hpp"
 
@@ -91,6 +100,13 @@ int cmd_cycle(bool d0, bool d1) {
 int cmd_export(const std::string& name, const std::string& dir) {
   const auto& spec = bench::find_benchmark(name);
   const auto nl = bench::generate_benchmark(spec);
+  // Never export a structurally broken netlist.
+  const erc::Report lint = erc::lint_netlist(nl);
+  if (!lint.clean()) {
+    std::fprintf(stderr, "export: %s fails lint:\n%s", name.c_str(),
+                 lint.to_text().c_str());
+    return 1;
+  }
   physdes::PlacerOptions opt;
   opt.utilization = spec.utilization;
   const auto placement =
@@ -108,6 +124,138 @@ int cmd_export(const std::string& name, const std::string& dir) {
   return 0;
 }
 
+// --- lint ------------------------------------------------------------------
+
+bool is_benchmark_name(const std::string& name) {
+  for (const auto& spec : bench::paper_benchmarks()) {
+    if (spec.name == name) return true;
+  }
+  return false;
+}
+
+/// ERC over every scenario deck of one latch variant. Returns scenario-name
+/// + report pairs so the caller can render text or JSON.
+std::vector<std::pair<std::string, erc::Report>> lint_deck(const std::string& deck) {
+  const auto& tech = cell::Technology::table1();
+  const auto corner = tech.read_corner(cell::Corner::Typical);
+  std::vector<std::pair<std::string, erc::Report>> out;
+  auto add = [&](const std::string& scenario, const spice::Circuit& c) {
+    out.emplace_back(deck + "/" + scenario, erc::check_circuit(c));
+  };
+  if (deck == "standard") {
+    add("read", cell::StandardNvLatch::build_read(tech, corner, true, {}).circuit);
+    add("write", cell::StandardNvLatch::build_write(tech, corner, true, {}).circuit);
+    add("idle", cell::StandardNvLatch::build_idle(tech, corner).circuit);
+    add("power_cycle",
+        cell::StandardNvLatch::build_power_cycle(tech, corner, true, {}).circuit);
+  } else if (deck == "flipped") {
+    add("read", cell::FlippedNvLatch::build_read(tech, corner, true, {}).circuit);
+    add("write", cell::FlippedNvLatch::build_write(tech, corner, true, {}).circuit);
+    add("idle", cell::FlippedNvLatch::build_idle(tech, corner).circuit);
+  } else if (deck == "multibit") {
+    add("read",
+        cell::MultibitNvLatch::build_read(tech, corner, true, false, {}).circuit);
+    add("write",
+        cell::MultibitNvLatch::build_write(tech, corner, true, false, {}).circuit);
+    add("idle", cell::MultibitNvLatch::build_idle(tech, corner).circuit);
+    add("power_cycle",
+        cell::MultibitNvLatch::build_power_cycle(tech, corner, true, false, {})
+            .circuit);
+  } else if (starts_with(deck, "scalable")) {
+    int bits = 4;
+    if (deck.size() > 8) bits = std::atoi(deck.c_str() + 8);
+    if (bits < 2 || bits % 2 != 0) {
+      throw std::invalid_argument("scalable deck bits must be even and >= 2");
+    }
+    std::vector<bool> data(static_cast<std::size_t>(bits), false);
+    for (std::size_t i = 0; i < data.size(); i += 2) data[i] = true;
+    add("read", cell::ScalableNvLatch::build_read(tech, corner, data, {}).circuit);
+    add("write", cell::ScalableNvLatch::build_write(tech, corner, data, {}).circuit);
+    add("idle", cell::ScalableNvLatch::build_idle(tech, corner, bits).circuit);
+  } else {
+    throw std::invalid_argument("unknown deck: " + deck +
+                                " (standard|flipped|multibit|scalable<N>)");
+  }
+  return out;
+}
+
+int cmd_lint(const std::vector<std::string>& args) {
+  bool json = false;
+  bool verbose = false;
+  std::vector<std::string> targets;
+  erc::NetlistLintOptions lintOpt;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") json = true;
+    else if (args[i] == "--verbose" || args[i] == "-v") verbose = true;
+    else if (args[i] == "--suppress" && i + 1 < args.size()) {
+      lintOpt.suppress.push_back(args[++i]);
+    } else targets.push_back(args[i]);
+  }
+  if (targets.empty()) {
+    std::fprintf(stderr,
+                 "usage: nvfftool lint [--json] [--verbose] [--suppress RULE]... "
+                 "<target>...\n"
+                 "  target: benchmark name | file.bench | deck:<variant> | all\n");
+    return 2;
+  }
+  if (targets.size() == 1 && targets[0] == "all") {
+    targets.clear();
+    for (const auto& spec : bench::paper_benchmarks()) targets.push_back(spec.name);
+    for (const char* d : {"deck:standard", "deck:flipped", "deck:multibit",
+                          "deck:scalable4"}) {
+      targets.push_back(d);
+    }
+  }
+
+  std::vector<std::pair<std::string, erc::Report>> results;
+  for (const auto& target : targets) {
+    if (starts_with(target, "deck:")) {
+      for (auto& r : lint_deck(target.substr(5))) results.push_back(std::move(r));
+    } else if (target.size() > 6 &&
+               target.compare(target.size() - 6, 6, ".bench") == 0) {
+      results.emplace_back(target, erc::lint_bench_file(target, lintOpt));
+    } else if (is_benchmark_name(target)) {
+      const auto nl = bench::generate_benchmark(bench::find_benchmark(target));
+      results.emplace_back(target, erc::lint_netlist(nl, lintOpt));
+    } else {
+      std::fprintf(stderr, "lint: unknown target '%s'\n", target.c_str());
+      return 2;
+    }
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  if (json) {
+    std::printf("{");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i != 0) std::printf(",");
+      std::printf("\"%s\":%s", results[i].first.c_str(),
+                  results[i].second.to_json().c_str());
+      errors += results[i].second.count(erc::Severity::Error);
+      warnings += results[i].second.count(erc::Severity::Warning);
+    }
+    std::printf("}\n");
+  } else {
+    for (const auto& [name, report] : results) {
+      errors += report.count(erc::Severity::Error);
+      warnings += report.count(erc::Severity::Warning);
+      if (report.empty()) {
+        std::printf("%-24s clean\n", name.c_str());
+      } else if (report.clean() && !verbose) {
+        // Info-only findings (e.g. dead logic the benchmark generator leaves
+        // by construction) don't gate; show them on request.
+        std::printf("%-24s clean (%zu note(s), --verbose to list)\n",
+                    name.c_str(), report.count(erc::Severity::Info));
+      } else {
+        std::printf("== %s ==\n%s", name.c_str(), report.to_text().c_str());
+      }
+    }
+    std::printf("lint: %zu target(s), %zu error(s), %zu warning(s)\n",
+                results.size(), errors, warnings);
+  }
+  return errors > 0 ? 1 : 0;
+}
+
 int usage() {
   std::printf(
       "usage: nvfftool <command>\n"
@@ -116,7 +264,9 @@ int usage() {
       "  characterize [corner]    circuit metrics (worst|typical|best)\n"
       "  table2 | table3          regenerate the paper tables\n"
       "  cycle <d0> <d1>          simulate a full normally-off cycle\n"
-      "  export <benchmark> <dir> write .bench/.v/.def/.sp artifacts\n");
+      "  export <benchmark> <dir> write .bench/.v/.def/.sp artifacts\n"
+      "  lint [--json] <target>   static ERC/lint (benchmark, .bench file,\n"
+      "                           deck:<standard|flipped|multibit|scalableN>, all)\n");
   return 2;
 }
 
@@ -136,6 +286,9 @@ int main(int argc, char** argv) {
                        std::strcmp(argv[3], "0") != 0);
     }
     if (cmd == "export" && argc >= 4) return cmd_export(argv[2], argv[3]);
+    if (cmd == "lint") {
+      return cmd_lint(std::vector<std::string>(argv + 2, argv + argc));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

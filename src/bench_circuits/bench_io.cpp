@@ -15,35 +15,46 @@ namespace {
                                   what.c_str()));
 }
 
-} // namespace
+struct PendingGate {
+  GateType type;
+  std::string name;
+  std::vector<std::string> fanins;
+  int line;
+};
 
-Netlist parse_bench(std::istream& in, const std::string& circuitName) {
-  Netlist nl(circuitName);
-
-  // Two-phase: collect declarations first (signals may be referenced before
-  // they are defined, and DFFs form cycles), then resolve fanins.
-  struct PendingGate {
-    GateType type;
-    std::string name;
-    std::vector<std::string> fanins;
-    int line;
-  };
+struct Collected {
   std::vector<PendingGate> defs;
   std::vector<std::pair<std::string, int>> outputMarks;
+};
 
+/// First pass shared by the strict and lenient parsers: collects the
+/// declarations (signals may be referenced before they are defined, and DFFs
+/// form cycles). Strict mode throws on the first malformed line; lenient
+/// mode records the problem in `issues` and keeps scanning.
+Collected collect_bench(std::istream& in, std::vector<BenchIssue>* issues) {
+  Collected out;
   std::string line;
   int lineNo = 0;
+
+  auto report = [&](BenchIssue::Kind kind, const std::string& what) {
+    if (issues == nullptr) fail(lineNo, what);
+    issues->push_back({kind, lineNo, "", what});
+  };
+
   while (std::getline(in, line)) {
     ++lineNo;
     std::string_view sv = trim(line);
     if (sv.empty() || sv.front() == '#') continue;
     const std::string text(sv);
 
+    bool callOk = true;
     auto parseCall = [&](const std::string& s) -> std::pair<std::string, std::string> {
       const auto open = s.find('(');
       const auto close = s.rfind(')');
       if (open == std::string::npos || close == std::string::npos || close < open) {
-        fail(lineNo, "expected FUNC(args): " + s);
+        callOk = false;
+        report(BenchIssue::Kind::Syntax, "expected FUNC(args): " + s);
+        return {};
       }
       return {std::string(trim(s.substr(0, open))),
               std::string(trim(s.substr(open + 1, close - open - 1)))};
@@ -52,34 +63,48 @@ Netlist parse_bench(std::istream& in, const std::string& circuitName) {
     const auto eq = text.find('=');
     if (eq == std::string::npos) {
       auto [func, arg] = parseCall(text);
+      if (!callOk) continue;
       const std::string funcLower = to_lower(func);
       if (funcLower == "input") {
-        defs.push_back({GateType::Input, arg, {}, lineNo});
+        out.defs.push_back({GateType::Input, arg, {}, lineNo});
       } else if (funcLower == "output") {
-        outputMarks.emplace_back(arg, lineNo);
+        out.outputMarks.emplace_back(arg, lineNo);
       } else {
-        fail(lineNo, "unknown directive: " + func);
+        report(BenchIssue::Kind::Syntax, "unknown directive: " + func);
       }
       continue;
     }
 
     const std::string lhs(trim(text.substr(0, eq)));
-    if (lhs.empty()) fail(lineNo, "missing signal name");
+    if (lhs.empty()) {
+      report(BenchIssue::Kind::Syntax, "missing signal name");
+      continue;
+    }
     auto [func, args] = parseCall(text.substr(eq + 1));
+    if (!callOk) continue;
     GateType type;
     if (!parse_gate_type(func, type) || type == GateType::Input) {
-      fail(lineNo, "unknown gate type: " + func);
+      report(BenchIssue::Kind::Syntax, "unknown gate type: " + func);
+      continue;
     }
     PendingGate pg{type, lhs, {}, lineNo};
     for (const auto& a : split(args, ", \t")) pg.fanins.push_back(a);
-    defs.push_back(std::move(pg));
+    out.defs.push_back(std::move(pg));
   }
+  return out;
+}
+
+} // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& circuitName) {
+  Netlist nl(circuitName);
+  const Collected c = collect_bench(in, nullptr);
 
   // Create all gates, then wire fanins by name.
-  for (const auto& d : defs) {
+  for (const auto& d : c.defs) {
     nl.add_gate(d.type, d.name);
   }
-  for (const auto& d : defs) {
+  for (const auto& d : c.defs) {
     if (d.fanins.empty()) continue;
     std::vector<GateId> fanin;
     for (const auto& f : d.fanins) {
@@ -89,12 +114,54 @@ Netlist parse_bench(std::istream& in, const std::string& circuitName) {
     }
     nl.set_fanin(nl.find(d.name), std::move(fanin));
   }
-  for (const auto& [sig, markLine] : outputMarks) {
+  for (const auto& [sig, markLine] : c.outputMarks) {
     const GateId id = nl.find(sig);
     if (id == kNoGate) fail(markLine, "OUTPUT references undefined signal: " + sig);
     nl.mark_output(id);
   }
   nl.finalize();
+  return nl;
+}
+
+Netlist parse_bench_lenient(std::istream& in, const std::string& circuitName,
+                            std::vector<BenchIssue>& issues) {
+  Netlist nl(circuitName);
+  const Collected c = collect_bench(in, &issues);
+
+  // First definition of a signal wins; later ones are multi-driver issues.
+  std::vector<const PendingGate*> kept;
+  for (const auto& d : c.defs) {
+    if (nl.find(d.name) != kNoGate) {
+      issues.push_back({BenchIssue::Kind::DuplicateDriver, d.line, d.name,
+                        "signal '" + d.name + "' has more than one driver"});
+      continue;
+    }
+    nl.add_gate(d.type, d.name);
+    kept.push_back(&d);
+  }
+  for (const auto* d : kept) {
+    if (d->fanins.empty()) continue;
+    std::vector<GateId> fanin;
+    for (const auto& f : d->fanins) {
+      const GateId id = nl.find(f);
+      if (id == kNoGate) {
+        issues.push_back({BenchIssue::Kind::UndefinedSignal, d->line, f,
+                          "'" + d->name + "' reads undefined signal '" + f + "'"});
+        continue;
+      }
+      fanin.push_back(id);
+    }
+    nl.set_fanin(nl.find(d->name), std::move(fanin));
+  }
+  for (const auto& [sig, markLine] : c.outputMarks) {
+    const GateId id = nl.find(sig);
+    if (id == kNoGate) {
+      issues.push_back({BenchIssue::Kind::UndefinedSignal, markLine, sig,
+                        "OUTPUT references undefined signal '" + sig + "'"});
+      continue;
+    }
+    nl.mark_output(id);
+  }
   return nl;
 }
 

@@ -22,6 +22,27 @@ Netlist parse_bench_string(const std::string& text,
                            const std::string& circuitName = "top");
 Netlist load_bench_file(const std::string& path);
 
+/// One problem found while scanning .bench text in lenient mode.
+struct BenchIssue {
+  enum class Kind {
+    Syntax,          ///< malformed line / unknown directive or gate type
+    DuplicateDriver, ///< a signal defined more than once (multi-driver)
+    UndefinedSignal, ///< fanin or OUTPUT references an undefined signal
+  };
+  Kind kind = Kind::Syntax;
+  int line = 0;         ///< 1-based source line
+  std::string signal;   ///< offending signal name (may be empty for Syntax)
+  std::string message;
+};
+
+/// Lenient parse for the ERC/lint subsystem: instead of throwing on the
+/// first problem it records every issue and builds a best-effort netlist
+/// (first definition of a multi-driven signal wins, unresolvable fanins are
+/// dropped). The returned netlist is NOT finalized — structural checks run
+/// on it via erc::lint_netlist.
+Netlist parse_bench_lenient(std::istream& in, const std::string& circuitName,
+                            std::vector<BenchIssue>& issues);
+
 /// Serializes to .bench text (round-trips with parse_bench).
 std::string to_bench(const Netlist& netlist);
 void save_bench_file(const Netlist& netlist, const std::string& path);

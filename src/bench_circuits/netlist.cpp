@@ -137,9 +137,73 @@ void Netlist::finalize() {
     }
   }
   if (topo_.size() != gates_.size()) {
-    throw std::runtime_error("Netlist '" + name_ + "': combinational cycle detected");
+    const auto cycle = find_combinational_cycle(*this);
+    throw std::runtime_error("Netlist '" + name_ + "': combinational cycle " +
+                             cycle_path_string(*this, cycle));
   }
   finalized_ = true;
+}
+
+std::vector<GateId> find_combinational_cycle(const Netlist& nl) {
+  // Iterative DFS over combinational fanin edges. color: 0 = unvisited,
+  // 1 = on the current DFS path, 2 = done.
+  const std::size_t n = nl.size();
+  std::vector<char> color(n, 0);
+  std::vector<GateId> path;
+
+  auto combinational = [&](GateId id) {
+    const GateType t = nl.gate(id).type;
+    return t != GateType::Input && t != GateType::Dff;
+  };
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != 0 || !combinational(static_cast<GateId>(start))) continue;
+    // Stack of (gate, next fanin index to explore).
+    std::vector<std::pair<GateId, std::size_t>> stack;
+    stack.emplace_back(static_cast<GateId>(start), 0);
+    color[start] = 1;
+    path.push_back(static_cast<GateId>(start));
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const auto& fanin = nl.gate(id).fanin;
+      bool descended = false;
+      while (next < fanin.size()) {
+        const GateId f = fanin[next++];
+        if (!nl.valid_gate(f) || !combinational(f)) continue;
+        if (color[static_cast<std::size_t>(f)] == 1) {
+          // Back edge: the cycle is f .. id (in path order), plus f again.
+          auto it = std::find(path.begin(), path.end(), f);
+          std::vector<GateId> cycle(it, path.end());
+          std::reverse(cycle.begin(), cycle.end()); // driver -> sink order
+          cycle.push_back(cycle.front());
+          return cycle;
+        }
+        if (color[static_cast<std::size_t>(f)] == 0) {
+          color[static_cast<std::size_t>(f)] = 1;
+          path.push_back(f);
+          stack.emplace_back(f, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[static_cast<std::size_t>(id)] = 2;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::string cycle_path_string(const Netlist& nl, const std::vector<GateId>& cycle) {
+  if (cycle.empty()) return "(none)";
+  std::string out;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += nl.gate(cycle[i]).name;
+  }
+  return out;
 }
 
 } // namespace nvff::bench

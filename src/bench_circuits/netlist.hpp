@@ -87,6 +87,11 @@ public:
 
   bool finalized() const { return finalized_; }
 
+  /// True if `id` names a gate of this netlist.
+  bool valid_gate(GateId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < gates_.size();
+  }
+
 private:
   std::string name_;
   std::vector<Gate> gates_;
@@ -97,5 +102,15 @@ private:
   std::vector<GateId> topo_;
   bool finalized_ = false;
 };
+
+/// Finds one cycle over the combinational fanin edges (edges into DFFs and
+/// INPUTs are sequential boundaries and ignored). Works on unfinalized
+/// netlists with dangling fanins (out-of-range ids are skipped). Returns the
+/// gates of the cycle in driver -> sink order, with the first gate repeated
+/// at the end ({a, b, c, a}); empty if the netlist is acyclic.
+std::vector<GateId> find_combinational_cycle(const Netlist& netlist);
+
+/// Renders a cycle from find_combinational_cycle as "a -> b -> c -> a".
+std::string cycle_path_string(const Netlist& netlist, const std::vector<GateId>& cycle);
 
 } // namespace nvff::bench

@@ -133,6 +133,7 @@ FlippedLatchInstance FlippedNvLatch::build_read(const Technology& tech,
   ctl.install(inst.circuit);
   inst.tEvalStart = timing.evalStart();
   inst.tEnd = timing.total();
+  erc_self_check(inst.circuit, "FlippedNvLatch::build_read");
   return inst;
 }
 
@@ -150,6 +151,7 @@ FlippedLatchInstance FlippedNvLatch::build_write(const Technology& tech,
   ctl.install(inst.circuit);
   inst.tEvalStart = timing.start;
   inst.tEnd = timing.total();
+  erc_self_check(inst.circuit, "FlippedNvLatch::build_write");
   return inst;
 }
 
@@ -165,6 +167,7 @@ FlippedLatchInstance FlippedNvLatch::build_idle(const Technology& tech,
   Controls ctl(tech.vdd, 20e-12, false);
   ctl.install(inst.circuit);
   inst.tEnd = 1e-9;
+  erc_self_check(inst.circuit, "FlippedNvLatch::build_idle");
   return inst;
 }
 

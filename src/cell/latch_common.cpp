@@ -1,5 +1,7 @@
 #include "cell/latch_common.hpp"
 
+#include "erc/circuit_erc.hpp"
+
 namespace nvff::cell {
 
 using spice::kGround;
@@ -56,6 +58,15 @@ spice::Waveform ControlSignal::waveform() const { return spice::Waveform::pwl(pw
 
 void ControlSignal::install(spice::Circuit& circuit, const std::string& name) const {
   circuit.add_vsource("V" + name, circuit.node(name), kGround, waveform());
+}
+
+void erc_self_check(const spice::Circuit& circuit, const char* context) {
+#ifdef NVFF_ERC_SELF_CHECK
+  erc::require_clean(circuit, context);
+#else
+  (void)circuit;
+  (void)context;
+#endif
 }
 
 } // namespace nvff::cell

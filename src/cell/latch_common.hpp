@@ -58,6 +58,11 @@ void add_transmission_gate(BuildContext& ctx, const std::string& prefix,
                            spice::NodeId a, spice::NodeId b, spice::NodeId ctl,
                            spice::NodeId ctlB);
 
+/// Runs the electrical-rule checker (src/erc/) over a freshly built deck
+/// and throws std::logic_error naming `context` on any ERC error. Compiled
+/// to a no-op when the NVFF_ERC_SELF_CHECK CMake option is OFF.
+void erc_self_check(const spice::Circuit& circuit, const char* context);
+
 /// Digital control signal described as ideal rail-to-rail steps with a short
 /// ramp; realized as a PWL voltage source driving a named node.
 class ControlSignal {

@@ -229,6 +229,7 @@ MultibitLatchInstance MultibitNvLatch::build_read(const Technology& tech,
   inst.tEval1Start = timing.phase1EvalStart();
   inst.tCapture1 = timing.phase1End();
   inst.tEnd = timing.total();
+  erc_self_check(inst.circuit, "MultibitNvLatch::build_read");
   return inst;
 }
 
@@ -249,6 +250,7 @@ MultibitLatchInstance MultibitNvLatch::build_write(const Technology& tech,
 
   inst.tEval0Start = timing.start;
   inst.tEnd = timing.total();
+  erc_self_check(inst.circuit, "MultibitNvLatch::build_write");
   return inst;
 }
 
@@ -262,6 +264,7 @@ MultibitLatchInstance MultibitNvLatch::build_idle(const Technology& tech,
   Controls ctl(tech.vdd, 20e-12, false, true);
   ctl.install(inst.circuit);
   inst.tEnd = 1e-9;
+  erc_self_check(inst.circuit, "MultibitNvLatch::build_idle");
   return inst;
 }
 
@@ -292,6 +295,7 @@ MultibitLatchInstance MultibitNvLatch::build_power_cycle(const Technology& tech,
   inst.tEval1Start = timing.wakeDone() + read.phase1EvalStart();
   inst.tCapture1 = timing.wakeDone() + read.phase1End();
   inst.tEnd = timing.wakeDone() + read.total();
+  erc_self_check(inst.circuit, "MultibitNvLatch::build_power_cycle");
   return inst;
 }
 

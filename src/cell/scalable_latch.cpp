@@ -232,6 +232,7 @@ ScalableLatchInstance ScalableNvLatch::build_read(const Technology& tech,
   }
   ctl.install(inst.circuit);
   inst.tEnd = t + phase.gap;
+  erc_self_check(inst.circuit, "ScalableNvLatch::build_read");
   return inst;
 }
 
@@ -253,6 +254,7 @@ ScalableLatchInstance ScalableNvLatch::build_write(const Technology& tech,
   ctl.wenb.pulse_low(timing.start, timing.end());
   ctl.install(inst.circuit);
   inst.tEnd = timing.total();
+  erc_self_check(inst.circuit, "ScalableNvLatch::build_write");
   return inst;
 }
 
@@ -270,6 +272,7 @@ ScalableLatchInstance ScalableNvLatch::build_idle(const Technology& tech,
                        data.size() - data.size() / 2);
   ctl.install(inst.circuit);
   inst.tEnd = 1e-9;
+  erc_self_check(inst.circuit, "ScalableNvLatch::build_idle");
   return inst;
 }
 

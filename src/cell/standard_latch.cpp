@@ -151,6 +151,7 @@ StandardLatchInstance StandardNvLatch::build_read(const Technology& tech,
 
   inst.tEvalStart = timing.evalStart();
   inst.tEnd = timing.total();
+  erc_self_check(inst.circuit, "StandardNvLatch::build_read");
   return inst;
 }
 
@@ -171,6 +172,7 @@ StandardLatchInstance StandardNvLatch::build_write(const Technology& tech,
 
   inst.tEvalStart = timing.start;
   inst.tEnd = timing.total();
+  erc_self_check(inst.circuit, "StandardNvLatch::build_write");
   return inst;
 }
 
@@ -187,6 +189,7 @@ StandardLatchInstance StandardNvLatch::build_idle(const Technology& tech,
   Controls ctl(tech.vdd, 20e-12, false);
   ctl.install(inst.circuit);
   inst.tEnd = 1e-9;
+  erc_self_check(inst.circuit, "StandardNvLatch::build_idle");
   return inst;
 }
 
@@ -215,6 +218,7 @@ StandardLatchInstance StandardNvLatch::build_power_cycle(const Technology& tech,
 
   inst.tEvalStart = timing.wakeDone() + timing.read.evalStart();
   inst.tEnd = timing.total();
+  erc_self_check(inst.circuit, "StandardNvLatch::build_power_cycle");
   return inst;
 }
 

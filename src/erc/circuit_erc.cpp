@@ -1,0 +1,371 @@
+#include "erc/circuit_erc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "mtj/device.hpp"
+#include "util/strings.hpp"
+
+namespace nvff::erc {
+namespace {
+
+using spice::Capacitor;
+using spice::CurrentSource;
+using spice::Device;
+using spice::kGround;
+using spice::kInvalidNode;
+using spice::Mosfet;
+using spice::NodeId;
+using spice::Resistor;
+using spice::VoltageSource;
+
+/// Union-find over node ids (0 = ground included).
+class Dsu {
+public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t a) {
+    while (parent_[a] != a) a = parent_[a] = parent_[parent_[a]];
+    return a;
+  }
+  /// Returns false if a and b were already connected.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[b] = a;
+    return true;
+  }
+
+private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Everything the rules need to know about one node, gathered in a single
+/// pass over the device list.
+struct NodeFacts {
+  int degree = 0;        ///< total terminal attachments
+  bool hasGate = false;  ///< some MOSFET gate is tied here
+  bool hasDriver = false; ///< a terminal that can set the DC voltage
+  std::string gateOf;    ///< first MOSFET whose gate is here (for messages)
+};
+
+struct Analysis {
+  const spice::Circuit& circuit;
+  const CircuitErcOptions& options;
+  Report report;
+
+  std::size_t numNodes; ///< non-ground nodes; valid ids are 0..numNodes
+  std::vector<NodeFacts> facts; ///< index = NodeId (0 = ground, unused)
+  Dsu dcPath;   ///< connectivity through DC-capable elements (ERC003)
+  Dsu alwaysOn; ///< connectivity through always-on channels (ERC004)
+  Dsu sources;  ///< connectivity through ideal voltage sources (ERC005)
+  std::map<NodeId, double> dcLevel; ///< nodes hard-tied to a DC voltage
+  bool anyInvalid = false;
+
+  Analysis(const spice::Circuit& c, const CircuitErcOptions& o)
+      : circuit(c),
+        options(o),
+        numNodes(c.num_nodes()),
+        facts(numNodes + 1),
+        dcPath(numNodes + 1),
+        alwaysOn(numNodes + 1),
+        sources(numNodes + 1) {
+    report.set_suppressed(o.suppress);
+  }
+
+  bool valid(NodeId n) const {
+    return n >= kGround && n <= static_cast<NodeId>(numNodes);
+  }
+
+  std::string name_of(NodeId n) const {
+    if (!valid(n)) return format("node#%d", n);
+    return circuit.node_name(n);
+  }
+
+  /// ERC008 + fact accumulation for one terminal. Returns false (and
+  /// reports) for an invalid node id so callers can skip the terminal.
+  bool terminal(const Device& dev, const char* pin, NodeId n, bool driver,
+                bool gate = false) {
+    if (!valid(n)) {
+      anyInvalid = true;
+      report.add("ERC008", Severity::Error, dev.name(),
+                 format("%s terminal uses invalid node id %d", pin, n),
+                 n == kInvalidNode
+                     ? "kInvalidNode (a failed Circuit::find_node?) reached a device"
+                     : "node id is outside this circuit's node table");
+      return false;
+    }
+    if (n == kGround) return true; // ground is always driven; no facts kept
+    NodeFacts& f = facts[static_cast<std::size_t>(n)];
+    ++f.degree;
+    if (driver) f.hasDriver = true;
+    if (gate) {
+      f.hasGate = true;
+      if (f.gateOf.empty()) f.gateOf = dev.name();
+    }
+    return true;
+  }
+};
+
+void scan_devices(Analysis& a) {
+  for (const auto& up : a.circuit.devices()) {
+    const Device& dev = *up;
+    if (const auto* r = dynamic_cast<const Resistor*>(&dev)) {
+      const bool okA = a.terminal(dev, "A", r->node_a(), true);
+      const bool okB = a.terminal(dev, "B", r->node_b(), true);
+      if (okA && okB) a.dcPath.unite(r->node_a(), r->node_b());
+      if (r->resistance() <= 0.0) {
+        a.report.add("ERC006", Severity::Error, dev.name(),
+                     format("non-positive resistance %g ohm", r->resistance()));
+      }
+    } else if (const auto* c = dynamic_cast<const Capacitor*>(&dev)) {
+      a.terminal(dev, "A", c->node_a(), false);
+      a.terminal(dev, "B", c->node_b(), false);
+      if (c->capacitance() < 0.0) {
+        a.report.add("ERC006", Severity::Error, dev.name(),
+                     format("negative capacitance %g F", c->capacitance()));
+      }
+    } else if (const auto* v = dynamic_cast<const VoltageSource*>(&dev)) {
+      const bool okP = a.terminal(dev, "plus", v->plus(), true);
+      const bool okM = a.terminal(dev, "minus", v->minus(), true);
+      if (okP && okM) {
+        a.dcPath.unite(v->plus(), v->minus());
+        if (!a.sources.unite(v->plus(), v->minus())) {
+          a.report.add(
+              "ERC005", Severity::Error, dev.name(),
+              v->plus() == v->minus()
+                  ? "voltage source shorts its own terminals"
+                  : format("forms a loop of ideal voltage sources through "
+                           "nodes %s and %s",
+                           a.name_of(v->plus()).c_str(),
+                           a.name_of(v->minus()).c_str()),
+              "two ideal sources fighting over one node pair have no "
+              "consistent solution");
+        }
+      }
+    } else if (const auto* i = dynamic_cast<const CurrentSource*>(&dev)) {
+      a.terminal(dev, "from", i->from(), true);
+      a.terminal(dev, "to", i->to(), true);
+    } else if (const auto* m = dynamic_cast<const Mosfet*>(&dev)) {
+      const bool okD = a.terminal(dev, "drain", m->drain(), true);
+      const bool okS = a.terminal(dev, "source", m->source(), true);
+      a.terminal(dev, "gate", m->gate(), false, /*gate=*/true);
+      a.terminal(dev, "bulk", m->bulk(), false);
+      if (okD && okS) a.dcPath.unite(m->drain(), m->source());
+      if (m->geometry().w <= 0.0 || m->geometry().l <= 0.0) {
+        a.report.add("ERC006", Severity::Error, dev.name(),
+                     format("non-positive geometry W=%g m, L=%g m",
+                            m->geometry().w, m->geometry().l));
+      }
+    } else if (const auto* t = dynamic_cast<const mtj::MtjDevice*>(&dev)) {
+      const bool okF = a.terminal(dev, "free", t->free_node(), true);
+      const bool okR = a.terminal(dev, "ref", t->ref_node(), true);
+      if (okF && okR) {
+        a.dcPath.unite(t->free_node(), t->ref_node());
+        if (t->free_node() == t->ref_node()) {
+          a.report.add("ERC007", Severity::Error, dev.name(),
+                       "free and reference terminals tied to the same node",
+                       "the MTJ is permanently shorted out of the circuit");
+        }
+      }
+    }
+    // Unknown device types contribute no terminals; their rules live with
+    // whoever adds them.
+  }
+}
+
+/// Propagates DC levels from ground through DC voltage sources (ERC004's
+/// notion of "hard-tied to a rail").
+void solve_dc_levels(Analysis& a) {
+  a.dcLevel[kGround] = 0.0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& up : a.circuit.devices()) {
+      const auto* v = dynamic_cast<const VoltageSource*>(up.get());
+      if (v == nullptr || !v->waveform().is_dc()) continue;
+      if (!a.valid(v->plus()) || !a.valid(v->minus())) continue;
+      const bool pKnown = a.dcLevel.count(v->plus()) != 0;
+      const bool mKnown = a.dcLevel.count(v->minus()) != 0;
+      if (pKnown && !mKnown) {
+        a.dcLevel[v->minus()] = a.dcLevel[v->plus()] - v->value(0.0);
+        changed = true;
+      } else if (mKnown && !pKnown) {
+        a.dcLevel[v->plus()] = a.dcLevel[v->minus()] + v->value(0.0);
+        changed = true;
+      }
+    }
+  }
+}
+
+void check_always_on_shorts(Analysis& a) {
+  double vMax = 0.0;
+  for (const auto& [node, level] : a.dcLevel) {
+    (void)node;
+    vMax = std::max(vMax, level);
+  }
+
+  // Channel edges of transistors whose gate is hard-tied to a level that
+  // keeps them conducting.
+  std::vector<const Mosfet*> onFets;
+  for (const auto& up : a.circuit.devices()) {
+    const auto* m = dynamic_cast<const Mosfet*>(up.get());
+    if (m == nullptr) continue;
+    if (!a.valid(m->gate()) || !a.valid(m->drain()) || !a.valid(m->source())) {
+      continue;
+    }
+    const auto it = a.dcLevel.find(m->gate());
+    if (it == a.dcLevel.end()) continue;
+    const double vg = it->second;
+    const double vth = m->params().vth;
+    const bool on = m->type() == spice::MosType::Nmos ? vg > vth
+                                                      : vg < vMax - vth;
+    if (!on) continue;
+    onFets.push_back(m);
+    a.alwaysOn.unite(m->drain(), m->source());
+  }
+  if (onFets.empty()) return;
+
+  // A component of always-on channels touching two different DC levels is a
+  // static rail-to-rail short.
+  struct Span {
+    double lo = 0.0, hi = 0.0;
+    bool seen = false;
+    std::vector<const Mosfet*> fets;
+  };
+  std::map<std::size_t, Span> spans;
+  for (const Mosfet* m : onFets) {
+    spans[a.alwaysOn.find(static_cast<std::size_t>(m->drain()))].fets.push_back(m);
+  }
+  for (const auto& [node, level] : a.dcLevel) {
+    if (!a.valid(node)) continue;
+    const std::size_t root = a.alwaysOn.find(static_cast<std::size_t>(node));
+    auto it = spans.find(root);
+    if (it == spans.end()) continue;
+    Span& s = it->second;
+    if (!s.seen) {
+      s.lo = s.hi = level;
+      s.seen = true;
+    } else {
+      s.lo = std::min(s.lo, level);
+      s.hi = std::max(s.hi, level);
+    }
+  }
+  for (const auto& [root, s] : spans) {
+    (void)root;
+    if (!s.seen || s.hi - s.lo <= a.options.shortDeltaV) continue;
+    std::string names;
+    for (const Mosfet* m : s.fets) {
+      if (!names.empty()) names += ", ";
+      names += m->name();
+    }
+    a.report.add("ERC004", Severity::Error, names,
+                 format("always-on stack shorts a %.3g V rail to a %.3g V rail",
+                        s.hi, s.lo),
+                 "a gate is hard-tied to a DC level that never turns the "
+                 "stack off");
+  }
+}
+
+void check_nodes(Analysis& a) {
+  // ERC001 / ERC002 from the accumulated facts.
+  for (NodeId n = 1; n <= static_cast<NodeId>(a.numNodes); ++n) {
+    const NodeFacts& f = a.facts[static_cast<std::size_t>(n)];
+    const std::string& name = a.circuit.node_name(n);
+    if (f.hasGate && !f.hasDriver) {
+      a.report.add("ERC001", Severity::Error, name,
+                   format("floating gate of %s: nothing attached can set the "
+                          "node's voltage",
+                          f.gateOf.c_str()),
+                   "drive the node or tie it to a rail");
+      continue; // the gate diagnostic subsumes the generic undriven one
+    }
+    if (f.degree == 0) {
+      a.report.add("ERC002", Severity::Warning, name,
+                   "node was created but no device connects to it");
+    } else if (!f.hasDriver) {
+      a.report.add("ERC002", Severity::Error, name,
+                   "undriven node: only capacitors/gates/bulks attach, so its "
+                   "DC voltage is undefined");
+    } else if (f.degree == 1) {
+      a.report.add("ERC002", Severity::Warning, name,
+                   "dangling node: a single device terminal attaches");
+    }
+  }
+
+  // ERC003: one diagnostic per floating island (connected component of
+  // DC-capable edges that never reaches ground).
+  if (!a.anyInvalid) {
+    std::map<std::size_t, std::vector<NodeId>> islands;
+    const std::size_t groundRoot = a.dcPath.find(kGround);
+    for (NodeId n = 1; n <= static_cast<NodeId>(a.numNodes); ++n) {
+      if (a.facts[static_cast<std::size_t>(n)].degree == 0) continue;
+      const std::size_t root = a.dcPath.find(static_cast<std::size_t>(n));
+      if (root != groundRoot) islands[root].push_back(n);
+    }
+    for (const auto& [root, nodes] : islands) {
+      (void)root;
+      std::string names;
+      for (std::size_t i = 0; i < nodes.size() && i < 4; ++i) {
+        if (i != 0) names += ", ";
+        names += a.circuit.node_name(nodes[i]);
+      }
+      if (nodes.size() > 4) names += ", ...";
+      a.report.add("ERC003", Severity::Error, a.circuit.node_name(nodes.front()),
+                   format("%zu node(s) with no DC path to ground: %s",
+                          nodes.size(), names.c_str()),
+                   "every island needs a resistive or source path to a rail");
+    }
+  }
+}
+
+void check_mtj_terminals(Analysis& a) {
+  for (const auto& up : a.circuit.devices()) {
+    const auto* t = dynamic_cast<const mtj::MtjDevice*>(up.get());
+    if (t == nullptr) continue;
+    if (t->free_node() == t->ref_node()) continue; // reported in scan_devices
+    const auto lonely = [&](NodeId n) {
+      return a.valid(n) && n != kGround &&
+             a.facts[static_cast<std::size_t>(n)].degree <= 1;
+    };
+    if (lonely(t->free_node())) {
+      a.report.add("ERC007", Severity::Error, t->name(),
+                   format("free terminal '%s' connects to nothing else",
+                          a.name_of(t->free_node()).c_str()),
+                   "wire the write path / sense path to the MTJ");
+    }
+    if (lonely(t->ref_node())) {
+      a.report.add("ERC007", Severity::Error, t->name(),
+                   format("reference terminal '%s' connects to nothing else",
+                          a.name_of(t->ref_node()).c_str()),
+                   "wire the write path / sense path to the MTJ");
+    }
+  }
+}
+
+} // namespace
+
+Report check_circuit(const spice::Circuit& circuit,
+                     const CircuitErcOptions& options) {
+  Analysis a(circuit, options);
+  scan_devices(a);
+  solve_dc_levels(a);
+  check_always_on_shorts(a);
+  check_nodes(a);
+  check_mtj_terminals(a);
+  return std::move(a.report);
+}
+
+void require_clean(const spice::Circuit& circuit, const char* context) {
+  const Report report = check_circuit(circuit);
+  if (report.has_errors()) {
+    throw std::logic_error(std::string("ERC failed for ") + context + ":\n" +
+                           report.to_text());
+  }
+}
+
+} // namespace nvff::erc

@@ -1,0 +1,49 @@
+// Electrical-rule checker over spice::Circuit.
+//
+// Static (no simulation) structural checks catching the construction
+// mistakes that otherwise surface only as Newton convergence failures or
+// silently wrong Table II numbers. Rule catalog:
+//
+//   ERC001  floating MOSFET gate — a gate node with nothing attached that
+//           can set its DC voltage (sources, channels, resistors, MTJs)
+//   ERC002  undriven / dangling / unused node
+//   ERC003  node (island) with no DC path to the ground rail
+//   ERC004  rail-to-rail short through a stack of always-on transistors
+//           (gate hard-tied to a DC level that keeps the channel on)
+//   ERC005  conflicting voltage sources (a loop of ideal sources, e.g. two
+//           sources fighting over one node)
+//   ERC006  zero / negative device geometry (MOSFET W or L, resistance,
+//           capacitance)
+//   ERC007  MTJ terminal left unconnected (or both terminals on one node)
+//   ERC008  invalid node id on a device terminal (e.g. a kInvalidNode from
+//           Circuit::find_node used without checking)
+//
+// All rules run in one linear pass over the device list plus a handful of
+// union-find traversals — milliseconds even for large decks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "erc/diagnostics.hpp"
+#include "spice/circuit.hpp"
+
+namespace nvff::erc {
+
+struct CircuitErcOptions {
+  /// Rule ids to drop from the report (see README "Static checks").
+  std::vector<std::string> suppress;
+  /// Minimum DC level difference [V] across an always-on stack that counts
+  /// as a rail-to-rail short (ERC004).
+  double shortDeltaV = 1e-6;
+};
+
+/// Runs every electrical rule over the circuit.
+Report check_circuit(const spice::Circuit& circuit,
+                     const CircuitErcOptions& options = {});
+
+/// Throws std::logic_error with the full report text if check_circuit finds
+/// errors. Used by the latch builders' self-check.
+void require_clean(const spice::Circuit& circuit, const char* context);
+
+} // namespace nvff::erc

@@ -1,0 +1,114 @@
+#include "erc/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace nvff::erc {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+void Report::add(Diagnostic d) {
+  if (std::find(suppressed_.begin(), suppressed_.end(), d.rule) !=
+      suppressed_.end()) {
+    return;
+  }
+  diagnostics_.push_back(std::move(d));
+}
+
+void Report::add(std::string rule, Severity severity, std::string object,
+                 std::string message, std::string hint) {
+  add(Diagnostic{std::move(rule), severity, std::move(object), std::move(message),
+                 std::move(hint)});
+}
+
+void Report::merge(const Report& other) {
+  for (const auto& d : other.diagnostics_) add(d);
+}
+
+std::size_t Report::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::size_t Report::count_rule(std::string_view rule) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::string Report::to_text() const {
+  std::ostringstream out;
+  for (const auto& d : diagnostics_) {
+    out << severity_name(d.severity) << "[" << d.rule << "] " << d.object << ": "
+        << d.message;
+    if (!d.hint.empty()) out << " (" << d.hint << ")";
+    out << "\n";
+  }
+  out << count(Severity::Error) << " error(s), " << count(Severity::Warning)
+      << " warning(s), " << count(Severity::Info) << " note(s)\n";
+  return out.str();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+} // namespace
+
+std::string Report::to_json() const {
+  std::ostringstream out;
+  out << "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const auto& d = diagnostics_[i];
+    if (i != 0) out << ",";
+    out << "{\"rule\":";
+    json_escape(out, d.rule);
+    out << ",\"severity\":";
+    json_escape(out, severity_name(d.severity));
+    out << ",\"object\":";
+    json_escape(out, d.object);
+    out << ",\"message\":";
+    json_escape(out, d.message);
+    out << ",\"hint\":";
+    json_escape(out, d.hint);
+    out << "}";
+  }
+  out << "],\"errors\":" << count(Severity::Error)
+      << ",\"warnings\":" << count(Severity::Warning)
+      << ",\"infos\":" << count(Severity::Info) << "}";
+  return out.str();
+}
+
+} // namespace nvff::erc

@@ -1,0 +1,76 @@
+// Shared diagnostics engine for the static checkers (circuit ERC and
+// netlist lint).
+//
+// Every finding is a Diagnostic carrying a stable rule id ("ERC003",
+// "LNT001"), a severity, the offending object (device, node or gate name),
+// a one-line message and an optional fix hint. A Report collects them and
+// renders either human-readable text or machine-readable JSON.
+//
+// Severity semantics: Error and Warning diagnostics make a report unclean
+// (nonzero `nvfftool lint` exit, self-check throw); Info diagnostics are
+// advisory notes that never gate anything (e.g. dead logic in the synthetic
+// benchmark stand-ins, which is statistical by construction).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nvff::erc {
+
+enum class Severity { Info, Warning, Error };
+
+const char* severity_name(Severity severity);
+
+struct Diagnostic {
+  std::string rule;    ///< stable id, e.g. "ERC001"
+  Severity severity = Severity::Error;
+  std::string object;  ///< offending device / node / gate name
+  std::string message; ///< what is wrong
+  std::string hint;    ///< how to fix it (optional)
+};
+
+/// Collects diagnostics from one or more checker passes.
+class Report {
+public:
+  /// Rules in `suppressed` are dropped on add() (the documented
+  /// suppression mechanism; see README "Static checks").
+  void set_suppressed(std::vector<std::string> rules) {
+    suppressed_ = std::move(rules);
+  }
+
+  void add(Diagnostic d);
+  void add(std::string rule, Severity severity, std::string object,
+           std::string message, std::string hint = "");
+
+  /// Appends every diagnostic of `other` (suppression applies again).
+  void merge(const Report& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::size_t size() const { return diagnostics_.size(); }
+  bool empty() const { return diagnostics_.empty(); }
+
+  std::size_t count(Severity severity) const;
+  /// Number of diagnostics with this rule id.
+  std::size_t count_rule(std::string_view rule) const;
+
+  bool has_errors() const { return count(Severity::Error) > 0; }
+  /// No errors and no warnings (Info notes do not count).
+  bool clean() const {
+    return count(Severity::Error) == 0 && count(Severity::Warning) == 0;
+  }
+
+  /// One line per diagnostic ("error[ERC001] Mx: floating gate ... (hint)")
+  /// followed by a summary line.
+  std::string to_text() const;
+
+  /// JSON object {"diagnostics": [...], "errors": N, "warnings": N,
+  /// "infos": N} for machine consumption (CI annotations, editors).
+  std::string to_json() const;
+
+private:
+  std::vector<Diagnostic> diagnostics_;
+  std::vector<std::string> suppressed_;
+};
+
+} // namespace nvff::erc

@@ -1,0 +1,9 @@
+// Umbrella header for the static-analysis subsystem: the diagnostics
+// engine, the electrical-rule checker over spice::Circuit and the netlist
+// linter over bench::Netlist. See README "Static checks" for the rule
+// catalog and the suppression mechanism.
+#pragma once
+
+#include "erc/circuit_erc.hpp"
+#include "erc/diagnostics.hpp"
+#include "erc/netlist_lint.hpp"

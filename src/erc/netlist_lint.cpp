@@ -1,0 +1,181 @@
+#include "erc/netlist_lint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bench_circuits/bench_io.hpp"
+#include "util/strings.hpp"
+
+namespace nvff::erc {
+namespace {
+
+using bench::Gate;
+using bench::GateId;
+using bench::GateType;
+using bench::Netlist;
+
+void lint_arity(const Netlist& nl, Report& report) {
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const Gate& g = nl.gate(static_cast<GateId>(i));
+    const std::size_t arity = g.fanin.size();
+    switch (g.type) {
+      case GateType::Input:
+        if (arity != 0) {
+          report.add("LNT003", Severity::Error, g.name,
+                     format("primary input has %zu fanin(s)", arity),
+                     "inputs are sources and take no fanin");
+        }
+        break;
+      case GateType::Dff:
+        if (arity != 1) {
+          report.add("LNT005", Severity::Error, g.name,
+                     arity == 0 ? std::string("DFF has no D fanin")
+                                : format("DFF has %zu data fanins", arity),
+                     "a D flip-flop samples exactly one signal");
+        }
+        break;
+      case GateType::Buf:
+      case GateType::Not:
+        if (arity != 1) {
+          report.add("LNT003", Severity::Error, g.name,
+                     format("%s gate has %zu fanin(s), needs exactly 1",
+                            gate_type_name(g.type), arity));
+        }
+        break;
+      default:
+        if (arity < 2) {
+          report.add("LNT003", Severity::Error, g.name,
+                     format("%s gate has %zu fanin(s), needs at least 2",
+                            gate_type_name(g.type), arity));
+        } else if (arity > bench::kMaxFanin) {
+          report.add("LNT003", Severity::Error, g.name,
+                     format("%s gate has %zu fanins, kMaxFanin is %zu",
+                            gate_type_name(g.type), arity, bench::kMaxFanin),
+                     "split the gate into a tree");
+        }
+    }
+  }
+}
+
+void lint_references(const Netlist& nl, Report& report) {
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const Gate& g = nl.gate(static_cast<GateId>(i));
+    for (GateId f : g.fanin) {
+      if (!nl.valid_gate(f)) {
+        report.add("LNT007", Severity::Error, g.name,
+                   format("fanin references gate id %d, outside the netlist", f));
+      }
+    }
+  }
+}
+
+void lint_cycles(const Netlist& nl, Report& report) {
+  const auto cycle = bench::find_combinational_cycle(nl);
+  if (cycle.empty()) return;
+  report.add("LNT001", Severity::Error, nl.gate(cycle.front()).name,
+             "combinational cycle: " + bench::cycle_path_string(nl, cycle),
+             "break the loop or register it through a DFF");
+}
+
+void lint_connectivity(const Netlist& nl, Report& report) {
+  std::vector<bool> isOutput(nl.size(), false);
+  for (GateId id : nl.outputs()) {
+    if (nl.valid_gate(id)) isOutput[static_cast<std::size_t>(id)] = true;
+  }
+
+  std::vector<int> fanoutCount(nl.size(), 0);
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    for (GateId f : nl.gate(static_cast<GateId>(i)).fanin) {
+      if (nl.valid_gate(f)) ++fanoutCount[static_cast<std::size_t>(f)];
+    }
+  }
+
+  // LNT006: a primary output whose driver cannot produce a value.
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    if (!isOutput[i]) continue;
+    const Gate& g = nl.gate(static_cast<GateId>(i));
+    if (g.type != GateType::Input && g.fanin.empty()) {
+      report.add("LNT006", Severity::Error, g.name,
+                 "primary output is undriven: its gate has no fanin");
+    }
+  }
+
+  // LNT004: dead logic — drives nothing, observed by nothing. The synthetic
+  // benchmark generators leave such sinks by construction, so this is an
+  // advisory note, not a gating diagnostic. Large generated netlists contain
+  // thousands of dead sinks; report the first few and summarize the rest.
+  constexpr std::size_t kDeadGateReportCap = 8;
+  std::size_t dead = 0;
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    if (fanoutCount[i] != 0 || isOutput[i]) continue;
+    const Gate& g = nl.gate(static_cast<GateId>(i));
+    if (++dead > kDeadGateReportCap) continue;
+    report.add("LNT004", Severity::Info, g.name,
+               g.type == GateType::Input
+                   ? std::string("unused primary input")
+                   : format("dead %s gate: drives no gate and no output",
+                            gate_type_name(g.type)));
+  }
+  if (dead > kDeadGateReportCap) {
+    report.add("LNT004", Severity::Info, nl.name(),
+               format("%zu more dead gates not listed", dead - kDeadGateReportCap),
+               "suppress LNT004 to silence dead-logic notes");
+  }
+}
+
+} // namespace
+
+Report lint_netlist(const Netlist& netlist, const NetlistLintOptions& options) {
+  Report report;
+  report.set_suppressed(options.suppress);
+  lint_references(netlist, report);
+  lint_arity(netlist, report);
+  lint_cycles(netlist, report);
+  lint_connectivity(netlist, report);
+  return report;
+}
+
+Report lint_bench_text(const std::string& text, const std::string& circuitName,
+                       const NetlistLintOptions& options) {
+  Report report;
+  report.set_suppressed(options.suppress);
+
+  std::istringstream in(text);
+  std::vector<bench::BenchIssue> issues;
+  const Netlist nl = bench::parse_bench_lenient(in, circuitName, issues);
+  for (const auto& issue : issues) {
+    const std::string where = format("line %d", issue.line);
+    switch (issue.kind) {
+      case bench::BenchIssue::Kind::DuplicateDriver:
+        report.add("LNT002", Severity::Error, issue.signal,
+                   issue.message + " (" + where + ")",
+                   "merge the drivers or rename one signal");
+        break;
+      case bench::BenchIssue::Kind::UndefinedSignal:
+        report.add("LNT007", Severity::Error,
+                   issue.signal.empty() ? where : issue.signal,
+                   issue.message + " (" + where + ")");
+        break;
+      case bench::BenchIssue::Kind::Syntax:
+        report.add("LNT008", Severity::Error, where, issue.message);
+        break;
+    }
+  }
+  report.merge(lint_netlist(nl, options));
+  return report;
+}
+
+Report lint_bench_file(const std::string& path, const NetlistLintOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto slash = path.find_last_of('/');
+  std::string stem = (slash == std::string::npos) ? path : path.substr(slash + 1);
+  const auto dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  return lint_bench_text(text.str(), stem, options);
+}
+
+} // namespace nvff::erc

@@ -1,0 +1,48 @@
+// Netlist linter over bench::Netlist and raw .bench text.
+//
+// Unlike Netlist::finalize() — which throws on the first structural problem
+// — the linter reports every problem at once, with stable rule ids and the
+// offending gate names, and it accepts unfinalized netlists (broken ones
+// cannot finalize). Rule catalog:
+//
+//   LNT001  combinational cycle, reported WITH the cycle path
+//   LNT002  multi-driven signal (a signal defined more than once; .bench
+//           text lint only — the in-memory Netlist cannot represent it)
+//   LNT003  fanin arity violation (INPUT with fanin, 1-input gate with a
+//           different count, n-ary gate with < 2 or > kMaxFanin fanins)
+//   LNT004  dead gate: drives nothing and is not a primary output (Info —
+//           the synthetic benchmark stand-ins contain dead sinks by
+//           construction, see bench_circuits/generator.hpp)
+//   LNT005  DFF with missing or multiple D fanins
+//   LNT006  undriven primary output (its driver has no fanin and is not a
+//           primary input)
+//   LNT007  dangling signal reference (fanin GateId out of range, or an
+//           undefined name in .bench text)
+//   LNT008  .bench syntax error (text lint only)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_circuits/netlist.hpp"
+#include "erc/diagnostics.hpp"
+
+namespace nvff::erc {
+
+struct NetlistLintOptions {
+  /// Rule ids to drop from the report (see README "Static checks").
+  std::vector<std::string> suppress;
+};
+
+/// Structural rules over an (optionally unfinalized) netlist.
+Report lint_netlist(const bench::Netlist& netlist,
+                    const NetlistLintOptions& options = {});
+
+/// Full .bench lint: lenient parse (LNT002/LNT007/LNT008 from the text)
+/// followed by the structural rules on the recovered netlist.
+Report lint_bench_text(const std::string& text, const std::string& circuitName,
+                       const NetlistLintOptions& options = {});
+Report lint_bench_file(const std::string& path,
+                       const NetlistLintOptions& options = {});
+
+} // namespace nvff::erc

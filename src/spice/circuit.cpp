@@ -25,7 +25,7 @@ NodeId Circuit::node(const std::string& name) {
 NodeId Circuit::find_node(const std::string& name) const {
   if (is_ground_name(name)) return kGround;
   auto it = nodesByName_.find(name);
-  if (it == nodesByName_.end()) return kGround - 1;
+  if (it == nodesByName_.end()) return kInvalidNode;
   return it->second;
 }
 

@@ -36,7 +36,7 @@ public:
   /// "0", "gnd" and "GND" all alias ground.
   NodeId node(const std::string& name);
 
-  /// Returns the node if it exists, kGround-1 (invalid) otherwise.
+  /// Returns the node if it exists, kInvalidNode otherwise.
   NodeId find_node(const std::string& name) const;
 
   /// Name of a node id (for reports); ground renders as "gnd".

@@ -20,6 +20,10 @@ namespace nvff::spice {
 using NodeId = int;
 inline constexpr NodeId kGround = 0;
 
+/// Sentinel for "no such node". Returned by Circuit::find_node on a miss;
+/// never a valid device terminal (the ERC flags any device carrying it).
+inline constexpr NodeId kInvalidNode = -1;
+
 /// Snapshot of the solver state a device sees while stamping.
 struct SimState {
   double time = 0.0;       ///< current timestep's absolute time

@@ -9,7 +9,9 @@ namespace nvff::spice {
 
 void Trace::watch_node(const Circuit& circuit, const std::string& nodeName) {
   const NodeId node = circuit.find_node(nodeName);
-  if (node < kGround) throw std::invalid_argument("Trace: unknown node " + nodeName);
+  if (node == kInvalidNode) {
+    throw std::invalid_argument("Trace: unknown node " + nodeName);
+  }
   nodeProbes_.push_back(NodeProbe{nodeName, node});
   data_.emplace_back();
 }

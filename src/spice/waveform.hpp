@@ -47,6 +47,9 @@ public:
 
   double value(double time) const;
 
+  /// True for a constant (DC) waveform (value(t) == value(0) for all t).
+  bool is_dc() const { return kind_ == Kind::Dc; }
+
   /// Largest time at which the waveform still changes (used to pick the
   /// transient window); 0 for DC.
   double active_until() const;

@@ -1,0 +1,217 @@
+// Each ERC rule gets a deliberately broken minimal circuit and must fire
+// exactly once with its own rule id. A known-good circuit must come back
+// empty.
+#include "erc/circuit_erc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mtj/device.hpp"
+#include "spice/circuit.hpp"
+
+namespace nvff::erc {
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::kInvalidNode;
+using spice::Waveform;
+
+mtj::MtjModel table1_model() { return mtj::MtjModel(mtj::MtjParams::table1()); }
+
+TEST(CircuitErcTest, CleanDividerReportsNothing) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto mid = ckt.node("mid");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  ckt.add_resistor("R1", vdd, mid, 10e3);
+  ckt.add_resistor("R2", mid, kGround, 10e3);
+  const Report r = check_circuit(ckt);
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(CircuitErcTest, Erc001FloatingGate) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto out = ckt.node("out");
+  const auto gate = ckt.node("float_g");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  ckt.add_resistor("Rload", vdd, out, 10e3);
+  ckt.add_nmos("M1", out, gate, kGround, kGround, {}, {});
+  const Report r = check_circuit(ckt);
+  EXPECT_EQ(r.count_rule("ERC001"), 1u) << r.to_text();
+  EXPECT_TRUE(r.has_errors());
+  // The floating-gate diagnostic subsumes the generic undriven-node one.
+  EXPECT_EQ(r.count_rule("ERC002"), 0u) << r.to_text();
+  const auto& d = r.diagnostics().front();
+  EXPECT_EQ(d.object, "float_g");
+  EXPECT_NE(d.message.find("M1"), std::string::npos)
+      << "must name the MOSFET whose gate floats";
+}
+
+TEST(CircuitErcTest, Erc002UnusedNodeWarns) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  ckt.node("orphan"); // created, never wired
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  ckt.add_resistor("Rload", vdd, kGround, 10e3);
+  const Report r = check_circuit(ckt);
+  EXPECT_EQ(r.count_rule("ERC002"), 1u) << r.to_text();
+  EXPECT_EQ(r.count(Severity::Warning), 1u);
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(CircuitErcTest, Erc002UndrivenCapacitorOnlyNode) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto hang = ckt.node("hang");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  ckt.add_resistor("Rload", vdd, kGround, 10e3);
+  ckt.add_capacitor("C1", hang, kGround, 1e-15);
+  const Report r = check_circuit(ckt);
+  EXPECT_EQ(r.count_rule("ERC002"), 1u) << r.to_text();
+  EXPECT_EQ(r.diagnostics().front().severity, Severity::Error);
+}
+
+TEST(CircuitErcTest, Erc002DanglingSingleTerminalWarns) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto stub = ckt.node("stub");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  ckt.add_resistor("Rstub", vdd, stub, 1e3);
+  const Report r = check_circuit(ckt);
+  EXPECT_EQ(r.count_rule("ERC002"), 1u) << r.to_text();
+  EXPECT_EQ(r.count(Severity::Warning), 1u);
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(CircuitErcTest, Erc003IslandWithoutGroundPath) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  ckt.add_resistor("Rload", vdd, kGround, 10e3);
+  // Resistor triangle floating in space: every node driven, none grounded.
+  const auto a = ckt.node("isl_a");
+  const auto b = ckt.node("isl_b");
+  const auto c = ckt.node("isl_c");
+  ckt.add_resistor("Ra", a, b, 1e3);
+  ckt.add_resistor("Rb", b, c, 1e3);
+  ckt.add_resistor("Rc", c, a, 1e3);
+  const Report r = check_circuit(ckt);
+  ASSERT_EQ(r.count_rule("ERC003"), 1u) << r.to_text();
+  EXPECT_EQ(r.size(), 1u) << "one diagnostic per island, not per node";
+  EXPECT_NE(r.diagnostics().front().message.find("isl_a"), std::string::npos);
+}
+
+TEST(CircuitErcTest, Erc004AlwaysOnRailShort) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto g = ckt.node("tied_high");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  ckt.add_vsource("Vg", g, kGround, Waveform::dc(1.1));
+  // Gate hard-tied above vth: the channel statically shorts vdd to gnd.
+  ckt.add_nmos("Mshort", vdd, g, kGround, kGround, {}, {});
+  const Report r = check_circuit(ckt);
+  ASSERT_EQ(r.count_rule("ERC004"), 1u) << r.to_text();
+  EXPECT_NE(r.diagnostics().back().object.find("Mshort"), std::string::npos);
+}
+
+TEST(CircuitErcTest, Erc004SilentWhenGateTiedOff) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  // Gate at 0 V keeps the NMOS off: same topology, no short.
+  ckt.add_nmos("Moff", vdd, kGround, kGround, kGround, {}, {});
+  const Report r = check_circuit(ckt);
+  EXPECT_EQ(r.count_rule("ERC004"), 0u) << r.to_text();
+}
+
+TEST(CircuitErcTest, Erc005ParallelSourcesFight) {
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  ckt.add_vsource("V1", a, kGround, Waveform::dc(1.0));
+  ckt.add_vsource("V2", a, kGround, Waveform::dc(1.2));
+  const Report r = check_circuit(ckt);
+  ASSERT_EQ(r.count_rule("ERC005"), 1u) << r.to_text();
+  EXPECT_EQ(r.diagnostics().front().object, "V2")
+      << "the second source closes the loop";
+}
+
+TEST(CircuitErcTest, Erc006NonPositiveMosGeometry) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto g = ckt.node("g");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  ckt.add_resistor("Rg", g, kGround, 1e3);
+  ckt.add_nmos("Mzero", vdd, g, kGround, kGround, {.w = 0.0, .l = 40e-9}, {});
+  const Report r = check_circuit(ckt);
+  ASSERT_EQ(r.count_rule("ERC006"), 1u) << r.to_text();
+  EXPECT_EQ(r.diagnostics().front().object, "Mzero");
+}
+
+TEST(CircuitErcTest, Erc007LonelyMtjTerminal) {
+  Circuit ckt;
+  const auto top = ckt.node("top");
+  const auto stub = ckt.node("mtj_stub");
+  ckt.add_vsource("Vtop", top, kGround, Waveform::dc(0.5));
+  ckt.add_device<mtj::MtjDevice>("MTJ1", stub, top, table1_model(),
+                                 mtj::MtjOrientation::Parallel);
+  const Report r = check_circuit(ckt);
+  EXPECT_EQ(r.count_rule("ERC007"), 1u) << r.to_text();
+}
+
+TEST(CircuitErcTest, Erc007SelfShortedMtj) {
+  Circuit ckt;
+  const auto n = ckt.node("n");
+  ckt.add_vsource("Vn", n, kGround, Waveform::dc(0.5));
+  ckt.add_device<mtj::MtjDevice>("MTJshort", n, n, table1_model(),
+                                 mtj::MtjOrientation::Parallel);
+  const Report r = check_circuit(ckt);
+  EXPECT_EQ(r.count_rule("ERC007"), 1u) << r.to_text();
+}
+
+TEST(CircuitErcTest, Erc008InvalidNodeId) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  // A failed find_node() used without checking.
+  ckt.add_resistor("Rbad", vdd, ckt.find_node("no_such_node"), 1e3);
+  const Report r = check_circuit(ckt);
+  ASSERT_EQ(r.count_rule("ERC008"), 1u) << r.to_text();
+  EXPECT_EQ(r.diagnostics().front().object, "Rbad");
+  EXPECT_NE(r.diagnostics().front().hint.find("kInvalidNode"), std::string::npos);
+}
+
+TEST(CircuitErcTest, SuppressionFiltersRules) {
+  Circuit ckt;
+  ckt.node("orphan");
+  CircuitErcOptions opt;
+  opt.suppress = {"ERC002"};
+  const Report r = check_circuit(ckt, opt);
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(CircuitErcTest, RequireCleanThrowsWithReport) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto gate = ckt.node("g");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(1.1));
+  ckt.add_nmos("M1", vdd, gate, kGround, kGround, {}, {});
+  try {
+    require_clean(ckt, "unit-test deck");
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unit-test deck"), std::string::npos);
+    EXPECT_NE(what.find("ERC001"), std::string::npos);
+  }
+}
+
+TEST(CircuitErcTest, RequireCleanIgnoresWarnings) {
+  Circuit ckt;
+  ckt.node("orphan"); // warning-only circuit
+  EXPECT_NO_THROW(require_clean(ckt, "warning deck"));
+}
+
+} // namespace
+} // namespace nvff::erc

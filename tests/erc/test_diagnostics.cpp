@@ -1,0 +1,84 @@
+#include "erc/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvff::erc {
+namespace {
+
+Report two_errors_one_warning_one_info() {
+  Report r;
+  r.add("ERC001", Severity::Error, "n1", "floating gate of M1", "drive it");
+  r.add("ERC002", Severity::Error, "n2", "undriven node");
+  r.add("ERC002", Severity::Warning, "n3", "dangling node");
+  r.add("LNT004", Severity::Info, "g1", "dead gate");
+  return r;
+}
+
+TEST(DiagnosticsTest, CountsBySeverityAndRule) {
+  const Report r = two_errors_one_warning_one_info();
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.count(Severity::Error), 2u);
+  EXPECT_EQ(r.count(Severity::Warning), 1u);
+  EXPECT_EQ(r.count(Severity::Info), 1u);
+  EXPECT_EQ(r.count_rule("ERC002"), 2u);
+  EXPECT_EQ(r.count_rule("ERC001"), 1u);
+  EXPECT_EQ(r.count_rule("ERC999"), 0u);
+}
+
+TEST(DiagnosticsTest, CleanSemantics) {
+  Report r;
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(r.empty());
+  r.add("LNT004", Severity::Info, "g", "dead gate");
+  EXPECT_TRUE(r.clean()) << "Info notes must not gate";
+  EXPECT_FALSE(r.empty());
+  r.add("ERC002", Severity::Warning, "n", "dangling");
+  EXPECT_FALSE(r.clean());
+  EXPECT_FALSE(r.has_errors());
+  r.add("ERC001", Severity::Error, "n", "floating gate");
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(DiagnosticsTest, SuppressionDropsOnAdd) {
+  Report r;
+  r.set_suppressed({"ERC002"});
+  r.add("ERC002", Severity::Error, "n", "undriven");
+  r.add("ERC001", Severity::Error, "n", "floating gate");
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.count_rule("ERC002"), 0u);
+  EXPECT_EQ(r.count_rule("ERC001"), 1u);
+}
+
+TEST(DiagnosticsTest, MergeRespectsSuppression) {
+  Report src = two_errors_one_warning_one_info();
+  Report dst;
+  dst.set_suppressed({"LNT004"});
+  dst.merge(src);
+  EXPECT_EQ(dst.size(), 3u);
+  EXPECT_EQ(dst.count_rule("LNT004"), 0u);
+  EXPECT_EQ(dst.count(Severity::Error), 2u);
+}
+
+TEST(DiagnosticsTest, TextRendering) {
+  const Report r = two_errors_one_warning_one_info();
+  const std::string text = r.to_text();
+  EXPECT_NE(text.find("error[ERC001] n1: floating gate of M1 (drive it)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("warning[ERC002] n3: dangling node"), std::string::npos);
+  EXPECT_NE(text.find("2 error(s), 1 warning(s), 1 note(s)"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, JsonRendering) {
+  Report r;
+  r.add("ERC005", Severity::Error, "V\"1\"", "loop", "fix");
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"rule\":\"ERC005\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("V\\\"1\\\""), std::string::npos)
+      << "quotes must be escaped: " << json;
+}
+
+} // namespace
+} // namespace nvff::erc

@@ -1,0 +1,91 @@
+// Regression gate: every paper benchmark and every latch variant deck must
+// pass the static checkers. Benchmarks may carry Info-level dead-logic notes
+// (the synthetic generator leaves dead sinks by construction) but no errors
+// or warnings; the hand-built SPICE decks must be spotless.
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generator.hpp"
+#include "cell/flipped_latch.hpp"
+#include "cell/multibit_latch.hpp"
+#include "cell/scalable_latch.hpp"
+#include "cell/standard_latch.hpp"
+#include "cell/technology.hpp"
+#include "erc/erc.hpp"
+
+namespace nvff::erc {
+namespace {
+
+class BenchmarkLintTest : public ::testing::TestWithParam<bench::BenchmarkSpec> {};
+
+TEST_P(BenchmarkLintTest, LintsClean) {
+  const bench::Netlist nl = bench::generate_benchmark(GetParam());
+  const Report r = lint_netlist(nl);
+  EXPECT_TRUE(r.clean()) << r.to_text();
+  EXPECT_EQ(r.count(Severity::Error), 0u);
+  EXPECT_EQ(r.count(Severity::Warning), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkLintTest,
+                         ::testing::ValuesIn(bench::paper_benchmarks()),
+                         [](const ::testing::TestParamInfo<bench::BenchmarkSpec>& info) {
+                           return info.param.name;
+                         });
+
+class DeckErcTest : public ::testing::Test {
+protected:
+  const cell::Technology tech = cell::Technology::table1();
+  const cell::TechCorner corner = tech.read_corner(cell::Corner::Typical);
+
+  void expect_clean(const spice::Circuit& circuit, const char* what) {
+    const Report r = check_circuit(circuit);
+    EXPECT_TRUE(r.empty()) << what << ":\n" << r.to_text();
+  }
+};
+
+TEST_F(DeckErcTest, StandardLatchDecks) {
+  expect_clean(cell::StandardNvLatch::build_read(tech, corner, true, {}).circuit,
+               "standard read");
+  expect_clean(cell::StandardNvLatch::build_write(tech, corner, false, {}).circuit,
+               "standard write");
+  expect_clean(cell::StandardNvLatch::build_idle(tech, corner).circuit,
+               "standard idle");
+  expect_clean(
+      cell::StandardNvLatch::build_power_cycle(tech, corner, true, {}).circuit,
+      "standard power cycle");
+}
+
+TEST_F(DeckErcTest, FlippedLatchDecks) {
+  expect_clean(cell::FlippedNvLatch::build_read(tech, corner, true, {}).circuit,
+               "flipped read");
+  expect_clean(cell::FlippedNvLatch::build_write(tech, corner, false, {}).circuit,
+               "flipped write");
+  expect_clean(cell::FlippedNvLatch::build_idle(tech, corner).circuit,
+               "flipped idle");
+}
+
+TEST_F(DeckErcTest, MultibitLatchDecks) {
+  expect_clean(
+      cell::MultibitNvLatch::build_read(tech, corner, true, false, {}).circuit,
+      "multibit read");
+  expect_clean(
+      cell::MultibitNvLatch::build_write(tech, corner, false, true, {}).circuit,
+      "multibit write");
+  expect_clean(cell::MultibitNvLatch::build_idle(tech, corner).circuit,
+               "multibit idle");
+  expect_clean(cell::MultibitNvLatch::build_power_cycle(tech, corner, true, true, {})
+                   .circuit,
+               "multibit power cycle");
+}
+
+TEST_F(DeckErcTest, ScalableLatchDecks) {
+  const std::vector<bool> data{true, false, true, false};
+  expect_clean(cell::ScalableNvLatch::build_read(tech, corner, data, {}).circuit,
+               "scalable read");
+  expect_clean(cell::ScalableNvLatch::build_write(tech, corner, data, {}).circuit,
+               "scalable write");
+  expect_clean(cell::ScalableNvLatch::build_idle(tech, corner, 4).circuit,
+               "scalable idle");
+}
+
+} // namespace
+} // namespace nvff::erc

@@ -1,0 +1,200 @@
+// Each lint rule gets a deliberately broken minimal netlist (or .bench text)
+// and must fire exactly once with its own rule id.
+#include "erc/netlist_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/netlist.hpp"
+
+namespace nvff::erc {
+namespace {
+
+using bench::GateId;
+using bench::GateType;
+using bench::Netlist;
+
+TEST(NetlistLintTest, CleanNetlistReportsNothing) {
+  Netlist nl("clean");
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId b = nl.add_gate(GateType::Input, "b");
+  const GateId g = nl.add_gate(GateType::Nand, "g", {a, b});
+  const GateId q = nl.add_gate(GateType::Dff, "q", {g});
+  const GateId o = nl.add_gate(GateType::Not, "o", {q});
+  nl.mark_output(o);
+  nl.finalize();
+  const Report r = lint_netlist(nl);
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(NetlistLintTest, Lnt001CombinationalCycleWithPath) {
+  Netlist nl("loop");
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId g1 = nl.add_gate(GateType::And, "g1");
+  const GateId g2 = nl.add_gate(GateType::Or, "g2", {g1, a});
+  nl.set_fanin(g1, {g2, a});
+  nl.mark_output(g2);
+  const Report r = lint_netlist(nl);
+  ASSERT_EQ(r.count_rule("LNT001"), 1u) << r.to_text();
+  const auto& d = r.diagnostics().front();
+  // The whole point of the rule: the report carries the actual cycle path.
+  const bool pathShown = d.message.find("g1 -> g2 -> g1") != std::string::npos ||
+                         d.message.find("g2 -> g1 -> g2") != std::string::npos;
+  EXPECT_TRUE(pathShown) << d.message;
+}
+
+TEST(NetlistLintTest, Lnt001CycleThroughDffIsFine) {
+  Netlist nl("ff_loop");
+  const GateId q = nl.add_gate(GateType::Dff, "q");
+  const GateId g = nl.add_gate(GateType::Not, "g", {q});
+  nl.set_fanin(q, {g});
+  nl.mark_output(g);
+  nl.finalize();
+  const Report r = lint_netlist(nl);
+  EXPECT_EQ(r.count_rule("LNT001"), 0u) << r.to_text();
+}
+
+TEST(NetlistLintTest, Lnt002MultiDrivenSignal) {
+  const std::string text = "INPUT(a)\n"
+                           "OUTPUT(y)\n"
+                           "y = NOT(a)\n"
+                           "y = BUF(a)\n";
+  const Report r = lint_bench_text(text, "dup");
+  EXPECT_EQ(r.count_rule("LNT002"), 1u) << r.to_text();
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(NetlistLintTest, Lnt003ArityViolations) {
+  Netlist low("low_arity");
+  const GateId a = low.add_gate(GateType::Input, "a");
+  const GateId g = low.add_gate(GateType::Nand, "g", {a}); // needs >= 2
+  low.mark_output(g);
+  const Report rLow = lint_netlist(low);
+  EXPECT_EQ(rLow.count_rule("LNT003"), 1u) << rLow.to_text();
+
+  Netlist high("high_arity");
+  std::vector<GateId> pins;
+  for (std::size_t i = 0; i < bench::kMaxFanin + 1; ++i) {
+    pins.push_back(high.add_gate(GateType::Input, "p" + std::to_string(i)));
+  }
+  const GateId wide = high.add_gate(GateType::And, "wide", pins);
+  high.mark_output(wide);
+  const Report rHigh = lint_netlist(high);
+  EXPECT_EQ(rHigh.count_rule("LNT003"), 1u) << rHigh.to_text();
+}
+
+TEST(NetlistLintTest, Lnt004DeadGateIsInfoOnly) {
+  Netlist nl("dead");
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId used = nl.add_gate(GateType::Not, "used", {a});
+  nl.add_gate(GateType::Not, "dead_gate", {a});
+  nl.mark_output(used);
+  nl.finalize();
+  const Report r = lint_netlist(nl);
+  ASSERT_EQ(r.count_rule("LNT004"), 1u) << r.to_text();
+  EXPECT_EQ(r.diagnostics().front().severity, Severity::Info);
+  EXPECT_TRUE(r.clean()) << "dead logic must not gate";
+}
+
+TEST(NetlistLintTest, Lnt004CapsPerGateReports) {
+  Netlist nl("many_dead");
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId used = nl.add_gate(GateType::Not, "used", {a});
+  nl.mark_output(used);
+  for (int i = 0; i < 20; ++i) {
+    nl.add_gate(GateType::Not, "d" + std::to_string(i), {a});
+  }
+  nl.finalize();
+  const Report r = lint_netlist(nl);
+  // 8 individual notes plus one "N more" summary.
+  EXPECT_EQ(r.count_rule("LNT004"), 9u) << r.to_text();
+  EXPECT_NE(r.to_text().find("12 more dead gates"), std::string::npos)
+      << r.to_text();
+}
+
+TEST(NetlistLintTest, Lnt005DffFaninCount) {
+  Netlist none("dff_none");
+  const GateId q0 = none.add_gate(GateType::Dff, "q0");
+  none.mark_output(q0);
+  EXPECT_EQ(lint_netlist(none).count_rule("LNT005"), 1u);
+
+  Netlist two("dff_two");
+  const GateId a = two.add_gate(GateType::Input, "a");
+  const GateId b = two.add_gate(GateType::Input, "b");
+  const GateId q = two.add_gate(GateType::Dff, "q", {a, b});
+  two.mark_output(q);
+  const Report r = lint_netlist(two);
+  EXPECT_EQ(r.count_rule("LNT005"), 1u) << r.to_text();
+  EXPECT_EQ(r.count_rule("LNT003"), 0u) << "DFF arity is LNT005, not LNT003";
+}
+
+TEST(NetlistLintTest, Lnt006UndrivenPrimaryOutput) {
+  Netlist nl("bad_out");
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId ok = nl.add_gate(GateType::Buf, "ok", {a});
+  const GateId bad = nl.add_gate(GateType::Or, "bad");
+  nl.mark_output(ok);
+  nl.mark_output(bad);
+  const Report r = lint_netlist(nl);
+  EXPECT_EQ(r.count_rule("LNT006"), 1u) << r.to_text();
+}
+
+TEST(NetlistLintTest, Lnt007DanglingFaninReference) {
+  Netlist nl("dangle");
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId g = nl.add_gate(GateType::Buf, "g", {a});
+  nl.set_fanin(g, {static_cast<GateId>(99)});
+  nl.mark_output(g);
+  const Report r = lint_netlist(nl);
+  EXPECT_EQ(r.count_rule("LNT007"), 1u) << r.to_text();
+}
+
+TEST(NetlistLintTest, Lnt007UndefinedSignalInBenchText) {
+  const std::string text = "INPUT(a)\n"
+                           "OUTPUT(y)\n"
+                           "y = AND(a, ghost)\n";
+  const Report r = lint_bench_text(text, "undef");
+  EXPECT_EQ(r.count_rule("LNT007"), 1u) << r.to_text();
+}
+
+TEST(NetlistLintTest, Lnt008BenchSyntaxError) {
+  const std::string text = "INPUT(a)\n"
+                           "OUTPUT(y)\n"
+                           "y = WIBBLE(a)\n";
+  const Report r = lint_bench_text(text, "syntax");
+  EXPECT_EQ(r.count_rule("LNT008"), 1u) << r.to_text();
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(NetlistLintTest, SuppressionFiltersRules) {
+  Netlist nl("dead");
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId used = nl.add_gate(GateType::Not, "used", {a});
+  nl.add_gate(GateType::Not, "dead_gate", {a});
+  nl.mark_output(used);
+  NetlistLintOptions opt;
+  opt.suppress = {"LNT004"};
+  const Report r = lint_netlist(nl, opt);
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(NetlistLintTest, FinalizeCycleErrorNamesThePath) {
+  Netlist nl("loop");
+  const GateId a = nl.add_gate(GateType::Input, "a");
+  const GateId g1 = nl.add_gate(GateType::And, "g1");
+  const GateId g2 = nl.add_gate(GateType::Or, "g2", {g1, a});
+  nl.set_fanin(g1, {g2, a});
+  nl.mark_output(g2);
+  try {
+    nl.finalize();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("combinational cycle"), std::string::npos) << what;
+    EXPECT_NE(what.find("->"), std::string::npos)
+        << "finalize must report the cycle path, not a bare 'cycle detected': "
+        << what;
+  }
+}
+
+} // namespace
+} // namespace nvff::erc

@@ -120,7 +120,7 @@ TEST(Circuit, FindNodeAndDevice) {
   const NodeId a = ckt.node("a");
   ckt.add_resistor("R1", a, kGround, 1.0);
   EXPECT_EQ(ckt.find_node("a"), a);
-  EXPECT_LT(ckt.find_node("missing"), kGround);
+  EXPECT_EQ(ckt.find_node("missing"), kInvalidNode);
   EXPECT_NE(ckt.find_device("R1"), nullptr);
   EXPECT_EQ(ckt.find_device("R2"), nullptr);
 }
