@@ -8,6 +8,7 @@
 //   nvfftool cycle <d0> <d1>           # simulate a store/power-off/restore
 //   nvfftool export <benchmark> <dir>  # write .bench, .v and .def artifacts
 //   nvfftool lint [--json] <target>    # static ERC/lint; nonzero exit on errors
+//   nvfftool mc [options]              # Monte-Carlo reliability campaign
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,7 @@
 #include "core/reports.hpp"
 #include "erc/erc.hpp"
 #include "physdes/def_io.hpp"
+#include "reliability/montecarlo.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -256,6 +258,105 @@ int cmd_lint(const std::vector<std::string>& args) {
   return errors > 0 ? 1 : 0;
 }
 
+// --- mc --------------------------------------------------------------------
+
+int mc_usage() {
+  std::fprintf(stderr,
+               "usage: nvfftool mc [options]\n"
+               "  --trials N             trials to run (default 256)\n"
+               "  --seed S               campaign seed (default 1)\n"
+               "  --threads T            worker threads (default 1; output is\n"
+               "                         identical for any T)\n"
+               "  --sigma X              MTJ process-spread multiplier (default 1.0)\n"
+               "  --mismatch-mv X        local Vth mismatch sigma in mV (default 15)\n"
+               "  --jitter-mv X          per-trial corner jitter sigma in mV (default 20)\n"
+               "  --defect-rate P        per-trial MTJ defect probability (default 0)\n"
+               "  --margin X             metastability floor, fraction of VDD (default 0.4)\n"
+               "  --dt SEC               transient step (default 4e-12)\n"
+               "  --retries N            solver recovery retry budget (default 64)\n"
+               "  --deadline SEC         per-solve wall-clock deadline (default off;\n"
+               "                         makes outcomes timing-dependent)\n"
+               "  --checkpoint FILE      save/resume campaign state as JSON\n"
+               "  --every N              checkpoint cadence in trials (default 16)\n"
+               "  --sweep A,B,...        yield-vs-sigma sweep over these scales\n"
+               "                         (runs the full campaign per scale)\n"
+               "  --fail-on-unclassified exit nonzero if any trial is unclassified\n");
+  return 2;
+}
+
+int cmd_mc(const std::vector<std::string>& args) {
+  reliability::CampaignConfig cfg;
+  std::string checkpoint;
+  int every = 16;
+  bool failOnUnclassified = false;
+  std::vector<double> sweep;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument("mc: " + a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--trials") cfg.trials = std::stoi(value());
+    else if (a == "--seed") cfg.seed = std::stoull(value());
+    else if (a == "--threads") cfg.threads = std::stoi(value());
+    else if (a == "--sigma") cfg.sigmaScale = std::stod(value());
+    else if (a == "--mismatch-mv") cfg.sigmaVthMismatch = std::stod(value()) * 1e-3;
+    else if (a == "--jitter-mv") cfg.cornerJitterVth = std::stod(value()) * 1e-3;
+    else if (a == "--defect-rate") cfg.defectRate = std::stod(value());
+    else if (a == "--margin") cfg.marginThreshold = std::stod(value());
+    else if (a == "--dt") cfg.timestep = std::stod(value());
+    else if (a == "--retries") cfg.recovery.retryBudget = std::stoi(value());
+    else if (a == "--deadline") cfg.recovery.deadlineSeconds = std::stod(value());
+    else if (a == "--checkpoint") checkpoint = value();
+    else if (a == "--every") every = std::stoi(value());
+    else if (a == "--fail-on-unclassified") failOnUnclassified = true;
+    else if (a == "--sweep") {
+      for (const std::string& tok : split(value(), ","))
+        sweep.push_back(std::stod(tok));
+    } else {
+      std::fprintf(stderr, "mc: unknown option '%s'\n", a.c_str());
+      return mc_usage();
+    }
+  }
+
+  if (!sweep.empty()) {
+    // A sweep reruns the campaign per scale; checkpointing one file would
+    // mix incompatible configurations, so it is not supported here.
+    if (!checkpoint.empty()) {
+      std::fprintf(stderr, "mc: --sweep and --checkpoint are exclusive\n");
+      return 2;
+    }
+    const auto rows = reliability::sigma_sweep(cfg, sweep);
+    std::printf("%s", reliability::render_sigma_sweep(rows).c_str());
+    return 0;
+  }
+
+  // Progress goes to stderr: stdout must be bit-identical for any thread
+  // count, which rules out completion-order output.
+  const auto progress = [](int done, int total) {
+    if (done % 16 == 0 || done == total)
+      std::fprintf(stderr, "mc: %d/%d trials\n", done, total);
+  };
+  const reliability::CampaignResult result =
+      reliability::run_campaign(cfg, checkpoint, every, progress);
+  std::printf("%s", reliability::render_report(result).c_str());
+
+  long unclassified = 0;
+  for (const auto& t : result.trials) {
+    unclassified +=
+        (t.standard.outcome == reliability::TrialOutcome::Unclassified) +
+        (t.proposed.outcome == reliability::TrialOutcome::Unclassified);
+  }
+  if (unclassified > 0) {
+    std::fprintf(stderr, "mc: %ld unclassified design-trial(s) — this is a bug "
+                         "in the harness, see 'note' fields in the checkpoint\n",
+                 unclassified);
+    if (failOnUnclassified) return 3;
+  }
+  return 0;
+}
+
 int usage() {
   std::printf(
       "usage: nvfftool <command>\n"
@@ -266,7 +367,9 @@ int usage() {
       "  cycle <d0> <d1>          simulate a full normally-off cycle\n"
       "  export <benchmark> <dir> write .bench/.v/.def/.sp artifacts\n"
       "  lint [--json] <target>   static ERC/lint (benchmark, .bench file,\n"
-      "                           deck:<standard|flipped|multibit|scalableN>, all)\n");
+      "                           deck:<standard|flipped|multibit|scalableN>, all)\n"
+      "  mc [options]             Monte-Carlo reliability campaign over both\n"
+      "                           latch designs ('nvfftool mc --help' for options)\n");
   return 2;
 }
 
@@ -288,6 +391,12 @@ int main(int argc, char** argv) {
     if (cmd == "export" && argc >= 4) return cmd_export(argv[2], argv[3]);
     if (cmd == "lint") {
       return cmd_lint(std::vector<std::string>(argv + 2, argv + argc));
+    }
+    if (cmd == "mc") {
+      const std::vector<std::string> mcArgs(argv + 2, argv + argc);
+      for (const std::string& a : mcArgs)
+        if (a == "--help" || a == "-h") return mc_usage();
+      return cmd_mc(mcArgs);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

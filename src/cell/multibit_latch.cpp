@@ -271,9 +271,12 @@ MultibitLatchInstance MultibitNvLatch::build_idle(const Technology& tech,
 MultibitLatchInstance MultibitNvLatch::build_power_cycle(const Technology& tech,
                                                          const TechCorner& corner,
                                                          bool d0, bool d1,
-                                                         const PowerCycleTiming& timing) {
+                                                         const PowerCycleTiming& timing,
+                                                         Rng* mismatchRng,
+                                                         double sigmaVth) {
   MultibitLatchInstance inst;
-  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd"),
+                   mismatchRng, sigmaVth};
   spice::Pwl vddWave;
   vddWave.add_point(0.0, tech.vdd);
   vddWave.add_step(timing.offStart(), 0.0, timing.offRamp);

@@ -107,11 +107,15 @@ public:
   static MultibitLatchInstance build_idle(const Technology& tech,
                                           const TechCorner& corner);
 
-  /// Full normally-off cycle for both bits.
+  /// Full normally-off cycle for both bits. `mismatchRng`/`sigmaVth` inject
+  /// per-transistor local Vth variation as in build_read (Monte-Carlo
+  /// trials run whole cycles under mismatch).
   static MultibitLatchInstance build_power_cycle(const Technology& tech,
                                                  const TechCorner& corner, bool d0,
                                                  bool d1,
-                                                 const PowerCycleTiming& timing);
+                                                 const PowerCycleTiming& timing,
+                                                 Rng* mismatchRng = nullptr,
+                                                 double sigmaVth = 0.0);
 };
 
 } // namespace nvff::cell

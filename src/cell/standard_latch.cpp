@@ -196,9 +196,12 @@ StandardLatchInstance StandardNvLatch::build_idle(const Technology& tech,
 StandardLatchInstance StandardNvLatch::build_power_cycle(const Technology& tech,
                                                          const TechCorner& corner,
                                                          bool d,
-                                                         const PowerCycleTiming& timing) {
+                                                         const PowerCycleTiming& timing,
+                                                         Rng* mismatchRng,
+                                                         double sigmaVth) {
   StandardLatchInstance inst;
-  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd")};
+  BuildContext ctx{&inst.circuit, &tech, &corner, inst.circuit.node("vdd"),
+                   mismatchRng, sigmaVth};
   // Supply collapses after the store and returns before the restore.
   spice::Pwl vddWave;
   vddWave.add_point(0.0, tech.vdd);

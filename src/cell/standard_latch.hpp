@@ -76,9 +76,13 @@ public:
                                           const TechCorner& corner);
 
   /// Full normally-off cycle: store `d`, collapse the supply, wake, restore.
+  /// `mismatchRng`/`sigmaVth` inject per-transistor local Vth variation as
+  /// in build_read (Monte-Carlo trials run whole cycles under mismatch).
   static StandardLatchInstance build_power_cycle(const Technology& tech,
                                                  const TechCorner& corner, bool d,
-                                                 const PowerCycleTiming& timing);
+                                                 const PowerCycleTiming& timing,
+                                                 Rng* mismatchRng = nullptr,
+                                                 double sigmaVth = 0.0);
 };
 
 } // namespace nvff::cell

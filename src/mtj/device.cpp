@@ -65,6 +65,11 @@ void MtjDevice::set_orientation(MtjOrientation orientation) {
   progress_ = 0.0;
 }
 
+void MtjDevice::set_model(MtjModel model) {
+  model_ = std::move(model);
+  progress_ = 0.0;
+}
+
 double MtjDevice::current(const spice::SimState& state) const {
   const double v = state.v(free_) - state.v(ref_);
   return v / effective_resistance(v);

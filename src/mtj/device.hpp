@@ -44,6 +44,12 @@ public:
   double resistance(const spice::SimState& state) const;
 
   const MtjModel& model() const { return model_; }
+
+  /// Replaces the compact-model parameter set. Reliability campaigns use
+  /// this to give every pillar of a freshly built deck its own sampled
+  /// process point (the builders construct all MTJs from one corner set).
+  /// Call before simulating; switching progress is reset.
+  void set_model(MtjModel model);
   spice::NodeId free_node() const { return free_; }
   spice::NodeId ref_node() const { return ref_; }
 

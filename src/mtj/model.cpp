@@ -24,9 +24,10 @@ MtjParams MtjParams::at_sigma(double nSigmaRa, double nSigmaTmr, double nSigmaIc
   return p;
 }
 
-MtjParams MtjParams::sample(Rng& rng) const {
-  return at_sigma(rng.normal_clamped(0.0, 1.0, 3.0), rng.normal_clamped(0.0, 1.0, 3.0),
-                  rng.normal_clamped(0.0, 1.0, 3.0));
+MtjParams MtjParams::sample(Rng& rng, double sigmaScale) const {
+  return at_sigma(rng.normal_clamped(0.0, sigmaScale, 3.0),
+                  rng.normal_clamped(0.0, sigmaScale, 3.0),
+                  rng.normal_clamped(0.0, sigmaScale, 3.0));
 }
 
 MtjModel::MtjModel(MtjParams params) : params_(params) {

@@ -53,8 +53,11 @@ struct MtjParams {
   MtjParams at_sigma(double nSigmaRa, double nSigmaTmr, double nSigmaIc) const;
 
   /// Monte-Carlo sample with independent gaussian variation, clamped at
-  /// +-3 sigma (matching the paper's corner envelope).
-  MtjParams sample(Rng& rng) const;
+  /// +-3 sigma (matching the paper's corner envelope). `sigmaScale`
+  /// multiplies the one-sigma spreads — reliability campaigns sweep it to
+  /// trace yield versus process quality (the clamp stays at 3 of the
+  /// SCALED sigmas, so the envelope widens with the spread).
+  MtjParams sample(Rng& rng, double sigmaScale = 1.0) const;
 
   /// One-sigma relative variations used by at_sigma()/sample().
   static constexpr double kSigmaRaRel = 0.05;

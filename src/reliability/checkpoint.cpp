@@ -1,0 +1,489 @@
+#include "reliability/checkpoint.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "spice/analysis.hpp"
+
+namespace nvff::reliability {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// %.17g round-trips every finite double through strtod exactly, which the
+/// config fingerprint comparison relies on. NaN (no JSON spelling) → null.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Outcome names double as the serialization tokens.
+TrialOutcome outcome_from_name(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(TrialOutcome::Unclassified); ++i)
+    if (name == outcome_name(static_cast<TrialOutcome>(i)))
+      return static_cast<TrialOutcome>(i);
+  throw std::runtime_error("checkpoint: unknown outcome '" + name + "'");
+}
+
+spice::SolveStatus status_from_name(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(spice::SolveStatus::InvalidOptions); ++i)
+    if (name == spice::solve_status_name(static_cast<spice::SolveStatus>(i)))
+      return static_cast<spice::SolveStatus>(i);
+  throw std::runtime_error("checkpoint: unknown solve status '" + name + "'");
+}
+
+/// Campaign-defining fields only (threads / checkpoint cadence excluded:
+/// they must not invalidate a resume). Also the fingerprint compared by
+/// validate_checkpoint, so every field that changes sampling or
+/// classification belongs here.
+std::string config_json(const CampaignConfig& c) {
+  char seedBuf[24];
+  std::snprintf(seedBuf, sizeof(seedBuf), "%llu",
+                static_cast<unsigned long long>(c.seed));
+  const cell::PowerCycleTiming& t = c.timing;
+  const double timing[] = {t.write.start, t.write.duration, t.write.tail,
+                           t.write.ramp,  t.offRamp,        t.offDuration,
+                           t.onRamp,      t.wakeSettle,     t.read.start,
+                           t.read.precharge, t.read.evaluate, t.read.gap,
+                           t.read.ramp};
+  std::string out = "{";
+  out += "\"trials\":" + num(c.trials);
+  out += ",\"seed\":\"" + std::string(seedBuf) + "\"";
+  out += ",\"sigmaScale\":" + num(c.sigmaScale);
+  out += ",\"sigmaVthMismatch\":" + num(c.sigmaVthMismatch);
+  out += ",\"cornerJitterVth\":" + num(c.cornerJitterVth);
+  out += ",\"defectRate\":" + num(c.defectRate);
+  out += ",\"marginThreshold\":" + num(c.marginThreshold);
+  out += ",\"timestep\":" + num(c.timestep);
+  out += ",\"timing\":[";
+  for (std::size_t i = 0; i < sizeof(timing) / sizeof(timing[0]); ++i) {
+    if (i) out += ',';
+    out += num(timing[i]);
+  }
+  out += "]";
+  out += ",\"recovery\":{\"gminStepping\":";
+  out += c.recovery.gminStepping ? "true" : "false";
+  out += ",\"timestepBackoff\":";
+  out += c.recovery.timestepBackoff ? "true" : "false";
+  out += ",\"sourceStepping\":";
+  out += c.recovery.sourceStepping ? "true" : "false";
+  out += ",\"retryBudget\":" + num(c.recovery.retryBudget);
+  out += ",\"deadlineSeconds\":" + num(c.recovery.deadlineSeconds);
+  out += "}}";
+  return out;
+}
+
+void design_json(std::string& out, const DesignTrialResult& r) {
+  out += "{\"outcome\":";
+  append_escaped(out, outcome_name(r.outcome));
+  out += ",\"bitErrors\":" + num(r.bitErrors);
+  out += ",\"margin\":" + num(r.margin);
+  out += ",\"status\":";
+  append_escaped(out, spice::solve_status_name(r.solveStatus));
+  out += ",\"retries\":" + num(r.retriesUsed);
+  out += ",\"subdivisions\":" + num(r.subdivisions);
+  out += ",\"iterations\":" + num(static_cast<double>(r.iterations));
+  out += ",\"note\":";
+  append_escaped(out, r.note);
+  out += "}";
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, numbers, bool, null)
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> fields;
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : fields)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  const Json& at(const std::string& key) const {
+    const Json* v = find(key);
+    if (!v) throw std::runtime_error("checkpoint: missing key '" + key + "'");
+    return *v;
+  }
+  double as_num() const {
+    if (kind == Kind::Null) return std::numeric_limits<double>::quiet_NaN();
+    if (kind != Kind::Num) throw std::runtime_error("checkpoint: expected number");
+    return number;
+  }
+  bool as_bool() const {
+    if (kind != Kind::Bool) throw std::runtime_error("checkpoint: expected bool");
+    return boolean;
+  }
+  const std::string& as_str() const {
+    if (kind != Kind::Str) throw std::runtime_error("checkpoint: expected string");
+    return text;
+  }
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size())
+      throw std::runtime_error("checkpoint: trailing characters after document");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const char* what) {
+    throw std::runtime_error("checkpoint: " + std::string(what) + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_word(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::Str;
+        v.text = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_word("true")) fail("bad literal");
+        Json v;
+        v.kind = Json::Kind::Bool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_word("false")) fail("bad literal");
+        Json v;
+        v.kind = Json::Kind::Bool;
+        return v;
+      }
+      case 'n': {
+        if (!consume_word("null")) fail("bad literal");
+        return Json{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json v;
+    v.kind = Json::Kind::Obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.fields.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json v;
+    v.kind = Json::Kind::Arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Only the control-character range is ever written by our writer.
+          if (code < 0x80) out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string token = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE)
+      fail("malformed number");
+    Json j;
+    j.kind = Json::Kind::Num;
+    j.number = v;
+    return j;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+DesignTrialResult design_from_json(const Json& j) {
+  DesignTrialResult r;
+  r.outcome = outcome_from_name(j.at("outcome").as_str());
+  r.bitErrors = static_cast<int>(j.at("bitErrors").as_num());
+  r.margin = j.at("margin").as_num();
+  r.solveStatus = status_from_name(j.at("status").as_str());
+  r.retriesUsed = static_cast<int>(j.at("retries").as_num());
+  r.subdivisions = static_cast<int>(j.at("subdivisions").as_num());
+  r.iterations = static_cast<long>(j.at("iterations").as_num());
+  r.note = j.at("note").as_str();
+  return r;
+}
+
+CampaignConfig config_from_json(const Json& j) {
+  CampaignConfig c;
+  c.trials = static_cast<int>(j.at("trials").as_num());
+  errno = 0;
+  c.seed = std::strtoull(j.at("seed").as_str().c_str(), nullptr, 10);
+  if (errno == ERANGE) throw std::runtime_error("checkpoint: bad seed");
+  c.sigmaScale = j.at("sigmaScale").as_num();
+  c.sigmaVthMismatch = j.at("sigmaVthMismatch").as_num();
+  c.cornerJitterVth = j.at("cornerJitterVth").as_num();
+  c.defectRate = j.at("defectRate").as_num();
+  c.marginThreshold = j.at("marginThreshold").as_num();
+  c.timestep = j.at("timestep").as_num();
+  const Json& t = j.at("timing");
+  if (t.kind != Json::Kind::Arr || t.items.size() != 13)
+    throw std::runtime_error("checkpoint: bad timing block");
+  cell::PowerCycleTiming& pt = c.timing;
+  double* slots[] = {&pt.write.start, &pt.write.duration, &pt.write.tail,
+                     &pt.write.ramp,  &pt.offRamp,        &pt.offDuration,
+                     &pt.onRamp,      &pt.wakeSettle,     &pt.read.start,
+                     &pt.read.precharge, &pt.read.evaluate, &pt.read.gap,
+                     &pt.read.ramp};
+  for (std::size_t i = 0; i < 13; ++i) *slots[i] = t.items[i].as_num();
+  const Json& rec = j.at("recovery");
+  c.recovery.gminStepping = rec.at("gminStepping").as_bool();
+  c.recovery.timestepBackoff = rec.at("timestepBackoff").as_bool();
+  c.recovery.sourceStepping = rec.at("sourceStepping").as_bool();
+  c.recovery.retryBudget = static_cast<int>(rec.at("retryBudget").as_num());
+  c.recovery.deadlineSeconds = rec.at("deadlineSeconds").as_num();
+  return c;
+}
+
+} // namespace
+
+std::string serialize_checkpoint(const CampaignConfig& config,
+                                 const std::vector<TrialResult>& trials) {
+  std::string out = "{\"schema\":1,\"config\":" + config_json(config);
+  out += ",\"trials\":[";
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const TrialResult& t = trials[i];
+    if (i) out += ',';
+    out += "\n{\"id\":" + num(t.trialId);
+    out += ",\"d0\":";
+    out += t.d0 ? "true" : "false";
+    out += ",\"d1\":";
+    out += t.d1 ? "true" : "false";
+    out += ",\"defect\":";
+    out += t.defectInjected ? "true" : "false";
+    out += ",\"victim\":" + num(t.defectVictim);
+    out += ",\"kind\":" + num(t.defectKind);
+    out += ",\"standard\":";
+    design_json(out, t.standard);
+    out += ",\"proposed\":";
+    design_json(out, t.proposed);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+CheckpointData parse_checkpoint(const std::string& json) {
+  Parser parser(json);
+  const Json doc = parser.parse_document();
+  if (doc.kind != Json::Kind::Obj)
+    throw std::runtime_error("checkpoint: document is not an object");
+  const double schema = doc.at("schema").as_num();
+  if (schema != 1.0)
+    throw std::runtime_error("checkpoint: unsupported schema version");
+  CheckpointData data;
+  data.config = config_from_json(doc.at("config"));
+  const Json& trials = doc.at("trials");
+  if (trials.kind != Json::Kind::Arr)
+    throw std::runtime_error("checkpoint: trials is not an array");
+  for (const Json& j : trials.items) {
+    TrialResult t;
+    t.trialId = static_cast<int>(j.at("id").as_num());
+    t.d0 = j.at("d0").as_bool();
+    t.d1 = j.at("d1").as_bool();
+    t.defectInjected = j.at("defect").as_bool();
+    t.defectVictim = static_cast<int>(j.at("victim").as_num());
+    t.defectKind = static_cast<int>(j.at("kind").as_num());
+    t.standard = design_from_json(j.at("standard"));
+    t.proposed = design_from_json(j.at("proposed"));
+    data.trials.push_back(std::move(t));
+  }
+  return data;
+}
+
+void write_checkpoint_file(const std::string& path, const CampaignConfig& config,
+                           const std::vector<TrialResult>& trials) {
+  const std::string body = serialize_checkpoint(config, trials);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot write checkpoint '" + tmp + "'");
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = written == body.size() && std::fclose(f) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("short write to checkpoint '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot replace checkpoint '" + path + "'");
+  }
+}
+
+bool load_checkpoint_file(const std::string& path, CheckpointData& out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return false;
+  std::string body;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  const bool readError = std::ferror(f) != 0;
+  std::fclose(f);
+  if (readError) throw std::runtime_error("cannot read checkpoint '" + path + "'");
+  out = parse_checkpoint(body);
+  return true;
+}
+
+void validate_checkpoint(const CampaignConfig& run, const CampaignConfig& loaded) {
+  // %.17g round-trips exactly, so comparing re-rendered fingerprints is a
+  // field-by-field equality check without a pile of epsilon comparisons.
+  if (config_json(run) != config_json(loaded)) {
+    throw std::runtime_error(
+        "checkpoint was written by a different campaign configuration; "
+        "refusing to mix its trials into this run (delete the file or rerun "
+        "with the original parameters)");
+  }
+}
+
+} // namespace nvff::reliability

@@ -1,0 +1,47 @@
+// Campaign checkpointing: JSON snapshot of finished trials so a long
+// Monte-Carlo run survives interruption and resumes exactly where it
+// stopped. The format is self-describing JSON written and parsed by a
+// minimal built-in reader (the toolchain has no JSON dependency, and the
+// checkpoint only needs objects/arrays/strings/numbers/bools/null).
+//
+// Resume safety: the file embeds the campaign configuration fingerprint;
+// loading a checkpoint written by a different configuration is an error,
+// because mixing trials from two different sampling setups would silently
+// corrupt the statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reliability/montecarlo.hpp"
+
+namespace nvff::reliability {
+
+struct CheckpointData {
+  CampaignConfig config; ///< only the fingerprinted fields are restored
+  std::vector<TrialResult> trials;
+};
+
+/// Renders the checkpoint JSON document.
+std::string serialize_checkpoint(const CampaignConfig& config,
+                                 const std::vector<TrialResult>& trials);
+
+/// Parses a checkpoint document; throws std::runtime_error on malformed
+/// input (truncated file, wrong schema version, type mismatches).
+CheckpointData parse_checkpoint(const std::string& json);
+
+/// Atomically replaces `path` (write temp + rename). Throws on I/O error.
+void write_checkpoint_file(const std::string& path, const CampaignConfig& config,
+                           const std::vector<TrialResult>& trials);
+
+/// Returns false when the file does not exist; throws on unreadable or
+/// malformed content.
+bool load_checkpoint_file(const std::string& path, CheckpointData& out);
+
+/// Throws std::runtime_error when `loaded` was produced by a campaign whose
+/// statistics are incompatible with `run` (different seed, trial count,
+/// sampling knobs or timing). Thread count is deliberately NOT part of the
+/// fingerprint: resuming on a different machine size is the point.
+void validate_checkpoint(const CampaignConfig& run, const CampaignConfig& loaded);
+
+} // namespace nvff::reliability

@@ -1,0 +1,484 @@
+#include "reliability/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+#include "cell/multibit_latch.hpp"
+#include "cell/standard_latch.hpp"
+#include "mtj/device.hpp"
+#include "reliability/checkpoint.hpp"
+#include "spice/trace.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nvff::reliability {
+
+using cell::MultibitLatchInstance;
+using cell::MultibitNvLatch;
+using cell::StandardLatchInstance;
+using cell::StandardNvLatch;
+using mtj::MtjDefect;
+using mtj::MtjModel;
+using mtj::MtjOrientation;
+using mtj::MtjParams;
+using spice::SolveReport;
+using spice::SolveStatus;
+using spice::Trace;
+using spice::TransientOptions;
+
+const char* outcome_name(TrialOutcome outcome) {
+  switch (outcome) {
+    case TrialOutcome::Pass: return "pass";
+    case TrialOutcome::Metastable: return "metastable";
+    case TrialOutcome::BitError: return "bit-error";
+    case TrialOutcome::WriteFailure: return "write-fail";
+    case TrialOutcome::SolverFailure: return "solver-fail";
+    case TrialOutcome::Unclassified: return "unclassified";
+  }
+  return "?";
+}
+
+const char* design_name(Design design) {
+  switch (design) {
+    case Design::StandardPair: return "2x standard 1-bit";
+    case Design::Proposed2Bit: return "proposed 2-bit";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  return buf;
+}
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// One restored bit: the sensed level (out vs outb differential) and its
+/// normalized margin at the capture instant.
+struct BitObservation {
+  bool levelOk = false;
+  double margin = 0.0;
+};
+
+/// Everything a single simulated cell contributes to classification.
+struct CellObservation {
+  SolveReport report;
+  bool writeOk = true;
+  std::vector<BitObservation> bits;
+};
+
+/// Per-cell severity; TrialOutcome enumerators are declared in rising
+/// severity order so std::max combines cells.
+TrialOutcome classify_cell(const CellObservation& obs, double threshold) {
+  if (obs.report.status != SolveStatus::Converged) return TrialOutcome::SolverFailure;
+  if (!obs.writeOk) return TrialOutcome::WriteFailure;
+  bool anyWrong = false;
+  bool anyWeak = false;
+  for (const BitObservation& bit : obs.bits) {
+    if (!bit.levelOk) anyWrong = true;
+    else if (bit.margin < threshold) anyWeak = true;
+  }
+  if (anyWrong) return TrialOutcome::BitError;
+  if (anyWeak) return TrialOutcome::Metastable;
+  return TrialOutcome::Pass;
+}
+
+/// Folds the cells of one design (two for the standard pair, one for the
+/// proposed latch) into the trial-level record.
+DesignTrialResult combine_cells(const std::vector<CellObservation>& cells,
+                                double threshold) {
+  DesignTrialResult r;
+  r.outcome = TrialOutcome::Pass;
+  r.margin = kNaN;
+  double minMargin = std::numeric_limits<double>::infinity();
+  bool anyMargin = false;
+  for (const CellObservation& cell : cells) {
+    r.outcome = std::max(r.outcome, classify_cell(cell, threshold));
+    r.retriesUsed += cell.report.retriesUsed;
+    r.subdivisions += cell.report.subdivisions;
+    r.iterations += cell.report.iterations;
+    if (cell.report.status != SolveStatus::Converged) {
+      if (r.solveStatus == SolveStatus::Converged) {
+        r.solveStatus = cell.report.status;
+        r.note = cell.report.message;
+      }
+      continue;
+    }
+    for (const BitObservation& bit : cell.bits) {
+      if (!bit.levelOk || bit.margin < threshold) ++r.bitErrors;
+      minMargin = std::min(minMargin, bit.margin);
+      anyMargin = true;
+    }
+  }
+  // A design with any unsimulatable cell has no trustworthy bits: report no
+  // margin and let the summary exclude it from BER statistics.
+  if (r.outcome == TrialOutcome::SolverFailure) {
+    r.bitErrors = 0;
+    r.margin = kNaN;
+  } else if (anyMargin) {
+    r.margin = minMargin;
+  }
+  return r;
+}
+
+/// Stored-bit encodings (must match the builders' conventions; the standard
+/// latch keeps D on the out-side pillar as AP, the 2-bit latch stores D0 in
+/// the lower pair as AP-on-out and D1 in the upper pair as P-on-out).
+MtjOrientation std_out_state(bool d) {
+  return d ? MtjOrientation::AntiParallel : MtjOrientation::Parallel;
+}
+MtjOrientation opposite(MtjOrientation o) {
+  return o == MtjOrientation::Parallel ? MtjOrientation::AntiParallel
+                                       : MtjOrientation::Parallel;
+}
+
+/// The process point of one trial, drawn up-front in a fixed order so both
+/// designs see the SAME sampled pillars (paired comparison / common random
+/// numbers), independent of scheduling.
+struct TrialSample {
+  bool d0 = false;
+  bool d1 = false;
+  cell::TechCorner corner;
+  MtjParams pillar[4]; ///< 0/1: bit-0 out/outb side, 2/3: bit-1 out/outb side
+  bool defectInjected = false;
+  int defectVictim = 0;
+  MtjDefect defectKind = MtjDefect::None;
+  std::uint64_t mismatchSeedStandard = 0;
+  std::uint64_t mismatchSeedProposed = 0;
+};
+
+TrialSample draw_sample(const CampaignConfig& config, const cell::Technology& tech,
+                        Rng& rng) {
+  TrialSample s;
+  s.d0 = rng.chance(0.5);
+  s.d1 = rng.chance(0.5);
+  s.corner = tech.read_corner(cell::Corner::Typical);
+  // Global per-trial corner jitter: both polarities shift independently.
+  s.corner.nmos.vth += rng.normal(0.0, config.cornerJitterVth);
+  s.corner.pmos.vth += rng.normal(0.0, config.cornerJitterVth);
+  // Defect variables are always drawn (stream layout does not depend on the
+  // defect rate), then gated by the Bernoulli draw.
+  s.defectVictim = static_cast<int>(rng.uniform_index(4));
+  s.defectKind = static_cast<MtjDefect>(1 + rng.uniform_index(4));
+  s.defectInjected = rng.chance(config.defectRate);
+  for (MtjParams& p : s.pillar)
+    p = s.corner.mtj.sample(rng, config.sigmaScale);
+  s.mismatchSeedStandard = rng.next_u64();
+  s.mismatchSeedProposed = rng.next_u64();
+  return s;
+}
+
+/// Runs one simulation (any latch circuit) and reads back the listed
+/// captures: (captureTime, expectedHighOut) pairs on out/outb.
+CellObservation simulate_cell(spice::Circuit& circuit, double tEnd,
+                              const CampaignConfig& config, double vdd,
+                              const std::vector<std::pair<double, bool>>& captures) {
+  CellObservation obs;
+  Trace trace;
+  trace.watch_node(circuit, "out");
+  trace.watch_node(circuit, "outb");
+  spice::Simulator sim(circuit);
+  TransientOptions opt;
+  opt.tStop = tEnd;
+  opt.dt = config.timestep;
+  obs.report = sim.run_transient(opt, trace.observer(), config.recovery);
+  if (obs.report.status != SolveStatus::Converged) return obs;
+  for (const auto& [tCap, wantHigh] : captures) {
+    const double diff =
+        trace.value_at("out", tCap) - trace.value_at("outb", tCap);
+    BitObservation bit;
+    bit.levelOk = (diff > 0.0) == wantHigh;
+    bit.margin = std::fabs(diff) / vdd;
+    obs.bits.push_back(bit);
+  }
+  return obs;
+}
+
+DesignTrialResult run_standard(const CampaignConfig& config,
+                               const cell::Technology& tech,
+                               const TrialSample& s) {
+  Rng mismatch(s.mismatchSeedStandard);
+  std::vector<CellObservation> cells;
+  const double tCap = config.timing.wakeDone() + config.timing.read.evalEnd();
+  for (int bit = 0; bit < 2; ++bit) {
+    const bool d = bit == 0 ? s.d0 : s.d1;
+    StandardLatchInstance inst = StandardNvLatch::build_power_cycle(
+        tech, s.corner, d, config.timing, &mismatch, config.sigmaVthMismatch);
+    inst.mtjOut->set_model(MtjModel(s.pillar[bit * 2 + 0]));
+    inst.mtjOutb->set_model(MtjModel(s.pillar[bit * 2 + 1]));
+    if (s.defectInjected && s.defectVictim / 2 == bit) {
+      (s.defectVictim % 2 == 0 ? inst.mtjOut : inst.mtjOutb)
+          ->inject_defect(s.defectKind);
+    }
+    CellObservation obs =
+        simulate_cell(inst.circuit, inst.tEnd, config, tech.vdd, {{tCap, d}});
+    obs.writeOk = inst.mtjOut->orientation() == std_out_state(d) &&
+                  inst.mtjOutb->orientation() == opposite(std_out_state(d));
+    cells.push_back(std::move(obs));
+  }
+  return combine_cells(cells, config.marginThreshold);
+}
+
+DesignTrialResult run_proposed(const CampaignConfig& config,
+                               const cell::Technology& tech,
+                               const TrialSample& s) {
+  Rng mismatch(s.mismatchSeedProposed);
+  MultibitLatchInstance inst = MultibitNvLatch::build_power_cycle(
+      tech, s.corner, s.d0, s.d1, config.timing, &mismatch,
+      config.sigmaVthMismatch);
+  // Pillar alignment with the standard pair: same draw feeds the pillar
+  // holding the same logical bit on the same output side.
+  mtj::MtjDevice* byPillar[4] = {inst.mtj3, inst.mtj4, inst.mtj1, inst.mtj2};
+  for (int p = 0; p < 4; ++p)
+    byPillar[p]->set_model(MtjModel(s.pillar[p]));
+  if (s.defectInjected) byPillar[s.defectVictim]->inject_defect(s.defectKind);
+
+  CellObservation obs =
+      simulate_cell(inst.circuit, inst.tEnd, config, tech.vdd,
+                    {{inst.tCapture0, s.d0}, {inst.tCapture1, s.d1}});
+  // D0 = 1 <=> MTJ3 AP (out discharges slower in phase 1);
+  // D1 = 1 <=> MTJ1 P  (out charges faster in phase 2).
+  const MtjOrientation want3 = s.d0 ? MtjOrientation::AntiParallel
+                                    : MtjOrientation::Parallel;
+  const MtjOrientation want1 = s.d1 ? MtjOrientation::Parallel
+                                    : MtjOrientation::AntiParallel;
+  obs.writeOk = inst.mtj3->orientation() == want3 &&
+                inst.mtj4->orientation() == opposite(want3) &&
+                inst.mtj1->orientation() == want1 &&
+                inst.mtj2->orientation() == opposite(want1);
+  std::vector<CellObservation> cells;
+  cells.push_back(std::move(obs));
+  return combine_cells(cells, config.marginThreshold);
+}
+
+DesignTrialResult guarded(const char* what,
+                          const std::function<DesignTrialResult()>& body) {
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    DesignTrialResult r;
+    r.outcome = TrialOutcome::Unclassified;
+    r.margin = kNaN;
+    r.note = fmt("%s threw: %s", what, e.what());
+    return r;
+  } catch (...) {
+    DesignTrialResult r;
+    r.outcome = TrialOutcome::Unclassified;
+    r.margin = kNaN;
+    r.note = fmt("%s threw a non-std exception", what);
+    return r;
+  }
+}
+
+} // namespace
+
+TrialResult run_trial(const CampaignConfig& config, int trialId) {
+  TrialResult trial;
+  trial.trialId = trialId;
+  const cell::Technology tech = cell::Technology::table1();
+  Rng rng = Rng::stream(config.seed, static_cast<std::uint64_t>(trialId));
+  TrialSample sample;
+  try {
+    sample = draw_sample(config, tech, rng);
+  } catch (const std::exception& e) {
+    // Sampling can only throw if the config pushes a parameter out of its
+    // physical range (e.g. absurd sigma scale); both designs share the blame.
+    trial.standard.outcome = trial.proposed.outcome = TrialOutcome::Unclassified;
+    trial.standard.margin = trial.proposed.margin = kNaN;
+    trial.standard.note = trial.proposed.note = fmt("sampling threw: %s", e.what());
+    return trial;
+  }
+  trial.d0 = sample.d0;
+  trial.d1 = sample.d1;
+  trial.defectInjected = sample.defectInjected;
+  trial.defectVictim = sample.defectVictim;
+  trial.defectKind = static_cast<int>(sample.defectKind);
+  trial.standard = guarded("standard-pair trial",
+                           [&] { return run_standard(config, tech, sample); });
+  trial.proposed = guarded("proposed-2bit trial",
+                           [&] { return run_proposed(config, tech, sample); });
+  return trial;
+}
+
+double DesignSummary::ber() const {
+  return bitsSimulated > 0 ? static_cast<double>(bitErrors) / bitsSimulated : 0.0;
+}
+
+double DesignSummary::yield() const {
+  return trials > 0 ? static_cast<double>(counts[0]) / trials : 0.0;
+}
+
+DesignSummary CampaignResult::summarize(Design design) const {
+  DesignSummary s;
+  for (const TrialResult& t : trials) {
+    const DesignTrialResult& r =
+        design == Design::StandardPair ? t.standard : t.proposed;
+    ++s.trials;
+    ++s.counts[static_cast<int>(r.outcome)];
+    if (r.outcome == TrialOutcome::SolverFailure ||
+        r.outcome == TrialOutcome::Unclassified)
+      continue;
+    s.bitsSimulated += 2;
+    s.bitErrors += r.bitErrors;
+    if (std::isfinite(r.margin)) s.margins.add(r.margin);
+  }
+  return s;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config,
+                            const std::string& checkpointPath,
+                            int checkpointEvery, const ProgressFn& progress) {
+  if (config.trials <= 0) throw std::runtime_error("campaign needs trials > 0");
+  CampaignResult result;
+  result.config = config;
+  result.trials.resize(static_cast<std::size_t>(config.trials));
+  std::vector<char> done(static_cast<std::size_t>(config.trials), 0);
+
+  if (!checkpointPath.empty()) {
+    CheckpointData loaded;
+    if (load_checkpoint_file(checkpointPath, loaded)) {
+      validate_checkpoint(config, loaded.config);
+      for (TrialResult& t : loaded.trials) {
+        if (t.trialId < 0 || t.trialId >= config.trials) continue;
+        result.trials[static_cast<std::size_t>(t.trialId)] = std::move(t);
+        done[static_cast<std::size_t>(t.trialId)] = 1;
+      }
+    }
+  }
+
+  std::mutex mu;
+  int completed = static_cast<int>(std::count(done.begin(), done.end(), 1));
+
+  // Serialize only finished slots, in trial order (checkpoints are as
+  // deterministic as the final report modulo which trials have finished).
+  auto snapshot_locked = [&] {
+    std::vector<TrialResult> finished;
+    for (std::size_t i = 0; i < done.size(); ++i)
+      if (done[i]) finished.push_back(result.trials[i]);
+    return finished;
+  };
+
+  ThreadPool pool(std::max(1, config.threads));
+  for (int t = 0; t < config.trials; ++t) {
+    if (done[static_cast<std::size_t>(t)]) continue;
+    pool.submit([&, t] {
+      TrialResult r = run_trial(config, t);
+      std::lock_guard<std::mutex> lock(mu);
+      result.trials[static_cast<std::size_t>(t)] = std::move(r);
+      done[static_cast<std::size_t>(t)] = 1;
+      ++completed;
+      if (progress) progress(completed, config.trials);
+      if (!checkpointPath.empty() && checkpointEvery > 0 &&
+          completed % checkpointEvery == 0 && completed < config.trials) {
+        // Best-effort from workers: an unwritable checkpoint must not kill
+        // the campaign mid-flight. The final write below reports errors.
+        try {
+          write_checkpoint_file(checkpointPath, config, snapshot_locked());
+        } catch (const std::exception& e) {
+          log_warn(fmt("checkpoint write failed: %s", e.what()));
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+
+  if (!checkpointPath.empty()) {
+    std::lock_guard<std::mutex> lock(mu);
+    write_checkpoint_file(checkpointPath, config, snapshot_locked());
+  }
+  return result;
+}
+
+std::string render_report(const CampaignResult& result) {
+  const CampaignConfig& c = result.config;
+  std::string out;
+  out += "=== Monte-Carlo reliability: store -> power-off -> restore ===\n";
+  out += fmt("trials %d  seed %llu  sigma-scale %.2f  vth-mismatch %.1f mV  "
+             "corner-jitter %.1f mV  defect-rate %.3f\n\n",
+             c.trials, static_cast<unsigned long long>(c.seed), c.sigmaScale,
+             c.sigmaVthMismatch * 1e3, c.cornerJitterVth * 1e3, c.defectRate);
+
+  out += fmt("%-18s %6s %6s %8s %8s %10s %8s  %10s %8s\n", "design", "pass",
+             "meta", "bit-err", "wr-fail", "solv-fail", "unclass", "BER",
+             "yield");
+  const Design designs[] = {Design::StandardPair, Design::Proposed2Bit};
+  DesignSummary sums[2];
+  for (int i = 0; i < 2; ++i) {
+    sums[i] = result.summarize(designs[i]);
+    const DesignSummary& s = sums[i];
+    out += fmt("%-18s %6ld %6ld %8ld %8ld %10ld %8ld  %10.3e %7.2f%%\n",
+               design_name(designs[i]), s.counts[0], s.counts[1], s.counts[2],
+               s.counts[3], s.counts[4], s.counts[5], s.ber(),
+               100.0 * s.yield());
+  }
+
+  out += "\nread margin (|out - outb| / VDD at capture, converged trials):\n";
+  out += fmt("  %-18s %7s %7s %7s %7s %7s\n", "design", "p5", "p50", "p95",
+             "min", "max");
+  for (int i = 0; i < 2; ++i) {
+    const SampleSet& m = sums[i].margins;
+    if (m.empty()) {
+      out += fmt("  %-18s %s\n", design_name(designs[i]), "(no converged trials)");
+      continue;
+    }
+    out += fmt("  %-18s %7.3f %7.3f %7.3f %7.3f %7.3f\n",
+               design_name(designs[i]), m.percentile(5.0), m.median(),
+               m.percentile(95.0), m.min(), m.max());
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (sums[i].margins.empty()) continue;
+    out += fmt("\nmargin histogram, %s:\n", design_name(designs[i]));
+    out += sums[i].margins.ascii_histogram(8, 44);
+  }
+  return out;
+}
+
+std::vector<SigmaSweepRow> sigma_sweep(CampaignConfig base,
+                                       const std::vector<double>& scales) {
+  std::vector<SigmaSweepRow> rows;
+  for (double scale : scales) {
+    CampaignConfig cfg = base;
+    cfg.sigmaScale = scale;
+    const CampaignResult res = run_campaign(cfg);
+    const DesignSummary std2 = res.summarize(Design::StandardPair);
+    const DesignSummary prop = res.summarize(Design::Proposed2Bit);
+    SigmaSweepRow row;
+    row.sigmaScale = scale;
+    row.yieldStandard = std2.yield();
+    row.yieldProposed = prop.yield();
+    row.berStandard = std2.ber();
+    row.berProposed = prop.ber();
+    row.p5MarginStandard = std2.margins.empty() ? 0.0 : std2.margins.percentile(5.0);
+    row.p5MarginProposed = prop.margins.empty() ? 0.0 : prop.margins.percentile(5.0);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string render_sigma_sweep(const std::vector<SigmaSweepRow>& rows) {
+  std::string out;
+  out += "yield vs MTJ process spread (sigma-scale multiplies Table I spreads)\n";
+  out += fmt("%10s %12s %12s %12s %12s %10s %10s\n", "sigma", "yield(std)",
+             "yield(prop)", "BER(std)", "BER(prop)", "p5-mrg(s)", "p5-mrg(p)");
+  for (const SigmaSweepRow& r : rows) {
+    out += fmt("%10.2f %11.2f%% %11.2f%% %12.3e %12.3e %10.3f %10.3f\n",
+               r.sigmaScale, 100.0 * r.yieldStandard, 100.0 * r.yieldProposed,
+               r.berStandard, r.berProposed, r.p5MarginStandard,
+               r.p5MarginProposed);
+  }
+  return out;
+}
+
+} // namespace nvff::reliability

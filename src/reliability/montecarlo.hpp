@@ -1,0 +1,161 @@
+// Monte-Carlo reliability campaign over the NV latch designs.
+//
+// Every trial runs the full store -> power-off -> wake -> restore cycle for
+// BOTH designs (two standard 1-bit cells vs one proposed 2-bit cell) at an
+// independently sampled process point: per-pillar MTJ parameters
+// (MtjParams::sample), a global CMOS corner jitter, per-transistor local Vth
+// mismatch, and an optional injected manufacturing defect. The paper's
+// shared-sense-amplifier trade-off lives or dies on read margin under
+// exactly this kind of variation (Sec. IV-A stops at +-3 sigma corners; the
+// campaign fills in the distribution between them).
+//
+// Robustness contract: a trial can NEVER escape as an exception. Solver
+// trouble is classified (the hardened spice runtime returns SolveReport
+// instead of throwing), and anything else unexpected is caught and recorded
+// as Unclassified — which the CI smoke campaign treats as a build failure.
+//
+// Determinism contract: trial t draws every random number from
+// Rng::stream(seed, t), trials write into slot t of the result vector, and
+// aggregation walks slots in order — so campaign output is bit-identical at
+// any thread count, and a checkpoint/resume run matches an uninterrupted
+// one sample for sample.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cell/scenarios.hpp"
+#include "cell/technology.hpp"
+#include "spice/analysis.hpp"
+#include "util/stats.hpp"
+
+namespace nvff::reliability {
+
+/// Classified outcome of one design's trial, by rising severity.
+enum class TrialOutcome {
+  Pass,         ///< all bits restored with healthy margin
+  Metastable,   ///< levels correct but differential below the margin floor
+  BitError,     ///< converged simulation, wrong restored level
+  WriteFailure, ///< the store did not commit the intended MTJ states
+  SolverFailure,///< recovery ladder exhausted (see solveStatus)
+  Unclassified, ///< unexpected exception — always a bug, gates CI
+};
+const char* outcome_name(TrialOutcome outcome);
+
+/// The two Table II designs a trial compares.
+enum class Design { StandardPair, Proposed2Bit };
+const char* design_name(Design design);
+
+struct CampaignConfig {
+  int trials = 256;
+  std::uint64_t seed = 1;
+  int threads = 1;
+
+  /// Multiplier on the MTJ one-sigma process spreads (yield-vs-sigma sweeps
+  /// scan this; 1.0 reproduces the paper's Table I variation).
+  double sigmaScale = 1.0;
+  /// Per-transistor local Vth mismatch, one sigma [V].
+  double sigmaVthMismatch = 0.015;
+  /// Global (per-trial) corner jitter on both devices' Vth, one sigma [V].
+  double cornerJitterVth = 0.02;
+  /// Probability that a trial carries one injected MTJ defect.
+  double defectRate = 0.0;
+
+  /// Differential |out - outb| / VDD below which a capture counts as
+  /// metastable (real silicon resolves the tie by noise — a coin flip).
+  double marginThreshold = 0.4;
+
+  double timestep = 4e-12;             ///< transient dt [s]
+  cell::PowerCycleTiming timing{};     ///< cycle shape (tests shrink it)
+  spice::RecoveryOptions recovery{};   ///< solver recovery ladder + budget
+};
+
+/// One design's classified result inside a trial.
+struct DesignTrialResult {
+  TrialOutcome outcome = TrialOutcome::Unclassified;
+  int bitErrors = 0;   ///< unreliable bits (wrong level or metastable), 0..2
+  double margin = 0.0; ///< min differential at capture / VDD; NaN on failure
+  spice::SolveStatus solveStatus = spice::SolveStatus::Converged;
+  int retriesUsed = 0;   ///< recovery escalations across the cycle(s)
+  int subdivisions = 0;  ///< rescued transient steps
+  long iterations = 0;   ///< Newton iterations across the cycle(s)
+  std::string note;      ///< diagnostic (solver message / exception text)
+};
+
+struct TrialResult {
+  int trialId = 0;
+  bool d0 = false;
+  bool d1 = false;
+  bool defectInjected = false;
+  int defectVictim = 0; ///< pillar 0..3 (bit0 out/outb, bit1 out/outb)
+  int defectKind = 0;   ///< mtj::MtjDefect enumerator value
+  DesignTrialResult standard;
+  DesignTrialResult proposed;
+};
+
+/// Aggregates of one design over a finished campaign.
+struct DesignSummary {
+  long trials = 0;
+  long counts[6] = {0, 0, 0, 0, 0, 0}; ///< indexed by TrialOutcome
+  long bitsSimulated = 0; ///< bits with a converged simulation
+  long bitErrors = 0;
+  SampleSet margins;      ///< converged trials only
+
+  /// Bit-error rate over converged trials (metastable bits count as errors).
+  double ber() const;
+  /// Fraction of ALL trials that fully passed (solver failures count
+  /// against yield: a cell we cannot even simulate is not a yielding cell).
+  double yield() const;
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::vector<TrialResult> trials; ///< slot t = trial t, always full size
+
+  DesignSummary summarize(Design design) const;
+};
+
+/// Runs one trial (both designs). Never throws.
+TrialResult run_trial(const CampaignConfig& config, int trialId);
+
+/// Progress hook: (completedTrials, totalTrials). Called under a lock, from
+/// worker threads, in completion order — do not rely on ordering for
+/// anything deterministic.
+using ProgressFn = std::function<void(int, int)>;
+
+/// Runs the whole campaign on a work-stealing pool of config.threads
+/// workers. When `checkpointPath` is non-empty, campaign state is written
+/// there as JSON every `checkpointEvery` completed trials (and once at the
+/// end); if the file already exists it is loaded first and finished trials
+/// are not re-run. Throws std::runtime_error only on checkpoint I/O or
+/// config-mismatch errors — never on solver trouble.
+CampaignResult run_campaign(const CampaignConfig& config,
+                            const std::string& checkpointPath = "",
+                            int checkpointEvery = 16,
+                            const ProgressFn& progress = nullptr);
+
+/// Deterministic human-readable report (BER/yield per design, outcome
+/// breakdown, read-margin distribution). Contains no wall-clock or thread
+/// information by design: identical campaigns must render identically.
+std::string render_report(const CampaignResult& result);
+
+/// One row of a yield-vs-sigma sweep.
+struct SigmaSweepRow {
+  double sigmaScale = 0.0;
+  double yieldStandard = 0.0;
+  double yieldProposed = 0.0;
+  double berStandard = 0.0;
+  double berProposed = 0.0;
+  double p5MarginStandard = 0.0;
+  double p5MarginProposed = 0.0;
+};
+
+/// Runs `base` once per scale (same seed: common random numbers, so rows
+/// differ only by the sigma scale, not by sampling noise).
+std::vector<SigmaSweepRow> sigma_sweep(CampaignConfig base,
+                                       const std::vector<double>& scales);
+std::string render_sigma_sweep(const std::vector<SigmaSweepRow>& rows);
+
+} // namespace nvff::reliability

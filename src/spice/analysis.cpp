@@ -1,6 +1,7 @@
 #include "spice/analysis.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/log.hpp"
@@ -8,18 +9,84 @@
 
 namespace nvff::spice {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Source-stepping homotopy schedule: the supply ramp the ladder walks.
+constexpr double kSourceRamp[] = {0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0};
+
+/// Running deadline for one analysis; disabled when seconds <= 0.
+struct Deadline {
+  explicit Deadline(double seconds)
+      : enabled(seconds > 0.0),
+        at(Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(seconds > 0.0 ? seconds : 0.0))) {}
+  bool exceeded() const { return enabled && Clock::now() >= at; }
+
+  bool enabled;
+  Clock::time_point at;
+};
+
+} // namespace
+
+const char* solve_status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::SingularMatrix: return "singular-matrix";
+    case SolveStatus::MaxIterations: return "max-iterations";
+    case SolveStatus::NonFinite: return "non-finite";
+    case SolveStatus::BudgetExhausted: return "budget-exhausted";
+    case SolveStatus::DeadlineExceeded: return "deadline-exceeded";
+    case SolveStatus::InvalidOptions: return "invalid-options";
+  }
+  return "?";
+}
+
+const char* recovery_stage_name(RecoveryStage stage) {
+  switch (stage) {
+    case RecoveryStage::Direct: return "direct";
+    case RecoveryStage::GminStepping: return "gmin-stepping";
+    case RecoveryStage::TimestepBackoff: return "timestep-backoff";
+    case RecoveryStage::SourceStepping: return "source-stepping";
+  }
+  return "?";
+}
+
 Simulator::Simulator(const Circuit& circuit) : circuit_(circuit) {}
 
-bool Simulator::newton_solve(std::vector<double>& x, const SimState& stateTemplate,
-                             const NewtonOptions& options) {
+std::string Simulator::unknown_name(std::size_t index) const {
+  const std::size_t numNodes = circuit_.num_nodes();
+  if (index < numNodes) {
+    return circuit_.node_name(static_cast<NodeId>(index + 1));
+  }
+  const std::size_t branch = index - numNodes;
+  for (const auto& device : circuit_.devices()) {
+    const auto* vs = dynamic_cast<const VoltageSource*>(device.get());
+    if (vs != nullptr && vs->branch_index() == branch) return "I(" + vs->name() + ")";
+  }
+  return format("branch#%zu", branch);
+}
+
+void Simulator::note_failure(const NewtonOutcome& outcome) {
+  report_.worstNode = unknown_name(outcome.worstUnknown);
+  report_.worstDelta = outcome.worstDelta;
+}
+
+Simulator::NewtonOutcome Simulator::newton_solve(std::vector<double>& x,
+                                                 const SimState& stateTemplate,
+                                                 const NewtonOptions& options) {
   const std::size_t numNodes = circuit_.num_nodes();
   const std::size_t unknowns = circuit_.num_unknowns();
   jacobian_.resize(unknowns);
   rhs_.assign(unknowns, 0.0);
   std::vector<double> xNew(unknowns, 0.0);
 
+  NewtonOutcome outcome;
   for (int iter = 0; iter < options.maxIterations; ++iter) {
     ++stats_.totalNewtonIterations;
+    ++report_.iterations;
+    outcome.iterations = iter + 1;
     jacobian_.clear();
     std::fill(rhs_.begin(), rhs_.end(), 0.0);
 
@@ -32,72 +99,170 @@ bool Simulator::newton_solve(std::vector<double>& x, const SimState& stateTempla
     // gmin from every node to ground stabilizes floating nodes.
     for (std::size_t i = 0; i < numNodes; ++i) jacobian_.add(i, i, options.gmin);
 
-    if (!jacobian_.solve(rhs_, xNew)) return false;
+    if (!jacobian_.solve(rhs_, xNew)) {
+      outcome.failure = SolveStatus::SingularMatrix;
+      return outcome;
+    }
 
-    // Damped update with voltage clamping.
-    double maxDv = 0.0;
-    double maxDi = 0.0;
+    // Damped update with voltage clamping; convergence is judged per
+    // unknown against absTol + relTol * |iterate| (the relative reference
+    // scales with the unknown's actual magnitude).
+    double worstRatio = 0.0;
     for (std::size_t i = 0; i < unknowns; ++i) {
       double dx = xNew[i] - x[i];
+      double absTol = options.iAbsTol;
       if (i < numNodes) {
         dx = std::clamp(dx, -options.maxVoltageStep, options.maxVoltageStep);
         x[i] = std::clamp(x[i] + dx, -options.voltageLimit, options.voltageLimit);
-        maxDv = std::max(maxDv, std::fabs(dx));
+        absTol = options.vAbsTol;
       } else {
         x[i] += dx;
-        maxDi = std::max(maxDi, std::fabs(dx));
+      }
+      if (!std::isfinite(x[i])) {
+        outcome.failure = SolveStatus::NonFinite;
+        outcome.worstUnknown = i;
+        outcome.worstDelta = dx;
+        return outcome;
+      }
+      const double tol = absTol + options.relTol * std::fabs(x[i]);
+      const double ratio = std::fabs(dx) / tol;
+      if (ratio > worstRatio) {
+        worstRatio = ratio;
+        outcome.worstUnknown = i;
+        outcome.worstDelta = std::fabs(dx);
       }
     }
-
-    const bool vOk = maxDv < options.vAbsTol + options.relTol * 1.0;
-    const bool iOk = maxDi < options.iAbsTol + options.relTol * 1e-3;
-    if (iter > 0 && vOk && iOk) return true;
+    if (iter > 0 && worstRatio < 1.0) {
+      outcome.converged = true;
+      return outcome;
+    }
   }
-  return false;
+  outcome.failure = SolveStatus::MaxIterations;
+  return outcome;
 }
 
-Solution Simulator::dc_operating_point(const NewtonOptions& options) {
-  const std::size_t unknowns = circuit_.num_unknowns();
-  std::vector<double> x(unknowns, 0.0);
-
+SolveStatus Simulator::dc_with_recovery(std::vector<double>& x,
+                                        const NewtonOptions& options,
+                                        const RecoveryOptions& recovery) {
+  const Deadline deadline(recovery.deadlineSeconds);
   SimState state;
   state.time = 0.0;
   state.dt = 0.0;
   state.transient = false;
 
-  // Direct attempt first, then gmin stepping from a heavily regularized
-  // solution down to the target gmin.
-  if (newton_solve(x, state, options)) {
-    return Solution(std::move(x), circuit_.num_nodes());
-  }
+  // Rung 0: direct attempt at the target gmin.
+  NewtonOutcome direct = newton_solve(x, state, options);
+  if (direct.converged) return SolveStatus::Converged;
+  note_failure(direct);
+  SolveStatus lastFailure = direct.failure;
 
-  std::fill(x.begin(), x.end(), 0.0);
-  NewtonOptions stepped = options;
-  for (double gmin = 1e-2; gmin >= options.gmin * 0.99; gmin /= 10.0) {
-    stepped.gmin = gmin;
-    if (!newton_solve(x, state, stepped)) {
-      throw ConvergenceError(
-          format("dc_operating_point: gmin stepping failed at gmin=%g", gmin));
+  // Rung 1: gmin stepping from a heavily regularized solution down to the
+  // target gmin, warm-starting each level from the previous one.
+  if (recovery.gminStepping) {
+    if (deadline.exceeded()) return SolveStatus::DeadlineExceeded;
+    if (++report_.retriesUsed > recovery.retryBudget) return SolveStatus::BudgetExhausted;
+    report_.deepestStage = std::max(report_.deepestStage, RecoveryStage::GminStepping);
+    std::fill(x.begin(), x.end(), 0.0);
+    NewtonOptions stepped = options;
+    bool ok = true;
+    for (double gmin = 1e-2; ok; gmin /= 10.0) {
+      stepped.gmin = std::max(gmin, options.gmin);
+      const NewtonOutcome out = newton_solve(x, state, stepped);
+      if (!out.converged) {
+        note_failure(out);
+        lastFailure = out.failure;
+        ok = false;
+        break;
+      }
+      ++report_.gminSteps;
+      if (stepped.gmin <= options.gmin) break;
+    }
+    if (ok) {
+      // Final polish exactly at the target gmin.
+      stepped.gmin = options.gmin;
+      const NewtonOutcome polish = newton_solve(x, state, stepped);
+      if (polish.converged) return SolveStatus::Converged;
+      note_failure(polish);
+      lastFailure = polish.failure;
     }
   }
-  // Final polish at the target gmin.
-  stepped.gmin = options.gmin;
-  if (!newton_solve(x, state, stepped)) {
-    throw ConvergenceError("dc_operating_point: final polish failed");
+
+  // Rung 2: source stepping — ramp every independent source from a fraction
+  // of its value up to 100 %, walking the operating point in by homotopy.
+  if (recovery.sourceStepping) {
+    if (deadline.exceeded()) return SolveStatus::DeadlineExceeded;
+    if (++report_.retriesUsed > recovery.retryBudget) return SolveStatus::BudgetExhausted;
+    report_.deepestStage = std::max(report_.deepestStage, RecoveryStage::SourceStepping);
+    std::fill(x.begin(), x.end(), 0.0);
+    bool ok = true;
+    for (const double alpha : kSourceRamp) {
+      SimState scaled = state;
+      scaled.sourceScale = alpha;
+      const NewtonOutcome out = newton_solve(x, scaled, options);
+      if (!out.converged) {
+        note_failure(out);
+        lastFailure = out.failure;
+        ok = false;
+        break;
+      }
+      ++report_.sourceSteps;
+    }
+    if (ok) return SolveStatus::Converged;
   }
-  return Solution(std::move(x), circuit_.num_nodes());
+
+  return lastFailure;
 }
 
-void Simulator::transient(const TransientOptions& options, const Observer& observer) {
-  const Solution initial = dc_operating_point(options.newton);
-  transient_from(initial, options, observer);
+SolveReport Simulator::solve_dc(Solution& out, const NewtonOptions& options,
+                                const RecoveryOptions& recovery) {
+  report_ = SolveReport{};
+  std::vector<double> x(circuit_.num_unknowns(), 0.0);
+  report_.status = dc_with_recovery(x, options, recovery);
+  if (report_.ok()) {
+    out = Solution(std::move(x), circuit_.num_nodes());
+    report_.message = format("dc: converged via %s (%ld iterations)",
+                             recovery_stage_name(report_.deepestStage),
+                             report_.iterations);
+  } else {
+    report_.message =
+        format("dc: %s at %s (worst %s, |dx|=%g, %ld iterations)",
+               solve_status_name(report_.status),
+               recovery_stage_name(report_.deepestStage),
+               report_.worstNode.empty() ? "?" : report_.worstNode.c_str(),
+               report_.worstDelta, report_.iterations);
+  }
+  return report_;
 }
 
-void Simulator::transient_from(const Solution& initial, const TransientOptions& options,
-                               const Observer& observer) {
+SolveReport Simulator::run_transient(const TransientOptions& options,
+                                     const Observer& observer,
+                                     const RecoveryOptions& recovery) {
+  Solution initial;
+  const SolveReport dcReport = solve_dc(initial, options.newton, recovery);
+  if (!dcReport.ok()) return dcReport;
+  SolveReport tranReport = run_transient_from(initial, options, observer, recovery);
+  // Fold the operating-point effort into the returned report so callers see
+  // the whole analysis.
+  tranReport.iterations += dcReport.iterations;
+  tranReport.gminSteps += dcReport.gminSteps;
+  tranReport.sourceSteps += dcReport.sourceSteps;
+  tranReport.retriesUsed += dcReport.retriesUsed;
+  tranReport.deepestStage = std::max(tranReport.deepestStage, dcReport.deepestStage);
+  report_ = tranReport;
+  return report_;
+}
+
+SolveReport Simulator::run_transient_from(const Solution& initial,
+                                          const TransientOptions& options,
+                                          const Observer& observer,
+                                          const RecoveryOptions& recovery) {
+  report_ = SolveReport{};
   if (options.tStop <= 0.0 || options.dt <= 0.0) {
-    throw std::invalid_argument("transient: tStop and dt must be positive");
+    report_.status = SolveStatus::InvalidOptions;
+    report_.message = "transient: tStop and dt must be positive";
+    return report_;
   }
+  const Deadline deadline(recovery.deadlineSeconds);
   const std::size_t numNodes = circuit_.num_nodes();
   std::vector<double> prev = initial.raw();
   prev.resize(circuit_.num_unknowns(), 0.0);
@@ -107,15 +272,19 @@ void Simulator::transient_from(const Solution& initial, const TransientOptions& 
   double t = 0.0;
   while (t < options.tStop - options.dt * 0.5) {
     const double tNext = std::min(t + options.dt, options.tStop);
-    // Try the full step; on Newton failure subdivide.
-    int pieces = 1;
-    bool done = false;
-    for (int attempt = 0; attempt <= options.maxSubdivisions && !done; ++attempt) {
-      std::vector<double> work = prev;
-      std::vector<double> segPrev = prev;
+    // State at the start of this step; every recovery attempt restarts from
+    // here (a failed or to-be-repolished attempt must not leak its partial
+    // solution into the next one).
+    const std::vector<double> stepStart = prev;
+
+    // Attempts one pass over [t, tNext] in `pieces` sub-steps with the given
+    // Newton options; on success commits into prev.
+    auto attempt = [&](int pieces, const NewtonOptions& newton,
+                       NewtonOutcome& lastFail) -> bool {
+      std::vector<double> work = stepStart;
+      std::vector<double> segPrev = stepStart;
       double tSeg = t;
       const double h = (tNext - t) / pieces;
-      bool ok = true;
       for (int p = 0; p < pieces; ++p) {
         tSeg += h;
         SimState state;
@@ -124,24 +293,88 @@ void Simulator::transient_from(const Solution& initial, const TransientOptions& 
         state.transient = true;
         state.numNodes = numNodes;
         state.previous = &segPrev;
-        if (!newton_solve(work, state, options.newton)) {
-          ok = false;
-          break;
+        const NewtonOutcome out = newton_solve(work, state, newton);
+        if (!out.converged) {
+          lastFail = out;
+          return false;
         }
         segPrev = work;
       }
-      if (ok) {
-        prev = std::move(segPrev);
-        done = true;
-        if (pieces > 1) ++stats_.subdividedSteps;
-      } else {
+      prev = std::move(segPrev);
+      return true;
+    };
+
+    // Rung 0 + rung 1: the full step, then timestep backoff (halvings).
+    NewtonOutcome lastFail;
+    bool done = attempt(1, options.newton, lastFail);
+    int pieces = 1;
+    bool aborted = false;
+    if (!done && recovery.timestepBackoff) {
+      for (int round = 1; round <= options.maxSubdivisions && !done; ++round) {
+        if (deadline.exceeded()) {
+          report_.status = SolveStatus::DeadlineExceeded;
+          aborted = true;
+          break;
+        }
+        if (++report_.retriesUsed > recovery.retryBudget) {
+          report_.status = SolveStatus::BudgetExhausted;
+          aborted = true;
+          break;
+        }
+        report_.deepestStage =
+            std::max(report_.deepestStage, RecoveryStage::TimestepBackoff);
         pieces *= 2;
+        done = attempt(pieces, options.newton, lastFail);
+      }
+      if (done && pieces > 1) {
+        ++stats_.subdividedSteps;
+        ++report_.subdivisions;
       }
     }
+
+    // Rung 2: gmin rescue — retry the finest subdivision with a temporarily
+    // raised gmin, then re-polish at the target gmin.
+    if (!done && !aborted && recovery.gminStepping) {
+      if (deadline.exceeded()) {
+        report_.status = SolveStatus::DeadlineExceeded;
+        aborted = true;
+      } else if (++report_.retriesUsed > recovery.retryBudget) {
+        report_.status = SolveStatus::BudgetExhausted;
+        aborted = true;
+      } else {
+        report_.deepestStage =
+            std::max(report_.deepestStage, RecoveryStage::GminStepping);
+        NewtonOptions soft = options.newton;
+        for (double gmin = 1e-6; gmin >= options.newton.gmin && !done; gmin /= 100.0) {
+          soft.gmin = gmin;
+          done = attempt(std::max(pieces, 2), soft, lastFail);
+          if (done) ++report_.gminSteps;
+        }
+        if (done && soft.gmin > options.newton.gmin) {
+          // Re-solve the committed point at the target gmin so the raised
+          // conductance does not leak into the reported waveform.
+          done = attempt(std::max(pieces, 2), options.newton, lastFail);
+        }
+        if (done) {
+          ++stats_.subdividedSteps;
+          ++report_.subdivisions;
+        }
+      }
+    }
+
     if (!done) {
-      throw ConvergenceError(
-          format("transient: step at t=%g failed after %d subdivisions", tNext,
-                 options.maxSubdivisions));
+      if (report_.status == SolveStatus::Converged) {
+        // Not aborted by budget/deadline: report the Newton failure itself.
+        report_.status = lastFail.failure;
+      }
+      note_failure(lastFail);
+      report_.failTime = tNext;
+      report_.message = format(
+          "transient: %s at t=%g after %d subdivisions (worst %s, |dx|=%g)",
+          solve_status_name(report_.status), tNext, options.maxSubdivisions,
+          report_.worstNode.empty() ? "?" : report_.worstNode.c_str(),
+          report_.worstDelta);
+      return report_;
     }
     t = tNext;
     ++stats_.totalSteps;
@@ -158,6 +391,32 @@ void Simulator::transient_from(const Solution& initial, const TransientOptions& 
 
     if (observer) observer(t, Solution(prev, numNodes));
   }
+  report_.message = format("transient: converged via %s (%ld iterations, %d "
+                           "subdivided steps)",
+                           recovery_stage_name(report_.deepestStage),
+                           report_.iterations, report_.subdivisions);
+  return report_;
+}
+
+Solution Simulator::dc_operating_point(const NewtonOptions& options) {
+  Solution out;
+  const SolveReport report = solve_dc(out, options);
+  if (!report.ok()) throw ConvergenceError(report.message);
+  return out;
+}
+
+void Simulator::transient(const TransientOptions& options, const Observer& observer) {
+  const Solution initial = dc_operating_point(options.newton);
+  transient_from(initial, options, observer);
+}
+
+void Simulator::transient_from(const Solution& initial, const TransientOptions& options,
+                               const Observer& observer) {
+  if (options.tStop <= 0.0 || options.dt <= 0.0) {
+    throw std::invalid_argument("transient: tStop and dt must be positive");
+  }
+  const SolveReport report = run_transient_from(initial, options, observer);
+  if (!report.ok()) throw ConvergenceError(report.message);
 }
 
 } // namespace nvff::spice

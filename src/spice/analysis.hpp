@@ -1,8 +1,30 @@
 // Analyses: DC operating point and transient.
+//
+// Two API layers:
+//  * The RESULT layer (`solve_dc`, `run_transient`, `run_transient_from`)
+//    never throws on solver trouble. Every call returns a SolveReport that
+//    classifies the outcome (converged / singular matrix / iteration limit /
+//    non-finite iterate / budget / deadline), names the worst-behaved
+//    unknown, and records which rung of the recovery ladder rescued the
+//    solve. Monte-Carlo campaigns use this layer so a hard trial is a data
+//    point, not an exception.
+//  * The THROWING layer (`dc_operating_point`, `transient`,
+//    `transient_from`) is a thin shim over the result layer that raises
+//    ConvergenceError with the report's message — the original API, kept so
+//    existing callers compile unchanged.
+//
+// Recovery ladder (RecoveryOptions): when a direct Newton solve fails the
+// simulator escalates through
+//    gmin stepping  ->  timestep backoff (transient)  ->  source stepping
+// charging each escalation against a retry budget, optionally bounded by a
+// wall-clock deadline. All rungs are deterministic; the deadline is the only
+// wall-clock-dependent knob and defaults to off so identical inputs give
+// identical outputs.
 #pragma once
 
 #include <functional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "spice/circuit.hpp"
@@ -31,6 +53,53 @@ struct TransientOptions {
   double dt = 1e-12;      ///< major step [s]
   int maxSubdivisions = 8; ///< halvings of dt when a step fails to converge
   NewtonOptions newton;
+};
+
+/// How a solve ended.
+enum class SolveStatus {
+  Converged,       ///< solution is valid
+  SingularMatrix,  ///< LU factorization failed (structurally bad circuit)
+  MaxIterations,   ///< Newton hit the iteration cap without converging
+  NonFinite,       ///< the iterate left the representable range (NaN/inf)
+  BudgetExhausted, ///< recovery ladder ran out of retry budget
+  DeadlineExceeded,///< wall-clock deadline hit mid-recovery
+  InvalidOptions,  ///< caller error (e.g. non-positive tStop/dt)
+};
+const char* solve_status_name(SolveStatus status);
+
+/// The deepest recovery-ladder rung that was needed (Direct = none).
+enum class RecoveryStage { Direct, GminStepping, TimestepBackoff, SourceStepping };
+const char* recovery_stage_name(RecoveryStage stage);
+
+/// Configuration of the recovery ladder.
+struct RecoveryOptions {
+  bool gminStepping = true;    ///< gmin continuation from 1e-2 down
+  bool timestepBackoff = true; ///< transient step subdivision
+  bool sourceStepping = true;  ///< DC source homotopy from 0 to full value
+  /// Total escalations (gmin ladders started, step subdivision rounds,
+  /// source ladders started) permitted before the solve is abandoned with
+  /// BudgetExhausted. Deterministic.
+  int retryBudget = 64;
+  /// Wall-clock deadline for the whole analysis in seconds; 0 disables.
+  /// NOT deterministic — leave off when bit-identical reruns matter.
+  double deadlineSeconds = 0.0;
+};
+
+/// Outcome + diagnostics of one analysis (DC or full transient).
+struct SolveReport {
+  SolveStatus status = SolveStatus::Converged;
+  RecoveryStage deepestStage = RecoveryStage::Direct; ///< worst rung needed
+  std::string worstNode;   ///< unknown with the worst scaled update at the end
+  double worstDelta = 0.0; ///< its last |dx| [V or A]
+  long iterations = 0;     ///< Newton iterations consumed in total
+  int gminSteps = 0;       ///< gmin continuation levels solved
+  int sourceSteps = 0;     ///< source-stepping levels solved
+  int subdivisions = 0;    ///< transient steps that needed subdivision
+  int retriesUsed = 0;     ///< recovery escalations charged to the budget
+  double failTime = 0.0;   ///< transient time of the failing step [s]
+  std::string message;     ///< one-line human-readable summary
+
+  bool ok() const { return status == SolveStatus::Converged; }
 };
 
 /// A converged solution: node voltages + branch currents at one time point.
@@ -71,17 +140,36 @@ class Simulator {
 public:
   explicit Simulator(const Circuit& circuit);
 
-  /// DC operating point with gmin stepping fallback.
-  Solution dc_operating_point(const NewtonOptions& options = {});
-
   /// Observer invoked after the initial operating point (t = 0) and after
   /// every converged major step.
   using Observer = std::function<void(double time, const Solution& solution)>;
 
+  // --- result layer (never throws on solver trouble) -----------------------
+
+  /// DC operating point. On success `out` holds the solution; on failure it
+  /// is left untouched and the report classifies why.
+  SolveReport solve_dc(Solution& out, const NewtonOptions& options = {},
+                       const RecoveryOptions& recovery = {});
+
   /// Transient from a DC operating point at the t=0 source values.
-  void transient(const TransientOptions& options, const Observer& observer);
+  SolveReport run_transient(const TransientOptions& options, const Observer& observer,
+                            const RecoveryOptions& recovery = {});
 
   /// Transient from a caller-provided initial condition.
+  SolveReport run_transient_from(const Solution& initial,
+                                 const TransientOptions& options,
+                                 const Observer& observer,
+                                 const RecoveryOptions& recovery = {});
+
+  // --- throwing shims (legacy API) -----------------------------------------
+
+  /// DC operating point with recovery; throws ConvergenceError on failure.
+  Solution dc_operating_point(const NewtonOptions& options = {});
+
+  /// Transient; throws ConvergenceError when a step cannot be rescued.
+  void transient(const TransientOptions& options, const Observer& observer);
+
+  /// Transient from a caller-provided initial condition (throws).
   void transient_from(const Solution& initial, const TransientOptions& options,
                       const Observer& observer);
 
@@ -93,15 +181,38 @@ public:
   };
   const Stats& stats() const { return stats_; }
 
+  /// Report of the most recent analysis (also returned by the result layer).
+  const SolveReport& last_report() const { return report_; }
+
 private:
-  /// One Newton solve; returns true on convergence, leaving the result in x.
-  bool newton_solve(std::vector<double>& x, const SimState& stateTemplate,
-                    const NewtonOptions& options);
+  /// Outcome of one raw Newton solve.
+  struct NewtonOutcome {
+    bool converged = false;
+    SolveStatus failure = SolveStatus::Converged; ///< set when !converged
+    int iterations = 0;
+    std::size_t worstUnknown = 0; ///< unknown with the worst scaled update
+    double worstDelta = 0.0;
+  };
+
+  /// One Newton solve; leaves the result in x on convergence.
+  NewtonOutcome newton_solve(std::vector<double>& x, const SimState& stateTemplate,
+                             const NewtonOptions& options);
+
+  /// DC solve with the full ladder; shared by solve_dc and run_transient.
+  SolveStatus dc_with_recovery(std::vector<double>& x, const NewtonOptions& options,
+                               const RecoveryOptions& recovery);
+
+  /// Renders the name of unknown index i ("node" or "I(source)").
+  std::string unknown_name(std::size_t index) const;
+
+  /// Records failure diagnostics from a Newton outcome into report_.
+  void note_failure(const NewtonOutcome& outcome);
 
   const Circuit& circuit_;
   DenseMatrix jacobian_;
   std::vector<double> rhs_;
   Stats stats_;
+  SolveReport report_;
 };
 
 } // namespace nvff::spice

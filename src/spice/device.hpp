@@ -29,6 +29,10 @@ struct SimState {
   double time = 0.0;       ///< current timestep's absolute time
   double dt = 0.0;         ///< timestep size (0 in DC analysis)
   bool transient = false;  ///< false during DC operating point
+  /// Homotopy factor on independent sources (source stepping). Always 1.0
+  /// except while the recovery ladder ramps the sources up from zero to
+  /// walk a hard DC operating point in from a trivially solvable circuit.
+  double sourceScale = 1.0;
   std::size_t numNodes = 0;
   const std::vector<double>* iterate = nullptr; ///< current NR iterate
   const std::vector<double>* previous = nullptr; ///< converged previous step

@@ -52,7 +52,8 @@ VoltageSource::VoltageSource(std::string name, NodeId plus, NodeId minus,
       branchIndex_(branchIndex) {}
 
 void VoltageSource::stamp(Stamper& stamper, const SimState& state) {
-  stamper.branch_voltage(branchIndex_, plus_, minus_, waveform_.value(state.time));
+  stamper.branch_voltage(branchIndex_, plus_, minus_,
+                         state.sourceScale * waveform_.value(state.time));
 }
 
 double VoltageSource::delivered_current(const SimState& state) const {
@@ -65,7 +66,7 @@ CurrentSource::CurrentSource(std::string name, NodeId from, NodeId to, Waveform 
     : Device(std::move(name)), from_(from), to_(to), waveform_(std::move(waveform)) {}
 
 void CurrentSource::stamp(Stamper& stamper, const SimState& state) {
-  stamper.current(from_, to_, waveform_.value(state.time));
+  stamper.current(from_, to_, state.sourceScale * waveform_.value(state.time));
 }
 
 } // namespace nvff::spice

@@ -1,10 +1,13 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace nvff {
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Atomic: campaign worker threads read the level concurrently with the
+// main thread potentially raising it for progress reporting.
+std::atomic<LogLevel> g_level = LogLevel::Warn;
 
 const char* level_tag(LogLevel level) {
   switch (level) {

@@ -19,6 +19,15 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 Rng::Rng(std::uint64_t seedValue) { seed(seedValue); }
 
+Rng Rng::stream(std::uint64_t seedValue, std::uint64_t streamId) {
+  // seed ⊕ trialId, but with both sides whitened first: raw XOR of small
+  // integers would give correlated splitmix starting points for adjacent
+  // trials of adjacent seeds.
+  std::uint64_t a = seedValue;
+  std::uint64_t b = ~streamId;
+  return Rng(splitmix64(a) ^ splitmix64(b));
+}
+
 void Rng::seed(std::uint64_t seedValue) {
   std::uint64_t sm = seedValue;
   for (auto& lane : state_) lane = splitmix64(sm);

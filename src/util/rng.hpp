@@ -19,6 +19,13 @@ public:
   /// Seeds the state from a single 64-bit seed via splitmix64 expansion.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+  /// Counter-based stream derivation: an independent generator for stream
+  /// `streamId` of a campaign keyed by `seed`. Both inputs pass through
+  /// splitmix64 before the XOR, so adjacent stream ids (Monte-Carlo trial
+  /// numbers) are fully decorrelated, and the stream depends only on
+  /// (seed, streamId) — never on which thread draws it or in what order.
+  static Rng stream(std::uint64_t seed, std::uint64_t streamId);
+
   /// Next raw 64-bit output.
   std::uint64_t next_u64();
 

@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+namespace nvff {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads == 0 ? 1 : threads;
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    shutdown_ = true;
+  }
+  workAvailable_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    ++pending_;
+    target = nextQueue_;
+    nextQueue_ = (nextQueue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_front(std::move(task));
+  }
+  workAvailable_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
+  // Own queue first (front = most recently pushed, warm in cache) ...
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  // ... then steal the oldest task from the first busy victim.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      task();
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      if (--pending_ == 0) allDone_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    if (shutdown_) return;
+    // Re-check under the lock: a task may have landed between the failed
+    // pop and acquiring the state mutex.
+    workAvailable_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(stateMutex_);
+  allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(unsigned threads, std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  ThreadPool pool(threads);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait_idle();
+}
+
+} // namespace nvff

@@ -1,0 +1,74 @@
+// Work-stealing thread pool for embarrassingly parallel campaigns.
+//
+// Each worker owns a deque: it pushes and pops at the front (LIFO, cache
+// friendly for recursive submission) and steals from the BACK of a victim's
+// deque when its own runs dry, so long-running tasks migrate to idle
+// workers instead of serializing behind a slow one. Monte-Carlo trials have
+// wildly uneven cost (a trial that walks the solver recovery ladder costs
+// many times a clean one), which is exactly the load shape stealing evens
+// out.
+//
+// Determinism contract: the pool schedules WHEN tasks run, never WHAT they
+// compute. Tasks that derive all randomness from their own index (see
+// Rng::stream) produce identical results at any worker count.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nvff {
+
+class ThreadPool {
+public:
+  /// Spawns `threads` workers (at least 1; 0 is clamped to 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Thread-safe; may be called from within a task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Convenience: runs fn(i) for i in [0, count) across `threads` workers
+  /// and waits for completion. Exceptions escaping fn terminate (tasks are
+  /// expected to classify their own failures — that is the whole point of
+  /// the reliability engine).
+  static void parallel_for(unsigned threads, std::size_t count,
+                           const std::function<void(std::size_t)>& fn);
+
+private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex stateMutex_;
+  std::condition_variable workAvailable_;
+  std::condition_variable allDone_;
+  std::size_t pending_ = 0;     ///< submitted but not yet finished
+  std::size_t nextQueue_ = 0;   ///< round-robin submission target
+  bool shutdown_ = false;
+};
+
+} // namespace nvff

@@ -1,0 +1,95 @@
+// Campaign determinism: the contract is that a campaign's OUTPUT is a pure
+// function of (config minus threads) — bit-identical across thread counts,
+// and identical whether the run was uninterrupted or stitched together from
+// a checkpoint. Everything here renders reports and compares strings, which
+// catches any drift in ordering, aggregation or formatting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "reliability/checkpoint.hpp"
+#include "reliability/montecarlo.hpp"
+
+namespace nvff::reliability {
+namespace {
+
+CampaignConfig small_campaign() {
+  CampaignConfig cfg;
+  cfg.trials = 4;
+  cfg.seed = 2018;
+  cfg.sigmaScale = 1.5;   // enough spread that trials differ from each other
+  cfg.defectRate = 0.25;  // mixed-outcome population, not all-pass
+  return cfg;
+}
+
+TEST(Determinism, ReportIsIdenticalAtAnyThreadCount) {
+  CampaignConfig cfg = small_campaign();
+  cfg.threads = 1;
+  const std::string serial = render_report(run_campaign(cfg));
+  cfg.threads = 2;
+  const std::string two = render_report(run_campaign(cfg));
+  cfg.threads = 8;
+  const std::string eight = render_report(run_campaign(cfg));
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+  // The report must not smuggle in anything wall-clock or thread shaped.
+  EXPECT_EQ(serial.find("thread"), std::string::npos);
+}
+
+TEST(Determinism, ResumedCampaignMatchesUninterruptedRun) {
+  const CampaignConfig cfg = [] {
+    CampaignConfig c = small_campaign();
+    c.threads = 2;
+    return c;
+  }();
+  const std::string reference = render_report(run_campaign(cfg));
+
+  // Fake an interrupted run: trials 0 and 2 finished, 1 and 3 did not.
+  const std::string path = ::testing::TempDir() + "nvff_ckpt_resume.json";
+  std::remove(path.c_str());
+  write_checkpoint_file(path, cfg,
+                        {run_trial(cfg, 0), run_trial(cfg, 2)});
+
+  const CampaignResult resumed = run_campaign(cfg, path, /*checkpointEvery=*/1);
+  EXPECT_EQ(render_report(resumed), reference);
+
+  // The final checkpoint on disk now holds the complete campaign and can
+  // seed a third run that does zero simulation work.
+  CheckpointData final;
+  ASSERT_TRUE(load_checkpoint_file(path, final));
+  EXPECT_EQ(final.trials.size(), static_cast<std::size_t>(cfg.trials));
+  const CampaignResult replay = run_campaign(cfg, path);
+  EXPECT_EQ(render_report(replay), reference);
+  std::remove(path.c_str());
+}
+
+TEST(Determinism, ResumeWithDifferentConfigIsRefused) {
+  CampaignConfig cfg = small_campaign();
+  cfg.trials = 2;
+  const std::string path = ::testing::TempDir() + "nvff_ckpt_mismatch.json";
+  std::remove(path.c_str());
+  write_checkpoint_file(path, cfg, {run_trial(cfg, 0)});
+  CampaignConfig other = cfg;
+  other.seed += 1;
+  EXPECT_THROW(run_campaign(other, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Determinism, SigmaSweepSharesTheSampleStream) {
+  // Common random numbers: the same scale twice must give the same row.
+  CampaignConfig cfg = small_campaign();
+  cfg.trials = 2;
+  cfg.threads = 2;
+  const auto rows = sigma_sweep(cfg, {1.0, 1.0});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].yieldStandard, rows[1].yieldStandard);
+  EXPECT_EQ(rows[0].yieldProposed, rows[1].yieldProposed);
+  EXPECT_EQ(rows[0].berStandard, rows[1].berStandard);
+  EXPECT_EQ(rows[0].berProposed, rows[1].berProposed);
+  EXPECT_EQ(rows[0].p5MarginStandard, rows[1].p5MarginStandard);
+  EXPECT_EQ(rows[0].p5MarginProposed, rows[1].p5MarginProposed);
+}
+
+} // namespace
+} // namespace nvff::reliability

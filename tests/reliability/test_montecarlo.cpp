@@ -1,0 +1,253 @@
+// Monte-Carlo engine: trial classification, summary arithmetic, and the
+// checkpoint format. Campaign-level determinism lives in
+// test_determinism.cpp; these tests keep simulation work to a handful of
+// trials so the suite stays fast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "reliability/checkpoint.hpp"
+#include "reliability/montecarlo.hpp"
+
+namespace nvff::reliability {
+namespace {
+
+DesignTrialResult make_result(TrialOutcome outcome, int bitErrors,
+                              double margin) {
+  DesignTrialResult r;
+  r.outcome = outcome;
+  r.bitErrors = bitErrors;
+  r.margin = margin;
+  return r;
+}
+
+void expect_same_design_result(const DesignTrialResult& a,
+                               const DesignTrialResult& b) {
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.bitErrors, b.bitErrors);
+  if (std::isnan(a.margin)) {
+    EXPECT_TRUE(std::isnan(b.margin));
+  } else {
+    EXPECT_EQ(a.margin, b.margin); // bit-identical, not just close
+  }
+  EXPECT_EQ(a.solveStatus, b.solveStatus);
+  EXPECT_EQ(a.retriesUsed, b.retriesUsed);
+  EXPECT_EQ(a.subdivisions, b.subdivisions);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.note, b.note);
+}
+
+void expect_same_trial(const TrialResult& a, const TrialResult& b) {
+  EXPECT_EQ(a.trialId, b.trialId);
+  EXPECT_EQ(a.d0, b.d0);
+  EXPECT_EQ(a.d1, b.d1);
+  EXPECT_EQ(a.defectInjected, b.defectInjected);
+  EXPECT_EQ(a.defectVictim, b.defectVictim);
+  EXPECT_EQ(a.defectKind, b.defectKind);
+  expect_same_design_result(a.standard, b.standard);
+  expect_same_design_result(a.proposed, b.proposed);
+}
+
+TEST(MonteCarlo, OutcomeAndDesignNames) {
+  EXPECT_STREQ(outcome_name(TrialOutcome::Pass), "pass");
+  EXPECT_STREQ(outcome_name(TrialOutcome::Unclassified), "unclassified");
+  EXPECT_STRNE(design_name(Design::StandardPair),
+               design_name(Design::Proposed2Bit));
+}
+
+TEST(MonteCarlo, NominalTrialPassesBothDesigns) {
+  CampaignConfig cfg;
+  cfg.seed = 1;
+  const TrialResult t = run_trial(cfg, 0);
+  EXPECT_EQ(t.trialId, 0);
+  EXPECT_EQ(t.standard.outcome, TrialOutcome::Pass)
+      << t.standard.note << " margin=" << t.standard.margin;
+  EXPECT_EQ(t.proposed.outcome, TrialOutcome::Pass)
+      << t.proposed.note << " margin=" << t.proposed.margin;
+  EXPECT_EQ(t.standard.bitErrors, 0);
+  EXPECT_EQ(t.proposed.bitErrors, 0);
+  EXPECT_GE(t.standard.margin, cfg.marginThreshold);
+  EXPECT_GE(t.proposed.margin, cfg.marginThreshold);
+  EXPECT_GT(t.standard.iterations, 0);
+  EXPECT_GT(t.proposed.iterations, 0);
+}
+
+TEST(MonteCarlo, TrialIsAPureFunctionOfConfigAndId) {
+  CampaignConfig cfg;
+  cfg.seed = 99;
+  cfg.sigmaScale = 1.5;
+  cfg.defectRate = 0.5;
+  const TrialResult first = run_trial(cfg, 7);
+  const TrialResult again = run_trial(cfg, 7);
+  expect_same_trial(first, again);
+  // The thread count is campaign plumbing, not part of the sample space.
+  CampaignConfig wide = cfg;
+  wide.threads = 8;
+  expect_same_trial(first, run_trial(wide, 7));
+}
+
+TEST(MonteCarlo, DefectTrialsAreClassifiedNeverUnclassified) {
+  CampaignConfig cfg;
+  cfg.seed = 5;
+  cfg.defectRate = 1.0; // every trial carries a broken MTJ
+  for (int id = 0; id < 3; ++id) {
+    const TrialResult t = run_trial(cfg, id);
+    EXPECT_TRUE(t.defectInjected) << "trial " << id;
+    EXPECT_NE(t.standard.outcome, TrialOutcome::Unclassified)
+        << "trial " << id << ": " << t.standard.note;
+    EXPECT_NE(t.proposed.outcome, TrialOutcome::Unclassified)
+        << "trial " << id << ": " << t.proposed.note;
+    EXPECT_GE(t.defectVictim, 0);
+    EXPECT_LE(t.defectVictim, 3);
+    EXPECT_GE(t.defectKind, 1); // MtjDefect::None never injected
+  }
+}
+
+TEST(MonteCarlo, SummaryArithmetic) {
+  CampaignResult result;
+  result.config.trials = 3;
+
+  TrialResult t0;
+  t0.trialId = 0;
+  t0.standard = make_result(TrialOutcome::Pass, 0, 0.80);
+  t0.proposed = make_result(TrialOutcome::Pass, 0, 0.70);
+  TrialResult t1;
+  t1.trialId = 1;
+  t1.standard = make_result(TrialOutcome::BitError, 1, 0.55);
+  t1.proposed = make_result(TrialOutcome::SolverFailure, 0,
+                            std::numeric_limits<double>::quiet_NaN());
+  TrialResult t2;
+  t2.trialId = 2;
+  t2.standard = make_result(TrialOutcome::Metastable, 1, 0.10);
+  t2.proposed = make_result(TrialOutcome::Pass, 0, 0.60);
+  result.trials = {t0, t1, t2};
+
+  const DesignSummary std = result.summarize(Design::StandardPair);
+  EXPECT_EQ(std.trials, 3);
+  EXPECT_EQ(std.counts[static_cast<int>(TrialOutcome::Pass)], 1);
+  EXPECT_EQ(std.counts[static_cast<int>(TrialOutcome::BitError)], 1);
+  EXPECT_EQ(std.counts[static_cast<int>(TrialOutcome::Metastable)], 1);
+  EXPECT_EQ(std.bitsSimulated, 6); // 3 converged trials x 2 bits
+  EXPECT_EQ(std.bitErrors, 2);
+  EXPECT_DOUBLE_EQ(std.ber(), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(std.yield(), 1.0 / 3.0);
+  EXPECT_EQ(std.margins.size(), 3u);
+
+  const DesignSummary prop = result.summarize(Design::Proposed2Bit);
+  EXPECT_EQ(prop.counts[static_cast<int>(TrialOutcome::SolverFailure)], 1);
+  // The solver-failed trial contributes no bits and no margin sample.
+  EXPECT_EQ(prop.bitsSimulated, 4);
+  EXPECT_DOUBLE_EQ(prop.ber(), 0.0);
+  EXPECT_DOUBLE_EQ(prop.yield(), 2.0 / 3.0);
+  EXPECT_EQ(prop.margins.size(), 2u);
+}
+
+TEST(MonteCarlo, EmptySummaryRatesAreZeroNotNan) {
+  DesignSummary s;
+  EXPECT_EQ(s.ber(), 0.0);
+  EXPECT_EQ(s.yield(), 0.0);
+}
+
+/// A checkpoint round-trip must preserve every field the resume path and
+/// the final report read — including a NaN margin (serialized as JSON
+/// null) and diagnostic notes full of characters JSON must escape.
+TEST(MonteCarlo, CheckpointRoundTripsTrialsExactly) {
+  CampaignConfig cfg;
+  cfg.trials = 4;
+  cfg.seed = 0xdeadbeefcafe1234ull; // exercises the seed-as-string encoding
+  cfg.sigmaScale = 1.25;
+  cfg.defectRate = 0.125;
+
+  TrialResult a;
+  a.trialId = 0;
+  a.d0 = true;
+  a.d1 = false;
+  a.defectInjected = true;
+  a.defectVictim = 2;
+  a.defectKind = 3;
+  a.standard = {TrialOutcome::BitError, 1, 0.3125,
+                spice::SolveStatus::Converged, 2, 1, 12345,
+                "level flipped on bit 0"};
+  a.proposed = {TrialOutcome::SolverFailure, 0,
+                std::numeric_limits<double>::quiet_NaN(),
+                spice::SolveStatus::MaxIterations, 9, 4, 777,
+                "restore: \"max-iterations\" at node\n\tout\\b µ-scale"};
+  TrialResult b;
+  b.trialId = 3; // gaps are fine: a partial checkpoint skips unfinished ids
+  b.standard = make_result(TrialOutcome::Pass, 0, 0.875);
+  b.proposed = make_result(TrialOutcome::Pass, 0, 0.75);
+
+  const std::string json = serialize_checkpoint(cfg, {a, b});
+  const CheckpointData back = parse_checkpoint(json);
+  ASSERT_EQ(back.trials.size(), 2u);
+  expect_same_trial(back.trials[0], a);
+  expect_same_trial(back.trials[1], b);
+  // The restored config must fingerprint-match the original.
+  EXPECT_NO_THROW(validate_checkpoint(cfg, back.config));
+}
+
+TEST(MonteCarlo, CheckpointRejectsForeignConfig) {
+  CampaignConfig run;
+  run.trials = 8;
+  run.seed = 42;
+
+  CampaignConfig sameStats = run;
+  sameStats.threads = 16; // deliberately not fingerprinted
+  EXPECT_NO_THROW(validate_checkpoint(run, sameStats));
+
+  CampaignConfig otherSeed = run;
+  otherSeed.seed = 43;
+  EXPECT_THROW(validate_checkpoint(run, otherSeed), std::runtime_error);
+
+  CampaignConfig otherTrials = run;
+  otherTrials.trials = 9;
+  EXPECT_THROW(validate_checkpoint(run, otherTrials), std::runtime_error);
+
+  CampaignConfig otherSigma = run;
+  otherSigma.sigmaScale = 2.0;
+  EXPECT_THROW(validate_checkpoint(run, otherSigma), std::runtime_error);
+
+  CampaignConfig otherTiming = run;
+  otherTiming.timing.offDuration *= 2.0;
+  EXPECT_THROW(validate_checkpoint(run, otherTiming), std::runtime_error);
+}
+
+TEST(MonteCarlo, MalformedCheckpointsThrow) {
+  EXPECT_THROW(parse_checkpoint(""), std::runtime_error);
+  EXPECT_THROW(parse_checkpoint("{\"schema\":1"), std::runtime_error);
+  EXPECT_THROW(parse_checkpoint("[1,2,3]"), std::runtime_error);
+  // A well-formed document from some future incompatible writer.
+  EXPECT_THROW(parse_checkpoint("{\"schema\":999,\"trials\":[]}"),
+               std::runtime_error);
+}
+
+TEST(MonteCarlo, LoadMissingCheckpointReturnsFalse) {
+  const std::string path =
+      ::testing::TempDir() + "nvff_no_such_checkpoint.json";
+  std::remove(path.c_str());
+  CheckpointData out;
+  EXPECT_FALSE(load_checkpoint_file(path, out));
+}
+
+TEST(MonteCarlo, CheckpointFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "nvff_ckpt_roundtrip.json";
+  CampaignConfig cfg;
+  cfg.trials = 2;
+  cfg.seed = 11;
+  TrialResult t;
+  t.trialId = 1;
+  t.standard = make_result(TrialOutcome::Pass, 0, 0.5);
+  t.proposed = make_result(TrialOutcome::Metastable, 1, 0.05);
+  write_checkpoint_file(path, cfg, {t});
+  CheckpointData out;
+  ASSERT_TRUE(load_checkpoint_file(path, out));
+  ASSERT_EQ(out.trials.size(), 1u);
+  expect_same_trial(out.trials[0], t);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace nvff::reliability

@@ -1,0 +1,269 @@
+// SolveReport result layer + recovery ladder: gmin stepping, timestep
+// backoff, source stepping, retry budget, and failure diagnostics.
+//
+// The hard circuits here are made hard *deterministically* by starving
+// Newton of iterations (tiny maxIterations) rather than by exotic device
+// setups: a cold-started inverter chain needs several damped iterations to
+// walk its nodes to the rails, while every warm-started rung of a
+// continuation ladder only needs a couple — exactly the situation the
+// ladder exists for.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/trace.hpp"
+#include "util/units.hpp"
+
+namespace nvff::spice {
+namespace {
+using namespace nvff::units;
+
+constexpr double kVdd = 1.1;
+
+void add_inverter(Circuit& ckt, const std::string& prefix, NodeId vdd, NodeId in,
+                  NodeId out) {
+  ckt.add_pmos(prefix + "P", out, in, vdd, vdd, MosGeometry{240e-9, 40e-9},
+               MosParams::pmos_40nm_lp());
+  ckt.add_nmos(prefix + "N", out, in, kGround, kGround, MosGeometry{120e-9, 40e-9},
+               MosParams::nmos_40nm_lp());
+}
+
+/// Cross-coupled inverter pair: cold-start Newton must find the metastable
+/// balance point, which takes many damped iterations.
+Circuit bistable() {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(kVdd));
+  add_inverter(ckt, "I1", vdd, ckt.node("a"), ckt.node("b"));
+  add_inverter(ckt, "I2", vdd, ckt.node("b"), ckt.node("a"));
+  return ckt;
+}
+
+TEST(SolveReport, DirectConvergenceReportsCleanly) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V", a, kGround, Waveform::dc(1.0));
+  ckt.add_resistor("R1", a, ckt.node("mid"), 1 * kOhm);
+  ckt.add_resistor("R2", ckt.node("mid"), kGround, 1 * kOhm);
+  Simulator sim(ckt);
+  Solution op;
+  const SolveReport report = sim.solve_dc(op);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.status, SolveStatus::Converged);
+  EXPECT_EQ(report.deepestStage, RecoveryStage::Direct);
+  EXPECT_EQ(report.retriesUsed, 0);
+  EXPECT_EQ(report.gminSteps, 0);
+  EXPECT_EQ(report.sourceSteps, 0);
+  EXPECT_GT(report.iterations, 0);
+  EXPECT_NEAR(op.v(ckt.find_node("mid")), 0.5, 1e-3);
+}
+
+TEST(SolveReport, GminSteppingRescuesIterationStarvedSolve) {
+  Circuit ckt = bistable();
+  Simulator sim(ckt);
+  NewtonOptions newton;
+  newton.maxIterations = 5; // too few for a cold start, plenty per warm rung
+  RecoveryOptions recovery;
+  recovery.sourceStepping = false; // isolate the gmin rung
+  Solution op;
+  const SolveReport report = sim.solve_dc(op, newton, recovery);
+  ASSERT_TRUE(report.ok()) << report.message;
+  EXPECT_EQ(report.deepestStage, RecoveryStage::GminStepping);
+  EXPECT_GT(report.gminSteps, 0);
+  EXPECT_GE(report.retriesUsed, 1);
+  // The rescued solution is a real operating point, inside the rails.
+  EXPECT_GE(op.v(ckt.find_node("a")), -0.01);
+  EXPECT_LE(op.v(ckt.find_node("a")), kVdd + 0.01);
+}
+
+TEST(SolveReport, SourceSteppingRescuesWhenGminDisabled) {
+  Circuit ckt = bistable();
+  Simulator sim(ckt);
+  NewtonOptions newton;
+  newton.maxIterations = 4;
+  RecoveryOptions recovery;
+  recovery.gminStepping = false; // force the ladder past its first rung
+  Solution op;
+  const SolveReport report = sim.solve_dc(op, newton, recovery);
+  ASSERT_TRUE(report.ok()) << report.message;
+  EXPECT_EQ(report.deepestStage, RecoveryStage::SourceStepping);
+  EXPECT_GT(report.sourceSteps, 0);
+  EXPECT_GE(report.retriesUsed, 1);
+  EXPECT_GE(op.v(ckt.find_node("a")), -0.01);
+  EXPECT_LE(op.v(ckt.find_node("a")), kVdd + 0.01);
+}
+
+TEST(SolveReport, ImpossibleSolveNamesTheWorstUnknown) {
+  Circuit ckt = bistable();
+  Simulator sim(ckt);
+  NewtonOptions newton;
+  // The convergence check needs at least two iterations (it compares against
+  // the previous iterate), so one iteration can never converge — a
+  // deterministic "impossible" solve.
+  newton.maxIterations = 1;
+  RecoveryOptions recovery;
+  recovery.gminStepping = false;
+  recovery.timestepBackoff = false;
+  recovery.sourceStepping = false;
+  Solution op;
+  const SolveReport report = sim.solve_dc(op, newton, recovery);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status, SolveStatus::MaxIterations);
+  EXPECT_FALSE(report.worstNode.empty());
+  EXPECT_GT(report.iterations, 0);
+  EXPECT_NE(report.message.find("max-iterations"), std::string::npos);
+  // The throwing shim reports the same trouble as an exception.
+  EXPECT_THROW(sim.dc_operating_point(newton), ConvergenceError);
+}
+
+TEST(SolveReport, ZeroRetryBudgetReportsBudgetExhausted) {
+  Circuit ckt = bistable();
+  Simulator sim(ckt);
+  NewtonOptions newton;
+  newton.maxIterations = 1;
+  RecoveryOptions recovery;
+  recovery.retryBudget = 0; // direct attempt is free; any escalation is not
+  Solution op;
+  const SolveReport report = sim.solve_dc(op, newton, recovery);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status, SolveStatus::BudgetExhausted);
+  EXPECT_GE(report.retriesUsed, 1);
+}
+
+TEST(SolveReport, TransientBackoffSubdividesTheHardStep) {
+  // A loaded three-stage inverter chain hit by a near-instant input edge,
+  // integrated with an absurdly coarse dt. The DC operating point converges
+  // directly (the input sits quietly low), but the edge step must ripple a
+  // full-rail swing through every stage in ONE solve — more damped Newton
+  // iterations than the budget allows at full dt. Halving the step lets the
+  // load capacitors anchor the interior nodes (C/h grows each round), so
+  // timestep backoff rescues the step.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId in = ckt.node("in");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(kVdd));
+  Pwl edge;
+  edge.add_point(0.0, 0.0);
+  edge.add_step(0.4 * ns, kVdd, 1 * ps);
+  ckt.add_vsource("VIN", in, kGround, Waveform::pwl(edge));
+  add_inverter(ckt, "I1", vdd, in, ckt.node("s1"));
+  ckt.add_capacitor("C1", ckt.find_node("s1"), kGround, 50 * fF);
+  add_inverter(ckt, "I2", vdd, ckt.find_node("s1"), ckt.node("s2"));
+  ckt.add_capacitor("C2", ckt.find_node("s2"), kGround, 50 * fF);
+  add_inverter(ckt, "I3", vdd, ckt.find_node("s2"), ckt.node("s3"));
+  ckt.add_capacitor("C3", ckt.find_node("s3"), kGround, 50 * fF);
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 2 * ns;
+  opt.dt = 1 * ns;
+  opt.newton.maxIterations = 7; // enough for the quiet DC op, not the edge
+  Trace trace;
+  trace.watch_node(ckt, "s3");
+  const SolveReport report = sim.run_transient(opt, trace.observer());
+  ASSERT_TRUE(report.ok()) << report.message;
+  EXPECT_GE(report.subdivisions, 1);
+  EXPECT_GE(report.retriesUsed, 1);
+  EXPECT_GE(sim.stats().subdividedSteps, 1);
+  EXPECT_TRUE(report.deepestStage == RecoveryStage::TimestepBackoff ||
+              report.deepestStage == RecoveryStage::GminStepping)
+      << recovery_stage_name(report.deepestStage);
+  // The waveform is still correct: an odd chain ends low after a rising edge.
+  EXPECT_LT(trace.final_value("s3"), 0.1 * kVdd);
+}
+
+TEST(SolveReport, TransientFailureRecordsFailTimeAndDiagnostics) {
+  Circuit ckt = bistable();
+  ckt.add_capacitor("Ca", ckt.find_node("a"), kGround, 1 * fF);
+  Simulator sim(ckt);
+  TransientOptions opt;
+  opt.tStop = 1 * ns;
+  opt.dt = 100 * ps;
+  opt.newton.maxIterations = 1; // every step is impossible
+  RecoveryOptions recovery;
+  recovery.gminStepping = false;
+  recovery.timestepBackoff = false;
+  recovery.sourceStepping = false;
+  const Solution zero(std::vector<double>(ckt.num_unknowns(), 0.0),
+                      ckt.num_nodes());
+  const SolveReport report = sim.run_transient_from(zero, opt, nullptr, recovery);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status, SolveStatus::MaxIterations);
+  EXPECT_GT(report.failTime, 0.0);
+  EXPECT_LE(report.failTime, opt.dt * 1.01);
+  EXPECT_FALSE(report.worstNode.empty());
+  EXPECT_NE(report.message.find("transient"), std::string::npos);
+}
+
+TEST(SolveReport, InvalidOptionsAreClassifiedNotThrown) {
+  Circuit ckt;
+  ckt.add_vsource("V", ckt.node("a"), kGround, Waveform::dc(1.0));
+  ckt.add_resistor("R", ckt.find_node("a"), kGround, 1 * kOhm);
+  Simulator sim(ckt);
+  const Solution zero(std::vector<double>(ckt.num_unknowns(), 0.0),
+                      ckt.num_nodes());
+  TransientOptions bad;
+  bad.tStop = 0.0;
+  bad.dt = 1 * ps;
+  const SolveReport report = sim.run_transient_from(zero, bad, nullptr);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status, SolveStatus::InvalidOptions);
+  // The legacy shim keeps its historical std::invalid_argument contract.
+  EXPECT_THROW(sim.transient_from(zero, bad, nullptr), std::invalid_argument);
+}
+
+TEST(SolveReport, RecoveredRunMatchesDirectRunBitForBit) {
+  // The ladder must rescue the SOLVE, not change the ANSWER: the same
+  // circuit solved directly (generous iterations) and via gmin stepping
+  // (starved iterations) must land on the same operating point to solver
+  // tolerance.
+  Circuit direct = bistable();
+  Circuit rescued = bistable();
+  Solution opDirect;
+  Solution opRescued;
+  {
+    Simulator sim(direct);
+    ASSERT_TRUE(sim.solve_dc(opDirect).ok());
+  }
+  {
+    Simulator sim(rescued);
+    NewtonOptions newton;
+    newton.maxIterations = 5;
+    RecoveryOptions recovery;
+    recovery.sourceStepping = false;
+    const SolveReport report = sim.solve_dc(opRescued, newton, recovery);
+    ASSERT_TRUE(report.ok()) << report.message;
+    ASSERT_EQ(report.deepestStage, RecoveryStage::GminStepping);
+  }
+  EXPECT_NEAR(opDirect.v(direct.find_node("a")),
+              opRescued.v(rescued.find_node("a")), 1e-3);
+  EXPECT_NEAR(opDirect.v(direct.find_node("b")),
+              opRescued.v(rescued.find_node("b")), 1e-3);
+}
+
+TEST(SolveReport, ToleranceScalesWithIterateMagnitude) {
+  // Convergence is judged per unknown against absTol + relTol * |x|, so a
+  // solve with large node voltages must not demand micro-volt absolute
+  // precision there (the old check hardcoded the relative reference to 1 V
+  // and a solve like this one paid for it in iterations).
+  Circuit ckt;
+  const NodeId hv = ckt.node("hv");
+  const NodeId d = ckt.node("d");
+  ckt.add_vsource("V", hv, kGround, Waveform::dc(8.0));
+  ckt.add_resistor("R", hv, d, 100 * kOhm);
+  ckt.add_nmos("M", d, d, kGround, kGround, MosGeometry{},
+               MosParams::nmos_40nm_lp());
+  Simulator sim(ckt);
+  NewtonOptions newton;
+  newton.vAbsTol = 1e-12; // absolute floor far below what 8 V can resolve
+  Solution op;
+  const SolveReport report = sim.solve_dc(op, newton);
+  ASSERT_TRUE(report.ok()) << report.message;
+  EXPECT_EQ(report.deepestStage, RecoveryStage::Direct);
+  EXPECT_GT(op.v(d), 0.3);
+  EXPECT_LT(op.v(d), 1.0);
+}
+
+} // namespace
+} // namespace nvff::spice
