@@ -9,6 +9,7 @@
 //   nvfftool export <benchmark> <dir>  # write .bench, .v and .def artifacts
 //   nvfftool lint [--json] <target>    # static ERC/lint; nonzero exit on errors
 //   nvfftool mc [options]              # Monte-Carlo reliability campaign
+//   nvfftool powerfail [options]       # power-interruption fault campaign
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,7 @@
 #include "cell/standard_latch.hpp"
 #include "core/reports.hpp"
 #include "erc/erc.hpp"
+#include "faults/powerfail.hpp"
 #include "physdes/def_io.hpp"
 #include "reliability/montecarlo.hpp"
 #include "util/strings.hpp"
@@ -357,8 +359,102 @@ int cmd_mc(const std::vector<std::string>& args) {
   return 0;
 }
 
+// --- powerfail -------------------------------------------------------------
+
+int powerfail_usage() {
+  std::fprintf(
+      stderr,
+      "usage: nvfftool powerfail [options]\n"
+      "  --bench NAME        benchmark to attack (default s1423)\n"
+      "  --trials N          trials to run (default 256)\n"
+      "  --seed S            campaign seed (default 1)\n"
+      "  --threads T         worker threads (default 1; output is identical\n"
+      "                      for any T)\n"
+      "  --no-unprotected    skip the bare fire-and-forget protocol arm\n"
+      "  --no-protected      skip the verify-after-write + canary arm\n"
+      "  --event-prob P      probability a trial carries a fault (default 1.0)\n"
+      "  --restore-prob P    fault lands in the restore phase (default 0.25)\n"
+      "  --weights A,B,C     power-loss/brown-out/glitch sampling weights\n"
+      "                      (default 1,1,1)\n"
+      "  --brownout-ns X     supply-sag duration (default 40)\n"
+      "  --write-fail P      stochastic per-attempt MTJ write failure (default 0)\n"
+      "  --retries N         verify/re-sense retry budget per bit (default 5)\n"
+      "  --domain-size N     flip-flops per backup control domain, i.e. clock\n"
+      "                      sinks per leaf buffer (default 16)\n"
+      "  --checkpoint FILE   save/resume campaign state as JSON\n"
+      "  --every N           checkpoint cadence in trials (default 16)\n"
+      "  --fail-on-sdc       exit nonzero on silent data corruption in the\n"
+      "                      protected arms (all arms when --no-protected)\n");
+  return 2;
+}
+
+int cmd_powerfail(const std::vector<std::string>& args) {
+  faults::CampaignConfig cfg;
+  std::string checkpoint;
+  int every = 16;
+  bool failOnSdc = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument("powerfail: " + a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--bench") cfg.benchmark = value();
+    else if (a == "--trials") cfg.trials = std::stoi(value());
+    else if (a == "--seed") cfg.seed = std::stoull(value());
+    else if (a == "--threads") cfg.threads = std::stoi(value());
+    else if (a == "--no-unprotected") cfg.runUnprotected = false;
+    else if (a == "--no-protected") cfg.runProtected = false;
+    else if (a == "--event-prob") cfg.eventProb = std::stod(value());
+    else if (a == "--restore-prob") cfg.restorePhaseProb = std::stod(value());
+    else if (a == "--weights") {
+      const std::vector<std::string> toks = split(value(), ",");
+      if (toks.size() != 3)
+        throw std::invalid_argument("powerfail: --weights needs A,B,C");
+      cfg.weightPowerLoss = std::stod(toks[0]);
+      cfg.weightBrownOut = std::stod(toks[1]);
+      cfg.weightGlitch = std::stod(toks[2]);
+    }
+    else if (a == "--brownout-ns") cfg.brownoutNs = std::stod(value());
+    else if (a == "--write-fail") cfg.protocol.writeFailProb = std::stod(value());
+    else if (a == "--retries") cfg.protocol.maxRetries = std::stoi(value());
+    else if (a == "--domain-size") cfg.clock.sinksPerLeafBuffer = std::stoi(value());
+    else if (a == "--checkpoint") checkpoint = value();
+    else if (a == "--every") every = std::stoi(value());
+    else if (a == "--fail-on-sdc") failOnSdc = true;
+    else {
+      std::fprintf(stderr, "powerfail: unknown option '%s'\n", a.c_str());
+      return powerfail_usage();
+    }
+  }
+
+  // Progress to stderr; stdout stays bit-identical for any thread count.
+  const auto progress = [](int done, int total) {
+    if (done % 16 == 0 || done == total)
+      std::fprintf(stderr, "powerfail: %d/%d trials\n", done, total);
+  };
+  const faults::CampaignResult result =
+      faults::run_campaign(cfg, checkpoint, every, progress);
+  std::printf("%s", faults::render_report(result).c_str());
+
+  if (failOnSdc) {
+    // With the protected arms running, the gate is the protocol guarantee:
+    // silent corruption must be impossible there. Without them, any silent
+    // corruption fails the run.
+    const long sdc = result.count_sdc(/*protectedOnly=*/cfg.runProtected);
+    if (sdc > 0) {
+      std::fprintf(stderr, "powerfail: %ld silent corruption(s) in %s arms\n",
+                   sdc, cfg.runProtected ? "protected" : "unprotected");
+      return 3;
+    }
+  }
+  return 0;
+}
+
 int usage() {
-  std::printf(
+  std::fprintf(
+      stderr,
       "usage: nvfftool <command>\n"
       "  list                     benchmarks\n"
       "  flow <benchmark>         run the NV replacement flow\n"
@@ -369,7 +465,9 @@ int usage() {
       "  lint [--json] <target>   static ERC/lint (benchmark, .bench file,\n"
       "                           deck:<standard|flipped|multibit|scalableN>, all)\n"
       "  mc [options]             Monte-Carlo reliability campaign over both\n"
-      "                           latch designs ('nvfftool mc --help' for options)\n");
+      "                           latch designs ('nvfftool mc --help' for options)\n"
+      "  powerfail [options]      power-interruption fault-injection campaign\n"
+      "                           ('nvfftool powerfail --help' for options)\n");
   return 2;
 }
 
@@ -398,6 +496,17 @@ int main(int argc, char** argv) {
         if (a == "--help" || a == "-h") return mc_usage();
       return cmd_mc(mcArgs);
     }
+    if (cmd == "powerfail") {
+      const std::vector<std::string> pfArgs(argv + 2, argv + argc);
+      for (const std::string& a : pfArgs)
+        if (a == "--help" || a == "-h") return powerfail_usage();
+      return cmd_powerfail(pfArgs);
+    }
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage();
+    // An unrecognized command (or a recognized one missing its required
+    // arguments) must not look like success to a calling script.
+    std::fprintf(stderr, "nvfftool: unknown or incomplete command '%s'\n",
+                 cmd.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -7,53 +7,75 @@ namespace nvff::core {
 
 namespace {
 
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  int idx = 0; ///< original sink index (leaf-group reporting)
+};
+
 /// Recursive H-tree wire length over a set of sink positions: splits the
 /// bounding box along its longer side, adds the trunk connecting the two
 /// halves' centers, and recurses until <= sinksPerLeafBuffer sinks remain
-/// (those are wired as a short local spine).
+/// (those are wired as a short local spine). When `groups` is non-null the
+/// member indices of every leaf spine are recorded in traversal order.
 struct HtreeAccumulator {
   double wireUm = 0.0;
   int buffers = 0;
   int leafLimit = 16;
+  std::vector<std::vector<int>>* groups = nullptr;
 
-  void build(std::vector<std::pair<double, double>>& pts, std::size_t lo,
-             std::size_t hi) {
+  void build(std::vector<Point>& pts, std::size_t lo, std::size_t hi) {
     const std::size_t n = hi - lo;
     if (n == 0) return;
     if (n <= static_cast<std::size_t>(leafLimit)) {
       // Local spine: length of the bounding box half-perimeter.
-      double minX = pts[lo].first;
+      double minX = pts[lo].x;
       double maxX = minX;
-      double minY = pts[lo].second;
+      double minY = pts[lo].y;
       double maxY = minY;
       for (std::size_t i = lo; i < hi; ++i) {
-        minX = std::min(minX, pts[i].first);
-        maxX = std::max(maxX, pts[i].first);
-        minY = std::min(minY, pts[i].second);
-        maxY = std::max(maxY, pts[i].second);
+        minX = std::min(minX, pts[i].x);
+        maxX = std::max(maxX, pts[i].x);
+        minY = std::min(minY, pts[i].y);
+        maxY = std::max(maxY, pts[i].y);
       }
       wireUm += (maxX - minX) + (maxY - minY);
       buffers += 1;
+      if (groups) {
+        std::vector<int> members;
+        members.reserve(n);
+        for (std::size_t i = lo; i < hi; ++i) members.push_back(pts[i].idx);
+        // Members in original sink order: the recursion's nth_element
+        // permutations are an implementation detail, not a schedule.
+        std::sort(members.begin(), members.end());
+        groups->push_back(std::move(members));
+      }
       return;
     }
     // Split along the longer dimension at the median.
-    double minX = pts[lo].first;
+    double minX = pts[lo].x;
     double maxX = minX;
-    double minY = pts[lo].second;
+    double minY = pts[lo].y;
     double maxY = minY;
     for (std::size_t i = lo; i < hi; ++i) {
-      minX = std::min(minX, pts[i].first);
-      maxX = std::max(maxX, pts[i].first);
-      minY = std::min(minY, pts[i].second);
-      maxY = std::max(maxY, pts[i].second);
+      minX = std::min(minX, pts[i].x);
+      maxX = std::max(maxX, pts[i].x);
+      minY = std::min(minY, pts[i].y);
+      maxY = std::max(maxY, pts[i].y);
     }
     const bool splitX = (maxX - minX) >= (maxY - minY);
     const std::size_t mid = lo + n / 2;
     std::nth_element(pts.begin() + static_cast<std::ptrdiff_t>(lo),
                      pts.begin() + static_cast<std::ptrdiff_t>(mid),
                      pts.begin() + static_cast<std::ptrdiff_t>(hi),
-                     [&](const auto& a, const auto& b) {
-                       return splitX ? a.first < b.first : a.second < b.second;
+                     [&](const Point& a, const Point& b) {
+                       // Tie-break on the index so the partition (and with
+                       // it the leaf grouping) is deterministic even when
+                       // sites share a coordinate.
+                       const double ka = splitX ? a.x : a.y;
+                       const double kb = splitX ? b.x : b.y;
+                       if (ka != kb) return ka < kb;
+                       return a.idx < b.idx;
                      });
     // Trunk connecting the halves: half the span of the split dimension.
     wireUm += 0.5 * (splitX ? (maxX - minX) : (maxY - minY));
@@ -63,13 +85,21 @@ struct HtreeAccumulator {
   }
 };
 
+std::vector<Point> to_points(const std::vector<std::pair<double, double>>& sinks) {
+  std::vector<Point> pts;
+  pts.reserve(sinks.size());
+  for (std::size_t i = 0; i < sinks.size(); ++i)
+    pts.push_back({sinks[i].first, sinks[i].second, static_cast<int>(i)});
+  return pts;
+}
+
 ClockNetworkEstimate estimate(const std::vector<std::pair<double, double>>& sinks,
                               const std::vector<double>& pinCaps,
                               const ClockModelParams& params) {
   ClockNetworkEstimate e;
   e.sinks = sinks.size();
   for (double c : pinCaps) e.pinCapF += c;
-  std::vector<std::pair<double, double>> pts = sinks;
+  std::vector<Point> pts = to_points(sinks);
   HtreeAccumulator tree;
   tree.leafLimit = params.sinksPerLeafBuffer;
   tree.build(pts, 0, pts.size());
@@ -111,6 +141,20 @@ ClockNetworkEstimate estimate_clock_network_mbff(
     caps.push_back(params.cPinClkFf);
   }
   return estimate(sinks, caps, params);
+}
+
+std::vector<std::vector<int>> clock_leaf_groups(
+    const std::vector<pairing::FlipFlopSite>& sites, const ClockModelParams& params) {
+  std::vector<Point> pts;
+  pts.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    pts.push_back({sites[i].x, sites[i].y, static_cast<int>(i)});
+  std::vector<std::vector<int>> groups;
+  HtreeAccumulator tree;
+  tree.leafLimit = params.sinksPerLeafBuffer;
+  tree.groups = &groups;
+  tree.build(pts, 0, pts.size());
+  return groups;
 }
 
 } // namespace nvff::core

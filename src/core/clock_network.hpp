@@ -54,4 +54,17 @@ ClockNetworkEstimate estimate_clock_network_mbff(
     const std::vector<pairing::FlipFlopSite>& sites,
     const pairing::PairingResult& pairs, const ClockModelParams& params);
 
+/// Leaf-buffer membership of the H-tree the estimator builds: each inner
+/// vector holds the site indices wired to one leaf buffer, in deterministic
+/// tree-traversal order (the same recursion estimate_clock_network walks).
+/// Groups partition [0, sites.size()), each with at most
+/// params.sinksPerLeafBuffer members.
+///
+/// This is the physical granularity of local control: a leaf buffer's sinks
+/// share the clock driver and, in the NV flow, the store/restore control
+/// signals — so the fault-injection engine sequences backup domains in
+/// exactly this grouping.
+std::vector<std::vector<int>> clock_leaf_groups(
+    const std::vector<pairing::FlipFlopSite>& sites, const ClockModelParams& params);
+
 } // namespace nvff::core

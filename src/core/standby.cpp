@@ -31,7 +31,9 @@ StandbyEnergies standby_energy(const StandbyParams& p, double seconds) {
   e.saveRestoreJ =
       2.0 * n * p.busTransferPerBitJ + p.memoryArrayLeakageW * seconds;
 
-  const double storeJ = n * p.nvWriteEnergyPerBitJ; // identical both designs
+  // Identical for both designs; the verify-after-write protocol's retries
+  // repeat a fraction pRetry of the write pulses.
+  const double storeJ = n * p.nvWriteEnergyPerBitJ * (1.0 + p.pRetry);
   e.nvShadow1bitJ = storeJ + n * p.nv1RestorePerBitJ;
   e.nvShadowMultibitJ =
       storeJ + paired * p.nv2RestorePerCellJ + singles * p.nv1RestorePerBitJ;
@@ -41,9 +43,16 @@ StandbyEnergies standby_energy(const StandbyParams& p, double seconds) {
 double nv_break_even_seconds(const StandbyParams& p, bool multibit) {
   const double retentionPower =
       static_cast<double>(p.totalFfs) * p.ffRetentionPowerW + p.logicLeakageW;
-  if (retentionPower <= 0.0) return std::numeric_limits<double>::infinity();
   const StandbyEnergies fixed = standby_energy(p, 0.0);
   const double nvCost = multibit ? fixed.nvShadowMultibitJ : fixed.nvShadow1bitJ;
+  // Degenerate corners: a free store/restore (no flip-flops, or zero
+  // per-bit energies) wins from the first instant the rail burns anything;
+  // when neither side costs anything there is no trade-off and NV never
+  // "wins". Keeps the 0/0 case from turning into NaN downstream.
+  if (nvCost <= 0.0)
+    return retentionPower > 0.0 ? 0.0
+                                : std::numeric_limits<double>::infinity();
+  if (retentionPower <= 0.0) return std::numeric_limits<double>::infinity();
   return nvCost / retentionPower;
 }
 

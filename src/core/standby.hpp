@@ -29,6 +29,10 @@ struct StandbyParams {
   double logicLeakageW = 0.0;     ///< rest of the power domain, if kept on
 
   double nvWriteEnergyPerBitJ = 0.0;
+  /// Expected verified-write retries per stored bit (the powerfail
+  /// campaign's store retry rate): each retry repeats the write pulse, so
+  /// the store energy scales by (1 + pRetry).
+  double pRetry = 0.0;
   double nv1RestorePerBitJ = 0.0;
   double nv2RestorePerCellJ = 0.0; ///< whole 2-bit cell
 

@@ -1,0 +1,610 @@
+#include "faults/powerfail.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "sim/logic_sim.hpp"
+#include "sim/xlogic_sim.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nvff::faults {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, f);
+  std::vsnprintf(buf, sizeof(buf), f, args);
+  va_end(args);
+  return buf;
+}
+
+/// Golden stimulus stream id: far above any trial id (trial ids are int),
+/// so the stimulus never collides with a trial's randomness.
+constexpr std::uint64_t kGoldenStream = 1ULL << 40;
+
+} // namespace
+
+const char* trial_class_name(TrialClass cls) {
+  switch (cls) {
+    case TrialClass::Clean: return "clean";
+    case TrialClass::Detected: return "detected";
+    case TrialClass::Sdc: return "SDC";
+  }
+  return "?";
+}
+
+CampaignContext build_context(const CampaignConfig& config) {
+  if (!config.runUnprotected && !config.runProtected)
+    throw std::runtime_error("powerfail: both protocol arms disabled");
+  if (config.checkCycles <= 0)
+    throw std::runtime_error("powerfail: checkCycles must be positive");
+  if (config.warmupCycles < 0 || config.staleLagCycles < 0 ||
+      config.staleLagCycles > config.warmupCycles)
+    throw std::runtime_error(
+        "powerfail: need 0 <= staleLagCycles <= warmupCycles");
+  if (config.weightPowerLoss < 0 || config.weightBrownOut < 0 ||
+      config.weightGlitch < 0 ||
+      config.weightPowerLoss + config.weightBrownOut + config.weightGlitch <= 0)
+    throw std::runtime_error("powerfail: fault-kind weights must be "
+                             "non-negative and not all zero");
+
+  CampaignContext ctx;
+  ctx.config = config;
+  ctx.flow = core::run_flow(bench::find_benchmark(config.benchmark));
+  ctx.schedules[0] = build_schedule(ctx.flow.ffSites, ctx.flow.pairing,
+                                    DesignKind::AllSingleBit, config.clock);
+  ctx.schedules[1] = build_schedule(ctx.flow.ffSites, ctx.flow.pairing,
+                                    DesignKind::Paired2Bit, config.clock);
+
+  // Golden run: warmup to the power-down point (remembering the backup that
+  // staleLagCycles ago would have left in the NV bank), then straight
+  // through the check window with no interruption.
+  const bench::Netlist& nl = ctx.netlist();
+  Rng rng = Rng::stream(config.seed, kGoldenStream);
+  const int totalCycles = config.warmupCycles + config.checkCycles;
+  ctx.inputs.reserve(static_cast<std::size_t>(totalCycles));
+  for (int c = 0; c < totalCycles; ++c) {
+    std::vector<bool> in(nl.num_inputs());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.chance(0.5);
+    ctx.inputs.push_back(std::move(in));
+  }
+
+  sim::LogicSimulator golden(nl);
+  ctx.staleState = golden.flip_flop_state();
+  for (int c = 0; c < config.warmupCycles; ++c) {
+    golden.cycle(ctx.inputs[static_cast<std::size_t>(c)]);
+    if (c + 1 == config.warmupCycles - config.staleLagCycles)
+      ctx.staleState = golden.flip_flop_state();
+  }
+  if (config.staleLagCycles == 0) ctx.staleState = golden.flip_flop_state();
+  ctx.storedState = golden.flip_flop_state();
+
+  ctx.goldenOutputs.reserve(static_cast<std::size_t>(config.checkCycles));
+  for (int c = 0; c < config.checkCycles; ++c) {
+    // Outputs are read between evaluate and tick so a flip-flop marked as a
+    // primary output reports this cycle's value, mirroring the trial side.
+    golden.set_inputs(ctx.inputs[static_cast<std::size_t>(config.warmupCycles + c)]);
+    golden.evaluate();
+    ctx.goldenOutputs.push_back(golden.output_values());
+    golden.tick();
+  }
+  ctx.goldenFinalState = golden.flip_flop_state();
+  return ctx;
+}
+
+namespace {
+
+/// Runs one (design, protection) arm against the shared event.
+ArmResult run_arm(const CampaignContext& ctx, const BackupSchedule& schedule,
+                  bool protection, const FaultEvent& event, std::uint64_t armSeed) {
+  const CampaignConfig& cfg = ctx.config;
+  ArmResult ar;
+  ar.present = true;
+
+  const ProtocolParams pp = cfg.protocol.with_protection(protection);
+  Rng rng(armSeed);
+  const StoreResult st = simulate_store(schedule, pp, event, rng);
+  const RestoreResult rs =
+      simulate_restore(schedule, pp, event, st, ctx.storedState, ctx.staleState);
+  ar.storeRetries = st.retries;
+  ar.restoreRetries = rs.retries;
+  ar.opsAttempted = st.opsAttempted;
+  ar.storeNs = st.durationNs;
+  ar.restoreNs = rs.durationNs;
+  for (sim::Trit t : rs.loaded)
+    if (t == sim::Trit::X) ++ar.xLoaded;
+
+  if (st.errorFlagged || rs.aborted || rs.errorFlagged) {
+    // The controller raised a flag somewhere: whatever the data looks like,
+    // the failure is NOT silent.
+    ar.cls = TrialClass::Detected;
+    return ar;
+  }
+
+  // Nothing flagged — the system believes the wake succeeded. Run the check
+  // window on what was actually loaded and compare against golden; any
+  // divergence (including an X, which a real machine would resolve to some
+  // wrong-but-definite value) is silent data corruption.
+  sim::XLogicSimulator xsim(ctx.netlist());
+  xsim.load_flip_flop_state(rs.loaded);
+  const std::vector<bench::GateId>& outs = ctx.netlist().outputs();
+  for (int c = 0; c < cfg.checkCycles; ++c) {
+    xsim.set_inputs_bool(ctx.inputs[static_cast<std::size_t>(cfg.warmupCycles + c)]);
+    xsim.evaluate();
+    const std::vector<bool>& want = ctx.goldenOutputs[static_cast<std::size_t>(c)];
+    for (std::size_t k = 0; k < outs.size(); ++k) {
+      if (xsim.value(outs[k]) != sim::trit_from_bool(want[k])) {
+        ar.outputDivergence = true;
+        break;
+      }
+    }
+    xsim.tick();
+  }
+  const std::vector<sim::Trit> finalState = xsim.flip_flop_state();
+  for (std::size_t i = 0; i < finalState.size(); ++i) {
+    if (finalState[i] != sim::trit_from_bool(ctx.goldenFinalState[i])) {
+      ar.stateDivergence = true;
+      break;
+    }
+  }
+  ar.cls = (ar.outputDivergence || ar.stateDivergence) ? TrialClass::Sdc
+                                                       : TrialClass::Clean;
+  return ar;
+}
+
+} // namespace
+
+TrialResult run_trial(const CampaignContext& ctx, int trialId) {
+  const CampaignConfig& cfg = ctx.config;
+  TrialResult tr;
+  tr.trialId = trialId;
+
+  // Fixed draw order so every trial consumes the same stream prefix
+  // regardless of the event it lands on.
+  Rng rng = Rng::stream(cfg.seed, static_cast<std::uint64_t>(trialId));
+  const double uArmed = rng.uniform();
+  const double uKind = rng.uniform();
+  const double uPhase = rng.uniform();
+  const double uAt = rng.uniform();
+  std::uint64_t armSeed[2][2];
+  for (int d = 0; d < 2; ++d)
+    for (int pr = 0; pr < 2; ++pr) armSeed[d][pr] = rng.next_u64();
+
+  FaultEvent event;
+  event.armed = uArmed < cfg.eventProb;
+  const double total =
+      cfg.weightPowerLoss + cfg.weightBrownOut + cfg.weightGlitch;
+  const double pick = uKind * total;
+  event.kind = pick < cfg.weightPowerLoss ? FaultKind::PowerLoss
+               : pick < cfg.weightPowerLoss + cfg.weightBrownOut
+                   ? FaultKind::BrownOut
+                   : FaultKind::ControlGlitch;
+  event.phase =
+      uPhase < cfg.restorePhaseProb ? FaultPhase::Restore : FaultPhase::Store;
+  event.atFrac = uAt;
+  event.brownoutNs = cfg.brownoutNs;
+  tr.hasEvent = event.armed;
+  tr.kind = static_cast<int>(event.kind);
+  tr.phase = static_cast<int>(event.phase);
+  tr.atFrac = event.atFrac;
+
+  for (int d = 0; d < 2; ++d) {
+    for (int pr = 0; pr < 2; ++pr) {
+      if (pr == 0 && !cfg.runUnprotected) continue;
+      if (pr == 1 && !cfg.runProtected) continue;
+      tr.arms[d][pr] =
+          run_arm(ctx, ctx.schedules[d], pr == 1, event, armSeed[d][pr]);
+    }
+  }
+  return tr;
+}
+
+double ArmSummary::sdc_rate() const {
+  return trials > 0 ? static_cast<double>(counts[static_cast<int>(TrialClass::Sdc)]) /
+                          static_cast<double>(trials)
+                    : 0.0;
+}
+
+double ArmSummary::retry_rate() const {
+  return opsAttempted > 0
+             ? static_cast<double>(storeRetries) / static_cast<double>(opsAttempted)
+             : 0.0;
+}
+
+double ArmSummary::mean_store_ns() const {
+  return trials > 0 ? storeNsSum / static_cast<double>(trials) : 0.0;
+}
+
+ArmSummary CampaignResult::summarize(DesignKind design, bool protection) const {
+  ArmSummary s;
+  const int d = static_cast<int>(design);
+  const int pr = protection ? 1 : 0;
+  for (const TrialResult& t : trials) {
+    const ArmResult& a = t.arms[d][pr];
+    if (!a.present) continue;
+    ++s.trials;
+    ++s.counts[static_cast<int>(a.cls)];
+    if (t.hasEvent) ++s.classByKind[t.kind][static_cast<int>(a.cls)];
+    if (a.outputDivergence) ++s.outputDivergence;
+    if (a.stateDivergence && !a.outputDivergence) ++s.stateOnlyDivergence;
+    s.storeRetries += a.storeRetries;
+    s.restoreRetries += a.restoreRetries;
+    s.opsAttempted += a.opsAttempted;
+    s.storeNsSum += a.storeNs;
+  }
+  return s;
+}
+
+long CampaignResult::count_sdc(bool protectedOnly) const {
+  long n = 0;
+  for (const TrialResult& t : trials)
+    for (int d = 0; d < 2; ++d)
+      for (int pr = protectedOnly ? 1 : 0; pr < 2; ++pr) {
+        const ArmResult& a = t.arms[d][pr];
+        if (a.present && a.cls == TrialClass::Sdc) ++n;
+      }
+  return n;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config,
+                            const std::string& checkpointPath,
+                            int checkpointEvery, const ProgressFn& progress) {
+  if (config.trials <= 0) throw std::runtime_error("powerfail needs trials > 0");
+  const CampaignContext ctx = build_context(config);
+
+  CampaignResult result;
+  result.config = config;
+  result.trials.resize(static_cast<std::size_t>(config.trials));
+  std::vector<char> done(static_cast<std::size_t>(config.trials), 0);
+
+  if (!checkpointPath.empty()) {
+    PowerfailCheckpoint loaded;
+    if (load_powerfail_checkpoint(checkpointPath, loaded)) {
+      validate_powerfail_checkpoint(config, loaded.config);
+      for (TrialResult& t : loaded.trials) {
+        if (t.trialId < 0 || t.trialId >= config.trials) continue;
+        result.trials[static_cast<std::size_t>(t.trialId)] = std::move(t);
+        done[static_cast<std::size_t>(t.trialId)] = 1;
+      }
+    }
+  }
+
+  std::mutex mu;
+  int completed = static_cast<int>(std::count(done.begin(), done.end(), 1));
+
+  // Checkpoints serialize only finished slots in trial order, so a resumed
+  // campaign is sample-for-sample identical to an uninterrupted one.
+  auto snapshot_locked = [&] {
+    std::vector<TrialResult> finished;
+    for (std::size_t i = 0; i < done.size(); ++i)
+      if (done[i]) finished.push_back(result.trials[i]);
+    return finished;
+  };
+
+  ThreadPool pool(static_cast<unsigned>(std::max(1, config.threads)));
+  for (int t = 0; t < config.trials; ++t) {
+    if (done[static_cast<std::size_t>(t)]) continue;
+    pool.submit([&, t] {
+      TrialResult r = run_trial(ctx, t);
+      std::lock_guard<std::mutex> lock(mu);
+      result.trials[static_cast<std::size_t>(t)] = std::move(r);
+      done[static_cast<std::size_t>(t)] = 1;
+      ++completed;
+      if (progress) progress(completed, config.trials);
+      if (!checkpointPath.empty() && checkpointEvery > 0 &&
+          completed % checkpointEvery == 0 && completed < config.trials) {
+        try {
+          write_powerfail_checkpoint(checkpointPath, config, snapshot_locked());
+        } catch (const std::exception& e) {
+          log_warn(fmt("powerfail checkpoint write failed: %s", e.what()));
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+
+  if (!checkpointPath.empty()) {
+    std::lock_guard<std::mutex> lock(mu);
+    write_powerfail_checkpoint(checkpointPath, config, snapshot_locked());
+  }
+  return result;
+}
+
+std::string render_report(const CampaignResult& result) {
+  const CampaignConfig& c = result.config;
+  std::string out;
+  out += "=== Power-interruption campaign: interrupted store/restore ===\n";
+  out += fmt("benchmark %s  trials %d  seed %llu\n", c.benchmark.c_str(),
+             c.trials, static_cast<unsigned long long>(c.seed));
+  out += fmt("event prob %.2f  restore-phase prob %.2f  brown-out %.1f ns  "
+             "weights PL/BO/CG %.2f/%.2f/%.2f\n",
+             c.eventProb, c.restorePhaseProb, c.brownoutNs, c.weightPowerLoss,
+             c.weightBrownOut, c.weightGlitch);
+  out += fmt("protocol: write %.1f ns  verify %.1f ns  sense %.1f ns  "
+             "backoff %.1f ns  max retries %d  stochastic write-fail %.4f\n\n",
+             c.protocol.tWriteNs, c.protocol.tVerifyNs, c.protocol.tSenseNs,
+             c.protocol.tBackoffNs, c.protocol.maxRetries,
+             c.protocol.writeFailProb);
+
+  out += fmt("%-14s %-14s %7s %7s %9s %6s %9s\n", "design", "protection",
+             "trials", "clean", "detected", "SDC", "SDC rate");
+  for (int d = 0; d < 2; ++d) {
+    for (int pr = 0; pr < 2; ++pr) {
+      const ArmSummary s =
+          result.summarize(static_cast<DesignKind>(d), pr == 1);
+      if (s.trials == 0) continue;
+      out += fmt("%-14s %-14s %7ld %7ld %9ld %6ld %8.4f\n",
+                 design_kind_name(static_cast<DesignKind>(d)),
+                 pr ? "verify+canary" : "off", s.trials, s.counts[0],
+                 s.counts[1], s.counts[2], s.sdc_rate());
+    }
+  }
+
+  out += "\nper fault kind (armed trials), clean/detected/SDC:\n";
+  for (int d = 0; d < 2; ++d) {
+    for (int pr = 0; pr < 2; ++pr) {
+      const ArmSummary s =
+          result.summarize(static_cast<DesignKind>(d), pr == 1);
+      if (s.trials == 0) continue;
+      out += fmt("  %-14s %-14s", design_kind_name(static_cast<DesignKind>(d)),
+                 pr ? "verify+canary" : "off");
+      for (int k = 0; k < 3; ++k) {
+        out += fmt("  %s %ld/%ld/%ld", fault_kind_name(static_cast<FaultKind>(k)),
+                   s.classByKind[k][0], s.classByKind[k][1], s.classByKind[k][2]);
+      }
+      out += "\n";
+    }
+  }
+
+  out += "\nexposure detail:\n";
+  for (int d = 0; d < 2; ++d) {
+    for (int pr = 0; pr < 2; ++pr) {
+      const ArmSummary s =
+          result.summarize(static_cast<DesignKind>(d), pr == 1);
+      if (s.trials == 0) continue;
+      out += fmt("  %-14s %-14s output-divergent %ld  latent state-only %ld  "
+                 "store retries %ld (%.4f/op)  restore retries %ld  "
+                 "mean store %.1f ns\n",
+                 design_kind_name(static_cast<DesignKind>(d)),
+                 pr ? "verify+canary" : "off", s.outputDivergence,
+                 s.stateOnlyDivergence, s.storeRetries, s.retry_rate(),
+                 s.restoreRetries, s.mean_store_ns());
+    }
+  }
+
+  const long sdcAll = result.count_sdc(false);
+  const long sdcProt = result.count_sdc(true);
+  out += fmt("\nsilent corruptions: %ld total, %ld in protected arms\n", sdcAll,
+             sdcProt);
+  if (c.runProtected) {
+    out += sdcProt == 0
+               ? "verify-after-write + canary: every injected failure was "
+                 "detected or harmless — zero silent corruption\n"
+               : "WARNING: protected arms show silent corruption — the "
+                 "protocol guarantee is broken\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint (JSON via util/json)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using json::append_escaped;
+using json::num;
+using Json = json::Value;
+
+/// Campaign-defining fields only — threads and checkpoint cadence excluded
+/// so changing them never invalidates a resume. This string doubles as the
+/// fingerprint validate_powerfail_checkpoint compares.
+std::string config_json(const CampaignConfig& c) {
+  char seedBuf[24];
+  std::snprintf(seedBuf, sizeof(seedBuf), "%llu",
+                static_cast<unsigned long long>(c.seed));
+  std::string out = "{";
+  out += "\"benchmark\":";
+  append_escaped(out, c.benchmark);
+  out += ",\"trials\":" + num(c.trials);
+  out += ",\"seed\":\"" + std::string(seedBuf) + "\"";
+  out += ",\"runUnprotected\":";
+  out += c.runUnprotected ? "true" : "false";
+  out += ",\"runProtected\":";
+  out += c.runProtected ? "true" : "false";
+  out += ",\"eventProb\":" + num(c.eventProb);
+  out += ",\"restorePhaseProb\":" + num(c.restorePhaseProb);
+  out += ",\"weights\":[" + num(c.weightPowerLoss) + "," +
+         num(c.weightBrownOut) + "," + num(c.weightGlitch) + "]";
+  out += ",\"brownoutNs\":" + num(c.brownoutNs);
+  out += ",\"warmupCycles\":" + num(c.warmupCycles);
+  out += ",\"staleLagCycles\":" + num(c.staleLagCycles);
+  out += ",\"checkCycles\":" + num(c.checkCycles);
+  out += ",\"protocol\":{\"maxRetries\":" + num(c.protocol.maxRetries);
+  out += ",\"tWriteNs\":" + num(c.protocol.tWriteNs);
+  out += ",\"tVerifyNs\":" + num(c.protocol.tVerifyNs);
+  out += ",\"tSenseNs\":" + num(c.protocol.tSenseNs);
+  out += ",\"tBackoffNs\":" + num(c.protocol.tBackoffNs);
+  out += ",\"writeFailProb\":" + num(c.protocol.writeFailProb);
+  out += "}";
+  out += ",\"sinksPerLeafBuffer\":" + num(c.clock.sinksPerLeafBuffer);
+  out += "}";
+  return out;
+}
+
+CampaignConfig config_from_json(const Json& j) {
+  CampaignConfig c;
+  c.benchmark = j.at("benchmark").as_str();
+  c.trials = static_cast<int>(j.at("trials").as_num());
+  errno = 0;
+  c.seed = std::strtoull(j.at("seed").as_str().c_str(), nullptr, 10);
+  if (errno == ERANGE) throw std::runtime_error("powerfail checkpoint: bad seed");
+  c.runUnprotected = j.at("runUnprotected").as_bool();
+  c.runProtected = j.at("runProtected").as_bool();
+  c.eventProb = j.at("eventProb").as_num();
+  c.restorePhaseProb = j.at("restorePhaseProb").as_num();
+  const Json& w = j.at("weights");
+  if (w.items.size() != 3)
+    throw std::runtime_error("powerfail checkpoint: weights must have 3 entries");
+  c.weightPowerLoss = w.items[0].as_num();
+  c.weightBrownOut = w.items[1].as_num();
+  c.weightGlitch = w.items[2].as_num();
+  c.brownoutNs = j.at("brownoutNs").as_num();
+  c.warmupCycles = static_cast<int>(j.at("warmupCycles").as_num());
+  c.staleLagCycles = static_cast<int>(j.at("staleLagCycles").as_num());
+  c.checkCycles = static_cast<int>(j.at("checkCycles").as_num());
+  const Json& p = j.at("protocol");
+  c.protocol.maxRetries = static_cast<int>(p.at("maxRetries").as_num());
+  c.protocol.tWriteNs = p.at("tWriteNs").as_num();
+  c.protocol.tVerifyNs = p.at("tVerifyNs").as_num();
+  c.protocol.tSenseNs = p.at("tSenseNs").as_num();
+  c.protocol.tBackoffNs = p.at("tBackoffNs").as_num();
+  c.protocol.writeFailProb = p.at("writeFailProb").as_num();
+  c.clock.sinksPerLeafBuffer =
+      static_cast<int>(j.at("sinksPerLeafBuffer").as_num());
+  return c;
+}
+
+void arm_json(std::string& out, const ArmResult& a) {
+  if (!a.present) {
+    out += "null";
+    return;
+  }
+  out += "{\"cls\":";
+  append_escaped(out, trial_class_name(a.cls));
+  out += ",\"outDiv\":";
+  out += a.outputDivergence ? "true" : "false";
+  out += ",\"stateDiv\":";
+  out += a.stateDivergence ? "true" : "false";
+  out += ",\"xLoaded\":" + num(a.xLoaded);
+  out += ",\"storeRetries\":" + num(a.storeRetries);
+  out += ",\"restoreRetries\":" + num(a.restoreRetries);
+  out += ",\"ops\":" + num(a.opsAttempted);
+  out += ",\"storeNs\":" + num(a.storeNs);
+  out += ",\"restoreNs\":" + num(a.restoreNs);
+  out += "}";
+}
+
+TrialClass class_from_name(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(TrialClass::Sdc); ++i)
+    if (name == trial_class_name(static_cast<TrialClass>(i)))
+      return static_cast<TrialClass>(i);
+  throw std::runtime_error("powerfail checkpoint: unknown class '" + name + "'");
+}
+
+ArmResult arm_from_json(const Json& j) {
+  ArmResult a;
+  if (j.kind == Json::Kind::Null) return a;
+  a.present = true;
+  a.cls = class_from_name(j.at("cls").as_str());
+  a.outputDivergence = j.at("outDiv").as_bool();
+  a.stateDivergence = j.at("stateDiv").as_bool();
+  a.xLoaded = static_cast<int>(j.at("xLoaded").as_num());
+  a.storeRetries = static_cast<int>(j.at("storeRetries").as_num());
+  a.restoreRetries = static_cast<int>(j.at("restoreRetries").as_num());
+  a.opsAttempted = static_cast<int>(j.at("ops").as_num());
+  a.storeNs = j.at("storeNs").as_num();
+  a.restoreNs = j.at("restoreNs").as_num();
+  return a;
+}
+
+} // namespace
+
+std::string serialize_powerfail_checkpoint(const CampaignConfig& config,
+                                           const std::vector<TrialResult>& trials) {
+  std::string out = "{\"format\":\"nvff-powerfail-checkpoint-v1\",\"config\":";
+  out += config_json(config);
+  out += ",\"trials\":[";
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const TrialResult& t = trials[i];
+    if (i) out += ',';
+    out += "\n{\"trial\":" + num(t.trialId);
+    out += ",\"event\":";
+    out += t.hasEvent ? "true" : "false";
+    out += ",\"kind\":" + num(t.kind);
+    out += ",\"phase\":" + num(t.phase);
+    out += ",\"atFrac\":" + num(t.atFrac);
+    out += ",\"arms\":[";
+    for (int d = 0; d < 2; ++d)
+      for (int pr = 0; pr < 2; ++pr) {
+        if (d || pr) out += ',';
+        arm_json(out, t.arms[d][pr]);
+      }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+PowerfailCheckpoint parse_powerfail_checkpoint(const std::string& text) {
+  const Json doc = json::parse(text, "powerfail checkpoint");
+  if (doc.at("format").as_str() != "nvff-powerfail-checkpoint-v1")
+    throw std::runtime_error("powerfail checkpoint: unknown format tag");
+  PowerfailCheckpoint cp;
+  cp.config = config_from_json(doc.at("config"));
+  for (const Json& tj : doc.at("trials").items) {
+    TrialResult t;
+    t.trialId = static_cast<int>(tj.at("trial").as_num());
+    t.hasEvent = tj.at("event").as_bool();
+    t.kind = static_cast<int>(tj.at("kind").as_num());
+    t.phase = static_cast<int>(tj.at("phase").as_num());
+    t.atFrac = tj.at("atFrac").as_num();
+    const Json& arms = tj.at("arms");
+    if (arms.items.size() != 4)
+      throw std::runtime_error("powerfail checkpoint: trial needs 4 arms");
+    for (int d = 0; d < 2; ++d)
+      for (int pr = 0; pr < 2; ++pr)
+        t.arms[d][pr] = arm_from_json(arms.items[static_cast<std::size_t>(d * 2 + pr)]);
+    cp.trials.push_back(std::move(t));
+  }
+  return cp;
+}
+
+void write_powerfail_checkpoint(const std::string& path,
+                                const CampaignConfig& config,
+                                const std::vector<TrialResult>& trials) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f)
+    throw std::runtime_error("powerfail checkpoint: cannot open " + tmp);
+  const std::string text = serialize_powerfail_checkpoint(config, trials);
+  const std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = wrote == text.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("powerfail checkpoint: write to " + path + " failed");
+  }
+}
+
+bool load_powerfail_checkpoint(const std::string& path, PowerfailCheckpoint& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  out = parse_powerfail_checkpoint(text);
+  return true;
+}
+
+void validate_powerfail_checkpoint(const CampaignConfig& run,
+                                   const CampaignConfig& loaded) {
+  if (config_json(run) != config_json(loaded))
+    throw std::runtime_error(
+        "powerfail checkpoint belongs to a different campaign configuration; "
+        "delete it or rerun with the original settings");
+}
+
+} // namespace nvff::faults

@@ -1,0 +1,183 @@
+// Power-interruption fault-injection campaign (system level).
+//
+// The paper's value proposition is that architectural state survives power
+// collapse via the NV shadow latch — but what happens when the BACKUP ITSELF
+// is interrupted? Every trial injects one power-loss / brown-out /
+// control-glitch event at a sampled instant of the store or restore phase,
+// runs the interruptible protocol (faults/protocol.hpp) over the placed
+// design's backup schedule (faults/schedule.hpp), loads whatever survived
+// into a three-valued logic simulation of the benchmark, and classifies the
+// trial against an uninterrupted golden run:
+//
+//   clean     — the machine is architecturally indistinguishable from the
+//               golden run over the whole check window;
+//   detected  — the protocol raised a flag (verify exhausted, canary
+//               missing, wake incomplete): the failure is visible to the
+//               system, recovery is possible;
+//   SDC       — silent data corruption: outputs or architectural state
+//               diverge from golden and NOTHING signalled an error.
+//
+// Both Table II fabrics run in every trial — all-1-bit cells vs paired
+// 2-bit cells (whose two bits are sensed sequentially, widening the
+// mid-sequence exposure window) — and, by default, both protocol arms
+// (unprotected vs verify-after-write + canary), all against the same
+// sampled event: the report is a paired comparison.
+//
+// Determinism contract (same as reliability/montecarlo.hpp): trial t draws
+// everything from Rng::stream(seed, t), writes slot t, aggregation walks
+// slots in order — output is bit-identical at any thread count, and a
+// checkpoint resume matches an uninterrupted run sample for sample.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "faults/protocol.hpp"
+#include "faults/schedule.hpp"
+
+namespace nvff::faults {
+
+/// Classified outcome of one (design, protection) arm of a trial.
+enum class TrialClass {
+  Clean,    ///< indistinguishable from the golden run
+  Detected, ///< corrupted or incomplete, but the system KNOWS
+  Sdc,      ///< diverged from golden with no error indication
+};
+const char* trial_class_name(TrialClass cls);
+
+struct CampaignConfig {
+  std::string benchmark = "s1423";
+  int trials = 256;
+  std::uint64_t seed = 1;
+  int threads = 1;
+
+  bool runUnprotected = true; ///< plain fire-and-forget store
+  bool runProtected = true;   ///< verify-after-write + completion canary
+
+  double eventProb = 1.0;        ///< probability a trial carries an event
+  double restorePhaseProb = 0.25; ///< event lands in restore (else store)
+  /// Relative sampling weights of the three fault kinds.
+  double weightPowerLoss = 1.0;
+  double weightBrownOut = 1.0;
+  double weightGlitch = 1.0;
+  double brownoutNs = 40.0; ///< sag duration
+
+  int warmupCycles = 48;   ///< golden stimulus before the power-down point
+  int staleLagCycles = 8;  ///< age of the previous backup in the NV bank
+  int checkCycles = 24;    ///< post-restore compare window
+
+  ProtocolParams protocol{};     ///< timings/failure rate; verify+canary set per arm
+  core::ClockModelParams clock{}; ///< backup-domain granularity (leaf buffers)
+};
+
+struct ArmResult {
+  bool present = false; ///< false when the config skips this arm
+  TrialClass cls = TrialClass::Clean;
+  bool outputDivergence = false; ///< wrong/X primary output in the window
+  bool stateDivergence = false;  ///< wrong/X FF at the end of the window
+  int xLoaded = 0;               ///< X bits the wake loaded
+  int storeRetries = 0;
+  int restoreRetries = 0;
+  int opsAttempted = 0;
+  double storeNs = 0.0;
+  double restoreNs = 0.0;
+};
+
+struct TrialResult {
+  int trialId = 0;
+  bool hasEvent = false;
+  int kind = 0;     ///< FaultKind enumerator value
+  int phase = 0;    ///< FaultPhase enumerator value
+  double atFrac = 0.0;
+  /// arms[design][protection]: design 0 = AllSingleBit, 1 = Paired2Bit;
+  /// protection 0 = off, 1 = verify-after-write + canary.
+  ArmResult arms[2][2];
+};
+
+/// Everything trial workers share read-only: the placed benchmark, both
+/// schedules, and the golden run (stimulus, the state the store must save,
+/// the stale previous backup, and the reference outputs/state to diverge
+/// from). Built once per campaign; building it is deterministic.
+struct CampaignContext {
+  CampaignConfig config;
+  core::FlowReport flow; ///< owns the netlist the simulators reference
+  BackupSchedule schedules[2]; ///< by DesignKind enumerator value
+  std::vector<std::vector<bool>> inputs; ///< warmup + check cycles
+  std::vector<bool> storedState; ///< FF state at the power-down point
+  std::vector<bool> staleState;  ///< FF state staleLagCycles earlier
+  std::vector<std::vector<bool>> goldenOutputs; ///< per check cycle
+  std::vector<bool> goldenFinalState;
+
+  const bench::Netlist& netlist() const { return flow.circuit.netlist; }
+};
+
+/// Builds the shared context (flow, schedules, golden run). Throws on an
+/// unknown benchmark or a degenerate config (no cycles, no arms).
+CampaignContext build_context(const CampaignConfig& config);
+
+/// Runs one trial (all configured arms). Never throws.
+TrialResult run_trial(const CampaignContext& context, int trialId);
+
+struct ArmSummary {
+  long trials = 0;
+  long counts[3] = {0, 0, 0};        ///< by TrialClass
+  long classByKind[3][3] = {};       ///< [FaultKind][TrialClass], armed trials
+  long outputDivergence = 0;
+  long stateOnlyDivergence = 0;      ///< latent: state diverged, outputs clean
+  long storeRetries = 0;
+  long restoreRetries = 0;
+  long opsAttempted = 0;
+  double storeNsSum = 0.0;
+
+  double sdc_rate() const;   ///< SDC trials / trials
+  double retry_rate() const; ///< store retries per attempted store op
+  double mean_store_ns() const;
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::vector<TrialResult> trials; ///< slot t = trial t, always full size
+
+  ArmSummary summarize(DesignKind design, bool protection) const;
+  /// SDC count across arms; `protectedOnly` restricts to protection-on arms
+  /// (the CI gate: protected SDC must be zero).
+  long count_sdc(bool protectedOnly) const;
+};
+
+using ProgressFn = std::function<void(int, int)>;
+
+/// Runs the whole campaign on a work-stealing pool of config.threads
+/// workers. Checkpoint semantics match reliability::run_campaign: JSON
+/// snapshots every `checkpointEvery` trials, resume skips finished slots,
+/// config fingerprint mismatch throws.
+CampaignResult run_campaign(const CampaignConfig& config,
+                            const std::string& checkpointPath = "",
+                            int checkpointEvery = 16,
+                            const ProgressFn& progress = nullptr);
+
+/// Deterministic human-readable report. No wall-clock, no thread info:
+/// identical campaigns must render identically.
+std::string render_report(const CampaignResult& result);
+
+// --- checkpoint (JSON via util/json, same guarantees as reliability) -------
+
+std::string serialize_powerfail_checkpoint(const CampaignConfig& config,
+                                           const std::vector<TrialResult>& trials);
+struct PowerfailCheckpoint {
+  CampaignConfig config;
+  std::vector<TrialResult> trials;
+};
+PowerfailCheckpoint parse_powerfail_checkpoint(const std::string& text);
+void write_powerfail_checkpoint(const std::string& path,
+                                const CampaignConfig& config,
+                                const std::vector<TrialResult>& trials);
+bool load_powerfail_checkpoint(const std::string& path, PowerfailCheckpoint& out);
+/// Throws when `loaded` came from an incompatible campaign (anything but
+/// thread count differs).
+void validate_powerfail_checkpoint(const CampaignConfig& run,
+                                   const CampaignConfig& loaded);
+
+} // namespace nvff::faults

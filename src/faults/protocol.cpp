@@ -1,0 +1,252 @@
+#include "faults/protocol.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace nvff::faults {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::PowerLoss: return "power-loss";
+    case FaultKind::BrownOut: return "brown-out";
+    case FaultKind::ControlGlitch: return "control-glitch";
+  }
+  return "?";
+}
+
+const char* fault_phase_name(FaultPhase phase) {
+  switch (phase) {
+    case FaultPhase::Store: return "store";
+    case FaultPhase::Restore: return "restore";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The event rendered onto the phase's absolute timeline: a rail cut
+/// instant, a sag interval, or a glitch instant (the unused ones sit at
+/// values no window can reach).
+struct Timeline {
+  double cut = kInf;
+  double sagLo = kInf;
+  double sagHi = -kInf;
+  bool glitch = false;
+  double glitchAt = kInf;
+
+  bool sag_overlaps(double a, double b) const { return a < sagHi && b > sagLo; }
+  bool glitch_in(double a, double b) const {
+    return glitch && glitchAt >= a && glitchAt < b;
+  }
+};
+
+Timeline make_timeline(const FaultEvent& event, FaultPhase phase, double nominalNs) {
+  Timeline tl;
+  if (!event.armed || event.phase != phase) return tl;
+  const double at = event.atFrac * nominalNs;
+  switch (event.kind) {
+    case FaultKind::PowerLoss:
+      tl.cut = at;
+      break;
+    case FaultKind::BrownOut:
+      tl.sagLo = at;
+      tl.sagHi = at + event.brownoutNs;
+      break;
+    case FaultKind::ControlGlitch:
+      tl.glitch = true;
+      tl.glitchAt = at;
+      break;
+  }
+  return tl;
+}
+
+sim::Trit invert(sim::Trit t) {
+  if (t == sim::Trit::Zero) return sim::Trit::One;
+  if (t == sim::Trit::One) return sim::Trit::Zero;
+  return sim::Trit::X;
+}
+
+double per_write_ns(const ProtocolParams& p) {
+  return p.tWriteNs + (p.verifyAfterWrite ? p.tVerifyNs : 0.0);
+}
+
+} // namespace
+
+double nominal_store_ns(const BackupSchedule& schedule, const ProtocolParams& p) {
+  double ns = static_cast<double>(schedule.storeOps.size()) * per_write_ns(p);
+  if (p.canary) ns += static_cast<double>(schedule.numDomains) * per_write_ns(p);
+  return ns;
+}
+
+double nominal_restore_ns(const BackupSchedule& schedule, const ProtocolParams& p) {
+  const double samples = p.verifyAfterWrite ? 2.0 : 1.0;
+  return static_cast<double>(schedule.restoreOps.size()) * p.tSenseNs * samples;
+}
+
+StoreResult simulate_store(const BackupSchedule& schedule, const ProtocolParams& p,
+                           const FaultEvent& event, Rng& rng) {
+  StoreResult r;
+  r.bits.assign(schedule.storeOps.size(), NvBitContent::Stale);
+  r.canaryOk.assign(static_cast<std::size_t>(schedule.numDomains),
+                    p.canary ? char(0) : char(1));
+
+  const Timeline tl = make_timeline(event, FaultPhase::Store, nominal_store_ns(schedule, p));
+  double t = 0.0;
+  bool powered = true;
+
+  // One write (+ verify/retry when protected) of `content`'s bit. Returns
+  // once the bit verified, retries ran out, or the rail died.
+  auto write_bit = [&](NvBitContent& content, bool countOp) {
+    for (int attempt = 0;; ++attempt) {
+      if (t >= tl.cut) { powered = false; return; }
+      const double w0 = t;
+      const double w1 = t + p.tWriteNs;
+      if (countOp && attempt == 0) ++r.opsAttempted;
+      if (w1 > tl.cut) {
+        // Rail collapsed mid-pulse: the junction is left indeterminate.
+        content = NvBitContent::Unknown;
+        powered = false;
+        return;
+      }
+      t = w1;
+      if (tl.sag_overlaps(w0, w1) || rng.chance(p.writeFailProb)) {
+        // Sagged (or stochastically failed) write: junction keeps whatever
+        // it held — silently, as far as the bare controller can tell.
+      } else if (tl.glitch_in(w0, w1)) {
+        content = NvBitContent::Flipped; // wrong value, committed for real
+      } else {
+        content = NvBitContent::Correct;
+      }
+      if (!p.verifyAfterWrite) return;
+
+      const double v0 = t;
+      const double v1 = t + p.tVerifyNs;
+      if (v1 > tl.cut) { powered = false; return; }
+      t = v1;
+      // The read-back passes only when the bit really holds the intended
+      // value AND the comparison itself was undisturbed; a sagged or
+      // glitched verify reads garbage and conservatively reports mismatch.
+      const bool pass = content == NvBitContent::Correct &&
+                        !tl.sag_overlaps(v0, v1) && !tl.glitch_in(v0, v1);
+      if (pass) return;
+      if (attempt >= p.maxRetries) {
+        r.errorFlagged = true; // retries exhausted: loudly give up on the bit
+        return;
+      }
+      const double backoff = std::ldexp(p.tBackoffNs, attempt);
+      t += backoff; // a cut inside the backoff trips the t >= cut check above
+      ++r.retries;
+    }
+  };
+
+  std::size_t op = 0;
+  for (int d = 0; d < schedule.numDomains && powered; ++d) {
+    const std::size_t end = static_cast<std::size_t>(schedule.domainOpEnd[static_cast<std::size_t>(d)]);
+    bool domainVerified = true;
+    for (; op < end && powered; ++op) {
+      write_bit(r.bits[op], /*countOp=*/true);
+      if (r.bits[op] != NvBitContent::Correct) domainVerified = false;
+    }
+    if (!powered || !p.canary) continue;
+    if (!domainVerified) continue; // canary withheld: restore must not trust us
+    NvBitContent canaryBit = NvBitContent::Stale;
+    write_bit(canaryBit, /*countOp=*/false);
+    r.canaryOk[static_cast<std::size_t>(d)] = canaryBit == NvBitContent::Correct ? 1 : 0;
+  }
+
+  r.durationNs = powered ? t : tl.cut; // power, not the controller, ends it
+  return r;
+}
+
+RestoreResult simulate_restore(const BackupSchedule& schedule,
+                               const ProtocolParams& p, const FaultEvent& event,
+                               const StoreResult& store,
+                               const std::vector<bool>& storedState,
+                               const std::vector<bool>& staleState) {
+  RestoreResult r;
+  r.loaded.assign(schedule.numFfs, sim::Trit::X);
+
+  // Protected pre-flight: a flagged store or a missing completion canary
+  // means the NV bank cannot be trusted — refuse the restore outright.
+  if (p.verifyAfterWrite && store.errorFlagged) {
+    r.aborted = true;
+    return r;
+  }
+  if (p.canary) {
+    for (char ok : store.canaryOk) {
+      if (!ok) {
+        r.aborted = true;
+        return r;
+      }
+    }
+  }
+
+  const Timeline tl =
+      make_timeline(event, FaultPhase::Restore, nominal_restore_ns(schedule, p));
+  double t = 0.0;
+  bool powered = true;
+
+  // What the junction actually holds, as a logic value.
+  auto junction_value = [&](std::size_t opIdx) {
+    const BackupOp& op = schedule.restoreOps[opIdx];
+    const std::size_t ff = static_cast<std::size_t>(op.ff);
+    switch (store.bits[opIdx]) {
+      case NvBitContent::Correct: return sim::trit_from_bool(storedState[ff]);
+      case NvBitContent::Stale: return sim::trit_from_bool(staleState[ff]);
+      case NvBitContent::Flipped: return sim::trit_from_bool(!storedState[ff]);
+      case NvBitContent::Unknown: break;
+    }
+    return sim::Trit::X;
+  };
+  // One sense over [a, b): a sag drowns the read margin (garbage), a glitch
+  // inverts the sensed value.
+  auto sense = [&](sim::Trit value, double a, double b) {
+    if (tl.sag_overlaps(a, b)) return sim::Trit::X;
+    if (tl.glitch_in(a, b)) return invert(value);
+    return value;
+  };
+
+  for (std::size_t i = 0; i < schedule.restoreOps.size() && powered; ++i) {
+    const std::size_t ff = static_cast<std::size_t>(schedule.restoreOps[i].ff);
+    const sim::Trit value = junction_value(i);
+    if (!p.verifyAfterWrite) {
+      const double s0 = t;
+      const double s1 = t + p.tSenseNs;
+      if (t >= tl.cut || s1 > tl.cut) { powered = false; break; }
+      t = s1;
+      r.loaded[ff] = sense(value, s0, s1); // whatever it read, in it goes
+      continue;
+    }
+    // Protected: two back-to-back samples must agree and be definite.
+    for (int attempt = 0;; ++attempt) {
+      if (t >= tl.cut) { powered = false; break; }
+      const double a0 = t;
+      const double a1 = t + p.tSenseNs;
+      const double b1 = a1 + p.tSenseNs;
+      if (b1 > tl.cut) { powered = false; break; }
+      t = b1;
+      const sim::Trit s1 = sense(value, a0, a1);
+      const sim::Trit s2 = sense(value, a1, b1);
+      if (s1 == s2 && s1 != sim::Trit::X) {
+        r.loaded[ff] = s1;
+        break;
+      }
+      if (attempt >= p.maxRetries) {
+        r.errorFlagged = true; // can't get a stable read: say so, load X
+        break;
+      }
+      t += std::ldexp(p.tBackoffNs, attempt);
+      ++r.retries;
+    }
+  }
+
+  // Wake-completion check: the protected controller knows how many senses it
+  // owes; losing the rail mid-restore is detected, never papered over.
+  if (!powered && p.canary) r.aborted = true;
+  r.durationNs = powered ? t : tl.cut;
+  return r;
+}
+
+} // namespace nvff::faults

@@ -1,0 +1,127 @@
+// Interruptible store/restore protocol over a BackupSchedule.
+//
+// The protocol walks the schedule op by op on a nanosecond timeline and
+// injects one fault event at a sampled instant:
+//
+//   power-loss     — the rail collapses at t_event; every operation not yet
+//                    complete is lost, an MTJ write cut mid-pulse leaves the
+//                    junction in an indeterminate (X) state.
+//   brown-out      — a sag over [t_event, t_event + duration): MTJ writes
+//                    overlapping it silently fail (the junction keeps its
+//                    previous contents), sense reads return garbage. The
+//                    controller keeps running and, unprotected, believes
+//                    every operation succeeded.
+//   control-glitch — a single-instant upset of the control logic: the write
+//                    or sense in flight at t_event moves the WRONG (inverted)
+//                    value, committed electrically.
+//
+// Protection (the fix the campaign quantifies, after Monga et al.'s
+// self-write-termination NV-SRAM) is verify-after-write plus a completion
+// canary:
+//
+//   * every store write is read back and compared; a mismatch retries the
+//     write after an exponentially backed-off delay, up to maxRetries, then
+//     flags a store error (detected, not silent);
+//   * each domain writes a canary bit — through the same verified protocol —
+//     only after all its data bits verified; restore refuses to trust a
+//     domain whose canary is missing;
+//   * restore senses are double-sampled; disagreeing samples retry, so a
+//     glitched or sagged sense can never be loaded silently.
+//
+// Every path a fault can take either leaves the data intact or raises a
+// flag; that structural property is what drives the campaign's protected
+// SDC rate to zero.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/schedule.hpp"
+#include "sim/xlogic_sim.hpp"
+#include "util/rng.hpp"
+
+namespace nvff::faults {
+
+enum class FaultKind { PowerLoss, BrownOut, ControlGlitch };
+const char* fault_kind_name(FaultKind kind);
+
+enum class FaultPhase { Store, Restore };
+const char* fault_phase_name(FaultPhase phase);
+
+/// One injected event. `atFrac` places the event inside the NOMINAL
+/// (retry-free) duration of the targeted phase, so the instant is known
+/// before the protocol runs and the same FRACTION of the phase is hit in
+/// every arm (absolute instants differ where the protection lengthens the
+/// nominal schedule).
+struct FaultEvent {
+  bool armed = false; ///< false: clean control trial, nothing injected
+  FaultKind kind = FaultKind::PowerLoss;
+  FaultPhase phase = FaultPhase::Store;
+  double atFrac = 0.0;    ///< [0,1) position within the phase
+  double brownoutNs = 0.0; ///< sag duration (BrownOut only)
+};
+
+struct ProtocolParams {
+  bool verifyAfterWrite = false; ///< store read-back + restore double-sample
+  bool canary = false;           ///< per-domain completion canary bit
+  int maxRetries = 5;            ///< verify retries per bit before flagging
+  double tWriteNs = 10.0;   ///< one MTJ write pulse
+  double tVerifyNs = 4.0;   ///< read-back compare after a write
+  double tSenseNs = 4.0;    ///< one restore sense phase (per sample)
+  double tBackoffNs = 6.0;  ///< first retry backoff; doubles per retry
+  double writeFailProb = 0.0; ///< per-attempt stochastic MTJ write failure
+
+  /// Both protection mechanisms on/off together (the campaign's two arms).
+  ProtocolParams with_protection(bool on) const {
+    ProtocolParams p = *this;
+    p.verifyAfterWrite = on;
+    p.canary = on;
+    return p;
+  }
+};
+
+/// What one NV bit holds after the store phase.
+enum class NvBitContent : std::uint8_t {
+  Correct, ///< the intended (freshly stored) value
+  Stale,   ///< the previous backup's value (write never committed)
+  Flipped, ///< the inverted value (glitched write, committed)
+  Unknown, ///< indeterminate junction (write cut mid-pulse)
+};
+
+/// Nominal phase durations (no retries) — the event-time reference frame.
+double nominal_store_ns(const BackupSchedule& schedule, const ProtocolParams& p);
+double nominal_restore_ns(const BackupSchedule& schedule, const ProtocolParams& p);
+
+struct StoreResult {
+  std::vector<NvBitContent> bits; ///< per storeOps index
+  std::vector<char> canaryOk;     ///< per domain (all 1 when canary is off)
+  bool errorFlagged = false; ///< verify retries exhausted — controller knows
+  int retries = 0;           ///< rewrite attempts beyond the first, total
+  int opsAttempted = 0;      ///< ops whose first write pulse began
+  double durationNs = 0.0;   ///< actual elapsed store time
+};
+
+/// Runs the store phase. `rng` feeds only the stochastic write failures (the
+/// event itself is fixed by `event`), so a zero writeFailProb never draws.
+StoreResult simulate_store(const BackupSchedule& schedule, const ProtocolParams& p,
+                           const FaultEvent& event, Rng& rng);
+
+struct RestoreResult {
+  std::vector<sim::Trit> loaded; ///< per FF: the value the wake loads
+  bool aborted = false;          ///< protection refused the restore (canary
+                                 ///< missing / store error / wake incomplete)
+  bool errorFlagged = false;     ///< re-sense retries exhausted
+  int retries = 0;
+  double durationNs = 0.0;
+};
+
+/// Runs the restore phase against the store outcome. `storedState` is the
+/// architectural state the store meant to save; `staleState` is the previous
+/// backup still sitting in unwritten junctions.
+RestoreResult simulate_restore(const BackupSchedule& schedule,
+                               const ProtocolParams& p, const FaultEvent& event,
+                               const StoreResult& store,
+                               const std::vector<bool>& storedState,
+                               const std::vector<bool>& staleState);
+
+} // namespace nvff::faults

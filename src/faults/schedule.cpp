@@ -1,0 +1,95 @@
+#include "faults/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nvff::faults {
+
+const char* design_kind_name(DesignKind design) {
+  switch (design) {
+    case DesignKind::AllSingleBit: return "1-bit cells";
+    case DesignKind::Paired2Bit: return "2-bit paired";
+  }
+  return "?";
+}
+
+BackupSchedule build_schedule(const std::vector<pairing::FlipFlopSite>& sites,
+                              const pairing::PairingResult& pairing,
+                              DesignKind design,
+                              const core::ClockModelParams& clock) {
+  BackupSchedule s;
+  s.design = design;
+  s.numFfs = sites.size();
+
+  // Cells plus the clock sink each presents (2-bit cells sit at the pair
+  // midpoint — the same sink model estimate_clock_network_mbff uses).
+  std::vector<pairing::FlipFlopSite> sinks;
+  if (design == DesignKind::AllSingleBit) {
+    s.cells.reserve(sites.size());
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      NvCell cell;
+      cell.ffLower = static_cast<int>(i);
+      s.cells.push_back(cell);
+    }
+    sinks = sites;
+  } else {
+    s.cells.reserve(pairing.pairs.size() + pairing.unmatched.size());
+    for (const pairing::Pair& p : pairing.pairs) {
+      if (p.a < 0 || p.b < 0 ||
+          static_cast<std::size_t>(p.a) >= sites.size() ||
+          static_cast<std::size_t>(p.b) >= sites.size()) {
+        throw std::invalid_argument("build_schedule: pairing references a "
+                                    "site outside the site list");
+      }
+      NvCell cell;
+      cell.ffLower = std::min(p.a, p.b);
+      cell.ffUpper = std::max(p.a, p.b);
+      s.cells.push_back(cell);
+      const auto& a = sites[static_cast<std::size_t>(p.a)];
+      const auto& b = sites[static_cast<std::size_t>(p.b)];
+      pairing::FlipFlopSite mid;
+      mid.x = 0.5 * (a.x + b.x);
+      mid.y = 0.5 * (a.y + b.y);
+      sinks.push_back(mid);
+    }
+    for (int u : pairing.unmatched) {
+      if (u < 0 || static_cast<std::size_t>(u) >= sites.size()) {
+        throw std::invalid_argument("build_schedule: pairing references a "
+                                    "site outside the site list");
+      }
+      NvCell cell;
+      cell.ffLower = u;
+      s.cells.push_back(cell);
+      sinks.push_back(sites[static_cast<std::size_t>(u)]);
+    }
+  }
+
+  // Domains: the clock tree's leaf-buffer groups over the cell sinks.
+  const std::vector<std::vector<int>> groups = core::clock_leaf_groups(sinks, clock);
+  s.numDomains = static_cast<int>(groups.size());
+  for (int d = 0; d < s.numDomains; ++d) {
+    for (int cellIdx : groups[static_cast<std::size_t>(d)]) {
+      NvCell& cell = s.cells[static_cast<std::size_t>(cellIdx)];
+      cell.domain = d;
+      BackupOp lower;
+      lower.cell = cellIdx;
+      lower.ff = cell.ffLower;
+      lower.bit = 0;
+      lower.domain = d;
+      s.storeOps.push_back(lower);
+      if (cell.is_pair()) {
+        BackupOp upper = lower;
+        upper.ff = cell.ffUpper;
+        upper.bit = 1;
+        s.storeOps.push_back(upper);
+      }
+    }
+    s.domainOpEnd.push_back(static_cast<int>(s.storeOps.size()));
+  }
+  // The sequential 2-bit read restores lower-then-upper; the store issues in
+  // the same order, so the restore schedule is the store schedule.
+  s.restoreOps = s.storeOps;
+  return s;
+}
+
+} // namespace nvff::faults

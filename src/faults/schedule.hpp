@@ -1,0 +1,78 @@
+// Backup operation schedules: the bridge between the physical design (placed
+// flip-flops, pairing, clock tree) and the power-interruption engine.
+//
+// A store or restore is not one atomic event — it is a sequence of per-bit
+// MTJ operations issued by local controllers. The schedule pins down the two
+// properties the fault campaign cares about:
+//
+//   * ORDER. Backup domains are the clock tree's leaf-buffer groups
+//     (core::clock_leaf_groups): the sinks under one leaf buffer share the
+//     local clock driver and, in the NV flow, the store/restore control
+//     signals, so they form one sequenced control domain. Domains run one
+//     after another (a store current budget forbids firing every MTJ write
+//     at once); bits inside a domain are sequenced in site order.
+//   * GRANULARITY. The proposed 2-bit cell reads its bits in two sequential
+//     sense phases (paper Fig. 6/7), lower bit first; the schedule models
+//     each bit as its own interruptible operation, which is exactly why the
+//     2-bit cell is MORE exposed to mid-sequence interruptions than two
+//     independent 1-bit cells with the same bit count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/clock_network.hpp"
+#include "pairing/pairing.hpp"
+
+namespace nvff::faults {
+
+/// The two Table II backup fabrics the campaign compares.
+enum class DesignKind {
+  AllSingleBit, ///< every FF shadows into its own 1-bit NV cell
+  Paired2Bit,   ///< paired FFs share a 2-bit cell, rest stay 1-bit
+};
+const char* design_kind_name(DesignKind design);
+
+/// One NV shadow cell and the flip-flops it backs up.
+struct NvCell {
+  int ffLower = -1; ///< FF index (netlist flip_flops() order)
+  int ffUpper = -1; ///< second bit of a 2-bit cell; -1 for a 1-bit cell
+  int domain = 0;   ///< backup domain (clock leaf group)
+  bool is_pair() const { return ffUpper >= 0; }
+};
+
+/// One per-bit store or restore operation.
+struct BackupOp {
+  int cell = 0;   ///< index into BackupSchedule::cells
+  int ff = 0;     ///< FF index whose bit this op moves
+  int bit = 0;    ///< 0 = lower, 1 = upper (2-bit cells only)
+  int domain = 0; ///< backup domain of the owning cell
+};
+
+struct BackupSchedule {
+  DesignKind design = DesignKind::AllSingleBit;
+  std::size_t numFfs = 0;
+  int numDomains = 0;
+  std::vector<NvCell> cells;
+  /// Issue order: domain-major, site order within a domain, lower bit then
+  /// upper bit within a 2-bit cell. Store and restore share the order (the
+  /// same controllers sequence both directions).
+  std::vector<BackupOp> storeOps;
+  std::vector<BackupOp> restoreOps;
+  /// One past the last storeOps index of each domain (domain d covers
+  /// [d == 0 ? 0 : domainOpEnd[d-1], domainOpEnd[d])). The protected
+  /// protocol writes the domain's completion canary at this boundary.
+  std::vector<int> domainOpEnd;
+};
+
+/// Builds the schedule for one design over placed flip-flop sites. For
+/// Paired2Bit the pairing decides which FFs share a cell (lower bit = the
+/// smaller site index); AllSingleBit ignores it. Domains come from
+/// core::clock_leaf_groups over the cell sink positions (pair midpoint for
+/// 2-bit cells), so the two designs see the same physical clock regions.
+BackupSchedule build_schedule(const std::vector<pairing::FlipFlopSite>& sites,
+                              const pairing::PairingResult& pairing,
+                              DesignKind design,
+                              const core::ClockModelParams& clock = {});
+
+} // namespace nvff::faults

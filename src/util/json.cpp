@@ -1,0 +1,266 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace nvff::json {
+
+const Value* Value::find(const std::string& key) const {
+  for (const auto& [k, v] : fields)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (!v) throw std::runtime_error("json: missing key '" + key + "'");
+  return *v;
+}
+
+double Value::as_num() const {
+  if (kind == Kind::Null) return std::numeric_limits<double>::quiet_NaN();
+  if (kind != Kind::Num) throw std::runtime_error("json: expected number");
+  return number;
+}
+
+bool Value::as_bool() const {
+  if (kind != Kind::Bool) throw std::runtime_error("json: expected bool");
+  return boolean;
+}
+
+const std::string& Value::as_str() const {
+  if (kind != Kind::Str) throw std::runtime_error("json: expected string");
+  return text;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string& s, const std::string& what) : s_(s), what_(what) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size())
+      throw std::runtime_error(what_ + ": trailing characters after document");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const char* what) {
+    throw std::runtime_error(what_ + ": " + std::string(what) + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_word(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::Str;
+        v.text = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_word("true")) fail("bad literal");
+        Value v;
+        v.kind = Value::Kind::Bool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_word("false")) fail("bad literal");
+        Value v;
+        v.kind = Value::Kind::Bool;
+        return v;
+      }
+      case 'n': {
+        if (!consume_word("null")) fail("bad literal");
+        return Value{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.fields.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Only the control-character range is ever written by our writer.
+          if (code < 0x80) out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string token = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(token.c_str(), &end);
+    // ERANGE underflow (subnormals) still round-trips exactly; only a
+    // partial parse or an overflow to infinity is malformed.
+    if (end != token.c_str() + token.size() || (errno == ERANGE && std::isinf(v)))
+      fail("malformed number");
+    Value j;
+    j.kind = Value::Kind::Num;
+    j.number = v;
+    return j;
+  }
+
+  const std::string& s_;
+  const std::string& what_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value parse(const std::string& text, const std::string& what) {
+  return Parser(text, what).parse_document();
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+} // namespace nvff::json

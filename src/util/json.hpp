@@ -1,0 +1,56 @@
+// Minimal JSON layer shared by the campaign checkpoint formats
+// (reliability Monte-Carlo, faults power-interruption).
+//
+// The toolchain deliberately carries no JSON dependency; checkpoints only
+// need objects/arrays/strings/numbers/bools/null, so a small recursive
+// parser plus a couple of writer helpers cover it. The writer side pins the
+// properties the checkpoints rely on:
+//
+//   * num() renders doubles as %.17g, which round-trips every finite double
+//     through strtod exactly — config fingerprints compare re-rendered text
+//     instead of doing epsilon arithmetic;
+//   * non-finite values (no JSON spelling) render as null, and as_num()
+//     reads null back as NaN, so NaN margins survive a round trip.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nvff::json {
+
+/// Parsed JSON value. Plain aggregate: checkpoints walk it once and throw
+/// it away, so no accessors beyond typed extraction with error reporting.
+struct Value {
+  enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<Value> items;                            ///< Kind::Arr
+  std::vector<std::pair<std::string, Value>> fields;   ///< Kind::Obj
+
+  /// Object lookup; nullptr when the key is absent (or not an object).
+  const Value* find(const std::string& key) const;
+  /// Object lookup; throws std::runtime_error when the key is absent.
+  const Value& at(const std::string& key) const;
+
+  /// Typed extraction; each throws std::runtime_error on a kind mismatch.
+  /// as_num() maps Null to NaN (the writer's encoding of non-finite).
+  double as_num() const;
+  bool as_bool() const;
+  const std::string& as_str() const;
+};
+
+/// Parses one complete JSON document; trailing garbage is an error. `what`
+/// prefixes every error message ("checkpoint: expected number at ...") so
+/// callers keep their domain-specific diagnostics.
+Value parse(const std::string& text, const std::string& what = "json");
+
+/// Appends `s` as a quoted JSON string with control characters escaped.
+void append_escaped(std::string& out, const std::string& s);
+
+/// Renders a double as %.17g (exact strtod round-trip); non-finite -> null.
+std::string num(double v);
+
+} // namespace nvff::json

@@ -1,0 +1,71 @@
+#!/bin/sh
+# CLI exit-code contract for nvfftool.
+#
+# Scripts (and the CI smoke jobs) branch on nvfftool's exit status, so the
+# failure modes must be loud and machine-readable: an unknown subcommand, a
+# misspelled flag, or a flag missing its value must exit nonzero with a
+# diagnostic on stderr and nothing on stdout — never exit 0, never crash.
+#
+#   usage: test_nvfftool_cli.sh /path/to/nvfftool
+set -u
+
+NVFFTOOL="$1"
+failures=0
+
+note() { printf '%s\n' "$*" >&2; }
+
+# check <expected: zero|nonzero> <description> -- <args...>
+check() {
+  expected="$1"; desc="$2"; shift 3
+  out=$("$NVFFTOOL" "$@" 2>/tmp/nvfftool_cli_err.$$)
+  status=$?
+  err=$(cat /tmp/nvfftool_cli_err.$$); rm -f /tmp/nvfftool_cli_err.$$
+  if [ "$expected" = zero ] && [ "$status" -ne 0 ]; then
+    note "FAIL: $desc — expected exit 0, got $status"
+    failures=$((failures + 1))
+    return
+  fi
+  if [ "$expected" = nonzero ]; then
+    if [ "$status" -eq 0 ]; then
+      note "FAIL: $desc — expected nonzero exit, got 0"
+      failures=$((failures + 1))
+      return
+    fi
+    if [ "$status" -ge 126 ]; then
+      note "FAIL: $desc — exit $status looks like a crash/signal, not a diagnostic"
+      failures=$((failures + 1))
+      return
+    fi
+    if [ -z "$err" ]; then
+      note "FAIL: $desc — no diagnostic on stderr"
+      failures=$((failures + 1))
+      return
+    fi
+    if [ -n "$out" ]; then
+      note "FAIL: $desc — error path wrote to stdout: $out"
+      failures=$((failures + 1))
+      return
+    fi
+  fi
+  note "ok: $desc"
+}
+
+check nonzero "no arguments prints usage to stderr"        --
+check nonzero "unknown subcommand rejected"                -- frobnicate
+check nonzero "unknown subcommand with flags rejected"     -- frobnicate --fast
+check nonzero "flow without its benchmark arg rejected"    -- flow
+check nonzero "cycle without its bit args rejected"        -- cycle 1
+check nonzero "mc rejects an unknown flag"                 -- mc --bogus-flag
+check nonzero "mc rejects a flag missing its value"        -- mc --trials
+check nonzero "powerfail rejects an unknown flag"          -- powerfail --bogus
+check nonzero "powerfail rejects a flag missing its value" -- powerfail --trials
+check nonzero "powerfail rejects malformed --weights"      -- powerfail --weights 1,2
+check nonzero "lint rejects a nonexistent target"          -- lint no/such/file.bench
+check zero    "a valid command still succeeds"             -- list
+
+if [ "$failures" -ne 0 ]; then
+  note "$failures CLI contract check(s) failed"
+  exit 1
+fi
+note "all CLI contract checks passed"
+exit 0

@@ -1,6 +1,8 @@
 // Clock-network model: H-tree accounting, MBFF merging effect.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/clock_network.hpp"
 #include "util/rng.hpp"
 
@@ -70,6 +72,57 @@ TEST(ClockNetwork, UnmatchedKeepSingleBitPins) {
   const auto merged = estimate_clock_network_mbff(sites, none, p);
   const auto plain = estimate_clock_network(sites, p);
   EXPECT_DOUBLE_EQ(merged.pinCapF, plain.pinCapF);
+}
+
+TEST(ClockNetwork, LeafGroupsPartitionTheSinks) {
+  ClockModelParams p;
+  p.sinksPerLeafBuffer = 16;
+  const auto sites = grid_sites(100, 2.5);
+  const auto groups = clock_leaf_groups(sites, p);
+  ASSERT_FALSE(groups.empty());
+  std::vector<int> seen(sites.size(), 0);
+  for (const auto& g : groups) {
+    EXPECT_FALSE(g.empty());
+    EXPECT_LE(g.size(), static_cast<std::size_t>(p.sinksPerLeafBuffer));
+    EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+    for (int idx : g) {
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, static_cast<int>(sites.size()));
+      ++seen[static_cast<std::size_t>(idx)];
+    }
+  }
+  // Every sink appears in exactly one group: a partition, no loss, no dup.
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(ClockNetwork, LeafGroupCountMatchesLeafBuffers) {
+  // The groups are exactly the leaf spines the estimator prices, so their
+  // count plus the internal split nodes must reproduce the buffer count.
+  ClockModelParams p;
+  p.sinksPerLeafBuffer = 8;
+  const auto sites = grid_sites(64, 3.0);
+  const auto groups = clock_leaf_groups(sites, p);
+  const auto est = estimate_clock_network(sites, p);
+  EXPECT_LE(static_cast<int>(groups.size()), est.buffers);
+  EXPECT_GE(static_cast<std::size_t>(est.buffers), groups.size());
+  EXPECT_GE(groups.size(), sites.size() / static_cast<std::size_t>(p.sinksPerLeafBuffer));
+}
+
+TEST(ClockNetwork, LeafGroupsDeterministicUnderCoincidentSites) {
+  // Stacked coordinates used to make the median split order-dependent; the
+  // index tie-break pins the grouping down.
+  std::vector<pairing::FlipFlopSite> sites;
+  for (int i = 0; i < 40; ++i)
+    sites.push_back({"f" + std::to_string(i), (i / 20) * 5.0, 1.0});
+  ClockModelParams p;
+  p.sinksPerLeafBuffer = 4;
+  const auto a = clock_leaf_groups(sites, p);
+  const auto b = clock_leaf_groups(sites, p);
+  EXPECT_EQ(a, b);
+  std::vector<int> seen(sites.size(), 0);
+  for (const auto& g : a)
+    for (int idx : g) ++seen[static_cast<std::size_t>(idx)];
+  for (int count : seen) EXPECT_EQ(count, 1);
 }
 
 } // namespace

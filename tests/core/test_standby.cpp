@@ -112,5 +112,48 @@ TEST(Standby, ThresholdPolicyNeverLosesToNaive) {
   EXPECT_LE(smart, total_standby_energy(p, mixed, GatingPolicy::AlwaysGate, true));
 }
 
+TEST(Standby, RetryOverheadScalesStoreEnergy) {
+  StandbyParams p = toy();
+  const auto base = standby_energy(p, 1e-6);
+  p.pRetry = 0.25; // a quarter of the writes need one verified retry
+  const auto retried = standby_energy(p, 1e-6);
+  // Only the store term grows, by exactly (1 + pRetry) on the write energy.
+  const double extra = 0.25 * 100 * 100e-15;
+  EXPECT_NEAR(retried.nvShadow1bitJ, base.nvShadow1bitJ + extra, 1e-24);
+  EXPECT_NEAR(retried.nvShadowMultibitJ, base.nvShadowMultibitJ + extra, 1e-24);
+  EXPECT_DOUBLE_EQ(retried.retentionJ, base.retentionJ);
+  EXPECT_DOUBLE_EQ(retried.saveRestoreJ, base.saveRestoreJ);
+  // And the break-even point moves out accordingly.
+  EXPECT_GT(nv_break_even_seconds(p, true), nv_break_even_seconds(toy(), true));
+}
+
+TEST(Standby, BreakEvenDegenerateCorners) {
+  // No flip-flops, no leakage: nothing on either side of the trade-off.
+  StandbyParams empty;
+  EXPECT_TRUE(std::isinf(nv_break_even_seconds(empty, false)));
+  EXPECT_TRUE(std::isinf(nv_break_even_seconds(empty, true)));
+
+  // No flip-flops but a leaky domain: gating is free and wins immediately.
+  StandbyParams leakyOnly;
+  leakyOnly.logicLeakageW = 1e-6;
+  EXPECT_DOUBLE_EQ(nv_break_even_seconds(leakyOnly, false), 0.0);
+
+  // Flip-flops with zero NV energies: same — NV costs nothing.
+  StandbyParams freeNv = toy();
+  freeNv.nvWriteEnergyPerBitJ = 0.0;
+  freeNv.nv1RestorePerBitJ = 0.0;
+  freeNv.nv2RestorePerCellJ = 0.0;
+  EXPECT_DOUBLE_EQ(nv_break_even_seconds(freeNv, false), 0.0);
+  EXPECT_DOUBLE_EQ(nv_break_even_seconds(freeNv, true), 0.0);
+
+  // Flip-flops that cost energy but retain for free: NV never wins, and the
+  // result is a clean infinity rather than a division artifact.
+  StandbyParams freeRetention = toy();
+  freeRetention.ffRetentionPowerW = 0.0;
+  EXPECT_TRUE(std::isinf(nv_break_even_seconds(freeRetention, false)));
+  const double be = nv_break_even_seconds(freeRetention, true);
+  EXPECT_TRUE(std::isinf(be) && !std::isnan(be));
+}
+
 } // namespace
 } // namespace nvff::core

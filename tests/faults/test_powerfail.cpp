@@ -1,0 +1,184 @@
+// Campaign engine: context, classification, determinism, checkpointing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "faults/powerfail.hpp"
+
+namespace nvff::faults {
+namespace {
+
+CampaignConfig small_config() {
+  CampaignConfig cfg;
+  cfg.benchmark = "s344"; // 15 FFs: cheap enough for many unit-test trials
+  cfg.trials = 40;
+  cfg.seed = 11;
+  cfg.warmupCycles = 24;
+  cfg.staleLagCycles = 6;
+  cfg.checkCycles = 12;
+  return cfg;
+}
+
+TEST(Powerfail, ContextBuildsGoldenRun) {
+  const CampaignConfig cfg = small_config();
+  const CampaignContext ctx = build_context(cfg);
+  const std::size_t ffs = ctx.netlist().num_flip_flops();
+  EXPECT_EQ(ctx.storedState.size(), ffs);
+  EXPECT_EQ(ctx.staleState.size(), ffs);
+  EXPECT_EQ(ctx.goldenFinalState.size(), ffs);
+  EXPECT_EQ(ctx.inputs.size(),
+            static_cast<std::size_t>(cfg.warmupCycles + cfg.checkCycles));
+  ASSERT_EQ(ctx.goldenOutputs.size(), static_cast<std::size_t>(cfg.checkCycles));
+  EXPECT_EQ(ctx.goldenOutputs[0].size(), ctx.netlist().num_outputs());
+  EXPECT_EQ(ctx.schedules[0].numFfs, ffs);
+  EXPECT_EQ(ctx.schedules[1].numFfs, ffs);
+  // The warmup must actually have separated stale from stored state.
+  EXPECT_NE(ctx.staleState, ctx.storedState);
+}
+
+TEST(Powerfail, RejectsDegenerateConfigs) {
+  CampaignConfig cfg = small_config();
+  cfg.runUnprotected = cfg.runProtected = false;
+  EXPECT_THROW(build_context(cfg), std::runtime_error);
+  cfg = small_config();
+  cfg.checkCycles = 0;
+  EXPECT_THROW(build_context(cfg), std::runtime_error);
+  cfg = small_config();
+  cfg.staleLagCycles = cfg.warmupCycles + 1;
+  EXPECT_THROW(build_context(cfg), std::runtime_error);
+  cfg = small_config();
+  cfg.weightPowerLoss = cfg.weightBrownOut = cfg.weightGlitch = 0.0;
+  EXPECT_THROW(build_context(cfg), std::runtime_error);
+  cfg = small_config();
+  cfg.benchmark = "no-such-bench";
+  EXPECT_THROW(build_context(cfg), std::exception);
+}
+
+TEST(Powerfail, EventFreeTrialIsCleanEverywhere) {
+  CampaignConfig cfg = small_config();
+  cfg.eventProb = 0.0;
+  const CampaignContext ctx = build_context(cfg);
+  for (int t = 0; t < 8; ++t) {
+    const TrialResult tr = run_trial(ctx, t);
+    EXPECT_FALSE(tr.hasEvent);
+    for (int d = 0; d < 2; ++d)
+      for (int pr = 0; pr < 2; ++pr) {
+        ASSERT_TRUE(tr.arms[d][pr].present);
+        EXPECT_EQ(tr.arms[d][pr].cls, TrialClass::Clean)
+            << "design " << d << " protection " << pr << " trial " << t;
+        EXPECT_EQ(tr.arms[d][pr].xLoaded, 0);
+      }
+  }
+}
+
+TEST(Powerfail, TrialsAreReproducible) {
+  const CampaignContext ctx = build_context(small_config());
+  for (int t : {0, 7, 23}) {
+    const TrialResult a = run_trial(ctx, t);
+    const TrialResult b = run_trial(ctx, t);
+    EXPECT_EQ(serialize_powerfail_checkpoint(ctx.config, {a}),
+              serialize_powerfail_checkpoint(ctx.config, {b}));
+  }
+}
+
+TEST(Powerfail, UnprotectedCorruptsSilentlyProtectedNever) {
+  // The PR's acceptance core: mid-sequence interruptions corrupt the bare
+  // protocol silently, while verify-after-write + canary converts every
+  // one of them into a detected failure — across both fabrics.
+  const CampaignResult result = run_campaign(small_config());
+  EXPECT_GT(result.count_sdc(/*protectedOnly=*/false), 0);
+  EXPECT_EQ(result.count_sdc(/*protectedOnly=*/true), 0);
+  for (int d = 0; d < 2; ++d) {
+    const ArmSummary unprot = result.summarize(static_cast<DesignKind>(d), false);
+    const ArmSummary prot = result.summarize(static_cast<DesignKind>(d), true);
+    EXPECT_GT(unprot.sdc_rate(), 0.0);
+    EXPECT_EQ(unprot.counts[static_cast<int>(TrialClass::Detected)], 0)
+        << "bare protocol has no detection mechanism at all";
+    EXPECT_EQ(prot.counts[static_cast<int>(TrialClass::Sdc)], 0);
+    EXPECT_GT(prot.counts[static_cast<int>(TrialClass::Detected)], 0);
+  }
+}
+
+TEST(Powerfail, ThreadCountDoesNotChangeResults) {
+  CampaignConfig cfg = small_config();
+  cfg.trials = 24;
+  cfg.threads = 1;
+  const CampaignResult one = run_campaign(cfg);
+  cfg.threads = 8;
+  const CampaignResult eight = run_campaign(cfg);
+  EXPECT_EQ(serialize_powerfail_checkpoint(cfg, one.trials),
+            serialize_powerfail_checkpoint(cfg, eight.trials));
+  EXPECT_EQ(render_report(one), render_report(eight));
+}
+
+TEST(Powerfail, CheckpointRoundTripsExactly) {
+  CampaignConfig cfg = small_config();
+  cfg.trials = 6;
+  const CampaignResult result = run_campaign(cfg);
+  const std::string text = serialize_powerfail_checkpoint(cfg, result.trials);
+  const PowerfailCheckpoint cp = parse_powerfail_checkpoint(text);
+  EXPECT_EQ(cp.trials.size(), result.trials.size());
+  EXPECT_EQ(serialize_powerfail_checkpoint(cp.config, cp.trials), text);
+  EXPECT_NO_THROW(validate_powerfail_checkpoint(cfg, cp.config));
+}
+
+TEST(Powerfail, CheckpointRejectsForeignCampaigns) {
+  const CampaignConfig cfg = small_config();
+  CampaignConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  EXPECT_THROW(validate_powerfail_checkpoint(cfg, other), std::runtime_error);
+  other = cfg;
+  other.threads = cfg.threads + 7; // thread count must NOT invalidate
+  EXPECT_NO_THROW(validate_powerfail_checkpoint(cfg, other));
+  other = cfg;
+  other.protocol.maxRetries = 9;
+  EXPECT_THROW(validate_powerfail_checkpoint(cfg, other), std::runtime_error);
+}
+
+TEST(Powerfail, ResumeMatchesUninterruptedRun) {
+  CampaignConfig cfg = small_config();
+  cfg.trials = 16;
+  const CampaignResult full = run_campaign(cfg);
+
+  // Seed a checkpoint holding only the first half of the trials, then let
+  // run_campaign fill in the rest from it.
+  const std::string path = "powerfail_resume_test.ckpt.json";
+  std::vector<TrialResult> half(full.trials.begin(), full.trials.begin() + 8);
+  write_powerfail_checkpoint(path, cfg, half);
+  const CampaignResult resumed = run_campaign(cfg, path);
+  std::remove(path.c_str());
+  EXPECT_EQ(serialize_powerfail_checkpoint(cfg, resumed.trials),
+            serialize_powerfail_checkpoint(cfg, full.trials));
+}
+
+TEST(Powerfail, ReportIsDeterministicAndLabelsTheGuarantee) {
+  CampaignConfig cfg = small_config();
+  cfg.trials = 12;
+  const CampaignResult result = run_campaign(cfg);
+  const std::string report = render_report(result);
+  EXPECT_EQ(report, render_report(result));
+  EXPECT_NE(report.find("zero silent corruption"), std::string::npos);
+  EXPECT_NE(report.find("1-bit cells"), std::string::npos);
+  EXPECT_NE(report.find("2-bit paired"), std::string::npos);
+}
+
+TEST(Powerfail, SummariesAgreeWithCountSdc) {
+  CampaignConfig cfg = small_config();
+  cfg.trials = 20;
+  const CampaignResult result = run_campaign(cfg);
+  long all = 0;
+  long prot = 0;
+  for (int d = 0; d < 2; ++d)
+    for (int pr = 0; pr < 2; ++pr) {
+      const long n = result.summarize(static_cast<DesignKind>(d), pr == 1)
+                         .counts[static_cast<int>(TrialClass::Sdc)];
+      all += n;
+      if (pr == 1) prot += n;
+    }
+  EXPECT_EQ(all, result.count_sdc(false));
+  EXPECT_EQ(prot, result.count_sdc(true));
+}
+
+} // namespace
+} // namespace nvff::faults

@@ -1,0 +1,252 @@
+// Interruptible store/restore protocol: fault semantics, protection paths.
+#include <gtest/gtest.h>
+
+#include "faults/protocol.hpp"
+
+namespace nvff::faults {
+namespace {
+
+/// Hand-built schedule: 6 FFs, one 2-bit cell (FFs 2,3), two domains of
+/// three ops each — small enough to reason about op timing by hand.
+BackupSchedule toy_schedule() {
+  BackupSchedule s;
+  s.design = DesignKind::Paired2Bit;
+  s.numFfs = 6;
+  s.numDomains = 2;
+  s.cells.resize(5);
+  s.cells[0] = {0, -1, 0};
+  s.cells[1] = {1, -1, 0};
+  s.cells[2] = {2, 3, 1};
+  s.cells[3] = {4, -1, 1};
+  s.cells[4] = {5, -1, 1};
+  auto op = [](int cell, int ff, int bit, int domain) {
+    BackupOp o;
+    o.cell = cell;
+    o.ff = ff;
+    o.bit = bit;
+    o.domain = domain;
+    return o;
+  };
+  s.storeOps = {op(0, 0, 0, 0), op(1, 1, 0, 0), op(3, 4, 0, 0),
+                op(2, 2, 0, 1), op(2, 3, 1, 1), op(4, 5, 0, 1)};
+  s.restoreOps = s.storeOps;
+  s.domainOpEnd = {3, 6};
+  return s;
+}
+
+const std::vector<bool> kStored = {true, false, true, true, false, true};
+const std::vector<bool> kStale = {false, false, false, true, true, true};
+
+FaultEvent event(FaultKind kind, FaultPhase phase, double atFrac,
+                 double brownoutNs = 0.0) {
+  FaultEvent e;
+  e.armed = true;
+  e.kind = kind;
+  e.phase = phase;
+  e.atFrac = atFrac;
+  e.brownoutNs = brownoutNs;
+  return e;
+}
+
+TEST(Protocol, NominalDurations) {
+  const BackupSchedule s = toy_schedule();
+  ProtocolParams p;
+  EXPECT_DOUBLE_EQ(nominal_store_ns(s, p), 6 * 10.0);
+  EXPECT_DOUBLE_EQ(nominal_restore_ns(s, p), 6 * 4.0);
+  const ProtocolParams prot = p.with_protection(true);
+  // Verified writes add the read-back, canaries add one write per domain.
+  EXPECT_DOUBLE_EQ(nominal_store_ns(s, prot), 6 * 14.0 + 2 * 14.0);
+  EXPECT_DOUBLE_EQ(nominal_restore_ns(s, prot), 6 * 8.0);
+}
+
+TEST(Protocol, CleanStoreRestoreRoundTrips) {
+  const BackupSchedule s = toy_schedule();
+  for (bool prot : {false, true}) {
+    ProtocolParams p;
+    p = p.with_protection(prot);
+    Rng rng(1);
+    const StoreResult st = simulate_store(s, p, FaultEvent{}, rng);
+    EXPECT_FALSE(st.errorFlagged);
+    EXPECT_EQ(st.retries, 0);
+    EXPECT_EQ(st.opsAttempted, 6);
+    EXPECT_DOUBLE_EQ(st.durationNs, nominal_store_ns(s, p));
+    for (NvBitContent b : st.bits) EXPECT_EQ(b, NvBitContent::Correct);
+    for (char ok : st.canaryOk) EXPECT_TRUE(ok);
+
+    const RestoreResult rs =
+        simulate_restore(s, p, FaultEvent{}, st, kStored, kStale);
+    EXPECT_FALSE(rs.aborted);
+    EXPECT_FALSE(rs.errorFlagged);
+    ASSERT_EQ(rs.loaded.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i)
+      EXPECT_EQ(rs.loaded[i], sim::trit_from_bool(kStored[i])) << "FF " << i;
+  }
+}
+
+TEST(Protocol, PowerLossMidStoreUnprotectedLoadsStaleAndX) {
+  const BackupSchedule s = toy_schedule();
+  const ProtocolParams p;
+  Rng rng(1);
+  // Cut at 45 ns: ops 0-3 wrote (40 ns), op 4 is mid-pulse, op 5 never ran.
+  const StoreResult st =
+      simulate_store(s, p, event(FaultKind::PowerLoss, FaultPhase::Store, 0.75),
+                     rng);
+  EXPECT_FALSE(st.errorFlagged); // bare protocol has no way to notice
+  EXPECT_EQ(st.opsAttempted, 5);
+  EXPECT_DOUBLE_EQ(st.durationNs, 45.0);
+  EXPECT_EQ(st.bits[3], NvBitContent::Correct);
+  EXPECT_EQ(st.bits[4], NvBitContent::Unknown);
+  EXPECT_EQ(st.bits[5], NvBitContent::Stale);
+
+  const RestoreResult rs =
+      simulate_restore(s, p, FaultEvent{}, st, kStored, kStale);
+  EXPECT_FALSE(rs.aborted);
+  EXPECT_EQ(rs.loaded[2], sim::trit_from_bool(kStored[2])); // op 3 -> FF 2
+  EXPECT_EQ(rs.loaded[3], sim::Trit::X);                    // cut mid-write
+  EXPECT_EQ(rs.loaded[5], sim::trit_from_bool(kStale[5]));  // never written
+}
+
+TEST(Protocol, PowerLossMidStoreProtectedIsDetected) {
+  const BackupSchedule s = toy_schedule();
+  const ProtocolParams p = ProtocolParams{}.with_protection(true);
+  Rng rng(1);
+  const StoreResult st =
+      simulate_store(s, p, event(FaultKind::PowerLoss, FaultPhase::Store, 0.5),
+                     rng);
+  // Whatever was written, at least the last domain's canary is missing.
+  bool anyMissing = false;
+  for (char ok : st.canaryOk) anyMissing |= !ok;
+  EXPECT_TRUE(anyMissing);
+  const RestoreResult rs =
+      simulate_restore(s, p, FaultEvent{}, st, kStored, kStale);
+  EXPECT_TRUE(rs.aborted);
+}
+
+TEST(Protocol, BrownOutSilentlyKeepsStaleUnprotected) {
+  const BackupSchedule s = toy_schedule();
+  const ProtocolParams p;
+  Rng rng(1);
+  // Sag [15, 35): ops 1-3 overlap (windows [10,20),[20,30),[30,40)).
+  const StoreResult st = simulate_store(
+      s, p, event(FaultKind::BrownOut, FaultPhase::Store, 0.25, 20.0), rng);
+  EXPECT_FALSE(st.errorFlagged);
+  EXPECT_EQ(st.bits[0], NvBitContent::Correct);
+  EXPECT_EQ(st.bits[1], NvBitContent::Stale);
+  EXPECT_EQ(st.bits[2], NvBitContent::Stale);
+  EXPECT_EQ(st.bits[3], NvBitContent::Stale);
+  EXPECT_EQ(st.bits[4], NvBitContent::Correct);
+  EXPECT_DOUBLE_EQ(st.durationNs, 60.0); // controller sails straight through
+}
+
+TEST(Protocol, BrownOutProtectedRetriesPastTheSag) {
+  const BackupSchedule s = toy_schedule();
+  ProtocolParams p = ProtocolParams{}.with_protection(true);
+  Rng rng(1);
+  const StoreResult st = simulate_store(
+      s, p, event(FaultKind::BrownOut, FaultPhase::Store, 0.2, 30.0), rng);
+  EXPECT_FALSE(st.errorFlagged);
+  EXPECT_GT(st.retries, 0); // paid in time...
+  for (NvBitContent b : st.bits) EXPECT_EQ(b, NvBitContent::Correct); // ...not data
+  for (char ok : st.canaryOk) EXPECT_TRUE(ok);
+  EXPECT_GT(st.durationNs, nominal_store_ns(s, p));
+  const RestoreResult rs =
+      simulate_restore(s, p, FaultEvent{}, st, kStored, kStale);
+  EXPECT_FALSE(rs.aborted);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(rs.loaded[i], sim::trit_from_bool(kStored[i]));
+}
+
+TEST(Protocol, GlitchCommitsInvertedBitUnprotected) {
+  const BackupSchedule s = toy_schedule();
+  const ProtocolParams p;
+  Rng rng(1);
+  // Glitch at 25 ns: inside op 2's write window [20, 30).
+  const StoreResult st = simulate_store(
+      s, p, event(FaultKind::ControlGlitch, FaultPhase::Store, 25.0 / 60.0),
+      rng);
+  EXPECT_EQ(st.bits[2], NvBitContent::Flipped);
+  const RestoreResult rs =
+      simulate_restore(s, p, FaultEvent{}, st, kStored, kStale);
+  // Op 2 moves FF 4; everything else restored exactly.
+  EXPECT_EQ(rs.loaded[4], sim::trit_from_bool(!kStored[4]));
+  EXPECT_EQ(rs.loaded[0], sim::trit_from_bool(kStored[0]));
+}
+
+TEST(Protocol, GlitchRetriedToCorrectWhenProtected) {
+  const BackupSchedule s = toy_schedule();
+  const ProtocolParams p = ProtocolParams{}.with_protection(true);
+  Rng rng(1);
+  const StoreResult st = simulate_store(
+      s, p, event(FaultKind::ControlGlitch, FaultPhase::Store, 0.3), rng);
+  EXPECT_FALSE(st.errorFlagged);
+  EXPECT_GE(st.retries, 1);
+  for (NvBitContent b : st.bits) EXPECT_EQ(b, NvBitContent::Correct);
+}
+
+TEST(Protocol, RestorePowerLossLeavesSuffixXUnprotected) {
+  const BackupSchedule s = toy_schedule();
+  const ProtocolParams p;
+  Rng rng(1);
+  const StoreResult st = simulate_store(s, p, FaultEvent{}, rng);
+  // Cut at 12 ns of a 24 ns restore: ops 0-2 sensed, 3-5 lost.
+  const RestoreResult rs = simulate_restore(
+      s, p, event(FaultKind::PowerLoss, FaultPhase::Restore, 0.5), st, kStored,
+      kStale);
+  EXPECT_FALSE(rs.aborted); // nothing in the bare protocol notices
+  EXPECT_EQ(rs.loaded[0], sim::trit_from_bool(kStored[0]));
+  EXPECT_EQ(rs.loaded[4], sim::trit_from_bool(kStored[4])); // op 2 -> FF 4
+  EXPECT_EQ(rs.loaded[2], sim::Trit::X);                    // op 3 lost
+  EXPECT_EQ(rs.loaded[5], sim::Trit::X);
+}
+
+TEST(Protocol, RestorePowerLossAbortsWhenProtected) {
+  const BackupSchedule s = toy_schedule();
+  const ProtocolParams p = ProtocolParams{}.with_protection(true);
+  Rng rng(1);
+  const StoreResult st = simulate_store(s, p, FaultEvent{}, rng);
+  const RestoreResult rs = simulate_restore(
+      s, p, event(FaultKind::PowerLoss, FaultPhase::Restore, 0.5), st, kStored,
+      kStale);
+  EXPECT_TRUE(rs.aborted); // wake-completion check fires
+}
+
+TEST(Protocol, RestoreGlitchCaughtByDoubleSampling) {
+  const BackupSchedule s = toy_schedule();
+  const ProtocolParams p = ProtocolParams{}.with_protection(true);
+  Rng rng(1);
+  const StoreResult st = simulate_store(s, p, FaultEvent{}, rng);
+  const RestoreResult rs = simulate_restore(
+      s, p, event(FaultKind::ControlGlitch, FaultPhase::Restore, 0.4), st,
+      kStored, kStale);
+  EXPECT_FALSE(rs.aborted);
+  EXPECT_FALSE(rs.errorFlagged);
+  EXPECT_GE(rs.retries, 1); // the two samples disagreed once
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(rs.loaded[i], sim::trit_from_bool(kStored[i]));
+}
+
+TEST(Protocol, ExhaustedRetriesRaiseTheErrorFlag) {
+  const BackupSchedule s = toy_schedule();
+  ProtocolParams p = ProtocolParams{}.with_protection(true);
+  p.writeFailProb = 1.0; // every write fails, verify always catches it
+  p.maxRetries = 3;
+  Rng rng(1);
+  const StoreResult st = simulate_store(s, p, FaultEvent{}, rng);
+  EXPECT_TRUE(st.errorFlagged);
+  const RestoreResult rs =
+      simulate_restore(s, p, FaultEvent{}, st, kStored, kStale);
+  EXPECT_TRUE(rs.aborted); // flagged store is never trusted
+}
+
+TEST(Protocol, StochasticWriteFailureIsSilentWithoutVerify) {
+  const BackupSchedule s = toy_schedule();
+  ProtocolParams p;
+  p.writeFailProb = 1.0;
+  Rng rng(1);
+  const StoreResult st = simulate_store(s, p, FaultEvent{}, rng);
+  EXPECT_FALSE(st.errorFlagged);
+  for (NvBitContent b : st.bits) EXPECT_EQ(b, NvBitContent::Stale);
+}
+
+} // namespace
+} // namespace nvff::faults

@@ -1,0 +1,114 @@
+// Backup schedules: cell construction, domain partition, op ordering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "faults/schedule.hpp"
+
+namespace nvff::faults {
+namespace {
+
+std::vector<pairing::FlipFlopSite> grid_sites(int n, double pitch) {
+  std::vector<pairing::FlipFlopSite> sites;
+  for (int i = 0; i < n; ++i)
+    sites.push_back({"f" + std::to_string(i), (i % 6) * pitch, (i / 6) * pitch});
+  return sites;
+}
+
+pairing::PairingResult pair_adjacent(int n, int pairs) {
+  pairing::PairingResult pr;
+  for (int i = 0; i < pairs; ++i) pr.pairs.push_back({2 * i, 2 * i + 1, 0.0});
+  for (int i = 2 * pairs; i < n; ++i) pr.unmatched.push_back(i);
+  return pr;
+}
+
+TEST(BackupSchedule, SingleBitCoversEveryFfOnce) {
+  const auto sites = grid_sites(30, 2.0);
+  const auto schedule = build_schedule(sites, pair_adjacent(30, 10),
+                                       DesignKind::AllSingleBit);
+  EXPECT_EQ(schedule.numFfs, 30u);
+  EXPECT_EQ(schedule.cells.size(), 30u); // pairing ignored
+  EXPECT_EQ(schedule.storeOps.size(), 30u);
+  std::set<int> ffs;
+  for (const BackupOp& op : schedule.storeOps) {
+    EXPECT_EQ(op.bit, 0);
+    EXPECT_TRUE(ffs.insert(op.ff).second) << "FF scheduled twice";
+  }
+  EXPECT_EQ(ffs.size(), 30u);
+  EXPECT_EQ(schedule.restoreOps.size(), schedule.storeOps.size());
+}
+
+TEST(BackupSchedule, PairedCellsEmitLowerThenUpper) {
+  const auto sites = grid_sites(30, 2.0);
+  const auto schedule =
+      build_schedule(sites, pair_adjacent(30, 10), DesignKind::Paired2Bit);
+  EXPECT_EQ(schedule.cells.size(), 20u); // 10 pairs + 10 singles
+  EXPECT_EQ(schedule.storeOps.size(), 30u); // every FF still moves one bit
+  std::set<int> ffs;
+  for (std::size_t i = 0; i < schedule.storeOps.size(); ++i) {
+    const BackupOp& op = schedule.storeOps[i];
+    EXPECT_TRUE(ffs.insert(op.ff).second);
+    const NvCell& cell = schedule.cells[static_cast<std::size_t>(op.cell)];
+    if (op.bit == 1) {
+      // An upper bit immediately follows its lower sibling: the paper's
+      // sequential two-phase access, never interleaved with another cell.
+      ASSERT_GT(i, 0u);
+      const BackupOp& prev = schedule.storeOps[i - 1];
+      EXPECT_EQ(prev.cell, op.cell);
+      EXPECT_EQ(prev.bit, 0);
+      EXPECT_EQ(prev.ff, cell.ffLower);
+      EXPECT_EQ(op.ff, cell.ffUpper);
+      EXPECT_LT(cell.ffLower, cell.ffUpper);
+    }
+  }
+  EXPECT_EQ(ffs.size(), 30u);
+}
+
+TEST(BackupSchedule, DomainsAreContiguousAndExhaustive) {
+  const auto sites = grid_sites(40, 2.0);
+  core::ClockModelParams clock;
+  clock.sinksPerLeafBuffer = 8;
+  const auto schedule = build_schedule(sites, pair_adjacent(40, 12),
+                                       DesignKind::Paired2Bit, clock);
+  ASSERT_GT(schedule.numDomains, 1) << "grouping should split 28 sinks";
+  ASSERT_EQ(schedule.domainOpEnd.size(),
+            static_cast<std::size_t>(schedule.numDomains));
+  int begin = 0;
+  for (int d = 0; d < schedule.numDomains; ++d) {
+    const int end = schedule.domainOpEnd[static_cast<std::size_t>(d)];
+    ASSERT_GT(end, begin) << "empty domain " << d;
+    for (int i = begin; i < end; ++i)
+      EXPECT_EQ(schedule.storeOps[static_cast<std::size_t>(i)].domain, d);
+    begin = end;
+  }
+  EXPECT_EQ(begin, static_cast<int>(schedule.storeOps.size()));
+}
+
+TEST(BackupSchedule, DeterministicRebuild) {
+  const auto sites = grid_sites(24, 1.5);
+  const auto pr = pair_adjacent(24, 7);
+  for (DesignKind design : {DesignKind::AllSingleBit, DesignKind::Paired2Bit}) {
+    const auto a = build_schedule(sites, pr, design);
+    const auto b = build_schedule(sites, pr, design);
+    ASSERT_EQ(a.storeOps.size(), b.storeOps.size());
+    for (std::size_t i = 0; i < a.storeOps.size(); ++i) {
+      EXPECT_EQ(a.storeOps[i].ff, b.storeOps[i].ff);
+      EXPECT_EQ(a.storeOps[i].domain, b.storeOps[i].domain);
+    }
+  }
+}
+
+TEST(BackupSchedule, RejectsOutOfRangePairing) {
+  const auto sites = grid_sites(10, 2.0);
+  pairing::PairingResult bad;
+  bad.pairs.push_back({3, 99, 0.0});
+  EXPECT_THROW(build_schedule(sites, bad, DesignKind::Paired2Bit),
+               std::invalid_argument);
+  pairing::PairingResult badUnmatched;
+  badUnmatched.unmatched.push_back(-1);
+  EXPECT_THROW(build_schedule(sites, badUnmatched, DesignKind::Paired2Bit),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace nvff::faults

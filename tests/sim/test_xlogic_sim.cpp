@@ -104,6 +104,102 @@ TEST(XLogic, RestoreEliminatesEveryX) {
   EXPECT_EQ(waking.x_outputs(), 0u);
 }
 
+TEST(XLogic, LoadMixedTritVector) {
+  // A partial restore loads a mixed vector: definite bits stick exactly,
+  // X bits stay X, and nothing bleeds between positions.
+  const bench::Netlist nl = bench::generate_benchmark(bench::find_benchmark("s344"));
+  const std::size_t n = nl.num_flip_flops();
+  ASSERT_GE(n, 3u);
+  std::vector<Trit> mixed(n, Trit::X);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 3 == 0) mixed[i] = Trit::One;
+    else if (i % 3 == 1) mixed[i] = Trit::Zero;
+  }
+  XLogicSimulator sim(nl);
+  sim.load_flip_flop_state(mixed);
+  EXPECT_EQ(sim.flip_flop_state(), mixed);
+  const std::size_t wantX = (n + 0) / 3; // every i % 3 == 2 position
+  EXPECT_EQ(sim.x_flip_flops(), n - ((n + 2) / 3) - ((n + 1) / 3));
+  EXPECT_EQ(sim.x_flip_flops(), wantX);
+}
+
+TEST(XLogic, PartialRestoreXCountMonotoneUnderConstantInputs) {
+  // Pessimistic X-propagation with constant known inputs can only keep or
+  // shrink the definite set it derives from: an X that once contaminated a
+  // flip-flop was computed from the same (inputs, state) cone that computes
+  // it next cycle, so the X population must not oscillate upward from the
+  // restored suffix. This is the property the powerfail classifier leans on
+  // when it treats any surviving X as corruption.
+  const bench::Netlist nl = bench::generate_benchmark(bench::find_benchmark("s838"));
+  const std::size_t n = nl.num_flip_flops();
+  sim::LogicSimulator golden(nl);
+  Rng rng(99);
+  std::vector<bool> in(nl.num_inputs());
+  for (int c = 0; c < 16; ++c) {
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.chance(0.5);
+    golden.cycle(in);
+  }
+  const std::vector<bool> state = golden.flip_flop_state();
+
+  // Restore only the first half of the flip-flops; the rest stay X, as
+  // after a restore interrupted halfway through the schedule.
+  std::vector<Trit> partial(n, Trit::X);
+  for (std::size_t i = 0; i < n / 2; ++i) partial[i] = trit_from_bool(state[i]);
+  XLogicSimulator sim(nl);
+  sim.load_flip_flop_state(partial);
+  std::size_t prevX = sim.x_flip_flops();
+  EXPECT_GT(prevX, 0u);
+  const std::vector<Trit> constant(nl.num_inputs(), Trit::Zero);
+  for (int c = 0; c < 12; ++c) {
+    sim.cycle(constant);
+    const std::size_t nowX = sim.x_flip_flops();
+    EXPECT_LE(nowX, n);
+    if (c > 0) EXPECT_LE(nowX, prevX) << "X population grew at cycle " << c;
+    prevX = nowX;
+  }
+}
+
+TEST(XLogic, PartialRestoreNeverInventsWrongDefiniteBits) {
+  // Kleene monotonicity: a less-defined start can lose information, never
+  // fabricate it. Against a fully restored twin running the same stimulus,
+  // every definite bit of the half-restored machine must agree with the
+  // twin — its X population can shrink as real values flush through, but a
+  // definite-and-wrong bit would mean the X-propagation is optimistic
+  // somewhere, which would let the powerfail classifier miss corruption.
+  const bench::Netlist nl = bench::generate_benchmark(bench::find_benchmark("s344"));
+  const std::size_t n = nl.num_flip_flops();
+  sim::LogicSimulator golden(nl);
+  Rng rng(7);
+  std::vector<bool> in(nl.num_inputs());
+  for (int c = 0; c < 12; ++c) {
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.chance(0.5);
+    golden.cycle(in);
+  }
+  const std::vector<bool> state = golden.flip_flop_state();
+
+  XLogicSimulator full(nl);
+  full.load_flip_flop_state_bool(state);
+  std::vector<Trit> partial(n, Trit::X);
+  for (std::size_t i = 0; i < n / 2; ++i) partial[i] = trit_from_bool(state[i]);
+  XLogicSimulator half(nl);
+  half.load_flip_flop_state(partial);
+
+  for (int c = 0; c < 10; ++c) {
+    std::vector<Trit> stim(nl.num_inputs());
+    for (std::size_t i = 0; i < stim.size(); ++i)
+      stim[i] = trit_from_bool(rng.chance(0.5));
+    full.cycle(stim);
+    half.cycle(stim);
+    const std::vector<Trit> fullState = full.flip_flop_state();
+    const std::vector<Trit> halfState = half.flip_flop_state();
+    EXPECT_EQ(full.x_flip_flops(), 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (halfState[i] != Trit::X)
+        EXPECT_EQ(halfState[i], fullState[i]) << "FF " << i << " cycle " << c;
+    }
+  }
+}
+
 TEST(XLogic, TritHelpers) {
   EXPECT_EQ(trit_from_bool(true), Trit::One);
   EXPECT_EQ(trit_from_bool(false), Trit::Zero);

@@ -1,0 +1,65 @@
+// Shared JSON reader/writer helpers (extracted from the reliability
+// checkpoint so the fault campaign can reuse them).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/json.hpp"
+
+namespace nvff::json {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const Value v = parse(R"({"a":1.5,"b":"text","c":[true,false,null],"d":{"e":-2}})");
+  EXPECT_EQ(v.kind, Value::Kind::Obj);
+  EXPECT_DOUBLE_EQ(v.at("a").as_num(), 1.5);
+  EXPECT_EQ(v.at("b").as_str(), "text");
+  const Value& arr = v.at("c");
+  ASSERT_EQ(arr.items.size(), 3u);
+  EXPECT_TRUE(arr.items[0].as_bool());
+  EXPECT_FALSE(arr.items[1].as_bool());
+  EXPECT_EQ(arr.items[2].kind, Value::Kind::Null);
+  EXPECT_DOUBLE_EQ(v.at("d").at("e").as_num(), -2.0);
+}
+
+TEST(Json, FindReturnsNullForMissingKeys) {
+  const Value v = parse(R"({"present":1})");
+  EXPECT_NE(v.find("present"), nullptr);
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_THROW(v.at("absent"), std::runtime_error);
+}
+
+TEST(Json, ErrorsCarryTheCallerLabel) {
+  try {
+    parse("{broken", "powerfail checkpoint");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("powerfail checkpoint"),
+              std::string::npos);
+  }
+}
+
+TEST(Json, EscapeRoundTrip) {
+  std::string out;
+  append_escaped(out, "line\n\"quoted\"\tback\\slash");
+  const Value v = parse("{\"s\":" + out + "}");
+  EXPECT_EQ(v.at("s").as_str(), "line\n\"quoted\"\tback\\slash");
+}
+
+TEST(Json, NumFormatsRoundTripDoubles) {
+  // %.17g keeps every double bit-exact through a text round-trip.
+  for (double x : {0.1, 1.0 / 3.0, 6.02214076e23, -4.9e-324, 0.0}) {
+    const Value v = parse("{\"x\":" + num(x) + "}");
+    EXPECT_EQ(v.at("x").as_num(), x);
+  }
+}
+
+TEST(Json, NonFiniteSerializesAsNullAndReadsBackAsNan) {
+  EXPECT_EQ(num(std::nan("")), "null");
+  EXPECT_EQ(num(INFINITY), "null");
+  const Value v = parse(R"({"x":null})");
+  EXPECT_TRUE(std::isnan(v.at("x").as_num()));
+}
+
+} // namespace
+} // namespace nvff::json
