@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -31,6 +32,7 @@
 #include "faults/powerfail.hpp"
 #include "physdes/def_io.hpp"
 #include "reliability/montecarlo.hpp"
+#include "runtime/supervisor.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -260,6 +262,85 @@ int cmd_lint(const std::vector<std::string>& args) {
   return errors > 0 ? 1 : 0;
 }
 
+// --- shared campaign supervision flags ---------------------------------------
+
+// `mc` and `powerfail` take the exact same supervision flags, parsed by one
+// helper so the two contracts cannot drift apart. The exit-code contract for
+// supervised runs (0 / 1 / 2 / 3 / 75) is documented in the README and pinned
+// by tests/cli/test_nvfftool_cli.sh.
+const char* campaign_flags_help() {
+  return "  --checkpoint FILE      durable campaign checkpoint (CRC + fsync,\n"
+         "                         two generations); an existing one is\n"
+         "                         resumed automatically\n"
+         "  --checkpoint-every N   checkpoint cadence in trials (default 16;\n"
+         "                         --every is an alias)\n"
+         "  --resume               fail instead of starting fresh when no\n"
+         "                         usable checkpoint exists at --checkpoint\n"
+         "  --trial-timeout-s SEC  per-trial watchdog: a stuck trial is\n"
+         "                         cancelled and counted as a timeout, the\n"
+         "                         campaign continues (default off)\n"
+         "  --deadline-s SEC       campaign wall-clock budget: on expiry a\n"
+         "                         final checkpoint is written and the run\n"
+         "                         exits 75 (resumable; default off)\n";
+}
+
+/// Consumes one shared supervision flag into `run`. `value` is the calling
+/// command's take-the-next-argument lambda; returns false when `a` belongs
+/// to the caller.
+bool parse_campaign_flag(const std::string& a,
+                         const std::function<std::string()>& value,
+                         runtime::RunOptions& run) {
+  if (a == "--checkpoint") run.checkpointPath = value();
+  else if (a == "--checkpoint-every" || a == "--every")
+    run.checkpointEvery = std::stoi(value());
+  else if (a == "--resume") run.requireResume = true;
+  else if (a == "--trial-timeout-s") run.trialTimeoutSeconds = std::stod(value());
+  else if (a == "--deadline-s") run.deadlineSeconds = std::stod(value());
+  else return false;
+  return true;
+}
+
+/// Post-parse coherence check for the shared flags; prints the diagnostic
+/// and returns false on a usage error (caller exits kExitUsage).
+bool check_campaign_flags(const char* cmd, const runtime::RunOptions& run) {
+  if (run.requireResume && run.checkpointPath.empty()) {
+    std::fprintf(stderr, "%s: --resume needs --checkpoint FILE\n", cmd);
+    return false;
+  }
+  if (run.checkpointEvery <= 0) {
+    std::fprintf(stderr, "%s: --checkpoint-every needs N > 0\n", cmd);
+    return false;
+  }
+  return true;
+}
+
+/// Shared stderr accounting after a supervised campaign. Returns kExitOk when
+/// the campaign completed and the caller should print its report and apply
+/// its gates; otherwise returns the documented exit code for the interruption
+/// (75 with a resumable checkpoint on disk, 1 without).
+int finish_supervised(const char* cmd, const runtime::SupervisorOutcome& sup) {
+  if (sup.trialsResumed > 0)
+    std::fprintf(stderr, "%s: resumed %d finished trial(s) from checkpoint\n",
+                 cmd, sup.trialsResumed);
+  for (const std::string& path : sup.quarantined)
+    std::fprintf(stderr, "%s: quarantined corrupt checkpoint -> %s\n", cmd,
+                 path.c_str());
+  if (sup.timeouts > 0)
+    std::fprintf(stderr, "%s: %ld trial(s) hit --trial-timeout-s\n", cmd,
+                 sup.timeouts);
+  if (sup.completed()) return runtime::kExitOk;
+  // Interrupted runs print no report: a partial campaign's statistics are
+  // not comparable to a complete one, and stdout consumers must not mistake
+  // them for the real thing.
+  std::fprintf(
+      stderr, "%s: %s after %d/%d trials%s\n", cmd,
+      runtime::stop_cause_name(sup.cause), sup.trialsDone, sup.trialsTotal,
+      sup.checkpointWritten
+          ? "; checkpoint written, re-run the same command to resume"
+          : "; NO checkpoint (pass --checkpoint to make runs resumable)");
+  return sup.exit_code();
+}
+
 // --- mc --------------------------------------------------------------------
 
 int mc_usage() {
@@ -276,20 +357,20 @@ int mc_usage() {
                "  --margin X             metastability floor, fraction of VDD (default 0.4)\n"
                "  --dt SEC               transient step (default 4e-12)\n"
                "  --retries N            solver recovery retry budget (default 64)\n"
-               "  --deadline SEC         per-solve wall-clock deadline (default off;\n"
-               "                         makes outcomes timing-dependent)\n"
-               "  --checkpoint FILE      save/resume campaign state as JSON\n"
-               "  --every N              checkpoint cadence in trials (default 16)\n"
+               "  --deadline SEC         per-SOLVE wall-clock deadline inside one\n"
+               "                         trial (default off; distinct from the\n"
+               "                         campaign-level --deadline-s below)\n"
+               "%s"
                "  --sweep A,B,...        yield-vs-sigma sweep over these scales\n"
                "                         (runs the full campaign per scale)\n"
-               "  --fail-on-unclassified exit nonzero if any trial is unclassified\n");
-  return 2;
+               "  --fail-on-unclassified exit nonzero if any trial is unclassified\n",
+               campaign_flags_help());
+  return runtime::kExitUsage;
 }
 
 int cmd_mc(const std::vector<std::string>& args) {
   reliability::CampaignConfig cfg;
-  std::string checkpoint;
-  int every = 16;
+  runtime::RunOptions run;
   bool failOnUnclassified = false;
   std::vector<double> sweep;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -299,6 +380,7 @@ int cmd_mc(const std::vector<std::string>& args) {
         throw std::invalid_argument("mc: " + a + " needs a value");
       return args[++i];
     };
+    if (parse_campaign_flag(a, value, run)) continue;
     if (a == "--trials") cfg.trials = std::stoi(value());
     else if (a == "--seed") cfg.seed = std::stoull(value());
     else if (a == "--threads") cfg.threads = std::stoi(value());
@@ -310,8 +392,6 @@ int cmd_mc(const std::vector<std::string>& args) {
     else if (a == "--dt") cfg.timestep = std::stod(value());
     else if (a == "--retries") cfg.recovery.retryBudget = std::stoi(value());
     else if (a == "--deadline") cfg.recovery.deadlineSeconds = std::stod(value());
-    else if (a == "--checkpoint") checkpoint = value();
-    else if (a == "--every") every = std::stoi(value());
     else if (a == "--fail-on-unclassified") failOnUnclassified = true;
     else if (a == "--sweep") {
       for (const std::string& tok : split(value(), ","))
@@ -322,12 +402,14 @@ int cmd_mc(const std::vector<std::string>& args) {
     }
   }
 
+  if (!check_campaign_flags("mc", run)) return runtime::kExitUsage;
+
   if (!sweep.empty()) {
     // A sweep reruns the campaign per scale; checkpointing one file would
     // mix incompatible configurations, so it is not supported here.
-    if (!checkpoint.empty()) {
+    if (!run.checkpointPath.empty()) {
       std::fprintf(stderr, "mc: --sweep and --checkpoint are exclusive\n");
-      return 2;
+      return runtime::kExitUsage;
     }
     const auto rows = reliability::sigma_sweep(cfg, sweep);
     std::printf("%s", reliability::render_sigma_sweep(rows).c_str());
@@ -340,8 +422,13 @@ int cmd_mc(const std::vector<std::string>& args) {
     if (done % 16 == 0 || done == total)
       std::fprintf(stderr, "mc: %d/%d trials\n", done, total);
   };
-  const reliability::CampaignResult result =
-      reliability::run_campaign(cfg, checkpoint, every, progress);
+  run.installSignalHandlers = true;
+  const reliability::CampaignRun campaign =
+      reliability::run_campaign_supervised(cfg, run, progress);
+  if (const int rc = finish_supervised("mc", campaign.supervisor);
+      rc != runtime::kExitOk)
+    return rc;
+  const reliability::CampaignResult& result = campaign.result;
   std::printf("%s", reliability::render_report(result).c_str());
 
   long unclassified = 0;
@@ -354,7 +441,7 @@ int cmd_mc(const std::vector<std::string>& args) {
     std::fprintf(stderr, "mc: %ld unclassified design-trial(s) — this is a bug "
                          "in the harness, see 'note' fields in the checkpoint\n",
                  unclassified);
-    if (failOnUnclassified) return 3;
+    if (failOnUnclassified) return runtime::kExitGateFailed;
   }
   return 0;
 }
@@ -381,17 +468,16 @@ int powerfail_usage() {
       "  --retries N         verify/re-sense retry budget per bit (default 5)\n"
       "  --domain-size N     flip-flops per backup control domain, i.e. clock\n"
       "                      sinks per leaf buffer (default 16)\n"
-      "  --checkpoint FILE   save/resume campaign state as JSON\n"
-      "  --every N           checkpoint cadence in trials (default 16)\n"
+      "%s"
       "  --fail-on-sdc       exit nonzero on silent data corruption in the\n"
-      "                      protected arms (all arms when --no-protected)\n");
-  return 2;
+      "                      protected arms (all arms when --no-protected)\n",
+      campaign_flags_help());
+  return runtime::kExitUsage;
 }
 
 int cmd_powerfail(const std::vector<std::string>& args) {
   faults::CampaignConfig cfg;
-  std::string checkpoint;
-  int every = 16;
+  runtime::RunOptions run;
   bool failOnSdc = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -400,6 +486,7 @@ int cmd_powerfail(const std::vector<std::string>& args) {
         throw std::invalid_argument("powerfail: " + a + " needs a value");
       return args[++i];
     };
+    if (parse_campaign_flag(a, value, run)) continue;
     if (a == "--bench") cfg.benchmark = value();
     else if (a == "--trials") cfg.trials = std::stoi(value());
     else if (a == "--seed") cfg.seed = std::stoull(value());
@@ -420,8 +507,6 @@ int cmd_powerfail(const std::vector<std::string>& args) {
     else if (a == "--write-fail") cfg.protocol.writeFailProb = std::stod(value());
     else if (a == "--retries") cfg.protocol.maxRetries = std::stoi(value());
     else if (a == "--domain-size") cfg.clock.sinksPerLeafBuffer = std::stoi(value());
-    else if (a == "--checkpoint") checkpoint = value();
-    else if (a == "--every") every = std::stoi(value());
     else if (a == "--fail-on-sdc") failOnSdc = true;
     else {
       std::fprintf(stderr, "powerfail: unknown option '%s'\n", a.c_str());
@@ -429,13 +514,20 @@ int cmd_powerfail(const std::vector<std::string>& args) {
     }
   }
 
+  if (!check_campaign_flags("powerfail", run)) return runtime::kExitUsage;
+
   // Progress to stderr; stdout stays bit-identical for any thread count.
   const auto progress = [](int done, int total) {
     if (done % 16 == 0 || done == total)
       std::fprintf(stderr, "powerfail: %d/%d trials\n", done, total);
   };
-  const faults::CampaignResult result =
-      faults::run_campaign(cfg, checkpoint, every, progress);
+  run.installSignalHandlers = true;
+  const faults::CampaignRun campaign =
+      faults::run_campaign_supervised(cfg, run, progress);
+  if (const int rc = finish_supervised("powerfail", campaign.supervisor);
+      rc != runtime::kExitOk)
+    return rc;
+  const faults::CampaignResult& result = campaign.result;
   std::printf("%s", faults::render_report(result).c_str());
 
   if (failOnSdc) {
@@ -446,7 +538,7 @@ int cmd_powerfail(const std::vector<std::string>& args) {
     if (sdc > 0) {
       std::fprintf(stderr, "powerfail: %ld silent corruption(s) in %s arms\n",
                    sdc, cfg.runProtected ? "protected" : "unprotected");
-      return 3;
+      return runtime::kExitGateFailed;
     }
   }
   return 0;

@@ -5,15 +5,13 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
 
+#include "runtime/durable_file.hpp"
 #include "sim/logic_sim.hpp"
 #include "sim/xlogic_sim.hpp"
 #include "util/json.hpp"
-#include "util/log.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
 
 namespace nvff::faults {
 
@@ -164,7 +162,8 @@ ArmResult run_arm(const CampaignContext& ctx, const BackupSchedule& schedule,
 
 } // namespace
 
-TrialResult run_trial(const CampaignContext& ctx, int trialId) {
+TrialResult run_trial(const CampaignContext& ctx, int trialId,
+                      const CancelToken* cancel) {
   const CampaignConfig& cfg = ctx.config;
   TrialResult tr;
   tr.trialId = trialId;
@@ -202,6 +201,13 @@ TrialResult run_trial(const CampaignContext& ctx, int trialId) {
     for (int pr = 0; pr < 2; ++pr) {
       if (pr == 0 && !cfg.runUnprotected) continue;
       if (pr == 1 && !cfg.runProtected) continue;
+      // Arm boundary = cancellation point. On a watchdog timeout the trial
+      // is returned partial (unrun arms stay absent) and flagged; any other
+      // cancellation returns partial for the supervisor to discard.
+      if (cancel != nullptr && cancel->cancelled()) {
+        tr.timedOut = cancel->reason() == CancelToken::Reason::Timeout;
+        return tr;
+      }
       tr.arms[d][pr] =
           run_arm(ctx, ctx.schedules[d], pr == 1, event, armSeed[d][pr]);
     }
@@ -256,68 +262,63 @@ long CampaignResult::count_sdc(bool protectedOnly) const {
   return n;
 }
 
-CampaignResult run_campaign(const CampaignConfig& config,
-                            const std::string& checkpointPath,
-                            int checkpointEvery, const ProgressFn& progress) {
+CampaignRun run_campaign_supervised(const CampaignConfig& config,
+                                    const runtime::RunOptions& run,
+                                    const ProgressFn& progress) {
   if (config.trials <= 0) throw std::runtime_error("powerfail needs trials > 0");
   const CampaignContext ctx = build_context(config);
 
-  CampaignResult result;
-  result.config = config;
-  result.trials.resize(static_cast<std::size_t>(config.trials));
-  std::vector<char> done(static_cast<std::size_t>(config.trials), 0);
+  CampaignRun out;
+  out.result.config = config;
+  out.result.trials.resize(static_cast<std::size_t>(config.trials));
+  std::vector<TrialResult>& slots = out.result.trials;
 
-  if (!checkpointPath.empty()) {
-    PowerfailCheckpoint loaded;
-    if (load_powerfail_checkpoint(checkpointPath, loaded)) {
-      validate_powerfail_checkpoint(config, loaded.config);
-      for (TrialResult& t : loaded.trials) {
-        if (t.trialId < 0 || t.trialId >= config.trials) continue;
-        result.trials[static_cast<std::size_t>(t.trialId)] = std::move(t);
-        done[static_cast<std::size_t>(t.trialId)] = 1;
-      }
-    }
-  }
+  runtime::SupervisorConfig sup;
+  sup.trials = config.trials;
+  sup.threads = std::max(1, config.threads);
+  sup.run = run;
+  sup.progress = progress;
 
-  std::mutex mu;
-  int completed = static_cast<int>(std::count(done.begin(), done.end(), 1));
-
-  // Checkpoints serialize only finished slots in trial order, so a resumed
-  // campaign is sample-for-sample identical to an uninterrupted one.
-  auto snapshot_locked = [&] {
+  runtime::CampaignHooks hooks;
+  hooks.runTrial = [&](int t, const CancelToken& cancel) {
+    TrialResult r = run_trial(ctx, t, &cancel);
+    if (!r.timedOut && cancel.cancelled() &&
+        cancel.reason() == CancelToken::Reason::Cancelled)
+      return runtime::TrialStatus::Cancelled; // partial; re-run on resume
+    const bool timedOut = r.timedOut;
+    slots[static_cast<std::size_t>(t)] = std::move(r);
+    return timedOut ? runtime::TrialStatus::Timeout : runtime::TrialStatus::Ok;
+  };
+  hooks.serialize = [&](const std::vector<int>& doneIds) {
     std::vector<TrialResult> finished;
-    for (std::size_t i = 0; i < done.size(); ++i)
-      if (done[i]) finished.push_back(result.trials[i]);
-    return finished;
+    finished.reserve(doneIds.size());
+    for (const int id : doneIds)
+      finished.push_back(slots[static_cast<std::size_t>(id)]);
+    return serialize_powerfail_checkpoint(config, finished);
+  };
+  hooks.deserialize = [&](const std::string& payload) {
+    PowerfailCheckpoint loaded = parse_powerfail_checkpoint(payload);
+    validate_powerfail_checkpoint(config, loaded.config);
+    std::vector<int> ids;
+    for (TrialResult& t : loaded.trials) {
+      if (t.trialId < 0 || t.trialId >= config.trials) continue;
+      ids.push_back(t.trialId);
+      slots[static_cast<std::size_t>(t.trialId)] = std::move(t);
+    }
+    return ids;
   };
 
-  ThreadPool pool(static_cast<unsigned>(std::max(1, config.threads)));
-  for (int t = 0; t < config.trials; ++t) {
-    if (done[static_cast<std::size_t>(t)]) continue;
-    pool.submit([&, t] {
-      TrialResult r = run_trial(ctx, t);
-      std::lock_guard<std::mutex> lock(mu);
-      result.trials[static_cast<std::size_t>(t)] = std::move(r);
-      done[static_cast<std::size_t>(t)] = 1;
-      ++completed;
-      if (progress) progress(completed, config.trials);
-      if (!checkpointPath.empty() && checkpointEvery > 0 &&
-          completed % checkpointEvery == 0 && completed < config.trials) {
-        try {
-          write_powerfail_checkpoint(checkpointPath, config, snapshot_locked());
-        } catch (const std::exception& e) {
-          log_warn(fmt("powerfail checkpoint write failed: %s", e.what()));
-        }
-      }
-    });
-  }
-  pool.wait_idle();
+  out.supervisor = runtime::run_supervised(sup, hooks);
+  return out;
+}
 
-  if (!checkpointPath.empty()) {
-    std::lock_guard<std::mutex> lock(mu);
-    write_powerfail_checkpoint(checkpointPath, config, snapshot_locked());
-  }
-  return result;
+CampaignResult run_campaign(const CampaignConfig& config,
+                            const std::string& checkpointPath,
+                            int checkpointEvery, const ProgressFn& progress) {
+  runtime::RunOptions run;
+  run.checkpointPath = checkpointPath;
+  run.checkpointEvery = checkpointEvery;
+  return run_campaign_supervised(config, run, progress).result;
 }
 
 std::string render_report(const CampaignResult& result) {
@@ -534,6 +535,8 @@ std::string serialize_powerfail_checkpoint(const CampaignConfig& config,
     out += ",\"kind\":" + num(t.kind);
     out += ",\"phase\":" + num(t.phase);
     out += ",\"atFrac\":" + num(t.atFrac);
+    out += ",\"timedOut\":";
+    out += t.timedOut ? "true" : "false";
     out += ",\"arms\":[";
     for (int d = 0; d < 2; ++d)
       for (int pr = 0; pr < 2; ++pr) {
@@ -559,6 +562,9 @@ PowerfailCheckpoint parse_powerfail_checkpoint(const std::string& text) {
     t.kind = static_cast<int>(tj.at("kind").as_num());
     t.phase = static_cast<int>(tj.at("phase").as_num());
     t.atFrac = tj.at("atFrac").as_num();
+    // Absent in pre-runtime checkpoints; those trials all ran to completion.
+    const Json* timedOut = tj.find("timedOut");
+    t.timedOut = timedOut != nullptr && timedOut->as_bool();
     const Json& arms = tj.at("arms");
     if (arms.items.size() != 4)
       throw std::runtime_error("powerfail checkpoint: trial needs 4 arms");
@@ -573,36 +579,22 @@ PowerfailCheckpoint parse_powerfail_checkpoint(const std::string& text) {
 void write_powerfail_checkpoint(const std::string& path,
                                 const CampaignConfig& config,
                                 const std::vector<TrialResult>& trials) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f)
-    throw std::runtime_error("powerfail checkpoint: cannot open " + tmp);
-  const std::string text = serialize_powerfail_checkpoint(config, trials);
-  const std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
-  const bool ok = wrote == text.size() && std::fflush(f) == 0;
-  std::fclose(f);
-  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("powerfail checkpoint: write to " + path + " failed");
-  }
+  // Durable commit: CRC envelope, fsync before and after the rename, and a
+  // rotated previous generation the loader can fall back to.
+  runtime::commit_durable(path, serialize_powerfail_checkpoint(config, trials));
 }
 
 bool load_powerfail_checkpoint(const std::string& path, PowerfailCheckpoint& out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) return false;
-  std::string text;
-  char buf[4096];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  std::fclose(f);
-  out = parse_powerfail_checkpoint(text);
+  const runtime::DurableLoad loaded = runtime::load_durable(path);
+  if (!loaded.found) return false;
+  out = parse_powerfail_checkpoint(loaded.payload);
   return true;
 }
 
 void validate_powerfail_checkpoint(const CampaignConfig& run,
                                    const CampaignConfig& loaded) {
   if (config_json(run) != config_json(loaded))
-    throw std::runtime_error(
+    throw runtime::ConfigMismatch(
         "powerfail checkpoint belongs to a different campaign configuration; "
         "delete it or rerun with the original settings");
 }

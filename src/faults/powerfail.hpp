@@ -37,6 +37,8 @@
 #include "core/flow.hpp"
 #include "faults/protocol.hpp"
 #include "faults/schedule.hpp"
+#include "runtime/supervisor.hpp"
+#include "util/cancellation.hpp"
 
 namespace nvff::faults {
 
@@ -92,6 +94,9 @@ struct TrialResult {
   int kind = 0;     ///< FaultKind enumerator value
   int phase = 0;    ///< FaultPhase enumerator value
   double atFrac = 0.0;
+  /// The per-trial watchdog cancelled this trial mid-way: the arms it did
+  /// not reach have present == false and the summaries skip them.
+  bool timedOut = false;
   /// arms[design][protection]: design 0 = AllSingleBit, 1 = Paired2Bit;
   /// protection 0 = off, 1 = verify-after-write + canary.
   ArmResult arms[2][2];
@@ -118,8 +123,11 @@ struct CampaignContext {
 /// unknown benchmark or a degenerate config (no cycles, no arms).
 CampaignContext build_context(const CampaignConfig& config);
 
-/// Runs one trial (all configured arms). Never throws.
-TrialResult run_trial(const CampaignContext& context, int trialId);
+/// Runs one trial (all configured arms). Never throws. `cancel` is polled
+/// at arm boundaries; a Timeout cancellation marks the trial timedOut, any
+/// other cancellation returns the partial trial for the caller to discard.
+TrialResult run_trial(const CampaignContext& context, int trialId,
+                      const CancelToken* cancel = nullptr);
 
 struct ArmSummary {
   long trials = 0;
@@ -149,8 +157,22 @@ struct CampaignResult {
 
 using ProgressFn = std::function<void(int, int)>;
 
-/// Runs the whole campaign on a work-stealing pool of config.threads
-/// workers. Checkpoint semantics match reliability::run_campaign: JSON
+/// A supervised campaign: results plus the runtime supervisor's account of
+/// how the run ended (see reliability::CampaignRun — same shape).
+struct CampaignRun {
+  CampaignResult result;
+  runtime::SupervisorOutcome supervisor;
+};
+
+/// Runs the campaign on the shared runtime supervisor (durable checkpoints,
+/// per-trial watchdog, campaign deadline, SIGINT/SIGTERM drain). Semantics
+/// match reliability::run_campaign_supervised.
+CampaignRun run_campaign_supervised(const CampaignConfig& config,
+                                    const runtime::RunOptions& run,
+                                    const ProgressFn& progress = nullptr);
+
+/// Legacy entry point: runs to completion with no watchdogs or signal
+/// handling. Checkpoint semantics match reliability::run_campaign: JSON
 /// snapshots every `checkpointEvery` trials, resume skips finished slots,
 /// config fingerprint mismatch throws.
 CampaignResult run_campaign(const CampaignConfig& config,

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "runtime/durable_file.hpp"
+#include "runtime/supervisor.hpp"
 #include "spice/analysis.hpp"
 #include "util/json.hpp"
 
@@ -28,7 +30,7 @@ TrialOutcome outcome_from_name(const std::string& name) {
 }
 
 spice::SolveStatus status_from_name(const std::string& name) {
-  for (int i = 0; i <= static_cast<int>(spice::SolveStatus::InvalidOptions); ++i)
+  for (int i = 0; i <= static_cast<int>(spice::SolveStatus::Cancelled); ++i)
     if (name == spice::solve_status_name(static_cast<spice::SolveStatus>(i)))
       return static_cast<spice::SolveStatus>(i);
   throw std::runtime_error("checkpoint: unknown solve status '" + name + "'");
@@ -193,33 +195,15 @@ CheckpointData parse_checkpoint(const std::string& text) {
 
 void write_checkpoint_file(const std::string& path, const CampaignConfig& config,
                            const std::vector<TrialResult>& trials) {
-  const std::string body = serialize_checkpoint(config, trials);
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "w");
-  if (!f) throw std::runtime_error("cannot write checkpoint '" + tmp + "'");
-  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
-  const bool ok = written == body.size() && std::fclose(f) == 0;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("short write to checkpoint '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("cannot replace checkpoint '" + path + "'");
-  }
+  // Durable commit: CRC envelope, fsync before and after the rename, and a
+  // rotated previous generation the loader can fall back to.
+  runtime::commit_durable(path, serialize_checkpoint(config, trials));
 }
 
 bool load_checkpoint_file(const std::string& path, CheckpointData& out) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (!f) return false;
-  std::string body;
-  char buf[4096];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
-  const bool readError = std::ferror(f) != 0;
-  std::fclose(f);
-  if (readError) throw std::runtime_error("cannot read checkpoint '" + path + "'");
-  out = parse_checkpoint(body);
+  const runtime::DurableLoad loaded = runtime::load_durable(path);
+  if (!loaded.found) return false;
+  out = parse_checkpoint(loaded.payload);
   return true;
 }
 
@@ -227,7 +211,7 @@ void validate_checkpoint(const CampaignConfig& run, const CampaignConfig& loaded
   // %.17g round-trips exactly, so comparing re-rendered fingerprints is a
   // field-by-field equality check without a pile of epsilon comparisons.
   if (config_json(run) != config_json(loaded)) {
-    throw std::runtime_error(
+    throw runtime::ConfigMismatch(
         "checkpoint was written by a different campaign configuration; "
         "refusing to mix its trials into this run (delete the file or rerun "
         "with the original parameters)");

@@ -5,7 +5,6 @@
 #include <cstdarg>
 #include <cstdio>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 
 #include "cell/multibit_latch.hpp"
@@ -13,9 +12,7 @@
 #include "mtj/device.hpp"
 #include "reliability/checkpoint.hpp"
 #include "spice/trace.hpp"
-#include "util/log.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
 
 namespace nvff::reliability {
 
@@ -284,7 +281,10 @@ DesignTrialResult guarded(const char* what,
 
 } // namespace
 
-TrialResult run_trial(const CampaignConfig& config, int trialId) {
+TrialResult run_trial(const CampaignConfig& baseConfig, int trialId,
+                      const CancelToken* cancel) {
+  CampaignConfig config = baseConfig;
+  config.recovery.cancel = cancel; // threaded down into every Newton solve
   TrialResult trial;
   trial.trialId = trialId;
   const cell::Technology tech = cell::Technology::table1();
@@ -337,68 +337,74 @@ DesignSummary CampaignResult::summarize(Design design) const {
   return s;
 }
 
+CampaignRun run_campaign_supervised(const CampaignConfig& config,
+                                    const runtime::RunOptions& run,
+                                    const ProgressFn& progress) {
+  if (config.trials <= 0) throw std::runtime_error("campaign needs trials > 0");
+  CampaignRun out;
+  out.result.config = config;
+  out.result.trials.resize(static_cast<std::size_t>(config.trials));
+  std::vector<TrialResult>& slots = out.result.trials;
+
+  runtime::SupervisorConfig sup;
+  sup.trials = config.trials;
+  sup.threads = std::max(1, config.threads);
+  sup.run = run;
+  sup.progress = progress;
+
+  runtime::CampaignHooks hooks;
+  hooks.runTrial = [&](int t, const CancelToken& cancel) {
+    TrialResult r = run_trial(config, t, &cancel);
+    const bool cancelledSeen =
+        r.standard.solveStatus == SolveStatus::Cancelled ||
+        r.proposed.solveStatus == SolveStatus::Cancelled;
+    slots[static_cast<std::size_t>(t)] = std::move(r);
+    const TrialResult& stored = slots[static_cast<std::size_t>(t)];
+    if (cancelledSeen) {
+      // The watchdog reeled this trial in: record it as a timeout (its
+      // designs carry the cancelled solver status); a campaign-wide stop
+      // leaves it unrecorded so a resume re-runs it.
+      return cancel.reason() == CancelToken::Reason::Timeout
+                 ? runtime::TrialStatus::Timeout
+                 : runtime::TrialStatus::Cancelled;
+    }
+    if (stored.standard.outcome == TrialOutcome::Unclassified ||
+        stored.proposed.outcome == TrialOutcome::Unclassified)
+      // An unexpected exception may be environmental — worth one more shot
+      // before it is recorded (and then gates CI as usual).
+      return runtime::TrialStatus::Transient;
+    return runtime::TrialStatus::Ok;
+  };
+  hooks.serialize = [&](const std::vector<int>& doneIds) {
+    std::vector<TrialResult> finished;
+    finished.reserve(doneIds.size());
+    for (const int id : doneIds)
+      finished.push_back(slots[static_cast<std::size_t>(id)]);
+    return serialize_checkpoint(config, finished);
+  };
+  hooks.deserialize = [&](const std::string& payload) {
+    CheckpointData loaded = parse_checkpoint(payload);
+    validate_checkpoint(config, loaded.config);
+    std::vector<int> ids;
+    for (TrialResult& t : loaded.trials) {
+      if (t.trialId < 0 || t.trialId >= config.trials) continue;
+      ids.push_back(t.trialId);
+      slots[static_cast<std::size_t>(t.trialId)] = std::move(t);
+    }
+    return ids;
+  };
+
+  out.supervisor = runtime::run_supervised(sup, hooks);
+  return out;
+}
+
 CampaignResult run_campaign(const CampaignConfig& config,
                             const std::string& checkpointPath,
                             int checkpointEvery, const ProgressFn& progress) {
-  if (config.trials <= 0) throw std::runtime_error("campaign needs trials > 0");
-  CampaignResult result;
-  result.config = config;
-  result.trials.resize(static_cast<std::size_t>(config.trials));
-  std::vector<char> done(static_cast<std::size_t>(config.trials), 0);
-
-  if (!checkpointPath.empty()) {
-    CheckpointData loaded;
-    if (load_checkpoint_file(checkpointPath, loaded)) {
-      validate_checkpoint(config, loaded.config);
-      for (TrialResult& t : loaded.trials) {
-        if (t.trialId < 0 || t.trialId >= config.trials) continue;
-        result.trials[static_cast<std::size_t>(t.trialId)] = std::move(t);
-        done[static_cast<std::size_t>(t.trialId)] = 1;
-      }
-    }
-  }
-
-  std::mutex mu;
-  int completed = static_cast<int>(std::count(done.begin(), done.end(), 1));
-
-  // Serialize only finished slots, in trial order (checkpoints are as
-  // deterministic as the final report modulo which trials have finished).
-  auto snapshot_locked = [&] {
-    std::vector<TrialResult> finished;
-    for (std::size_t i = 0; i < done.size(); ++i)
-      if (done[i]) finished.push_back(result.trials[i]);
-    return finished;
-  };
-
-  ThreadPool pool(std::max(1, config.threads));
-  for (int t = 0; t < config.trials; ++t) {
-    if (done[static_cast<std::size_t>(t)]) continue;
-    pool.submit([&, t] {
-      TrialResult r = run_trial(config, t);
-      std::lock_guard<std::mutex> lock(mu);
-      result.trials[static_cast<std::size_t>(t)] = std::move(r);
-      done[static_cast<std::size_t>(t)] = 1;
-      ++completed;
-      if (progress) progress(completed, config.trials);
-      if (!checkpointPath.empty() && checkpointEvery > 0 &&
-          completed % checkpointEvery == 0 && completed < config.trials) {
-        // Best-effort from workers: an unwritable checkpoint must not kill
-        // the campaign mid-flight. The final write below reports errors.
-        try {
-          write_checkpoint_file(checkpointPath, config, snapshot_locked());
-        } catch (const std::exception& e) {
-          log_warn(fmt("checkpoint write failed: %s", e.what()));
-        }
-      }
-    });
-  }
-  pool.wait_idle();
-
-  if (!checkpointPath.empty()) {
-    std::lock_guard<std::mutex> lock(mu);
-    write_checkpoint_file(checkpointPath, config, snapshot_locked());
-  }
-  return result;
+  runtime::RunOptions run;
+  run.checkpointPath = checkpointPath;
+  run.checkpointEvery = checkpointEvery;
+  return run_campaign_supervised(config, run, progress).result;
 }
 
 std::string render_report(const CampaignResult& result) {

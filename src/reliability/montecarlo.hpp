@@ -28,6 +28,7 @@
 
 #include "cell/scenarios.hpp"
 #include "cell/technology.hpp"
+#include "runtime/supervisor.hpp"
 #include "spice/analysis.hpp"
 #include "util/stats.hpp"
 
@@ -117,20 +118,41 @@ struct CampaignResult {
   DesignSummary summarize(Design design) const;
 };
 
-/// Runs one trial (both designs). Never throws.
-TrialResult run_trial(const CampaignConfig& config, int trialId);
+/// Runs one trial (both designs). Never throws. When `cancel` is given it
+/// is threaded into the solver's RecoveryOptions, so a campaign watchdog
+/// can reel in a stuck trial (its designs then report SolveStatus::Cancelled).
+TrialResult run_trial(const CampaignConfig& config, int trialId,
+                      const CancelToken* cancel = nullptr);
 
 /// Progress hook: (completedTrials, totalTrials). Called under a lock, from
 /// worker threads, in completion order — do not rely on ordering for
 /// anything deterministic.
 using ProgressFn = std::function<void(int, int)>;
 
-/// Runs the whole campaign on a work-stealing pool of config.threads
-/// workers. When `checkpointPath` is non-empty, campaign state is written
-/// there as JSON every `checkpointEvery` completed trials (and once at the
-/// end); if the file already exists it is loaded first and finished trials
-/// are not re-run. Throws std::runtime_error only on checkpoint I/O or
-/// config-mismatch errors — never on solver trouble.
+/// A supervised campaign: the (possibly partial) results plus the runtime
+/// supervisor's account of how the run ended (completed / interrupted /
+/// deadline), its timeout count, and the resumability exit code.
+struct CampaignRun {
+  CampaignResult result;
+  runtime::SupervisorOutcome supervisor;
+};
+
+/// Runs the campaign on the shared runtime supervisor: work-stealing pool
+/// of config.threads workers, durable CRC-checked checkpoints (two
+/// generations, corrupt files quarantined), per-trial watchdog and campaign
+/// deadline via `run`, SIGINT/SIGTERM drain when `run.installSignalHandlers`
+/// is set. Throws std::runtime_error only on fatal conditions (checkpoint
+/// fingerprint mismatch, final-commit I/O failure, --resume with nothing to
+/// resume) — never on solver trouble.
+CampaignRun run_campaign_supervised(const CampaignConfig& config,
+                                    const runtime::RunOptions& run,
+                                    const ProgressFn& progress = nullptr);
+
+/// Legacy entry point: runs to completion with no watchdogs or signal
+/// handling. When `checkpointPath` is non-empty, campaign state is written
+/// there every `checkpointEvery` completed trials (and once at the end); if
+/// the file already exists it is loaded first and finished trials are not
+/// re-run. Semantics otherwise match run_campaign_supervised.
 CampaignResult run_campaign(const CampaignConfig& config,
                             const std::string& checkpointPath = "",
                             int checkpointEvery = 16,

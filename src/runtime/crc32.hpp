@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3: reflected, polynomial 0xEDB88320, init/xorout
+// 0xFFFFFFFF) — the checksum guarding checkpoint envelopes. Standard test
+// vector: crc32("123456789") == 0xCBF43926.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nvff::runtime {
+
+std::uint32_t crc32(const void* data, std::size_t size);
+
+inline std::uint32_t crc32(const std::string& bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+} // namespace nvff::runtime

@@ -1,0 +1,176 @@
+#include "runtime/durable_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "runtime/crc32.hpp"
+
+namespace nvff::runtime {
+
+namespace {
+
+constexpr const char kMagic[] = "NVFFCKPT ";
+constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
+
+std::string errno_text() { return std::strerror(errno); }
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return; // not fatal: some filesystems refuse O_RDONLY on dirs
+  ::fsync(fd);
+  ::close(fd);
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Reads the whole file. Returns false when it does not exist; throws on a
+/// hard read error.
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    if (errno == ENOENT) return false;
+    throw std::runtime_error("cannot open '" + path + "': " + errno_text());
+  }
+  out.clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool readError = std::ferror(f) != 0;
+  std::fclose(f);
+  if (readError)
+    throw std::runtime_error("cannot read '" + path + "': " + errno_text());
+  return true;
+}
+
+} // namespace
+
+std::string envelope_wrap(const std::string& payload) {
+  char header[64];
+  std::snprintf(header, sizeof(header), "%s1 %08x %zu\n", kMagic,
+                crc32(payload), payload.size());
+  std::string out;
+  out.reserve(std::strlen(header) + payload.size());
+  out += header;
+  out += payload;
+  return out;
+}
+
+bool is_enveloped(const std::string& text) {
+  return text.compare(0, kMagicLen, kMagic) == 0;
+}
+
+std::string envelope_unwrap(const std::string& text) {
+  if (!is_enveloped(text))
+    throw std::runtime_error("checkpoint envelope: missing magic");
+  const std::size_t eol = text.find('\n', kMagicLen);
+  if (eol == std::string::npos)
+    throw std::runtime_error("checkpoint envelope: truncated header");
+  unsigned version = 0;
+  unsigned long crc = 0;
+  unsigned long long bytes = 0;
+  const std::string header = text.substr(kMagicLen, eol - kMagicLen);
+  if (std::sscanf(header.c_str(), "%u %lx %llu", &version, &crc, &bytes) != 3)
+    throw std::runtime_error("checkpoint envelope: malformed header");
+  if (version != 1)
+    throw std::runtime_error("checkpoint envelope: unsupported version");
+  const std::string payload = text.substr(eol + 1);
+  if (payload.size() != bytes)
+    throw std::runtime_error("checkpoint envelope: size mismatch (truncated?)");
+  if (crc32(payload) != static_cast<std::uint32_t>(crc))
+    throw std::runtime_error("checkpoint envelope: CRC mismatch (corrupt)");
+  return payload;
+}
+
+void commit_durable(const std::string& path, const std::string& payload) {
+  const std::string body = envelope_wrap(payload);
+  const std::string tmp = path + ".tmp";
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f)
+    throw std::runtime_error("cannot write '" + tmp + "': " + errno_text());
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  // fsync BEFORE the rename: rename orders metadata, not data, so without
+  // this a crash can leave a correctly-named file full of nothing.
+  const bool flushed = written == body.size() && std::fflush(f) == 0 &&
+                       ::fsync(fileno(f)) == 0;
+  if (std::fclose(f) != 0 || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("short write to '" + tmp + "'");
+  }
+
+  // Rotate the current generation to `.1`. If we crash after this rename
+  // the current file is momentarily missing — load_durable falls back to
+  // the rotated copy, so the window is safe.
+  if (file_exists(path)) {
+    const std::string prev = path + ".1";
+    if (std::rename(path.c_str(), prev.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("cannot rotate '" + path + "': " + errno_text());
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot replace '" + path + "': " + errno_text());
+  }
+  // And fsync the directory so the rename itself survives a power cut.
+  fsync_dir(parent_dir(path));
+}
+
+bool quarantine_file(const std::string& path) {
+  const std::string dest = path + ".corrupt";
+  std::remove(dest.c_str());
+  return std::rename(path.c_str(), dest.c_str()) == 0;
+}
+
+DurableLoad load_durable(const std::string& path) {
+  DurableLoad out;
+  const std::string candidates[2] = {path, path + ".1"};
+  for (int gen = 0; gen < 2; ++gen) {
+    std::string text;
+    if (!read_file(candidates[gen], text)) continue;
+    if (!is_enveloped(text)) {
+      // Legacy bare payload: accepted, but with no integrity claim — the
+      // caller's schema parse is the only guard.
+      out.found = true;
+      out.payload = std::move(text);
+      out.source = candidates[gen];
+      out.generation = gen;
+      out.checksummed = false;
+      return out;
+    }
+    try {
+      out.payload = envelope_unwrap(text);
+    } catch (const std::exception&) {
+      // Report where the evidence ended up (falling back to the original
+      // path if the move itself failed) so post-mortems can find it.
+      out.quarantined.push_back(quarantine_file(candidates[gen])
+                                    ? candidates[gen] + ".corrupt"
+                                    : candidates[gen]);
+      continue;
+    }
+    out.found = true;
+    out.source = candidates[gen];
+    out.generation = gen;
+    out.checksummed = true;
+    return out;
+  }
+  return out;
+}
+
+} // namespace nvff::runtime

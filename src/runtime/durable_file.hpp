@@ -1,0 +1,65 @@
+// Durable, checksummed file commits for campaign checkpoints.
+//
+// A checkpoint that does not survive the crash it exists for is decoration.
+// This writer makes three guarantees the hand-rolled fopen/rename code in
+// the campaign engines never did:
+//
+//  1. DURABILITY — the payload is flushed with fsync before the rename, and
+//     the parent directory is fsynced after it, so a power cut cannot leave
+//     the committed generation in a kernel buffer that never hit the disk.
+//  2. INTEGRITY — the payload travels inside a one-line envelope
+//         NVFFCKPT 1 <crc32:8-hex> <payload-bytes>\n<payload>
+//     so a torn write, a truncation, or a flipped bit is *detected* at load
+//     time instead of being parsed into silently wrong statistics.
+//  3. RECOVERY — every commit first rotates the current file to `<path>.1`,
+//     keeping two generations. A corrupt generation is quarantined (renamed
+//     to `<file>.corrupt` for post-mortem) and the loader falls back to the
+//     previous one rather than aborting the campaign.
+//
+// Files written before the envelope existed (bare JSON) are still accepted:
+// a payload without the magic is returned as-is, with no checksum claim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nvff::runtime {
+
+/// Result of load_durable: which generation was read and what got set aside.
+struct DurableLoad {
+  bool found = false;     ///< an intact payload was loaded
+  std::string payload;    ///< envelope stripped (or the bare legacy body)
+  std::string source;     ///< the file the payload came from
+  int generation = 0;     ///< 0 = current, 1 = previous
+  bool checksummed = false; ///< payload was protected by an envelope CRC
+  std::vector<std::string> quarantined; ///< where corrupt files were moved
+};
+
+/// Wraps `payload` in the checksummed envelope.
+std::string envelope_wrap(const std::string& payload);
+
+/// True when `text` starts with the envelope magic.
+bool is_enveloped(const std::string& text);
+
+/// Strips and verifies the envelope; throws std::runtime_error on a bad
+/// header, size mismatch (truncation) or CRC mismatch (corruption).
+std::string envelope_unwrap(const std::string& text);
+
+/// Commits `payload` to `path` durably: write `<path>.tmp` + fsync, rotate
+/// the current file to `<path>.1`, rename the temp into place, fsync the
+/// parent directory. Throws std::runtime_error on I/O failure (the previous
+/// generations are left untouched in that case).
+void commit_durable(const std::string& path, const std::string& payload);
+
+/// Loads the newest intact generation of `path` (current, then `<path>.1`).
+/// Corrupt generations are renamed to `<file>.corrupt` and reported in
+/// `quarantined`; they never abort the load. Throws std::runtime_error only
+/// on a hard read error (permissions, I/O).
+DurableLoad load_durable(const std::string& path);
+
+/// Moves `path` aside to `<path>.corrupt` (best effort; returns false when
+/// the rename fails). Used by callers whose *schema-level* parse rejects a
+/// payload that passed the CRC (e.g. a legacy un-checksummed file).
+bool quarantine_file(const std::string& path);
+
+} // namespace nvff::runtime

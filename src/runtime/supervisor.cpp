@@ -1,0 +1,290 @@
+#include "runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "runtime/durable_file.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nvff::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Signal flag shared with the handler. std::atomic<int> is lock-free for int
+// on every platform we build on, which makes it async-signal-safe here.
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+/// Installs SIGINT/SIGTERM handlers for the duration of a scope.
+class SignalScope {
+public:
+  explicit SignalScope(bool install) : installed_(install) {
+    if (!installed_) return;
+    g_signal.store(0, std::memory_order_relaxed);
+    prevInt_ = std::signal(SIGINT, on_signal);
+    prevTerm_ = std::signal(SIGTERM, on_signal);
+  }
+  ~SignalScope() {
+    if (!installed_) return;
+    std::signal(SIGINT, prevInt_);
+    std::signal(SIGTERM, prevTerm_);
+  }
+  SignalScope(const SignalScope&) = delete;
+  SignalScope& operator=(const SignalScope&) = delete;
+
+private:
+  bool installed_;
+  void (*prevInt_)(int) = SIG_DFL;
+  void (*prevTerm_)(int) = SIG_DFL;
+};
+
+/// A trial currently executing, visible to the watchdog.
+struct ActiveTrial {
+  CancelToken* token = nullptr;
+  Clock::time_point deadline{};
+  bool hasDeadline = false;
+};
+
+} // namespace
+
+const char* trial_status_name(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::Ok: return "ok";
+    case TrialStatus::Transient: return "transient";
+    case TrialStatus::Permanent: return "permanent";
+    case TrialStatus::Timeout: return "timeout";
+    case TrialStatus::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+const char* stop_cause_name(StopCause cause) {
+  switch (cause) {
+    case StopCause::Completed: return "completed";
+    case StopCause::Interrupted: return "interrupted";
+    case StopCause::DeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
+}
+
+SupervisorOutcome run_supervised(const SupervisorConfig& config,
+                                 const CampaignHooks& hooks) {
+  if (config.trials <= 0)
+    throw std::runtime_error("supervisor: campaign needs trials > 0");
+  if (!hooks.runTrial)
+    throw std::runtime_error("supervisor: runTrial hook is required");
+  const std::string& path = config.run.checkpointPath;
+  if (!path.empty() && (!hooks.serialize || !hooks.deserialize))
+    throw std::runtime_error(
+        "supervisor: checkpointing needs serialize + deserialize hooks");
+
+  SupervisorOutcome outcome;
+  outcome.trialsTotal = config.trials;
+
+  const auto total = static_cast<std::size_t>(config.trials);
+  std::vector<char> done(total, 0);
+  std::mutex mu; // guards done/completed/outcome counters + checkpoint writes
+  int completed = 0;
+
+  // --- resume -------------------------------------------------------------
+  // Walk generations newest-first. CRC failures are quarantined inside
+  // load_durable; a payload that passes the CRC but fails the engine's
+  // schema parse (possible for legacy un-checksummed files) is quarantined
+  // here and the next generation is tried. A fingerprint mismatch is fatal.
+  if (!path.empty()) {
+    for (;;) {
+      DurableLoad loaded = load_durable(path);
+      outcome.quarantined.insert(outcome.quarantined.end(),
+                                 loaded.quarantined.begin(),
+                                 loaded.quarantined.end());
+      if (!loaded.found) break;
+      try {
+        const std::vector<int> ids = hooks.deserialize(loaded.payload);
+        for (const int id : ids) {
+          if (id < 0 || id >= config.trials) continue;
+          if (!done[static_cast<std::size_t>(id)]) {
+            done[static_cast<std::size_t>(id)] = 1;
+            ++completed;
+          }
+        }
+        outcome.trialsResumed = completed;
+        break;
+      } catch (const ConfigMismatch&) {
+        throw;
+      } catch (const std::exception& e) {
+        log_warn("checkpoint '" + loaded.source + "' rejected (" + e.what() +
+                 "); quarantining and falling back");
+        outcome.quarantined.push_back(quarantine_file(loaded.source)
+                                          ? loaded.source + ".corrupt"
+                                          : loaded.source);
+      }
+    }
+    if (config.run.requireResume && outcome.trialsResumed == 0 &&
+        completed == 0)
+      throw std::runtime_error("--resume: no usable checkpoint at '" + path +
+                               "'");
+  }
+
+  auto checkpoint_locked = [&] {
+    std::vector<int> ids;
+    ids.reserve(static_cast<std::size_t>(completed));
+    for (std::size_t i = 0; i < total; ++i)
+      if (done[i]) ids.push_back(static_cast<int>(i));
+    commit_durable(path, hooks.serialize(ids));
+  };
+
+  // --- watchdog + drain state ---------------------------------------------
+  SignalScope signals(config.run.installSignalHandlers);
+  CancelToken campaignCancel; // raised only by the campaign deadline
+  std::atomic<bool> draining{false};     // skip queued trials, finish in-flight
+  std::atomic<bool> deadlineHit{false};
+  std::atomic<bool> signalSeen{false};
+
+  const bool haveDeadline = config.run.deadlineSeconds > 0.0;
+  const auto campaignDeadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             haveDeadline ? config.run.deadlineSeconds : 0.0));
+  const bool haveTrialTimeout = config.run.trialTimeoutSeconds > 0.0;
+  const auto trialBudget = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(
+          haveTrialTimeout ? config.run.trialTimeoutSeconds : 0.0));
+
+  std::mutex activeMu;
+  std::unordered_map<int, ActiveTrial> active;
+
+  std::atomic<bool> watchdogStop{false};
+  std::thread watchdog([&] {
+    while (!watchdogStop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (g_signal.load(std::memory_order_relaxed) != 0 &&
+          !signalSeen.exchange(true)) {
+        draining.store(true, std::memory_order_relaxed);
+        log_warn("interrupted: draining in-flight trials, then checkpointing");
+      }
+      const auto now = Clock::now();
+      if (haveDeadline && now >= campaignDeadline &&
+          !deadlineHit.exchange(true)) {
+        draining.store(true, std::memory_order_relaxed);
+        // Unlike a drain, the deadline also reels in in-flight trials: a
+        // budget is a budget.
+        campaignCancel.cancel(CancelToken::Reason::Cancelled);
+      }
+      if (haveTrialTimeout) {
+        std::lock_guard<std::mutex> lock(activeMu);
+        for (auto& [id, trial] : active)
+          if (trial.hasDeadline && now >= trial.deadline)
+            trial.token->cancel(CancelToken::Reason::Timeout);
+      }
+    }
+  });
+
+  // --- work loop ----------------------------------------------------------
+  {
+    ThreadPool pool(static_cast<unsigned>(std::max(1, config.threads)));
+    for (int t = 0; t < config.trials; ++t) {
+      if (done[static_cast<std::size_t>(t)]) continue;
+      pool.submit([&, t] {
+        int attempts = 0;
+        double backoff = config.retryBackoffSeconds;
+        for (;;) {
+          if (draining.load(std::memory_order_relaxed)) return;
+
+          CancelToken token(&campaignCancel);
+          if (haveTrialTimeout) {
+            std::lock_guard<std::mutex> lock(activeMu);
+            active[t] = ActiveTrial{&token, Clock::now() + trialBudget, true};
+          }
+          TrialStatus status;
+          try {
+            status = hooks.runTrial(t, token);
+          } catch (const std::exception& e) {
+            // The hook contract says "never throw"; treat a breach as a
+            // permanently failed trial rather than killing the campaign.
+            log_warn("trial hook threw: " + std::string(e.what()));
+            status = TrialStatus::Permanent;
+          }
+          if (haveTrialTimeout) {
+            std::lock_guard<std::mutex> lock(activeMu);
+            active.erase(t);
+          }
+
+          if (status == TrialStatus::Cancelled) return; // re-run on resume
+
+          if (status == TrialStatus::Transient &&
+              ++attempts < config.maxTrialAttempts &&
+              !draining.load(std::memory_order_relaxed)) {
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              ++outcome.transientRetries;
+            }
+            // Interruptible backoff: a drain must not wait out the sleep.
+            auto remaining = std::chrono::duration<double>(backoff);
+            while (remaining.count() > 0.0 &&
+                   !draining.load(std::memory_order_relaxed)) {
+              const auto slice = std::min(
+                  remaining, std::chrono::duration<double>(0.005));
+              std::this_thread::sleep_for(slice);
+              remaining -= slice;
+            }
+            backoff = std::min(backoff * 2.0, config.retryBackoffCapSeconds);
+            continue;
+          }
+
+          std::lock_guard<std::mutex> lock(mu);
+          done[static_cast<std::size_t>(t)] = 1;
+          ++completed;
+          if (status == TrialStatus::Timeout) ++outcome.timeouts;
+          if (status == TrialStatus::Permanent ||
+              status == TrialStatus::Transient)
+            ++outcome.permanents; // Transient here = retries exhausted
+          if (config.progress) config.progress(completed, config.trials);
+          if (!path.empty() && config.run.checkpointEvery > 0 &&
+              completed % config.run.checkpointEvery == 0 &&
+              completed < config.trials) {
+            // Best-effort from workers: a transiently unwritable checkpoint
+            // must not kill the campaign. The final commit below throws.
+            try {
+              checkpoint_locked();
+            } catch (const std::exception& e) {
+              log_warn("checkpoint write failed: " + std::string(e.what()));
+            }
+          }
+          return;
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  watchdogStop.store(true, std::memory_order_relaxed);
+  watchdog.join();
+
+  // --- final commit + outcome ---------------------------------------------
+  std::lock_guard<std::mutex> lock(mu);
+  outcome.trialsDone = completed;
+  if (deadlineHit.load(std::memory_order_relaxed))
+    outcome.cause = StopCause::DeadlineExceeded;
+  else if (signalSeen.load(std::memory_order_relaxed) ||
+           completed < config.trials)
+    outcome.cause = StopCause::Interrupted;
+  else
+    outcome.cause = StopCause::Completed;
+
+  if (!path.empty()) {
+    checkpoint_locked(); // throws on I/O failure: callers must know
+    outcome.checkpointWritten = true;
+  }
+  return outcome;
+}
+
+} // namespace nvff::runtime

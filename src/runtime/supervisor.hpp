@@ -1,0 +1,142 @@
+// Unified campaign supervisor: one resilient trial-execution runtime that
+// every campaign engine (Monte-Carlo reliability, power-fail injection, and
+// whatever comes next) runs on instead of hand-rolling its own pool loop,
+// checkpoint cadence, and failure handling.
+//
+// The supervisor owns:
+//  * the WORK LOOP — a work-stealing pool over trial ids, a done-mask, and
+//    slot-ordered bookkeeping so engine output stays bit-identical at any
+//    thread count (the engine's determinism contract is untouched: the
+//    supervisor schedules WHEN trials run, never WHAT they compute);
+//  * DURABLE CHECKPOINTS — periodic and final commits through
+//    runtime/durable_file (CRC envelope, fsync, two generations), with
+//    corrupt generations quarantined and the previous one recovered;
+//  * WATCHDOGS — a monitor thread enforcing a wall-clock deadline per trial
+//    and one for the whole campaign, cancelling stuck trials through a
+//    cooperative CancelToken threaded down into the SPICE Newton loop;
+//  * GRACEFUL INTERRUPTION — SIGINT/SIGTERM drain in-flight trials, write a
+//    final checkpoint, and surface kExitInterrupted (75, sysexits'
+//    EX_TEMPFAIL) so callers know the run is resumable by construction.
+//
+// Structured error taxonomy (TrialStatus, returned by the engine hook):
+//   Ok        — trial finished and classified; recorded as done.
+//   Transient — environmental hiccup worth retrying; retried with capped
+//               exponential backoff, then recorded (give-up counts as
+//               permanent).
+//   Permanent — deterministic failure the engine already folded into its
+//               result slot; recorded as done, campaign continues.
+//   Timeout   — the per-trial watchdog cancelled it; recorded as done with
+//               a distinct count so a hung solver never stalls a campaign.
+//   Cancelled — campaign-wide stop (global deadline) reached it mid-flight;
+//               NOT recorded, so a resumed campaign re-runs it.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/cancellation.hpp"
+
+namespace nvff::runtime {
+
+// --- exit-code contract (shared by every campaign CLI) ----------------------
+// Documented in README "Crash safety & resumption"; pinned by tests/cli.
+constexpr int kExitOk = 0;          ///< campaign completed (gates passed)
+constexpr int kExitFatal = 1;       ///< hard error; nothing resumable written
+constexpr int kExitUsage = 2;       ///< bad command line
+constexpr int kExitGateFailed = 3;  ///< completed, but --fail-on-* tripped
+constexpr int kExitInterrupted = 75;///< interrupted, checkpoint written (EX_TEMPFAIL)
+
+/// Outcome of one trial attempt, as classified by the engine hook.
+enum class TrialStatus { Ok, Transient, Permanent, Timeout, Cancelled };
+const char* trial_status_name(TrialStatus status);
+
+/// Thrown by an engine's deserialize hook when a checkpoint was produced by
+/// an incompatible campaign configuration. FATAL: unlike corruption, a
+/// fingerprint mismatch means the file is intact but belongs to a different
+/// experiment, so silently mixing or discarding it would be wrong either way.
+class ConfigMismatch : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The CLI-facing knobs `nvfftool mc` and `nvfftool powerfail` share.
+struct RunOptions {
+  std::string checkpointPath; ///< empty = no checkpointing
+  int checkpointEvery = 16;   ///< commit cadence in completed trials
+  bool requireResume = false; ///< --resume: error out if nothing loadable
+  double trialTimeoutSeconds = 0.0; ///< per-trial watchdog; 0 = off
+  double deadlineSeconds = 0.0;     ///< campaign wall-clock budget; 0 = off
+  bool installSignalHandlers = false; ///< SIGINT/SIGTERM drain (CLI only)
+};
+
+struct SupervisorConfig {
+  int trials = 0;
+  int threads = 1;
+  RunOptions run;
+  /// Attempts per trial for Transient statuses (1 = no retry).
+  int maxTrialAttempts = 3;
+  /// Exponential backoff between transient retries: first wait, doubling,
+  /// capped. Sleeps are interruptible by drain.
+  double retryBackoffSeconds = 0.05;
+  double retryBackoffCapSeconds = 1.0;
+  /// (completedTrials, totalTrials), under the supervisor lock, in
+  /// completion order — for progress display only.
+  std::function<void(int, int)> progress;
+};
+
+/// How an engine plugs into the supervisor. All three hooks are required
+/// when checkpointing is enabled; runTrial always.
+struct CampaignHooks {
+  /// Runs trial `trialId`, writing its result into the engine's slot
+  /// `trialId` (slots never alias, so no lock is needed). Must poll
+  /// `cancel` (thread it into the solver's RecoveryOptions) and must not
+  /// throw — classify instead.
+  std::function<TrialStatus(int trialId, const CancelToken& cancel)> runTrial;
+  /// Serializes the slots named by `doneIds` (sorted ascending) into the
+  /// engine's checkpoint payload. Called under the supervisor lock.
+  std::function<std::string(const std::vector<int>& doneIds)> serialize;
+  /// Parses a payload, fills the engine's slots, and returns the finished
+  /// trial ids. Throw ConfigMismatch for a fingerprint mismatch (fatal);
+  /// any other exception marks the payload corrupt — the supervisor
+  /// quarantines the file and falls back to the previous generation.
+  std::function<std::vector<int>(const std::string& payload)> deserialize;
+};
+
+/// Why the supervisor returned.
+enum class StopCause {
+  Completed,        ///< every trial recorded
+  Interrupted,      ///< SIGINT/SIGTERM drain
+  DeadlineExceeded, ///< campaign wall-clock budget spent
+};
+const char* stop_cause_name(StopCause cause);
+
+struct SupervisorOutcome {
+  StopCause cause = StopCause::Completed;
+  int trialsTotal = 0;
+  int trialsDone = 0;    ///< recorded in the done-mask (includes resumed)
+  int trialsResumed = 0; ///< loaded from a checkpoint before any ran
+  long timeouts = 0;          ///< trials the per-trial watchdog cancelled
+  long transientRetries = 0;  ///< extra attempts spent on Transient
+  long permanents = 0;        ///< Permanent + retry-exhausted Transient
+  bool checkpointWritten = false; ///< a final durable commit succeeded
+  std::vector<std::string> quarantined; ///< corrupt files moved aside on load
+
+  bool completed() const { return trialsDone == trialsTotal; }
+  /// The documented process exit code for this outcome: 0 when complete,
+  /// 75 when interrupted with a resumable checkpoint on disk, 1 otherwise.
+  int exit_code() const {
+    if (completed()) return kExitOk;
+    return checkpointWritten ? kExitInterrupted : kExitFatal;
+  }
+};
+
+/// Runs a campaign under supervision. Throws std::runtime_error on fatal
+/// conditions only: bad config, checkpoint fingerprint mismatch
+/// (ConfigMismatch), final-checkpoint I/O failure, or --resume with nothing
+/// to resume. Trial failures NEVER throw — that is what the taxonomy is for.
+SupervisorOutcome run_supervised(const SupervisorConfig& config,
+                                 const CampaignHooks& hooks);
+
+} // namespace nvff::runtime

@@ -39,6 +39,7 @@ const char* solve_status_name(SolveStatus status) {
     case SolveStatus::BudgetExhausted: return "budget-exhausted";
     case SolveStatus::DeadlineExceeded: return "deadline-exceeded";
     case SolveStatus::InvalidOptions: return "invalid-options";
+    case SolveStatus::Cancelled: return "cancelled";
   }
   return "?";
 }
@@ -84,6 +85,13 @@ Simulator::NewtonOutcome Simulator::newton_solve(std::vector<double>& x,
 
   NewtonOutcome outcome;
   for (int iter = 0; iter < options.maxIterations; ++iter) {
+    // Cooperative cancellation boundary: one atomic load per iteration is
+    // noise next to the matrix factorization, and it is what lets a campaign
+    // watchdog reel in a divergent solve within its trial deadline.
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      outcome.failure = SolveStatus::Cancelled;
+      return outcome;
+    }
     ++stats_.totalNewtonIterations;
     ++report_.iterations;
     outcome.iterations = iter + 1;
@@ -155,6 +163,8 @@ SolveStatus Simulator::dc_with_recovery(std::vector<double>& x,
   if (direct.converged) return SolveStatus::Converged;
   note_failure(direct);
   SolveStatus lastFailure = direct.failure;
+  // Cancellation outranks the ladder: nothing below can rescue the solve.
+  if (lastFailure == SolveStatus::Cancelled) return lastFailure;
 
   // Rung 1: gmin stepping from a heavily regularized solution down to the
   // target gmin, warm-starting each level from the previous one.
@@ -177,6 +187,7 @@ SolveStatus Simulator::dc_with_recovery(std::vector<double>& x,
       ++report_.gminSteps;
       if (stepped.gmin <= options.gmin) break;
     }
+    if (lastFailure == SolveStatus::Cancelled) return lastFailure;
     if (ok) {
       // Final polish exactly at the target gmin.
       stepped.gmin = options.gmin;
@@ -216,6 +227,7 @@ SolveStatus Simulator::dc_with_recovery(std::vector<double>& x,
 SolveReport Simulator::solve_dc(Solution& out, const NewtonOptions& options,
                                 const RecoveryOptions& recovery) {
   report_ = SolveReport{};
+  cancel_ = recovery.cancel;
   std::vector<double> x(circuit_.num_unknowns(), 0.0);
   report_.status = dc_with_recovery(x, options, recovery);
   if (report_.ok()) {
@@ -257,6 +269,7 @@ SolveReport Simulator::run_transient_from(const Solution& initial,
                                           const Observer& observer,
                                           const RecoveryOptions& recovery) {
   report_ = SolveReport{};
+  cancel_ = recovery.cancel;
   if (options.tStop <= 0.0 || options.dt <= 0.0) {
     report_.status = SolveStatus::InvalidOptions;
     report_.message = "transient: tStop and dt must be positive";
@@ -309,8 +322,11 @@ SolveReport Simulator::run_transient_from(const Solution& initial,
     bool done = attempt(1, options.newton, lastFail);
     int pieces = 1;
     bool aborted = false;
-    if (!done && recovery.timestepBackoff) {
+    if (!done && recovery.timestepBackoff &&
+        lastFail.failure != SolveStatus::Cancelled) {
       for (int round = 1; round <= options.maxSubdivisions && !done; ++round) {
+        // A cancelled attempt cannot be rescued by a finer step.
+        if (lastFail.failure == SolveStatus::Cancelled) break;
         if (deadline.exceeded()) {
           report_.status = SolveStatus::DeadlineExceeded;
           aborted = true;
@@ -334,7 +350,8 @@ SolveReport Simulator::run_transient_from(const Solution& initial,
 
     // Rung 2: gmin rescue — retry the finest subdivision with a temporarily
     // raised gmin, then re-polish at the target gmin.
-    if (!done && !aborted && recovery.gminStepping) {
+    if (!done && !aborted && recovery.gminStepping &&
+        lastFail.failure != SolveStatus::Cancelled) {
       if (deadline.exceeded()) {
         report_.status = SolveStatus::DeadlineExceeded;
         aborted = true;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "util/cancellation.hpp"
 
 namespace nvff::spice {
 
@@ -64,6 +65,7 @@ enum class SolveStatus {
   BudgetExhausted, ///< recovery ladder ran out of retry budget
   DeadlineExceeded,///< wall-clock deadline hit mid-recovery
   InvalidOptions,  ///< caller error (e.g. non-positive tStop/dt)
+  Cancelled,       ///< a CancelToken fired (trial watchdog / campaign stop)
 };
 const char* solve_status_name(SolveStatus status);
 
@@ -83,6 +85,11 @@ struct RecoveryOptions {
   /// Wall-clock deadline for the whole analysis in seconds; 0 disables.
   /// NOT deterministic — leave off when bit-identical reruns matter.
   double deadlineSeconds = 0.0;
+  /// Cooperative cancellation, polled once per Newton iteration. When the
+  /// token fires the solve stops at the next iteration boundary with
+  /// SolveStatus::Cancelled. Not owned; must outlive the analysis. Like the
+  /// deadline, cancellation makes outcomes wall-clock dependent.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Outcome + diagnostics of one analysis (DC or full transient).
@@ -213,6 +220,8 @@ private:
   std::vector<double> rhs_;
   Stats stats_;
   SolveReport report_;
+  /// Active cancellation token for the analysis in flight (not owned).
+  const CancelToken* cancel_ = nullptr;
 };
 
 } // namespace nvff::spice

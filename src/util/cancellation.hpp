@@ -1,0 +1,66 @@
+// Cooperative cancellation for long-running solves and campaign trials.
+//
+// A CancelToken is a tiny shared flag a watchdog (or signal handler, or
+// campaign deadline) raises and a worker polls at safe points: the SPICE
+// Newton loop checks it once per iteration, campaign trials check it between
+// phases. Cancellation is always cooperative — nothing is killed mid-stamp,
+// so circuit and device state stay consistent and the observer never sees a
+// half-committed step.
+//
+// Tokens form a two-level hierarchy: a trial-scoped token can point at a
+// campaign-scoped parent, and `cancelled()` fires when either level is
+// raised. The reason distinguishes the structured error taxonomy the
+// runtime supervisor records:
+//
+//   Timeout   — a per-trial watchdog deadline expired; the trial is recorded
+//               as a distinct `timeout` outcome and the campaign continues.
+//   Cancelled — campaign-wide stop (global deadline or drain); the trial is
+//               NOT recorded, so a resumed campaign re-runs it.
+//
+// Thread safety: cancel() may race with cancelled()/reason() freely; the
+// flag is monotonic (never un-raised) and the first reason wins.
+#pragma once
+
+#include <atomic>
+
+namespace nvff {
+
+class CancelToken {
+public:
+  enum class Reason { None, Timeout, Cancelled };
+
+  CancelToken() = default;
+  /// Trial-scoped token observing a campaign-scoped parent.
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Raises the token. Idempotent; the first reason is kept.
+  void cancel(Reason reason = Reason::Cancelled) {
+    Reason expected = Reason::None;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_relaxed);
+    raised_.store(true, std::memory_order_release);
+  }
+
+  /// True when this token or its parent has been raised.
+  bool cancelled() const {
+    if (raised_.load(std::memory_order_acquire)) return true;
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+  /// Why the token fired: own reason first, then the parent's.
+  Reason reason() const {
+    const Reason own = reason_.load(std::memory_order_relaxed);
+    if (own != Reason::None) return own;
+    return parent_ != nullptr ? parent_->reason() : Reason::None;
+  }
+
+private:
+  std::atomic<bool> raised_{false};
+  std::atomic<Reason> reason_{Reason::None};
+  const CancelToken* parent_ = nullptr;
+};
+
+} // namespace nvff

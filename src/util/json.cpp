@@ -41,6 +41,11 @@ const std::string& Value::as_str() const {
 
 namespace {
 
+/// Recursion cap. Checkpoints nest 4-5 levels; 64 leaves headroom for any
+/// legitimate schema while keeping adversarial "[[[[..." input from
+/// overflowing the stack.
+constexpr int kMaxDepth = 64;
+
 class Parser {
 public:
   Parser(const std::string& s, const std::string& what) : s_(s), what_(what) {}
@@ -58,6 +63,15 @@ private:
     throw std::runtime_error(what_ + ": " + std::string(what) + " at offset " +
                              std::to_string(pos_));
   }
+
+  /// Bumps the nesting depth for one object/array scope.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : p(parser) {
+      if (++p.depth_ > kMaxDepth) p.fail("nesting too deep");
+    }
+    ~DepthGuard() { --p.depth_; }
+    Parser& p;
+  };
 
   void skip_ws() {
     while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
@@ -115,6 +129,7 @@ private:
   }
 
   Value parse_object() {
+    const DepthGuard depth(*this);
     expect('{');
     Value v;
     v.kind = Value::Kind::Obj;
@@ -140,6 +155,7 @@ private:
   }
 
   Value parse_array() {
+    const DepthGuard depth(*this);
     expect('[');
     Value v;
     v.kind = Value::Kind::Arr;
@@ -202,21 +218,42 @@ private:
     }
   }
 
+  bool digit_here() {
+    return pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]));
+  }
+
+  // Strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+  // strtod alone is far too permissive — it takes "+1", ".5", "1.", "0x10",
+  // "inf", "nan" — and a checkpoint loader has no business guessing what a
+  // torn file meant.
   Value parse_number() {
     const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
-            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) fail("expected a value");
-    const std::string token = s_.substr(start, pos_ - start);
-    char* end = nullptr;
-    errno = 0;
-    const double v = std::strtod(token.c_str(), &end);
-    // ERANGE underflow (subnormals) still round-trips exactly; only a
-    // partial parse or an overflow to infinity is malformed.
-    if (end != token.c_str() + token.size() || (errno == ERANGE && std::isinf(v)))
+    if (s_[pos_] == '-') ++pos_;
+    if (!digit_here()) {
+      if (pos_ == start) fail("expected a value");
       fail("malformed number");
+    }
+    const std::size_t intStart = pos_;
+    while (digit_here()) ++pos_;
+    if (s_[intStart] == '0' && pos_ - intStart > 1)
+      fail("malformed number (leading zero)");
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (!digit_here()) fail("malformed number");
+      while (digit_here()) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digit_here()) fail("malformed number");
+      while (digit_here()) ++pos_;
+    }
+    const std::string token = s_.substr(start, pos_ - start);
+    errno = 0;
+    const double v = std::strtod(token.c_str(), nullptr);
+    // ERANGE underflow (subnormals) still round-trips exactly; an overflow
+    // to infinity would break the writer's finite-or-null invariant.
+    if (errno == ERANGE && std::isinf(v)) fail("number overflows a double");
     Value j;
     j.kind = Value::Kind::Num;
     j.number = v;
@@ -226,6 +263,7 @@ private:
   const std::string& s_;
   const std::string& what_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 } // namespace

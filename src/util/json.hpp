@@ -42,9 +42,12 @@ struct Value {
   const std::string& as_str() const;
 };
 
-/// Parses one complete JSON document; trailing garbage is an error. `what`
-/// prefixes every error message ("checkpoint: expected number at ...") so
-/// callers keep their domain-specific diagnostics.
+/// Parses one complete JSON document; trailing garbage is an error, numbers
+/// follow the strict JSON grammar (no "+1", ".5", "1.", hex, inf/nan), and
+/// nesting deeper than 64 levels is rejected so hostile input cannot
+/// overflow the stack. `what` prefixes every error message ("checkpoint:
+/// expected number at ...") so callers keep their domain-specific
+/// diagnostics.
 Value parse(const std::string& text, const std::string& what = "json");
 
 /// Appends `s` as a quoted JSON string with control characters escaped.

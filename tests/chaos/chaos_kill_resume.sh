@@ -1,0 +1,148 @@
+#!/bin/sh
+# Chaos self-test for the campaign runtime: kill -9 a live campaign at
+# pseudo-random instants, corrupt the checkpoint between attempts (truncate,
+# bit-flip), and assert that the eventually-completed run's stdout is
+# BIT-IDENTICAL to an uninterrupted run of the same campaign.
+#
+# This is the end-to-end proof of the determinism + durability contract:
+# trial t draws from stream(seed, t) and writes slot t, checkpoints commit
+# via CRC envelope + fsync + two generations, so no instant of death and no
+# single-file corruption may change a single byte of the final report.
+#
+#   usage: chaos_kill_resume.sh /path/to/nvfftool [seed]
+set -u
+
+NVFFTOOL="$1"
+SEED="${2:-1}"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+failures=0
+
+note() { printf '%s\n' "$*" >&2; }
+
+# Deterministic pseudo-random kill delay in seconds for attempt $2 of run $1.
+delay_for() {
+  awk -v s="$SEED" -v run="$1" -v i="$2" \
+    'BEGIN { srand(s * 131 + run * 17 + i); printf "%.2f", 0.3 + rand() * 1.7 }'
+}
+
+# Flips one byte in the middle of $1 (media-corruption simulation).
+bit_flip() {
+  size=$(wc -c <"$1")
+  [ "$size" -gt 0 ] || return
+  printf '\377' | dd of="$1" bs=1 seek=$((size / 2)) conv=notrunc 2>/dev/null
+}
+
+# Truncates $1 to half its size (torn-write simulation).
+truncate_half() {
+  size=$(wc -c <"$1")
+  [ "$size" -gt 1 ] || return
+  head -c $((size / 2)) "$1" >"$1.half" && mv "$1.half" "$1"
+}
+
+# chaos_run <name> <run#> <checkpoint-cadence> -- <campaign args...>
+# Golden first, then kill -9 the checkpointed campaign repeatedly (corrupting
+# the checkpoint after some deaths), then let it run to completion and
+# compare stdout byte-for-byte against golden.
+chaos_run() {
+  name="$1"; runid="$2"; cadence="$3"; shift 4
+  golden="$WORK/$name.golden"
+  ckpt="$WORK/$name.ckpt"
+  out="$WORK/$name.out"
+
+  if ! "$NVFFTOOL" "$@" >"$golden" 2>"$WORK/$name.golden.err"; then
+    note "FAIL: $name — uninterrupted golden run failed"
+    sed 's/^/  | /' "$WORK/$name.golden.err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+
+  kills=0
+  attempt=0
+  while [ "$attempt" -lt 5 ]; do
+    "$NVFFTOOL" "$@" --checkpoint "$ckpt" --checkpoint-every "$cadence" \
+      >"$out" 2>/dev/null &
+    pid=$!
+    sleep "$(delay_for "$runid" "$attempt")"
+    if kill -9 "$pid" 2>/dev/null; then
+      wait "$pid" 2>/dev/null
+      kills=$((kills + 1))
+      # Corrupt the surviving checkpoint after some deaths: the loader must
+      # quarantine it and fall back (or start over) — never crash, never
+      # change the final output.
+      if [ -f "$ckpt" ]; then
+        case "$attempt" in
+          1) truncate_half "$ckpt" ;;
+          2) bit_flip "$ckpt" ;;
+        esac
+      fi
+    else
+      wait "$pid" 2>/dev/null
+      break # campaign finished before the shot landed
+    fi
+    attempt=$((attempt + 1))
+  done
+
+  # Final uninterrupted leg: resume whatever survived and finish.
+  if ! "$NVFFTOOL" "$@" --checkpoint "$ckpt" --checkpoint-every "$cadence" \
+      >"$out" 2>"$WORK/$name.err"; then
+    note "FAIL: $name — resume leg exited nonzero after $kills kill(s)"
+    sed 's/^/  | /' "$WORK/$name.err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+
+  if cmp -s "$golden" "$out"; then
+    note "ok: $name — bit-identical after $kills kill -9(s) + corruption"
+  else
+    note "FAIL: $name — output diverged from the uninterrupted run"
+    diff "$golden" "$out" | head -20 >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# Corruption-only drill (no kill): complete a campaign, corrupt BOTH the
+# checkpoint and its previous generation in different ways, and check the
+# resume path quarantines and still reproduces the golden output.
+corruption_run() {
+  name="$1"; shift 2
+  golden="$WORK/$name.golden"
+  ckpt="$WORK/$name.ckpt"
+  out="$WORK/$name.out"
+
+  "$NVFFTOOL" "$@" >"$golden" 2>/dev/null
+  "$NVFFTOOL" "$@" --checkpoint "$ckpt" --checkpoint-every 2 >/dev/null 2>&1
+  bit_flip "$ckpt"
+  if ! "$NVFFTOOL" "$@" --checkpoint "$ckpt" >"$out" 2>"$WORK/$name.err"; then
+    note "FAIL: $name — corrupt-checkpoint resume exited nonzero"
+    failures=$((failures + 1))
+    return
+  fi
+  if ! cmp -s "$golden" "$out"; then
+    note "FAIL: $name — corrupt-checkpoint resume diverged from golden"
+    failures=$((failures + 1))
+    return
+  fi
+  if ls "$ckpt".corrupt* >/dev/null 2>&1 || \
+     grep -q "quarantined" "$WORK/$name.err"; then
+    note "ok: $name — corrupt generation quarantined, output bit-identical"
+  else
+    note "FAIL: $name — corruption was neither quarantined nor reported"
+    failures=$((failures + 1))
+  fi
+}
+
+# mc trials are SPICE-slow (cadence 2 keeps checkpoints frequent); powerfail
+# trials are logic-sim-fast, so it takes thousands of them (and a coarser
+# cadence) for the kill window to land mid-campaign.
+chaos_run mc 1 2 -- mc --trials 24 --threads 2 --seed 7
+chaos_run powerfail 2 64 -- powerfail --trials 2000 --threads 2 --seed 7
+corruption_run mc_corrupt -- mc --trials 8 --threads 2 --seed 9
+corruption_run powerfail_corrupt -- powerfail --trials 8 --threads 2 --seed 9
+
+if [ "$failures" -ne 0 ]; then
+  note "$failures chaos check(s) failed"
+  exit 1
+fi
+note "all chaos checks passed"
+exit 0

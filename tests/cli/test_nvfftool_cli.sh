@@ -50,6 +50,27 @@ check() {
   note "ok: $desc"
 }
 
+# check_code <expected status> <description> -- <args...>
+# Pins an EXACT exit code (the supervised-campaign contract: 0 ok, 1 fatal,
+# 2 usage, 3 gate, 75 interrupted-with-checkpoint).
+check_code() {
+  expected="$1"; desc="$2"; shift 3
+  "$NVFFTOOL" "$@" >/dev/null 2>/tmp/nvfftool_cli_err.$$
+  status=$?
+  err=$(cat /tmp/nvfftool_cli_err.$$); rm -f /tmp/nvfftool_cli_err.$$
+  if [ "$status" -ne "$expected" ]; then
+    note "FAIL: $desc — expected exit $expected, got $status"
+    failures=$((failures + 1))
+    return
+  fi
+  if [ "$expected" -ne 0 ] && [ -z "$err" ]; then
+    note "FAIL: $desc — no diagnostic on stderr"
+    failures=$((failures + 1))
+    return
+  fi
+  note "ok: $desc"
+}
+
 check nonzero "no arguments prints usage to stderr"        --
 check nonzero "unknown subcommand rejected"                -- frobnicate
 check nonzero "unknown subcommand with flags rejected"     -- frobnicate --fast
@@ -62,6 +83,61 @@ check nonzero "powerfail rejects a flag missing its value" -- powerfail --trials
 check nonzero "powerfail rejects malformed --weights"      -- powerfail --weights 1,2
 check nonzero "lint rejects a nonexistent target"          -- lint no/such/file.bench
 check zero    "a valid command still succeeds"             -- list
+
+# --- supervised-campaign exit-code contract ---------------------------------
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+check_code 2 "mc --resume without --checkpoint is a usage error" \
+  -- mc --trials 2 --resume
+check_code 2 "powerfail --resume without --checkpoint is a usage error" \
+  -- powerfail --trials 2 --resume
+check_code 2 "mc rejects --checkpoint-every 0" \
+  -- mc --trials 2 --checkpoint "$WORK/c.json" --checkpoint-every 0
+check nonzero "mc rejects --trial-timeout-s missing its value" \
+  -- mc --trial-timeout-s
+check_code 1 "mc --resume with no checkpoint on disk is fatal" \
+  -- mc --trials 2 --checkpoint "$WORK/absent.json" --resume
+check_code 1 "powerfail --resume with no checkpoint on disk is fatal" \
+  -- powerfail --trials 2 --checkpoint "$WORK/absent.json" --resume
+check_code 2 "mc --sweep and --checkpoint stay exclusive" \
+  -- mc --trials 2 --sweep 1,2 --checkpoint "$WORK/c.json"
+
+# SIGINT on a running checkpointed campaign: drain, final checkpoint, exit 75
+# (EX_TEMPFAIL). The trial count is far beyond what could finish before the
+# signal, so the only timing hazard is signalling too EARLY — the handlers are
+# installed before the first trial runs, and we wait until the campaign has
+# visibly started (progress line on stderr) before firing.
+"$NVFFTOOL" mc --trials 100000 --threads 2 \
+  --checkpoint "$WORK/int.json" --checkpoint-every 4 \
+  >"$WORK/int.out" 2>"$WORK/int.err" &
+mcpid=$!
+waited=0
+while [ ! -s "$WORK/int.err" ] && [ "$waited" -lt 120 ]; do
+  sleep 1; waited=$((waited + 1))
+done
+sleep 2
+kill -INT "$mcpid" 2>/dev/null
+wait "$mcpid"
+status=$?
+if [ "$status" -ne 75 ]; then
+  note "FAIL: SIGINT on a checkpointed mc campaign — expected exit 75, got $status"
+  failures=$((failures + 1))
+else
+  note "ok: SIGINT on a checkpointed mc campaign exits 75"
+fi
+if [ ! -f "$WORK/int.json" ]; then
+  note "FAIL: interrupted campaign left no checkpoint behind"
+  failures=$((failures + 1))
+else
+  note "ok: interrupted campaign left a resumable checkpoint"
+fi
+if [ -s "$WORK/int.out" ]; then
+  note "FAIL: interrupted campaign printed a (partial) report to stdout"
+  failures=$((failures + 1))
+else
+  note "ok: interrupted campaign kept stdout clean"
+fi
 
 if [ "$failures" -ne 0 ]; then
   note "$failures CLI contract check(s) failed"

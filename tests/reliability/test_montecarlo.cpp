@@ -232,6 +232,42 @@ TEST(MonteCarlo, LoadMissingCheckpointReturnsFalse) {
   EXPECT_FALSE(load_checkpoint_file(path, out));
 }
 
+TEST(MonteCarlo, CorruptCheckpointIsQuarantinedNotFatal) {
+  // Regression: the old loader fed a torn file straight into the JSON
+  // parser and threw, killing the campaign it was supposed to rescue. A
+  // truncated or bit-flipped checkpoint must now be detected by the CRC
+  // envelope, moved aside for post-mortem, and reported as "no checkpoint".
+  const std::string path = ::testing::TempDir() + "nvff_ckpt_corrupt.json";
+  for (const char* suffix : {"", ".1", ".corrupt"})
+    std::remove((path + suffix).c_str());
+  CampaignConfig cfg;
+  cfg.trials = 1;
+  TrialResult t;
+  t.standard = make_result(TrialOutcome::Pass, 0, 0.5);
+  t.proposed = make_result(TrialOutcome::Pass, 0, 0.5);
+  write_checkpoint_file(path, cfg, {t});
+
+  // Torn write: chop the file mid-payload.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(buf, 1, n / 2, f);
+  std::fclose(f);
+
+  CheckpointData out;
+  EXPECT_FALSE(load_checkpoint_file(path, out)); // no throw, no stale data
+  // The evidence was moved aside, not deleted.
+  f = std::fopen((path + ".corrupt").c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  if (f) std::fclose(f);
+  for (const char* suffix : {"", ".1", ".corrupt"})
+    std::remove((path + suffix).c_str());
+}
+
 TEST(MonteCarlo, CheckpointFileRoundTrip) {
   const std::string path = ::testing::TempDir() + "nvff_ckpt_roundtrip.json";
   CampaignConfig cfg;

@@ -1,0 +1,172 @@
+// Durable checkpoint envelope + two-generation commit/load/quarantine.
+//
+// These tests simulate the crashes the writer exists for: truncation (torn
+// write), bit flips (media corruption), and a corrupt current generation
+// with an intact previous one. Every corruption must be DETECTED and set
+// aside, never parsed, and recovery must fall back rather than abort.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/crc32.hpp"
+#include "runtime/durable_file.hpp"
+
+namespace nvff::runtime {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+/// Fresh path per test; removes all generations and quarantine leftovers.
+std::string scratch(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "nvff_durable_" + name;
+  for (const char* suffix : {"", ".1", ".tmp", ".corrupt", ".1.corrupt"})
+    std::remove((path + suffix).c_str());
+  return path;
+}
+
+TEST(Crc32, MatchesTheStandardTestVector) {
+  EXPECT_EQ(crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string("")), 0x00000000u);
+  // One flipped bit anywhere changes the sum.
+  EXPECT_NE(crc32(std::string("123456788")), 0xCBF43926u);
+}
+
+TEST(DurableFile, EnvelopeRoundTripsArbitraryBytes) {
+  const std::string payload = std::string("{\"x\":1}\n\0binary\xff tail", 21);
+  const std::string wrapped = envelope_wrap(payload);
+  EXPECT_TRUE(is_enveloped(wrapped));
+  EXPECT_FALSE(is_enveloped(payload));
+  EXPECT_EQ(envelope_unwrap(wrapped), payload);
+}
+
+TEST(DurableFile, UnwrapRejectsTruncationAndBitFlips) {
+  const std::string wrapped = envelope_wrap("the quick brown fox");
+  // Truncation: any proper prefix must throw, not return a short payload.
+  EXPECT_THROW(envelope_unwrap(wrapped.substr(0, wrapped.size() - 3)),
+               std::runtime_error);
+  // Bit flip in the payload.
+  std::string flipped = wrapped;
+  flipped[flipped.size() - 1] ^= 0x01;
+  EXPECT_THROW(envelope_unwrap(flipped), std::runtime_error);
+  // Flip in the recorded CRC itself ("NVFFCKPT 1 " is 11 bytes, then 8 hex).
+  std::string badCrc = wrapped;
+  badCrc[11] = badCrc[11] == '0' ? '1' : '0';
+  EXPECT_THROW(envelope_unwrap(badCrc), std::runtime_error);
+  EXPECT_THROW(envelope_unwrap("NVFFCKPT 9 00000000 0\n"), std::runtime_error);
+}
+
+TEST(DurableFile, CommitThenLoadRoundTrips) {
+  const std::string path = scratch("roundtrip");
+  commit_durable(path, "generation zero");
+  const DurableLoad load = load_durable(path);
+  EXPECT_TRUE(load.found);
+  EXPECT_EQ(load.payload, "generation zero");
+  EXPECT_EQ(load.generation, 0);
+  EXPECT_TRUE(load.checksummed);
+  EXPECT_TRUE(load.quarantined.empty());
+  // On-disk bytes are enveloped, not bare.
+  EXPECT_TRUE(is_enveloped(slurp(path)));
+}
+
+TEST(DurableFile, SecondCommitRotatesThePreviousGeneration) {
+  const std::string path = scratch("rotate");
+  commit_durable(path, "old");
+  commit_durable(path, "new");
+  EXPECT_EQ(load_durable(path).payload, "new");
+  EXPECT_EQ(envelope_unwrap(slurp(path + ".1")), "old");
+}
+
+TEST(DurableFile, MissingFileLoadsAsNotFound) {
+  const DurableLoad load = load_durable(scratch("missing"));
+  EXPECT_FALSE(load.found);
+  EXPECT_TRUE(load.payload.empty());
+}
+
+TEST(DurableFile, TruncatedCurrentFallsBackToPreviousGeneration) {
+  const std::string path = scratch("truncated");
+  commit_durable(path, "good old");
+  commit_durable(path, "good new");
+  const std::string bytes = slurp(path);
+  spew(path, bytes.substr(0, bytes.size() / 2)); // torn write
+
+  const DurableLoad load = load_durable(path);
+  EXPECT_TRUE(load.found);
+  EXPECT_EQ(load.payload, "good old");
+  EXPECT_EQ(load.generation, 1);
+  ASSERT_EQ(load.quarantined.size(), 1u);
+  EXPECT_TRUE(file_exists(load.quarantined[0]));
+  EXPECT_FALSE(file_exists(path)) << "corrupt file must be moved, not copied";
+}
+
+TEST(DurableFile, BitFlippedCurrentFallsBackToPreviousGeneration) {
+  const std::string path = scratch("bitflip");
+  commit_durable(path, "previous payload");
+  commit_durable(path, "current payload");
+  std::string bytes = slurp(path);
+  bytes[bytes.size() / 2] ^= 0x20;
+  spew(path, bytes);
+
+  const DurableLoad load = load_durable(path);
+  EXPECT_TRUE(load.found);
+  EXPECT_EQ(load.payload, "previous payload");
+  EXPECT_EQ(load.generation, 1);
+  EXPECT_EQ(load.quarantined.size(), 1u);
+}
+
+TEST(DurableFile, BothGenerationsCorruptQuarantinesBothAndReturnsNotFound) {
+  const std::string path = scratch("bothbad");
+  commit_durable(path, "a");
+  commit_durable(path, "b");
+  spew(path, "NVFFCKPT 1 deadbeef 1\nX");
+  spew(path + ".1", "NVFFCKPT 1 deadbeef 1\nY");
+
+  const DurableLoad load = load_durable(path);
+  EXPECT_FALSE(load.found);
+  EXPECT_EQ(load.quarantined.size(), 2u);
+}
+
+TEST(DurableFile, LegacyBareFileLoadsWithoutChecksumClaim) {
+  const std::string path = scratch("legacy");
+  spew(path, "{\"schema\":\"pre-envelope checkpoint\"}");
+  const DurableLoad load = load_durable(path);
+  EXPECT_TRUE(load.found);
+  EXPECT_FALSE(load.checksummed);
+  EXPECT_EQ(load.payload, "{\"schema\":\"pre-envelope checkpoint\"}");
+}
+
+TEST(DurableFile, CommitIntoMissingDirectoryThrowsAndLeavesNothing) {
+  const std::string path =
+      ::testing::TempDir() + "nvff_no_such_dir/deep/ckpt.json";
+  EXPECT_THROW(commit_durable(path, "payload"), std::runtime_error);
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST(DurableFile, QuarantineMovesTheFileAside) {
+  const std::string path = scratch("setaside");
+  spew(path, "schema-corrupt but crc-clean");
+  EXPECT_TRUE(quarantine_file(path));
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_TRUE(file_exists(path + ".corrupt"));
+  EXPECT_FALSE(quarantine_file(path)) << "nothing left to move";
+}
+
+} // namespace
+} // namespace nvff::runtime

@@ -1,0 +1,276 @@
+// Campaign supervisor: completion, resume, the trial-status taxonomy
+// (transient retry, permanent, timeout), deadline interruption, and the
+// corrupt-checkpoint fallback ladder.
+//
+// The hooks here are synthetic engines: a few atomics and a done-vector
+// stand in for the Monte-Carlo and power-fail campaigns, so each behavior
+// is pinned in isolation and in milliseconds, not SPICE-minutes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/durable_file.hpp"
+#include "runtime/supervisor.hpp"
+
+namespace nvff::runtime {
+namespace {
+
+std::string scratch(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "nvff_supervisor_" + name;
+  for (const char* suffix : {"", ".1", ".tmp", ".corrupt", ".1.corrupt"})
+    std::remove((path + suffix).c_str());
+  return path;
+}
+
+/// Comma-joined sorted ids — a minimal checkpoint "schema" for these tests.
+std::string join_ids(const std::vector<int>& ids) {
+  std::string out;
+  for (int id : ids) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(id);
+  }
+  return out;
+}
+
+std::vector<int> split_ids(const std::string& payload) {
+  std::vector<int> ids;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const std::size_t comma = payload.find(',', pos);
+    const std::string tok = payload.substr(pos, comma - pos);
+    ids.push_back(std::stoi(tok)); // throws on garbage — that is the point
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ids;
+}
+
+/// Hooks over the comma-id schema with an always-Ok trial body.
+CampaignHooks counting_hooks(std::atomic<int>& calls) {
+  CampaignHooks hooks;
+  hooks.runTrial = [&calls](int, const CancelToken&) {
+    calls.fetch_add(1);
+    return TrialStatus::Ok;
+  };
+  hooks.serialize = join_ids;
+  hooks.deserialize = split_ids;
+  return hooks;
+}
+
+TEST(Supervisor, RunsEveryTrialToCompletion) {
+  std::atomic<int> calls{0};
+  SupervisorConfig config;
+  config.trials = 24;
+  config.threads = 3;
+  const SupervisorOutcome out = run_supervised(config, counting_hooks(calls));
+  EXPECT_EQ(out.cause, StopCause::Completed);
+  EXPECT_TRUE(out.completed());
+  EXPECT_EQ(out.trialsDone, 24);
+  EXPECT_EQ(calls.load(), 24);
+  EXPECT_EQ(out.exit_code(), kExitOk);
+}
+
+TEST(Supervisor, RejectsDegenerateConfigs) {
+  std::atomic<int> calls{0};
+  SupervisorConfig config; // trials == 0
+  EXPECT_THROW(run_supervised(config, counting_hooks(calls)), std::runtime_error);
+}
+
+TEST(Supervisor, ResumeSkipsEveryRecordedTrial) {
+  const std::string path = scratch("resume");
+  SupervisorConfig config;
+  config.trials = 10;
+  config.run.checkpointPath = path;
+  config.run.checkpointEvery = 3;
+
+  std::atomic<int> calls{0};
+  const SupervisorOutcome first = run_supervised(config, counting_hooks(calls));
+  EXPECT_TRUE(first.completed());
+  EXPECT_TRUE(first.checkpointWritten);
+  EXPECT_EQ(calls.load(), 10);
+
+  const SupervisorOutcome second = run_supervised(config, counting_hooks(calls));
+  EXPECT_TRUE(second.completed());
+  EXPECT_EQ(second.trialsResumed, 10);
+  EXPECT_EQ(calls.load(), 10) << "a fully-resumed campaign must run nothing";
+}
+
+TEST(Supervisor, RequireResumeWithNoCheckpointThrows) {
+  std::atomic<int> calls{0};
+  SupervisorConfig config;
+  config.trials = 2;
+  config.run.checkpointPath = scratch("require_resume");
+  config.run.requireResume = true;
+  EXPECT_THROW(run_supervised(config, counting_hooks(calls)), std::runtime_error);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Supervisor, TransientRetriesWithBackoffThenSucceeds) {
+  std::atomic<int> attempts{0};
+  CampaignHooks hooks;
+  hooks.runTrial = [&attempts](int, const CancelToken&) {
+    // First two attempts hiccup, the third lands.
+    return attempts.fetch_add(1) < 2 ? TrialStatus::Transient : TrialStatus::Ok;
+  };
+  SupervisorConfig config;
+  config.trials = 1;
+  config.maxTrialAttempts = 3;
+  config.retryBackoffSeconds = 0.001;
+  const SupervisorOutcome out = run_supervised(config, hooks);
+  EXPECT_TRUE(out.completed());
+  EXPECT_EQ(out.transientRetries, 2);
+  EXPECT_EQ(out.permanents, 0);
+  EXPECT_EQ(attempts.load(), 3);
+}
+
+TEST(Supervisor, ExhaustedTransientIsRecordedAsPermanent) {
+  std::atomic<int> attempts{0};
+  CampaignHooks hooks;
+  hooks.runTrial = [&attempts](int, const CancelToken&) {
+    attempts.fetch_add(1);
+    return TrialStatus::Transient;
+  };
+  SupervisorConfig config;
+  config.trials = 2;
+  config.maxTrialAttempts = 2;
+  config.retryBackoffSeconds = 0.001;
+  const SupervisorOutcome out = run_supervised(config, hooks);
+  // Retry exhaustion must not wedge the campaign: both trials are recorded.
+  EXPECT_TRUE(out.completed());
+  EXPECT_EQ(out.permanents, 2);
+  EXPECT_EQ(out.transientRetries, 2);
+  EXPECT_EQ(attempts.load(), 4);
+}
+
+TEST(Supervisor, ThrowingTrialCountsAsPermanentNotFatal) {
+  CampaignHooks hooks;
+  hooks.runTrial = [](int id, const CancelToken&) -> TrialStatus {
+    if (id == 1) throw std::runtime_error("engine bug");
+    return TrialStatus::Ok;
+  };
+  SupervisorConfig config;
+  config.trials = 3;
+  const SupervisorOutcome out = run_supervised(config, hooks);
+  EXPECT_TRUE(out.completed());
+  EXPECT_EQ(out.permanents, 1);
+}
+
+TEST(Supervisor, WatchdogCancelsAHungTrialAsTimeout) {
+  CampaignHooks hooks;
+  hooks.runTrial = [](int id, const CancelToken& cancel) {
+    if (id != 0) return TrialStatus::Ok;
+    // A "hung solver": never finishes on its own, only notices the token.
+    while (!cancel.cancelled())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return cancel.reason() == CancelToken::Reason::Timeout
+               ? TrialStatus::Timeout
+               : TrialStatus::Cancelled;
+  };
+  SupervisorConfig config;
+  config.trials = 4;
+  config.threads = 2;
+  config.run.trialTimeoutSeconds = 0.05;
+  const SupervisorOutcome out = run_supervised(config, hooks);
+  // The timeout is a recorded outcome, not a campaign failure.
+  EXPECT_TRUE(out.completed());
+  EXPECT_EQ(out.timeouts, 1);
+  EXPECT_EQ(out.exit_code(), kExitOk);
+}
+
+TEST(Supervisor, CampaignDeadlineCheckpointsAndResumesToCompletion) {
+  const std::string path = scratch("deadline");
+  CampaignHooks hooks;
+  hooks.runTrial = [](int, const CancelToken& cancel) {
+    for (int i = 0; i < 40 && !cancel.cancelled(); ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return cancel.cancelled() ? TrialStatus::Cancelled : TrialStatus::Ok;
+  };
+  hooks.serialize = join_ids;
+  hooks.deserialize = split_ids;
+
+  SupervisorConfig config;
+  config.trials = 64;
+  config.threads = 2;
+  config.run.checkpointPath = path;
+  config.run.deadlineSeconds = 0.3;
+  const SupervisorOutcome first = run_supervised(config, hooks);
+  EXPECT_EQ(first.cause, StopCause::DeadlineExceeded);
+  EXPECT_FALSE(first.completed());
+  EXPECT_TRUE(first.checkpointWritten);
+  EXPECT_EQ(first.exit_code(), kExitInterrupted);
+  EXPECT_LT(first.trialsDone, 64);
+
+  config.run.deadlineSeconds = 0.0; // rerun without the budget
+  config.run.requireResume = true;
+  const SupervisorOutcome second = run_supervised(config, hooks);
+  EXPECT_TRUE(second.completed());
+  EXPECT_EQ(second.trialsResumed, first.trialsDone);
+  EXPECT_EQ(second.trialsDone, 64);
+}
+
+TEST(Supervisor, CorruptCheckpointFallsBackToPreviousGeneration) {
+  const std::string path = scratch("fallback");
+  // Two generations on disk, then the current one is torn mid-write.
+  commit_durable(path, join_ids({0, 1}));
+  commit_durable(path, join_ids({0, 1, 2, 3}));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NVFFCKPT 1 deadbeef 4\nto", f); // truncated payload
+    std::fclose(f);
+  }
+  std::atomic<int> calls{0};
+  SupervisorConfig config;
+  config.trials = 6;
+  config.run.checkpointPath = path;
+  const SupervisorOutcome out = run_supervised(config, counting_hooks(calls));
+  EXPECT_TRUE(out.completed());
+  EXPECT_EQ(out.trialsResumed, 2) << "must fall back to generation 1";
+  EXPECT_EQ(calls.load(), 4);
+  ASSERT_EQ(out.quarantined.size(), 1u);
+}
+
+TEST(Supervisor, SchemaCorruptPayloadIsQuarantinedAndCampaignStartsFresh) {
+  const std::string path = scratch("schema_corrupt");
+  // A legacy (bare, un-checksummed) file whose body the engine cannot parse:
+  // the CRC layer has no opinion, the deserialize hook throws, and the
+  // supervisor must quarantine and continue rather than abort.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not,a,number,at,all", f);
+    std::fclose(f);
+  }
+  std::atomic<int> calls{0};
+  SupervisorConfig config;
+  config.trials = 3;
+  config.run.checkpointPath = path;
+  const SupervisorOutcome out = run_supervised(config, counting_hooks(calls));
+  EXPECT_TRUE(out.completed());
+  EXPECT_EQ(out.trialsResumed, 0);
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_FALSE(out.quarantined.empty());
+}
+
+TEST(Supervisor, ConfigMismatchInCheckpointIsFatal) {
+  const std::string path = scratch("mismatch");
+  commit_durable(path, join_ids({0, 1}));
+  std::atomic<int> calls{0};
+  CampaignHooks hooks = counting_hooks(calls);
+  hooks.deserialize = [](const std::string&) -> std::vector<int> {
+    throw ConfigMismatch("checkpoint belongs to a different campaign");
+  };
+  SupervisorConfig config;
+  config.trials = 4;
+  config.run.checkpointPath = path;
+  EXPECT_THROW(run_supervised(config, hooks), ConfigMismatch);
+}
+
+} // namespace
+} // namespace nvff::runtime

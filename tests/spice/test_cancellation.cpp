@@ -1,0 +1,186 @@
+// Cooperative cancellation in the solver: a raised CancelToken must stop a
+// DC solve, a transient, and a deliberately divergent recovery-ladder climb
+// at the next iteration boundary — the mechanism the campaign watchdog uses
+// to turn a hung trial into a recorded `timeout` instead of a wedged run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "util/cancellation.hpp"
+#include "util/units.hpp"
+
+namespace nvff::spice {
+namespace {
+using namespace nvff::units;
+
+constexpr double kVdd = 1.1;
+
+void add_inverter(Circuit& ckt, const std::string& prefix, NodeId vdd, NodeId in,
+                  NodeId out) {
+  ckt.add_pmos(prefix + "P", out, in, vdd, vdd, MosGeometry{240e-9, 40e-9},
+               MosParams::pmos_40nm_lp());
+  ckt.add_nmos(prefix + "N", out, in, kGround, kGround, MosGeometry{120e-9, 40e-9},
+               MosParams::nmos_40nm_lp());
+}
+
+/// Cross-coupled pair: with starved Newton iterations this needs the whole
+/// recovery ladder, which is exactly the climb cancellation must cut short.
+Circuit bistable() {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(kVdd));
+  add_inverter(ckt, "I1", vdd, ckt.node("a"), ckt.node("b"));
+  add_inverter(ckt, "I2", vdd, ckt.node("b"), ckt.node("a"));
+  return ckt;
+}
+
+TEST(Cancellation, PreCancelledDcSolveReturnsCancelledImmediately) {
+  Circuit ckt = bistable();
+  Simulator sim(ckt);
+  CancelToken token;
+  token.cancel(CancelToken::Reason::Timeout);
+  RecoveryOptions recovery;
+  recovery.cancel = &token;
+  Solution op;
+  const SolveReport report = sim.solve_dc(op, {}, recovery);
+  EXPECT_EQ(report.status, SolveStatus::Cancelled);
+  // Polled at the loop top: not a single Newton iteration is spent.
+  EXPECT_EQ(report.iterations, 0);
+}
+
+TEST(Cancellation, PreCancelledTransientReturnsCancelled) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V", a, kGround, Waveform::dc(1.0));
+  ckt.add_resistor("R", a, ckt.node("out"), 1 * kOhm);
+  ckt.add_capacitor("C", ckt.find_node("out"), kGround, 1 * pF);
+  Simulator sim(ckt);
+  CancelToken token;
+  token.cancel();
+  RecoveryOptions recovery;
+  recovery.cancel = &token;
+  TransientOptions opt;
+  opt.tStop = 1 * ns;
+  opt.dt = 1 * ps;
+  const SolveReport report = sim.run_transient(opt, nullptr, recovery);
+  EXPECT_EQ(report.status, SolveStatus::Cancelled);
+}
+
+TEST(Cancellation, ShortCircuitsTheRecoveryLadderOnADivergentSolve) {
+  // One Newton iteration can never converge (the convergence check compares
+  // consecutive iterates), so without cancellation this solve climbs every
+  // rung until the budget dies. With a raised token it must stop without
+  // charging a single escalation to the budget.
+  Circuit ckt = bistable();
+  Simulator sim(ckt);
+  NewtonOptions newton;
+  newton.maxIterations = 1;
+  CancelToken token;
+  token.cancel(CancelToken::Reason::Timeout);
+  RecoveryOptions recovery;
+  recovery.cancel = &token;
+  recovery.retryBudget = 1 << 20; // a budget the ladder must never consume
+  Solution op;
+  const SolveReport report = sim.solve_dc(op, newton, recovery);
+  EXPECT_EQ(report.status, SolveStatus::Cancelled);
+  EXPECT_EQ(report.retriesUsed, 0);
+}
+
+TEST(Cancellation, WatchdogStopsACrawlingSolveWithinTheDeadline) {
+  // The campaign scenario end-to-end: a solve that makes progress too slowly
+  // to ever matter (here: the per-iteration damping clamp set so small that
+  // reaching the operating point needs millions of iterations — a
+  // deterministic stand-in for a hung trial). A watchdog thread raises the
+  // token after 50 ms and the solve must come back Cancelled promptly
+  // instead of crawling on for minutes.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V", a, kGround, Waveform::dc(1.0));
+  ckt.add_resistor("R1", a, ckt.node("mid"), 1 * kOhm);
+  ckt.add_resistor("R2", ckt.find_node("mid"), kGround, 1 * kOhm);
+  Simulator sim(ckt);
+  NewtonOptions newton;
+  newton.maxVoltageStep = 1e-7; // ~10M clamped steps to walk 1 V
+  newton.maxIterations = 2000000000;
+  // Tolerances far below the step clamp, so the clamped crawl is never
+  // mistaken for convergence before the operating point is actually reached.
+  newton.vAbsTol = 1e-12;
+  newton.iAbsTol = 1e-15;
+  newton.relTol = 1e-12;
+  CancelToken token;
+  RecoveryOptions recovery;
+  recovery.cancel = &token;
+
+  std::thread watchdog([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.cancel(CancelToken::Reason::Timeout);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  Solution op;
+  const SolveReport report = sim.solve_dc(op, newton, recovery);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  watchdog.join();
+
+  EXPECT_EQ(report.status, SolveStatus::Cancelled);
+  EXPECT_GT(report.iterations, 0) << "the solve must actually have started";
+  // Generous bound (CI machines stall): the point is seconds, not minutes.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 30);
+}
+
+TEST(Cancellation, MidTransientCancelStopsALongRun) {
+  // tStop/dt = 10^6 major steps of a switching inverter chain: far more work
+  // than 20 ms allows, so the token always fires mid-run.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  ckt.add_vsource("VDD", vdd, kGround, Waveform::dc(kVdd));
+  ckt.add_vsource("VIN", ckt.node("in"), kGround,
+                  Waveform::pulse(0.0, kVdd, 1 * ns, 0.1 * ns, 0.1 * ns, 2 * ns, 4 * ns));
+  NodeId prev = ckt.find_node("in");
+  for (int i = 0; i < 4; ++i) {
+    const NodeId next = ckt.node("s" + std::to_string(i));
+    add_inverter(ckt, "I" + std::to_string(i), vdd, prev, next);
+    ckt.add_capacitor("C" + std::to_string(i), next, kGround, 1 * fF);
+    prev = next;
+  }
+  Simulator sim(ckt);
+  CancelToken token;
+  RecoveryOptions recovery;
+  recovery.cancel = &token;
+  TransientOptions opt;
+  opt.tStop = 1 * us;
+  opt.dt = 1 * ps;
+
+  std::thread watchdog([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.cancel();
+  });
+  long steps = 0;
+  const SolveReport report = sim.run_transient(
+      opt, [&steps](double, const Solution&) { ++steps; }, recovery);
+  watchdog.join();
+
+  EXPECT_EQ(report.status, SolveStatus::Cancelled);
+  EXPECT_LT(steps, 1000000) << "cancellation must land before completion";
+}
+
+TEST(Cancellation, TokenHierarchyPropagatesParentCancellation) {
+  CancelToken campaign;
+  CancelToken trial(&campaign);
+  EXPECT_FALSE(trial.cancelled());
+  campaign.cancel(CancelToken::Reason::Cancelled);
+  EXPECT_TRUE(trial.cancelled());
+  EXPECT_EQ(trial.reason(), CancelToken::Reason::Cancelled);
+  // The trial's own reason (set first) wins over the parent's.
+  CancelToken trial2(&campaign);
+  trial2.cancel(CancelToken::Reason::Timeout);
+  EXPECT_EQ(trial2.reason(), CancelToken::Reason::Timeout);
+  // cancel() is idempotent and the first reason sticks.
+  trial2.cancel(CancelToken::Reason::Cancelled);
+  EXPECT_EQ(trial2.reason(), CancelToken::Reason::Timeout);
+}
+
+} // namespace
+} // namespace nvff::spice

@@ -61,5 +61,84 @@ TEST(Json, NonFiniteSerializesAsNullAndReadsBackAsNan) {
   EXPECT_TRUE(std::isnan(v.at("x").as_num()));
 }
 
+// Table-driven malformed-input sweep: every row must be REJECTED. The
+// checkpoint loader feeds this parser bytes that survived a crash — a
+// lenient accept here turns a torn file into silently wrong statistics.
+TEST(Json, RejectsMalformedInput) {
+  const struct {
+    const char* text;
+    const char* why;
+  } kBad[] = {
+      {"", "empty document"},
+      {"   ", "whitespace only"},
+      {"{", "unterminated object"},
+      {"[", "unterminated array"},
+      {"\"abc", "unterminated string"},
+      {"\"\\q\"", "unknown escape"},
+      {"\"\\u12g4\"", "bad unicode escape"},
+      {"{\"a\":1,}", "trailing comma in object"},
+      {"[1,]", "trailing comma in array"},
+      {"{\"a\" 1}", "missing colon"},
+      {"{1:2}", "non-string key"},
+      {"tru", "truncated literal"},
+      {"falsehood", "literal with trailing letters"},
+      {"nul", "truncated null"},
+      {"1 2", "trailing garbage after document"},
+      {"{}x", "trailing garbage after object"},
+      {"[1]]", "trailing bracket"},
+      {"+1", "leading plus"},
+      {".5", "missing integer part"},
+      {"1.", "missing fraction digits"},
+      {"-", "bare minus"},
+      {"-.5", "minus without integer part"},
+      {"01", "leading zero"},
+      {"1e", "missing exponent digits"},
+      {"1e+", "signed exponent without digits"},
+      {"0x10", "hex number"},
+      {"inf", "strtod inf spelling"},
+      {"nan", "strtod nan spelling"},
+      {"NaN", "capitalized nan"},
+      {"Infinity", "infinity spelling"},
+      {"-Infinity", "negative infinity spelling"},
+      {"1e999", "overflow to infinity"},
+      {"-1e999", "overflow to negative infinity"},
+  };
+  for (const auto& row : kBad)
+    EXPECT_THROW(parse(row.text), std::runtime_error) << row.why;
+}
+
+TEST(Json, AcceptsStrictNumberGrammar) {
+  const struct {
+    const char* text;
+    double want;
+  } kGood[] = {
+      {"0", 0.0},          {"-0", -0.0},         {"10", 10.0},
+      {"0.5", 0.5},        {"-0.5", -0.5},       {"1e3", 1000.0},
+      {"1E3", 1000.0},     {"1e+3", 1000.0},     {"1e-3", 1e-3},
+      {"2.5e2", 250.0},    {"4.9e-324", 4.9e-324},
+  };
+  for (const auto& row : kGood) {
+    const Value v = parse(row.text);
+    EXPECT_EQ(v.as_num(), row.want) << row.text;
+  }
+}
+
+TEST(Json, DepthCapRejectsDeepNestingButAllowsSchemas) {
+  // 1000 nested arrays would overflow the recursive parser's stack without
+  // the cap; well-formed checkpoint schemas sit at depth 4-5.
+  std::string deep;
+  for (int i = 0; i < 1000; ++i) deep += '[';
+  for (int i = 0; i < 1000; ++i) deep += ']';
+  EXPECT_THROW(parse(deep), std::runtime_error);
+
+  std::string ok = "1";
+  for (int i = 0; i < 60; ++i) ok = "[" + ok + "]";
+  EXPECT_NO_THROW(parse(ok));
+
+  std::string tooDeep = "1";
+  for (int i = 0; i < 65; ++i) tooDeep = "[" + tooDeep + "]";
+  EXPECT_THROW(parse(tooDeep), std::runtime_error);
+}
+
 } // namespace
 } // namespace nvff::json
