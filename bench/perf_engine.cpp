@@ -10,6 +10,7 @@
 #include "cell/multibit_latch.hpp"
 #include "pairing/pairing.hpp"
 #include "physdes/placement.hpp"
+#include "reliability/montecarlo.hpp"
 #include "spice/analysis.hpp"
 #include "util/rng.hpp"
 
@@ -53,6 +54,89 @@ void BM_MultibitLatchRestoreTransient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MultibitLatchRestoreTransient)->Unit(benchmark::kMillisecond);
+
+// Fresh deck construction for one power-cycle scenario: the cost a campaign
+// used to pay per trial per design (and still pays once per thread at
+// compile time). Pairs with BM_DeckPatch to show the compile/patch split.
+void BM_DeckBuildPowerCycle(benchmark::State& state) {
+  const auto tech = cell::Technology::table1();
+  const auto corner = tech.read_corner(cell::Corner::Typical);
+  for (auto _ : state) {
+    auto inst = cell::MultibitNvLatch::build_power_cycle(
+        tech, corner, true, false, cell::PowerCycleTiming{});
+    benchmark::DoNotOptimize(inst.circuit.num_unknowns());
+  }
+}
+BENCHMARK(BM_DeckBuildPowerCycle)->Unit(benchmark::kMicrosecond);
+
+// Full deck-template construction: netlist build + CompiledCircuit compile +
+// workspace bind. This is the once-per-thread cost of the run-many API.
+void BM_DeckCompilePowerCycle(benchmark::State& state) {
+  const auto tech = cell::Technology::table1();
+  const auto corner = tech.read_corner(cell::Corner::Typical);
+  for (auto _ : state) {
+    cell::MultibitPowerCycleDeck deck(tech, corner, true, false,
+                                      cell::PowerCycleTiming{});
+    benchmark::DoNotOptimize(deck.compiled.num_unknowns());
+  }
+}
+BENCHMARK(BM_DeckCompilePowerCycle)->Unit(benchmark::kMicrosecond);
+
+// Per-trial parameter patch on a compiled deck: corner + per-transistor Vth
+// mismatch + MTJ model/state reset. This replaces BM_DeckBuildPowerCycle's
+// work in the campaign inner loop.
+void BM_DeckPatch(benchmark::State& state) {
+  const auto tech = cell::Technology::table1();
+  const auto corner = tech.read_corner(cell::Corner::Typical);
+  cell::MultibitPowerCycleDeck deck(tech, corner, true, false,
+                                    cell::PowerCycleTiming{});
+  Rng rng(1);
+  for (auto _ : state) {
+    deck.patch(corner, &rng, 0.02);
+    benchmark::DoNotOptimize(deck.inst.mtj1->orientation());
+  }
+}
+BENCHMARK(BM_DeckPatch)->Unit(benchmark::kMicrosecond);
+
+// One full store -> power-off -> restore transient on a patched compiled
+// deck: the dominant per-trial solve cost once compile and patch are off the
+// critical path.
+void BM_CompiledPowerCycleSolve(benchmark::State& state) {
+  const auto tech = cell::Technology::table1();
+  const auto corner = tech.read_corner(cell::Corner::Typical);
+  cell::MultibitPowerCycleDeck deck(tech, corner, true, false,
+                                    cell::PowerCycleTiming{});
+  spice::TransientOptions opt;
+  opt.tStop = deck.inst.tEnd;
+  opt.dt = 4e-12;
+  for (auto _ : state) {
+    deck.patch(corner);
+    spice::Simulator sim(deck.compiled, deck.ws);
+    sim.transient(opt, {});
+    benchmark::DoNotOptimize(deck.inst.mtj1->orientation());
+  }
+}
+BENCHMARK(BM_CompiledPowerCycleSolve)->Unit(benchmark::kMillisecond);
+
+// The headline number: sampled store -> power-off -> restore trials per
+// second through the real campaign entry point (single thread, fixed seed,
+// default cycle shape — the CI smoke configuration scaled down).
+void BM_McCampaignTrials(benchmark::State& state) {
+  reliability::CampaignConfig config;
+  config.trials = 8;
+  config.seed = 1;
+  config.threads = 1;
+  for (auto _ : state) {
+    auto result = reliability::run_campaign(config);
+    benchmark::DoNotOptimize(result.trials.size());
+  }
+  state.counters["trials_per_s"] = benchmark::Counter(
+      static_cast<double>(config.trials) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+// Trials execute on the supervisor's pool thread even at --threads 1, so the
+// benchmark thread's own CPU time is meaningless here: measure wall clock.
+BENCHMARK(BM_McCampaignTrials)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_PlacementScaling(benchmark::State& state) {
   const char* names[] = {"s344", "s5378", "s38584"};

@@ -51,16 +51,20 @@ ReadResult Characterizer::standard_read(Corner corner, bool storedBit) const {
 
 ReadResult Characterizer::standard_read_at(const TechCorner& tc, bool storedBit,
                                            Rng* mismatchRng, double sigmaVth) const {
-  ReadTiming timing{};
-  auto inst =
-      StandardNvLatch::build_read(tech_, tc, storedBit, timing, mismatchRng, sigmaVth);
+  if (standardReadDeck_ == nullptr) {
+    standardReadDeck_ = std::make_unique<StandardReadDeck>(
+        tech_, tech_.read_corner(Corner::Typical), ReadTiming{});
+  }
+  StandardReadDeck& deck = *standardReadDeck_;
+  deck.patch(tc, storedBit, mismatchRng, sigmaVth);
+  StandardLatchInstance& inst = deck.inst;
 
   Trace trace;
   trace.watch_node(inst.circuit, "out");
   trace.watch_node(inst.circuit, "outb");
   SupplyEnergyMeter meter(inst.circuit, "VDD");
 
-  Simulator sim(inst.circuit);
+  Simulator sim(deck.compiled, deck.ws);
   TransientOptions opt;
   opt.tStop = inst.tEnd;
   opt.dt = timestep;
@@ -87,17 +91,22 @@ ReadResult Characterizer::proposed_read(Corner corner, bool d0, bool d1) const {
 
 ReadResult Characterizer::proposed_read_at(const TechCorner& tc, bool d0, bool d1,
                                            Rng* mismatchRng, double sigmaVth) const {
-  TwoBitReadTiming timing{};
-  auto inst = MultibitNvLatch::build_read(tech_, tc, d0, d1, timing,
-                                          ControlScheme::OptimizedSinglePc,
-                                          mismatchRng, sigmaVth);
+  const int key = (d0 ? 1 : 0) | (d1 ? 2 : 0);
+  if (multibitReadDecks_[key] == nullptr) {
+    multibitReadDecks_[key] = std::make_unique<MultibitReadDeck>(
+        tech_, tech_.read_corner(Corner::Typical), d0, d1, TwoBitReadTiming{},
+        ControlScheme::OptimizedSinglePc);
+  }
+  MultibitReadDeck& deck = *multibitReadDecks_[key];
+  deck.patch(tc, mismatchRng, sigmaVth);
+  MultibitLatchInstance& inst = deck.inst;
 
   Trace trace;
   trace.watch_node(inst.circuit, "out");
   trace.watch_node(inst.circuit, "outb");
   SupplyEnergyMeter meter(inst.circuit, "VDD");
 
-  Simulator sim(inst.circuit);
+  Simulator sim(deck.compiled, deck.ws);
   TransientOptions opt;
   opt.tStop = inst.tEnd;
   opt.dt = timestep;

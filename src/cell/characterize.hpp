@@ -22,6 +22,8 @@
 // restore in parallel).
 #pragma once
 
+#include <memory>
+
 #include "cell/layout.hpp"
 #include "cell/multibit_latch.hpp"
 #include "cell/standard_latch.hpp"
@@ -93,6 +95,13 @@ public:
 
 private:
   Technology tech_;
+  // Compile-once deck caches for the hot read paths (Monte-Carlo ablations
+  // call *_read_at thousands of times). Built lazily, patched per call; the
+  // cache only skips rebuild/re-factorization work, so results are unchanged.
+  // Concurrent *_read_at calls on ONE Characterizer are not supported (use
+  // one instance per thread, as the campaigns do).
+  mutable std::unique_ptr<StandardReadDeck> standardReadDeck_;
+  mutable std::unique_ptr<MultibitReadDeck> multibitReadDecks_[4];
 };
 
 } // namespace nvff::cell

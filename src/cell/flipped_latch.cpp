@@ -171,4 +171,20 @@ FlippedLatchInstance FlippedNvLatch::build_idle(const Technology& tech,
   return inst;
 }
 
+FlippedReadDeck::FlippedReadDeck(const Technology& tech, const TechCorner& corner,
+                                 const ReadTiming& timing)
+    : inst(FlippedNvLatch::build_read(tech, corner, /*storedBit=*/false, timing)),
+      compiled(inst.circuit) {
+  ws.bind(compiled);
+}
+
+void FlippedReadDeck::patch(const TechCorner& corner, bool storedBit,
+                            Rng* mismatchRng, double sigmaVth) {
+  patch_transistors(inst.circuit, corner, mismatchRng, sigmaVth);
+  inst.mtjOut->set_model(mtj::MtjModel(corner.mtj));
+  inst.mtjOut->reset_dynamics(out_state(storedBit));
+  inst.mtjOutb->set_model(mtj::MtjModel(corner.mtj));
+  inst.mtjOutb->reset_dynamics(outb_state(storedBit));
+}
+
 } // namespace nvff::cell

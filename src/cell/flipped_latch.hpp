@@ -31,6 +31,8 @@
 #include "cell/latch_common.hpp"
 #include "cell/scenarios.hpp"
 #include "mtj/device.hpp"
+#include "spice/compiled.hpp"
+#include "spice/workspace.hpp"
 
 namespace nvff::cell {
 
@@ -58,6 +60,23 @@ public:
                                           const WriteTiming& timing);
   static FlippedLatchInstance build_idle(const Technology& tech,
                                          const TechCorner& corner);
+};
+
+/// Compile-once / run-many restore deck (see standard_latch.hpp). The read
+/// controls are data-independent, so the stored bit is patched per trial
+/// along with corner / mismatch / MTJ state.
+struct FlippedReadDeck {
+  FlippedReadDeck(const Technology& tech, const TechCorner& corner,
+                  const ReadTiming& timing);
+  FlippedReadDeck(const FlippedReadDeck&) = delete;
+  FlippedReadDeck& operator=(const FlippedReadDeck&) = delete;
+
+  void patch(const TechCorner& corner, bool storedBit, Rng* mismatchRng = nullptr,
+             double sigmaVth = 0.0);
+
+  FlippedLatchInstance inst;
+  spice::CompiledCircuit compiled;
+  spice::SimWorkspace ws;
 };
 
 } // namespace nvff::cell

@@ -7,6 +7,20 @@ namespace nvff::cell {
 using spice::kGround;
 using spice::NodeId;
 
+void patch_transistors(spice::Circuit& circuit, const TechCorner& corner,
+                       Rng* mismatchRng, double sigmaVthMismatch) {
+  for (const auto& dev : circuit.devices()) {
+    auto* mos = dynamic_cast<spice::Mosfet*>(dev.get());
+    if (mos == nullptr) continue;
+    spice::MosParams p =
+        mos->type() == spice::MosType::Pmos ? corner.pmos : corner.nmos;
+    if (mismatchRng != nullptr && sigmaVthMismatch > 0.0) {
+      p.vth += mismatchRng->normal(0.0, sigmaVthMismatch);
+    }
+    mos->set_params(p);
+  }
+}
+
 void add_tristate_inverter(BuildContext& ctx, const std::string& prefix, NodeId in,
                            NodeId out, NodeId en, NodeId enB) {
   spice::Circuit& c = *ctx.circuit;

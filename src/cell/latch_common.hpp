@@ -46,6 +46,17 @@ struct BuildContext {
   }
 };
 
+/// Re-parameterizes every MOSFET of a built deck to `corner`, replaying the
+/// per-device mismatch draws. The builders draw exactly one Vth offset per
+/// transistor, at the transistor's creation site, so walking the circuit's
+/// MOSFETs in device order consumes `mismatchRng` in the same sequence as
+/// BuildContext::nparams()/pparams() did — the patched deck is bit-identical
+/// to one freshly built with the same corner/rng/sigma. This is the deck
+/// patch() API's workhorse; campaigns call it through the per-latch deck
+/// wrappers (StandardPowerCycleDeck etc.) rather than directly.
+void patch_transistors(spice::Circuit& circuit, const TechCorner& corner,
+                       Rng* mismatchRng = nullptr, double sigmaVthMismatch = 0.0);
+
 /// Adds a tristate inverter: out = NOT(in) when en is high, Hi-Z otherwise.
 /// Structure (4 transistors): vdd - P(in) - P(enB) - out - N(en) - N(in) - gnd.
 void add_tristate_inverter(BuildContext& ctx, const std::string& prefix,

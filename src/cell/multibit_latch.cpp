@@ -302,4 +302,56 @@ MultibitLatchInstance MultibitNvLatch::build_power_cycle(const Technology& tech,
   return inst;
 }
 
+namespace {
+
+/// Shared by both deck patches: transistors to `corner`, the four pillars to
+/// the given presets with fresh corner models and cleared dynamics.
+void patch_multibit(MultibitLatchInstance& inst, const TechCorner& corner,
+                    Rng* mismatchRng, double sigmaVth, mtj::MtjOrientation s1,
+                    mtj::MtjOrientation s2, mtj::MtjOrientation s3,
+                    mtj::MtjOrientation s4) {
+  patch_transistors(inst.circuit, corner, mismatchRng, sigmaVth);
+  mtj::MtjDevice* devs[4] = {inst.mtj1, inst.mtj2, inst.mtj3, inst.mtj4};
+  const mtj::MtjOrientation states[4] = {s1, s2, s3, s4};
+  for (int i = 0; i < 4; ++i) {
+    devs[i]->set_model(mtj::MtjModel(corner.mtj));
+    devs[i]->reset_dynamics(states[i]);
+  }
+}
+
+} // namespace
+
+MultibitPowerCycleDeck::MultibitPowerCycleDeck(const Technology& tech,
+                                               const TechCorner& corner, bool d0,
+                                               bool d1,
+                                               const PowerCycleTiming& timing)
+    : inst(MultibitNvLatch::build_power_cycle(tech, corner, d0, d1, timing)),
+      compiled(inst.circuit),
+      d0(d0),
+      d1(d1) {
+  ws.bind(compiled);
+}
+
+void MultibitPowerCycleDeck::patch(const TechCorner& corner, Rng* mismatchRng,
+                                   double sigmaVth) {
+  patch_multibit(inst, corner, mismatchRng, sigmaVth, m1_state(!d1), m2_state(!d1),
+                 m3_state(!d0), m4_state(!d0));
+}
+
+MultibitReadDeck::MultibitReadDeck(const Technology& tech, const TechCorner& corner,
+                                   bool d0, bool d1, const TwoBitReadTiming& timing,
+                                   ControlScheme scheme)
+    : inst(MultibitNvLatch::build_read(tech, corner, d0, d1, timing, scheme)),
+      compiled(inst.circuit),
+      d0(d0),
+      d1(d1) {
+  ws.bind(compiled);
+}
+
+void MultibitReadDeck::patch(const TechCorner& corner, Rng* mismatchRng,
+                             double sigmaVth) {
+  patch_multibit(inst, corner, mismatchRng, sigmaVth, m1_state(d1), m2_state(d1),
+                 m3_state(d0), m4_state(d0));
+}
+
 } // namespace nvff::cell

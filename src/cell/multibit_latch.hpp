@@ -41,6 +41,8 @@
 #include "cell/latch_common.hpp"
 #include "cell/scenarios.hpp"
 #include "mtj/device.hpp"
+#include "spice/compiled.hpp"
+#include "spice/workspace.hpp"
 
 namespace nvff::cell {
 
@@ -116,6 +118,50 @@ public:
                                                  const PowerCycleTiming& timing,
                                                  Rng* mismatchRng = nullptr,
                                                  double sigmaVth = 0.0);
+};
+
+// --- compile-once / run-many deck templates (see standard_latch.hpp) --------
+//
+// The 2-bit cell's controls carry the data values (d0/d1 set the initial
+// write-rail levels), so the data pair is structural for BOTH scenarios:
+// campaigns keep one deck per (d0, d1) combination and patch corner / Vth
+// mismatch / MTJ state per trial.
+
+/// Power-cycle deck for one (d0, d1) combination.
+struct MultibitPowerCycleDeck {
+  MultibitPowerCycleDeck(const Technology& tech, const TechCorner& corner, bool d0,
+                         bool d1, const PowerCycleTiming& timing);
+  MultibitPowerCycleDeck(const MultibitPowerCycleDeck&) = delete;
+  MultibitPowerCycleDeck& operator=(const MultibitPowerCycleDeck&) = delete;
+
+  /// Transistors to `corner` (+ mismatch draws in build order); MTJs back to
+  /// the complement-of-(d0,d1) preset the power cycle starts from.
+  void patch(const TechCorner& corner, Rng* mismatchRng = nullptr,
+             double sigmaVth = 0.0);
+
+  MultibitLatchInstance inst;
+  spice::CompiledCircuit compiled;
+  spice::SimWorkspace ws;
+  bool d0;
+  bool d1;
+};
+
+/// Restore-scenario deck for one (d0, d1) combination.
+struct MultibitReadDeck {
+  MultibitReadDeck(const Technology& tech, const TechCorner& corner, bool d0,
+                   bool d1, const TwoBitReadTiming& timing,
+                   ControlScheme scheme = ControlScheme::OptimizedSinglePc);
+  MultibitReadDeck(const MultibitReadDeck&) = delete;
+  MultibitReadDeck& operator=(const MultibitReadDeck&) = delete;
+
+  void patch(const TechCorner& corner, Rng* mismatchRng = nullptr,
+             double sigmaVth = 0.0);
+
+  MultibitLatchInstance inst;
+  spice::CompiledCircuit compiled;
+  spice::SimWorkspace ws;
+  bool d0;
+  bool d1;
 };
 
 } // namespace nvff::cell

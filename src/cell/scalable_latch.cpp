@@ -276,6 +276,29 @@ ScalableLatchInstance ScalableNvLatch::build_idle(const Technology& tech,
   return inst;
 }
 
+ScalableReadDeck::ScalableReadDeck(const Technology& tech, const TechCorner& corner,
+                                   const std::vector<bool>& data,
+                                   const ReadTiming& phase)
+    : inst(ScalableNvLatch::build_read(tech, corner, data, phase)),
+      compiled(inst.circuit),
+      data(data) {
+  ws.bind(compiled);
+}
+
+void ScalableReadDeck::patch(const TechCorner& corner, Rng* mismatchRng,
+                             double sigmaVth) {
+  patch_transistors(inst.circuit, corner, mismatchRng, sigmaVth);
+  const std::size_t lower = data.size() / 2;
+  for (std::size_t b = 0; b < data.size(); ++b) {
+    const mtj::MtjOrientation trueState =
+        b < lower ? lower_true_state(data[b]) : upper_true_state(data[b]);
+    inst.mtjs[b].first->set_model(mtj::MtjModel(corner.mtj));
+    inst.mtjs[b].first->reset_dynamics(trueState);
+    inst.mtjs[b].second->set_model(mtj::MtjModel(corner.mtj));
+    inst.mtjs[b].second->reset_dynamics(flip(trueState));
+  }
+}
+
 ScalableMetrics characterize_scalable(const Technology& tech, Corner corner, int bits,
                                       double timestep) {
   const TechCorner readTc = tech.read_corner(corner);

@@ -28,6 +28,8 @@
 #include "cell/latch_common.hpp"
 #include "cell/scenarios.hpp"
 #include "mtj/device.hpp"
+#include "spice/compiled.hpp"
+#include "spice/workspace.hpp"
 
 namespace nvff::cell {
 
@@ -72,6 +74,24 @@ public:
   /// Idle scenario (leakage).
   static ScalableLatchInstance build_idle(const Technology& tech,
                                           const TechCorner& corner, int bits);
+};
+
+/// Compile-once / run-many restore deck (see standard_latch.hpp). The data
+/// pattern is structural (it sets the write-rail control levels), so one deck
+/// serves one pattern; corner / mismatch / MTJ state are patched per trial.
+struct ScalableReadDeck {
+  ScalableReadDeck(const Technology& tech, const TechCorner& corner,
+                   const std::vector<bool>& data, const ReadTiming& phase);
+  ScalableReadDeck(const ScalableReadDeck&) = delete;
+  ScalableReadDeck& operator=(const ScalableReadDeck&) = delete;
+
+  void patch(const TechCorner& corner, Rng* mismatchRng = nullptr,
+             double sigmaVth = 0.0);
+
+  ScalableLatchInstance inst;
+  spice::CompiledCircuit compiled;
+  spice::SimWorkspace ws;
+  std::vector<bool> data;
 };
 
 /// Characterization summary of one N-bit cell (same definitions as

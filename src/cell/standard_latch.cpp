@@ -225,4 +225,40 @@ StandardLatchInstance StandardNvLatch::build_power_cycle(const Technology& tech,
   return inst;
 }
 
+StandardPowerCycleDeck::StandardPowerCycleDeck(const Technology& tech,
+                                               const TechCorner& corner, bool d,
+                                               const PowerCycleTiming& timing)
+    : inst(StandardNvLatch::build_power_cycle(tech, corner, d, timing)),
+      compiled(inst.circuit),
+      d(d) {
+  ws.bind(compiled);
+}
+
+void StandardPowerCycleDeck::patch(const TechCorner& corner, Rng* mismatchRng,
+                                   double sigmaVth) {
+  patch_transistors(inst.circuit, corner, mismatchRng, sigmaVth);
+  // The power cycle starts from the OPPOSITE stored bit (the store must flip
+  // both pillars), mirroring build_power_cycle's preset.
+  inst.mtjOut->set_model(mtj::MtjModel(corner.mtj));
+  inst.mtjOut->reset_dynamics(out_state(!d));
+  inst.mtjOutb->set_model(mtj::MtjModel(corner.mtj));
+  inst.mtjOutb->reset_dynamics(outb_state(!d));
+}
+
+StandardReadDeck::StandardReadDeck(const Technology& tech, const TechCorner& corner,
+                                   const ReadTiming& timing)
+    : inst(StandardNvLatch::build_read(tech, corner, /*storedBit=*/false, timing)),
+      compiled(inst.circuit) {
+  ws.bind(compiled);
+}
+
+void StandardReadDeck::patch(const TechCorner& corner, bool storedBit,
+                             Rng* mismatchRng, double sigmaVth) {
+  patch_transistors(inst.circuit, corner, mismatchRng, sigmaVth);
+  inst.mtjOut->set_model(mtj::MtjModel(corner.mtj));
+  inst.mtjOut->reset_dynamics(out_state(storedBit));
+  inst.mtjOutb->set_model(mtj::MtjModel(corner.mtj));
+  inst.mtjOutb->reset_dynamics(outb_state(storedBit));
+}
+
 } // namespace nvff::cell

@@ -31,6 +31,8 @@
 #include "cell/latch_common.hpp"
 #include "cell/scenarios.hpp"
 #include "mtj/device.hpp"
+#include "spice/compiled.hpp"
+#include "spice/workspace.hpp"
 
 namespace nvff::cell {
 
@@ -83,6 +85,51 @@ public:
                                                  const PowerCycleTiming& timing,
                                                  Rng* mismatchRng = nullptr,
                                                  double sigmaVth = 0.0);
+};
+
+// --- compile-once / run-many deck templates ---------------------------------
+//
+// A deck template is a built instance plus its compiled form and a reusable
+// workspace. The structural knobs (control waveforms — here the stored data
+// bit and the timing) are fixed at construction; the per-trial knobs (corner,
+// local Vth mismatch, MTJ models/orientations/defects) are re-applied with
+// patch(), which restores the exact state a fresh build with the same
+// arguments would have — bit-identical, including the mismatch draw order.
+// One deck belongs to one thread; campaigns keep a pool per worker.
+
+/// Power-cycle deck for one data value (the controls encode `d`).
+struct StandardPowerCycleDeck {
+  StandardPowerCycleDeck(const Technology& tech, const TechCorner& corner, bool d,
+                         const PowerCycleTiming& timing);
+  StandardPowerCycleDeck(const StandardPowerCycleDeck&) = delete;
+  StandardPowerCycleDeck& operator=(const StandardPowerCycleDeck&) = delete;
+
+  /// Re-parameterizes the deck for a new trial: transistors to `corner` (+
+  /// mismatch draws in build order), MTJs back to the just-built preset for
+  /// `d` (models from corner.mtj, defects cleared, progress zeroed).
+  void patch(const TechCorner& corner, Rng* mismatchRng = nullptr,
+             double sigmaVth = 0.0);
+
+  StandardLatchInstance inst;
+  spice::CompiledCircuit compiled;
+  spice::SimWorkspace ws;
+  bool d;
+};
+
+/// Restore-scenario deck. The read controls are data-independent, so the
+/// stored bit is a patch()-time knob here, not a structural one.
+struct StandardReadDeck {
+  StandardReadDeck(const Technology& tech, const TechCorner& corner,
+                   const ReadTiming& timing);
+  StandardReadDeck(const StandardReadDeck&) = delete;
+  StandardReadDeck& operator=(const StandardReadDeck&) = delete;
+
+  void patch(const TechCorner& corner, bool storedBit, Rng* mismatchRng = nullptr,
+             double sigmaVth = 0.0);
+
+  StandardLatchInstance inst;
+  spice::CompiledCircuit compiled;
+  spice::SimWorkspace ws;
 };
 
 } // namespace nvff::cell

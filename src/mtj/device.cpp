@@ -80,6 +80,13 @@ double MtjDevice::resistance(const spice::SimState& state) const {
   return effective_resistance(v);
 }
 
+void MtjDevice::reset_dynamics(MtjOrientation initial) {
+  orientation_ = initial;
+  progress_ = 0.0;
+  flipCount_ = 0;
+  defect_ = MtjDefect::None;
+}
+
 void MtjDevice::inject_defect(MtjDefect defect) {
   defect_ = defect;
   progress_ = 0.0;

@@ -32,6 +32,7 @@ public:
 
   void stamp(spice::Stamper& stamper, const spice::SimState& state) override;
   bool is_nonlinear() const override { return true; }
+  bool has_step_state() const override { return true; }
   void end_step(const spice::SimState& state) override;
 
   MtjOrientation orientation() const { return orientation_; }
@@ -64,6 +65,12 @@ public:
   /// defects override the electrical resistance.
   void inject_defect(MtjDefect defect);
   MtjDefect defect() const { return defect_; }
+
+  /// Returns the pillar to its just-built state: orientation set to
+  /// `initial`, switching progress and flip count cleared, any injected
+  /// defect removed. The deck patch() API calls this between trials so a
+  /// recycled compiled deck starts exactly like a freshly built one.
+  void reset_dynamics(MtjOrientation initial);
 
 private:
   /// Effective resistance honouring barrier defects.

@@ -177,16 +177,57 @@ TrialSample draw_sample(const CampaignConfig& config, const cell::Technology& te
   return s;
 }
 
+/// Per-worker-thread compiled deck pool. Deck structure depends only on the
+/// campaign's power-cycle timing (the technology is the fixed Table I set and
+/// data values key the array), so each worker compiles six decks once — two
+/// standard (d = 0/1) and four 2-bit (all d0/d1 combinations) — and patches
+/// corner / Vth mismatch / MTJ state per trial instead of rebuilding.
+struct DeckPool {
+  cell::PowerCycleTiming timing;
+  std::unique_ptr<cell::StandardPowerCycleDeck> standard[2];
+  std::unique_ptr<cell::MultibitPowerCycleDeck> proposed[4];
+};
+
+bool same_timing(const cell::PowerCycleTiming& a, const cell::PowerCycleTiming& b) {
+  return a.write.start == b.write.start && a.write.duration == b.write.duration &&
+         a.write.tail == b.write.tail && a.write.ramp == b.write.ramp &&
+         a.offRamp == b.offRamp && a.offDuration == b.offDuration &&
+         a.onRamp == b.onRamp && a.wakeSettle == b.wakeSettle &&
+         a.read.start == b.read.start && a.read.precharge == b.read.precharge &&
+         a.read.evaluate == b.read.evaluate && a.read.gap == b.read.gap &&
+         a.read.ramp == b.read.ramp;
+}
+
+DeckPool& trial_decks(const cell::Technology& tech, const CampaignConfig& config) {
+  thread_local std::unique_ptr<DeckPool> pool;
+  if (pool == nullptr || !same_timing(pool->timing, config.timing)) {
+    auto fresh = std::make_unique<DeckPool>();
+    fresh->timing = config.timing;
+    // The build corner is arbitrary: patch() re-derives every corner- and
+    // trial-dependent value before each simulation.
+    const cell::TechCorner base = tech.read_corner(cell::Corner::Typical);
+    for (int d = 0; d < 2; ++d) {
+      fresh->standard[d] = std::make_unique<cell::StandardPowerCycleDeck>(
+          tech, base, d == 1, config.timing);
+    }
+    for (int v = 0; v < 4; ++v) {
+      fresh->proposed[v] = std::make_unique<cell::MultibitPowerCycleDeck>(
+          tech, base, (v & 1) != 0, (v & 2) != 0, config.timing);
+    }
+    pool = std::move(fresh);
+  }
+  return *pool;
+}
+
 /// Runs one simulation (any latch circuit) and reads back the listed
 /// captures: (captureTime, expectedHighOut) pairs on out/outb.
-CellObservation simulate_cell(spice::Circuit& circuit, double tEnd,
-                              const CampaignConfig& config, double vdd,
+CellObservation simulate_cell(spice::Simulator& sim, spice::Circuit& circuit,
+                              double tEnd, const CampaignConfig& config, double vdd,
                               const std::vector<std::pair<double, bool>>& captures) {
   CellObservation obs;
   Trace trace;
   trace.watch_node(circuit, "out");
   trace.watch_node(circuit, "outb");
-  spice::Simulator sim(circuit);
   TransientOptions opt;
   opt.tStop = tEnd;
   opt.dt = config.timestep;
@@ -207,20 +248,25 @@ DesignTrialResult run_standard(const CampaignConfig& config,
                                const cell::Technology& tech,
                                const TrialSample& s) {
   Rng mismatch(s.mismatchSeedStandard);
+  DeckPool& decks = trial_decks(tech, config);
   std::vector<CellObservation> cells;
   const double tCap = config.timing.wakeDone() + config.timing.read.evalEnd();
   for (int bit = 0; bit < 2; ++bit) {
     const bool d = bit == 0 ? s.d0 : s.d1;
-    StandardLatchInstance inst = StandardNvLatch::build_power_cycle(
-        tech, s.corner, d, config.timing, &mismatch, config.sigmaVthMismatch);
+    // Both bits patch from ONE continuing rng, exactly like the two builds
+    // used to, so the per-transistor draw stream is unchanged.
+    cell::StandardPowerCycleDeck& deck = *decks.standard[d ? 1 : 0];
+    deck.patch(s.corner, &mismatch, config.sigmaVthMismatch);
+    StandardLatchInstance& inst = deck.inst;
     inst.mtjOut->set_model(MtjModel(s.pillar[bit * 2 + 0]));
     inst.mtjOutb->set_model(MtjModel(s.pillar[bit * 2 + 1]));
     if (s.defectInjected && s.defectVictim / 2 == bit) {
       (s.defectVictim % 2 == 0 ? inst.mtjOut : inst.mtjOutb)
           ->inject_defect(s.defectKind);
     }
+    spice::Simulator sim(deck.compiled, deck.ws);
     CellObservation obs =
-        simulate_cell(inst.circuit, inst.tEnd, config, tech.vdd, {{tCap, d}});
+        simulate_cell(sim, inst.circuit, inst.tEnd, config, tech.vdd, {{tCap, d}});
     obs.writeOk = inst.mtjOut->orientation() == std_out_state(d) &&
                   inst.mtjOutb->orientation() == opposite(std_out_state(d));
     cells.push_back(std::move(obs));
@@ -232,9 +278,11 @@ DesignTrialResult run_proposed(const CampaignConfig& config,
                                const cell::Technology& tech,
                                const TrialSample& s) {
   Rng mismatch(s.mismatchSeedProposed);
-  MultibitLatchInstance inst = MultibitNvLatch::build_power_cycle(
-      tech, s.corner, s.d0, s.d1, config.timing, &mismatch,
-      config.sigmaVthMismatch);
+  DeckPool& decks = trial_decks(tech, config);
+  cell::MultibitPowerCycleDeck& deck =
+      *decks.proposed[(s.d0 ? 1 : 0) | (s.d1 ? 2 : 0)];
+  deck.patch(s.corner, &mismatch, config.sigmaVthMismatch);
+  MultibitLatchInstance& inst = deck.inst;
   // Pillar alignment with the standard pair: same draw feeds the pillar
   // holding the same logical bit on the same output side.
   mtj::MtjDevice* byPillar[4] = {inst.mtj3, inst.mtj4, inst.mtj1, inst.mtj2};
@@ -242,8 +290,9 @@ DesignTrialResult run_proposed(const CampaignConfig& config,
     byPillar[p]->set_model(MtjModel(s.pillar[p]));
   if (s.defectInjected) byPillar[s.defectVictim]->inject_defect(s.defectKind);
 
+  spice::Simulator sim(deck.compiled, deck.ws);
   CellObservation obs =
-      simulate_cell(inst.circuit, inst.tEnd, config, tech.vdd,
+      simulate_cell(sim, inst.circuit, inst.tEnd, config, tech.vdd,
                     {{inst.tCapture0, s.d0}, {inst.tCapture1, s.d1}});
   // D0 = 1 <=> MTJ3 AP (out discharges slower in phase 1);
   // D1 = 1 <=> MTJ1 P  (out charges faster in phase 2).

@@ -54,19 +54,23 @@ const char* recovery_stage_name(RecoveryStage stage) {
   return "?";
 }
 
-Simulator::Simulator(const Circuit& circuit) : circuit_(circuit) {}
+Simulator::Simulator(const Circuit& circuit)
+    : compiled_(nullptr),
+      ws_(nullptr),
+      ownedCompiled_(std::make_unique<CompiledCircuit>(circuit)),
+      ownedWs_(std::make_unique<SimWorkspace>()) {
+  compiled_ = ownedCompiled_.get();
+  ws_ = ownedWs_.get();
+  ws_->bind(*compiled_);
+}
+
+Simulator::Simulator(const CompiledCircuit& compiled, SimWorkspace& workspace)
+    : compiled_(&compiled), ws_(&workspace) {
+  ws_->bind(compiled);
+}
 
 std::string Simulator::unknown_name(std::size_t index) const {
-  const std::size_t numNodes = circuit_.num_nodes();
-  if (index < numNodes) {
-    return circuit_.node_name(static_cast<NodeId>(index + 1));
-  }
-  const std::size_t branch = index - numNodes;
-  for (const auto& device : circuit_.devices()) {
-    const auto* vs = dynamic_cast<const VoltageSource*>(device.get());
-    if (vs != nullptr && vs->branch_index() == branch) return "I(" + vs->name() + ")";
-  }
-  return format("branch#%zu", branch);
+  return compiled_->unknown_name(index);
 }
 
 void Simulator::note_failure(const NewtonOutcome& outcome) {
@@ -74,14 +78,33 @@ void Simulator::note_failure(const NewtonOutcome& outcome) {
   report_.worstDelta = outcome.worstDelta;
 }
 
+void Simulator::refresh_tape(const SimState& base) {
+  auto& ws = *ws_;
+  ws.tape.reset();
+  ws.tapeJacEnd.clear();
+  ws.tapeRhsEnd.clear();
+  Stamper recorder(ws.jacobian, ws.rhs, compiled_->num_nodes(), &ws.tape);
+  for (const auto& item : compiled_->plan()) {
+    if (item.linear) item.device->stamp(recorder, base);
+    ws.tapeJacEnd.push_back(static_cast<std::uint32_t>(ws.tape.jac.size()));
+    ws.tapeRhsEnd.push_back(static_cast<std::uint32_t>(ws.tape.rhs.size()));
+  }
+}
+
 Simulator::NewtonOutcome Simulator::newton_solve(std::vector<double>& x,
                                                  const SimState& stateTemplate,
                                                  const NewtonOptions& options) {
-  const std::size_t numNodes = circuit_.num_nodes();
-  const std::size_t unknowns = circuit_.num_unknowns();
-  jacobian_.resize(unknowns);
-  rhs_.assign(unknowns, 0.0);
-  std::vector<double> xNew(unknowns, 0.0);
+  const std::size_t numNodes = compiled_->num_nodes();
+  const std::size_t unknowns = compiled_->num_unknowns();
+  auto& ws = *ws_;
+  const auto& plan = compiled_->plan();
+
+  // Linear stamps are value-invariant across NR iterations (they may depend
+  // on time/dt/previous but never on the iterate — Device::stamp contract):
+  // record them once for this solve, replay per iteration.
+  SimState base = stateTemplate;
+  base.numNodes = numNodes;
+  refresh_tape(base);
 
   NewtonOutcome outcome;
   for (int iter = 0; iter < options.maxIterations; ++iter) {
@@ -95,22 +118,38 @@ Simulator::NewtonOutcome Simulator::newton_solve(std::vector<double>& x,
     ++stats_.totalNewtonIterations;
     ++report_.iterations;
     outcome.iterations = iter + 1;
-    jacobian_.clear();
-    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+    ws.lu.clear_for_restamp(ws.jacobian);
+    std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
 
     SimState state = stateTemplate;
     state.numNodes = numNodes;
     state.iterate = &x;
 
-    Stamper stamper(jacobian_, rhs_, numNodes);
-    for (const auto& device : circuit_.devices()) device->stamp(stamper, state);
+    // Replay tape slices and live-stamp nonlinear devices interleaved in
+    // plan order, so per-slot accumulation order (and therefore every FP
+    // rounding) matches a full stamp pass bit for bit.
+    Stamper stamper(ws.jacobian, ws.rhs, numNodes);
+    double* jac = ws.jacobian.data();
+    std::size_t j0 = 0;
+    std::size_t r0 = 0;
+    for (std::size_t pi = 0; pi < plan.size(); ++pi) {
+      if (plan[pi].linear) {
+        const std::size_t j1 = ws.tapeJacEnd[pi];
+        for (; j0 < j1; ++j0) jac[ws.tape.jac[j0].slot] += ws.tape.jac[j0].value;
+        const std::size_t r1 = ws.tapeRhsEnd[pi];
+        for (; r0 < r1; ++r0) ws.rhs[ws.tape.rhs[r0].row] += ws.tape.rhs[r0].value;
+      } else {
+        plan[pi].device->stamp(stamper, state);
+      }
+    }
     // gmin from every node to ground stabilizes floating nodes.
-    for (std::size_t i = 0; i < numNodes; ++i) jacobian_.add(i, i, options.gmin);
+    for (std::size_t i = 0; i < numNodes; ++i) ws.jacobian.add(i, i, options.gmin);
 
-    if (!jacobian_.solve(rhs_, xNew)) {
+    if (!ws.lu.solve_in_place(ws.jacobian, ws.rhs, ws.xNew)) {
       outcome.failure = SolveStatus::SingularMatrix;
       return outcome;
     }
+    const std::vector<double>& xNew = ws.xNew;
 
     // Damped update with voltage clamping; convergence is judged per
     // unknown against absTol + relTol * |iterate| (the relative reference
@@ -228,10 +267,10 @@ SolveReport Simulator::solve_dc(Solution& out, const NewtonOptions& options,
                                 const RecoveryOptions& recovery) {
   report_ = SolveReport{};
   cancel_ = recovery.cancel;
-  std::vector<double> x(circuit_.num_unknowns(), 0.0);
+  std::vector<double> x(compiled_->num_unknowns(), 0.0);
   report_.status = dc_with_recovery(x, options, recovery);
   if (report_.ok()) {
-    out = Solution(std::move(x), circuit_.num_nodes());
+    out = Solution(std::move(x), compiled_->num_nodes());
     report_.message = format("dc: converged via %s (%ld iterations)",
                              recovery_stage_name(report_.deepestStage),
                              report_.iterations);
@@ -276,9 +315,14 @@ SolveReport Simulator::run_transient_from(const Solution& initial,
     return report_;
   }
   const Deadline deadline(recovery.deadlineSeconds);
-  const std::size_t numNodes = circuit_.num_nodes();
-  std::vector<double> prev = initial.raw();
-  prev.resize(circuit_.num_unknowns(), 0.0);
+  const std::size_t numNodes = compiled_->num_nodes();
+  // Committed state and per-step scratch live in the workspace so repeated
+  // steps (and repeated analyses on a pooled workspace) reuse capacity
+  // instead of allocating.
+  auto& ws = *ws_;
+  ws.xPrev = initial.raw();
+  ws.xPrev.resize(compiled_->num_unknowns(), 0.0);
+  std::vector<double>& prev = ws.xPrev;
 
   if (observer) observer(0.0, Solution(prev, numNodes));
 
@@ -288,14 +332,14 @@ SolveReport Simulator::run_transient_from(const Solution& initial,
     // State at the start of this step; every recovery attempt restarts from
     // here (a failed or to-be-repolished attempt must not leak its partial
     // solution into the next one).
-    const std::vector<double> stepStart = prev;
+    ws.stepStart = prev;
 
     // Attempts one pass over [t, tNext] in `pieces` sub-steps with the given
     // Newton options; on success commits into prev.
     auto attempt = [&](int pieces, const NewtonOptions& newton,
                        NewtonOutcome& lastFail) -> bool {
-      std::vector<double> work = stepStart;
-      std::vector<double> segPrev = stepStart;
+      ws.work = ws.stepStart;
+      ws.segPrev = ws.stepStart;
       double tSeg = t;
       const double h = (tNext - t) / pieces;
       for (int p = 0; p < pieces; ++p) {
@@ -305,15 +349,15 @@ SolveReport Simulator::run_transient_from(const Solution& initial,
         state.dt = h;
         state.transient = true;
         state.numNodes = numNodes;
-        state.previous = &segPrev;
-        const NewtonOutcome out = newton_solve(work, state, newton);
+        state.previous = &ws.segPrev;
+        const NewtonOutcome out = newton_solve(ws.work, state, newton);
         if (!out.converged) {
           lastFail = out;
           return false;
         }
-        segPrev = work;
+        ws.segPrev = ws.work;
       }
-      prev = std::move(segPrev);
+      prev = ws.segPrev;
       return true;
     };
 
@@ -404,7 +448,7 @@ SolveReport Simulator::run_transient_from(const Solution& initial,
     converged.numNodes = numNodes;
     converged.iterate = &prev;
     converged.previous = &prev;
-    for (const auto& device : circuit_.devices()) device->end_step(converged);
+    for (Device* device : compiled_->stateful_devices()) device->end_step(converged);
 
     if (observer) observer(t, Solution(prev, numNodes));
   }

@@ -23,11 +23,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/compiled.hpp"
+#include "spice/workspace.hpp"
 #include "util/cancellation.hpp"
 
 namespace nvff::spice {
@@ -143,9 +146,19 @@ private:
 
 /// Runs analyses over a Circuit. The circuit must outlive the simulator and
 /// must not gain nodes/devices between analyses.
+///
+/// Two construction modes:
+///  * `Simulator(circuit)` compiles the circuit and owns a private
+///    workspace — the original API, one-shot friendly.
+///  * `Simulator(compiled, workspace)` runs on caller-owned state, the
+///    run-many path: campaigns compile each deck once per worker thread and
+///    re-run analyses against pooled workspaces, patching device parameters
+///    between trials instead of rebuilding the deck.
+/// Both modes produce bit-identical results.
 class Simulator {
 public:
   explicit Simulator(const Circuit& circuit);
+  Simulator(const CompiledCircuit& compiled, SimWorkspace& workspace);
 
   /// Observer invoked after the initial operating point (t = 0) and after
   /// every converged major step.
@@ -215,9 +228,16 @@ private:
   /// Records failure diagnostics from a Newton outcome into report_.
   void note_failure(const NewtonOutcome& outcome);
 
-  const Circuit& circuit_;
-  DenseMatrix jacobian_;
-  std::vector<double> rhs_;
+  /// Refreshes the linear-stamp tape for one Newton solve (records every
+  /// linear device's contributions under `base`, which must carry the
+  /// solve's time/dt/transient/sourceScale/previous).
+  void refresh_tape(const SimState& base);
+
+  const CompiledCircuit* compiled_;
+  SimWorkspace* ws_;
+  /// Set only by the compile-on-construction ctor.
+  std::unique_ptr<CompiledCircuit> ownedCompiled_;
+  std::unique_ptr<SimWorkspace> ownedWs_;
   Stats stats_;
   SolveReport report_;
   /// Active cancellation token for the analysis in flight (not owned).

@@ -1,0 +1,72 @@
+#include "spice/compiled.hpp"
+
+#include "util/strings.hpp"
+
+namespace nvff::spice {
+
+CompiledCircuit::CompiledCircuit(const Circuit& circuit)
+    : circuit_(&circuit),
+      numNodes_(circuit.num_nodes()),
+      numUnknowns_(circuit.num_unknowns()) {
+  const std::size_t n = numUnknowns_;
+  wordsPerRow_ = (n + 63) / 64;
+  pattern_.assign(n * wordsPerRow_, 0);
+
+  plan_.reserve(circuit.devices().size());
+  for (const auto& device : circuit.devices()) {
+    plan_.push_back({device.get(), !device->is_nonlinear()});
+    if (device->has_step_state()) stateful_.push_back(device.get());
+  }
+
+  // Probe stamp: record every matrix slot any device can touch. Slot sets
+  // are state-independent (Device::stamp contract), so one DC pass and one
+  // transient pass around a zero iterate cover the full structure. The tape
+  // captures the add() calls; the probe matrix itself is never written.
+  DenseMatrix probeJac(n);
+  std::vector<double> probeRhs(n, 0.0);
+  const std::vector<double> zeros(n, 0.0);
+  StampTape tape;
+  const auto set_bit = [&](std::uint32_t slot) {
+    const std::size_t row = slot / n;
+    const std::size_t col = slot % n;
+    pattern_[row * wordsPerRow_ + (col >> 6)] |= std::uint64_t{1} << (col & 63U);
+  };
+  const auto harvest = [&](const SimState& state) {
+    for (const auto& item : plan_) {
+      tape.reset();
+      Stamper probe(probeJac, probeRhs, numNodes_, &tape);
+      item.device->stamp(probe, state);
+      for (const auto& entry : tape.jac) set_bit(entry.slot);
+    }
+  };
+  SimState dc;
+  dc.numNodes = numNodes_;
+  dc.iterate = &zeros;
+  dc.previous = &zeros;
+  harvest(dc);
+  SimState tran = dc;
+  tran.transient = true;
+  tran.dt = 1e-12;
+  tran.time = 1e-12;
+  harvest(tran);
+  // The engine adds gmin on every node diagonal.
+  for (std::size_t i = 0; i < numNodes_; ++i) {
+    pattern_[i * wordsPerRow_ + (i >> 6)] |= std::uint64_t{1} << (i & 63U);
+  }
+
+  unknownNames_.reserve(n);
+  for (std::size_t i = 0; i < numNodes_; ++i) {
+    unknownNames_.push_back(circuit.node_name(static_cast<NodeId>(i + 1)));
+  }
+  for (std::size_t b = 0; b < circuit.num_branches(); ++b) {
+    unknownNames_.push_back(format("branch#%zu", b));
+  }
+  for (const auto& device : circuit.devices()) {
+    const auto* vs = dynamic_cast<const VoltageSource*>(device.get());
+    if (vs != nullptr) {
+      unknownNames_[numNodes_ + vs->branch_index()] = "I(" + vs->name() + ")";
+    }
+  }
+}
+
+} // namespace nvff::spice

@@ -1,0 +1,76 @@
+// CompiledCircuit: the immutable half of the compile-once/run-many split.
+//
+// Compiling a Circuit walks it once and precomputes everything the solver
+// would otherwise rediscover on every Newton iteration:
+//  * the stamp plan — device pointers classified linear/nonlinear, so the
+//    engine can cache the value-invariant linear stamps per solve and only
+//    re-evaluate nonlinear devices per iteration (see Device::stamp contract),
+//  * the structural occupancy pattern of the MNA matrix, probe-stamped once;
+//    SparseLu uses it to factorize without visiting structurally-zero slots,
+//  * the stateful-device list (end_step targets) and precomputed unknown
+//    names for diagnostics.
+//
+// A CompiledCircuit holds non-owning pointers into the Circuit: the Circuit
+// must outlive it and must not gain nodes or devices afterwards (mutating
+// existing device parameters or waveforms is fine — that is the whole point
+// of the deck patch() API). Solving mutates device state (MTJ magnetization),
+// so one compiled instance belongs to one thread at a time; campaigns compile
+// a separate instance per worker thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace nvff::spice {
+
+class CompiledCircuit {
+public:
+  explicit CompiledCircuit(const Circuit& circuit);
+  CompiledCircuit(const CompiledCircuit&) = delete;
+  CompiledCircuit& operator=(const CompiledCircuit&) = delete;
+
+  const Circuit& circuit() const { return *circuit_; }
+  std::size_t num_nodes() const { return numNodes_; }
+  std::size_t num_unknowns() const { return numUnknowns_; }
+
+  /// One entry per device, in Circuit device order (stamp order is part of
+  /// the engine's bit-exactness contract: FP accumulation is order-sensitive).
+  struct PlanItem {
+    Device* device;
+    bool linear; ///< stamp is value-invariant across NR iterations
+  };
+  const std::vector<PlanItem>& plan() const { return plan_; }
+
+  /// Devices whose end_step does real work (has_step_state() == true).
+  const std::vector<Device*>& stateful_devices() const { return stateful_; }
+
+  /// Structural matrix occupancy as row bitsets: bit c of row r's
+  /// words_per_row() words is set iff some device can stamp slot (r, c) or
+  /// the engine adds gmin there. Probe-stamped at compile time.
+  const std::vector<std::uint64_t>& pattern() const { return pattern_; }
+  std::size_t words_per_row() const { return wordsPerRow_; }
+  bool pattern_bit(std::size_t row, std::size_t col) const {
+    return (pattern_[row * wordsPerRow_ + (col >> 6)] >>
+            (col & 63U)) & 1U;
+  }
+
+  /// Display name of unknown `index` (node name or "I(source)").
+  const std::string& unknown_name(std::size_t index) const {
+    return unknownNames_[index];
+  }
+
+private:
+  const Circuit* circuit_;
+  std::size_t numNodes_ = 0;
+  std::size_t numUnknowns_ = 0;
+  std::size_t wordsPerRow_ = 0;
+  std::vector<PlanItem> plan_;
+  std::vector<Device*> stateful_;
+  std::vector<std::uint64_t> pattern_;
+  std::vector<std::string> unknownNames_;
+};
+
+} // namespace nvff::spice

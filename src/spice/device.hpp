@@ -9,6 +9,7 @@
 // devices stamp their linearization around the current iterate.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -58,11 +59,41 @@ struct SimState {
   }
 };
 
+/// Recorded stamp contributions of the value-invariant (linear) devices:
+/// flat matrix slots and RHS rows with the value each device added. The
+/// engine records the tape once per Newton solve and replays it on every
+/// iteration, preserving the exact accumulation order a direct stamp pass
+/// would have produced (FP addition is not associative, so order matters
+/// for bit-identical results).
+struct StampTape {
+  struct JacEntry {
+    std::uint32_t slot; ///< row * dim + col in the dense matrix
+    double value;
+  };
+  struct RhsEntry {
+    std::uint32_t row;
+    double value;
+  };
+  std::vector<JacEntry> jac;
+  std::vector<RhsEntry> rhs;
+
+  void reset() {
+    jac.clear();
+    rhs.clear();
+  }
+};
+
 /// Write access to the MNA matrix and right-hand side with ground folding.
+/// When constructed with a StampTape the stamper records contributions into
+/// the tape instead of applying them (the compiled engine's cache path).
 class Stamper {
 public:
   Stamper(DenseMatrix& jacobian, std::vector<double>& rhs, std::size_t numNodes)
       : jacobian_(jacobian), rhs_(rhs), numNodes_(numNodes) {}
+
+  Stamper(DenseMatrix& jacobian, std::vector<double>& rhs, std::size_t numNodes,
+          StampTape* tape)
+      : jacobian_(jacobian), rhs_(rhs), numNodes_(numNodes), tape_(tape) {}
 
   std::size_t num_nodes() const { return numNodes_; }
 
@@ -139,16 +170,26 @@ private:
 
   void add(std::size_t r, std::size_t c, double v) {
     if (r == kGroundRow || c == kGroundRow) return;
+    if (tape_ != nullptr) {
+      tape_->jac.push_back(
+          {static_cast<std::uint32_t>(r * jacobian_.size() + c), v});
+      return;
+    }
     jacobian_.add(r, c, v);
   }
   void rhs_entry(std::size_t r, double v) {
     if (r == kGroundRow) return;
+    if (tape_ != nullptr) {
+      tape_->rhs.push_back({static_cast<std::uint32_t>(r), v});
+      return;
+    }
     rhs_[r] += v;
   }
 
   DenseMatrix& jacobian_;
   std::vector<double>& rhs_;
   std::size_t numNodes_;
+  StampTape* tape_ = nullptr;
 };
 
 class Circuit;
@@ -164,10 +205,20 @@ public:
   const std::string& name() const { return name_; }
 
   /// Contributes the device's linearized equations for the current iterate.
+  ///
+  /// Contract for linear devices (is_nonlinear() == false): the stamped
+  /// values must not depend on state.iterate, and the set of matrix slots
+  /// and RHS rows touched must not depend on state at all. The compiled
+  /// engine relies on this to record linear stamps once per Newton solve
+  /// and replay them on every iteration.
   virtual void stamp(Stamper& stamper, const SimState& state) = 0;
 
   /// True if the device needs Newton-Raphson iteration.
   virtual bool is_nonlinear() const { return false; }
+
+  /// True if end_step does real work (internal state to integrate). The
+  /// engine only walks stateful devices after each committed step.
+  virtual bool has_step_state() const { return false; }
 
   /// Called once after a transient step converged; devices with internal
   /// state (MTJ magnetization) integrate it here.

@@ -14,12 +14,19 @@ void DenseMatrix::resize(std::size_t n) {
 
 void DenseMatrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
 
+double DenseMatrix::max_abs() const {
+  double best = 0.0;
+  for (const double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
 bool DenseMatrix::solve(const std::vector<double>& b, std::vector<double>& x) const {
   const std::size_t n = n_;
   if (b.size() != n) return false;
   std::vector<double> lu = data_;
   std::vector<std::size_t> perm(n);
   for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  const double pivotTol = kSingularRelTol * max_abs();
 
   // Doolittle LU with partial pivoting.
   for (std::size_t k = 0; k < n; ++k) {
@@ -32,7 +39,7 @@ bool DenseMatrix::solve(const std::vector<double>& b, std::vector<double>& x) co
         pivot = i;
       }
     }
-    if (best < 1e-300) return false;
+    if (best <= pivotTol) return false;
     std::swap(perm[k], perm[pivot]);
     const double diag = lu[perm[k] * n + k];
     for (std::size_t i = k + 1; i < n; ++i) {
@@ -55,14 +62,13 @@ bool DenseMatrix::solve(const std::vector<double>& b, std::vector<double>& x) co
     for (std::size_t j = 0; j < i; ++j) acc -= row[j] * y[j];
     y[i] = acc;
   }
-  // Back substitution.
+  // Back substitution. Every diagonal passed the pivot test above, so no
+  // further singularity check is needed here.
   for (std::size_t ii = n; ii-- > 0;) {
     double acc = y[ii];
     const double* row = &lu[perm[ii] * n];
     for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
-    const double diag = row[ii];
-    if (std::fabs(diag) < 1e-300) return false;
-    x[ii] = acc / diag;
+    x[ii] = acc / row[ii];
   }
   return true;
 }

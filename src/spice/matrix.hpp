@@ -2,12 +2,23 @@
 //
 // The latch circuits this library simulates have tens of unknowns, so a
 // cache-friendly dense LU with partial pivoting beats any sparse machinery.
+// The compiled-circuit fast path (sparse_lu.hpp) layers a structural-pattern
+// cache on top of this storage; both share the pivot tolerance below so they
+// agree on what counts as singular.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 namespace nvff::spice {
+
+/// A pivot is singular when it is this small RELATIVE to the largest entry
+/// of the matrix being factorized. The old absolute 1e-300 test passed any
+/// badly-scaled singular system whose residual pivots stayed above double
+/// underflow; a relative test is scale-free. The margin is chosen so the
+/// smallest legitimate pivots the engine produces (gmin-only diagonals at
+/// 1e-12 against branch-row entries of 1.0) clear it by ~100x.
+inline constexpr double kSingularRelTol = 1e-14;
 
 /// Row-major dense matrix with LU factorization (partial pivoting).
 class DenseMatrix {
@@ -29,8 +40,16 @@ public:
     data_[row * n_ + col] += value;
   }
 
+  /// Raw row-major storage (flat slot = row * size() + col).
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Largest absolute entry (the scale reference for the pivot tolerance).
+  double max_abs() const;
+
   /// Factorizes a copy of this matrix and solves A x = b.
-  /// Returns false if the matrix is numerically singular.
+  /// Returns false if the matrix is numerically singular (pivot below
+  /// kSingularRelTol relative to the matrix scale).
   bool solve(const std::vector<double>& b, std::vector<double>& x) const;
 
   /// Infinity norm of the matrix (max absolute row sum).

@@ -70,6 +70,12 @@ public:
   MosType type() const { return type_; }
   const MosGeometry& geometry() const { return geometry_; }
   const MosParams& params() const { return params_; }
+  /// Replaces the electrical parameters in place (the deck patch() API:
+  /// campaigns move a compiled deck to a new corner / mismatch draw without
+  /// rebuilding it). The parasitic capacitors the Circuit factory derived at
+  /// creation time are NOT re-derived; corners and Vth mismatch never touch
+  /// the capacitance parameters, so they stay valid.
+  void set_params(const MosParams& params) { params_ = params; }
   NodeId drain() const { return drain_; }
   NodeId gate() const { return gate_; }
   NodeId source() const { return source_; }

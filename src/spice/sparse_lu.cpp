@@ -1,0 +1,330 @@
+#include "spice/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvff::spice {
+
+namespace {
+constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+} // namespace
+
+void SparseLu::bind(const CompiledCircuit& compiled) {
+  compiled_ = &compiled;
+  n_ = compiled.num_unknowns();
+  words_ = compiled.words_per_row();
+  rowOrder_.clear();
+  haveOrder_ = false;
+  symbolicStale_ = false;
+  denseDirty_ = false;
+  probation_ = false;
+  fill_.clear();
+  fillSlots_.clear();
+  packedCol_.clear();
+  packed_.clear();
+  factored_.clear();
+  rowBeginPk_.clear();
+  diagPk_.clear();
+  rowEndPk_.clear();
+  scanIdx_.clear();
+  scanOff_.clear();
+  expectSel_.clear();
+  updFlat_.clear();
+  updOff_.clear();
+  perm_.assign(n_, 0);
+  y_.assign(n_, 0.0);
+  fastSolves_ = 0;
+  denseSolves_ = 0;
+}
+
+void SparseLu::clear_for_restamp(DenseMatrix& a) {
+  if (denseDirty_ || !haveOrder_ || symbolicStale_) {
+    a.clear();
+    denseDirty_ = false;
+    return;
+  }
+  // Fast path: the previous solve's gather already zeroed every pattern
+  // slot, and nothing else was written. The matrix is clean.
+}
+
+void SparseLu::rebuild_symbolic() {
+  const std::size_t n = n_;
+  const std::size_t w = words_;
+  fill_.assign(compiled_->pattern().begin(), compiled_->pattern().end());
+
+  // Simulate the elimination under rowOrder_ on the bitsets: eliminating
+  // column k spreads the pivot row's columns > k into every later row that
+  // holds an entry in column k.
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint64_t* src = &fill_[rowOrder_[k] * w];
+    const std::size_t kw = k >> 6;
+    const std::uint64_t aboveMask =
+        (k & 63U) == 63U ? 0 : (~std::uint64_t{0} << ((k & 63U) + 1));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      std::uint64_t* dst = &fill_[rowOrder_[i] * w];
+      if (((dst[kw] >> (k & 63U)) & 1U) == 0) continue;
+      dst[kw] |= src[kw] & aboveMask;
+      for (std::size_t wi = kw + 1; wi < w; ++wi) dst[wi] |= src[wi];
+    }
+  }
+
+  // Packed layout: the filled slots in row-major order, so each row is a
+  // contiguous ascending-column run. slotToPk maps (row * n + col) back to
+  // the packed index while the lists below are built.
+  fillSlots_.clear();
+  packedCol_.clear();
+  std::vector<std::uint32_t> slotToPk(n * n, kNoSlot);
+  std::vector<std::uint32_t> rowBegin(n + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    rowBegin[r] = static_cast<std::uint32_t>(fillSlots_.size());
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!fill_bit(r, c)) continue;
+      slotToPk[r * n + c] = static_cast<std::uint32_t>(fillSlots_.size());
+      fillSlots_.push_back(static_cast<std::uint32_t>(r * n + c));
+      packedCol_.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+  rowBegin[n] = static_cast<std::uint32_t>(fillSlots_.size());
+  packed_.assign(fillSlots_.size(), 0.0);
+  factored_.assign(fillSlots_.size(), 0.0);
+
+  rowBeginPk_.assign(n, 0);
+  diagPk_.assign(n, 0);
+  rowEndPk_.assign(n, 0);
+  scanIdx_.clear();
+  scanOff_.assign(n + 1, 0);
+  expectSel_.assign(n, kNoSlot);
+  updFlat_.clear();
+  updOff_.assign(n + 1, 0);
+
+  // Replay the dense algorithm's permutation evolution under the cached
+  // order to precompute, for every step, the exact position-ordered pivot
+  // scan and the factor/update slots. As long as a live solve's pivots
+  // match rowOrder_, its permutation state equals this simulation.
+  std::vector<std::size_t> perm(n), pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+    pos[i] = i;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t pr = rowOrder_[k];
+    rowBeginPk_[k] = rowBegin[pr];
+    diagPk_[k] = slotToPk[pr * n + k];
+    rowEndPk_[k] = rowBegin[pr + 1];
+
+    for (std::size_t i = k; i < n; ++i) {
+      const std::size_t r = perm[i];
+      const std::uint32_t pk = slotToPk[r * n + k];
+      if (pk == kNoSlot) continue;
+      if (r == pr) expectSel_[k] = static_cast<std::uint32_t>(scanIdx_.size());
+      scanIdx_.push_back(pk);
+    }
+    scanOff_[k + 1] = static_cast<std::uint32_t>(scanIdx_.size());
+
+    const std::size_t p = pos[pr];
+    std::swap(perm[k], perm[p]);
+    pos[perm[p]] = p;
+    pos[perm[k]] = k;
+
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const std::size_t r = perm[i];
+      const std::uint32_t fk = slotToPk[r * n + k];
+      if (fk == kNoSlot) continue;
+      updFlat_.push_back(fk);
+      for (std::uint32_t u = diagPk_[k] + 1; u < rowEndPk_[k]; ++u) {
+        // fill(r, k) and fill(pr, c > k) imply fill(r, c) by construction.
+        updFlat_.push_back(slotToPk[r * n + packedCol_[u]]);
+      }
+    }
+    updOff_[k + 1] = static_cast<std::uint32_t>(updFlat_.size());
+  }
+  symbolicStale_ = false;
+}
+
+bool SparseLu::dense_factor_from(double* d, std::size_t k0, double pivotTol) {
+  const std::size_t n = n_;
+  for (std::size_t k = k0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::fabs(d[perm_[k] * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(d[perm_[i] * n + k]);
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best <= pivotTol) return false;
+    std::swap(perm_[k], perm_[pivot]);
+    const double diag = d[perm_[k] * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double& factor = d[perm_[i] * n + k];
+      factor /= diag;
+      const double f = factor;
+      if (f == 0.0) continue;
+      const double* src = &d[perm_[k] * n];
+      double* dst = &d[perm_[i] * n];
+      for (std::size_t j = k + 1; j < n; ++j) dst[j] -= f * src[j];
+    }
+  }
+  return true;
+}
+
+void SparseLu::dense_substitute(const double* d, const std::vector<double>& b,
+                                std::vector<double>& x) {
+  const std::size_t n = n_;
+  x.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    const double* row = &d[perm_[i] * n];
+    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * y_[j];
+    y_[i] = acc;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y_[ii];
+    const double* row = &d[perm_[ii] * n];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+    x[ii] = acc / row[ii];
+  }
+}
+
+bool SparseLu::dense_solve(DenseMatrix& a, const std::vector<double>& b,
+                           std::vector<double>& x, double pivotTol) {
+  const std::size_t n = n_;
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  denseDirty_ = true;
+  ++denseSolves_;
+  if (!dense_factor_from(a.data(), 0, pivotTol)) {
+    haveOrder_ = false; // re-record the order on the next solve
+    return false;
+  }
+  rowOrder_.assign(perm_.begin(), perm_.end());
+  haveOrder_ = true;
+  symbolicStale_ = true;
+  dense_substitute(a.data(), b, x);
+  return true;
+}
+
+bool SparseLu::solve_in_place(DenseMatrix& a, const std::vector<double>& b,
+                              std::vector<double>& x) {
+  const std::size_t n = n_;
+  double* d = a.data();
+
+  if (!haveOrder_) {
+    // First factorization (or the cached order was dropped): plain dense
+    // elimination, recording the pivot order for the fast path.
+    return dense_solve(a, b, x, kSingularRelTol * a.max_abs());
+  }
+  if (probation_) {
+    // The pivot order deviated recently (typically the Newton walk-in from
+    // zero, where it flips back and forth). Solve densely — no doomed fast
+    // attempt, no symbolic rebuild — until the order holds steady once.
+    prevOrder_.assign(rowOrder_.begin(), rowOrder_.end());
+    const bool ok = dense_solve(a, b, x, kSingularRelTol * a.max_abs());
+    if (ok && rowOrder_ == prevOrder_) probation_ = false;
+    return ok;
+  }
+  if (symbolicStale_) rebuild_symbolic();
+
+  // Gather the pattern slots into the packed buffers, zeroing them behind
+  // us so the next restamp starts from a clean matrix for free. packed_
+  // keeps the pristine values (a pivot deviation scatters them back for the
+  // dense fallback); factored_ is the copy the elimination destroys. Slots
+  // outside the filled pattern are exactly zero, so the packed max equals a
+  // full max_abs(); the four lanes break the serial max dependency chain
+  // and merge to the identical result.
+  const std::size_t m = fillSlots_.size();
+  double* pk = packed_.data();
+  double mx0 = 0.0, mx1 = 0.0, mx2 = 0.0, mx3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double v0 = d[fillSlots_[i]];
+    const double v1 = d[fillSlots_[i + 1]];
+    const double v2 = d[fillSlots_[i + 2]];
+    const double v3 = d[fillSlots_[i + 3]];
+    d[fillSlots_[i]] = 0.0;
+    d[fillSlots_[i + 1]] = 0.0;
+    d[fillSlots_[i + 2]] = 0.0;
+    d[fillSlots_[i + 3]] = 0.0;
+    pk[i] = v0;
+    pk[i + 1] = v1;
+    pk[i + 2] = v2;
+    pk[i + 3] = v3;
+    mx0 = std::max(mx0, std::fabs(v0));
+    mx1 = std::max(mx1, std::fabs(v1));
+    mx2 = std::max(mx2, std::fabs(v2));
+    mx3 = std::max(mx3, std::fabs(v3));
+  }
+  for (; i < m; ++i) {
+    const double v = d[fillSlots_[i]];
+    d[fillSlots_[i]] = 0.0;
+    pk[i] = v;
+    mx0 = std::max(mx0, std::fabs(v));
+  }
+  const double maxAbs = std::max(std::max(mx0, mx1), std::max(mx2, mx3));
+  const double pivotTol = kSingularRelTol * maxAbs;
+  double* fk = factored_.data();
+  std::copy(pk, pk + m, fk);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot scan in precomputed position order. The dense scan starts from
+    // position k (exact 0.0 when that row has no entry in column k) and
+    // only a strictly larger magnitude displaces the running best, so
+    // first-max over this list replicates it bit for bit.
+    const std::uint32_t sBegin = scanOff_[k];
+    const std::uint32_t sEnd = scanOff_[k + 1];
+    double best = 0.0;
+    std::uint32_t sel = kNoSlot;
+    for (std::uint32_t si = sBegin; si < sEnd; ++si) {
+      const double v = std::fabs(fk[scanIdx_[si]]);
+      if (v > best) {
+        best = v;
+        sel = si;
+      }
+    }
+    if (best <= pivotTol) return false; // matrix already cleared; dense agrees
+    if (sel != expectSel_[k]) {
+      // Pivot deviated from the cached order: scatter the pristine values
+      // back (restoring the matrix exactly as stamped) and solve densely,
+      // adopting the new order. Probation keeps subsequent solves dense
+      // until the order settles.
+      for (std::size_t s = 0; s < m; ++s) d[fillSlots_[s]] = pk[s];
+      probation_ = true;
+      return dense_solve(a, b, x, pivotTol);
+    }
+
+    const double diag = fk[diagPk_[k]];
+    const std::uint32_t uBegin = diagPk_[k] + 1;
+    const std::uint32_t uLen = rowEndPk_[k] - uBegin;
+    const std::uint32_t* grp = updFlat_.data() + updOff_[k];
+    const std::uint32_t* grpEnd = updFlat_.data() + updOff_[k + 1];
+    for (; grp != grpEnd; grp += 1 + uLen) {
+      const double f = (fk[grp[0]] /= diag);
+      if (f == 0.0) continue;
+      for (std::uint32_t u = 0; u < uLen; ++u) {
+        fk[grp[1 + u]] -= f * fk[uBegin + u];
+      }
+    }
+  }
+
+  // Pattern-guided substitution over the packed rows; every term the dense
+  // substitution would add beyond these is an exact no-op.
+  x.assign(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[rowOrder_[r]];
+    for (std::uint32_t t = rowBeginPk_[r]; t < diagPk_[r]; ++t) {
+      acc -= fk[t] * y_[packedCol_[t]];
+    }
+    y_[r] = acc;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y_[ii];
+    for (std::uint32_t t = diagPk_[ii] + 1; t < rowEndPk_[ii]; ++t) {
+      acc -= fk[t] * x[packedCol_[t]];
+    }
+    x[ii] = acc / fk[diagPk_[ii]];
+  }
+  ++fastSolves_;
+  return true;
+}
+
+} // namespace nvff::spice

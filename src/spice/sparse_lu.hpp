@@ -1,0 +1,151 @@
+// Pattern-cached LU with a precomputed flat fast path.
+//
+// The MNA matrices this engine factorizes are small (tens of unknowns) but
+// are solved hundreds of thousands of times per campaign, always with the
+// same structural occupancy (the compiled circuit's probe-stamped pattern)
+// and, in practice, a stable pivot order from one Newton iteration to the
+// next. SparseLu exploits both:
+//
+//  * the first factorization runs the plain dense algorithm in place and
+//    records the pivot order;
+//  * a symbolic pass then simulates the elimination on the occupancy bitsets
+//    to find the fill-in, and — assuming the cached pivot order holds —
+//    precomputes every index the numeric factorization will touch: the
+//    pivot scan list per column (in the exact position order the dense scan
+//    visits), the factor/update slot list per elimination step, and the
+//    packed row ranges for the substitutions;
+//  * fast solves gather the pattern slots into a packed buffer (the dense
+//    matrix is left untouched), verify each pivot choice against the scan
+//    list, and run the elimination as straight-line walks over the flat
+//    lists — no permutation bookkeeping, no occupancy tests;
+//  * if a pivot choice ever deviates from the recorded order, the packed
+//    attempt is abandoned and the solve falls back to plain dense
+//    elimination on the still-pristine matrix, records the new order, and
+//    rebuilds the flat lists lazily before the next fast solve.
+//
+// Results are bit-identical to DenseMatrix::solve: slots outside the filled
+// pattern hold exact 0.0, so every term the flat lists skip is an exact
+// no-op, and the scan lists replicate the dense partial-pivot scan order —
+// including first-max tie-breaks. Shares kSingularRelTol with
+// DenseMatrix::solve so both paths agree on what counts as singular.
+// Not thread-safe; one instance lives in each SimWorkspace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spice/compiled.hpp"
+#include "spice/matrix.hpp"
+
+namespace nvff::spice {
+
+class SparseLu {
+public:
+  /// Binds to a compiled circuit's structural pattern and resets all cached
+  /// numeric state. The caller must zero the workspace matrix when binding.
+  void bind(const CompiledCircuit& compiled);
+
+  /// Zeroes `a` for restamping. On the fast path this is free: the gather
+  /// zeroes every pattern slot as it reads it, so the matrix is already
+  /// clean when the next stamp begins. After a dense factorization the
+  /// whole matrix is wiped.
+  void clear_for_restamp(DenseMatrix& a);
+
+  /// Solves a x = b. Fast solves move the pattern slots out of `a` (zeroing
+  /// them for the next restamp) and factorize a packed copy; dense
+  /// fallbacks factorize `a` IN PLACE (destroying its contents). Returns
+  /// false when the matrix is numerically singular. `b` must have size
+  /// a.size(). Results are bit-identical to DenseMatrix::solve for finite
+  /// inputs.
+  bool solve_in_place(DenseMatrix& a, const std::vector<double>& b,
+                      std::vector<double>& x);
+
+  /// Counters for tests and the perf benchmarks: how many solves went
+  /// through the cached fast path vs full dense elimination.
+  long fast_solve_count() const { return fastSolves_; }
+  long dense_solve_count() const { return denseSolves_; }
+
+  /// Slots in the filled pattern (structural + fill-in); 0 until the first
+  /// symbolic pass. Exposed for tests and the perf benchmarks.
+  std::size_t fill_slot_count() const { return fillSlots_.size(); }
+
+private:
+  bool fill_bit(std::size_t row, std::size_t col) const {
+    return (fill_[row * words_ + (col >> 6)] >> (col & 63U)) & 1U;
+  }
+
+  /// Recomputes fill-in and every flat list for the current rowOrder_.
+  void rebuild_symbolic();
+
+  /// Dense elimination of columns [k0, n) on the current perm_, recording
+  /// the final order on success. `pivotTol` is the precomputed relative
+  /// singularity threshold.
+  bool dense_factor_from(double* d, std::size_t k0, double pivotTol);
+
+  /// Dense forward/back substitution using perm_.
+  void dense_substitute(const double* d, const std::vector<double>& b,
+                        std::vector<double>& x);
+
+  /// Shared dense fallback: factorize the pristine `a` from scratch, adopt
+  /// the new pivot order, and solve. Sets denseDirty_/symbolicStale_.
+  bool dense_solve(DenseMatrix& a, const std::vector<double>& b,
+                   std::vector<double>& x, double pivotTol);
+
+  const CompiledCircuit* compiled_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+
+  /// Original row eliminated at each step (the cached pivot order).
+  std::vector<std::size_t> rowOrder_;
+  bool haveOrder_ = false;
+  bool symbolicStale_ = false;
+  /// Set after a pivot deviation: the order is unstable (typical during the
+  /// Newton walk-in from zero, where the pivot order flips back and forth).
+  /// While on probation, solves run dense — skipping both the doomed fast
+  /// attempt and the symbolic rebuild — until the dense order matches the
+  /// cached one twice in a row.
+  bool probation_ = false;
+  /// True when slots outside the filled pattern may be nonzero (after any
+  /// dense elimination); forces a full clear before the next restamp.
+  bool denseDirty_ = false;
+
+  /// Structural pattern + fill-in under rowOrder_, as row bitsets.
+  std::vector<std::uint64_t> fill_;
+  /// Flat row-major slots of fill_ (for gathers and pattern clears). The
+  /// packed buffer below is indexed parallel to this list, so each packed
+  /// row is a contiguous ascending-column run.
+  std::vector<std::uint32_t> fillSlots_;
+  /// Column of each packed slot (fillSlots_[i] % n, precomputed).
+  std::vector<std::uint32_t> packedCol_;
+
+  /// Packed numeric buffers: packed_ holds the gathered (pristine) pattern
+  /// slots so a pivot deviation can scatter them back for the dense
+  /// fallback; factored_ is the working copy the elimination destroys.
+  std::vector<double> packed_;
+  std::vector<double> factored_;
+
+  /// Per elimination step k (all indices into packed_):
+  ///  * rowBeginPk_/diagPk_/rowEndPk_: the packed row of pivot rowOrder_[k];
+  ///    [rowBeginPk_, diagPk_) are its L factors (forward substitution),
+  ///    (diagPk_, rowEndPk_) its U entries (update sources / back subst).
+  ///  * scanIdx_[scanOff_[k]..scanOff_[k+1]): column-k slots of the pivot
+  ///    candidates, in the exact position order the dense scan visits them;
+  ///    expectSel_[k] is the absolute scanIdx_ index the cached order picks.
+  ///  * updFlat_[updOff_[k]..updOff_[k+1]): per candidate row below the
+  ///    pivot, a group of 1 + (rowEndPk_[k] - diagPk_[k] - 1) entries: the
+  ///    factor slot, then the update-target slot for each pivot U entry.
+  std::vector<std::uint32_t> rowBeginPk_, diagPk_, rowEndPk_;
+  std::vector<std::uint32_t> scanIdx_, scanOff_, expectSel_;
+  std::vector<std::uint32_t> updFlat_, updOff_;
+
+  /// Dense-path permutation scratch (position -> original row) and the
+  /// previous order kept around for the probation stability check.
+  std::vector<std::size_t> perm_;
+  std::vector<std::size_t> prevOrder_;
+  std::vector<double> y_;
+
+  long fastSolves_ = 0;
+  long denseSolves_ = 0;
+};
+
+} // namespace nvff::spice

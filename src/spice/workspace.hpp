@@ -1,0 +1,75 @@
+// SimWorkspace: the mutable half of the compile-once/run-many split.
+//
+// Everything a Newton solve scribbles on lives here — the MNA matrix, RHS,
+// iterate buffers, the linear-stamp tape, the transient step buffers, and
+// the pattern-cached LU state. A workspace is bound to one CompiledCircuit
+// at a time and can be rebound (campaign thread pools keep one workspace per
+// deck per worker). Binding sizes every buffer once; after the first solve
+// the engine performs no heap allocation in the Newton inner loop.
+//
+// Not thread-safe: one workspace per thread, like the compiled circuit it
+// is bound to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spice/compiled.hpp"
+#include "spice/matrix.hpp"
+#include "spice/sparse_lu.hpp"
+
+namespace nvff::spice {
+
+class SimWorkspace {
+public:
+  SimWorkspace() = default;
+  SimWorkspace(const SimWorkspace&) = delete;
+  SimWorkspace& operator=(const SimWorkspace&) = delete;
+
+  /// (Re)binds the workspace to a compiled circuit, sizing and zeroing every
+  /// buffer. Idempotent when already bound to the same instance.
+  void bind(const CompiledCircuit& compiled) {
+    if (bound_ == &compiled) return;
+    bound_ = &compiled;
+    const std::size_t n = compiled.num_unknowns();
+    jacobian.resize(n); // resize() also zeroes, restoring the LU invariant
+    rhs.assign(n, 0.0);
+    xNew.assign(n, 0.0);
+    tape.reset();
+    tapeJacEnd.clear();
+    tapeRhsEnd.clear();
+    xPrev.clear();
+    stepStart.clear();
+    work.clear();
+    segPrev.clear();
+    lu.bind(compiled);
+  }
+
+  const CompiledCircuit* bound() const { return bound_; }
+
+  // Newton solve scratch.
+  DenseMatrix jacobian;
+  std::vector<double> rhs;
+  std::vector<double> xNew;
+
+  // Linear-stamp tape, refreshed once per Newton solve, plus the cumulative
+  // per-plan-item extents that let the engine replay tape slices interleaved
+  // with live nonlinear stamping in exact plan order.
+  StampTape tape;
+  std::vector<std::uint32_t> tapeJacEnd;
+  std::vector<std::uint32_t> tapeRhsEnd;
+
+  // Transient stepping buffers (committed state, step start, attempt
+  // scratch); members so repeated steps reuse capacity.
+  std::vector<double> xPrev;
+  std::vector<double> stepStart;
+  std::vector<double> work;
+  std::vector<double> segPrev;
+
+  SparseLu lu;
+
+private:
+  const CompiledCircuit* bound_ = nullptr;
+};
+
+} // namespace nvff::spice

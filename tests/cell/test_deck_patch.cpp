@@ -1,0 +1,132 @@
+// Deck-template contract: a compiled deck that has been patched (corner,
+// mismatch, MTJ state) and re-run must be bit-identical to a freshly built
+// instance with the same parameters. This is what lets the campaigns reuse
+// one compiled deck per worker thread for thousands of trials.
+#include "cell/multibit_latch.hpp"
+#include "cell/standard_latch.hpp"
+#include "spice/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace nvff::cell {
+namespace {
+
+using mtj::MtjOrientation;
+
+struct RunResult {
+  std::vector<double> lastSolution;
+  MtjOrientation out;
+  MtjOrientation outb;
+
+  bool operator==(const RunResult& o) const {
+    return lastSolution == o.lastSolution && out == o.out && outb == o.outb;
+  }
+};
+
+RunResult run_standard_deck(StandardPowerCycleDeck& deck) {
+  spice::Simulator sim(deck.compiled, deck.ws);
+  spice::TransientOptions opt;
+  opt.tStop = deck.inst.tEnd;
+  opt.dt = 4e-12;
+  RunResult r;
+  sim.transient(opt, [&](double, const spice::Solution& s) { r.lastSolution = s.raw(); });
+  r.out = deck.inst.mtjOut->orientation();
+  r.outb = deck.inst.mtjOutb->orientation();
+  return r;
+}
+
+RunResult run_standard_instance(StandardLatchInstance& inst) {
+  spice::Simulator sim(inst.circuit);
+  spice::TransientOptions opt;
+  opt.tStop = inst.tEnd;
+  opt.dt = 4e-12;
+  RunResult r;
+  sim.transient(opt, [&](double, const spice::Solution& s) { r.lastSolution = s.raw(); });
+  r.out = inst.mtjOut->orientation();
+  r.outb = inst.mtjOutb->orientation();
+  return r;
+}
+
+TEST(DeckPatch, ReusedDeckMatchesFreshBuildBitwise) {
+  const Technology tech = Technology::table1();
+  const TechCorner typical = tech.read_corner(Corner::Typical);
+  const TechCorner fast = tech.read_corner(Corner::Best);
+  const PowerCycleTiming timing{};
+
+  StandardPowerCycleDeck reused(tech, typical, /*d=*/true, timing);
+  reused.patch(typical);
+  const RunResult first = run_standard_deck(reused);
+
+  // Drive the same deck through a different corner (different waveform,
+  // different MTJ end state), then patch back: the third run must reproduce
+  // the first bit for bit — nothing from the intervening trial leaks.
+  reused.patch(fast);
+  run_standard_deck(reused);
+  reused.patch(typical);
+  const RunResult again = run_standard_deck(reused);
+  EXPECT_TRUE(first == again);
+
+  // And a fresh compile of the same scenario agrees exactly.
+  StandardPowerCycleDeck fresh(tech, typical, /*d=*/true, timing);
+  fresh.patch(typical);
+  const RunResult freshRun = run_standard_deck(fresh);
+  EXPECT_TRUE(first == freshRun);
+}
+
+TEST(DeckPatch, MismatchDrawOrderMatchesBuilder) {
+  const Technology tech = Technology::table1();
+  const TechCorner tc = tech.read_corner(Corner::Typical);
+  const PowerCycleTiming timing{};
+  const double sigma = 0.02;
+
+  // Builder path: draws one Vth offset per transistor at creation.
+  Rng builderRng(7);
+  StandardLatchInstance built = StandardNvLatch::build_power_cycle(
+      tech, tc, /*d=*/true, timing, &builderRng, sigma);
+  const RunResult builtRun = run_standard_instance(built);
+
+  // Patch path: same seed, offsets applied by walking the compiled deck's
+  // devices in creation order. The draw streams must line up exactly.
+  Rng patchRng(7);
+  StandardPowerCycleDeck deck(tech, tc, /*d=*/true, timing);
+  deck.patch(tc, &patchRng, sigma);
+  const RunResult patchedRun = run_standard_deck(deck);
+
+  EXPECT_TRUE(builtRun == patchedRun);
+}
+
+TEST(DeckPatch, MultibitDeckReuseIsDeterministic) {
+  const Technology tech = Technology::table1();
+  const TechCorner typical = tech.read_corner(Corner::Typical);
+  const TechCorner slow = tech.read_corner(Corner::Worst);
+  const PowerCycleTiming timing{};
+
+  MultibitPowerCycleDeck deck(tech, typical, /*d0=*/true, /*d1=*/false, timing);
+
+  const auto run = [&]() {
+    spice::Simulator sim(deck.compiled, deck.ws);
+    spice::TransientOptions opt;
+    opt.tStop = deck.inst.tEnd;
+    opt.dt = 4e-12;
+    std::vector<double> last;
+    sim.transient(opt, [&](double, const spice::Solution& s) { last = s.raw(); });
+    return std::make_tuple(last, deck.inst.mtj1->orientation(),
+                           deck.inst.mtj2->orientation(),
+                           deck.inst.mtj3->orientation(),
+                           deck.inst.mtj4->orientation());
+  };
+
+  deck.patch(typical);
+  const auto first = run();
+  deck.patch(slow);
+  run();
+  deck.patch(typical);
+  const auto again = run();
+  EXPECT_TRUE(first == again);
+}
+
+} // namespace
+} // namespace nvff::cell

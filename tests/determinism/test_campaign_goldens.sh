@@ -1,0 +1,46 @@
+#!/bin/sh
+# Determinism pin for the campaign CLIs: with a fixed seed, the Monte-Carlo
+# and power-fail campaigns must print byte-identical output to the recorded
+# goldens — across thread counts (threads=2 exercises the work-stealing
+# schedule) and across engine refactors. The goldens were recorded before the
+# compile-once/run-many engine migration, so a diff here means the migration
+# (or a later change) perturbed campaign numerics.
+#
+#   usage: test_campaign_goldens.sh /path/to/nvfftool /path/to/golden-dir
+set -u
+
+NVFFTOOL="$1"
+GOLDEN_DIR="$2"
+failures=0
+
+note() { printf '%s\n' "$*" >&2; }
+
+check() {
+  name="$1"
+  golden="$GOLDEN_DIR/$2"
+  shift 2
+  out=$("$NVFFTOOL" "$@" 2>/dev/null)
+  if [ ! -f "$golden" ]; then
+    note "FAIL $name: missing golden $golden"
+    failures=$((failures + 1))
+    return
+  fi
+  if printf '%s\n' "$out" | diff -u "$golden" - >/dev/null 2>&1; then
+    note "ok   $name"
+  else
+    note "FAIL $name: output differs from $golden"
+    printf '%s\n' "$out" | diff -u "$golden" - | head -40 >&2
+    failures=$((failures + 1))
+  fi
+}
+
+check "mc seed=1 threads=2" mc_trials32_seed1.txt \
+  mc --trials 32 --seed 1 --threads 2
+check "powerfail seed=1 threads=2" powerfail_trials64_seed1.txt \
+  powerfail --trials 64 --seed 1 --threads 2
+
+if [ "$failures" -ne 0 ]; then
+  note "$failures golden comparison(s) failed"
+  exit 1
+fi
+exit 0

@@ -51,6 +51,38 @@ TEST(DenseMatrix, DetectsSingular) {
   EXPECT_FALSE(a.solve({1.0, 2.0}, x));
 }
 
+TEST(DenseMatrix, SolvesBadlyScaledWellConditionedSystem) {
+  // Every entry is ~1e-12: tiny in absolute terms, yet the system is
+  // perfectly conditioned (it is SolvesGeneralSystem uniformly scaled down).
+  // Any absolute pivot threshold near machine epsilon would misclassify it
+  // as singular; the relative test (kSingularRelTol * max_abs) must accept
+  // it and solve to full accuracy. Companion conductances of femtofarad
+  // wire capacitors at picosecond steps put real solves in this regime.
+  DenseMatrix a(2);
+  a.add(0, 0, 2e-12);
+  a.add(0, 1, 1e-12);
+  a.add(1, 0, 1e-12);
+  a.add(1, 1, 3e-12);
+  std::vector<double> x;
+  ASSERT_TRUE(a.solve({5e-12, 10e-12}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(DenseMatrix, DetectsSingularAtLargeScale) {
+  // The rank-1 matrix of DetectsSingular blown up to 1e12: the eliminated
+  // pivot's rounding residue can sit far above any fixed absolute epsilon
+  // while being ~1e-16 relative to the matrix scale. Only the relative test
+  // classifies this correctly.
+  DenseMatrix a(2);
+  a.add(0, 0, 1e12);
+  a.add(0, 1, 2e12);
+  a.add(1, 0, 2e12);
+  a.add(1, 1, 4e12);
+  std::vector<double> x;
+  EXPECT_FALSE(a.solve({1e12, 2e12}, x));
+}
+
 TEST(DenseMatrix, SolveLargeWellConditioned) {
   // Diagonally dominant random-ish system; verify A*x = b.
   const std::size_t n = 40;
