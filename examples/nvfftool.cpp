@@ -28,6 +28,7 @@
 #include "cell/scalable_latch.hpp"
 #include "cell/standard_latch.hpp"
 #include "core/reports.hpp"
+#include "erc/detlint.hpp"
 #include "erc/erc.hpp"
 #include "faults/powerfail.hpp"
 #include "physdes/def_io.hpp"
@@ -260,6 +261,61 @@ int cmd_lint(const std::vector<std::string>& args) {
                 results.size(), errors, warnings);
   }
   return errors > 0 ? 1 : 0;
+}
+
+// --- lint-src ---------------------------------------------------------------
+
+int lint_src_usage() {
+  std::fprintf(stderr,
+               "usage: nvfftool lint-src [--json] [--suppress RULE]... "
+               "[--root DIR] [file...]\n"
+               "  Determinism linter over the C++ sources themselves. With no\n"
+               "  files, recursively lints --root (default: ./src). Nonzero\n"
+               "  exit on any finding. Suppress a single line with\n"
+               "  '// DETLINT-ALLOW(RULE): reason' on or above it.\n"
+               "  rules:\n");
+  for (const auto& rule : erc::detlint_rules())
+    std::fprintf(stderr, "    %s  %s\n", rule.id, rule.summary);
+  return 2;
+}
+
+int cmd_lint_src(const std::vector<std::string>& args) {
+  bool json = false;
+  std::string root = "src";
+  std::vector<std::string> files;
+  erc::DetLintOptions opt;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--json") json = true;
+    else if (a == "--help" || a == "-h") return lint_src_usage();
+    else if (a == "--suppress" && i + 1 < args.size()) {
+      opt.suppress.push_back(args[++i]);
+    } else if (a == "--root" && i + 1 < args.size()) {
+      root = args[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "lint-src: unknown option '%s'\n", a.c_str());
+      return lint_src_usage();
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  erc::Report report;
+  if (files.empty()) {
+    report = erc::detlint_tree(root, opt);
+  } else {
+    for (const std::string& f : files) report.merge(erc::detlint_file(f, opt));
+  }
+
+  if (json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else if (report.empty()) {
+    std::printf("lint-src: clean (%s)\n",
+                files.empty() ? root.c_str() : "explicit file list");
+  } else {
+    std::printf("%s", report.to_text().c_str());
+  }
+  return report.has_errors() ? 1 : 0;
 }
 
 // --- shared campaign supervision flags ---------------------------------------
@@ -556,6 +612,8 @@ int usage() {
       "  export <benchmark> <dir> write .bench/.v/.def/.sp artifacts\n"
       "  lint [--json] <target>   static ERC/lint (benchmark, .bench file,\n"
       "                           deck:<standard|flipped|multibit|scalableN>, all)\n"
+      "  lint-src [--json] [...]  determinism linter over the C++ sources\n"
+      "                           ('nvfftool lint-src --help' for rules)\n"
       "  mc [options]             Monte-Carlo reliability campaign over both\n"
       "                           latch designs ('nvfftool mc --help' for options)\n"
       "  powerfail [options]      power-interruption fault-injection campaign\n"
@@ -581,6 +639,9 @@ int main(int argc, char** argv) {
     if (cmd == "export" && argc >= 4) return cmd_export(argv[2], argv[3]);
     if (cmd == "lint") {
       return cmd_lint(std::vector<std::string>(argv + 2, argv + argc));
+    }
+    if (cmd == "lint-src") {
+      return cmd_lint_src(std::vector<std::string>(argv + 2, argv + argc));
     }
     if (cmd == "mc") {
       const std::vector<std::string> mcArgs(argv + 2, argv + argc);

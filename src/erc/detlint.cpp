@@ -1,0 +1,529 @@
+#include "erc/detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace nvff::erc {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// --- rule table --------------------------------------------------------------
+
+const std::vector<DetLintRule> kRules = {
+    {"DET001", "wall-clock read (now()/time()/clock()) in a trial path"},
+    {"DET002", "ambient RNG (rand, srand, std::random_device)"},
+    {"DET003", "std <random> engine; use counter-based util/rng.hpp streams"},
+    {"DET004", "iteration over an unordered container (hash-order dependent)"},
+    {"DET005", "parallel execution policy (std::execution / OpenMP)"},
+    {"DET006", "std::map/std::set keyed by pointer (address-order dependent)"},
+    {"DET007", "malformed DETLINT-ALLOW (unknown rule or missing reason)"},
+};
+
+bool is_known_rule(const std::string& id) {
+  for (const auto& r : kRules)
+    if (id == r.id) return true;
+  return false;
+}
+
+// --- comment/string stripping + DETLINT-ALLOW collection ---------------------
+
+struct Allow {
+  int line = 0;          ///< 1-based line of the DETLINT-ALLOW token
+  std::string rule;      ///< rule id inside the parentheses
+  bool wellFormed = false; ///< known rule id AND nonempty reason after ':'
+  std::string problem;   ///< what is wrong when !wellFormed
+};
+
+/// Parses DETLINT-ALLOW(<rule>): <reason> annotations out of comment text.
+/// `line` is where the comment text begins; embedded newlines advance it.
+void collect_allows(const std::string& comment, int line,
+                    std::vector<Allow>& allows) {
+  static const std::string kTag = "DETLINT-ALLOW";
+  std::size_t pos = 0;
+  int currentLine = line;
+  std::size_t lastNewlineScan = 0;
+  for (;;) {
+    const std::size_t hit = comment.find(kTag, pos);
+    if (hit == std::string::npos) return;
+    currentLine += static_cast<int>(
+        std::count(comment.begin() + static_cast<std::ptrdiff_t>(lastNewlineScan),
+                   comment.begin() + static_cast<std::ptrdiff_t>(hit), '\n'));
+    lastNewlineScan = hit;
+    pos = hit + kTag.size();
+
+    // Only a tag that STARTS its comment line (allowing block-comment `*`
+    // gutters) is an annotation; mid-sentence mentions are prose about the
+    // mechanism, not uses of it.
+    bool startsLine = true;
+    for (std::size_t b = hit; b-- > 0 && comment[b] != '\n';) {
+      if (comment[b] != ' ' && comment[b] != '\t' && comment[b] != '*') {
+        startsLine = false;
+        break;
+      }
+    }
+    if (!startsLine) continue;
+
+    Allow a;
+    a.line = currentLine;
+    std::size_t p = pos;
+    if (p >= comment.size() || comment[p] != '(') {
+      a.problem = "expected '(' after DETLINT-ALLOW";
+      allows.push_back(a);
+      continue;
+    }
+    const std::size_t close = comment.find(')', ++p);
+    if (close == std::string::npos) {
+      a.problem = "unterminated DETLINT-ALLOW rule list";
+      allows.push_back(a);
+      continue;
+    }
+    a.rule = std::string(trim(comment.substr(p, close - p)));
+    p = close + 1;
+    // Mandatory ": reason" — a suppression without a why is itself a finding.
+    while (p < comment.size() && (comment[p] == ' ' || comment[p] == '\t')) ++p;
+    std::string reason;
+    if (p < comment.size() && comment[p] == ':') {
+      const std::size_t eol = comment.find('\n', p);
+      reason = std::string(trim(comment.substr(
+          p + 1, (eol == std::string::npos ? comment.size() : eol) - p - 1)));
+    }
+    if (!is_known_rule(a.rule)) {
+      a.problem = "unknown rule id '" + a.rule + "'";
+    } else if (reason.empty()) {
+      a.problem = "missing ': reason' after DETLINT-ALLOW(" + a.rule + ")";
+    } else {
+      a.wellFormed = true;
+    }
+    allows.push_back(a);
+    pos = close;
+  }
+}
+
+struct StrippedSource {
+  std::vector<std::string> lines; ///< code only; comments/literals blanked
+  std::vector<Allow> allows;
+};
+
+/// Blanks comments, string literals and char literals (preserving line
+/// structure) so rule matching never fires on prose, and harvests the
+/// DETLINT-ALLOW annotations from the comment text it removes.
+StrippedSource strip_source(const std::string& text) {
+  StrippedSource out;
+  std::string current;
+  int line = 1;
+  enum class State { Code, LineComment, BlockComment, String, Char };
+  State state = State::Code;
+  std::string comment; // accumulates the current comment's text
+  int commentLine = 0;
+
+  auto flush_comment = [&] {
+    collect_allows(comment, commentLine, out.allows);
+    comment.clear();
+  };
+  auto end_line = [&] {
+    out.lines.push_back(current);
+    current.clear();
+    ++line;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          commentLine = line;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          commentLine = line;
+          ++i;
+        } else if (c == '"') {
+          // Raw strings R"(...)" are rare in this tree; treat the opening
+          // quote conservatively (plain-string rules still apply safely).
+          state = State::String;
+          current += ' ';
+        } else if (c == '\'') {
+          state = State::Char;
+          current += ' ';
+        } else if (c == '\n') {
+          end_line();
+        } else {
+          current += c;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          flush_comment();
+          state = State::Code;
+          end_line();
+        } else {
+          comment += c;
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          flush_comment();
+          state = State::Code;
+          ++i;
+        } else {
+          comment += c;
+          if (c == '\n') end_line();
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+        } else if (c == '\n') {
+          end_line(); // unterminated; keep line numbering intact
+          state = State::Code;
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+        } else if (c == '\n') {
+          end_line();
+          state = State::Code;
+        }
+        break;
+    }
+  }
+  if (state == State::LineComment || state == State::BlockComment)
+    flush_comment();
+  out.lines.push_back(current);
+  return out;
+}
+
+// --- token helpers -----------------------------------------------------------
+
+struct Token {
+  std::size_t begin = 0;
+  std::size_t end = 0; ///< one past the last character
+  std::string text;
+};
+
+std::vector<Token> identifiers(const std::string& line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (is_ident_char(line[i]) &&
+        std::isdigit(static_cast<unsigned char>(line[i])) == 0) {
+      Token t;
+      t.begin = i;
+      while (i < line.size() && is_ident_char(line[i])) ++i;
+      t.end = i;
+      t.text = line.substr(t.begin, t.end - t.begin);
+      out.push_back(std::move(t));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+char next_nonspace(const std::string& line, std::size_t from) {
+  while (from < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[from])) != 0)
+    ++from;
+  return from < line.size() ? line[from] : '\0';
+}
+
+bool preceded_by(const std::string& line, std::size_t begin,
+                 const std::string& prefix) {
+  return begin >= prefix.size() &&
+         line.compare(begin - prefix.size(), prefix.size(), prefix) == 0;
+}
+
+bool word_in(const std::string& word, std::initializer_list<const char*> set) {
+  for (const char* w : set)
+    if (word == w) return true;
+  return false;
+}
+
+/// Skips a balanced <...> starting at `pos` (which must point at '<').
+/// Returns the index one past the closing '>', or npos when unbalanced
+/// within the line.
+std::size_t skip_angle_brackets(const std::string& line, std::size_t pos) {
+  int depth = 0;
+  for (; pos < line.size(); ++pos) {
+    if (line[pos] == '<') ++depth;
+    else if (line[pos] == '>') {
+      if (--depth == 0) return pos + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+// --- per-file scan -----------------------------------------------------------
+
+struct Finding {
+  std::string rule;
+  int line = 0;
+  std::string message;
+  std::string hint;
+};
+
+void scan_line_rules(const std::string& line, int lineNo,
+                     std::vector<Finding>& findings) {
+  // DET005: preprocessor-level checks first (need the raw code line).
+  const std::string_view trimmed = trim(line);
+  if (starts_with(trimmed, "#")) {
+    if (trimmed.find("pragma") != std::string_view::npos &&
+        trimmed.find("omp") != std::string_view::npos) {
+      findings.push_back({"DET005", lineNo, "OpenMP pragma in a trial path",
+                          "parallelism belongs in ThreadPool with per-index "
+                          "Rng streams"});
+    }
+    if (trimmed.find("include") != std::string_view::npos &&
+        trimmed.find("<execution>") != std::string_view::npos) {
+      findings.push_back({"DET005", lineNo, "#include <execution>",
+                          "parallel algorithms reduce in nondeterministic "
+                          "order; use ThreadPool + slot-indexed output"});
+    }
+  }
+
+  for (const Token& t : identifiers(line)) {
+    const char after = t.end < line.size() ? next_nonspace(line, t.end) : '\0';
+
+    // DET001 — wall-clock reads.
+    if (t.text == "now" && after == '(' && preceded_by(line, t.begin, "::")) {
+      findings.push_back({"DET001", lineNo, "clock read '::now()'",
+                          "trial code must not read clocks; derive everything "
+                          "from (seed, trialId)"});
+    } else if (after == '(' &&
+               word_in(t.text, {"time", "gettimeofday", "clock", "localtime",
+                                "gmtime", "mktime", "ftime"})) {
+      findings.push_back({"DET001", lineNo,
+                          "wall-clock call '" + t.text + "()'",
+                          "trial code must not read clocks; derive everything "
+                          "from (seed, trialId)"});
+    } else if (word_in(t.text, {"__DATE__", "__TIME__", "__TIMESTAMP__"})) {
+      findings.push_back({"DET001", lineNo,
+                          "build-time timestamp macro " + t.text,
+                          "timestamps bake nondeterminism into the binary"});
+    }
+
+    // DET002 — ambient RNG.
+    if (after == '(' && word_in(t.text, {"rand", "srand", "drand48", "lrand48",
+                                         "mrand48", "random"})) {
+      findings.push_back({"DET002", lineNo,
+                          "ambient RNG call '" + t.text + "()'",
+                          "use Rng::stream(seed, trialId) from util/rng.hpp"});
+    } else if (t.text == "random_device") {
+      findings.push_back({"DET002", lineNo, "std::random_device",
+                          "hardware entropy is unreproducible by definition; "
+                          "use Rng::stream(seed, trialId)"});
+    }
+
+    // DET003 — std <random> engines.
+    if (word_in(t.text,
+                {"mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+                 "default_random_engine", "ranlux24", "ranlux24_base",
+                 "ranlux48", "ranlux48_base", "knuth_b",
+                 "mersenne_twister_engine", "linear_congruential_engine",
+                 "subtract_with_carry_engine"})) {
+      findings.push_back(
+          {"DET003", lineNo, "std <random> engine '" + t.text + "'",
+           "std engines are not portable across stdlibs and invite seeding "
+           "from time; use the xoshiro Rng in util/rng.hpp"});
+    }
+
+    // DET005 — parallel execution policies.
+    if (t.text == "execution" && preceded_by(line, t.begin, "std::") &&
+        t.end + 1 < line.size() && line.compare(t.end, 2, "::") == 0) {
+      findings.push_back({"DET005", lineNo, "std::execution policy",
+                          "parallel algorithms reduce in nondeterministic "
+                          "order; use ThreadPool + slot-indexed output"});
+    }
+
+    // DET006 — ordered containers keyed by pointer.
+    if (word_in(t.text, {"map", "set", "multimap", "multiset"}) &&
+        t.end < line.size() && line[t.end] == '<') {
+      std::size_t p = t.end + 1;
+      int depth = 1;
+      std::size_t argEnd = std::string::npos;
+      for (; p < line.size(); ++p) {
+        if (line[p] == '<') ++depth;
+        else if (line[p] == '>') {
+          if (--depth == 0) { argEnd = p; break; }
+        } else if (line[p] == ',' && depth == 1) {
+          argEnd = p;
+          break;
+        }
+      }
+      if (argEnd != std::string::npos) {
+        const std::string_view firstArg =
+            trim(std::string_view(line).substr(t.end + 1, argEnd - t.end - 1));
+        if (!firstArg.empty() && firstArg.back() == '*') {
+          findings.push_back(
+              {"DET006", lineNo,
+               "std::" + t.text + " keyed by pointer ('" +
+                   std::string(firstArg) + "')",
+               "address order depends on the allocator and ASLR; key by a "
+               "stable id instead"});
+        }
+      }
+    }
+  }
+}
+
+/// DET004: names declared as unordered containers in this file, then any
+/// range-for or .begin()/.cbegin() iteration over one of those names.
+void scan_unordered_iteration(const std::vector<std::string>& lines,
+                              std::vector<Finding>& findings) {
+  std::vector<std::string> names;
+  for (const std::string& line : lines) {
+    for (const Token& t : identifiers(line)) {
+      if (!word_in(t.text, {"unordered_map", "unordered_set",
+                            "unordered_multimap", "unordered_multiset"}))
+        continue;
+      if (t.end >= line.size() || line[t.end] != '<') continue;
+      std::size_t p = skip_angle_brackets(line, t.end);
+      if (p == std::string::npos) continue;
+      while (p < line.size() &&
+             (std::isspace(static_cast<unsigned char>(line[p])) != 0 ||
+              line[p] == '&' || line[p] == '*'))
+        ++p;
+      std::size_t q = p;
+      while (q < line.size() && is_ident_char(line[q])) ++q;
+      if (q > p) names.push_back(line.substr(p, q - p));
+    }
+  }
+  if (names.empty()) return;
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    const auto tokens = identifiers(line);
+    // Range-for over a tracked name: `for (... : <expr containing name>)`.
+    const std::size_t forPos = [&]() -> std::size_t {
+      for (const Token& t : tokens)
+        if (t.text == "for") return t.begin;
+      return std::string::npos;
+    }();
+    const std::size_t colon = line.find(" : ");
+    for (const std::string& name : names) {
+      bool flagged = false;
+      for (const Token& t : tokens) {
+        if (t.text != name) continue;
+        const bool inRangeFor = forPos != std::string::npos &&
+                                colon != std::string::npos &&
+                                t.begin > colon && forPos < colon;
+        const bool viaBegin =
+            line.compare(t.end, 7, ".begin(") == 0 ||
+            line.compare(t.end, 8, ".cbegin(") == 0;
+        if (inRangeFor || viaBegin) {
+          findings.push_back(
+              {"DET004", static_cast<int>(li + 1),
+               "iteration over unordered container '" + name + "'",
+               "hash order is libstdc++-version- and size-dependent; iterate "
+               "a sorted copy or key the results by index"});
+          flagged = true;
+          break;
+        }
+      }
+      if (flagged) break; // one finding per line is enough to gate
+    }
+  }
+}
+
+} // namespace
+
+const std::vector<DetLintRule>& detlint_rules() { return kRules; }
+
+Report detlint_source(const std::string& path, const std::string& text,
+                      const DetLintOptions& options) {
+  const StrippedSource src = strip_source(text);
+
+  // An allow covers its own line and the next line carrying any code (so it
+  // can sit atop the statement it excuses, across a comment block).
+  auto covered_lines = [&](const Allow& a) {
+    std::vector<int> covered{a.line};
+    for (std::size_t l = static_cast<std::size_t>(a.line);
+         l < src.lines.size() && l < static_cast<std::size_t>(a.line) + 8;
+         ++l) {
+      if (!trim(src.lines[l]).empty()) { // lines[l] is 1-based line l+1
+        covered.push_back(static_cast<int>(l + 1));
+        break;
+      }
+    }
+    return covered;
+  };
+  std::map<int, std::vector<std::string>> allowed; // line -> rule ids
+  for (const Allow& a : src.allows) {
+    if (!a.wellFormed) continue;
+    for (int l : covered_lines(a)) allowed[l].push_back(a.rule);
+  }
+
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < src.lines.size(); ++i)
+    scan_line_rules(src.lines[i], static_cast<int>(i + 1), findings);
+  scan_unordered_iteration(src.lines, findings);
+
+  Report report;
+  report.set_suppressed(options.suppress);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  for (const Finding& f : findings) {
+    const auto it = allowed.find(f.line);
+    if (it != allowed.end() &&
+        std::find(it->second.begin(), it->second.end(), f.rule) !=
+            it->second.end())
+      continue;
+    report.add(f.rule, Severity::Error, path + ":" + std::to_string(f.line),
+               f.message, f.hint);
+  }
+  for (const Allow& a : src.allows) {
+    if (a.wellFormed) continue;
+    report.add("DET007", Severity::Error,
+               path + ":" + std::to_string(a.line), a.problem,
+               "write '// DETLINT-ALLOW(DETnnn): reason'");
+  }
+  return report;
+}
+
+Report detlint_file(const std::string& path, const DetLintOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("lint-src: cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return detlint_source(path, buf.str(), options);
+}
+
+Report detlint_tree(const std::string& root, const DetLintOptions& options) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(root))
+    throw std::runtime_error("lint-src: '" + root + "' is not a directory");
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+        ext == ".cxx" || ext == ".hxx" || ext == ".ipp")
+      paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end()); // deterministic, of course
+  Report report;
+  for (const std::string& p : paths) report.merge(detlint_file(p, options));
+  return report;
+}
+
+} // namespace nvff::erc

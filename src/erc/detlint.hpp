@@ -1,0 +1,75 @@
+// Determinism linter over the codebase's own sources (`nvfftool lint-src`).
+//
+// The repo's load-bearing guarantee is reproducibility by construction:
+// bit-identical campaign output at any thread count, resume == uninterrupted.
+// That guarantee dies quietly when a trial path picks up a wall-clock read,
+// an ambient RNG, or an iteration order that depends on hashing or object
+// addresses. The goldens and chaos tests catch such regressions only after
+// the fact; this pass catches them at lint time, before the first run.
+//
+// It is a token-level scanner, not a compiler plugin: comments, string and
+// character literals are stripped (so prose cannot trip a rule), identifiers
+// are matched on word boundaries, and findings land in the PR 1 diagnostics
+// engine (severities, hints, text/JSON rendering).
+//
+// Rules (all Error severity — a finding gates the build):
+//   DET001  wall-clock read: `<clock>::now()`, `time(...)`, gettimeofday,
+//           clock(), localtime/gmtime, __DATE__/__TIME__.
+//   DET002  ambient RNG: rand/srand/drand48/random(), std::random_device.
+//   DET003  std <random> engine (mt19937, default_random_engine, ...):
+//           use the counter-based util/rng.hpp streams instead.
+//   DET004  iteration over an unordered container declared in the same
+//           file (range-for or .begin()/.cbegin()): hash order must not
+//           feed results or accumulation.
+//   DET005  parallel execution policy (std::execution::*, <execution>,
+//           #pragma omp): scheduling order must never reach numerics.
+//   DET006  address-keyed ordering: std::map/std::set keyed by a pointer
+//           type iterates in allocation-address order (ASLR-dependent).
+//   DET007  malformed DETLINT-ALLOW comment (unknown rule id or missing
+//           reason) — a suppression must say what it suppresses and why.
+//
+// Suppressions: genuinely time-based code (watchdogs, backoff, deadlines)
+// carries an inline annotation on the offending line or the line above:
+//
+//   // DETLINT-ALLOW(DET001): watchdog heartbeat, never feeds results
+//
+// The reason is mandatory; the allow covers exactly one rule on exactly one
+// line, so a suppression cannot silently widen.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "erc/diagnostics.hpp"
+
+namespace nvff::erc {
+
+struct DetLintRule {
+  const char* id;      ///< stable rule id, e.g. "DET001"
+  const char* summary; ///< one-line description for --help and docs
+};
+
+/// The rule table (id order). Exposed for docs, tests and `--help`.
+const std::vector<DetLintRule>& detlint_rules();
+
+struct DetLintOptions {
+  /// Rule ids suppressed globally (the `--suppress` flag). Prefer inline
+  /// DETLINT-ALLOW annotations — they are reviewable next to the code.
+  std::vector<std::string> suppress;
+};
+
+/// Lints one in-memory source. `path` labels the diagnostics ("path:line").
+Report detlint_source(const std::string& path, const std::string& text,
+                      const DetLintOptions& options = {});
+
+/// Lints one file on disk. Throws std::runtime_error when unreadable.
+Report detlint_file(const std::string& path,
+                    const DetLintOptions& options = {});
+
+/// Recursively lints every C++ source/header under `root` in sorted path
+/// order (deterministic output, of course). Throws when `root` is not a
+/// directory.
+Report detlint_tree(const std::string& root,
+                    const DetLintOptions& options = {});
+
+} // namespace nvff::erc

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -18,7 +19,9 @@ namespace {
 constexpr const char kMagic[] = "NVFFCKPT ";
 constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
 
-std::string errno_text() { return std::strerror(errno); }
+// std::generic_category().message() instead of strerror(): same text,
+// but thread-safe (strerror's static buffer trips concurrency-mt-unsafe).
+std::string errno_text() { return std::generic_category().message(errno); }
 
 std::string parent_dir(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "runtime/durable_file.hpp"
 #include "util/log.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nvff::runtime {
@@ -20,6 +21,8 @@ using Clock = std::chrono::steady_clock;
 
 // Signal flag shared with the handler. std::atomic<int> is lock-free for int
 // on every platform we build on, which makes it async-signal-safe here.
+// Relaxed suffices: the flag carries no payload; the watchdog merely polls
+// it and flips `draining`, which workers also poll.
 std::atomic<int> g_signal{0};
 
 void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
@@ -53,6 +56,35 @@ struct ActiveTrial {
   Clock::time_point deadline{};
   bool hasDeadline = false;
 };
+
+/// Shared campaign bookkeeping, annotated for clang's thread-safety
+/// analysis: every field names the mutex that guards it, so an unlocked
+/// access from a worker, the watchdog, or the main thread is a compile
+/// error under -Werror=thread-safety.
+struct CampaignState {
+  Mutex mu; ///< guards trial bookkeeping + checkpoint writes
+  std::vector<char> done GUARDED_BY(mu);
+  int completed GUARDED_BY(mu) = 0;
+  long timeouts GUARDED_BY(mu) = 0;
+  long transientRetries GUARDED_BY(mu) = 0;
+  long permanents GUARDED_BY(mu) = 0;
+
+  Mutex activeMu; ///< guards the watchdog's view of in-flight trials
+  // DETLINT-ALLOW(DET004): watchdog-only bookkeeping; iteration order feeds
+  // idempotent cancel() calls, never campaign results.
+  std::unordered_map<int, ActiveTrial> active GUARDED_BY(activeMu);
+};
+
+/// Serializes the done-set through the engine hook and commits it durably.
+/// Callers hold `state.mu` so the done-mask cannot move under the snapshot.
+void commit_checkpoint(const std::string& path, const CampaignHooks& hooks,
+                       const CampaignState& state) REQUIRES(state.mu) {
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(state.completed));
+  for (std::size_t i = 0; i < state.done.size(); ++i)
+    if (state.done[i]) ids.push_back(static_cast<int>(i));
+  commit_durable(path, hooks.serialize(ids));
+}
 
 } // namespace
 
@@ -91,9 +123,11 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
   outcome.trialsTotal = config.trials;
 
   const auto total = static_cast<std::size_t>(config.trials);
-  std::vector<char> done(total, 0);
-  std::mutex mu; // guards done/completed/outcome counters + checkpoint writes
-  int completed = 0;
+  CampaignState state;
+  {
+    MutexLock lock(state.mu);
+    state.done.assign(total, 0);
+  }
 
   // --- resume -------------------------------------------------------------
   // Walk generations newest-first. CRC failures are quarantined inside
@@ -109,14 +143,15 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
       if (!loaded.found) break;
       try {
         const std::vector<int> ids = hooks.deserialize(loaded.payload);
+        MutexLock lock(state.mu);
         for (const int id : ids) {
           if (id < 0 || id >= config.trials) continue;
-          if (!done[static_cast<std::size_t>(id)]) {
-            done[static_cast<std::size_t>(id)] = 1;
-            ++completed;
+          if (!state.done[static_cast<std::size_t>(id)]) {
+            state.done[static_cast<std::size_t>(id)] = 1;
+            ++state.completed;
           }
         }
-        outcome.trialsResumed = completed;
+        outcome.trialsResumed = state.completed;
         break;
       } catch (const ConfigMismatch&) {
         throw;
@@ -128,19 +163,10 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
                                           : loaded.source);
       }
     }
-    if (config.run.requireResume && outcome.trialsResumed == 0 &&
-        completed == 0)
+    if (config.run.requireResume && outcome.trialsResumed == 0)
       throw std::runtime_error("--resume: no usable checkpoint at '" + path +
                                "'");
   }
-
-  auto checkpoint_locked = [&] {
-    std::vector<int> ids;
-    ids.reserve(static_cast<std::size_t>(completed));
-    for (std::size_t i = 0; i < total; ++i)
-      if (done[i]) ids.push_back(static_cast<int>(i));
-    commit_durable(path, hooks.serialize(ids));
-  };
 
   // --- watchdog + drain state ---------------------------------------------
   SignalScope signals(config.run.installSignalHandlers);
@@ -151,6 +177,9 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
 
   const bool haveDeadline = config.run.deadlineSeconds > 0.0;
   const auto campaignDeadline =
+      // DETLINT-ALLOW(DET001): wall-clock campaign budget — genuinely
+      // time-based by spec; results stay deterministic because interrupted
+      // runs print no report and resumed trials recompute from counters.
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(
                              haveDeadline ? config.run.deadlineSeconds : 0.0));
@@ -159,29 +188,30 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
       std::chrono::duration<double>(
           haveTrialTimeout ? config.run.trialTimeoutSeconds : 0.0));
 
-  std::mutex activeMu;
-  std::unordered_map<int, ActiveTrial> active;
-
   std::atomic<bool> watchdogStop{false};
   std::thread watchdog([&] {
     while (!watchdogStop.load(std::memory_order_relaxed)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
       if (g_signal.load(std::memory_order_relaxed) != 0 &&
-          !signalSeen.exchange(true)) {
+          !signalSeen.exchange(true, std::memory_order_relaxed)) {
         draining.store(true, std::memory_order_relaxed);
         log_warn("interrupted: draining in-flight trials, then checkpointing");
       }
+      // DETLINT-ALLOW(DET001): watchdog heartbeat — the one clock read that
+      // enforces --trial-timeout-s and --deadline-s.
       const auto now = Clock::now();
       if (haveDeadline && now >= campaignDeadline &&
-          !deadlineHit.exchange(true)) {
+          !deadlineHit.exchange(true, std::memory_order_relaxed)) {
         draining.store(true, std::memory_order_relaxed);
         // Unlike a drain, the deadline also reels in in-flight trials: a
         // budget is a budget.
         campaignCancel.cancel(CancelToken::Reason::Cancelled);
       }
       if (haveTrialTimeout) {
-        std::lock_guard<std::mutex> lock(activeMu);
-        for (auto& [id, trial] : active)
+        MutexLock lock(state.activeMu);
+        // DETLINT-ALLOW(DET004): cancel() is idempotent; visiting stuck
+        // trials in hash order cannot change what any trial computes.
+        for (auto& [id, trial] : state.active)
           if (trial.hasDeadline && now >= trial.deadline)
             trial.token->cancel(CancelToken::Reason::Timeout);
       }
@@ -189,10 +219,17 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
   });
 
   // --- work loop ----------------------------------------------------------
+  // Snapshot the resumed done-mask before workers exist: the submit loop
+  // must not read state.done while workers are writing it.
+  std::vector<char> alreadyDone;
+  {
+    MutexLock lock(state.mu);
+    alreadyDone = state.done;
+  }
   {
     ThreadPool pool(static_cast<unsigned>(std::max(1, config.threads)));
     for (int t = 0; t < config.trials; ++t) {
-      if (done[static_cast<std::size_t>(t)]) continue;
+      if (alreadyDone[static_cast<std::size_t>(t)]) continue;
       pool.submit([&, t] {
         int attempts = 0;
         double backoff = config.retryBackoffSeconds;
@@ -201,8 +238,10 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
 
           CancelToken token(&campaignCancel);
           if (haveTrialTimeout) {
-            std::lock_guard<std::mutex> lock(activeMu);
-            active[t] = ActiveTrial{&token, Clock::now() + trialBudget, true};
+            // DETLINT-ALLOW(DET001): arms this trial's watchdog deadline.
+            const auto trialDeadline = Clock::now() + trialBudget;
+            MutexLock lock(state.activeMu);
+            state.active[t] = ActiveTrial{&token, trialDeadline, true};
           }
           TrialStatus status;
           try {
@@ -214,8 +253,8 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
             status = TrialStatus::Permanent;
           }
           if (haveTrialTimeout) {
-            std::lock_guard<std::mutex> lock(activeMu);
-            active.erase(t);
+            MutexLock lock(state.activeMu);
+            state.active.erase(t);
           }
 
           if (status == TrialStatus::Cancelled) return; // re-run on resume
@@ -224,8 +263,8 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
               ++attempts < config.maxTrialAttempts &&
               !draining.load(std::memory_order_relaxed)) {
             {
-              std::lock_guard<std::mutex> lock(mu);
-              ++outcome.transientRetries;
+              MutexLock lock(state.mu);
+              ++state.transientRetries;
             }
             // Interruptible backoff: a drain must not wait out the sleep.
             auto remaining = std::chrono::duration<double>(backoff);
@@ -240,21 +279,21 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
             continue;
           }
 
-          std::lock_guard<std::mutex> lock(mu);
-          done[static_cast<std::size_t>(t)] = 1;
-          ++completed;
-          if (status == TrialStatus::Timeout) ++outcome.timeouts;
+          MutexLock lock(state.mu);
+          state.done[static_cast<std::size_t>(t)] = 1;
+          ++state.completed;
+          if (status == TrialStatus::Timeout) ++state.timeouts;
           if (status == TrialStatus::Permanent ||
               status == TrialStatus::Transient)
-            ++outcome.permanents; // Transient here = retries exhausted
-          if (config.progress) config.progress(completed, config.trials);
+            ++state.permanents; // Transient here = retries exhausted
+          if (config.progress) config.progress(state.completed, config.trials);
           if (!path.empty() && config.run.checkpointEvery > 0 &&
-              completed % config.run.checkpointEvery == 0 &&
-              completed < config.trials) {
+              state.completed % config.run.checkpointEvery == 0 &&
+              state.completed < config.trials) {
             // Best-effort from workers: a transiently unwritable checkpoint
             // must not kill the campaign. The final commit below throws.
             try {
-              checkpoint_locked();
+              commit_checkpoint(path, hooks, state);
             } catch (const std::exception& e) {
               log_warn("checkpoint write failed: " + std::string(e.what()));
             }
@@ -270,18 +309,21 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
   watchdog.join();
 
   // --- final commit + outcome ---------------------------------------------
-  std::lock_guard<std::mutex> lock(mu);
-  outcome.trialsDone = completed;
+  MutexLock lock(state.mu);
+  outcome.trialsDone = state.completed;
+  outcome.timeouts = state.timeouts;
+  outcome.transientRetries = state.transientRetries;
+  outcome.permanents = state.permanents;
   if (deadlineHit.load(std::memory_order_relaxed))
     outcome.cause = StopCause::DeadlineExceeded;
   else if (signalSeen.load(std::memory_order_relaxed) ||
-           completed < config.trials)
+           state.completed < config.trials)
     outcome.cause = StopCause::Interrupted;
   else
     outcome.cause = StopCause::Completed;
 
   if (!path.empty()) {
-    checkpoint_locked(); // throws on I/O failure: callers must know
+    commit_checkpoint(path, hooks, state); // throws on I/O failure
     outcome.checkpointWritten = true;
   }
   return outcome;

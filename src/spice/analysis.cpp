@@ -17,11 +17,19 @@ using Clock = std::chrono::steady_clock;
 constexpr double kSourceRamp[] = {0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0};
 
 /// Running deadline for one analysis; disabled when seconds <= 0.
+///
+/// Wall-clock by design: this enforces the OPT-IN `--deadline` solver
+/// budget (RecoveryOptions::deadlineSeconds, default off). With a budget
+/// set, which solve gets cut off depends on machine speed, so campaign
+/// output is only bit-reproducible when it is off or never hit — documented
+/// in DESIGN.md "Determinism invariants".
 struct Deadline {
   explicit Deadline(double seconds)
       : enabled(seconds > 0.0),
+        // DETLINT-ALLOW(DET001): opt-in wall-clock solver budget, off by default.
         at(Clock::now() + std::chrono::duration_cast<Clock::duration>(
                               std::chrono::duration<double>(seconds > 0.0 ? seconds : 0.0))) {}
+  // DETLINT-ALLOW(DET001): opt-in wall-clock solver budget, off by default.
   bool exceeded() const { return enabled && Clock::now() >= at; }
 
   bool enabled;

@@ -19,6 +19,27 @@
 //
 // Thread safety: cancel() may race with cancelled()/reason() freely; the
 // flag is monotonic (never un-raised) and the first reason wins.
+//
+// Memory-ordering contract (audited; regression-tested by
+// tests/util/test_cancellation.cpp CrossThreadVisibility):
+//
+//   * cancel() publishes in two steps: a RELAXED compare-exchange on
+//     reason_ (first writer wins), then a RELEASE store of raised_. The
+//     release store is the one ordering that matters: it makes the reason_
+//     write (sequenced before it in the cancelling thread) visible to any
+//     thread that subsequently observes raised_ == true.
+//   * cancelled() loads raised_ with ACQUIRE to complete that pairing. No
+//     ordering weaker than acquire is correct here — a relaxed load could
+//     observe the flag without the reason.
+//   * reason() loads with RELAXED, which is only safe because of the usage
+//     contract: reason() is meaningful ONLY after cancelled() returned true
+//     on the same token (or a descendant). Every caller in the tree polls
+//     cancelled() first; the acquire there already ordered the reason_
+//     write before the load.
+//
+// Nothing in this class needs seq_cst: there is no multi-variable invariant
+// across *different* tokens to order globally, only the raised_/reason_
+// pair within one token, which release/acquire covers exactly.
 #pragma once
 
 #include <atomic>
@@ -38,19 +59,25 @@ public:
 
   /// Raises the token. Idempotent; the first reason is kept.
   void cancel(Reason reason = Reason::Cancelled) {
+    // Relaxed CAS: the release store of raised_ below is what publishes
+    // this write to acquire-readers of raised_ (see the header contract).
     Reason expected = Reason::None;
     reason_.compare_exchange_strong(expected, reason,
                                     std::memory_order_relaxed);
+    // Release: pairs with the acquire load in cancelled().
     raised_.store(true, std::memory_order_release);
   }
 
   /// True when this token or its parent has been raised.
   bool cancelled() const {
+    // Acquire: pairs with the release store in cancel(), making the
+    // first-writer reason_ value visible before reason() is consulted.
     if (raised_.load(std::memory_order_acquire)) return true;
     return parent_ != nullptr && parent_->cancelled();
   }
 
-  /// Why the token fired: own reason first, then the parent's.
+  /// Why the token fired: own reason first, then the parent's. Only
+  /// meaningful after cancelled() returned true (see ordering contract).
   Reason reason() const {
     const Reason own = reason_.load(std::memory_order_relaxed);
     if (own != Reason::None) return own;

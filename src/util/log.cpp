@@ -3,11 +3,22 @@
 #include <atomic>
 #include <cstdio>
 
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace nvff {
 namespace {
-// Atomic: campaign worker threads read the level concurrently with the
-// main thread potentially raising it for progress reporting.
+// Campaign worker threads read the level concurrently with the main thread
+// potentially raising it for progress reporting. Relaxed ordering suffices:
+// the level is a standalone gate — no other memory is published through it,
+// so there is nothing for acquire/release to order. A worker observing a
+// stale level for a few messages is harmless by design.
 std::atomic<LogLevel> g_level = LogLevel::Warn;
+
+// Serializes sink writes so concurrent workers cannot interleave partial
+// lines. stderr is the guarded resource; the annotation keeps any future
+// multi-write formatting honest under clang's -Wthread-safety.
+Mutex g_sinkMutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -19,15 +30,23 @@ const char* level_tag(LogLevel level) {
   }
   return "?????";
 }
+
+void write_line(LogLevel level, const std::string& msg) REQUIRES(g_sinkMutex) {
+  std::fprintf(stderr, "[nvff %s] %s\n", level_tag(level), msg.c_str());
+}
+
 } // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[nvff %s] %s\n", level_tag(level), msg.c_str());
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  MutexLock lock(g_sinkMutex);
+  write_line(level, msg);
 }
 
 void log_debug(const std::string& msg) { log_message(LogLevel::Debug, msg); }

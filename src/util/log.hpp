@@ -1,8 +1,12 @@
 // Minimal leveled logger writing to stderr.
 //
 // The library itself is silent at default level (warn); benches and examples
-// raise the level for progress reporting. Not thread-safe by design — all
-// nvff flows are single-threaded.
+// raise the level for progress reporting.
+//
+// Thread safety: campaign workers log concurrently with the main thread.
+// The level is an atomic read with relaxed ordering (it gates output only,
+// no data is published through it) and the sink write is serialized by an
+// annotated mutex so concurrent messages never interleave mid-line.
 #pragma once
 
 #include <string>
@@ -11,11 +15,12 @@ namespace nvff {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Global minimum level; messages below it are dropped.
+/// Global minimum level; messages below it are dropped. Thread-safe.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Core sink. Prefer the convenience wrappers below.
+/// Core sink. Prefer the convenience wrappers below. Thread-safe; whole
+/// lines are emitted atomically with respect to other log calls.
 void log_message(LogLevel level, const std::string& msg);
 
 void log_debug(const std::string& msg);

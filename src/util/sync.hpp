@@ -1,0 +1,95 @@
+// Annotated synchronization primitives.
+//
+// Thin wrappers over std::mutex / std::condition_variable_any carrying the
+// Clang thread-safety attributes from util/thread_annotations.hpp. All
+// mutex-guarded state in the codebase (ThreadPool, the runtime supervisor,
+// util/log) uses these instead of the raw std types, so a forgotten lock is
+// a compile error on clang (-Werror=thread-safety in CI) rather than a
+// latent race for TSan or the goldens to catch later.
+//
+// Usage pattern:
+//
+//   Mutex mu_;
+//   int completed_ GUARDED_BY(mu_) = 0;
+//   ...
+//   { MutexLock lock(mu_); ++completed_; }
+//
+// CondVar waits take the Mutex itself (not the scoped lock) so the REQUIRES
+// annotation can name the capability being held across the wait.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace nvff {
+
+/// std::mutex with capability annotations. Satisfies BasicLockable, so it
+/// also works directly with std::condition_variable_any (see CondVar).
+class CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+private:
+  std::mutex m_;
+};
+
+/// RAII lock for Mutex (the std::lock_guard equivalent, but visible to the
+/// thread-safety analysis as a scoped capability).
+class SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+  Mutex& mutex_;
+};
+
+/// Condition variable for Mutex. Waits name the Mutex directly: the caller
+/// must hold it (enforced by REQUIRES on clang), and it is atomically
+/// released for the duration of the wait and re-held on return — the
+/// standard condition-variable contract, just visible to the analysis.
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mutex) REQUIRES(mutex) { cv_.wait(mutex); }
+
+  template <typename Predicate>
+  void wait(Mutex& mutex, Predicate predicate) REQUIRES(mutex) {
+    cv_.wait(mutex, std::move(predicate));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mutex,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mutex) {
+    return cv_.wait_for(mutex, timeout);
+  }
+
+private:
+  // condition_variable_any: waits on any BasicLockable, which lets it take
+  // the annotated Mutex directly instead of a std::unique_lock<std::mutex>
+  // the analysis cannot see through.
+  std::condition_variable_any cv_;
+};
+
+} // namespace nvff

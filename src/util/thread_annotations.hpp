@@ -1,0 +1,55 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// These expand to Clang's capability attributes when the compiler supports
+// them (-Wthread-safety; promoted to an error in the clang CI leg) and to
+// nothing everywhere else, so gcc builds are unaffected. Annotate:
+//
+//   * a lockable type with CAPABILITY("mutex") and its lock/unlock methods
+//     with ACQUIRE()/RELEASE() — see util/sync.hpp for the one wrapper the
+//     codebase uses;
+//   * every piece of state a mutex protects with GUARDED_BY(mu), so any
+//     unlocked access is a compile error on clang;
+//   * functions that must be called with a lock held with REQUIRES(mu), and
+//     functions that must NOT hold it (e.g. because they take it themselves)
+//     with EXCLUDES(mu).
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define NVFF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef NVFF_THREAD_ANNOTATION
+#define NVFF_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+#define CAPABILITY(x) NVFF_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY NVFF_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) NVFF_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) NVFF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) NVFF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) NVFF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) NVFF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  NVFF_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) NVFF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  NVFF_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) NVFF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  NVFF_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) NVFF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) NVFF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) NVFF_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) NVFF_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NVFF_THREAD_ANNOTATION(no_thread_safety_analysis)

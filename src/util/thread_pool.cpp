@@ -1,5 +1,11 @@
 #include "util/thread_pool.hpp"
 
+#include <chrono>
+#include <exception>
+#include <string>
+
+#include "util/log.hpp"
+
 namespace nvff {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -15,7 +21,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 ThreadPool::~ThreadPool() {
   wait_idle();
   {
-    std::lock_guard<std::mutex> lock(stateMutex_);
+    MutexLock lock(stateMutex_);
     shutdown_ = true;
   }
   workAvailable_.notify_all();
@@ -25,13 +31,13 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   std::size_t target = 0;
   {
-    std::lock_guard<std::mutex> lock(stateMutex_);
+    MutexLock lock(stateMutex_);
     ++pending_;
     target = nextQueue_;
     nextQueue_ = (nextQueue_ + 1) % queues_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    MutexLock lock(queues_[target]->mutex);
     queues_[target]->tasks.push_front(std::move(task));
   }
   workAvailable_.notify_one();
@@ -41,7 +47,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
   // Own queue first (front = most recently pushed, warm in cache) ...
   {
     Queue& q = *queues_[self];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    MutexLock lock(q.mutex);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -51,7 +57,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
   // ... then steal the oldest task from the first busy victim.
   for (std::size_t k = 1; k < queues_.size(); ++k) {
     Queue& q = *queues_[(self + k) % queues_.size()];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    MutexLock lock(q.mutex);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.back());
       q.tasks.pop_back();
@@ -65,22 +71,32 @@ void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     std::function<void()> task;
     if (try_pop(self, task)) {
-      task();
-      std::lock_guard<std::mutex> lock(stateMutex_);
+      // Backstop for tasks that breach the never-throw contract: swallow
+      // and log so the pool keeps draining and pending_ still reaches 0.
+      try {
+        task();
+      } catch (const std::exception& e) {
+        log_error("thread pool task threw: " + std::string(e.what()));
+      } catch (...) {
+        log_error("thread pool task threw a non-std::exception value");
+      }
+      MutexLock lock(stateMutex_);
       if (--pending_ == 0) allDone_.notify_all();
       continue;
     }
-    std::unique_lock<std::mutex> lock(stateMutex_);
+    MutexLock lock(stateMutex_);
     if (shutdown_) return;
     // Re-check under the lock: a task may have landed between the failed
     // pop and acquiring the state mutex.
-    workAvailable_.wait_for(lock, std::chrono::milliseconds(10));
+    workAvailable_.wait_for(stateMutex_, std::chrono::milliseconds(10));
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(stateMutex_);
-  allDone_.wait(lock, [this] { return pending_ == 0; });
+  // Explicit wait loop (not the predicate overload): the predicate would be
+  // a lambda the thread-safety analysis cannot annotate portably.
+  MutexLock lock(stateMutex_);
+  while (pending_ != 0) allDone_.wait(stateMutex_);
 }
 
 void ThreadPool::parallel_for(unsigned threads, std::size_t count,

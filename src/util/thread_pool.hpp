@@ -11,17 +11,23 @@
 // Determinism contract: the pool schedules WHEN tasks run, never WHAT they
 // compute. Tasks that derive all randomness from their own index (see
 // Rng::stream) produce identical results at any worker count.
+//
+// Error contract: an exception escaping a task is caught and logged, never
+// propagated — a stray throw must not std::terminate a campaign or wedge
+// wait_idle(). Trial engines are expected to classify their own failures
+// (that is the whole point of the reliability taxonomy); the catch here is
+// the backstop for contract breaches.
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace nvff {
 
@@ -38,37 +44,39 @@ public:
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues a task. Thread-safe; may be called from within a task.
+  /// Enqueues a task. Thread-safe; may be called from within a task
+  /// (re-entrant submission is counted before the parent task finishes, so
+  /// wait_idle() cannot wake early).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
   /// Convenience: runs fn(i) for i in [0, count) across `threads` workers
-  /// and waits for completion. Exceptions escaping fn terminate (tasks are
-  /// expected to classify their own failures — that is the whole point of
-  /// the reliability engine).
+  /// and waits for completion. An exception escaping fn is logged and that
+  /// index is counted as finished (see the error contract above).
   static void parallel_for(unsigned threads, std::size_t count,
                            const std::function<void(std::size_t)>& fn);
 
 private:
   struct Queue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t self);
-  bool try_pop(std::size_t self, std::function<void()>& task);
+  bool try_pop(std::size_t self, std::function<void()>& task)
+      EXCLUDES(stateMutex_);
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex stateMutex_;
-  std::condition_variable workAvailable_;
-  std::condition_variable allDone_;
-  std::size_t pending_ = 0;     ///< submitted but not yet finished
-  std::size_t nextQueue_ = 0;   ///< round-robin submission target
-  bool shutdown_ = false;
+  Mutex stateMutex_;
+  CondVar workAvailable_;
+  CondVar allDone_;
+  std::size_t pending_ GUARDED_BY(stateMutex_) = 0;  ///< submitted, unfinished
+  std::size_t nextQueue_ GUARDED_BY(stateMutex_) = 0; ///< round-robin target
+  bool shutdown_ GUARDED_BY(stateMutex_) = false;
 };
 
 } // namespace nvff

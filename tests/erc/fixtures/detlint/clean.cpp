@@ -1,0 +1,33 @@
+// Fixture: clean trial-path code — counter-based randomness, ordered
+// iteration, one justified wall-clock suppression. Must produce zero
+// findings; pins the false-positive surface (compound identifiers like
+// crossing_time(), words inside comments and strings, find/count on
+// unordered containers without iteration).
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// Words that must NOT trip rules: rand() time() now() in prose is fine.
+double crossing_time(double t) { return t; } // not "time("
+int randomize_gate_count(int n) { return n; } // not "random("
+
+double lookup_only(const std::unordered_map<std::string, double>& byName) {
+  const auto it = byName.find("s1423"); // find is order-free: fine
+  return it == byName.end() ? 0.0 : it->second;
+}
+
+// Distinct name from the unordered parameter above: DET004 tracks names
+// per file, so an identifier used for both container kinds would flag.
+double ordered_accumulation(const std::map<std::string, double>& byRank) {
+  double total = 0.0;
+  for (const auto& [name, value] : byRank) total += value; // ordered: fine
+  return total;
+}
+
+double watchdog_heartbeat_seconds() {
+  const char* why = "the string \"steady_clock::now()\" must not match";
+  (void)why;
+  // DETLINT-ALLOW(DET001): example watchdog heartbeat; never feeds results.
+  return crossing_time(1.0);
+}

@@ -1,0 +1,12 @@
+// Fixture: DET001 — wall-clock reads in a trial path.
+#include <chrono>
+#include <ctime>
+
+double trial_duration_bad() {
+  const auto start = std::chrono::steady_clock::now(); // DET001
+  const std::time_t stamp = time(nullptr);             // DET001
+  (void)stamp;
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - start) // DET001
+      .count();
+}

@@ -1,0 +1,10 @@
+// Fixture: DET002 — ambient RNG instead of counter-based streams.
+#include <cstdlib>
+#include <random>
+
+int sample_bad() {
+  std::random_device entropy; // DET002
+  (void)entropy;
+  srand(42);                  // DET002
+  return rand();              // DET002
+}

@@ -1,0 +1,10 @@
+// Fixture: DET003 — std <random> engine (stdlib-dependent, invites
+// seeding from time) instead of the portable counter-based Rng.
+#include <random>
+
+double jitter_bad(unsigned seed) {
+  std::mt19937 engine(seed); // DET003
+  std::default_random_engine fallback; // DET003
+  (void)fallback;
+  return static_cast<double>(engine());
+}

@@ -1,0 +1,16 @@
+// Fixture: DET004 — hash-order iteration feeding an accumulation.
+#include <string>
+#include <unordered_map>
+
+double total_energy_bad() {
+  std::unordered_map<std::string, double> energyByCell;
+  energyByCell["latch"] = 1.0;
+  double total = 0.0;
+  for (const auto& [name, energy] : energyByCell) { // DET004
+    total += energy; // float add is not associative: order changes the sum
+  }
+  for (auto it = energyByCell.begin(); it != energyByCell.end(); ++it) { // DET004
+    total += it->second;
+  }
+  return total;
+}

@@ -1,0 +1,9 @@
+// Fixture: DET005 — parallel execution policies reduce in
+// scheduler-dependent order.
+#include <execution>
+#include <numeric>
+#include <vector>
+
+double sum_bad(const std::vector<double>& xs) {
+  return std::reduce(std::execution::par_unseq, xs.begin(), xs.end());
+}

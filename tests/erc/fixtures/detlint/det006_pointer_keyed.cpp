@@ -1,0 +1,17 @@
+// Fixture: DET006 — ordered containers keyed by object address iterate in
+// allocation order, which ASLR and the allocator reshuffle run to run.
+#include <map>
+#include <set>
+
+struct Node {
+  double value = 0.0;
+};
+
+double first_node_value_bad(Node* a, Node* b) {
+  std::set<Node*> frontier; // DET006
+  frontier.insert(a);
+  frontier.insert(b);
+  std::map<const Node*, double> score; // DET006
+  score[a] = 1.0;
+  return (*frontier.begin())->value;
+}

@@ -1,0 +1,11 @@
+// Fixture: DET007 — malformed suppressions: unknown rule id, and a
+// missing reason. Each is itself a gating finding.
+#include <chrono>
+
+double lazy_suppression_bad() {
+  // DETLINT-ALLOW(DET999): no such rule
+  const auto t0 = std::chrono::steady_clock::now();
+  // DETLINT-ALLOW(DET001)
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,178 @@
+// Determinism-linter tests: every rule has a violating fixture, the clean
+// fixture pins the false-positive surface, suppression comments are honored
+// (and audited), and the repo's own src/ tree must lint clean — the
+// regression gate that keeps nondeterminism hazards out of trial paths.
+#include "erc/detlint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nvff::erc {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(NVFF_DETLINT_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(DetLint, RuleTableIsStable) {
+  const auto& rules = detlint_rules();
+  ASSERT_EQ(rules.size(), 7u);
+  EXPECT_STREQ(rules.front().id, "DET001");
+  EXPECT_STREQ(rules.back().id, "DET007");
+}
+
+TEST(DetLint, WallClockFixture) {
+  const Report r = detlint_file(fixture("det001_wall_clock.cpp"));
+  EXPECT_EQ(r.count_rule("DET001"), 3u);
+  EXPECT_EQ(r.size(), r.count_rule("DET001"));
+}
+
+TEST(DetLint, AmbientRngFixture) {
+  const Report r = detlint_file(fixture("det002_ambient_rng.cpp"));
+  EXPECT_EQ(r.count_rule("DET002"), 3u);
+  EXPECT_EQ(r.size(), r.count_rule("DET002"));
+}
+
+TEST(DetLint, StdEngineFixture) {
+  const Report r = detlint_file(fixture("det003_std_engine.cpp"));
+  EXPECT_EQ(r.count_rule("DET003"), 2u);
+  EXPECT_EQ(r.size(), r.count_rule("DET003"));
+}
+
+TEST(DetLint, UnorderedIterationFixture) {
+  const Report r = detlint_file(fixture("det004_unordered_iteration.cpp"));
+  EXPECT_EQ(r.count_rule("DET004"), 2u); // range-for + .begin() loop
+  EXPECT_EQ(r.size(), r.count_rule("DET004"));
+}
+
+TEST(DetLint, ParallelPolicyFixture) {
+  const Report r = detlint_file(fixture("det005_parallel_policy.cpp"));
+  EXPECT_EQ(r.count_rule("DET005"), 2u); // include + policy use
+  EXPECT_EQ(r.size(), r.count_rule("DET005"));
+}
+
+TEST(DetLint, PointerKeyedFixture) {
+  const Report r = detlint_file(fixture("det006_pointer_keyed.cpp"));
+  EXPECT_EQ(r.count_rule("DET006"), 2u); // set<Node*> + map<const Node*,..>
+  EXPECT_EQ(r.size(), r.count_rule("DET006"));
+}
+
+TEST(DetLint, BadAllowFixture) {
+  const Report r = detlint_file(fixture("det007_bad_allow.cpp"));
+  // Both suppressions are malformed (unknown rule, missing reason), and
+  // neither may mask the clock reads it sat next to.
+  EXPECT_EQ(r.count_rule("DET007"), 2u);
+  EXPECT_EQ(r.count_rule("DET001"), 2u);
+}
+
+TEST(DetLint, CleanFixtureHasNoFindings) {
+  const Report r = detlint_file(fixture("clean.cpp"));
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(DetLint, EveryViolationFixtureGates) {
+  for (const char* name :
+       {"det001_wall_clock.cpp", "det002_ambient_rng.cpp",
+        "det003_std_engine.cpp", "det004_unordered_iteration.cpp",
+        "det005_parallel_policy.cpp", "det006_pointer_keyed.cpp",
+        "det007_bad_allow.cpp"}) {
+    EXPECT_TRUE(detlint_file(fixture(name)).has_errors()) << name;
+  }
+}
+
+// --- inline sources: mechanism details ---------------------------------------
+
+TEST(DetLint, AllowOnSameLineSuppresses) {
+  const Report r = detlint_source(
+      "t.cpp",
+      "auto t = Clock::now(); // DETLINT-ALLOW(DET001): watchdog only\n");
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(DetLint, AllowOnPrecedingLineSuppresses) {
+  const Report r = detlint_source(
+      "t.cpp",
+      "// DETLINT-ALLOW(DET001): deadline arm, results unaffected\n"
+      "auto t = Clock::now();\n");
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(DetLint, AllowReachesAcrossCommentBlock) {
+  const Report r = detlint_source(
+      "t.cpp",
+      "// DETLINT-ALLOW(DET001): the explanation of why this is fine\n"
+      "// continues on a second comment line before the code.\n"
+      "auto t = Clock::now();\n");
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(DetLint, AllowDoesNotLeakPastItsLine) {
+  const Report r = detlint_source(
+      "t.cpp",
+      "// DETLINT-ALLOW(DET001): only covers the next code line\n"
+      "auto a = Clock::now();\n"
+      "auto b = Clock::now();\n");
+  EXPECT_EQ(r.count_rule("DET001"), 1u);
+}
+
+TEST(DetLint, AllowForWrongRuleDoesNotSuppress) {
+  const Report r = detlint_source(
+      "t.cpp", "auto t = Clock::now(); // DETLINT-ALLOW(DET002): wrong rule\n");
+  EXPECT_EQ(r.count_rule("DET001"), 1u);
+}
+
+TEST(DetLint, CommentsAndStringsNeverMatch) {
+  const Report r = detlint_source(
+      "t.cpp",
+      "// calling time() or rand() here would be bad\n"
+      "/* std::random_device in a block comment */\n"
+      "const char* s = \"steady_clock::now()\";\n"
+      "const char* t = \"rand()\";\n");
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(DetLint, CompoundIdentifiersDoNotMatch) {
+  const Report r = detlint_source(
+      "t.cpp",
+      "double crossing_time(double t);\n"
+      "double x = crossing_time(1.0);\n"
+      "int y = randomize(3);\n"
+      "int z = my_clock(0);\n");
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(DetLint, GlobalSuppressOptionDropsRule) {
+  DetLintOptions opt;
+  opt.suppress = {"DET001"};
+  const Report r = detlint_source("t.cpp", "auto t = Clock::now();\n", opt);
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(DetLint, FindingCarriesPathAndLine) {
+  const Report r =
+      detlint_source("dir/file.cpp", "int a;\nauto t = Clock::now();\n");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.diagnostics()[0].object, "dir/file.cpp:2");
+  EXPECT_EQ(r.diagnostics()[0].severity, Severity::Error);
+}
+
+// --- the gate itself ---------------------------------------------------------
+
+// The repo's own sources must stay clean: every wall-clock read, RNG use and
+// unordered iteration in a trial path is either fixed or carries a reviewed
+// DETLINT-ALLOW with a reason. This is the compile-time determinism gate —
+// if this test fails, a nondeterminism hazard entered src/.
+TEST(DetLint, RepositorySourceTreeIsClean) {
+  const Report r = detlint_tree(std::string(NVFF_SRC_DIR));
+  EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(DetLint, TreeScanIsDeterministic) {
+  const Report a = detlint_tree(std::string(NVFF_SRC_DIR));
+  const Report b = detlint_tree(std::string(NVFF_SRC_DIR));
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+} // namespace
+} // namespace nvff::erc

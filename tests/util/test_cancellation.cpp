@@ -1,0 +1,139 @@
+// CancelToken contract tests, including the CrossThreadVisibility regression
+// referenced by the memory-ordering audit in src/util/cancellation.hpp: a
+// thread that observes cancelled()==true must also observe the reason that
+// was CAS'd before the release store. Runs under the tsan ctest label.
+#include "util/cancellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace nvff {
+namespace {
+
+TEST(CancelToken, StartsClear) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::None);
+}
+
+TEST(CancelToken, CancelIsIdempotentAndFirstReasonWins) {
+  CancelToken token;
+  token.cancel(CancelToken::Reason::Timeout);
+  token.cancel(CancelToken::Reason::Cancelled); // loses the CAS
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelToken::Reason::Timeout);
+}
+
+TEST(CancelToken, ChildObservesParent) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.cancel(CancelToken::Reason::Cancelled);
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_EQ(child.reason(), CancelToken::Reason::Cancelled);
+}
+
+TEST(CancelToken, ParentUnaffectedByChild) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  child.cancel(CancelToken::Reason::Timeout);
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+  EXPECT_EQ(parent.reason(), CancelToken::Reason::None);
+}
+
+TEST(CancelToken, OwnReasonShadowsParentReason) {
+  // A trial that timed out keeps Reason::Timeout even if the campaign is
+  // later drained — the supervisor's outcome taxonomy depends on this.
+  CancelToken parent;
+  CancelToken child(&parent);
+  child.cancel(CancelToken::Reason::Timeout);
+  parent.cancel(CancelToken::Reason::Cancelled);
+  EXPECT_EQ(child.reason(), CancelToken::Reason::Timeout);
+  EXPECT_EQ(parent.reason(), CancelToken::Reason::Cancelled);
+}
+
+// The release/acquire pairing regression (see cancellation.hpp): spin until
+// cancelled() flips, then require the reason to be fully visible. With a
+// relaxed load in cancelled() this fails under TSan and on weakly-ordered
+// hardware; the acquire makes it a hard guarantee.
+TEST(CancelToken, CrossThreadVisibility) {
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    CancelToken token;
+    std::atomic<bool> go{false};
+    std::thread canceller([&token, &go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      token.cancel(CancelToken::Reason::Timeout);
+    });
+    std::thread observer([&token, &go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      while (!token.cancelled()) {
+      }
+      // cancelled()==true must imply the reason is published.
+      EXPECT_EQ(token.reason(), CancelToken::Reason::Timeout);
+    });
+    go.store(true, std::memory_order_release);
+    canceller.join();
+    observer.join();
+  }
+}
+
+TEST(CancelToken, ConcurrentCancelKeepsExactlyOneReason) {
+  // Racing cancel() calls with different reasons: monotonic flag, exactly
+  // one winner, and every observer agrees on it afterwards.
+  constexpr int kRounds = 100;
+  for (int round = 0; round < kRounds; ++round) {
+    CancelToken token;
+    std::atomic<bool> go{false};
+    auto racer = [&token, &go](CancelToken::Reason reason) {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      token.cancel(reason);
+    };
+    std::thread a(racer, CancelToken::Reason::Timeout);
+    std::thread b(racer, CancelToken::Reason::Cancelled);
+    go.store(true, std::memory_order_release);
+    a.join();
+    b.join();
+    ASSERT_TRUE(token.cancelled());
+    const auto reason = token.reason();
+    EXPECT_TRUE(reason == CancelToken::Reason::Timeout ||
+                reason == CancelToken::Reason::Cancelled);
+    EXPECT_EQ(token.reason(), reason); // stable once raised
+  }
+}
+
+TEST(CancelToken, ParentCancelVisibleThroughChildAcrossThreads) {
+  // The supervisor's shape: watchdog raises the campaign parent; workers
+  // poll their trial child. Visibility must flow through the hierarchy.
+  CancelToken parent;
+  // CancelToken is neither copyable nor movable: heap-allocate the children.
+  constexpr int kChildren = 4;
+  std::vector<std::unique_ptr<CancelToken>> trial;
+  trial.reserve(kChildren);
+  for (int i = 0; i < kChildren; ++i) {
+    trial.push_back(std::make_unique<CancelToken>(&parent));
+  }
+  std::vector<std::thread> pollers;
+  pollers.reserve(kChildren);
+  for (int i = 0; i < kChildren; ++i) {
+    pollers.emplace_back([&trial, i] {
+      while (!trial[static_cast<std::size_t>(i)]->cancelled()) {
+      }
+      EXPECT_EQ(trial[static_cast<std::size_t>(i)]->reason(),
+                CancelToken::Reason::Cancelled);
+    });
+  }
+  parent.cancel(CancelToken::Reason::Cancelled);
+  for (auto& p : pollers) p.join();
+}
+
+} // namespace
+} // namespace nvff
