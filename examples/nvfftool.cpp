@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -21,6 +22,9 @@
 
 #include "bench_circuits/bench_io.hpp"
 #include "bench_circuits/verilog_io.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/engine.hpp"
+#include "dist/worker.hpp"
 #include "cell/spice_deck.hpp"
 #include "cell/characterize.hpp"
 #include "cell/flipped_latch.hpp"
@@ -33,6 +37,7 @@
 #include "faults/powerfail.hpp"
 #include "physdes/def_io.hpp"
 #include "reliability/montecarlo.hpp"
+#include "runtime/config_diff.hpp"
 #include "runtime/supervisor.hpp"
 #include "util/strings.hpp"
 
@@ -397,6 +402,59 @@ int finish_supervised(const char* cmd, const runtime::SupervisorOutcome& sup) {
   return sup.exit_code();
 }
 
+// --- shared engine configuration flags ---------------------------------------
+
+// The campaign-defining flags of `mc` and `powerfail` are parsed by one
+// helper per engine, shared with `serve` (which hosts either engine behind
+// the distributed coordinator), so the three front-ends cannot drift apart.
+
+/// Consumes one Monte-Carlo config flag into `cfg`; false when `a` belongs
+/// to the caller.
+bool parse_mc_config_flag(const std::string& a,
+                          const std::function<std::string()>& value,
+                          reliability::CampaignConfig& cfg) {
+  if (a == "--trials") cfg.trials = std::stoi(value());
+  else if (a == "--seed") cfg.seed = std::stoull(value());
+  else if (a == "--sigma") cfg.sigmaScale = std::stod(value());
+  else if (a == "--mismatch-mv") cfg.sigmaVthMismatch = std::stod(value()) * 1e-3;
+  else if (a == "--jitter-mv") cfg.cornerJitterVth = std::stod(value()) * 1e-3;
+  else if (a == "--defect-rate") cfg.defectRate = std::stod(value());
+  else if (a == "--margin") cfg.marginThreshold = std::stod(value());
+  else if (a == "--dt") cfg.timestep = std::stod(value());
+  else if (a == "--retries") cfg.recovery.retryBudget = std::stoi(value());
+  else if (a == "--deadline") cfg.recovery.deadlineSeconds = std::stod(value());
+  else return false;
+  return true;
+}
+
+/// Consumes one powerfail config flag into `cfg`; false when `a` belongs to
+/// the caller. Throws std::invalid_argument on a malformed value.
+bool parse_powerfail_config_flag(const std::string& a,
+                                 const std::function<std::string()>& value,
+                                 faults::CampaignConfig& cfg) {
+  if (a == "--bench") cfg.benchmark = value();
+  else if (a == "--trials") cfg.trials = std::stoi(value());
+  else if (a == "--seed") cfg.seed = std::stoull(value());
+  else if (a == "--no-unprotected") cfg.runUnprotected = false;
+  else if (a == "--no-protected") cfg.runProtected = false;
+  else if (a == "--event-prob") cfg.eventProb = std::stod(value());
+  else if (a == "--restore-prob") cfg.restorePhaseProb = std::stod(value());
+  else if (a == "--weights") {
+    const std::vector<std::string> toks = split(value(), ",");
+    if (toks.size() != 3)
+      throw std::invalid_argument("powerfail: --weights needs A,B,C");
+    cfg.weightPowerLoss = std::stod(toks[0]);
+    cfg.weightBrownOut = std::stod(toks[1]);
+    cfg.weightGlitch = std::stod(toks[2]);
+  }
+  else if (a == "--brownout-ns") cfg.brownoutNs = std::stod(value());
+  else if (a == "--write-fail") cfg.protocol.writeFailProb = std::stod(value());
+  else if (a == "--retries") cfg.protocol.maxRetries = std::stoi(value());
+  else if (a == "--domain-size") cfg.clock.sinksPerLeafBuffer = std::stoi(value());
+  else return false;
+  return true;
+}
+
 // --- mc --------------------------------------------------------------------
 
 int mc_usage() {
@@ -437,17 +495,8 @@ int cmd_mc(const std::vector<std::string>& args) {
       return args[++i];
     };
     if (parse_campaign_flag(a, value, run)) continue;
-    if (a == "--trials") cfg.trials = std::stoi(value());
-    else if (a == "--seed") cfg.seed = std::stoull(value());
-    else if (a == "--threads") cfg.threads = std::stoi(value());
-    else if (a == "--sigma") cfg.sigmaScale = std::stod(value());
-    else if (a == "--mismatch-mv") cfg.sigmaVthMismatch = std::stod(value()) * 1e-3;
-    else if (a == "--jitter-mv") cfg.cornerJitterVth = std::stod(value()) * 1e-3;
-    else if (a == "--defect-rate") cfg.defectRate = std::stod(value());
-    else if (a == "--margin") cfg.marginThreshold = std::stod(value());
-    else if (a == "--dt") cfg.timestep = std::stod(value());
-    else if (a == "--retries") cfg.recovery.retryBudget = std::stoi(value());
-    else if (a == "--deadline") cfg.recovery.deadlineSeconds = std::stod(value());
+    if (parse_mc_config_flag(a, value, cfg)) continue;
+    if (a == "--threads") cfg.threads = std::stoi(value());
     else if (a == "--fail-on-unclassified") failOnUnclassified = true;
     else if (a == "--sweep") {
       for (const std::string& tok : split(value(), ","))
@@ -543,26 +592,8 @@ int cmd_powerfail(const std::vector<std::string>& args) {
       return args[++i];
     };
     if (parse_campaign_flag(a, value, run)) continue;
-    if (a == "--bench") cfg.benchmark = value();
-    else if (a == "--trials") cfg.trials = std::stoi(value());
-    else if (a == "--seed") cfg.seed = std::stoull(value());
-    else if (a == "--threads") cfg.threads = std::stoi(value());
-    else if (a == "--no-unprotected") cfg.runUnprotected = false;
-    else if (a == "--no-protected") cfg.runProtected = false;
-    else if (a == "--event-prob") cfg.eventProb = std::stod(value());
-    else if (a == "--restore-prob") cfg.restorePhaseProb = std::stod(value());
-    else if (a == "--weights") {
-      const std::vector<std::string> toks = split(value(), ",");
-      if (toks.size() != 3)
-        throw std::invalid_argument("powerfail: --weights needs A,B,C");
-      cfg.weightPowerLoss = std::stod(toks[0]);
-      cfg.weightBrownOut = std::stod(toks[1]);
-      cfg.weightGlitch = std::stod(toks[2]);
-    }
-    else if (a == "--brownout-ns") cfg.brownoutNs = std::stod(value());
-    else if (a == "--write-fail") cfg.protocol.writeFailProb = std::stod(value());
-    else if (a == "--retries") cfg.protocol.maxRetries = std::stoi(value());
-    else if (a == "--domain-size") cfg.clock.sinksPerLeafBuffer = std::stoi(value());
+    if (parse_powerfail_config_flag(a, value, cfg)) continue;
+    if (a == "--threads") cfg.threads = std::stoi(value());
     else if (a == "--fail-on-sdc") failOnSdc = true;
     else {
       std::fprintf(stderr, "powerfail: unknown option '%s'\n", a.c_str());
@@ -600,6 +631,171 @@ int cmd_powerfail(const std::vector<std::string>& args) {
   return 0;
 }
 
+// --- serve / worker (distributed campaign service) ---------------------------
+
+int serve_usage() {
+  std::fprintf(
+      stderr,
+      "usage: nvfftool serve --engine mc|powerfail [engine options] [options]\n"
+      "  Coordinator of the distributed campaign service: shards the trial\n"
+      "  range across `nvfftool worker` processes, merges their results into\n"
+      "  one durable checkpoint, and prints the same report a single-process\n"
+      "  run would (bit-identical by construction).\n"
+      "  --engine NAME          campaign engine: mc | powerfail (required)\n"
+      "  [engine options]       the campaign-defining flags of `nvfftool mc`\n"
+      "                         or `nvfftool powerfail` (--trials, --seed, ...)\n"
+      "  --socket PATH          unix-domain socket workers dial\n"
+      "  --shard-size N         trials per shard (default 8)\n"
+      "  --local-threads N      also run shards in-process (default 0;\n"
+      "                         with no workers this is the coordinator-only\n"
+      "                         fallback)\n"
+      "  --checkpoint FILE      merged durable campaign state; interchangeable\n"
+      "                         with a single-process --checkpoint file\n"
+      "  --checkpoint-every N   commit cadence in merged shards (default 1)\n"
+      "  --resume               fail instead of starting fresh when no usable\n"
+      "                         checkpoint exists at --checkpoint\n"
+      "  --stall-timeout-s SEC  re-dispatch a shard whose worker heartbeat\n"
+      "                         progress froze this long (default 10)\n"
+      "  --deadline-s SEC       campaign wall-clock budget; on expiry a final\n"
+      "                         checkpoint is written and serve exits 75\n"
+      "  exit codes: 0 complete, 1 fatal, 2 usage, 75 interrupted (resumable)\n");
+  return runtime::kExitUsage;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  std::string engineName;
+  reliability::CampaignConfig mcCfg;
+  faults::CampaignConfig pfCfg;
+  dist::ServeOptions opt;
+  std::vector<std::string> engineArgs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument("serve: " + a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--engine") engineName = value();
+    else if (a == "--socket") opt.socketPath = value();
+    else if (a == "--shard-size") opt.shardSize = std::stoi(value());
+    else if (a == "--local-threads") opt.localThreads = std::stoi(value());
+    else if (a == "--checkpoint") opt.checkpointPath = value();
+    else if (a == "--checkpoint-every") opt.checkpointEvery = std::stoi(value());
+    else if (a == "--resume") opt.requireResume = true;
+    else if (a == "--stall-timeout-s") opt.stallTimeoutSeconds = std::stod(value());
+    else if (a == "--deadline-s") opt.deadlineSeconds = std::stod(value());
+    else {
+      // Defer engine flags until --engine is known (flag order is free).
+      engineArgs.push_back(a);
+      if (i + 1 < args.size() && (args[i + 1].empty() || args[i + 1][0] != '-'))
+        engineArgs.push_back(args[++i]);
+    }
+  }
+  if (engineName != "mc" && engineName != "powerfail") {
+    std::fprintf(stderr, "serve: --engine must be mc or powerfail\n");
+    return serve_usage();
+  }
+  if (opt.requireResume && opt.checkpointPath.empty()) {
+    std::fprintf(stderr, "serve: --resume needs --checkpoint FILE\n");
+    return runtime::kExitUsage;
+  }
+  for (std::size_t i = 0; i < engineArgs.size(); ++i) {
+    const std::string& a = engineArgs[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= engineArgs.size())
+        throw std::invalid_argument("serve: " + a + " needs a value");
+      return engineArgs[++i];
+    };
+    const bool known = engineName == "mc"
+                           ? parse_mc_config_flag(a, value, mcCfg)
+                           : parse_powerfail_config_flag(a, value, pfCfg);
+    if (!known) {
+      std::fprintf(stderr, "serve: unknown option '%s'\n", a.c_str());
+      return serve_usage();
+    }
+  }
+
+  std::unique_ptr<dist::CampaignEngine> engine =
+      engineName == "mc" ? dist::make_mc_engine(mcCfg)
+                         : dist::make_powerfail_engine(pfCfg);
+  opt.installSignalHandlers = true;
+  const dist::ServeOutcome out = dist::serve_campaign(*engine, opt);
+
+  if (out.trialsResumed > 0)
+    std::fprintf(stderr, "serve: resumed %d finished trial(s) from checkpoint\n",
+                 out.trialsResumed);
+  for (const std::string& path : out.quarantined)
+    std::fprintf(stderr, "serve: quarantined corrupt checkpoint -> %s\n",
+                 path.c_str());
+  std::fprintf(stderr,
+               "serve: %d/%d shards merged, %d worker(s) seen, %d dropped, "
+               "%ld re-dispatch(es), %ld rejected frame(s)\n",
+               out.shardsMerged, out.shardsTotal, out.workersSeen,
+               out.workersDropped, out.redispatches, out.framesRejected);
+  if (!out.completed()) {
+    // Same contract as mc/powerfail: an interrupted campaign prints no
+    // report — partial statistics must not look complete.
+    std::fprintf(
+        stderr, "serve: %s after %d/%d trials%s\n",
+        runtime::stop_cause_name(out.cause), out.trialsDone, out.trialsTotal,
+        out.checkpointWritten
+            ? "; checkpoint written, re-run the same command to resume"
+            : "; NO checkpoint (pass --checkpoint to make runs resumable)");
+    return out.exit_code();
+  }
+  std::printf("%s", out.report.c_str());
+  return runtime::kExitOk;
+}
+
+int worker_usage() {
+  std::fprintf(
+      stderr,
+      "usage: nvfftool worker --socket PATH [options]\n"
+      "  Worker of the distributed campaign service. Dials the coordinator,\n"
+      "  verifies protocol version and config fingerprint, then computes\n"
+      "  shards until told to shut down. Safe to kill at any instant.\n"
+      "  --socket PATH             coordinator's unix-domain socket (required)\n"
+      "  --threads T               pool width within a shard (default 1)\n"
+      "  --heartbeat-s SEC         progress report interval (default 0.25)\n"
+      "  --reconnect-budget-s SEC  give up when the coordinator has been\n"
+      "                            unreachable this long (default 30)\n"
+      "  --chaos-corrupt-every N   test hook: corrupt every Nth outgoing\n"
+      "                            frame's CRC (default 0 = off)\n"
+      "  exit codes: 0 clean shutdown, 1 gave up, 2 usage\n");
+  return runtime::kExitUsage;
+}
+
+int cmd_worker(const std::vector<std::string>& args) {
+  dist::WorkerOptions opt;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument("worker: " + a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--socket") opt.socketPath = value();
+    else if (a == "--threads") opt.threads = std::stoi(value());
+    else if (a == "--heartbeat-s") opt.heartbeatIntervalSeconds = std::stod(value());
+    else if (a == "--reconnect-budget-s")
+      opt.reconnectBudgetSeconds = std::stod(value());
+    else if (a == "--chaos-corrupt-every") opt.chaosCorruptEvery = std::stoi(value());
+    else {
+      std::fprintf(stderr, "worker: unknown option '%s'\n", a.c_str());
+      return worker_usage();
+    }
+  }
+  if (opt.socketPath.empty()) {
+    std::fprintf(stderr, "worker: --socket is required\n");
+    return runtime::kExitUsage;
+  }
+  const dist::WorkerOutcome out = dist::run_worker(opt);
+  std::fprintf(stderr, "worker: %d shard(s) completed, %ld reconnect(s)%s\n",
+               out.shardsCompleted, out.reconnects,
+               out.shutdownReceived ? ", clean shutdown" : "");
+  return out.exit_code();
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -617,7 +813,11 @@ int usage() {
       "  mc [options]             Monte-Carlo reliability campaign over both\n"
       "                           latch designs ('nvfftool mc --help' for options)\n"
       "  powerfail [options]      power-interruption fault-injection campaign\n"
-      "                           ('nvfftool powerfail --help' for options)\n");
+      "                           ('nvfftool powerfail --help' for options)\n"
+      "  serve [options]          distributed campaign coordinator\n"
+      "                           ('nvfftool serve --help' for options)\n"
+      "  worker --socket PATH     distributed campaign worker\n"
+      "                           ('nvfftool worker --help' for options)\n");
   return 2;
 }
 
@@ -655,11 +855,34 @@ int main(int argc, char** argv) {
         if (a == "--help" || a == "-h") return powerfail_usage();
       return cmd_powerfail(pfArgs);
     }
+    if (cmd == "serve") {
+      const std::vector<std::string> serveArgs(argv + 2, argv + argc);
+      for (const std::string& a : serveArgs)
+        if (a == "--help" || a == "-h") return serve_usage();
+      return cmd_serve(serveArgs);
+    }
+    if (cmd == "worker") {
+      const std::vector<std::string> workerArgs(argv + 2, argv + argc);
+      for (const std::string& a : workerArgs)
+        if (a == "--help" || a == "-h") return worker_usage();
+      return cmd_worker(workerArgs);
+    }
     if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage();
     // An unrecognized command (or a recognized one missing its required
     // arguments) must not look like success to a calling script.
     std::fprintf(stderr, "nvfftool: unknown or incomplete command '%s'\n",
                  cmd.c_str());
+  } catch (const runtime::ConfigMismatch& e) {
+    // --resume against a checkpoint from a different experiment: show the
+    // operator exactly WHICH fields disagree, then exit with the usage code
+    // (the command line, not the program, is what's wrong).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    const std::string diff =
+        runtime::render_config_diff(e.stored_json(), e.requested_json());
+    if (!diff.empty())
+      std::fprintf(stderr, "config mismatch, stored checkpoint vs this run:\n%s",
+                   diff.c_str());
+    return runtime::kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,133 @@
+#include "dist/channel.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace nvff::dist {
+
+namespace {
+
+std::string errno_text() { return std::generic_category().message(errno); }
+
+bool fill_addr(const std::string& path, sockaddr_un& addr, std::string& error) {
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long: " + path;
+    return false;
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process
+    // with SIGPIPE — peer death is routine in a chaos-tested service.
+    const long n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                          MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long Socket::recv_some(char* buffer, std::size_t capacity, int timeoutMs) {
+  if (fd_ < 0) return -1;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeoutMs);
+  if (ready < 0) return errno == EINTR ? 0 : -1;
+  if (ready == 0) return 0;
+  // POLLHUP/POLLERR fall through to recv(), which reports EOF/error exactly.
+  const long n = ::recv(fd_, buffer, capacity, 0);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  if (n == 0) return -1; // orderly EOF: the connection is over either way
+  return n;
+}
+
+Socket Socket::listen_unix(const std::string& path, std::string& error) {
+  sockaddr_un addr;
+  if (!fill_addr(path, addr, error)) return Socket();
+  // A stale socket file from a kill -9'd predecessor would fail bind() with
+  // EADDRINUSE forever; removing it is the unix-domain idiom (there is no
+  // SO_REUSEADDR for pathname sockets).
+  ::unlink(path.c_str());
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    error = "socket(): " + errno_text();
+    return Socket();
+  }
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error = "bind('" + path + "'): " + errno_text();
+    return Socket();
+  }
+  if (::listen(s.fd(), 64) != 0) {
+    error = "listen('" + path + "'): " + errno_text();
+    return Socket();
+  }
+  // Non-blocking listener: poll() can report a pending connection that is
+  // gone by the time accept() runs (the client died or aborted the connect).
+  // On a blocking fd that accept() hangs the whole event loop — and with
+  // SA_RESTART'd signal handlers not even SIGTERM gets it unstuck.
+  const int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(s.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    error = "fcntl(O_NONBLOCK, '" + path + "'): " + errno_text();
+    return Socket();
+  }
+  return s;
+}
+
+Socket Socket::accept_pending() {
+  if (fd_ < 0) return Socket();
+  // Linux clears file-status flags on the accepted fd, so connections come
+  // back blocking regardless of the listener's O_NONBLOCK; recv_some()
+  // polls before every read, so that is safe.
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  return Socket(fd);
+}
+
+Socket Socket::connect_unix(const std::string& path) {
+  sockaddr_un addr;
+  std::string error;
+  if (!fill_addr(path, addr, error)) return Socket();
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) return Socket();
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    return Socket();
+  return s;
+}
+
+} // namespace nvff::dist

@@ -1,0 +1,88 @@
+// Local stream-socket plumbing for the distributed campaign service.
+//
+// The coordinator and its workers are separate PROCESSES on one host (the
+// unit the chaos drill can kill -9 independently), talking over unix-domain
+// stream sockets: no port allocation races in CI, no firewall interaction,
+// and the kernel guarantees byte-stream ordering — every remaining failure
+// mode (peer death, torn frame, corruption introduced above the kernel) is
+// handled by the framing layer and the reconnect/redispatch policies.
+//
+// Everything here is deliberately boring and classified: operations return
+// status instead of throwing (a dead peer is an expected event in a system
+// whose test suite shoots processes), and SIGPIPE is never raised — a send
+// into a closed socket reports failure like any other.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace nvff::dist {
+
+/// RAII wrapper around one stream-socket file descriptor.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Sends the whole buffer (retrying short writes, EINTR). False on any
+  /// hard error — the caller drops the connection.
+  bool send_all(std::string_view bytes);
+
+  /// Waits up to `timeoutMs` for readability, then reads what is available.
+  /// Returns bytes read (> 0), 0 on timeout (no data yet), -1 on EOF or a
+  /// hard error (connection over).
+  long recv_some(char* buffer, std::size_t capacity, int timeoutMs);
+
+  /// Binds and listens on a unix-domain socket path, unlinking any stale
+  /// socket file first (the previous coordinator may have been kill -9'd —
+  /// that is the normal case here, not the exceptional one). Invalid socket
+  /// + `error` message on failure.
+  static Socket listen_unix(const std::string& path, std::string& error);
+
+  /// Accepts one pending connection (call after poll/select reported the
+  /// listener readable). Invalid socket when nothing was pending.
+  Socket accept_pending();
+
+  /// Connects to a unix-domain socket path. Invalid socket on failure (the
+  /// coordinator may not be up yet; the caller backs off and retries).
+  static Socket connect_unix(const std::string& path);
+
+private:
+  int fd_ = -1;
+};
+
+/// Capped exponential backoff for reconnect loops: first wait `initialMs`,
+/// doubling per failure up to `capMs`. Deterministic (no jitter) — two
+/// workers hammering a local socket path cannot meaningfully collide, and
+/// determinism keeps the chaos drill's timing reproducible.
+class Backoff {
+public:
+  Backoff(int initialMs, int capMs) : initialMs_(initialMs), capMs_(capMs) {}
+
+  /// Current delay, then doubles for next time.
+  int next_ms() {
+    const int out = currentMs_ > 0 ? currentMs_ : initialMs_;
+    currentMs_ = out * 2 > capMs_ ? capMs_ : out * 2;
+    return out;
+  }
+
+  void reset() { currentMs_ = 0; }
+
+private:
+  int initialMs_;
+  int capMs_;
+  int currentMs_ = 0;
+};
+
+} // namespace nvff::dist

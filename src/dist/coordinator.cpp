@@ -1,0 +1,715 @@
+#include "dist/coordinator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include <poll.h>
+
+#include "dist/channel.hpp"
+#include "dist/framing.hpp"
+#include "dist/messages.hpp"
+#include "runtime/crc32.hpp"
+#include "runtime/durable_file.hpp"
+#include "util/cancellation.hpp"
+#include "util/log.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace nvff::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Same async-signal-safe pattern as the runtime supervisor: the handler
+// stores the signal number, the event loop polls it. (The supervisor's flag
+// is internal to its translation unit; serve runs instead of, never inside,
+// run_supervised, so a private copy cannot double-fire.)
+std::atomic<int> g_serveSignal{0};
+void on_serve_signal(int sig) {
+  g_serveSignal.store(sig, std::memory_order_relaxed);
+}
+
+class SignalScope {
+public:
+  explicit SignalScope(bool install) : installed_(install) {
+    if (!installed_) return;
+    g_serveSignal.store(0, std::memory_order_relaxed);
+    prevInt_ = std::signal(SIGINT, on_serve_signal);
+    prevTerm_ = std::signal(SIGTERM, on_serve_signal);
+  }
+  ~SignalScope() {
+    if (!installed_) return;
+    std::signal(SIGINT, prevInt_);
+    std::signal(SIGTERM, prevTerm_);
+  }
+  SignalScope(const SignalScope&) = delete;
+  SignalScope& operator=(const SignalScope&) = delete;
+
+private:
+  bool installed_;
+  void (*prevInt_)(int) = SIG_DFL;
+  void (*prevTerm_)(int) = SIG_DFL;
+};
+
+/// One shard of the trial range. Owner tracking lives here (not in the
+/// connection) so a dropped connection and a stalled one share the same
+/// re-dispatch path.
+struct Shard {
+  enum class State : std::uint8_t {
+    Pending, ///< waiting for a requester
+    Remote,  ///< assigned to a worker connection
+    Local,   ///< claimed by an in-process executor thread
+    Done,    ///< merged into the campaign state
+  };
+  std::vector<int> ids;
+  State state = State::Pending;
+  long owner = -1;               ///< connection id when Remote
+  int lastProgress = 0;          ///< heartbeat trialsDone high-water mark
+  Clock::time_point lastAdvance{}; ///< when progress last moved
+};
+
+/// Campaign bookkeeping shared between the event-loop thread and the local
+/// executor threads, annotated for clang's thread-safety analysis.
+struct ServeState {
+  Mutex mu;
+  std::vector<Shard> shards GUARDED_BY(mu);
+  std::vector<char> done GUARDED_BY(mu);
+  int trialsDone GUARDED_BY(mu) = 0;
+  int shardsMerged GUARDED_BY(mu) = 0;
+  long timeouts GUARDED_BY(mu) = 0;
+  /// Shards merged since the last durable commit (checkpoint cadence).
+  int dirtyShards GUARDED_BY(mu) = 0;
+};
+
+/// One connected worker. The coordinator never trusts a connection: every
+/// message passes the frame CRC, the handshake pins protocol version and
+/// config fingerprint, and any violation drops the connection (the shards
+/// it held go back to pending).
+struct Conn {
+  explicit Conn(Socket s, long idIn) : sock(std::move(s)), id(idIn) {}
+  Socket sock;
+  long id;
+  FrameDecoder decoder;
+  bool ready = false; ///< handshake complete (Hello -> Welcome -> Ready)
+};
+
+/// Why a connection is being closed; drives shard re-dispatch + accounting.
+enum class DropCause { Eof, FrameError, ProtocolError, SendFailed, Shutdown };
+
+std::vector<int> collect_done_ids(const ServeState& state) REQUIRES(state.mu) {
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(state.trialsDone));
+  for (std::size_t i = 0; i < state.done.size(); ++i)
+    if (state.done[i]) ids.push_back(static_cast<int>(i));
+  return ids;
+}
+
+} // namespace
+
+ServeOutcome serve_campaign(CampaignEngine& engine,
+                            const ServeOptions& options) {
+  if (options.socketPath.empty() && options.localThreads <= 0)
+    throw std::runtime_error(
+        "serve: need a --socket for workers or --local-threads > 0");
+  if (options.shardSize < 1)
+    throw std::runtime_error("serve: --shard-size must be >= 1");
+  const int trials = engine.trials();
+  if (trials <= 0) throw std::runtime_error("serve: campaign needs trials > 0");
+
+  ServeOutcome outcome;
+  outcome.trialsTotal = trials;
+
+  ServeState state;
+  {
+    MutexLock lock(state.mu);
+    state.done.assign(static_cast<std::size_t>(trials), 0);
+  }
+
+  // --- resume ---------------------------------------------------------------
+  // The merged campaign state is a plain engine checkpoint, so resume walks
+  // the same generations/quarantine path the single-process supervisor does
+  // (shared helper — the two recovery paths cannot drift).
+  const std::string& ckptPath = options.checkpointPath;
+  if (!ckptPath.empty()) {
+    runtime::ResumeResult resumed = runtime::resume_from_checkpoint(
+        ckptPath, [&](const std::string& payload) { return engine.merge(payload); });
+    outcome.quarantined = std::move(resumed.quarantined);
+    MutexLock lock(state.mu);
+    for (const int id : resumed.ids) {
+      if (id < 0 || id >= trials) continue;
+      if (!state.done[static_cast<std::size_t>(id)]) {
+        state.done[static_cast<std::size_t>(id)] = 1;
+        ++state.trialsDone;
+      }
+    }
+    outcome.trialsResumed = state.trialsDone;
+  }
+  if (options.requireResume && outcome.trialsResumed == 0)
+    throw std::runtime_error("--resume: no usable checkpoint at '" + ckptPath +
+                             "'");
+
+  // --- shard the remaining trials -------------------------------------------
+  {
+    MutexLock lock(state.mu);
+    Shard current;
+    for (int t = 0; t < trials; ++t) {
+      if (state.done[static_cast<std::size_t>(t)]) continue;
+      current.ids.push_back(t);
+      if (static_cast<int>(current.ids.size()) >= options.shardSize) {
+        state.shards.push_back(std::move(current));
+        current = Shard{};
+      }
+    }
+    if (!current.ids.empty()) state.shards.push_back(std::move(current));
+    outcome.shardsTotal = static_cast<int>(state.shards.size());
+  }
+
+  const std::string blob = engine.config_blob();
+  const std::uint32_t blobCrc = runtime::crc32(blob);
+
+  // --- listener -------------------------------------------------------------
+  Socket listener;
+  if (!options.socketPath.empty()) {
+    std::string error;
+    listener = Socket::listen_unix(options.socketPath, error);
+    if (!listener.valid())
+      throw std::runtime_error("serve: cannot listen on '" +
+                               options.socketPath + "': " + error);
+  }
+
+  SignalScope signals(options.installSignalHandlers);
+  std::atomic<bool> draining{false};
+  std::atomic<bool> deadlineHit{false};
+  CancelToken localCancel; // drains in-process executor threads
+
+  const bool haveDeadline = options.deadlineSeconds > 0.0;
+  const auto deadline =
+      // DETLINT-ALLOW(DET001): wall-clock campaign budget — time-based by
+      // spec; an interrupted serve prints no report, and resumed trials
+      // recompute bit-identically from counter-based RNG streams.
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             haveDeadline ? options.deadlineSeconds : 0.0));
+  const auto stallBudget = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options.stallTimeoutSeconds > 0.0
+                                        ? options.stallTimeoutSeconds
+                                        : 0.0));
+
+  // --- local executor threads -----------------------------------------------
+  // Coordinator-only fallback and graceful degradation in one mechanism:
+  // these threads pull from the same shard table the workers do, so losing
+  // every worker merely slows the campaign down to local throughput (and
+  // with no socket at all, serve degenerates to a supervised local run).
+  std::vector<std::thread> localRunners;
+  for (int i = 0; i < options.localThreads; ++i) {
+    localRunners.emplace_back([&] {
+      for (;;) {
+        if (localCancel.cancelled()) return;
+        int shardIndex = -1;
+        std::vector<int> ids;
+        {
+          MutexLock lock(state.mu);
+          for (std::size_t s = 0; s < state.shards.size(); ++s) {
+            if (state.shards[s].state != Shard::State::Pending) continue;
+            shardIndex = static_cast<int>(s);
+            state.shards[s].state = Shard::State::Local;
+            ids = state.shards[s].ids;
+            break;
+          }
+        }
+        if (shardIndex < 0) {
+          // Nothing pending: either the campaign is finishing or all work
+          // is out with workers (which may yet fail — stay available).
+          bool allDone;
+          {
+            MutexLock lock(state.mu);
+            allDone = state.trialsDone >= trials;
+          }
+          if (allDone) return;
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
+        long shardTimeouts = 0;
+        std::vector<int> finished;
+        finished.reserve(ids.size());
+        for (const int id : ids) {
+          if (localCancel.cancelled()) break;
+          const runtime::TrialStatus status = engine.run_trial(id, localCancel);
+          if (status == runtime::TrialStatus::Cancelled) continue;
+          if (status == runtime::TrialStatus::Timeout) ++shardTimeouts;
+          finished.push_back(id);
+        }
+        MutexLock lock(state.mu);
+        Shard& shard = state.shards[static_cast<std::size_t>(shardIndex)];
+        if (static_cast<int>(finished.size()) ==
+            static_cast<int>(ids.size())) {
+          shard.state = Shard::State::Done;
+          ++state.shardsMerged;
+          ++state.dirtyShards;
+        } else {
+          // Drained mid-shard: the completed prefix still counts (the done
+          // mask is per-trial); the remainder re-runs after resume.
+          shard.state = Shard::State::Pending;
+        }
+        state.timeouts += shardTimeouts;
+        for (const int id : finished) {
+          if (!state.done[static_cast<std::size_t>(id)]) {
+            state.done[static_cast<std::size_t>(id)] = 1;
+            ++state.trialsDone;
+          }
+        }
+      }
+    });
+  }
+
+  // --- helpers shared by the event loop -------------------------------------
+  std::vector<std::unique_ptr<Conn>> conns;
+  long nextConnId = 0;
+
+  auto send_frame = [&](Conn& conn, MsgType type,
+                        const std::string& payload) -> bool {
+    return conn.sock.send_all(encode_frame(type, payload));
+  };
+
+  // Returns shards owned by `connId` to the pending queue.
+  auto release_shards = [&](long connId) {
+    MutexLock lock(state.mu);
+    for (Shard& shard : state.shards) {
+      if (shard.state == Shard::State::Remote && shard.owner == connId) {
+        shard.state = Shard::State::Pending;
+        shard.owner = -1;
+        ++outcome.redispatches;
+      }
+    }
+  };
+
+  auto drop_conn = [&](std::size_t index, DropCause cause,
+                       const std::string& why) {
+    Conn& conn = *conns[index];
+    if (cause == DropCause::FrameError) ++outcome.framesRejected;
+    if (conn.ready && cause != DropCause::Shutdown) {
+      ++outcome.workersDropped;
+      log_warn("serve: worker #" + std::to_string(conn.id) + " dropped (" +
+               why + "); re-dispatching its shards");
+    }
+    release_shards(conn.id);
+    conns.erase(conns.begin() + static_cast<long>(index));
+  };
+
+  auto commit_merged = [&]() {
+    if (ckptPath.empty()) return;
+    std::vector<int> ids;
+    {
+      MutexLock lock(state.mu);
+      ids = collect_done_ids(state);
+      state.dirtyShards = 0;
+    }
+    runtime::commit_durable(ckptPath, engine.serialize(ids));
+    outcome.checkpointWritten = true;
+  };
+
+  /// Answers a Ready frame: next pending shard, or Idle, or Shutdown once
+  /// every trial is recorded. Returns false when the send failed.
+  auto assign_work = [&](Conn& conn) -> bool {
+    int shardIndex = -1;
+    std::vector<int> ids;
+    bool allDone = false;
+    {
+      MutexLock lock(state.mu);
+      allDone = state.trialsDone >= trials;
+      if (!allDone && !draining.load(std::memory_order_relaxed)) {
+        for (std::size_t s = 0; s < state.shards.size(); ++s) {
+          if (state.shards[s].state != Shard::State::Pending) continue;
+          shardIndex = static_cast<int>(s);
+          state.shards[s].state = Shard::State::Remote;
+          state.shards[s].owner = conn.id;
+          state.shards[s].lastProgress = 0;
+          // DETLINT-ALLOW(DET001): arms the straggler watchdog for this
+          // assignment; scheduling only, never campaign results.
+          state.shards[s].lastAdvance = Clock::now();
+          ids = state.shards[s].ids;
+          break;
+        }
+      }
+    }
+    if (allDone || draining.load(std::memory_order_relaxed))
+      return send_frame(conn, MsgType::Shutdown, "");
+    if (shardIndex < 0) return send_frame(conn, MsgType::Idle, "");
+    ShardAssignMsg assign;
+    assign.shard = shardIndex;
+    assign.ids = std::move(ids);
+    return send_frame(conn, MsgType::ShardAssign, encode_shard_assign(assign));
+  };
+
+  /// Handles one decoded frame. Returns false when the connection must be
+  /// dropped (protocol violation or send failure).
+  auto handle_frame = [&](Conn& conn, MsgType type, const std::string& payload,
+                          std::string& why) -> bool {
+    switch (type) {
+      case MsgType::Hello: {
+        HelloMsg hello;
+        if (!parse_hello(payload, hello)) {
+          why = "malformed Hello";
+          return false;
+        }
+        if (hello.protocolVersion != kProtocolVersion) {
+          why = "protocol version skew (worker v" +
+                std::to_string(hello.protocolVersion) + ")";
+          send_frame(conn, MsgType::Error,
+                     encode_error({"coordinator speaks protocol v" +
+                                   std::to_string(kProtocolVersion)}));
+          return false;
+        }
+        WelcomeMsg welcome;
+        welcome.engine = engine.name();
+        welcome.blob = blob;
+        if (!send_frame(conn, MsgType::Welcome, encode_welcome(welcome))) {
+          why = "send failed";
+          return false;
+        }
+        return true;
+      }
+      case MsgType::Ready: {
+        ReadyMsg ready;
+        if (!parse_ready(payload, ready)) {
+          why = "malformed Ready";
+          return false;
+        }
+        // The worker rebuilt the config from the blob and re-serialized it;
+        // CRC equality proves the two processes agree on every config field
+        // (%.17g makes the rendering canonical). trials is double-checked
+        // so a truncated blob cannot slip through a CRC collision.
+        if (ready.fingerprintCrc != blobCrc || ready.trials != trials) {
+          why = "config fingerprint mismatch (version or build skew)";
+          send_frame(conn, MsgType::Error,
+                     encode_error({"config fingerprint mismatch"}));
+          return false;
+        }
+        if (!conn.ready) {
+          conn.ready = true;
+          ++outcome.workersSeen;
+        }
+        if (!assign_work(conn)) {
+          why = "send failed";
+          return false;
+        }
+        return true;
+      }
+      case MsgType::ShardResult: {
+        ShardResultMsg result;
+        if (!parse_shard_result(payload, result)) {
+          why = "malformed ShardResult";
+          return false;
+        }
+        bool merge = false;
+        {
+          MutexLock lock(state.mu);
+          if (result.shard >= 0 &&
+              result.shard < static_cast<int>(state.shards.size())) {
+            Shard& shard = state.shards[static_cast<std::size_t>(result.shard)];
+            // Merge remote and pending (re-dispatched straggler delivered
+            // late) shards. Done: duplicate, identical by construction —
+            // skip. Local: an executor thread is writing those very slots;
+            // skipping avoids the only possible writer overlap, and costs
+            // nothing because the local run produces the same bytes.
+            // Eligible shards are reserved as Done BEFORE the lock drops so
+            // no local executor can claim them while merge writes slots.
+            if (shard.state == Shard::State::Remote ||
+                shard.state == Shard::State::Pending) {
+              shard.state = Shard::State::Done;
+              shard.owner = -1;
+              merge = true;
+            }
+          }
+        }
+        if (merge) {
+          std::vector<int> ids;
+          try {
+            ids = engine.merge(result.blob);
+          } catch (const std::exception& e) {
+            // A blob that passed the frame CRC but fails the engine parse
+            // (or its fingerprint) means a confused or skewed worker: undo
+            // the reservation, drop the worker, keep the campaign. The
+            // engine parses fully before filling any slot, so a rejected
+            // blob leaves the slots untouched.
+            {
+              MutexLock lock(state.mu);
+              Shard& shard =
+                  state.shards[static_cast<std::size_t>(result.shard)];
+              shard.state = Shard::State::Pending;
+            }
+            why = std::string("shard result rejected: ") + e.what();
+            return false;
+          }
+          MutexLock lock(state.mu);
+          Shard& shard = state.shards[static_cast<std::size_t>(result.shard)];
+          for (const int id : ids) {
+            if (id < 0 || id >= trials) continue;
+            if (!state.done[static_cast<std::size_t>(id)]) {
+              state.done[static_cast<std::size_t>(id)] = 1;
+              ++state.trialsDone;
+            }
+          }
+          // A partial result (worker serialized fewer trials than assigned)
+          // must not retire the shard, or the missing trials would never
+          // run: keep the merged prefix, requeue the remainder.
+          bool complete = true;
+          for (const int id : shard.ids)
+            if (!state.done[static_cast<std::size_t>(id)]) complete = false;
+          if (complete) {
+            ++state.shardsMerged;
+            ++state.dirtyShards;
+          } else {
+            shard.state = Shard::State::Pending;
+          }
+        }
+        if (!assign_work(conn)) {
+          why = "send failed";
+          return false;
+        }
+        return true;
+      }
+      case MsgType::Heartbeat: {
+        HeartbeatMsg hb;
+        if (!parse_heartbeat(payload, hb)) {
+          why = "malformed Heartbeat";
+          return false;
+        }
+        MutexLock lock(state.mu);
+        if (hb.shard >= 0 &&
+            hb.shard < static_cast<int>(state.shards.size())) {
+          Shard& shard = state.shards[static_cast<std::size_t>(hb.shard)];
+          if (shard.state == Shard::State::Remote && shard.owner == conn.id) {
+            if (hb.trialsDone > shard.lastProgress)
+              shard.lastProgress = hb.trialsDone;
+            // Any live heartbeat from the owner refreshes the stall clock,
+            // even at zero trials finished: one trial may legitimately run
+            // longer than the stall budget (sanitizer builds, cold caches),
+            // and re-dispatching a shard whose owner is demonstrably alive
+            // only burns duplicate work. Stall means the owner went QUIET —
+            // dead connections re-queue via drop_conn, silent-but-open ones
+            // stop heartbeating and trip the watchdog below.
+            // DETLINT-ALLOW(DET001): straggler watchdog bookkeeping —
+            // scheduling only, never campaign results.
+            shard.lastAdvance = Clock::now();
+          }
+        }
+        return true;
+      }
+      case MsgType::Error: {
+        ErrorMsg err;
+        why = parse_error(payload, err) ? ("worker error: " + err.message)
+                                        : "malformed Error frame";
+        return false;
+      }
+      default:
+        why = std::string("unexpected ") + msg_type_name(type) + " frame";
+        return false;
+    }
+  };
+
+  // --- event loop -----------------------------------------------------------
+  char buffer[65536];
+  for (;;) {
+    // Drain / deadline checks first so a signal is honored even when the
+    // sockets are silent.
+    if (g_serveSignal.load(std::memory_order_relaxed) != 0 &&
+        !draining.exchange(true, std::memory_order_relaxed)) {
+      log_warn("serve: interrupted — draining local trials, checkpointing");
+      localCancel.cancel(CancelToken::Reason::Cancelled);
+    }
+    // DETLINT-ALLOW(DET001): event-loop tick — drives the deadline and the
+    // straggler watchdog; scheduling only, never campaign results.
+    const auto now = Clock::now();
+    if (haveDeadline && now >= deadline &&
+        !deadlineHit.exchange(true, std::memory_order_relaxed)) {
+      draining.store(true, std::memory_order_relaxed);
+      localCancel.cancel(CancelToken::Reason::Cancelled);
+    }
+
+    // Straggler re-dispatch: a remote shard whose owner went quiet (no
+    // heartbeat within the stall budget) goes back to the queue. The
+    // original owner keeps running — if it delivers after all, the result
+    // is byte-identical and merges cleanly.
+    if (stallBudget.count() > 0) {
+      MutexLock lock(state.mu);
+      for (Shard& shard : state.shards) {
+        if (shard.state != Shard::State::Remote) continue;
+        if (now - shard.lastAdvance < stallBudget) continue;
+        log_warn("serve: shard stalled on worker #" +
+                 std::to_string(shard.owner) + "; re-dispatching");
+        shard.state = Shard::State::Pending;
+        shard.owner = -1;
+        ++outcome.redispatches;
+      }
+    }
+
+    bool allDone;
+    {
+      MutexLock lock(state.mu);
+      allDone = state.trialsDone >= trials;
+    }
+    // On drain the loop exits immediately; the join below waits for local
+    // executors (cancelled via the token) so the final checkpoint includes
+    // their completed prefix.
+    if (allDone || draining.load(std::memory_order_relaxed)) break;
+
+    // Periodic durable commit of merged progress.
+    bool commitNow = false;
+    {
+      MutexLock lock(state.mu);
+      commitNow = !ckptPath.empty() && options.checkpointEvery > 0 &&
+                  state.dirtyShards >= options.checkpointEvery &&
+                  state.trialsDone < trials;
+    }
+    if (commitNow) {
+      try {
+        commit_merged();
+      } catch (const std::exception& e) {
+        // Best-effort mid-flight (same policy as the supervisor): the final
+        // commit below is the one that throws.
+        log_warn("serve: checkpoint write failed: " + std::string(e.what()));
+      }
+    }
+
+    // Poll the listener + every connection. `polled` pins the count of
+    // connections that own an fds slot: the accept below may push_back a new
+    // conn, and the walk must not index fds past what was actually polled.
+    const std::size_t polled = conns.size();
+    std::vector<pollfd> fds;
+    fds.reserve(polled + 1);
+    const bool haveListener = listener.valid();
+    if (haveListener) fds.push_back({listener.fd(), POLLIN, 0});
+    for (const auto& conn : conns) fds.push_back({conn->sock.fd(), POLLIN, 0});
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), /*timeout=*/20);
+    if (rc < 0 && errno != EINTR)
+      throw std::runtime_error("serve: poll failed");
+
+    // One accept per POLLIN: the listener fd is non-blocking (a connection
+    // that vanished between poll and accept yields an invalid socket, not a
+    // hang), and poll is level-triggered — further pending connections
+    // re-report next tick.
+    if (haveListener && rc > 0 && (fds[0].revents & POLLIN) != 0) {
+      Socket accepted = listener.accept_pending();
+      if (accepted.valid())
+        conns.push_back(
+            std::make_unique<Conn>(std::move(accepted), nextConnId++));
+    }
+
+    // Walk connections back-to-front so drop_conn's erase cannot skip one.
+    // Only the `polled` prefix has revents; a conn accepted this tick waits
+    // until the next poll round.
+    const std::size_t base = haveListener ? 1 : 0;
+    for (std::size_t i = polled; i-- > 0;) {
+      if (rc <= 0 || (fds[base + i].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+        continue;
+      Conn& conn = *conns[i];
+      const long got =
+          conn.sock.recv_some(buffer, sizeof(buffer), /*timeoutMs=*/0);
+      if (got < 0) {
+        drop_conn(i, DropCause::Eof,
+                  conn.decoder.truncated() ? "connection lost mid-frame"
+                                           : "connection closed");
+        continue;
+      }
+      if (got == 0) continue;
+      conn.decoder.feed(buffer, static_cast<std::size_t>(got));
+      bool dropped = false;
+      for (;;) {
+        FrameDecoder::Result frame = conn.decoder.next();
+        if (frame.status == FrameDecoder::Status::NeedMore) break;
+        if (frame.status == FrameDecoder::Status::Error) {
+          drop_conn(i, DropCause::FrameError,
+                    std::string("frame rejected: ") +
+                        frame_error_name(frame.error));
+          dropped = true;
+          break;
+        }
+        std::string why;
+        if (!handle_frame(conn, frame.type, frame.payload, why)) {
+          drop_conn(i, DropCause::ProtocolError, why);
+          dropped = true;
+          break;
+        }
+      }
+      if (dropped) continue;
+    }
+  }
+
+  // --- shutdown -------------------------------------------------------------
+  // Tell every live worker the campaign is over, then linger briefly
+  // answering any in-flight frame (a Ready racing the campaign's last merge,
+  // a heartbeat from a stale duplicate shard) with Shutdown, so workers exit
+  // 0 instead of discovering a dead socket. Best effort — a worker that
+  // still misses it retires via its reconnect budget.
+  for (auto& conn : conns)
+    if (conn->ready) send_frame(*conn, MsgType::Shutdown, "");
+  {
+    // DETLINT-ALLOW(DET001): shutdown linger window — connection teardown
+    // scheduling only, never campaign results.
+    const auto lingerUntil = Clock::now() + std::chrono::milliseconds(500);
+    // DETLINT-ALLOW(DET001): same linger window as above.
+    while (!conns.empty() && Clock::now() < lingerUntil) {
+      std::vector<pollfd> fds;
+      fds.reserve(conns.size());
+      for (const auto& conn : conns)
+        fds.push_back({conn->sock.fd(), POLLIN, 0});
+      const int rc =
+          ::poll(fds.data(), static_cast<nfds_t>(fds.size()), /*timeout=*/20);
+      if (rc < 0 && errno != EINTR) break;
+      for (std::size_t i = conns.size(); i-- > 0;) {
+        if (rc <= 0 ||
+            (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+          continue;
+        Conn& conn = *conns[i];
+        const long got =
+            conn.sock.recv_some(buffer, sizeof(buffer), /*timeoutMs=*/0);
+        if (got < 0) {
+          conns.erase(conns.begin() + static_cast<long>(i));
+          continue;
+        }
+        if (got == 0) continue;
+        conn.decoder.feed(buffer, static_cast<std::size_t>(got));
+        for (;;) {
+          FrameDecoder::Result frame = conn.decoder.next();
+          if (frame.status != FrameDecoder::Status::Frame) break;
+          send_frame(conn, MsgType::Shutdown, "");
+        }
+      }
+    }
+  }
+  conns.clear();
+
+  localCancel.cancel(CancelToken::Reason::Cancelled);
+  for (std::thread& t : localRunners) t.join();
+
+  {
+    MutexLock lock(state.mu);
+    outcome.trialsDone = state.trialsDone;
+    outcome.shardsMerged = state.shardsMerged;
+    outcome.timeouts = state.timeouts;
+  }
+  if (deadlineHit.load(std::memory_order_relaxed))
+    outcome.cause = runtime::StopCause::DeadlineExceeded;
+  else if (draining.load(std::memory_order_relaxed) ||
+           outcome.trialsDone < trials)
+    outcome.cause = runtime::StopCause::Interrupted;
+  else
+    outcome.cause = runtime::StopCause::Completed;
+
+  if (!ckptPath.empty()) {
+    commit_merged(); // throws on I/O failure — this one must stick
+    outcome.checkpointWritten = true;
+  }
+  if (outcome.completed()) outcome.report = engine.report();
+  return outcome;
+}
+
+} // namespace nvff::dist

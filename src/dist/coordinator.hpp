@@ -1,0 +1,93 @@
+// Coordinator of the distributed campaign service (`nvfftool serve`).
+//
+// One coordinator process owns the campaign: it shards the trial range,
+// hands shards to however many `nvfftool worker` processes connect, merges
+// their checkpoint documents into the campaign state, and commits that
+// state durably through the same two-generation machinery single-process
+// runs use. The merged checkpoint IS a normal engine checkpoint — a killed
+// distributed run can be resumed by `nvfftool serve` OR by a plain
+// single-process `--checkpoint --resume` run, and vice versa.
+//
+// Failure semantics (the design center — every peer is killable):
+//
+//   worker dies / connection drops    -> its in-flight shards return to the
+//                                        pending queue; campaign continues
+//                                        with the survivors.
+//   worker stalls (heartbeat progress -> shard is re-dispatched to the next
+//   frozen past --stall-timeout)         requester; if the straggler later
+//                                        delivers anyway, the duplicate is
+//                                        byte-identical (counter-based RNG)
+//                                        and merging it is a no-op.
+//   frame corrupt / truncated / skewed-> classified by the framing layer;
+//                                        the connection is dropped and the
+//                                        shard re-dispatched. Never a crash.
+//   no workers at all                 -> --local-threads N runs shards in
+//                                        the coordinator itself; the service
+//                                        degrades to exactly the
+//                                        single-process supervisor.
+//   coordinator killed                -> the durable checkpoint holds every
+//                                        merged shard; rerunning serve
+//                                        resumes from it (merge-exact:
+//                                        final report bit-identical to an
+//                                        uninterrupted run).
+//   SIGINT/SIGTERM                    -> stop assigning, drain local
+//                                        trials, commit a final checkpoint,
+//                                        exit 75 (EX_TEMPFAIL) like every
+//                                        other campaign CLI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/engine.hpp"
+#include "runtime/supervisor.hpp"
+
+namespace nvff::dist {
+
+struct ServeOptions {
+  std::string socketPath;    ///< unix-domain socket the workers dial
+  int shardSize = 8;         ///< trials per shard (>= 1)
+  int localThreads = 0;      ///< in-process executor threads (0 = none)
+  std::string checkpointPath;///< merged durable campaign state; empty = none
+  int checkpointEvery = 1;   ///< commit cadence in merged shards
+  bool requireResume = false;///< --resume: error out if nothing loadable
+  /// A remote shard whose heartbeat progress has not advanced for this long
+  /// is re-dispatched (the straggler keeps running; duplicates merge clean).
+  double stallTimeoutSeconds = 10.0;
+  double deadlineSeconds = 0.0; ///< campaign wall-clock budget; 0 = off
+  bool installSignalHandlers = false; ///< SIGINT/SIGTERM drain (CLI only)
+};
+
+struct ServeOutcome {
+  runtime::StopCause cause = runtime::StopCause::Completed;
+  int trialsTotal = 0;
+  int trialsDone = 0;
+  int trialsResumed = 0;   ///< merged from the on-disk checkpoint at start
+  int shardsTotal = 0;
+  int shardsMerged = 0;    ///< includes locally executed shards
+  long redispatches = 0;   ///< shards returned to pending (drop or stall)
+  long framesRejected = 0; ///< classified frame errors that dropped a conn
+  int workersSeen = 0;     ///< connections that completed the handshake
+  int workersDropped = 0;  ///< connections lost after the handshake
+  long timeouts = 0;       ///< trials recorded as watchdog/engine timeouts
+  bool checkpointWritten = false;
+  std::vector<std::string> quarantined;
+  std::string report; ///< engine report; only set when the campaign completed
+
+  bool completed() const { return trialsDone == trialsTotal; }
+  /// Same contract as the supervisor: 0 complete, 75 interrupted with a
+  /// resumable checkpoint on disk, 1 otherwise.
+  int exit_code() const {
+    if (completed()) return runtime::kExitOk;
+    return checkpointWritten ? runtime::kExitInterrupted
+                             : runtime::kExitFatal;
+  }
+};
+
+/// Runs the coordinator until the campaign completes, the deadline expires,
+/// or a drain signal arrives. Throws std::runtime_error on fatal setup
+/// errors (bad options, socket bind failure, resume fingerprint mismatch —
+/// the latter as runtime::ConfigMismatch). Worker failures never throw.
+ServeOutcome serve_campaign(CampaignEngine& engine, const ServeOptions& options);
+
+} // namespace nvff::dist

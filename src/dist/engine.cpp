@@ -1,0 +1,180 @@
+#include "dist/engine.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "faults/powerfail.hpp"
+#include "reliability/checkpoint.hpp"
+#include "reliability/montecarlo.hpp"
+
+namespace nvff::dist {
+
+namespace {
+
+// --- Monte-Carlo reliability ------------------------------------------------
+
+class McEngine final : public CampaignEngine {
+public:
+  explicit McEngine(const reliability::CampaignConfig& config) {
+    result_.config = config;
+    result_.trials.resize(static_cast<std::size_t>(config.trials));
+  }
+
+  const char* name() const override { return "mc"; }
+  int trials() const override { return result_.config.trials; }
+
+  std::string config_blob() const override {
+    return reliability::serialize_checkpoint(result_.config, {});
+  }
+
+  runtime::TrialStatus run_trial(int id, const CancelToken& cancel) override {
+    reliability::TrialResult r =
+        reliability::run_trial(result_.config, id, &cancel);
+    const bool cancelledSeen =
+        r.standard.solveStatus == spice::SolveStatus::Cancelled ||
+        r.proposed.solveStatus == spice::SolveStatus::Cancelled;
+    auto& slot = result_.trials[static_cast<std::size_t>(id)];
+    slot = std::move(r);
+    if (cancelledSeen) {
+      return cancel.reason() == CancelToken::Reason::Timeout
+                 ? runtime::TrialStatus::Timeout
+                 : runtime::TrialStatus::Cancelled;
+    }
+    if (slot.standard.outcome == reliability::TrialOutcome::Unclassified ||
+        slot.proposed.outcome == reliability::TrialOutcome::Unclassified)
+      return runtime::TrialStatus::Transient;
+    return runtime::TrialStatus::Ok;
+  }
+
+  std::string serialize(const std::vector<int>& ids) const override {
+    std::vector<reliability::TrialResult> finished;
+    finished.reserve(ids.size());
+    for (const int id : ids)
+      finished.push_back(result_.trials[static_cast<std::size_t>(id)]);
+    return reliability::serialize_checkpoint(result_.config, finished);
+  }
+
+  std::vector<int> merge(const std::string& payload) override {
+    reliability::CheckpointData loaded = reliability::parse_checkpoint(payload);
+    reliability::validate_checkpoint(result_.config, loaded.config);
+    std::vector<int> ids;
+    for (reliability::TrialResult& t : loaded.trials) {
+      if (t.trialId < 0 || t.trialId >= result_.config.trials) continue;
+      ids.push_back(t.trialId);
+      result_.trials[static_cast<std::size_t>(t.trialId)] = std::move(t);
+    }
+    return ids;
+  }
+
+  std::string report() const override {
+    return reliability::render_report(result_);
+  }
+
+private:
+  reliability::CampaignResult result_;
+};
+
+// --- power-interruption fault injection -------------------------------------
+
+class PowerfailEngine final : public CampaignEngine {
+public:
+  explicit PowerfailEngine(const faults::CampaignConfig& config)
+      // The shared context (placed benchmark, schedules, golden run) is
+      // built once per process; building it is deterministic, so every
+      // worker and the coordinator hold identical copies.
+      : context_(faults::build_context(config)) {
+    result_.config = config;
+    result_.trials.resize(static_cast<std::size_t>(config.trials));
+  }
+
+  const char* name() const override { return "powerfail"; }
+  int trials() const override { return result_.config.trials; }
+
+  std::string config_blob() const override {
+    return faults::serialize_powerfail_checkpoint(result_.config, {});
+  }
+
+  runtime::TrialStatus run_trial(int id, const CancelToken& cancel) override {
+    faults::TrialResult r = faults::run_trial(context_, id, &cancel);
+    if (!r.timedOut && cancel.cancelled() &&
+        cancel.reason() == CancelToken::Reason::Cancelled)
+      return runtime::TrialStatus::Cancelled; // partial; re-run elsewhere
+    const bool timedOut = r.timedOut;
+    result_.trials[static_cast<std::size_t>(id)] = std::move(r);
+    return timedOut ? runtime::TrialStatus::Timeout : runtime::TrialStatus::Ok;
+  }
+
+  std::string serialize(const std::vector<int>& ids) const override {
+    std::vector<faults::TrialResult> finished;
+    finished.reserve(ids.size());
+    for (const int id : ids)
+      finished.push_back(result_.trials[static_cast<std::size_t>(id)]);
+    return faults::serialize_powerfail_checkpoint(result_.config, finished);
+  }
+
+  std::vector<int> merge(const std::string& payload) override {
+    faults::PowerfailCheckpoint loaded =
+        faults::parse_powerfail_checkpoint(payload);
+    faults::validate_powerfail_checkpoint(result_.config, loaded.config);
+    std::vector<int> ids;
+    for (faults::TrialResult& t : loaded.trials) {
+      if (t.trialId < 0 || t.trialId >= result_.config.trials) continue;
+      ids.push_back(t.trialId);
+      result_.trials[static_cast<std::size_t>(t.trialId)] = std::move(t);
+    }
+    return ids;
+  }
+
+  std::string report() const override { return faults::render_report(result_); }
+
+private:
+  faults::CampaignContext context_;
+  faults::CampaignResult result_;
+};
+
+// --- registry ---------------------------------------------------------------
+
+std::map<std::string, EngineFactory>& registry() {
+  static std::map<std::string, EngineFactory> factories = {
+      {"mc",
+       [](const std::string& blob) -> std::unique_ptr<CampaignEngine> {
+         // The blob is the engine's own empty-trials checkpoint: parse it
+         // with the engine's own parser and adopt the embedded config.
+         return std::make_unique<McEngine>(
+             reliability::parse_checkpoint(blob).config);
+       }},
+      {"powerfail",
+       [](const std::string& blob) -> std::unique_ptr<CampaignEngine> {
+         return std::make_unique<PowerfailEngine>(
+             faults::parse_powerfail_checkpoint(blob).config);
+       }},
+  };
+  return factories;
+}
+
+} // namespace
+
+std::unique_ptr<CampaignEngine> make_mc_engine(
+    const reliability::CampaignConfig& config) {
+  return std::make_unique<McEngine>(config);
+}
+
+std::unique_ptr<CampaignEngine> make_powerfail_engine(
+    const faults::CampaignConfig& config) {
+  return std::make_unique<PowerfailEngine>(config);
+}
+
+void register_engine_factory(const std::string& name, EngineFactory factory) {
+  registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<CampaignEngine> make_engine(const std::string& name,
+                                            const std::string& blob) {
+  const auto it = registry().find(name);
+  if (it == registry().end())
+    throw std::runtime_error("dist: unknown engine '" + name + "'");
+  return it->second(blob);
+}
+
+} // namespace nvff::dist

@@ -1,0 +1,96 @@
+// Engine adapters: how the existing campaign engines plug into the
+// distributed coordinator/worker service WITHOUT modification.
+//
+// A CampaignEngine owns the full result vector (slot t = trial t) and wraps
+// exactly the three operations the service needs, all of which the engines
+// already expose for the runtime supervisor:
+//
+//   run_trial(t)  — computes slot t from (config, t) alone. Counter-based
+//                   RNG streams make trials location-independent: a trial
+//                   computes the same bytes on any worker, any host, any
+//                   thread — which is what makes straggler re-dispatch and
+//                   duplicate shard completions trivially safe to merge.
+//   serialize(ids)— renders the named slots as the engine's own durable
+//                   checkpoint document. The coordinator's merged campaign
+//                   state IS a normal checkpoint: a distributed run can be
+//                   resumed by a single-process `nvfftool mc --checkpoint`,
+//                   and vice versa.
+//   merge(doc)    — parses a checkpoint document, validates its config
+//                   fingerprint against this engine's, fills the slots it
+//                   names and returns their ids. Used for both shard
+//                   results arriving over the wire and on-disk resume.
+//
+// The config blob shipped in the Welcome handshake is the engine's own
+// empty-trials checkpoint document. It doubles as the config fingerprint:
+// the worker reconstructs the config from it, re-serializes, and the two
+// strings must match byte for byte (%.17g round-trips doubles exactly), so
+// any skew — different build, different defaults, different parse — is
+// caught before a single trial runs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/supervisor.hpp"
+#include "util/cancellation.hpp"
+
+namespace nvff::reliability {
+struct CampaignConfig;
+}
+namespace nvff::faults {
+struct CampaignConfig;
+}
+
+namespace nvff::dist {
+
+class CampaignEngine {
+public:
+  virtual ~CampaignEngine() = default;
+
+  virtual const char* name() const = 0;
+  virtual int trials() const = 0;
+
+  /// Canonical config document (an empty-trials checkpoint). Also the
+  /// fingerprint both handshake sides compare.
+  virtual std::string config_blob() const = 0;
+
+  /// Runs trial `id` into slot `id`. Never throws; classifies instead
+  /// (same contract as runtime::CampaignHooks::runTrial). Thread-safe for
+  /// distinct ids — slots never alias.
+  virtual runtime::TrialStatus run_trial(int id, const CancelToken& cancel) = 0;
+
+  /// Serializes the slots named by `ids` (ascending) as a checkpoint doc.
+  virtual std::string serialize(const std::vector<int>& ids) const = 0;
+
+  /// Parses a checkpoint doc, validates its fingerprint (throws
+  /// runtime::ConfigMismatch), fills the named slots and returns their ids
+  /// (ids outside [0, trials) are dropped). Throws std::runtime_error on a
+  /// malformed document.
+  virtual std::vector<int> merge(const std::string& payload) = 0;
+
+  /// Deterministic full-campaign report — byte-identical to the one the
+  /// single-process CLI prints for the same config.
+  virtual std::string report() const = 0;
+};
+
+std::unique_ptr<CampaignEngine> make_mc_engine(
+    const reliability::CampaignConfig& config);
+std::unique_ptr<CampaignEngine> make_powerfail_engine(
+    const faults::CampaignConfig& config);
+
+using EngineFactory =
+    std::function<std::unique_ptr<CampaignEngine>(const std::string& blob)>;
+
+/// Registers a factory under `name` (tests plug cheap engines in here;
+/// "mc" and "powerfail" are built in). Replaces any previous registration.
+void register_engine_factory(const std::string& name, EngineFactory factory);
+
+/// Builds an engine from a Welcome handshake: `name` selects the factory,
+/// `blob` is the coordinator's config document. Throws std::runtime_error
+/// on an unknown engine name or an unparseable blob.
+std::unique_ptr<CampaignEngine> make_engine(const std::string& name,
+                                            const std::string& blob);
+
+} // namespace nvff::dist

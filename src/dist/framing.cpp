@@ -1,0 +1,120 @@
+#include "dist/framing.hpp"
+
+#include <cstring>
+
+#include "runtime/crc32.hpp"
+
+namespace nvff::dist {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'V', 'F', 'D'};
+constexpr std::size_t kHeaderSize = 16;
+
+void put_u32le(char* out, std::uint32_t v) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+  out[2] = static_cast<char>((v >> 16) & 0xff);
+  out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t get_u32le(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24);
+}
+
+bool known_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(MsgType::Hello) &&
+         raw <= static_cast<std::uint8_t>(MsgType::Error);
+}
+
+} // namespace
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::Hello: return "hello";
+    case MsgType::Welcome: return "welcome";
+    case MsgType::Ready: return "ready";
+    case MsgType::ShardAssign: return "shard-assign";
+    case MsgType::ShardResult: return "shard-result";
+    case MsgType::Heartbeat: return "heartbeat";
+    case MsgType::Idle: return "idle";
+    case MsgType::Shutdown: return "shutdown";
+    case MsgType::Error: return "error";
+  }
+  return "?";
+}
+
+const char* frame_error_name(FrameError error) {
+  switch (error) {
+    case FrameError::None: return "none";
+    case FrameError::BadMagic: return "bad-magic";
+    case FrameError::BadVersion: return "bad-version";
+    case FrameError::BadReserved: return "bad-reserved";
+    case FrameError::BadType: return "bad-type";
+    case FrameError::Oversized: return "oversized";
+    case FrameError::BadCrc: return "bad-crc";
+  }
+  return "?";
+}
+
+std::string encode_frame(MsgType type, std::string_view payload) {
+  std::string out;
+  out.resize(kHeaderSize);
+  std::memcpy(&out[0], kMagic, 4);
+  out[4] = static_cast<char>(kProtocolVersion);
+  out[5] = static_cast<char>(type);
+  out[6] = 0;
+  out[7] = 0;
+  put_u32le(&out[8], static_cast<std::uint32_t>(payload.size()));
+  put_u32le(&out[12], runtime::crc32(payload.data(), payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+FrameDecoder::Result FrameDecoder::next() {
+  Result r;
+  if (poisoned_) {
+    // A poisoned stream never yields another frame; report the poison again
+    // so a caller that missed the first Error cannot spin forever.
+    r.status = Status::Error;
+    r.error = FrameError::BadMagic;
+    return r;
+  }
+  if (buffer_.size() < kHeaderSize) return r; // NeedMore
+
+  auto fail = [&](FrameError error) {
+    poisoned_ = true;
+    r.status = Status::Error;
+    r.error = error;
+    return r;
+  };
+
+  if (std::memcmp(buffer_.data(), kMagic, 4) != 0)
+    return fail(FrameError::BadMagic);
+  const auto version = static_cast<std::uint8_t>(buffer_[4]);
+  if (version != kProtocolVersion) return fail(FrameError::BadVersion);
+  if (buffer_[6] != 0 || buffer_[7] != 0) return fail(FrameError::BadReserved);
+  const auto rawType = static_cast<std::uint8_t>(buffer_[5]);
+  if (!known_type(rawType)) return fail(FrameError::BadType);
+  const std::uint32_t length = get_u32le(buffer_.data() + 8);
+  if (length > kMaxFramePayload) return fail(FrameError::Oversized);
+  if (buffer_.size() < kHeaderSize + length) return r; // NeedMore
+  const std::uint32_t claimed = get_u32le(buffer_.data() + 12);
+  if (runtime::crc32(buffer_.data() + kHeaderSize, length) != claimed)
+    return fail(FrameError::BadCrc);
+
+  r.status = Status::Frame;
+  r.type = static_cast<MsgType>(rawType);
+  r.payload.assign(buffer_.data() + kHeaderSize, length);
+  buffer_.erase(0, kHeaderSize + length);
+  return r;
+}
+
+} // namespace nvff::dist

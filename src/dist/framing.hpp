@@ -1,0 +1,106 @@
+// Wire framing for the distributed campaign service.
+//
+// Every message between `nvfftool serve` (coordinator) and `nvfftool worker`
+// travels in one length-prefixed, CRC-guarded frame:
+//
+//   offset  size  field
+//   0       4     magic "NVFD"
+//   4       1     protocol version (kProtocolVersion)
+//   5       1     message type (MsgType)
+//   6       2     reserved, must be zero
+//   8       4     payload length, little-endian
+//   12      4     CRC-32 of the payload, little-endian
+//   16      n     payload
+//
+// Robustness is the design center, in the same spirit as the checkpoint
+// envelope (runtime/durable_file): a truncated, oversized, corrupted or
+// version-skewed frame is *classified* by the decoder — never parsed into a
+// wrong message, never an exception, never a crash. The coordinator and the
+// worker both respond to any FrameError by dropping the connection; the
+// shard in flight is re-dispatched (coordinator side) or re-requested after
+// a reconnect (worker side), so a single flipped bit on the wire costs one
+// round-trip and zero correctness.
+//
+// The decoder is incremental: feed() it whatever recv() returned and poll
+// next(); partial frames simply wait for more bytes. A connection that
+// closes mid-frame is reported by truncated().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nvff::dist {
+
+constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Frames larger than this are rejected as Oversized before any allocation
+/// happens — a corrupt length field must not become a 4 GiB allocation.
+constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/// Message vocabulary of the coordinator/worker protocol. Values are wire
+/// format — append only, never renumber.
+enum class MsgType : std::uint8_t {
+  Hello = 1,       ///< worker -> coordinator: protocol + engine handshake
+  Welcome = 2,     ///< coordinator -> worker: engine name + config blob
+  Ready = 3,       ///< worker -> coordinator: fingerprint ack + work request
+  ShardAssign = 4, ///< coordinator -> worker: run trials [begin, end)
+  ShardResult = 5, ///< worker -> coordinator: serialized finished trials
+  Heartbeat = 6,   ///< worker -> coordinator: still computing this shard
+  Idle = 7,        ///< coordinator -> worker: no work now, ask again
+  Shutdown = 8,    ///< coordinator -> worker: campaign done, exit 0
+  Error = 9,       ///< either side: fatal diagnostic before closing
+};
+const char* msg_type_name(MsgType type);
+
+/// Why a frame was rejected. Classified, not thrown: wire corruption is an
+/// expected fault, not an exceptional one.
+enum class FrameError {
+  None,
+  BadMagic,   ///< stream desynchronized or not speaking this protocol
+  BadVersion, ///< protocol version skew between coordinator and worker
+  BadReserved,///< reserved header bytes nonzero (header corruption)
+  BadType,    ///< message type outside the vocabulary
+  Oversized,  ///< declared payload length exceeds kMaxFramePayload
+  BadCrc,     ///< payload failed its CRC-32 (corruption in transit)
+};
+const char* frame_error_name(FrameError error);
+
+/// Encodes one frame. The only way bytes enter the wire.
+std::string encode_frame(MsgType type, std::string_view payload);
+
+/// Incremental frame decoder. feed() bytes as they arrive, then call next()
+/// until it returns NeedMore. After any Error result the stream is
+/// poisoned — the caller must drop the connection (resynchronizing inside a
+/// corrupted byte stream is guesswork, and reconnecting is cheap).
+class FrameDecoder {
+public:
+  enum class Status { NeedMore, Frame, Error };
+
+  struct Result {
+    Status status = Status::NeedMore;
+    MsgType type = MsgType::Error;
+    std::string payload;             ///< valid when status == Frame
+    FrameError error = FrameError::None; ///< set when status == Error
+  };
+
+  /// Appends received bytes to the internal buffer. Cheap; no parsing.
+  void feed(const char* data, std::size_t size);
+
+  /// Extracts the next complete frame, if any.
+  Result next();
+
+  /// True when a poisoned stream or a mid-frame EOF left unconsumed bytes:
+  /// the peer closed (or corrupted) the connection part-way into a frame.
+  bool truncated() const { return poisoned_ || !buffer_.empty(); }
+
+  /// Bytes currently buffered (tests; also a cheap backpressure signal).
+  std::size_t buffered() const { return buffer_.size(); }
+
+private:
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+} // namespace nvff::dist

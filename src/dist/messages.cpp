@@ -1,0 +1,154 @@
+#include "dist/messages.hpp"
+
+#include <exception>
+
+#include "util/json.hpp"
+
+namespace nvff::dist {
+
+namespace {
+
+using json::append_escaped;
+using json::num;
+using Json = json::Value;
+
+/// Splits "<json-header>\n<raw blob>" payloads. Returns false when the
+/// newline is missing (truncation above the frame layer).
+bool split_header(const std::string& payload, std::string& header,
+                  std::string& blob) {
+  const std::size_t eol = payload.find('\n');
+  if (eol == std::string::npos) return false;
+  header = payload.substr(0, eol);
+  blob = payload.substr(eol + 1);
+  return true;
+}
+
+} // namespace
+
+std::string encode_hello(const HelloMsg& msg) {
+  return "{\"version\":" + num(msg.protocolVersion) + "}";
+}
+
+bool parse_hello(const std::string& payload, HelloMsg& out) {
+  try {
+    const Json j = json::parse(payload, "hello");
+    out.protocolVersion = static_cast<int>(j.at("version").as_num());
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string encode_welcome(const WelcomeMsg& msg) {
+  std::string header = "{\"engine\":";
+  append_escaped(header, msg.engine);
+  header += "}";
+  return header + "\n" + msg.blob;
+}
+
+bool parse_welcome(const std::string& payload, WelcomeMsg& out) {
+  std::string header;
+  if (!split_header(payload, header, out.blob)) return false;
+  try {
+    const Json j = json::parse(header, "welcome");
+    out.engine = j.at("engine").as_str();
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string encode_ready(const ReadyMsg& msg) {
+  return "{\"crc\":" + num(static_cast<double>(msg.fingerprintCrc)) +
+         ",\"trials\":" + num(msg.trials) + "}";
+}
+
+bool parse_ready(const std::string& payload, ReadyMsg& out) {
+  try {
+    const Json j = json::parse(payload, "ready");
+    const double crc = j.at("crc").as_num();
+    if (crc < 0 || crc > 4294967295.0) return false;
+    out.fingerprintCrc = static_cast<std::uint32_t>(crc);
+    out.trials = static_cast<int>(j.at("trials").as_num());
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string encode_shard_assign(const ShardAssignMsg& msg) {
+  std::string out = "{\"shard\":" + num(msg.shard) + ",\"ids\":[";
+  for (std::size_t i = 0; i < msg.ids.size(); ++i) {
+    if (i) out += ',';
+    out += num(msg.ids[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+bool parse_shard_assign(const std::string& payload, ShardAssignMsg& out) {
+  try {
+    const Json j = json::parse(payload, "shard-assign");
+    out.shard = static_cast<int>(j.at("shard").as_num());
+    out.ids.clear();
+    const Json& ids = j.at("ids");
+    if (ids.kind != Json::Kind::Arr) return false;
+    out.ids.reserve(ids.items.size());
+    for (const Json& id : ids.items)
+      out.ids.push_back(static_cast<int>(id.as_num()));
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string encode_shard_result(const ShardResultMsg& msg) {
+  return "{\"shard\":" + num(msg.shard) + "}\n" + msg.blob;
+}
+
+bool parse_shard_result(const std::string& payload, ShardResultMsg& out) {
+  std::string header;
+  if (!split_header(payload, header, out.blob)) return false;
+  try {
+    const Json j = json::parse(header, "shard-result");
+    out.shard = static_cast<int>(j.at("shard").as_num());
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& msg) {
+  return "{\"shard\":" + num(msg.shard) + ",\"done\":" + num(msg.trialsDone) +
+         "}";
+}
+
+bool parse_heartbeat(const std::string& payload, HeartbeatMsg& out) {
+  try {
+    const Json j = json::parse(payload, "heartbeat");
+    out.shard = static_cast<int>(j.at("shard").as_num());
+    out.trialsDone = static_cast<int>(j.at("done").as_num());
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::string encode_error(const ErrorMsg& msg) {
+  std::string out = "{\"message\":";
+  append_escaped(out, msg.message);
+  out += "}";
+  return out;
+}
+
+bool parse_error(const std::string& payload, ErrorMsg& out) {
+  try {
+    const Json j = json::parse(payload, "error");
+    out.message = j.at("message").as_str();
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+} // namespace nvff::dist

@@ -1,0 +1,68 @@
+// Typed payloads of the coordinator/worker protocol frames.
+//
+// Control messages are small JSON objects (parsed with util/json, the same
+// hardened reader the checkpoints use); the two bulk messages — Welcome's
+// config blob and ShardResult's checkpoint document — ride as raw bytes
+// after a one-line JSON header, so a multi-megabyte shard result is never
+// string-escaped.
+//
+// Every parse_* returns false on malformed input instead of throwing: a
+// payload that passed the frame CRC can still be garbage (version skew, a
+// buggy peer), and the response is the same as for wire corruption — drop
+// the connection, classified and logged, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvff::dist {
+
+struct HelloMsg {
+  int protocolVersion = 0;
+};
+std::string encode_hello(const HelloMsg& msg);
+bool parse_hello(const std::string& payload, HelloMsg& out);
+
+struct WelcomeMsg {
+  std::string engine; ///< "mc" | "powerfail" | a registered test engine
+  std::string blob;   ///< canonical config document (= fingerprint)
+};
+std::string encode_welcome(const WelcomeMsg& msg);
+bool parse_welcome(const std::string& payload, WelcomeMsg& out);
+
+struct ReadyMsg {
+  std::uint32_t fingerprintCrc = 0; ///< crc32 of the worker's re-serialized blob
+  int trials = 0;                   ///< worker's view of the campaign size
+};
+std::string encode_ready(const ReadyMsg& msg);
+bool parse_ready(const std::string& payload, ReadyMsg& out);
+
+struct ShardAssignMsg {
+  int shard = 0;
+  std::vector<int> ids; ///< trial ids to run (ascending)
+};
+std::string encode_shard_assign(const ShardAssignMsg& msg);
+bool parse_shard_assign(const std::string& payload, ShardAssignMsg& out);
+
+struct ShardResultMsg {
+  int shard = 0;
+  std::string blob; ///< engine checkpoint document for the shard's trials
+};
+std::string encode_shard_result(const ShardResultMsg& msg);
+bool parse_shard_result(const std::string& payload, ShardResultMsg& out);
+
+struct HeartbeatMsg {
+  int shard = 0;
+  int trialsDone = 0; ///< monotonic progress inside the shard
+};
+std::string encode_heartbeat(const HeartbeatMsg& msg);
+bool parse_heartbeat(const std::string& payload, HeartbeatMsg& out);
+
+struct ErrorMsg {
+  std::string message;
+};
+std::string encode_error(const ErrorMsg& msg);
+bool parse_error(const std::string& payload, ErrorMsg& out);
+
+} // namespace nvff::dist

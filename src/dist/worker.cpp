@@ -1,0 +1,274 @@
+#include "dist/worker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "dist/channel.hpp"
+#include "dist/engine.hpp"
+#include "dist/framing.hpp"
+#include "dist/messages.hpp"
+#include "runtime/crc32.hpp"
+#include "util/cancellation.hpp"
+#include "util/log.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nvff::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Socket sender shared by the shard runner and its heartbeat thread: one
+/// mutex per connection, plus the chaos corruption hook. Corruption flips a
+/// byte inside the frame's CRC field, so the damage is always detected at
+/// the receiver regardless of payload size — exactly the fault the drill
+/// wants to inject.
+class FrameSender {
+public:
+  FrameSender(Socket& sock, int corruptEvery)
+      : sock_(sock), corruptEvery_(corruptEvery) {}
+
+  bool send(MsgType type, const std::string& payload) {
+    std::string frame = encode_frame(type, payload);
+    MutexLock lock(mu_);
+    ++framesSent_;
+    if (corruptEvery_ > 0 && framesSent_ % corruptEvery_ == 0) {
+      frame[12] = static_cast<char>(frame[12] ^ 0x5a); // CRC field
+      log_warn("worker: chaos hook corrupting outgoing " +
+               std::string(msg_type_name(type)) + " frame");
+    }
+    return sock_.send_all(frame);
+  }
+
+private:
+  Mutex mu_;
+  Socket& sock_ GUARDED_BY(mu_);
+  int corruptEvery_;
+  long framesSent_ GUARDED_BY(mu_) = 0;
+};
+
+/// Receives frames until one arrives, the peer dies, or `budgetMs` passes.
+/// Returns Frame/Error; NeedMore means the budget expired with the stream
+/// still healthy.
+FrameDecoder::Result recv_frame(Socket& sock, FrameDecoder& decoder,
+                                int budgetMs) {
+  FrameDecoder::Result out = decoder.next();
+  if (out.status != FrameDecoder::Status::NeedMore) return out;
+  // DETLINT-ALLOW(DET001): receive-budget bookkeeping — connection
+  // scheduling only, never campaign results.
+  const auto deadline = Clock::now() + std::chrono::milliseconds(budgetMs);
+  char buffer[65536];
+  for (;;) {
+    // DETLINT-ALLOW(DET001): same receive budget as above.
+    const auto now = Clock::now();
+    if (now >= deadline) return out; // NeedMore
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const long got = sock.recv_some(buffer, sizeof(buffer),
+                                    static_cast<int>(left.count()) + 1);
+    if (got < 0) {
+      out.status = FrameDecoder::Status::Error;
+      out.error = FrameError::None; // EOF, not corruption
+      return out;
+    }
+    if (got == 0) continue;
+    decoder.feed(buffer, static_cast<std::size_t>(got));
+    out = decoder.next();
+    if (out.status != FrameDecoder::Status::NeedMore) return out;
+  }
+}
+
+/// One connected session: handshake, then the Ready/ShardAssign loop.
+/// Returns true only for a clean Shutdown; false means reconnect.
+bool run_session(Socket& sock, const WorkerOptions& options,
+                 std::unique_ptr<CampaignEngine>& engine,
+                 std::string& cachedBlob, ThreadPool& pool,
+                 WorkerOutcome& outcome) {
+  FrameDecoder decoder;
+  FrameSender sender(sock, options.chaosCorruptEvery);
+
+  if (!sender.send(MsgType::Hello, encode_hello({kProtocolVersion})))
+    return false;
+  FrameDecoder::Result frame = recv_frame(sock, decoder, /*budgetMs=*/5000);
+  if (frame.status != FrameDecoder::Status::Frame ||
+      frame.type != MsgType::Welcome) {
+    if (frame.status == FrameDecoder::Status::Error &&
+        frame.error != FrameError::None)
+      log_warn(std::string("worker: handshake frame rejected: ") +
+               frame_error_name(frame.error));
+    return false;
+  }
+  WelcomeMsg welcome;
+  if (!parse_welcome(frame.payload, welcome)) {
+    log_warn("worker: malformed Welcome; dropping connection");
+    return false;
+  }
+
+  // Rebuild the engine from the coordinator's config blob. Rebuilding is
+  // skipped when the blob is unchanged across reconnects (the powerfail
+  // context is expensive to place and schedule).
+  if (!engine || welcome.blob != cachedBlob) {
+    try {
+      engine = make_engine(welcome.engine, welcome.blob);
+      cachedBlob = welcome.blob;
+    } catch (const std::exception& e) {
+      log_warn("worker: cannot build engine '" + welcome.engine +
+               "': " + std::string(e.what()));
+      sender.send(MsgType::Error, encode_error({e.what()}));
+      return false;
+    }
+  }
+  // The fingerprint ack: re-serialize OUR reconstruction of the config and
+  // CRC it. Any skew — build, defaults, parser — yields a different
+  // canonical rendering, and the coordinator refuses before trials run.
+  ReadyMsg ready;
+  ready.fingerprintCrc = runtime::crc32(engine->config_blob());
+  ready.trials = engine->trials();
+  if (!sender.send(MsgType::Ready, encode_ready(ready))) return false;
+
+  for (;;) {
+    frame = recv_frame(sock, decoder, /*budgetMs=*/1000);
+    if (frame.status == FrameDecoder::Status::Error) {
+      if (frame.error != FrameError::None)
+        log_warn(std::string("worker: frame rejected: ") +
+                 frame_error_name(frame.error));
+      return false;
+    }
+    if (frame.status == FrameDecoder::Status::NeedMore) continue;
+
+    switch (frame.type) {
+      case MsgType::ShardAssign: {
+        ShardAssignMsg assign;
+        if (!parse_shard_assign(frame.payload, assign)) {
+          log_warn("worker: malformed ShardAssign; dropping connection");
+          return false;
+        }
+        // Run the shard. No transient-retry loop here: trials derive all
+        // randomness from counter-based streams, so a retry recomputes the
+        // same bytes — recording immediately is bit-identical to the
+        // supervisor's retry-then-record path.
+        CancelToken abandon; // raised when the coordinator stops answering
+        std::atomic<int> trialsDone{0};
+        std::atomic<bool> shardOver{false};
+        std::thread heartbeat([&] {
+          const auto interval = std::chrono::duration<double>(
+              options.heartbeatIntervalSeconds > 0.0
+                  ? options.heartbeatIntervalSeconds
+                  : 0.25);
+          while (!shardOver.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(interval);
+            if (shardOver.load(std::memory_order_relaxed)) break;
+            HeartbeatMsg hb;
+            hb.shard = assign.shard;
+            hb.trialsDone = trialsDone.load(std::memory_order_relaxed);
+            if (!sender.send(MsgType::Heartbeat, encode_heartbeat(hb))) {
+              // Coordinator gone: abandon the shard now instead of burning
+              // CPU on results nobody will collect.
+              abandon.cancel(CancelToken::Reason::Cancelled);
+              return;
+            }
+          }
+        });
+        Mutex doneMu;
+        std::vector<int> finished;
+        for (const int id : assign.ids) {
+          pool.submit([&, id] {
+            if (abandon.cancelled()) return;
+            const runtime::TrialStatus status = engine->run_trial(id, abandon);
+            if (status == runtime::TrialStatus::Cancelled) return;
+            trialsDone.fetch_add(1, std::memory_order_relaxed);
+            MutexLock lock(doneMu);
+            finished.push_back(id);
+          });
+        }
+        pool.wait_idle();
+        shardOver.store(true, std::memory_order_relaxed);
+        heartbeat.join();
+        if (abandon.cancelled()) return false; // reconnect path
+
+        std::sort(finished.begin(), finished.end());
+        ShardResultMsg result;
+        result.shard = assign.shard;
+        result.blob = engine->serialize(finished);
+        if (!sender.send(MsgType::ShardResult, encode_shard_result(result)))
+          return false;
+        ++outcome.shardsCompleted;
+        break;
+      }
+      case MsgType::Idle:
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (!sender.send(MsgType::Ready, encode_ready(ready))) return false;
+        break;
+      case MsgType::Shutdown:
+        outcome.shutdownReceived = true;
+        return true;
+      case MsgType::Error: {
+        ErrorMsg err;
+        log_warn("worker: coordinator error: " +
+                 (parse_error(frame.payload, err) ? err.message
+                                                  : std::string("<malformed>")));
+        return false;
+      }
+      default:
+        log_warn(std::string("worker: unexpected ") +
+                 msg_type_name(frame.type) + " frame; dropping connection");
+        return false;
+    }
+  }
+}
+
+} // namespace
+
+WorkerOutcome run_worker(const WorkerOptions& options) {
+  if (options.socketPath.empty())
+    throw std::runtime_error("worker: --socket is required");
+  if (options.threads < 1)
+    throw std::runtime_error("worker: --threads must be >= 1");
+
+  WorkerOutcome outcome;
+  std::unique_ptr<CampaignEngine> engine;
+  std::string cachedBlob;
+  ThreadPool pool(static_cast<unsigned>(options.threads));
+
+  Backoff backoff(options.reconnectInitialMs > 0 ? options.reconnectInitialMs
+                                                 : 50,
+                  options.reconnectCapMs > 0 ? options.reconnectCapMs : 2000);
+  // DETLINT-ALLOW(DET001): reconnect budget anchor — connection scheduling
+  // only, never campaign results.
+  auto lastContact = Clock::now();
+  const auto budget = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options.reconnectBudgetSeconds > 0.0
+                                        ? options.reconnectBudgetSeconds
+                                        : 30.0));
+  bool everConnected = false;
+
+  for (;;) {
+    Socket sock = Socket::connect_unix(options.socketPath);
+    if (sock.valid()) {
+      if (everConnected) ++outcome.reconnects;
+      everConnected = true;
+      backoff.reset();
+      const bool clean =
+          run_session(sock, options, engine, cachedBlob, pool, outcome);
+      if (clean) return outcome;
+      // DETLINT-ALLOW(DET001): reconnect budget — scheduling only.
+      lastContact = Clock::now();
+    }
+    // DETLINT-ALLOW(DET001): reconnect budget — scheduling only.
+    if (Clock::now() - lastContact >= budget) {
+      outcome.error = "worker: no coordinator at '" + options.socketPath +
+                      "' within the reconnect budget";
+      log_warn(outcome.error);
+      return outcome;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff.next_ms()));
+  }
+}
+
+} // namespace nvff::dist

@@ -1,0 +1,61 @@
+// Worker of the distributed campaign service (`nvfftool worker`).
+//
+// A worker is deliberately stateless between shards: it dials the
+// coordinator, handshakes (protocol version, then config fingerprint — the
+// worker rebuilds the engine from the coordinator's config blob,
+// re-serializes it, and the CRCs must agree before a single trial runs),
+// then loops Ready -> ShardAssign -> ShardResult. Everything it knows is
+// reconstructible, which is why the chaos drill may kill -9 a worker at any
+// instant and lose nothing but time.
+//
+// Failure semantics:
+//
+//   coordinator unreachable / killed -> capped exponential-backoff
+//                                       reconnect; a running shard is
+//                                       abandoned (cancel token) the moment
+//                                       a heartbeat send fails. If the
+//                                       coordinator stays gone past
+//                                       --reconnect-budget-s the worker
+//                                       exits 1.
+//   corrupt / truncated / skewed frame -> classified, connection dropped,
+//                                        reconnect. Never a crash.
+//   Shutdown frame                   -> the campaign is complete (or
+//                                       draining); exit 0.
+//
+// While a shard computes, a heartbeat thread reports monotonic progress so
+// the coordinator can tell a slow shard from a dead one.
+#pragma once
+
+#include <string>
+
+namespace nvff::dist {
+
+struct WorkerOptions {
+  std::string socketPath; ///< coordinator's unix-domain socket
+  int threads = 1;        ///< pool width for trials within a shard
+  double heartbeatIntervalSeconds = 0.25;
+  int reconnectInitialMs = 50; ///< backoff: first retry delay ...
+  int reconnectCapMs = 2000;   ///< ... doubling up to this cap
+  /// Give up (exit 1) when no coordinator has been reachable for this long.
+  double reconnectBudgetSeconds = 30.0;
+  /// Chaos hook: corrupt one byte of every Nth outgoing frame (0 = off).
+  /// The coordinator's CRC check drops the connection; the drill asserts
+  /// the campaign still converges bit-identically.
+  int chaosCorruptEvery = 0;
+};
+
+struct WorkerOutcome {
+  bool shutdownReceived = false; ///< coordinator retired us cleanly
+  int shardsCompleted = 0;       ///< ShardResults successfully sent
+  long reconnects = 0;           ///< connection (re)establishments after the first
+  std::string error;             ///< set when exiting unsuccessfully
+
+  int exit_code() const { return shutdownReceived ? 0 : 1; }
+};
+
+/// Runs the worker loop until the coordinator says Shutdown or the
+/// reconnect budget is exhausted. Never throws for peer-induced failures;
+/// throws std::runtime_error only for unusable options.
+WorkerOutcome run_worker(const WorkerOptions& options);
+
+} // namespace nvff::dist

@@ -596,7 +596,8 @@ void validate_powerfail_checkpoint(const CampaignConfig& run,
   if (config_json(run) != config_json(loaded))
     throw runtime::ConfigMismatch(
         "powerfail checkpoint belongs to a different campaign configuration; "
-        "delete it or rerun with the original settings");
+        "delete it or rerun with the original settings",
+        config_json(loaded), config_json(run));
 }
 
 } // namespace nvff::faults

@@ -211,10 +211,14 @@ void validate_checkpoint(const CampaignConfig& run, const CampaignConfig& loaded
   // %.17g round-trips exactly, so comparing re-rendered fingerprints is a
   // field-by-field equality check without a pile of epsilon comparisons.
   if (config_json(run) != config_json(loaded)) {
+    // Attach both fingerprints so the CLI can print a field-by-field
+    // stored-vs-requested diff (runtime/config_diff.hpp) instead of this
+    // generic refusal alone.
     throw runtime::ConfigMismatch(
         "checkpoint was written by a different campaign configuration; "
         "refusing to mix its trials into this run (delete the file or rerun "
-        "with the original parameters)");
+        "with the original parameters)",
+        config_json(loaded), config_json(run));
   }
 }
 

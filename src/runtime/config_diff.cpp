@@ -1,0 +1,142 @@
+#include "runtime/config_diff.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace nvff::runtime {
+
+namespace {
+
+/// Renders a leaf (or any value, for the absent/mismatched-kind cases) back
+/// to compact JSON text for display. Objects/arrays only appear here when a
+/// whole subtree exists on one side only, so recursion depth is bounded by
+/// the parser's own 64-level cap.
+std::string render_value(const json::Value& v) {
+  using Kind = json::Value::Kind;
+  switch (v.kind) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return v.boolean ? "true" : "false";
+    case Kind::Num: return json::num(v.number);
+    case Kind::Str: {
+      std::string out;
+      json::append_escaped(out, v.text);
+      return out;
+    }
+    case Kind::Arr: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        if (i) out += ",";
+        out += render_value(v.items[i]);
+      }
+      out += "]";
+      return out;
+    }
+    case Kind::Obj: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < v.fields.size(); ++i) {
+        if (i) out += ",";
+        json::append_escaped(out, v.fields[i].first);
+        out += ":";
+        out += render_value(v.fields[i].second);
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+void emit(std::string& out, const std::string& path, const std::string& stored,
+          const std::string& requested) {
+  out += "  " + (path.empty() ? std::string("(root)") : path) + ": stored " +
+         stored + ", requested " + requested + "\n";
+}
+
+/// Recursive structural diff. Walks stored-side field order first so the
+/// report reads in the order the checkpoint file does, then reports
+/// requested-only fields after.
+void diff_values(const json::Value& stored, const json::Value& requested,
+                 const std::string& path, std::string& out) {
+  using Kind = json::Value::Kind;
+  if (stored.kind != requested.kind) {
+    emit(out, path, render_value(stored), render_value(requested));
+    return;
+  }
+  switch (stored.kind) {
+    case Kind::Obj: {
+      for (const auto& [key, sval] : stored.fields) {
+        const std::string childPath = path.empty() ? key : path + "." + key;
+        const json::Value* rval = requested.find(key);
+        if (!rval) {
+          emit(out, childPath, render_value(sval), "(absent)");
+        } else {
+          diff_values(sval, *rval, childPath, out);
+        }
+      }
+      for (const auto& [key, rval] : requested.fields) {
+        if (stored.find(key)) continue;
+        const std::string childPath = path.empty() ? key : path + "." + key;
+        emit(out, childPath, "(absent)", render_value(rval));
+      }
+      return;
+    }
+    case Kind::Arr: {
+      const std::size_t common =
+          stored.items.size() < requested.items.size() ? stored.items.size()
+                                                       : requested.items.size();
+      for (std::size_t i = 0; i < common; ++i) {
+        diff_values(stored.items[i], requested.items[i],
+                    path + "[" + std::to_string(i) + "]", out);
+      }
+      for (std::size_t i = common; i < stored.items.size(); ++i) {
+        emit(out, path + "[" + std::to_string(i) + "]",
+             render_value(stored.items[i]), "(absent)");
+      }
+      for (std::size_t i = common; i < requested.items.size(); ++i) {
+        emit(out, path + "[" + std::to_string(i) + "]", "(absent)",
+             render_value(requested.items[i]));
+      }
+      return;
+    }
+    case Kind::Num:
+      // %.17g text equality IS the fingerprint equality contract.
+      if (json::num(stored.number) != json::num(requested.number))
+        emit(out, path, json::num(stored.number), json::num(requested.number));
+      return;
+    case Kind::Str:
+      if (stored.text != requested.text)
+        emit(out, path, render_value(stored), render_value(requested));
+      return;
+    case Kind::Bool:
+      if (stored.boolean != requested.boolean)
+        emit(out, path, render_value(stored), render_value(requested));
+      return;
+    case Kind::Null:
+      return;
+  }
+}
+
+} // namespace
+
+std::string render_config_diff(const std::string& storedJson,
+                               const std::string& requestedJson) {
+  json::Value stored;
+  json::Value requested;
+  try {
+    stored = json::parse(storedJson, "stored config");
+    requested = json::parse(requestedJson, "requested config");
+  } catch (const std::exception&) {
+    // Diagnostic path: a fingerprint we cannot parse still deserves to be
+    // shown, just without structure.
+    if (storedJson == requestedJson) return "";
+    return "  stored:    " + storedJson + "\n  requested: " + requestedJson +
+           "\n";
+  }
+  std::string out;
+  diff_values(stored, requested, "", out);
+  return out;
+}
+
+} // namespace nvff::runtime

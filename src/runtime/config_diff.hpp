@@ -1,0 +1,30 @@
+// Field-by-field diff of two campaign-config fingerprints.
+//
+// Both campaign engines fingerprint their configuration as a canonical JSON
+// object (doubles rendered %.17g, so equal configs render to equal text).
+// When `--resume` meets a checkpoint written by a different configuration,
+// "fingerprint mismatch" alone sends the operator diffing JSON by eye; this
+// renders the actual disagreement:
+//
+//   config mismatch between the stored checkpoint and this run:
+//     seed: stored 1, requested 2
+//     sigmaScale: stored 1, requested 1.5
+//
+// Nested objects flatten to dotted paths (recovery.retryBudget), arrays to
+// indexed paths (timing[3]). Fields present on only one side are reported
+// as "(absent)" — that is what a version-skewed checkpoint looks like.
+#pragma once
+
+#include <string>
+
+namespace nvff::runtime {
+
+/// Renders the per-field differences between two JSON fingerprints, one
+/// "  path: stored X, requested Y" line per divergent leaf, in stored-file
+/// field order. Returns "" when the documents are semantically identical.
+/// Unparseable input degrades to a raw side-by-side dump — the diff is a
+/// diagnostic and must never throw on the way to reporting an error.
+std::string render_config_diff(const std::string& storedJson,
+                               const std::string& requestedJson);
+
+} // namespace nvff::runtime

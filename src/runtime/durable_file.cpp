@@ -100,37 +100,86 @@ std::string envelope_unwrap(const std::string& text) {
   return payload;
 }
 
-void commit_durable(const std::string& path, const std::string& payload) {
+const char* commit_error_name(CommitErrorKind kind) {
+  switch (kind) {
+    case CommitErrorKind::None: return "none";
+    case CommitErrorKind::OpenFailed: return "open-failed";
+    case CommitErrorKind::WriteFailed: return "write-failed";
+    case CommitErrorKind::SyncFailed: return "sync-failed";
+    case CommitErrorKind::CloseFailed: return "close-failed";
+    case CommitErrorKind::RotateFailed: return "rotate-failed";
+    case CommitErrorKind::ReplaceFailed: return "replace-failed";
+  }
+  return "?";
+}
+
+void commit_durable(const std::string& path, const std::string& payload,
+                    const CommitHooks& hooks) {
+  const auto do_write = hooks.write
+      ? hooks.write
+      : [](const void* p, std::size_t n, std::FILE* f) {
+          return std::fwrite(p, 1, n, f);
+        };
+  const auto do_flush =
+      hooks.flush ? hooks.flush : [](std::FILE* f) { return std::fflush(f); };
+  const auto do_sync = hooks.sync ? hooks.sync : [](int fd) { return ::fsync(fd); };
+  const auto do_close =
+      hooks.close ? hooks.close : [](std::FILE* f) { return std::fclose(f); };
+  const auto do_rename = hooks.rename
+      ? hooks.rename
+      : [](const char* from, const char* to) { return std::rename(from, to); };
+
   const std::string body = envelope_wrap(payload);
   const std::string tmp = path + ".tmp";
 
+  // Failure discipline: classify, clean up the temp file, and throw BEFORE
+  // any rename has touched the existing generations — a failed commit must
+  // degrade to "the previous checkpoint still loads", never to "the rotate
+  // ate the only good copy".
+  auto fail = [&](CommitErrorKind kind, const std::string& message) {
+    std::remove(tmp.c_str());
+    throw DurableError(kind, "[" + std::string(commit_error_name(kind)) +
+                                 "] " + message);
+  };
+
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f)
-    throw std::runtime_error("cannot write '" + tmp + "': " + errno_text());
-  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+    fail(CommitErrorKind::OpenFailed,
+         "cannot create '" + tmp + "': " + errno_text());
+  const std::size_t written = do_write(body.data(), body.size(), f);
+  if (written != body.size()) {
+    const std::string detail = errno_text();
+    do_close(f);
+    fail(CommitErrorKind::WriteFailed,
+         "short write to '" + tmp + "' (" + std::to_string(written) + "/" +
+             std::to_string(body.size()) + " bytes): " + detail);
+  }
   // fsync BEFORE the rename: rename orders metadata, not data, so without
   // this a crash can leave a correctly-named file full of nothing.
-  const bool flushed = written == body.size() && std::fflush(f) == 0 &&
-                       ::fsync(fileno(f)) == 0;
-  if (std::fclose(f) != 0 || !flushed) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("short write to '" + tmp + "'");
+  if (do_flush(f) != 0 || do_sync(fileno(f)) != 0) {
+    const std::string detail = errno_text();
+    do_close(f);
+    fail(CommitErrorKind::SyncFailed,
+         "cannot flush '" + tmp + "': " + detail);
   }
+  if (do_close(f) != 0)
+    fail(CommitErrorKind::CloseFailed,
+         "close of '" + tmp + "' reported a deferred write error: " +
+             errno_text());
 
   // Rotate the current generation to `.1`. If we crash after this rename
   // the current file is momentarily missing — load_durable falls back to
   // the rotated copy, so the window is safe.
   if (file_exists(path)) {
     const std::string prev = path + ".1";
-    if (std::rename(path.c_str(), prev.c_str()) != 0) {
-      std::remove(tmp.c_str());
-      throw std::runtime_error("cannot rotate '" + path + "': " + errno_text());
-    }
+    if (do_rename(path.c_str(), prev.c_str()) != 0)
+      fail(CommitErrorKind::RotateFailed,
+           "cannot rotate '" + path + "': " + errno_text());
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("cannot replace '" + path + "': " + errno_text());
-  }
+  if (do_rename(tmp.c_str(), path.c_str()) != 0)
+    fail(CommitErrorKind::ReplaceFailed,
+         "cannot replace '" + path + "' (previous generation rotated to '" +
+             path + ".1' and still intact): " + errno_text());
   // And fsync the directory so the rename itself survives a power cut.
   fsync_dir(parent_dir(path));
 }

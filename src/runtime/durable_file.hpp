@@ -20,10 +20,54 @@
 // a payload without the magic is returned as-is, with no checksum claim.
 #pragma once
 
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace nvff::runtime {
+
+/// Where a durable commit failed. Classified so callers (and operators
+/// reading logs) can tell an out-of-disk condition from a torn rotate
+/// without parsing message strings. Every kind leaves the PREVIOUS
+/// generation intact: WriteFailed/SyncFailed/CloseFailed fail before any
+/// rename, RotateFailed leaves the current file where it was, and
+/// ReplaceFailed happens after the current generation was safely rotated to
+/// `<path>.1` — the loader falls back to it.
+enum class CommitErrorKind {
+  None,
+  OpenFailed,    ///< could not create `<path>.tmp`
+  WriteFailed,   ///< short write (ENOSPC, quota, I/O error)
+  SyncFailed,    ///< fflush/fsync refused — durability cannot be promised
+  CloseFailed,   ///< close reported a deferred write error
+  RotateFailed,  ///< renaming current -> `<path>.1` failed
+  ReplaceFailed, ///< renaming `<path>.tmp` -> `<path>` failed
+};
+const char* commit_error_name(CommitErrorKind kind);
+
+/// Thrown by commit_durable on any write-path failure, carrying the
+/// classification. The temp file is always cleaned up before throwing.
+class DurableError : public std::runtime_error {
+public:
+  DurableError(CommitErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+  CommitErrorKind kind() const { return kind_; }
+
+private:
+  CommitErrorKind kind_;
+};
+
+/// Syscall seams for commit_durable, overridable so tests can inject
+/// ENOSPC-style failures at every stage without filling a real disk.
+/// Each hook has the semantics of the libc call it replaces.
+struct CommitHooks {
+  std::function<std::size_t(const void*, std::size_t, std::FILE*)> write;
+  std::function<int(std::FILE*)> flush;
+  std::function<int(int)> sync;                      ///< fsync(fd)
+  std::function<int(std::FILE*)> close;              ///< fclose
+  std::function<int(const char*, const char*)> rename;
+};
 
 /// Result of load_durable: which generation was read and what got set aside.
 struct DurableLoad {
@@ -47,9 +91,12 @@ std::string envelope_unwrap(const std::string& text);
 
 /// Commits `payload` to `path` durably: write `<path>.tmp` + fsync, rotate
 /// the current file to `<path>.1`, rename the temp into place, fsync the
-/// parent directory. Throws std::runtime_error on I/O failure (the previous
-/// generations are left untouched in that case).
-void commit_durable(const std::string& path, const std::string& payload);
+/// parent directory. Throws DurableError (a std::runtime_error carrying a
+/// CommitErrorKind) on I/O failure; the previous generation survives every
+/// failure mode (see CommitErrorKind). `hooks` lets tests inject write-path
+/// failures; production callers pass nothing.
+void commit_durable(const std::string& path, const std::string& payload,
+                    const CommitHooks& hooks = {});
 
 /// Loads the newest intact generation of `path` (current, then `<path>.1`).
 /// Corrupt generations are renamed to `<file>.corrupt` and reported in

@@ -6,6 +6,7 @@
 #include <csignal>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "runtime/durable_file.hpp"
 #include "util/log.hpp"
@@ -99,6 +100,30 @@ const char* trial_status_name(TrialStatus status) {
   return "?";
 }
 
+ResumeResult resume_from_checkpoint(
+    const std::string& path,
+    const std::function<std::vector<int>(const std::string&)>& deserialize) {
+  ResumeResult out;
+  for (;;) {
+    DurableLoad loaded = load_durable(path);
+    out.quarantined.insert(out.quarantined.end(), loaded.quarantined.begin(),
+                           loaded.quarantined.end());
+    if (!loaded.found) return out;
+    try {
+      out.ids = deserialize(loaded.payload);
+      return out;
+    } catch (const ConfigMismatch&) {
+      throw;
+    } catch (const std::exception& e) {
+      log_warn("checkpoint '" + loaded.source + "' rejected (" + e.what() +
+               "); quarantining and falling back");
+      out.quarantined.push_back(quarantine_file(loaded.source)
+                                    ? loaded.source + ".corrupt"
+                                    : loaded.source);
+    }
+  }
+}
+
 const char* stop_cause_name(StopCause cause) {
   switch (cause) {
     case StopCause::Completed: return "completed";
@@ -135,33 +160,18 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
   // schema parse (possible for legacy un-checksummed files) is quarantined
   // here and the next generation is tried. A fingerprint mismatch is fatal.
   if (!path.empty()) {
-    for (;;) {
-      DurableLoad loaded = load_durable(path);
-      outcome.quarantined.insert(outcome.quarantined.end(),
-                                 loaded.quarantined.begin(),
-                                 loaded.quarantined.end());
-      if (!loaded.found) break;
-      try {
-        const std::vector<int> ids = hooks.deserialize(loaded.payload);
-        MutexLock lock(state.mu);
-        for (const int id : ids) {
-          if (id < 0 || id >= config.trials) continue;
-          if (!state.done[static_cast<std::size_t>(id)]) {
-            state.done[static_cast<std::size_t>(id)] = 1;
-            ++state.completed;
-          }
+    ResumeResult resumed = resume_from_checkpoint(path, hooks.deserialize);
+    outcome.quarantined = std::move(resumed.quarantined);
+    {
+      MutexLock lock(state.mu);
+      for (const int id : resumed.ids) {
+        if (id < 0 || id >= config.trials) continue;
+        if (!state.done[static_cast<std::size_t>(id)]) {
+          state.done[static_cast<std::size_t>(id)] = 1;
+          ++state.completed;
         }
-        outcome.trialsResumed = state.completed;
-        break;
-      } catch (const ConfigMismatch&) {
-        throw;
-      } catch (const std::exception& e) {
-        log_warn("checkpoint '" + loaded.source + "' rejected (" + e.what() +
-                 "); quarantining and falling back");
-        outcome.quarantined.push_back(quarantine_file(loaded.source)
-                                          ? loaded.source + ".corrupt"
-                                          : loaded.source);
       }
+      outcome.trialsResumed = state.completed;
     }
     if (config.run.requireResume && outcome.trialsResumed == 0)
       throw std::runtime_error("--resume: no usable checkpoint at '" + path +

@@ -56,9 +56,25 @@ const char* trial_status_name(TrialStatus status);
 /// an incompatible campaign configuration. FATAL: unlike corruption, a
 /// fingerprint mismatch means the file is intact but belongs to a different
 /// experiment, so silently mixing or discarding it would be wrong either way.
+/// When the thrower has both fingerprints as JSON it attaches them, so the
+/// CLI can print a field-by-field stored-vs-requested diff instead of a
+/// generic refusal (see runtime/config_diff.hpp).
 class ConfigMismatch : public std::runtime_error {
 public:
   using std::runtime_error::runtime_error;
+  ConfigMismatch(const std::string& message, std::string storedJson,
+                 std::string requestedJson)
+      : std::runtime_error(message), storedJson_(std::move(storedJson)),
+        requestedJson_(std::move(requestedJson)) {}
+
+  /// Fingerprint of the on-disk checkpoint ("" when unavailable).
+  const std::string& stored_json() const { return storedJson_; }
+  /// Fingerprint of the configuration this run asked for.
+  const std::string& requested_json() const { return requestedJson_; }
+
+private:
+  std::string storedJson_;
+  std::string requestedJson_;
 };
 
 /// The CLI-facing knobs `nvfftool mc` and `nvfftool powerfail` share.
@@ -131,6 +147,24 @@ struct SupervisorOutcome {
     return checkpointWritten ? kExitInterrupted : kExitFatal;
   }
 };
+
+/// Result of resume_from_checkpoint: which finished trials were recovered
+/// and which corrupt/unparseable generations were set aside on the way.
+struct ResumeResult {
+  std::vector<int> ids; ///< finished trial ids recovered from disk
+  std::vector<std::string> quarantined;
+};
+
+/// Walks the durable generations of `path` newest-first: CRC failures are
+/// quarantined by load_durable, a payload that passes the CRC but fails
+/// `deserialize` (schema-level garbage) is quarantined here and the next
+/// generation is tried. A ConfigMismatch from `deserialize` is rethrown —
+/// fatal by contract. Shared by the supervisor's in-process resume and the
+/// distributed coordinator's merged-campaign resume, so the two recovery
+/// paths cannot drift apart.
+ResumeResult resume_from_checkpoint(
+    const std::string& path,
+    const std::function<std::vector<int>(const std::string&)>& deserialize);
 
 /// Runs a campaign under supervision. Throws std::runtime_error on fatal
 /// conditions only: bad config, checkpoint fingerprint mismatch

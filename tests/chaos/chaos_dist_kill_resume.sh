@@ -1,0 +1,159 @@
+#!/bin/sh
+# Chaos drill for the DISTRIBUTED campaign service: the merged report of a
+# coordinator/worker run must be bit-identical to the single-process run of
+# the same campaign — through worker kill -9, coordinator kill -9 + restart,
+# frame corruption on the wire, and full degradation to zero workers.
+#
+# Why this can be demanded exactly: trial t is a pure function of
+# (config, t) via counter-based RNG streams, shard results merge into slots
+# that never alias, and the coordinator's merged state is an ordinary durable
+# checkpoint (CRC envelope, fsync, two generations). No instant of death,
+# no flipped wire bit, and no topology change may alter a single output byte.
+#
+#   usage: chaos_dist_kill_resume.sh /path/to/nvfftool
+set -u
+
+NVFFTOOL="$1"
+WORK=$(mktemp -d)
+SOCK="$WORK/coord.sock"
+trap 'rm -rf "$WORK"' EXIT
+failures=0
+
+note() { printf '%s\n' "$*" >&2; }
+
+MC_ARGS="--trials 32 --seed 7"
+SERVE_ARGS="serve --engine mc $MC_ARGS --socket $SOCK --shard-size 4"
+
+golden="$WORK/golden.out"
+if ! "$NVFFTOOL" mc $MC_ARGS --threads 2 >"$golden" 2>/dev/null; then
+  note "FAIL: uninterrupted single-process golden run failed"
+  exit 1
+fi
+
+# compare <name> <file>
+compare() {
+  if cmp -s "$golden" "$2"; then
+    note "ok: $1 — report bit-identical to the single-process run"
+  else
+    note "FAIL: $1 — report diverged from the single-process run"
+    diff "$golden" "$2" | head -20 >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# expect_exit <name> <expected> <actual>
+expect_exit() {
+  if [ "$3" -eq "$2" ]; then
+    note "ok: $1 exited $2"
+  else
+    note "FAIL: $1 — expected exit $2, got $3"
+    failures=$((failures + 1))
+  fi
+}
+
+# expect_worker_retired <name> <actual> <errfile>
+# A worker that spans a coordinator kill may miss the final Shutdown frame
+# (it was mid-reconnect when the restarted coordinator finished) and retire
+# through its reconnect budget with exit 1 — the documented best-effort
+# shutdown contract. Exit 0 (got Shutdown) and that retirement are both
+# clean; anything else is a failure.
+expect_worker_retired() {
+  if [ "$2" -eq 0 ]; then
+    note "ok: $1 exited 0"
+  elif [ "$2" -eq 1 ] && grep -q "within the reconnect budget" "$3"; then
+    note "ok: $1 missed the shutdown race and retired via its reconnect budget"
+  else
+    note "FAIL: $1 — expected exit 0 or budget retirement, got exit $2"
+    sed 's/^/    /' "$3" | tail -5 >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# --- drill 1: plain distributed run, two workers ----------------------------
+"$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w1.err" & w1=$!
+"$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w2.err" & w2=$!
+"$NVFFTOOL" $SERVE_ARGS >"$WORK/d1.out" 2>"$WORK/d1.err"
+expect_exit "drill1 coordinator" 0 $?
+wait "$w1"; expect_exit "drill1 worker 1" 0 $?
+wait "$w2"; expect_exit "drill1 worker 2" 0 $?
+compare "drill1 two-worker run" "$WORK/d1.out"
+
+# --- drill 2: kill -9 one worker mid-flight ---------------------------------
+"$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w3.err" & w3=$!
+"$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w4.err" & w4=$!
+"$NVFFTOOL" $SERVE_ARGS --stall-timeout-s 1 \
+  >"$WORK/d2.out" 2>"$WORK/d2.err" & coord=$!
+sleep 1
+kill -9 "$w3" 2>/dev/null && note "drill2: shot worker $w3 mid-flight"
+wait "$coord"; expect_exit "drill2 coordinator" 0 $?
+wait "$w4"; expect_exit "drill2 surviving worker" 0 $?
+wait "$w3" 2>/dev/null
+compare "drill2 worker-killed run" "$WORK/d2.out"
+if ! grep -q "re-dispatch" "$WORK/d2.err"; then
+  note "note: drill2 — kill landed without a re-dispatch (worker between shards); still exact"
+fi
+
+# --- drill 3: kill -9 the coordinator, restart, workers reconnect -----------
+ckpt="$WORK/merged.ckpt"
+"$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w5.err" & w5=$!
+"$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w6.err" & w6=$!
+"$NVFFTOOL" $SERVE_ARGS --checkpoint "$ckpt" --checkpoint-every 1 \
+  >/dev/null 2>"$WORK/d3a.err" & coord=$!
+sleep 1
+if kill -9 "$coord" 2>/dev/null; then
+  note "drill3: shot the coordinator mid-flight"
+fi
+wait "$coord" 2>/dev/null
+# Workers are now orphaned and retrying inside their reconnect budget; the
+# restarted coordinator must adopt them plus whatever the checkpoint holds.
+"$NVFFTOOL" $SERVE_ARGS --checkpoint "$ckpt" --checkpoint-every 1 \
+  >"$WORK/d3.out" 2>"$WORK/d3.err"
+expect_exit "drill3 restarted coordinator" 0 $?
+wait "$w5"; expect_worker_retired "drill3 worker 1" $? "$WORK/w5.err"
+wait "$w6"; expect_worker_retired "drill3 worker 2" $? "$WORK/w6.err"
+compare "drill3 coordinator-killed-and-restarted run" "$WORK/d3.out"
+
+# --- drill 4: frame corruption on the wire ----------------------------------
+"$NVFFTOOL" worker --socket "$SOCK" --threads 2 --chaos-corrupt-every 5 \
+  2>"$WORK/w7.err" & w7=$!
+"$NVFFTOOL" $SERVE_ARGS --local-threads 1 --stall-timeout-s 1 \
+  >"$WORK/d4.out" 2>"$WORK/d4.err"
+expect_exit "drill4 coordinator" 0 $?
+wait "$w7" 2>/dev/null # corrupting worker may end mid-reconnect; exit code free
+compare "drill4 corrupted-frames run" "$WORK/d4.out"
+if grep -q "rejected frame" "$WORK/d4.err" && \
+   ! grep -q " 0 rejected frame" "$WORK/d4.err"; then
+  note "ok: drill4 — corrupted frames were detected and classified"
+else
+  note "FAIL: drill4 — no frame rejection recorded despite the chaos hook"
+  cat "$WORK/d4.err" >&2
+  failures=$((failures + 1))
+fi
+
+# --- drill 5: graceful degradation to zero workers --------------------------
+"$NVFFTOOL" serve --engine mc $MC_ARGS --local-threads 2 \
+  >"$WORK/d5.out" 2>"$WORK/d5.err"
+expect_exit "drill5 coordinator-only fallback" 0 $?
+compare "drill5 coordinator-only run" "$WORK/d5.out"
+
+# --- drill 6: merged checkpoint is a normal single-process checkpoint -------
+cp "$ckpt" "$WORK/sp.ckpt"
+if ! "$NVFFTOOL" mc $MC_ARGS --threads 2 --checkpoint "$WORK/sp.ckpt" --resume \
+    >"$WORK/d6.out" 2>"$WORK/d6.err"; then
+  note "FAIL: drill6 — single-process resume of the merged checkpoint failed"
+  sed 's/^/  | /' "$WORK/d6.err" >&2
+  failures=$((failures + 1))
+else
+  if ! grep -q "resumed" "$WORK/d6.err"; then
+    note "FAIL: drill6 — nothing was actually resumed from the merged state"
+    failures=$((failures + 1))
+  fi
+  compare "drill6 single-process resume of merged checkpoint" "$WORK/d6.out"
+fi
+
+if [ "$failures" -ne 0 ]; then
+  note "$failures distributed chaos check(s) failed"
+  exit 1
+fi
+note "all distributed chaos checks passed"
+exit 0

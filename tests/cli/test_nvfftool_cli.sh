@@ -139,6 +139,67 @@ else
   note "ok: interrupted campaign kept stdout clean"
 fi
 
+# --- distributed campaign service (serve / worker) --------------------------
+check_code 2 "serve without --engine is a usage error" \
+  -- serve --local-threads 1
+check_code 2 "serve rejects an unknown engine" \
+  -- serve --engine frobnicator
+check_code 2 "serve rejects an unknown option" \
+  -- serve --engine mc --bogus-flag
+check_code 2 "serve --resume without --checkpoint is a usage error" \
+  -- serve --engine mc --trials 2 --resume
+check_code 2 "worker without --socket is a usage error" \
+  -- worker
+check_code 2 "worker rejects an unknown option" \
+  -- worker --socket /tmp/x.sock --bogus-flag
+check_code 0 "coordinator-only serve completes a small campaign" \
+  -- serve --engine mc --trials 2 --local-threads 2
+
+# --- config-fingerprint mismatch on --resume --------------------------------
+# The refusal must be exit 2 (usage-class: the COMMAND asked for the wrong
+# campaign) and must explain itself with a field-by-field diff, not a shrug.
+"$NVFFTOOL" mc --trials 2 --checkpoint "$WORK/fp.json" \
+  >/dev/null 2>&1
+if [ $? -ne 0 ]; then
+  note "FAIL: could not create the fingerprint-test checkpoint"
+  failures=$((failures + 1))
+else
+  for cmdline in \
+    "mc --trials 2 --seed 2 --sigma 1.5 --checkpoint $WORK/fp.json --resume" \
+    "serve --engine mc --trials 2 --seed 2 --sigma 1.5 --local-threads 1 --checkpoint $WORK/fp.json --resume"
+  do
+    set -- $cmdline
+    "$NVFFTOOL" "$@" >"$WORK/fp.out" 2>"$WORK/fp.err"
+    status=$?
+    label=$1
+    if [ "$status" -ne 2 ]; then
+      note "FAIL: $label resume with mismatched config — expected exit 2, got $status"
+      failures=$((failures + 1))
+    elif ! grep -q "config mismatch, stored checkpoint vs this run:" "$WORK/fp.err"; then
+      note "FAIL: $label mismatch diagnostic lacks the diff header"
+      cat "$WORK/fp.err" >&2
+      failures=$((failures + 1))
+    elif ! grep -q 'seed: stored "1", requested "2"' "$WORK/fp.err"; then
+      note "FAIL: $label mismatch diagnostic lacks the seed diff line"
+      cat "$WORK/fp.err" >&2
+      failures=$((failures + 1))
+    elif ! grep -q 'sigmaScale: stored 1, requested 1.5' "$WORK/fp.err"; then
+      note "FAIL: $label mismatch diagnostic lacks the sigmaScale diff line"
+      cat "$WORK/fp.err" >&2
+      failures=$((failures + 1))
+    elif grep -q '^  trials' "$WORK/fp.err"; then
+      note "FAIL: $label mismatch diagnostic names fields that DIDN'T change"
+      cat "$WORK/fp.err" >&2
+      failures=$((failures + 1))
+    elif [ -s "$WORK/fp.out" ]; then
+      note "FAIL: $label mismatch refusal wrote to stdout"
+      failures=$((failures + 1))
+    else
+      note "ok: $label resume with mismatched config exits 2 with a field diff"
+    fi
+  done
+fi
+
 if [ "$failures" -ne 0 ]; then
   note "$failures CLI contract check(s) failed"
   exit 1

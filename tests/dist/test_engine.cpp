@@ -1,0 +1,133 @@
+// Engine adapters for the distributed service: the config-blob fingerprint
+// must round-trip through the registry byte-for-byte, merge must be exact
+// (a merged engine reports identically to the one that ran the trials), and
+// every mismatch path must be classified, not crashed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dist/engine.hpp"
+#include "faults/powerfail.hpp"
+#include "reliability/montecarlo.hpp"
+#include "runtime/supervisor.hpp"
+#include "util/cancellation.hpp"
+
+namespace nvff::dist {
+namespace {
+
+reliability::CampaignConfig small_mc_config() {
+  reliability::CampaignConfig cfg;
+  cfg.trials = 4;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(DistEngine, ConfigBlobRoundTripsThroughTheRegistry) {
+  const auto original = make_mc_engine(small_mc_config());
+  const std::string blob = original->config_blob();
+  // A worker reconstructs the engine from the Welcome blob and re-serializes
+  // it; handshake fingerprinting relies on the two strings being identical.
+  const auto rebuilt = make_engine("mc", blob);
+  EXPECT_EQ(rebuilt->config_blob(), blob);
+  EXPECT_EQ(rebuilt->trials(), 4);
+  EXPECT_STREQ(rebuilt->name(), "mc");
+}
+
+TEST(DistEngine, MergeIsExact) {
+  const reliability::CampaignConfig cfg = small_mc_config();
+  const auto ran = make_mc_engine(cfg);
+  CancelToken cancel;
+  std::vector<int> all;
+  for (int id = 0; id < ran->trials(); ++id) {
+    EXPECT_EQ(ran->run_trial(id, cancel), runtime::TrialStatus::Ok) << id;
+    all.push_back(id);
+  }
+
+  // Merge half into one engine, the rest into another, then cross-merge:
+  // simulates two workers' shard results landing at the coordinator.
+  const auto merged = make_mc_engine(cfg);
+  EXPECT_EQ(merged->merge(ran->serialize({0, 1})), (std::vector<int>{0, 1}));
+  EXPECT_EQ(merged->merge(ran->serialize({2, 3})), (std::vector<int>{2, 3}));
+  // Duplicate shard completion (straggler re-dispatch): idempotent.
+  EXPECT_EQ(merged->merge(ran->serialize({2, 3})), (std::vector<int>{2, 3}));
+
+  EXPECT_EQ(merged->report(), ran->report());
+  EXPECT_EQ(merged->serialize(all), ran->serialize(all));
+}
+
+TEST(DistEngine, MergeRejectsAMismatchedFingerprint) {
+  const auto a = make_mc_engine(small_mc_config());
+  reliability::CampaignConfig other = small_mc_config();
+  other.seed = 8;
+  const auto b = make_mc_engine(other);
+  try {
+    b->merge(a->serialize({}));
+    FAIL() << "merge accepted a foreign config";
+  } catch (const runtime::ConfigMismatch& e) {
+    // Both fingerprints ride on the exception so the CLI can diff them.
+    EXPECT_FALSE(e.stored_json().empty());
+    EXPECT_FALSE(e.requested_json().empty());
+    EXPECT_NE(e.stored_json(), e.requested_json());
+  }
+}
+
+TEST(DistEngine, MergeRejectsGarbageDocuments) {
+  const auto engine = make_mc_engine(small_mc_config());
+  EXPECT_THROW(engine->merge("definitely not a checkpoint"),
+               std::runtime_error);
+  EXPECT_THROW(engine->merge(""), std::runtime_error);
+}
+
+TEST(DistEngine, UnknownEngineNameIsAnError) {
+  EXPECT_THROW(make_engine("no-such-engine", "{}"), std::runtime_error);
+}
+
+TEST(DistEngine, PowerfailBlobRoundTripsToo) {
+  faults::CampaignConfig cfg;
+  cfg.trials = 2;
+  cfg.seed = 3;
+  cfg.benchmark = "s344"; // smallest paper benchmark; context builds fast
+  const auto original = make_powerfail_engine(cfg);
+  const std::string blob = original->config_blob();
+  const auto rebuilt = make_engine("powerfail", blob);
+  EXPECT_EQ(rebuilt->config_blob(), blob);
+  EXPECT_STREQ(rebuilt->name(), "powerfail");
+}
+
+// A do-nothing engine proving third parties (and the service tests) can plug
+// engines into the registry without touching dist internals.
+class NullEngine final : public CampaignEngine {
+public:
+  const char* name() const override { return "null-test"; }
+  int trials() const override { return 0; }
+  std::string config_blob() const override { return "{}"; }
+  runtime::TrialStatus run_trial(int, const CancelToken&) override {
+    return runtime::TrialStatus::Ok;
+  }
+  std::string serialize(const std::vector<int>&) const override { return "{}"; }
+  std::vector<int> merge(const std::string&) override { return {}; }
+  std::string report() const override { return ""; }
+};
+
+TEST(DistEngine, RegisteredFactoriesResolveAndReplace) {
+  register_engine_factory("null-test", [](const std::string&) {
+    return std::make_unique<NullEngine>();
+  });
+  const auto engine = make_engine("null-test", "{}");
+  EXPECT_STREQ(engine->name(), "null-test");
+  // Re-registration replaces (latest wins), so tests can shadow each other.
+  bool secondUsed = false;
+  register_engine_factory("null-test",
+                          [&secondUsed](const std::string&) {
+                            secondUsed = true;
+                            return std::make_unique<NullEngine>();
+                          });
+  (void)make_engine("null-test", "{}");
+  EXPECT_TRUE(secondUsed);
+}
+
+} // namespace
+} // namespace nvff::dist

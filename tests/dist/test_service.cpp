@@ -1,0 +1,444 @@
+// In-process exercises of the coordinator/worker service: a cheap registered
+// test engine stands in for the SPICE campaigns so these tests probe the
+// DISTRIBUTION machinery (handshake, sharding, merge, chaos, stragglers)
+// in milliseconds. Process-level chaos (kill -9, resume across restarts)
+// lives in tests/chaos/chaos_dist_kill_resume.sh.
+//
+// Runs under tsan: coordinator event loop, local executors, worker pool and
+// heartbeat threads all race here if they race anywhere.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "dist/channel.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/engine.hpp"
+#include "dist/framing.hpp"
+#include "dist/messages.hpp"
+#include "dist/worker.hpp"
+#include "runtime/crc32.hpp"
+#include "runtime/supervisor.hpp"
+#include "util/json.hpp"
+
+namespace nvff::dist {
+namespace {
+
+// --- the test engine --------------------------------------------------------
+// Deterministic toy campaign: slot id's "result" is a pure function of
+// (seed, id). Honors the full engine contract, including fingerprint
+// validation on merge, so the coordinator cannot tell it from a real one.
+
+struct SvcConfig {
+  int trials = 0;
+  long seed = 0;
+  int workMs = 0; ///< artificial per-trial cost, for heartbeat/straggler runs
+};
+
+class SvcEngine final : public CampaignEngine {
+public:
+  explicit SvcEngine(const SvcConfig& config)
+      : config_(config), values_(static_cast<std::size_t>(config.trials), -1) {}
+
+  const char* name() const override { return "svc-test"; }
+  int trials() const override { return config_.trials; }
+
+  std::string config_blob() const override { return serialize({}); }
+
+  runtime::TrialStatus run_trial(int id, const CancelToken& cancel) override {
+    if (config_.workMs > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(config_.workMs));
+    }
+    if (cancel.cancelled()) {
+      return cancel.reason() == CancelToken::Reason::Timeout
+                 ? runtime::TrialStatus::Timeout
+                 : runtime::TrialStatus::Cancelled;
+    }
+    values_[static_cast<std::size_t>(id)] =
+        config_.seed * 100000L + static_cast<long>(id) * 7L + 13L;
+    return runtime::TrialStatus::Ok;
+  }
+
+  std::string serialize(const std::vector<int>& ids) const override {
+    std::string out = "{\"svc\":{\"trials\":" + std::to_string(config_.trials) +
+                      ",\"seed\":" + std::to_string(config_.seed) +
+                      ",\"workMs\":" + std::to_string(config_.workMs) +
+                      "},\"done\":[";
+    bool first = true;
+    for (const int id : ids) {
+      if (!first) out += ",";
+      first = false;
+      out += "[" + std::to_string(id) + "," +
+             std::to_string(values_[static_cast<std::size_t>(id)]) + "]";
+    }
+    out += "]}";
+    return out;
+  }
+
+  std::vector<int> merge(const std::string& payload) override {
+    const json::Value doc = json::parse(payload, "svc-test checkpoint");
+    const json::Value& cfg = doc.at("svc");
+    SvcConfig stored;
+    stored.trials = static_cast<int>(cfg.at("trials").as_num());
+    stored.seed = static_cast<long>(cfg.at("seed").as_num());
+    stored.workMs = static_cast<int>(cfg.at("workMs").as_num());
+    if (stored.trials != config_.trials || stored.seed != config_.seed ||
+        stored.workMs != config_.workMs) {
+      throw runtime::ConfigMismatch(
+          "svc-test: checkpoint belongs to a different campaign",
+          SvcEngine(stored).config_blob(), config_blob());
+    }
+    std::vector<int> ids;
+    for (const json::Value& pair : doc.at("done").items) {
+      const int id = static_cast<int>(pair.items.at(0).as_num());
+      if (id < 0 || id >= config_.trials) continue;
+      values_[static_cast<std::size_t>(id)] =
+          static_cast<long>(pair.items.at(1).as_num());
+      ids.push_back(id);
+    }
+    return ids;
+  }
+
+  std::string report() const override {
+    std::string out = "svc-test report seed=" + std::to_string(config_.seed) +
+                      "\n";
+    for (int id = 0; id < config_.trials; ++id) {
+      out += std::to_string(id) + " " +
+             std::to_string(values_[static_cast<std::size_t>(id)]) + "\n";
+    }
+    return out;
+  }
+
+private:
+  SvcConfig config_;
+  std::vector<long> values_;
+};
+
+struct RegisterSvcEngine {
+  RegisterSvcEngine() {
+    register_engine_factory(
+        "svc-test", [](const std::string& blob) -> std::unique_ptr<CampaignEngine> {
+          const json::Value doc = json::parse(blob, "svc-test blob");
+          const json::Value& cfg = doc.at("svc");
+          SvcConfig config;
+          config.trials = static_cast<int>(cfg.at("trials").as_num());
+          config.seed = static_cast<long>(cfg.at("seed").as_num());
+          config.workMs = static_cast<int>(cfg.at("workMs").as_num());
+          return std::make_unique<SvcEngine>(config);
+        });
+  }
+};
+const RegisterSvcEngine g_register;
+
+std::string golden_report(const SvcConfig& config) {
+  SvcEngine reference(config);
+  CancelToken cancel;
+  for (int id = 0; id < config.trials; ++id) {
+    reference.run_trial(id, cancel);
+  }
+  return reference.report();
+}
+
+std::string temp_socket_path(const char* tag) {
+  // Unix socket paths are length-limited (~108 bytes); /tmp keeps us safe
+  // even when the build tree lives somewhere deep.
+  return std::string("/tmp/nvff_svc_") + tag + "_" +
+         std::to_string(static_cast<long>(::getpid())) + ".sock";
+}
+
+// --- the tests --------------------------------------------------------------
+
+TEST(DistService, CoordinatorOnlyFallbackCompletesWithoutASocket) {
+  const SvcConfig config{12, 5, 0};
+  SvcEngine engine(config);
+  ServeOptions options;
+  options.shardSize = 4;
+  options.localThreads = 2; // no socketPath: pure local degradation mode
+  const ServeOutcome outcome = serve_campaign(engine, options);
+  EXPECT_TRUE(outcome.completed());
+  EXPECT_EQ(outcome.exit_code(), runtime::kExitOk);
+  EXPECT_EQ(outcome.trialsDone, 12);
+  EXPECT_EQ(outcome.workersSeen, 0);
+  EXPECT_EQ(outcome.report, golden_report(config));
+}
+
+TEST(DistService, WorkerAndCoordinatorCompleteACampaignTogether) {
+  const SvcConfig config{24, 9, 1};
+  const std::string socket = temp_socket_path("basic");
+  SvcEngine engine(config);
+
+  WorkerOptions wopts;
+  wopts.socketPath = socket;
+  wopts.threads = 2;
+  WorkerOutcome wout;
+  std::thread workerThread([&] { wout = run_worker(wopts); });
+
+  ServeOptions options;
+  options.socketPath = socket;
+  options.shardSize = 4;
+  options.localThreads = 0; // every trial must travel over the wire
+  const ServeOutcome outcome = serve_campaign(engine, options);
+  workerThread.join();
+
+  EXPECT_TRUE(outcome.completed());
+  EXPECT_EQ(outcome.workersSeen, 1);
+  EXPECT_EQ(outcome.shardsMerged, outcome.shardsTotal);
+  EXPECT_EQ(outcome.report, golden_report(config));
+  EXPECT_TRUE(wout.shutdownReceived);
+  EXPECT_EQ(wout.exit_code(), 0);
+  EXPECT_GT(wout.shardsCompleted, 0);
+  std::remove(socket.c_str());
+}
+
+TEST(DistService, SlowTrialsWithLiveHeartbeatsAreNotStragglers) {
+  // One trial takes 2x the stall budget. The worker's heartbeats prove it
+  // is alive, so the watchdog must not declare the shard a straggler and
+  // burn duplicate work: stall means "owner went quiet", not "owner is
+  // slow". (Regression: the stall clock once refreshed only on trial
+  // *completion*, so any trial slower than the budget re-dispatched.)
+  const SvcConfig config{2, 13, 600};
+  const std::string socket = temp_socket_path("slow");
+  SvcEngine engine(config);
+
+  WorkerOptions wopts;
+  wopts.socketPath = socket;
+  wopts.threads = 1;
+  wopts.heartbeatIntervalSeconds = 0.05;
+  WorkerOutcome wout;
+  std::thread workerThread([&] { wout = run_worker(wopts); });
+
+  ServeOptions options;
+  options.socketPath = socket;
+  options.shardSize = 1;
+  options.localThreads = 0;
+  options.stallTimeoutSeconds = 0.3;
+  const ServeOutcome outcome = serve_campaign(engine, options);
+  workerThread.join();
+
+  EXPECT_TRUE(outcome.completed());
+  EXPECT_EQ(outcome.redispatches, 0);
+  EXPECT_EQ(outcome.report, golden_report(config));
+  EXPECT_TRUE(wout.shutdownReceived);
+  EXPECT_EQ(wout.exit_code(), 0);
+  std::remove(socket.c_str());
+}
+
+TEST(DistService, TwoWorkersPlusLocalThreadsStayExact) {
+  const SvcConfig config{30, 11, 1};
+  const std::string socket = temp_socket_path("two");
+  SvcEngine engine(config);
+
+  WorkerOptions wopts;
+  wopts.socketPath = socket;
+  wopts.threads = 1;
+  WorkerOutcome wa, wb;
+  std::thread ta([&] { wa = run_worker(wopts); });
+  std::thread tb([&] { wb = run_worker(wopts); });
+
+  ServeOptions options;
+  options.socketPath = socket;
+  options.shardSize = 3;
+  options.localThreads = 1; // hybrid: local executor competes for shards
+  const ServeOutcome outcome = serve_campaign(engine, options);
+  ta.join();
+  tb.join();
+
+  EXPECT_TRUE(outcome.completed());
+  EXPECT_EQ(outcome.workersSeen, 2);
+  EXPECT_EQ(outcome.report, golden_report(config));
+  EXPECT_TRUE(wa.shutdownReceived);
+  EXPECT_TRUE(wb.shutdownReceived);
+  std::remove(socket.c_str());
+}
+
+TEST(DistService, CorruptedFramesAreRejectedAndTheCampaignStillCompletes) {
+  const SvcConfig config{18, 21, 1};
+  const std::string socket = temp_socket_path("chaos");
+  SvcEngine engine(config);
+
+  WorkerOptions wopts;
+  wopts.socketPath = socket;
+  wopts.threads = 1;
+  wopts.reconnectInitialMs = 5; // corruption drops cost a quick reconnect
+  wopts.chaosCorruptEvery = 4;  // every 4th outgoing frame gets a flipped CRC
+  WorkerOutcome wout;
+  std::thread workerThread([&] { wout = run_worker(wopts); });
+
+  ServeOptions options;
+  options.socketPath = socket;
+  options.shardSize = 3;
+  // No local threads: every shard must survive the corrupting worker, so the
+  // rejection path is guaranteed to fire (a local executor could otherwise
+  // finish the campaign before the worker's first bad frame lands).
+  options.localThreads = 0;
+  const ServeOutcome outcome = serve_campaign(engine, options);
+  workerThread.join();
+
+  EXPECT_TRUE(outcome.completed());
+  EXPECT_GT(outcome.framesRejected, 0)
+      << "chaos hook never fired — the corruption path went untested";
+  EXPECT_EQ(outcome.report, golden_report(config));
+  std::remove(socket.c_str());
+}
+
+// A handshake-complete client that accepts a shard and then goes silent:
+// the straggler. The watchdog must re-dispatch its shard without waiting
+// for the connection to die.
+TEST(DistService, SilentWorkerShardIsReDispatched) {
+  // workMs slows the local executor down enough that the raw client below
+  // reliably wins a shard before the campaign is over.
+  const SvcConfig config{8, 3, 50};
+  const std::string socket = temp_socket_path("straggler");
+  SvcEngine engine(config);
+
+  ServeOptions options;
+  options.socketPath = socket;
+  options.shardSize = 4;
+  options.localThreads = 1;
+  options.stallTimeoutSeconds = 0.3;
+
+  ServeOutcome outcome;
+  std::thread serveThread([&] { outcome = serve_campaign(engine, options); });
+
+  // Handshake by hand so we can stop cooperating at exactly the right spot.
+  // Failures are collected, not asserted: serveThread always finishes (the
+  // local executor + watchdog complete the campaign regardless of what this
+  // client does), and it must be joined before the test can exit.
+  bool connected = false, welcomed = false, sentReady = false, sawAssign = false;
+  {
+    Socket sock;
+    for (int attempt = 0; attempt < 200 && !sock.valid(); ++attempt) {
+      sock = Socket::connect_unix(socket);
+      if (!sock.valid())
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    connected = sock.valid();
+
+    FrameDecoder decoder;
+    char buffer[4096];
+    WelcomeMsg welcome;
+    const auto pump = [&](MsgType expect, auto&& onFrame) {
+      for (int spin = 0; spin < 500; ++spin) {
+        const long n = sock.recv_some(buffer, sizeof(buffer), 10);
+        if (n < 0) return false;
+        if (n > 0) decoder.feed(buffer, static_cast<std::size_t>(n));
+        const auto r = decoder.next();
+        if (r.status == FrameDecoder::Status::Frame && r.type == expect) {
+          onFrame(r.payload);
+          return true;
+        }
+        if (r.status == FrameDecoder::Status::Error) return false;
+      }
+      return false;
+    };
+    if (connected &&
+        sock.send_all(
+            encode_frame(MsgType::Hello, encode_hello({kProtocolVersion})))) {
+      welcomed = pump(MsgType::Welcome, [&](const std::string& payload) {
+        welcomed = parse_welcome(payload, welcome);
+      });
+    }
+    if (welcomed) {
+      const auto myEngine = make_engine(welcome.engine, welcome.blob);
+      ReadyMsg ready;
+      ready.fingerprintCrc = runtime::crc32(myEngine->config_blob());
+      ready.trials = myEngine->trials();
+      sentReady =
+          sock.send_all(encode_frame(MsgType::Ready, encode_ready(ready)));
+    }
+    if (sentReady) {
+      sawAssign = pump(MsgType::ShardAssign, [](const std::string&) {});
+    }
+    // ... and now: nothing. No heartbeat, no result, connection held open
+    // until serve_campaign finishes on its own.
+    serveThread.join();
+  }
+
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(welcomed);
+  EXPECT_TRUE(sentReady);
+  EXPECT_TRUE(sawAssign);
+  EXPECT_TRUE(outcome.completed());
+  EXPECT_GE(outcome.redispatches, 1)
+      << "the watchdog never reclaimed the stalled shard";
+  EXPECT_EQ(outcome.report, golden_report(config));
+  std::remove(socket.c_str());
+}
+
+TEST(DistService, GarbageSpeakingClientIsDroppedWithoutDerailingTheRun) {
+  // workMs keeps the campaign alive long enough for the garbage to arrive.
+  const SvcConfig config{6, 17, 50};
+  const std::string socket = temp_socket_path("garbage");
+  SvcEngine engine(config);
+
+  ServeOptions options;
+  options.socketPath = socket;
+  options.shardSize = 3;
+  options.localThreads = 1;
+
+  ServeOutcome outcome;
+  std::thread serveThread([&] { outcome = serve_campaign(engine, options); });
+
+  bool connected = false;
+  {
+    Socket sock;
+    for (int attempt = 0; attempt < 200 && !sock.valid(); ++attempt) {
+      sock = Socket::connect_unix(socket);
+      if (!sock.valid())
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    connected = sock.valid();
+    // Not even close to a frame; the decoder classifies, the coordinator
+    // drops the connection and the local executor finishes the campaign.
+    if (connected)
+      sock.send_all("GET / HTTP/1.1\r\nHost: wrong-protocol\r\n\r\n");
+    serveThread.join();
+  }
+
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(outcome.completed());
+  EXPECT_GE(outcome.framesRejected, 1);
+  // Not counted as a dropped WORKER: it never completed the handshake, so
+  // it never held a shard. workersDropped stays an honest re-dispatch count.
+  EXPECT_EQ(outcome.workersDropped, 0);
+  EXPECT_EQ(outcome.report, golden_report(config));
+  std::remove(socket.c_str());
+}
+
+TEST(DistService, WorkerGivesUpCleanlyWhenNoCoordinatorAppears) {
+  WorkerOptions wopts;
+  wopts.socketPath = temp_socket_path("absent");
+  wopts.reconnectInitialMs = 5;
+  wopts.reconnectCapMs = 20;
+  wopts.reconnectBudgetSeconds = 0.2;
+  const WorkerOutcome out = run_worker(wopts);
+  EXPECT_FALSE(out.shutdownReceived);
+  EXPECT_EQ(out.exit_code(), 1);
+  EXPECT_FALSE(out.error.empty());
+}
+
+TEST(DistService, MergedCheckpointIsResumableBySingleProcessSupervisor) {
+  // The coordinator's merged campaign state is a normal engine checkpoint:
+  // write one mid-campaign, then finish it with a plain engine merge.
+  const SvcConfig config{10, 2, 0};
+  SvcEngine ran(config);
+  CancelToken cancel;
+  for (int id = 0; id < 5; ++id) ran.run_trial(id, cancel);
+  const std::string halfDoc = ran.serialize({0, 1, 2, 3, 4});
+
+  SvcEngine resumed(config);
+  const std::vector<int> recovered = resumed.merge(halfDoc);
+  EXPECT_EQ(recovered.size(), 5u);
+  for (int id = 5; id < 10; ++id) resumed.run_trial(id, cancel);
+  EXPECT_EQ(resumed.report(), golden_report(config));
+}
+
+} // namespace
+} // namespace nvff::dist

@@ -1,0 +1,93 @@
+// Field-by-field config fingerprint diff (the `--resume` mismatch
+// diagnostic). The renderer must name exactly the divergent leaves, walk
+// nested objects and arrays, survive unparseable input, and stay silent for
+// semantically identical documents.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/config_diff.hpp"
+
+namespace nvff::runtime {
+namespace {
+
+TEST(ConfigDiff, IdenticalDocumentsProduceNoOutput) {
+  const std::string doc = R"({"seed":"1","sigma":1.5,"on":true})";
+  EXPECT_EQ(render_config_diff(doc, doc), "");
+}
+
+TEST(ConfigDiff, NamesEachDivergentLeafOnce) {
+  const std::string stored = R"({"seed":"1","sigma":1,"trials":256})";
+  const std::string requested = R"({"seed":"2","sigma":1.5,"trials":256})";
+  const std::string diff = render_config_diff(stored, requested);
+  EXPECT_NE(diff.find("seed: stored \"1\", requested \"2\""), std::string::npos)
+      << diff;
+  EXPECT_NE(diff.find("sigma: stored 1, requested 1.5"), std::string::npos);
+  EXPECT_EQ(diff.find("trials"), std::string::npos)
+      << "equal fields must not be reported:\n" << diff;
+}
+
+TEST(ConfigDiff, WalksNestedObjectsWithDottedPaths) {
+  const std::string stored = R"({"recovery":{"retries":64,"deadline":0}})";
+  const std::string requested = R"({"recovery":{"retries":8,"deadline":0}})";
+  const std::string diff = render_config_diff(stored, requested);
+  EXPECT_NE(diff.find("recovery.retries: stored 64, requested 8"),
+            std::string::npos)
+      << diff;
+  EXPECT_EQ(diff.find("deadline"), std::string::npos);
+}
+
+TEST(ConfigDiff, WalksArraysByIndex) {
+  const std::string stored = R"({"timing":[1,2,3]})";
+  const std::string requested = R"({"timing":[1,9,3]})";
+  const std::string diff = render_config_diff(stored, requested);
+  EXPECT_NE(diff.find("timing[1]: stored 2, requested 9"), std::string::npos)
+      << diff;
+}
+
+TEST(ConfigDiff, ReportsFieldsPresentOnOnlyOneSide) {
+  // Version skew: a newer build added a field the stored checkpoint predates.
+  const std::string stored = R"({"seed":"1"})";
+  const std::string requested = R"({"seed":"1","defectRate":0.01})";
+  const std::string diff = render_config_diff(stored, requested);
+  EXPECT_NE(diff.find("defectRate: stored (absent), requested 0.01"),
+            std::string::npos)
+      << diff;
+  const std::string reverse = render_config_diff(requested, stored);
+  EXPECT_NE(reverse.find("defectRate: stored 0.01, requested (absent)"),
+            std::string::npos)
+      << reverse;
+}
+
+TEST(ConfigDiff, ArrayLengthMismatchReportsTheTail) {
+  const std::string diff =
+      render_config_diff(R"({"w":[1,2]})", R"({"w":[1,2,3]})");
+  EXPECT_NE(diff.find("w[2]: stored (absent), requested 3"), std::string::npos)
+      << diff;
+}
+
+TEST(ConfigDiff, KindMismatchShowsBothRenderings) {
+  const std::string diff =
+      render_config_diff(R"({"x":1})", R"({"x":"1"})");
+  EXPECT_NE(diff.find("x: stored 1, requested \"1\""), std::string::npos)
+      << diff;
+}
+
+TEST(ConfigDiff, UnparseableInputDegradesToRawDumpWithoutThrowing) {
+  const std::string diff = render_config_diff("{not json", R"({"a":1})");
+  EXPECT_NE(diff.find("stored:"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("{not json"), std::string::npos) << diff;
+  EXPECT_EQ(render_config_diff("same garbage", "same garbage"), "");
+}
+
+TEST(ConfigDiff, NumbersCompareByCanonicalRendering) {
+  // 1.0 and 1 render identically under %.17g -> no diff; a 1-ulp change is
+  // a real config difference and must be reported.
+  EXPECT_EQ(render_config_diff(R"({"x":1.0})", R"({"x":1})"), "");
+  EXPECT_NE(render_config_diff(R"({"x":0.1})",
+                               R"({"x":0.10000000000000002})"),
+            "");
+}
+
+} // namespace
+} // namespace nvff::runtime

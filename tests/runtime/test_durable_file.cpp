@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -166,6 +167,130 @@ TEST(DurableFile, QuarantineMovesTheFileAside) {
   EXPECT_FALSE(file_exists(path));
   EXPECT_TRUE(file_exists(path + ".corrupt"));
   EXPECT_FALSE(quarantine_file(path)) << "nothing left to move";
+}
+
+// --- injected write-path failures -------------------------------------------
+// The ENOSPC/short-write/fsync-error family, driven through CommitHooks so a
+// full disk is simulated, not required. The contract under test: every
+// failure is CLASSIFIED (DurableError with the right kind), the temp file is
+// cleaned up, and the previously committed generations still load.
+
+/// Commits two good generations, then returns the expected survivors.
+void seed_generations(const std::string& path) {
+  commit_durable(path, "older good payload");
+  commit_durable(path, "newest good payload");
+}
+
+CommitErrorKind kind_of(const std::function<void()>& attempt) {
+  try {
+    attempt();
+  } catch (const DurableError& e) {
+    return e.kind();
+  }
+  return CommitErrorKind::None;
+}
+
+TEST(DurableFileFaults, ShortWriteIsClassifiedAndPreviousGenerationSurvives) {
+  const std::string path = scratch("enospc");
+  seed_generations(path);
+  CommitHooks hooks;
+  hooks.write = [](const void* p, std::size_t n, std::FILE* f) {
+    // ENOSPC behavior: the kernel takes part of the buffer, then refuses.
+    const std::size_t accepted = n / 2;
+    return std::fwrite(p, 1, accepted, f);
+  };
+  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed", hooks); }),
+            CommitErrorKind::WriteFailed);
+  EXPECT_FALSE(file_exists(path + ".tmp")) << "temp file must be cleaned up";
+  EXPECT_EQ(load_durable(path).payload, "newest good payload");
+  EXPECT_EQ(envelope_unwrap(slurp(path + ".1")), "older good payload");
+}
+
+TEST(DurableFileFaults, FlushFailureIsClassifiedAsSyncFailed) {
+  const std::string path = scratch("eflush");
+  seed_generations(path);
+  CommitHooks hooks;
+  hooks.flush = [](std::FILE*) { return EOF; };
+  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed", hooks); }),
+            CommitErrorKind::SyncFailed);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  EXPECT_EQ(load_durable(path).payload, "newest good payload");
+}
+
+TEST(DurableFileFaults, FsyncFailureIsClassifiedAsSyncFailed) {
+  const std::string path = scratch("efsync");
+  seed_generations(path);
+  CommitHooks hooks;
+  hooks.sync = [](int) { return -1; };
+  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed", hooks); }),
+            CommitErrorKind::SyncFailed);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  EXPECT_EQ(load_durable(path).payload, "newest good payload");
+}
+
+TEST(DurableFileFaults, DeferredCloseErrorIsClassified) {
+  const std::string path = scratch("eclose");
+  seed_generations(path);
+  CommitHooks hooks;
+  hooks.close = [](std::FILE* f) {
+    std::fclose(f);
+    return EOF; // close reported a deferred write-back error
+  };
+  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed", hooks); }),
+            CommitErrorKind::CloseFailed);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  EXPECT_EQ(load_durable(path).payload, "newest good payload");
+}
+
+TEST(DurableFileFaults, RotateFailureLeavesCurrentGenerationInPlace) {
+  const std::string path = scratch("erotate");
+  seed_generations(path);
+  CommitHooks hooks;
+  hooks.rename = [&](const char* from, const char* to) -> int {
+    // Fail only current -> .1; the commit must abort BEFORE the replace.
+    if (std::string(to) == path + ".1") return -1;
+    return std::rename(from, to);
+  };
+  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed", hooks); }),
+            CommitErrorKind::RotateFailed);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  EXPECT_EQ(load_durable(path).payload, "newest good payload")
+      << "a failed rotate must not have touched the current generation";
+}
+
+TEST(DurableFileFaults, ReplaceFailureFallsBackToTheRotatedGeneration) {
+  const std::string path = scratch("ereplace");
+  seed_generations(path);
+  CommitHooks hooks;
+  hooks.rename = [&](const char* from, const char* to) -> int {
+    // The rotate succeeds, the tmp -> current replace fails: the newest
+    // payload now lives in `.1` and MUST still load.
+    if (std::string(from) == path + ".tmp") return -1;
+    return std::rename(from, to);
+  };
+  const auto kind = kind_of([&] { commit_durable(path, "doomed", hooks); });
+  EXPECT_EQ(kind, CommitErrorKind::ReplaceFailed);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  const DurableLoad load = load_durable(path);
+  EXPECT_TRUE(load.found);
+  EXPECT_EQ(load.payload, "newest good payload");
+  EXPECT_EQ(load.generation, 1) << "previous generation rotated to .1 intact";
+}
+
+TEST(DurableFileFaults, ErrorMessageCarriesTheClassification) {
+  const std::string path = scratch("emessage");
+  CommitHooks hooks;
+  hooks.sync = [](int) { return -1; };
+  try {
+    commit_durable(path, "payload", hooks);
+    FAIL() << "expected DurableError";
+  } catch (const DurableError& e) {
+    EXPECT_NE(std::string(e.what()).find("[sync-failed]"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_STREQ(commit_error_name(CommitErrorKind::WriteFailed), "write-failed");
+  EXPECT_STREQ(commit_error_name(CommitErrorKind::ReplaceFailed),
+               "replace-failed");
 }
 
 } // namespace
