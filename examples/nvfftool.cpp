@@ -22,8 +22,13 @@
 
 #include "bench_circuits/bench_io.hpp"
 #include "bench_circuits/verilog_io.hpp"
+#include <atomic>
+#include <csignal>
+
 #include "dist/coordinator.hpp"
+#include "dist/endpoint.hpp"
 #include "dist/engine.hpp"
+#include "dist/netchaos.hpp"
 #include "dist/worker.hpp"
 #include "cell/spice_deck.hpp"
 #include "cell/characterize.hpp"
@@ -644,7 +649,16 @@ int serve_usage() {
       "  --engine NAME          campaign engine: mc | powerfail (required)\n"
       "  [engine options]       the campaign-defining flags of `nvfftool mc`\n"
       "                         or `nvfftool powerfail` (--trials, --seed, ...)\n"
-      "  --socket PATH          unix-domain socket workers dial\n"
+      "  --endpoint EP          listener workers dial: unix:PATH or\n"
+      "                         tcp:HOST:PORT (port 0 = ephemeral; the bound\n"
+      "                         endpoint is printed to stderr)\n"
+      "  --socket PATH          deprecated alias for --endpoint unix:PATH\n"
+      "  --endpoint-file FILE   write the concrete bound endpoint to FILE once\n"
+      "                         listening (scripts poll it to find an\n"
+      "                         ephemeral port)\n"
+      "  --send-timeout-ms MS   per-message send deadline toward a worker; a\n"
+      "                         connection that times out is quarantined and\n"
+      "                         its shards re-dispatched (default 5000)\n"
       "  --shard-size N         trials per shard (default 8)\n"
       "  --local-threads N      also run shards in-process (default 0;\n"
       "                         with no workers this is the coordinator-only\n"
@@ -664,6 +678,7 @@ int serve_usage() {
 
 int cmd_serve(const std::vector<std::string>& args) {
   std::string engineName;
+  std::string endpointFile;
   reliability::CampaignConfig mcCfg;
   faults::CampaignConfig pfCfg;
   dist::ServeOptions opt;
@@ -676,7 +691,10 @@ int cmd_serve(const std::vector<std::string>& args) {
       return args[++i];
     };
     if (a == "--engine") engineName = value();
-    else if (a == "--socket") opt.socketPath = value();
+    else if (a == "--endpoint") opt.endpoint = value();
+    else if (a == "--socket") opt.endpoint = "unix:" + value(); // deprecated
+    else if (a == "--endpoint-file") endpointFile = value();
+    else if (a == "--send-timeout-ms") opt.sendTimeoutMs = std::stoi(value());
     else if (a == "--shard-size") opt.shardSize = std::stoi(value());
     else if (a == "--local-threads") opt.localThreads = std::stoi(value());
     else if (a == "--checkpoint") opt.checkpointPath = value();
@@ -699,6 +717,16 @@ int cmd_serve(const std::vector<std::string>& args) {
     std::fprintf(stderr, "serve: --resume needs --checkpoint FILE\n");
     return runtime::kExitUsage;
   }
+  if (!opt.endpoint.empty()) {
+    // Validate here so a typo'd endpoint is a usage error (exit 2), not a
+    // runtime failure.
+    dist::Endpoint ep;
+    std::string error;
+    if (!dist::parse_endpoint(opt.endpoint, ep, error)) {
+      std::fprintf(stderr, "serve: %s\n", error.c_str());
+      return runtime::kExitUsage;
+    }
+  }
   for (std::size_t i = 0; i < engineArgs.size(); ++i) {
     const std::string& a = engineArgs[i];
     auto value = [&]() -> std::string {
@@ -719,6 +747,19 @@ int cmd_serve(const std::vector<std::string>& args) {
       engineName == "mc" ? dist::make_mc_engine(mcCfg)
                          : dist::make_powerfail_engine(pfCfg);
   opt.installSignalHandlers = true;
+  // Announce the concrete endpoint (ephemeral tcp ports resolved) the moment
+  // the listener is up — scripts either scrape stderr or poll the file.
+  opt.onListening = [&endpointFile](const dist::Endpoint& bound) {
+    std::fprintf(stderr, "serve: listening on %s\n", bound.to_string().c_str());
+    if (!endpointFile.empty()) {
+      const std::string tmp = endpointFile + ".tmp";
+      if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+        std::fprintf(f, "%s\n", bound.to_string().c_str());
+        std::fclose(f);
+        std::rename(tmp.c_str(), endpointFile.c_str());
+      }
+    }
+  };
   const dist::ServeOutcome out = dist::serve_campaign(*engine, opt);
 
   if (out.trialsResumed > 0)
@@ -729,9 +770,11 @@ int cmd_serve(const std::vector<std::string>& args) {
                  path.c_str());
   std::fprintf(stderr,
                "serve: %d/%d shards merged, %d worker(s) seen, %d dropped, "
-               "%ld re-dispatch(es), %ld rejected frame(s)\n",
+               "%ld re-dispatch(es), %ld rejected frame(s), "
+               "%ld send timeout(s), %d quarantined\n",
                out.shardsMerged, out.shardsTotal, out.workersSeen,
-               out.workersDropped, out.redispatches, out.framesRejected);
+               out.workersDropped, out.redispatches, out.framesRejected,
+               out.sendTimeouts, out.workersQuarantined);
   if (!out.completed()) {
     // Same contract as mc/powerfail: an interrupted campaign prints no
     // report — partial statistics must not look complete.
@@ -750,12 +793,16 @@ int cmd_serve(const std::vector<std::string>& args) {
 int worker_usage() {
   std::fprintf(
       stderr,
-      "usage: nvfftool worker --socket PATH [options]\n"
+      "usage: nvfftool worker --endpoint EP [options]\n"
       "  Worker of the distributed campaign service. Dials the coordinator,\n"
       "  verifies protocol version and config fingerprint, then computes\n"
       "  shards until told to shut down. Safe to kill at any instant.\n"
-      "  --socket PATH             coordinator's unix-domain socket (required)\n"
+      "  --endpoint EP             coordinator endpoint: unix:PATH or\n"
+      "                            tcp:HOST:PORT (required)\n"
+      "  --socket PATH             deprecated alias for --endpoint unix:PATH\n"
       "  --threads T               pool width within a shard (default 1)\n"
+      "  --connect-timeout-ms MS   per-attempt tcp connect deadline\n"
+      "                            (default 2000)\n"
       "  --heartbeat-s SEC         progress report interval (default 0.25)\n"
       "  --reconnect-budget-s SEC  give up when the coordinator has been\n"
       "                            unreachable this long (default 30)\n"
@@ -774,7 +821,10 @@ int cmd_worker(const std::vector<std::string>& args) {
         throw std::invalid_argument("worker: " + a + " needs a value");
       return args[++i];
     };
-    if (a == "--socket") opt.socketPath = value();
+    if (a == "--endpoint") opt.endpoint = value();
+    else if (a == "--socket") opt.endpoint = "unix:" + value(); // deprecated
+    else if (a == "--connect-timeout-ms")
+      opt.connectTimeoutMs = std::stoi(value());
     else if (a == "--threads") opt.threads = std::stoi(value());
     else if (a == "--heartbeat-s") opt.heartbeatIntervalSeconds = std::stod(value());
     else if (a == "--reconnect-budget-s")
@@ -785,15 +835,121 @@ int cmd_worker(const std::vector<std::string>& args) {
       return worker_usage();
     }
   }
-  if (opt.socketPath.empty()) {
-    std::fprintf(stderr, "worker: --socket is required\n");
+  if (opt.endpoint.empty()) {
+    std::fprintf(stderr, "worker: --endpoint is required\n");
     return runtime::kExitUsage;
+  }
+  {
+    // Validate here so a typo'd endpoint is a usage error (exit 2), not a
+    // runtime failure.
+    dist::Endpoint ep;
+    std::string error;
+    if (!dist::parse_endpoint(opt.endpoint, ep, error)) {
+      std::fprintf(stderr, "worker: %s\n", error.c_str());
+      return runtime::kExitUsage;
+    }
   }
   const dist::WorkerOutcome out = dist::run_worker(opt);
   std::fprintf(stderr, "worker: %d shard(s) completed, %ld reconnect(s)%s\n",
                out.shardsCompleted, out.reconnects,
                out.shutdownReceived ? ", clean shutdown" : "");
   return out.exit_code();
+}
+
+// --- netchaos (deterministic network-chaos proxy) -----------------------------
+
+std::atomic<bool> g_netchaosStop{false};
+
+int netchaos_usage() {
+  std::fprintf(
+      stderr,
+      "usage: nvfftool netchaos --listen EP --upstream EP --seed N [options]\n"
+      "  Deterministic network-chaos proxy between workers and a coordinator.\n"
+      "  Each accepted connection draws one fault profile — latency, throttle,\n"
+      "  1-byte dribble, mid-frame reset, black hole, bit corruption, or\n"
+      "  clean — from Rng::stream(seed, connection#): the same seed replays\n"
+      "  the same network weather. The merged campaign report must come out\n"
+      "  byte-identical regardless (see tests/chaos/chaos_dist_net.sh).\n"
+      "  --listen EP            endpoint workers dial: unix:PATH or\n"
+      "                         tcp:HOST:PORT (port 0 = ephemeral)\n"
+      "  --upstream EP          the real coordinator's endpoint\n"
+      "  --seed N               fault-schedule key (default 1)\n"
+      "  --endpoint-file FILE   write the concrete bound endpoint to FILE\n"
+      "  --run-seconds SEC      exit after SEC (default 0 = until SIGINT)\n"
+      "  --clean-share P        fraction of unharmed connections (default 0.25)\n"
+      "  --only CLASS[,...]     restrict the lottery to these classes:\n"
+      "                         latency,throttle,dribble,reset,blackhole,corrupt\n"
+      "  exit codes: 0 clean exit, 1 fatal, 2 usage\n");
+  return runtime::kExitUsage;
+}
+
+int cmd_netchaos(const std::vector<std::string>& args) {
+  dist::NetChaosOptions opt;
+  std::string endpointFile;
+  std::string only;
+  double runSeconds = 0.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument("netchaos: " + a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--listen") opt.listenEndpoint = value();
+    else if (a == "--upstream") opt.upstreamEndpoint = value();
+    else if (a == "--seed") opt.seed = std::stoull(value());
+    else if (a == "--endpoint-file") endpointFile = value();
+    else if (a == "--run-seconds") runSeconds = std::stod(value());
+    else if (a == "--clean-share") opt.cleanShare = std::stod(value());
+    else if (a == "--only") only = value();
+    else {
+      std::fprintf(stderr, "netchaos: unknown option '%s'\n", a.c_str());
+      return netchaos_usage();
+    }
+  }
+  if (opt.listenEndpoint.empty() || opt.upstreamEndpoint.empty()) {
+    std::fprintf(stderr, "netchaos: --listen and --upstream are required\n");
+    return netchaos_usage();
+  }
+  if (!only.empty()) {
+    opt.enableLatency = opt.enableThrottle = opt.enableDribble =
+        opt.enableReset = opt.enableBlackhole = opt.enableCorrupt = false;
+    for (const std::string& c : split(only, ",")) {
+      if (c == "latency") opt.enableLatency = true;
+      else if (c == "throttle") opt.enableThrottle = true;
+      else if (c == "dribble") opt.enableDribble = true;
+      else if (c == "reset") opt.enableReset = true;
+      else if (c == "blackhole") opt.enableBlackhole = true;
+      else if (c == "corrupt") opt.enableCorrupt = true;
+      else {
+        std::fprintf(stderr, "netchaos: unknown class '%s'\n", c.c_str());
+        return netchaos_usage();
+      }
+    }
+  }
+  opt.runSeconds = runSeconds;
+  opt.stop = &g_netchaosStop;
+  std::signal(SIGINT, [](int) { g_netchaosStop.store(true); });
+  std::signal(SIGTERM, [](int) { g_netchaosStop.store(true); });
+  opt.onListening = [&endpointFile](const dist::Endpoint& bound) {
+    std::fprintf(stderr, "netchaos: listening on %s\n",
+                 bound.to_string().c_str());
+    if (!endpointFile.empty()) {
+      const std::string tmp = endpointFile + ".tmp";
+      if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+        std::fprintf(f, "%s\n", bound.to_string().c_str());
+        std::fclose(f);
+        std::rename(tmp.c_str(), endpointFile.c_str());
+      }
+    }
+  };
+  const dist::NetChaosOutcome out = dist::run_netchaos(opt);
+  std::fprintf(stderr,
+               "netchaos: %ld connection(s), %ld byte(s) forwarded, "
+               "%ld corruption(s), %ld reset(s), %ld blackhole(s)\n",
+               out.connections, out.bytesForwarded, out.corruptions,
+               out.resets, out.blackholes);
+  return runtime::kExitOk;
 }
 
 int usage() {
@@ -816,8 +972,10 @@ int usage() {
       "                           ('nvfftool powerfail --help' for options)\n"
       "  serve [options]          distributed campaign coordinator\n"
       "                           ('nvfftool serve --help' for options)\n"
-      "  worker --socket PATH     distributed campaign worker\n"
-      "                           ('nvfftool worker --help' for options)\n");
+      "  worker --endpoint EP     distributed campaign worker\n"
+      "                           ('nvfftool worker --help' for options)\n"
+      "  netchaos [options]       deterministic network-chaos proxy\n"
+      "                           ('nvfftool netchaos --help' for options)\n");
   return 2;
 }
 
@@ -866,6 +1024,12 @@ int main(int argc, char** argv) {
       for (const std::string& a : workerArgs)
         if (a == "--help" || a == "-h") return worker_usage();
       return cmd_worker(workerArgs);
+    }
+    if (cmd == "netchaos") {
+      const std::vector<std::string> chaosArgs(argv + 2, argv + argc);
+      for (const std::string& a : chaosArgs)
+        if (a == "--help" || a == "-h") return netchaos_usage();
+      return cmd_netchaos(chaosArgs);
     }
     if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage();
     // An unrecognized command (or a recognized one missing its required

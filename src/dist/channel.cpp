@@ -1,10 +1,14 @@
 #include "dist/channel.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <system_error>
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -13,6 +17,8 @@
 namespace nvff::dist {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 std::string errno_text() { return std::generic_category().message(errno); }
 
@@ -27,7 +33,55 @@ bool fill_addr(const std::string& path, sockaddr_un& addr, std::string& error) {
   return true;
 }
 
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Resolves host:port to socket addresses (numeric fast path included).
+/// Returns nullptr + error text on failure; caller owns the result.
+addrinfo* resolve_tcp(const std::string& host, int port, bool forBind,
+                      std::string& error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  if (forBind) hints.ai_flags = AI_PASSIVE;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &result);
+  if (rc != 0) {
+    error = "resolve '" + host + "': " + ::gai_strerror(rc);
+    return nullptr;
+  }
+  return result;
+}
+
+/// Keepalive turns a half-open TCP connection (peer host vanished without a
+/// FIN or RST — power loss, network partition) into a detectable error in
+/// roughly idle + intvl*cnt seconds instead of the kernel default hours.
+void apply_tcp_options(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+#ifdef TCP_KEEPIDLE
+  int idle = 30, intvl = 5, cnt = 3;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &idle, sizeof(idle));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &intvl, sizeof(intvl));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &cnt, sizeof(cnt));
+#endif
+}
+
 } // namespace
+
+const char* send_status_name(SendStatus status) {
+  switch (status) {
+    case SendStatus::Ok: return "ok";
+    case SendStatus::Timeout: return "timeout";
+    case SendStatus::Closed: return "closed";
+  }
+  return "?";
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
@@ -45,21 +99,56 @@ void Socket::close() {
   }
 }
 
-bool Socket::send_all(std::string_view bytes) {
-  if (fd_ < 0) return false;
+SendStatus Socket::send_all(std::string_view bytes, int timeoutMs) {
+  if (fd_ < 0) return SendStatus::Closed;
+  // DETLINT-ALLOW(DET001): per-message send deadline — connection scheduling
+  // only, never campaign results.
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           timeoutMs > 0 ? timeoutMs : 0);
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process
     // with SIGPIPE — peer death is routine in a chaos-tested service.
     const long n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                           MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
     }
-    sent += static_cast<std::size_t>(n);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)
+      return SendStatus::Closed;
+    // Kernel buffer full: the peer is not draining us (yet). Poll for
+    // writability within what remains of the deadline; a peer that stays
+    // plugged past it is reported as a timeout, NEVER waited out — this is
+    // the line that keeps a black-holed worker from stalling the
+    // coordinator's event loop.
+    // DETLINT-ALLOW(DET001): same send deadline as above.
+    const auto now = Clock::now();
+    if (now >= deadline) return SendStatus::Timeout;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+    if (ready < 0 && errno != EINTR) return SendStatus::Closed;
+    if (ready > 0 && (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+        (pfd.revents & POLLOUT) == 0)
+      return SendStatus::Closed;
   }
-  return true;
+  return SendStatus::Ok;
+}
+
+long Socket::send_some(std::string_view bytes) {
+  if (fd_ < 0) return -1;
+  for (;;) {
+    const long n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
 }
 
 long Socket::recv_some(char* buffer, std::size_t capacity, int timeoutMs) {
@@ -72,9 +161,23 @@ long Socket::recv_some(char* buffer, std::size_t capacity, int timeoutMs) {
   if (ready == 0) return 0;
   // POLLHUP/POLLERR fall through to recv(), which reports EOF/error exactly.
   const long n = ::recv(fd_, buffer, capacity, 0);
-  if (n < 0) return errno == EINTR ? 0 : -1;
+  if (n < 0) {
+    // EAGAIN: poll's readiness was consumed by a race (or spurious wakeup)
+    // on the non-blocking fd; simply no data yet.
+    return (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) ? 0 : -1;
+  }
   if (n == 0) return -1; // orderly EOF: the connection is over either way
   return n;
+}
+
+bool Socket::set_send_buffer(int bytes) {
+  if (fd_ < 0) return false;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) == 0;
+}
+
+bool Socket::set_recv_buffer(int bytes) {
+  if (fd_ < 0) return false;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) == 0;
 }
 
 Socket Socket::listen_unix(const std::string& path, std::string& error) {
@@ -101,21 +204,90 @@ Socket Socket::listen_unix(const std::string& path, std::string& error) {
   // gone by the time accept() runs (the client died or aborted the connect).
   // On a blocking fd that accept() hangs the whole event loop — and with
   // SA_RESTART'd signal handlers not even SIGTERM gets it unstuck.
-  const int flags = ::fcntl(s.fd(), F_GETFL, 0);
-  if (flags < 0 || ::fcntl(s.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+  if (!set_nonblocking(s.fd())) {
     error = "fcntl(O_NONBLOCK, '" + path + "'): " + errno_text();
     return Socket();
   }
   return s;
 }
 
+Socket Socket::listen_tcp(const std::string& host, int port,
+                          std::string& error, int& boundPort) {
+  boundPort = 0;
+  addrinfo* addrs = resolve_tcp(host, port, /*forBind=*/true, error);
+  if (addrs == nullptr) return Socket();
+  Socket s;
+  for (addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    Socket candidate(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) {
+      error = "socket(): " + errno_text();
+      continue;
+    }
+    // SO_REUSEADDR: a restarted coordinator must be able to rebind its port
+    // while the predecessor's connections sit in TIME_WAIT — the restart
+    // path IS the chaos drill's normal case.
+    int one = 1;
+    ::setsockopt(candidate.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(candidate.fd(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      error = "bind('" + host + ":" + std::to_string(port) +
+              "'): " + errno_text();
+      continue;
+    }
+    if (::listen(candidate.fd(), 64) != 0) {
+      error = "listen('" + host + ":" + std::to_string(port) +
+              "'): " + errno_text();
+      continue;
+    }
+    s = std::move(candidate);
+    break;
+  }
+  ::freeaddrinfo(addrs);
+  if (!s.valid()) return Socket();
+  if (!set_nonblocking(s.fd())) {
+    error = "fcntl(O_NONBLOCK): " + errno_text();
+    return Socket();
+  }
+  // Report the concrete port: with port 0 the kernel picked an ephemeral one
+  // and tests/scripts need it to point workers at the listener.
+  sockaddr_storage bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    error = "getsockname(): " + errno_text();
+    return Socket();
+  }
+  if (bound.ss_family == AF_INET) {
+    boundPort = ntohs(reinterpret_cast<const sockaddr_in&>(bound).sin_port);
+  } else if (bound.ss_family == AF_INET6) {
+    boundPort = ntohs(reinterpret_cast<const sockaddr_in6&>(bound).sin6_port);
+  }
+  error.clear();
+  return s;
+}
+
+Socket Socket::listen_endpoint(const Endpoint& endpoint, std::string& error,
+                               Endpoint& bound) {
+  bound = endpoint;
+  if (endpoint.scheme == Endpoint::Scheme::Unix)
+    return listen_unix(endpoint.path, error);
+  int boundPort = 0;
+  Socket s = listen_tcp(endpoint.host, endpoint.port, error, boundPort);
+  if (s.valid()) bound.port = boundPort;
+  return s;
+}
+
 Socket Socket::accept_pending() {
   if (fd_ < 0) return Socket();
-  // Linux clears file-status flags on the accepted fd, so connections come
-  // back blocking regardless of the listener's O_NONBLOCK; recv_some()
-  // polls before every read, so that is safe.
   const int fd = ::accept(fd_, nullptr, nullptr);
-  return Socket(fd);
+  if (fd < 0) return Socket();
+  Socket s(fd);
+  // Linux clears file-status flags on the accepted fd, so connections come
+  // back blocking regardless of the listener's O_NONBLOCK. Data sockets must
+  // be non-blocking for the send deadline to work (see channel.hpp).
+  if (!set_nonblocking(fd)) return Socket();
+  // Inherit the TCP tuning regardless of which listener produced the fd;
+  // the setsockopts are harmless no-ops on unix-domain sockets.
+  apply_tcp_options(fd);
+  return s;
 }
 
 Socket Socket::connect_unix(const std::string& path) {
@@ -127,7 +299,50 @@ Socket Socket::connect_unix(const std::string& path) {
   if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0)
     return Socket();
+  // Unix-domain connect() either succeeds immediately or fails; only the
+  // established data socket needs to be non-blocking.
+  if (!set_nonblocking(s.fd())) return Socket();
   return s;
+}
+
+Socket Socket::connect_tcp(const std::string& host, int port, int timeoutMs) {
+  std::string error;
+  addrinfo* addrs = resolve_tcp(host, port, /*forBind=*/false, error);
+  if (addrs == nullptr) return Socket();
+  Socket s;
+  for (addrinfo* ai = addrs; ai != nullptr && !s.valid(); ai = ai->ai_next) {
+    Socket candidate(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) continue;
+    if (!set_nonblocking(candidate.fd())) continue;
+    // Non-blocking connect: a SYN into a black hole must cost one deadline,
+    // not the kernel's minutes-long retry ladder. EINPROGRESS is the normal
+    // path; poll for writability, then read the final verdict via SO_ERROR.
+    const int rc = ::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0) {
+      if (errno != EINPROGRESS) continue;
+      pollfd pfd{};
+      pfd.fd = candidate.fd();
+      pfd.events = POLLOUT;
+      const int ready = ::poll(&pfd, 1, timeoutMs > 0 ? timeoutMs : 0);
+      if (ready <= 0) continue; // timeout or poll error: try the next address
+      int soError = 0;
+      socklen_t len = sizeof(soError);
+      if (::getsockopt(candidate.fd(), SOL_SOCKET, SO_ERROR, &soError, &len) !=
+              0 ||
+          soError != 0)
+        continue;
+    }
+    apply_tcp_options(candidate.fd());
+    s = std::move(candidate);
+  }
+  ::freeaddrinfo(addrs);
+  return s;
+}
+
+Socket Socket::connect_endpoint(const Endpoint& endpoint, int timeoutMs) {
+  if (endpoint.scheme == Endpoint::Scheme::Unix)
+    return connect_unix(endpoint.path);
+  return connect_tcp(endpoint.host, endpoint.port, timeoutMs);
 }
 
 } // namespace nvff::dist

@@ -1,23 +1,46 @@
-// Local stream-socket plumbing for the distributed campaign service.
+// Stream-socket plumbing for the distributed campaign service.
 //
-// The coordinator and its workers are separate PROCESSES on one host (the
-// unit the chaos drill can kill -9 independently), talking over unix-domain
-// stream sockets: no port allocation races in CI, no firewall interaction,
-// and the kernel guarantees byte-stream ordering — every remaining failure
-// mode (peer death, torn frame, corruption introduced above the kernel) is
-// handled by the framing layer and the reconnect/redispatch policies.
+// The coordinator and its workers are separate PROCESSES (the unit the chaos
+// drill can kill -9 independently) talking over stream sockets — unix-domain
+// on one host (no port races in CI, no firewall interaction) or TCP across a
+// fleet (dist/endpoint.hpp names which). The kernel guarantees byte-stream
+// ordering either way; every remaining failure mode (peer death, torn frame,
+// corruption above the kernel, stalled or half-open TCP peers) is handled by
+// the framing layer and the reconnect / re-dispatch / quarantine policies.
 //
 // Everything here is deliberately boring and classified: operations return
 // status instead of throwing (a dead peer is an expected event in a system
 // whose test suite shoots processes), and SIGPIPE is never raised — a send
 // into a closed socket reports failure like any other.
+//
+// Two TCP-driven hardening rules apply to EVERY data socket, unix included:
+//
+//   * Data fds are non-blocking. A blocking fd plus a black-holed peer (the
+//     kernel send buffer fills, the peer never ACKs) would wedge send()
+//     forever — and with it the coordinator's whole event loop.
+//   * send_all takes a per-message deadline and polls for writability. On
+//     expiry it reports Timeout; the caller drops the connection (a partial
+//     frame poisons the stream anyway) and the shard re-dispatch machinery
+//     does the rest.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <string_view>
 
+#include "dist/endpoint.hpp"
+
 namespace nvff::dist {
+
+/// Outcome of a deadline-bounded send. Timeout and Closed both end the
+/// connection, but callers account for them differently: repeated timeouts
+/// mark a peer SLOW (quarantine), a close marks it GONE (plain drop).
+enum class SendStatus { Ok, Timeout, Closed };
+const char* send_status_name(SendStatus status);
+
+/// Default per-message send deadline. Generous — it only has to distinguish
+/// "kernel buffer momentarily full" from "peer stopped draining us".
+constexpr int kDefaultSendTimeoutMs = 5000;
 
 /// RAII wrapper around one stream-socket file descriptor.
 class Socket {
@@ -35,14 +58,32 @@ public:
   int fd() const { return fd_; }
   void close();
 
-  /// Sends the whole buffer (retrying short writes, EINTR). False on any
-  /// hard error — the caller drops the connection.
-  bool send_all(std::string_view bytes);
+  /// Sends the whole buffer, polling for writability between chunks, within
+  /// `timeoutMs` overall. Timeout means the peer stopped draining the stream
+  /// (black hole, frozen process, dead network) — the caller must drop the
+  /// connection, because a partially sent frame cannot be resumed.
+  SendStatus send_all(std::string_view bytes,
+                      int timeoutMs = kDefaultSendTimeoutMs);
+
+  /// Non-blocking single write attempt (proxy/event-loop building block).
+  /// Returns bytes written (>= 0; 0 means the kernel buffer is full, try
+  /// again after POLLOUT) or -1 on a hard error / closed peer.
+  long send_some(std::string_view bytes);
 
   /// Waits up to `timeoutMs` for readability, then reads what is available.
   /// Returns bytes read (> 0), 0 on timeout (no data yet), -1 on EOF or a
   /// hard error (connection over).
   long recv_some(char* buffer, std::size_t capacity, int timeoutMs);
+
+  /// Shrinks the kernel send buffer (test hook). A tiny SO_SNDBUF makes a
+  /// non-draining peer fill the buffer within a handful of frames, so the
+  /// send-deadline path can be exercised in milliseconds instead of minutes.
+  bool set_send_buffer(int bytes);
+
+  /// Shrinks the kernel receive buffer (test hook, the other half of the
+  /// same trick): a non-draining TCP peer with a default auto-tuned receive
+  /// window absorbs megabytes before the sender ever blocks.
+  bool set_recv_buffer(int bytes);
 
   /// Binds and listens on a unix-domain socket path, unlinking any stale
   /// socket file first (the previous coordinator may have been kill -9'd —
@@ -50,29 +91,56 @@ public:
   /// + `error` message on failure.
   static Socket listen_unix(const std::string& path, std::string& error);
 
+  /// Binds and listens on host:port with SO_REUSEADDR (a restarted
+  /// coordinator must not trade EADDRINUSE for TIME_WAIT). Port 0 binds an
+  /// ephemeral port; `boundPort` reports the actual one either way.
+  static Socket listen_tcp(const std::string& host, int port,
+                           std::string& error, int& boundPort);
+
+  /// listen_unix / listen_tcp behind one Endpoint. `bound` is the concrete
+  /// endpoint (ephemeral tcp port resolved) suitable for workers to dial.
+  static Socket listen_endpoint(const Endpoint& endpoint, std::string& error,
+                                Endpoint& bound);
+
   /// Accepts one pending connection (call after poll/select reported the
-  /// listener readable). Invalid socket when nothing was pending.
+  /// listener readable). The accepted fd is made non-blocking. Invalid
+  /// socket when nothing was pending.
   Socket accept_pending();
 
   /// Connects to a unix-domain socket path. Invalid socket on failure (the
   /// coordinator may not be up yet; the caller backs off and retries).
   static Socket connect_unix(const std::string& path);
 
+  /// Connects to host:port with a non-blocking connect bounded by
+  /// `timeoutMs` (an unreachable host must cost one deadline, not a kernel
+  /// SYN-retry eternity), then sets TCP_NODELAY (heartbeats and shard
+  /// assignments are latency-sensitive small frames) and TCP keepalive (a
+  /// half-open connection to a vanished host eventually reports an error
+  /// instead of lingering forever). Invalid socket on failure.
+  static Socket connect_tcp(const std::string& host, int port, int timeoutMs);
+
+  /// connect_unix / connect_tcp behind one Endpoint.
+  static Socket connect_endpoint(const Endpoint& endpoint, int timeoutMs);
+
 private:
   int fd_ = -1;
 };
 
-/// Capped exponential backoff for reconnect loops: first wait `initialMs`,
-/// doubling per failure up to `capMs`. Deterministic (no jitter) — two
-/// workers hammering a local socket path cannot meaningfully collide, and
-/// determinism keeps the chaos drill's timing reproducible.
+/// Capped exponential backoff for reconnect loops: first wait
+/// min(initialMs, capMs), doubling per failure up to capMs. Deterministic
+/// (no jitter) — two workers hammering a local socket path cannot
+/// meaningfully collide, and determinism keeps the chaos drill's timing
+/// reproducible.
 class Backoff {
 public:
   Backoff(int initialMs, int capMs) : initialMs_(initialMs), capMs_(capMs) {}
 
-  /// Current delay, then doubles for next time.
+  /// Current delay, then doubles for next time. Every returned delay —
+  /// including the first — honors the cap (regression: the initial delay
+  /// was once returned uncapped, so Backoff(1000, 500) waited 1000 ms).
   int next_ms() {
-    const int out = currentMs_ > 0 ? currentMs_ : initialMs_;
+    const int base = currentMs_ > 0 ? currentMs_ : initialMs_;
+    const int out = base > capMs_ ? capMs_ : base;
     currentMs_ = out * 2 > capMs_ ? capMs_ : out * 2;
     return out;
   }

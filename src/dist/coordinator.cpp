@@ -97,10 +97,18 @@ struct Conn {
   long id;
   FrameDecoder decoder;
   bool ready = false; ///< handshake complete (Hello -> Welcome -> Ready)
+  bool sendTimedOut = false; ///< a send deadline fired on this connection
 };
 
 /// Why a connection is being closed; drives shard re-dispatch + accounting.
-enum class DropCause { Eof, FrameError, ProtocolError, SendFailed, Shutdown };
+enum class DropCause {
+  Eof,
+  FrameError,
+  ProtocolError,
+  SendFailed,
+  SendTimeout, ///< peer stopped draining us — quarantine, not just drop
+  Shutdown,
+};
 
 std::vector<int> collect_done_ids(const ServeState& state) REQUIRES(state.mu) {
   std::vector<int> ids;
@@ -114,9 +122,15 @@ std::vector<int> collect_done_ids(const ServeState& state) REQUIRES(state.mu) {
 
 ServeOutcome serve_campaign(CampaignEngine& engine,
                             const ServeOptions& options) {
-  if (options.socketPath.empty() && options.localThreads <= 0)
+  if (options.endpoint.empty() && options.localThreads <= 0)
     throw std::runtime_error(
-        "serve: need a --socket for workers or --local-threads > 0");
+        "serve: need an --endpoint for workers or --local-threads > 0");
+  Endpoint endpoint;
+  if (!options.endpoint.empty()) {
+    std::string error;
+    if (!parse_endpoint(options.endpoint, endpoint, error))
+      throw std::runtime_error("serve: " + error);
+  }
   if (options.shardSize < 1)
     throw std::runtime_error("serve: --shard-size must be >= 1");
   const int trials = engine.trials();
@@ -175,12 +189,15 @@ ServeOutcome serve_campaign(CampaignEngine& engine,
 
   // --- listener -------------------------------------------------------------
   Socket listener;
-  if (!options.socketPath.empty()) {
+  if (!options.endpoint.empty()) {
     std::string error;
-    listener = Socket::listen_unix(options.socketPath, error);
+    Endpoint bound;
+    listener = Socket::listen_endpoint(endpoint, error, bound);
     if (!listener.valid())
       throw std::runtime_error("serve: cannot listen on '" +
-                               options.socketPath + "': " + error);
+                               options.endpoint + "': " + error);
+    outcome.boundEndpoint = bound.to_string();
+    if (options.onListening) options.onListening(bound);
   }
 
   SignalScope signals(options.installSignalHandlers);
@@ -272,9 +289,18 @@ ServeOutcome serve_campaign(CampaignEngine& engine,
   std::vector<std::unique_ptr<Conn>> conns;
   long nextConnId = 0;
 
+  const int sendTimeoutMs =
+      options.sendTimeoutMs > 0 ? options.sendTimeoutMs : kDefaultSendTimeoutMs;
   auto send_frame = [&](Conn& conn, MsgType type,
                         const std::string& payload) -> bool {
-    return conn.sock.send_all(encode_frame(type, payload));
+    const SendStatus status =
+        conn.sock.send_all(encode_frame(type, payload), sendTimeoutMs);
+    if (status == SendStatus::Ok) return true;
+    if (status == SendStatus::Timeout) {
+      conn.sendTimedOut = true;
+      ++outcome.sendTimeouts;
+    }
+    return false;
   };
 
   // Returns shards owned by `connId` to the pending queue.
@@ -292,11 +318,23 @@ ServeOutcome serve_campaign(CampaignEngine& engine,
   auto drop_conn = [&](std::size_t index, DropCause cause,
                        const std::string& why) {
     Conn& conn = *conns[index];
+    // A send deadline poisons the stream regardless of which cause the
+    // caller named (handle_frame reports "send failed" as a protocol-level
+    // drop) — promote it so the quarantine accounting is accurate.
+    if (conn.sendTimedOut && cause != DropCause::Shutdown)
+      cause = DropCause::SendTimeout;
     if (cause == DropCause::FrameError) ++outcome.framesRejected;
     if (conn.ready && cause != DropCause::Shutdown) {
       ++outcome.workersDropped;
-      log_warn("serve: worker #" + std::to_string(conn.id) + " dropped (" +
-               why + "); re-dispatching its shards");
+      if (cause == DropCause::SendTimeout) {
+        ++outcome.workersQuarantined;
+        log_warn("serve: worker #" + std::to_string(conn.id) +
+                 " quarantined (send deadline: " + why +
+                 "); re-dispatching its shards");
+      } else {
+        log_warn("serve: worker #" + std::to_string(conn.id) + " dropped (" +
+                 why + "); re-dispatching its shards");
+      }
     }
     release_shards(conn.id);
     conns.erase(conns.begin() + static_cast<long>(index));
@@ -598,9 +636,12 @@ ServeOutcome serve_campaign(CampaignEngine& engine,
     // re-report next tick.
     if (haveListener && rc > 0 && (fds[0].revents & POLLIN) != 0) {
       Socket accepted = listener.accept_pending();
-      if (accepted.valid())
+      if (accepted.valid()) {
+        if (options.sendBufferBytes > 0)
+          accepted.set_send_buffer(options.sendBufferBytes);
         conns.push_back(
             std::make_unique<Conn>(std::move(accepted), nextConnId++));
+      }
     }
 
     // Walk connections back-to-front so drop_conn's erase cannot skip one.
@@ -649,8 +690,12 @@ ServeOutcome serve_campaign(CampaignEngine& engine,
   // a heartbeat from a stale duplicate shard) with Shutdown, so workers exit
   // 0 instead of discovering a dead socket. Best effort — a worker that
   // still misses it retires via its reconnect budget.
+  // Shutdown sends use a short deadline: a quarantined-but-undropped peer
+  // must not cost the teardown N x the full send timeout.
+  const int shutdownSendMs = sendTimeoutMs < 250 ? sendTimeoutMs : 250;
+  const std::string shutdownFrame = encode_frame(MsgType::Shutdown, "");
   for (auto& conn : conns)
-    if (conn->ready) send_frame(*conn, MsgType::Shutdown, "");
+    if (conn->ready) conn->sock.send_all(shutdownFrame, shutdownSendMs);
   {
     // DETLINT-ALLOW(DET001): shutdown linger window — connection teardown
     // scheduling only, never campaign results.
@@ -680,7 +725,7 @@ ServeOutcome serve_campaign(CampaignEngine& engine,
         for (;;) {
           FrameDecoder::Result frame = conn.decoder.next();
           if (frame.status != FrameDecoder::Status::Frame) break;
-          send_frame(conn, MsgType::Shutdown, "");
+          conn.sock.send_all(shutdownFrame, shutdownSendMs);
         }
       }
     }

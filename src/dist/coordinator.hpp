@@ -18,6 +18,14 @@
 //                                        delivers anyway, the duplicate is
 //                                        byte-identical (counter-based RNG)
 //                                        and merging it is a no-op.
+//   worker stops draining its socket  -> the per-message send deadline
+//   (black hole, frozen peer, dead       fires instead of wedging the event
+//   network path)                        loop; the connection is quarantined
+//                                        (dropped, counted, shards
+//                                        re-dispatched). With every worker
+//                                        gone the --local-threads executors
+//                                        carry the campaign — the last rung
+//                                        of the degradation ladder.
 //   frame corrupt / truncated / skewed-> classified by the framing layer;
 //                                        the connection is dropped and the
 //                                        shard re-dispatched. Never a crash.
@@ -36,16 +44,22 @@
 //                                        other campaign CLI.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "dist/channel.hpp"
+#include "dist/endpoint.hpp"
 #include "dist/engine.hpp"
 #include "runtime/supervisor.hpp"
 
 namespace nvff::dist {
 
 struct ServeOptions {
-  std::string socketPath;    ///< unix-domain socket the workers dial
+  /// Endpoint the workers dial: `unix:PATH` or `tcp:HOST:PORT` (port 0 =
+  /// ephemeral; the bound endpoint is reported via onListening and
+  /// ServeOutcome::boundEndpoint). Empty = no listener (local-only run).
+  std::string endpoint;
   int shardSize = 8;         ///< trials per shard (>= 1)
   int localThreads = 0;      ///< in-process executor threads (0 = none)
   std::string checkpointPath;///< merged durable campaign state; empty = none
@@ -56,6 +70,19 @@ struct ServeOptions {
   double stallTimeoutSeconds = 10.0;
   double deadlineSeconds = 0.0; ///< campaign wall-clock budget; 0 = off
   bool installSignalHandlers = false; ///< SIGINT/SIGTERM drain (CLI only)
+  /// Per-message send deadline toward a worker. A connection whose send
+  /// times out is quarantined: dropped immediately (the partial frame
+  /// poisoned the stream), its shards re-dispatched, the event loop never
+  /// blocked. <= 0 falls back to kDefaultSendTimeoutMs.
+  int sendTimeoutMs = kDefaultSendTimeoutMs;
+  /// Invoked once the listener is up, with the concrete bound endpoint
+  /// (ephemeral tcp ports resolved). Tests and scripts use it to learn
+  /// where to point workers before the campaign finishes.
+  std::function<void(const Endpoint&)> onListening;
+  /// Test hook: shrink the kernel send buffer of accepted connections so a
+  /// non-draining peer trips the send deadline within a few frames
+  /// (0 = kernel default).
+  int sendBufferBytes = 0;
 };
 
 struct ServeOutcome {
@@ -69,7 +96,10 @@ struct ServeOutcome {
   long framesRejected = 0; ///< classified frame errors that dropped a conn
   int workersSeen = 0;     ///< connections that completed the handshake
   int workersDropped = 0;  ///< connections lost after the handshake
+  long sendTimeouts = 0;   ///< per-message send deadlines that fired
+  int workersQuarantined = 0; ///< connections dropped for send timeouts
   long timeouts = 0;       ///< trials recorded as watchdog/engine timeouts
+  std::string boundEndpoint; ///< concrete listener endpoint (empty = none)
   bool checkpointWritten = false;
   std::vector<std::string> quarantined;
   std::string report; ///< engine report; only set when the campaign completed

@@ -1,0 +1,50 @@
+#include "dist/endpoint.hpp"
+
+#include <cstdlib>
+
+namespace nvff::dist {
+
+std::string Endpoint::to_string() const {
+  if (scheme == Scheme::Unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+bool parse_endpoint(const std::string& text, Endpoint& out, std::string& error) {
+  const auto fail = [&](const std::string& why) {
+    error = "bad endpoint '" + text + "': " + why;
+    return false;
+  };
+  if (text.rfind("unix:", 0) == 0) {
+    out.scheme = Endpoint::Scheme::Unix;
+    out.path = text.substr(5);
+    out.host.clear();
+    out.port = 0;
+    if (out.path.empty()) return fail("unix endpoint needs a path");
+    return true;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    // Split at the LAST colon so numeric-looking hosts and future bracketed
+    // IPv6 literals keep their internal colons on the host side.
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos)
+      return fail("tcp endpoint needs host:port");
+    out.scheme = Endpoint::Scheme::Tcp;
+    out.host = rest.substr(0, colon);
+    out.path.clear();
+    if (out.host.empty()) return fail("tcp endpoint needs a host");
+    const std::string portText = rest.substr(colon + 1);
+    if (portText.empty()) return fail("tcp endpoint needs a port");
+    char* end = nullptr;
+    const long port = std::strtol(portText.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+      return fail("port '" + portText + "' is not a number");
+    if (port < 0 || port > 65535)
+      return fail("port " + std::to_string(port) + " outside [0, 65535]");
+    out.port = static_cast<int>(port);
+    return true;
+  }
+  return fail("unknown scheme (expected unix:PATH or tcp:HOST:PORT)");
+}
+
+} // namespace nvff::dist

@@ -1,0 +1,40 @@
+// Transport endpoints for the distributed campaign service.
+//
+// PR 7's coordinator/worker protocol is transport-agnostic above the byte
+// stream — framing, handshake, heartbeats and shard merge never look at the
+// socket family. This type names WHICH byte stream to use:
+//
+//   unix:/path/to/coord.sock   unix-domain stream socket (single host; the
+//                              PR 7 default, no ports, no firewalls)
+//   tcp:host:port              TCP stream socket (multi-host fleets).
+//                              port 0 binds an ephemeral port; the bound
+//                              port is reported back so tests and scripts
+//                              can discover it (Socket::listen_endpoint).
+//
+// Parsing is strict: a string without a scheme is rejected, because a typo
+// like `tcp127.0.0.1:9000` silently treated as a unix path would produce a
+// confusing bind error far from the actual mistake. The CLI keeps the old
+// `--socket PATH` spelling as a deprecated alias that maps to `unix:PATH`.
+#pragma once
+
+#include <string>
+
+namespace nvff::dist {
+
+struct Endpoint {
+  enum class Scheme { Unix, Tcp };
+  Scheme scheme = Scheme::Unix;
+  std::string path;    ///< unix: socket file path
+  std::string host;    ///< tcp: hostname or numeric address
+  int port = 0;        ///< tcp: 0 = ephemeral (bound port reported)
+
+  /// Canonical rendering, parseable by parse_endpoint.
+  std::string to_string() const;
+};
+
+/// Parses `unix:PATH` or `tcp:HOST:PORT`. Returns false with a diagnostic in
+/// `error` on an unknown scheme, empty path/host, or a port outside
+/// [0, 65535]. Never throws.
+bool parse_endpoint(const std::string& text, Endpoint& out, std::string& error);
+
+} // namespace nvff::dist

@@ -1,0 +1,308 @@
+#include "dist/netchaos.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include "dist/channel.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace nvff::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Scheduler tick. Short enough that injected latency has ~10 ms
+/// granularity, long enough that an idle proxy costs nothing.
+constexpr int kTickMs = 10;
+/// Per-pipe staging cap: stop reading from the source once this much is
+/// waiting, so a throttled destination exerts back-pressure instead of
+/// ballooning proxy memory.
+constexpr std::size_t kPipeCap = 64 * 1024;
+/// Dribble still writes one byte per send(), but gets this many writes per
+/// tick so a fragmented handshake completes in seconds, not minutes.
+constexpr int kDribbleWritesPerTick = 256;
+
+const char* kChaosClassNames[] = {"clean",     "latency", "throttle", "dribble",
+                                  "reset",     "blackhole", "corrupt"};
+
+/// One relay direction with its staged bytes. `releaseAt` implements the
+/// latency profile: bytes staged into an empty pipe are held until the
+/// connection's one-way delay has passed.
+struct Pipe {
+  std::string buf;
+  bool srcEof = false;
+  Clock::time_point releaseAt{};
+};
+
+struct ChaosConn {
+  ChaosConn(Socket c, Socket u, long ord) : client(std::move(c)),
+                                            upstream(std::move(u)),
+                                            ordinal(ord) {}
+  Socket client;
+  Socket upstream;
+  long ordinal;
+  ChaosClass profile = ChaosClass::Clean;
+  // Profile parameters (all seed-derived at accept time).
+  int latencyMs = 0;
+  long throttleBytesPerTick = 0;
+  long resetAfterBytes = 0;
+  long nextCorruptAt = 0;  ///< forwarded-byte index of the next bit flip
+  long corruptStride = 0;
+  int corruptBit = 0;
+  long forwarded = 0;      ///< both directions, drives reset/corrupt offsets
+  Pipe up;    ///< client -> upstream
+  Pipe down;  ///< upstream -> client
+  Rng rng{0};
+};
+
+std::vector<ChaosClass> enabled_classes(const NetChaosOptions& o) {
+  std::vector<ChaosClass> classes;
+  if (o.enableLatency) classes.push_back(ChaosClass::Latency);
+  if (o.enableThrottle) classes.push_back(ChaosClass::Throttle);
+  if (o.enableDribble) classes.push_back(ChaosClass::Dribble);
+  if (o.enableReset) classes.push_back(ChaosClass::Reset);
+  if (o.enableBlackhole) classes.push_back(ChaosClass::Blackhole);
+  if (o.enableCorrupt) classes.push_back(ChaosClass::Corrupt);
+  return classes;
+}
+
+/// Draws the connection's fault profile and parameters from its dedicated
+/// RNG stream. The stream depends only on (seed, ordinal) — never on timing
+/// — which is what makes a chaos run replayable.
+void assign_profile(ChaosConn& conn, const NetChaosOptions& options,
+                    const std::vector<ChaosClass>& classes) {
+  conn.rng = Rng::stream(options.seed, static_cast<std::uint64_t>(conn.ordinal));
+  if (classes.empty() || conn.rng.chance(options.cleanShare)) {
+    conn.profile = ChaosClass::Clean;
+  } else {
+    conn.profile = classes[static_cast<std::size_t>(
+        conn.rng.uniform_index(classes.size()))];
+  }
+  switch (conn.profile) {
+    case ChaosClass::Latency:
+      conn.latencyMs = 20 + static_cast<int>(conn.rng.uniform_index(80));
+      break;
+    case ChaosClass::Throttle:
+      conn.throttleBytesPerTick =
+          256 + static_cast<long>(conn.rng.uniform_index(768));
+      break;
+    case ChaosClass::Reset:
+      conn.resetAfterBytes =
+          200 + static_cast<long>(conn.rng.uniform_index(3800));
+      break;
+    case ChaosClass::Corrupt:
+      conn.corruptStride =
+          500 + static_cast<long>(conn.rng.uniform_index(2000));
+      conn.nextCorruptAt =
+          static_cast<long>(conn.rng.uniform_index(
+              static_cast<std::uint64_t>(conn.corruptStride)));
+      conn.corruptBit = static_cast<int>(conn.rng.uniform_index(8));
+      break;
+    default:
+      break;
+  }
+}
+
+} // namespace
+
+const char* chaos_class_name(ChaosClass c) {
+  return kChaosClassNames[static_cast<int>(c)];
+}
+
+NetChaosOutcome run_netchaos(const NetChaosOptions& options) {
+  Endpoint listenEp, upstreamEp;
+  std::string error;
+  if (!parse_endpoint(options.listenEndpoint, listenEp, error))
+    throw std::runtime_error("netchaos: --listen: " + error);
+  if (!parse_endpoint(options.upstreamEndpoint, upstreamEp, error))
+    throw std::runtime_error("netchaos: --upstream: " + error);
+
+  NetChaosOutcome outcome;
+  Endpoint bound;
+  Socket listener = Socket::listen_endpoint(listenEp, error, bound);
+  if (!listener.valid())
+    throw std::runtime_error("netchaos: cannot listen on '" +
+                             options.listenEndpoint + "': " + error);
+  outcome.boundEndpoint = bound.to_string();
+  if (options.onListening) options.onListening(bound);
+
+  const std::vector<ChaosClass> classes = enabled_classes(options);
+  std::vector<std::unique_ptr<ChaosConn>> conns;
+  long nextOrdinal = 0;
+
+  const bool haveBudget = options.runSeconds > 0.0;
+  // DETLINT-ALLOW(DET001): proxy run budget — relay scheduling only; the
+  // fault SCHEDULE derives purely from the seed, and campaign results are
+  // invariant under any network weather by protocol design.
+  const auto started = Clock::now();
+  const auto deadline =
+      started + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        haveBudget ? options.runSeconds : 0.0));
+
+  char buffer[16384];
+  for (;;) {
+    if (options.stop && options.stop->load(std::memory_order_relaxed)) break;
+    // DETLINT-ALLOW(DET001): proxy tick — relay scheduling only.
+    const auto now = Clock::now();
+    if (haveBudget && now >= deadline) break;
+
+    // --- poll for readable sources (writes are retried every tick) --------
+    std::vector<pollfd> fds;
+    fds.push_back({listener.fd(), POLLIN, 0});
+    // fdIndex[i] = {client slot, upstream slot} of conns[i]; -1 = not polled.
+    std::vector<std::pair<int, int>> fdIndex(conns.size(), {-1, -1});
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      ChaosConn& conn = *conns[i];
+      // A black hole neither forwards nor drains: by never reading, the
+      // proxy lets the sender's kernel buffer fill until its send deadline
+      // fires — exactly the stalled-peer scenario the coordinator's
+      // quarantine ladder is specified against.
+      if (conn.profile == ChaosClass::Blackhole) continue;
+      if (!conn.up.srcEof && conn.up.buf.size() < kPipeCap) {
+        fdIndex[i].first = static_cast<int>(fds.size());
+        fds.push_back({conn.client.fd(), POLLIN, 0});
+      }
+      if (!conn.down.srcEof && conn.down.buf.size() < kPipeCap) {
+        fdIndex[i].second = static_cast<int>(fds.size());
+        fds.push_back({conn.upstream.fd(), POLLIN, 0});
+      }
+    }
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), kTickMs);
+    if (rc < 0 && errno != EINTR)
+      throw std::runtime_error("netchaos: poll failed");
+
+    // --- accept -----------------------------------------------------------
+    if (rc > 0 && (fds[0].revents & POLLIN) != 0) {
+      Socket client = listener.accept_pending();
+      if (client.valid()) {
+        Socket up = Socket::connect_endpoint(upstreamEp,
+                                             options.connectTimeoutMs);
+        if (!up.valid()) {
+          log_warn("netchaos: upstream '" + options.upstreamEndpoint +
+                   "' unreachable; dropping client");
+        } else {
+          auto conn = std::make_unique<ChaosConn>(std::move(client),
+                                                  std::move(up), nextOrdinal++);
+          assign_profile(*conn, options, classes);
+          ++outcome.connections;
+          if (conn->profile == ChaosClass::Blackhole) ++outcome.blackholes;
+          log_warn("netchaos: conn #" + std::to_string(conn->ordinal) +
+                   " profile=" + chaos_class_name(conn->profile));
+          conns.push_back(std::move(conn));
+        }
+      }
+    }
+
+    // --- stage reads ------------------------------------------------------
+    // fdIndex covers only the connections that existed at poll time; a conn
+    // accepted this tick waits until the next round.
+    for (std::size_t i = 0; i < fdIndex.size(); ++i) {
+      ChaosConn& conn = *conns[i];
+      auto stage = [&](int slot, Socket& src, Pipe& pipe) {
+        if (slot < 0 || rc <= 0) return;
+        if ((fds[static_cast<std::size_t>(slot)].revents &
+             (POLLIN | POLLHUP | POLLERR)) == 0)
+          return;
+        const long got = src.recv_some(buffer, sizeof(buffer), 0);
+        if (got < 0) {
+          pipe.srcEof = true;
+          return;
+        }
+        if (got == 0) return;
+        if (pipe.buf.empty() && conn.latencyMs > 0)
+          pipe.releaseAt = now + std::chrono::milliseconds(conn.latencyMs);
+        pipe.buf.append(buffer, static_cast<std::size_t>(got));
+      };
+      stage(fdIndex[i].first, conn.client, conn.up);
+      stage(fdIndex[i].second, conn.upstream, conn.down);
+    }
+
+    // --- forward, under the connection's profile --------------------------
+    for (std::size_t i = conns.size(); i-- > 0;) {
+      ChaosConn& conn = *conns[i];
+      if (conn.profile == ChaosClass::Blackhole) continue;
+      bool dead = false;
+      auto forward = [&](Pipe& pipe, Socket& dst) {
+        if (dead || pipe.buf.empty()) {
+          // Propagate EOF once the staged bytes are fully relayed.
+          if (!dead && pipe.srcEof && pipe.buf.empty() && dst.valid())
+            ::shutdown(dst.fd(), SHUT_WR);
+          return;
+        }
+        if (conn.latencyMs > 0 && now < pipe.releaseAt) return;
+        long budget = static_cast<long>(pipe.buf.size());
+        if (conn.profile == ChaosClass::Throttle)
+          budget = std::min<long>(budget, conn.throttleBytesPerTick);
+        int writesLeft = conn.profile == ChaosClass::Dribble
+                             ? kDribbleWritesPerTick
+                             : 1;
+        const long chunk = conn.profile == ChaosClass::Dribble ? 1 : budget;
+        while (budget > 0 && writesLeft-- > 0) {
+          const long want = std::min<long>(chunk, budget);
+          if (conn.profile == ChaosClass::Corrupt) {
+            // Flip every due position inside this chunk. Positions are
+            // absolute forwarded-byte offsets, so partial writes stay
+            // consistent: a corrupted-but-unwritten byte waits in the
+            // staging buffer with its damage already applied.
+            for (long off = conn.nextCorruptAt - conn.forwarded;
+                 off >= 0 && off < want;
+                 off = conn.nextCorruptAt - conn.forwarded) {
+              pipe.buf[static_cast<std::size_t>(off)] = static_cast<char>(
+                  pipe.buf[static_cast<std::size_t>(off)] ^
+                  (1 << conn.corruptBit));
+              ++outcome.corruptions;
+              conn.nextCorruptAt += conn.corruptStride;
+              conn.corruptBit = static_cast<int>(conn.rng.uniform_index(8));
+            }
+          }
+          const long wrote =
+              dst.send_some(std::string_view(pipe.buf.data(),
+                                             static_cast<std::size_t>(want)));
+          if (wrote < 0) {
+            dead = true;
+            return;
+          }
+          if (wrote == 0) return; // destination buffer full; retry next tick
+          pipe.buf.erase(0, static_cast<std::size_t>(wrote));
+          budget -= wrote;
+          conn.forwarded += wrote;
+          outcome.bytesForwarded += wrote;
+          if (conn.profile == ChaosClass::Reset &&
+              conn.forwarded >= conn.resetAfterBytes) {
+            // Abrupt close mid-stream — likely mid-frame. Both framing
+            // decoders must classify the truncation and both peers must
+            // walk their reconnect/re-dispatch paths.
+            ++outcome.resets;
+            log_warn("netchaos: conn #" + std::to_string(conn.ordinal) +
+                     " reset after " + std::to_string(conn.forwarded) +
+                     " bytes");
+            dead = true;
+            return;
+          }
+        }
+      };
+      forward(conn.up, conn.upstream);
+      forward(conn.down, conn.client);
+      const bool drained = conn.up.srcEof && conn.up.buf.empty() &&
+                           conn.down.srcEof && conn.down.buf.empty();
+      if (dead || drained)
+        conns.erase(conns.begin() + static_cast<long>(i));
+    }
+  }
+
+  return outcome;
+}
+
+} // namespace nvff::dist

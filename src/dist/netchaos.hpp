@@ -1,0 +1,80 @@
+// Deterministic in-process network-chaos proxy (`nvfftool netchaos`).
+//
+// Sits between workers and the coordinator as a plain TCP/unix relay and
+// injects the network's greatest hits: added latency, throughput throttling,
+// 1-byte dribble delivery, mid-frame connection resets, black holes (accept
+// and then never forward a byte), and bit corruption. Which fault a
+// connection suffers — and every fault parameter — derives from
+// Rng::stream(seed, connectionOrdinal), so a chaos run is REPLAYABLE: the
+// same seed yields the same fault schedule, and a failing drill can be
+// re-run under a debugger with identical network weather.
+//
+// The proxy is the adversary the transport layer is specified against. The
+// campaign's merged report must come out byte-identical to a single-process
+// run under ANY seed, because every injected fault lands in territory the
+// protocol already owns: CRC framing rejects corruption, truncated frames
+// drop the connection, reconnect + shard re-dispatch recover delivery, and
+// counter-based trial RNG makes re-execution bit-identical.
+//
+// Single-threaded poll loop; no fault ever blocks the relay of another
+// connection (the proxy must not itself become the stall it simulates).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dist/endpoint.hpp"
+
+namespace nvff::dist {
+
+/// Fault classes a connection can be assigned. Exactly one per connection
+/// (plus Clean), chosen deterministically from the seed.
+enum class ChaosClass {
+  Clean,     ///< relay faithfully (the control group)
+  Latency,   ///< delay each forwarded chunk by a seed-derived amount
+  Throttle,  ///< cap forwarded bytes per scheduler tick
+  Dribble,   ///< deliver one byte per write (worst-case fragmentation)
+  Reset,     ///< close both sides abruptly after a seed-derived byte count
+  Blackhole, ///< accept, then never forward (and never drain) anything
+  Corrupt,   ///< flip one bit roughly every kCorrupt* forwarded bytes
+};
+const char* chaos_class_name(ChaosClass c);
+
+struct NetChaosOptions {
+  std::string listenEndpoint;   ///< where workers dial (`unix:`/`tcp:`)
+  std::string upstreamEndpoint; ///< the real coordinator
+  std::uint64_t seed = 1;       ///< fault-schedule key (replayable)
+  /// Enabled fault classes; a connection draws uniformly among the enabled
+  /// ones after the clean-share lottery. All on by default.
+  bool enableLatency = true;
+  bool enableThrottle = true;
+  bool enableDribble = true;
+  bool enableReset = true;
+  bool enableBlackhole = true;
+  bool enableCorrupt = true;
+  double cleanShare = 0.25;   ///< fraction of connections left unharmed
+  int connectTimeoutMs = 2000;///< upstream dial deadline per connection
+  double runSeconds = 0.0;    ///< wall budget; 0 = run until `stop`
+  /// Cooperative stop flag (CLI wires SIGINT/SIGTERM to it); may be null.
+  const std::atomic<bool>* stop = nullptr;
+  /// Invoked once the listener is up with the concrete bound endpoint.
+  std::function<void(const Endpoint&)> onListening;
+};
+
+struct NetChaosOutcome {
+  std::string boundEndpoint;
+  long connections = 0;   ///< accepted client connections
+  long bytesForwarded = 0;///< total relayed bytes, both directions
+  long corruptions = 0;   ///< bits flipped
+  long resets = 0;        ///< connections reset mid-stream
+  long blackholes = 0;    ///< connections black-holed
+};
+
+/// Runs the proxy until `runSeconds` elapses or `stop` is raised. Throws
+/// std::runtime_error on setup errors (bad endpoints, bind failure); peer
+/// failures never throw.
+NetChaosOutcome run_netchaos(const NetChaosOptions& options);
+
+} // namespace nvff::dist

@@ -31,8 +31,10 @@ using Clock = std::chrono::steady_clock;
 /// wants to inject.
 class FrameSender {
 public:
-  FrameSender(Socket& sock, int corruptEvery)
-      : sock_(sock), corruptEvery_(corruptEvery) {}
+  FrameSender(Socket& sock, int corruptEvery, int sendTimeoutMs)
+      : sock_(sock), corruptEvery_(corruptEvery),
+        sendTimeoutMs_(sendTimeoutMs > 0 ? sendTimeoutMs
+                                         : kDefaultSendTimeoutMs) {}
 
   bool send(MsgType type, const std::string& payload) {
     std::string frame = encode_frame(type, payload);
@@ -43,13 +45,16 @@ public:
       log_warn("worker: chaos hook corrupting outgoing " +
                std::string(msg_type_name(type)) + " frame");
     }
-    return sock_.send_all(frame);
+    // Any non-Ok status ends the session: a timed-out send leaves a partial
+    // frame on the wire, so the stream is poisoned either way.
+    return sock_.send_all(frame, sendTimeoutMs_) == SendStatus::Ok;
   }
 
 private:
   Mutex mu_;
   Socket& sock_ GUARDED_BY(mu_);
   int corruptEvery_;
+  int sendTimeoutMs_;
   long framesSent_ GUARDED_BY(mu_) = 0;
 };
 
@@ -86,12 +91,18 @@ FrameDecoder::Result recv_frame(Socket& sock, FrameDecoder& decoder,
 
 /// One connected session: handshake, then the Ready/ShardAssign loop.
 /// Returns true only for a clean Shutdown; false means reconnect.
+/// `heardCoordinator` flips true once a well-formed Welcome arrives — the
+/// signal the reconnect budget refreshes on. A bare TCP accept must NOT
+/// count as contact: a proxy or middlebox that accepts the dial and then
+/// drops (or black-holes) the stream would otherwise refresh the budget on
+/// every retry and keep a worker spinning forever against a coordinator
+/// that is long gone.
 bool run_session(Socket& sock, const WorkerOptions& options,
                  std::unique_ptr<CampaignEngine>& engine,
                  std::string& cachedBlob, ThreadPool& pool,
-                 WorkerOutcome& outcome) {
+                 WorkerOutcome& outcome, bool& heardCoordinator) {
   FrameDecoder decoder;
-  FrameSender sender(sock, options.chaosCorruptEvery);
+  FrameSender sender(sock, options.chaosCorruptEvery, options.sendTimeoutMs);
 
   if (!sender.send(MsgType::Hello, encode_hello({kProtocolVersion})))
     return false;
@@ -109,6 +120,7 @@ bool run_session(Socket& sock, const WorkerOptions& options,
     log_warn("worker: malformed Welcome; dropping connection");
     return false;
   }
+  heardCoordinator = true;
 
   // Rebuild the engine from the coordinator's config blob. Rebuilding is
   // skipped when the blob is unchanged across reconnects (the powerfail
@@ -226,8 +238,14 @@ bool run_session(Socket& sock, const WorkerOptions& options,
 } // namespace
 
 WorkerOutcome run_worker(const WorkerOptions& options) {
-  if (options.socketPath.empty())
-    throw std::runtime_error("worker: --socket is required");
+  if (options.endpoint.empty())
+    throw std::runtime_error("worker: --endpoint is required");
+  Endpoint endpoint;
+  {
+    std::string error;
+    if (!parse_endpoint(options.endpoint, endpoint, error))
+      throw std::runtime_error("worker: " + error);
+  }
   if (options.threads < 1)
     throw std::runtime_error("worker: --threads must be >= 1");
 
@@ -249,20 +267,27 @@ WorkerOutcome run_worker(const WorkerOptions& options) {
   bool everConnected = false;
 
   for (;;) {
-    Socket sock = Socket::connect_unix(options.socketPath);
+    Socket sock = Socket::connect_endpoint(
+        endpoint,
+        options.connectTimeoutMs > 0 ? options.connectTimeoutMs : 2000);
     if (sock.valid()) {
       if (everConnected) ++outcome.reconnects;
       everConnected = true;
       backoff.reset();
+      bool heard = false;
       const bool clean =
-          run_session(sock, options, engine, cachedBlob, pool, outcome);
+          run_session(sock, options, engine, cachedBlob, pool, outcome, heard);
       if (clean) return outcome;
+      // Only a session in which the coordinator actually SPOKE (a valid
+      // Welcome) refreshes the budget. connect() succeeding proves nothing:
+      // a listener whose process is wedged, or a proxy whose upstream died,
+      // still accepts the dial.
       // DETLINT-ALLOW(DET001): reconnect budget — scheduling only.
-      lastContact = Clock::now();
+      if (heard) lastContact = Clock::now();
     }
     // DETLINT-ALLOW(DET001): reconnect budget — scheduling only.
     if (Clock::now() - lastContact >= budget) {
-      outcome.error = "worker: no coordinator at '" + options.socketPath +
+      outcome.error = "worker: no coordinator at '" + options.endpoint +
                       "' within the reconnect budget";
       log_warn(outcome.error);
       return outcome;

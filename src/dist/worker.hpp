@@ -31,8 +31,16 @@
 namespace nvff::dist {
 
 struct WorkerOptions {
-  std::string socketPath; ///< coordinator's unix-domain socket
+  /// Coordinator endpoint: `unix:PATH` or `tcp:HOST:PORT`.
+  std::string endpoint;
   int threads = 1;        ///< pool width for trials within a shard
+  /// Per-attempt TCP connect deadline (an unreachable host must cost one
+  /// deadline, not a kernel SYN-retry eternity). Unix connects ignore it.
+  int connectTimeoutMs = 2000;
+  /// Per-message send deadline toward the coordinator; on expiry the
+  /// connection is dropped (partial frame poisons the stream) and the
+  /// reconnect loop takes over. <= 0 falls back to kDefaultSendTimeoutMs.
+  int sendTimeoutMs = 0;
   double heartbeatIntervalSeconds = 0.25;
   int reconnectInitialMs = 50; ///< backoff: first retry delay ...
   int reconnectCapMs = 2000;   ///< ... doubling up to this cap

@@ -22,7 +22,7 @@ failures=0
 note() { printf '%s\n' "$*" >&2; }
 
 MC_ARGS="--trials 32 --seed 7"
-SERVE_ARGS="serve --engine mc $MC_ARGS --socket $SOCK --shard-size 4"
+SERVE_ARGS="serve --engine mc $MC_ARGS --endpoint unix:$SOCK --shard-size 4"
 
 golden="$WORK/golden.out"
 if ! "$NVFFTOOL" mc $MC_ARGS --threads 2 >"$golden" 2>/dev/null; then
@@ -70,6 +70,9 @@ expect_worker_retired() {
 }
 
 # --- drill 1: plain distributed run, two workers ----------------------------
+# The workers dial via the deprecated --socket alias on purpose: old fleet
+# scripts must keep working against an --endpoint coordinator (the alias is
+# pinned here AND in tests/cli/test_nvfftool_cli.sh).
 "$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w1.err" & w1=$!
 "$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w2.err" & w2=$!
 "$NVFFTOOL" $SERVE_ARGS >"$WORK/d1.out" 2>"$WORK/d1.err"
@@ -79,8 +82,8 @@ wait "$w2"; expect_exit "drill1 worker 2" 0 $?
 compare "drill1 two-worker run" "$WORK/d1.out"
 
 # --- drill 2: kill -9 one worker mid-flight ---------------------------------
-"$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w3.err" & w3=$!
-"$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w4.err" & w4=$!
+"$NVFFTOOL" worker --endpoint "unix:$SOCK" --threads 2 2>"$WORK/w3.err" & w3=$!
+"$NVFFTOOL" worker --endpoint "unix:$SOCK" --threads 2 2>"$WORK/w4.err" & w4=$!
 "$NVFFTOOL" $SERVE_ARGS --stall-timeout-s 1 \
   >"$WORK/d2.out" 2>"$WORK/d2.err" & coord=$!
 sleep 1
@@ -95,8 +98,8 @@ fi
 
 # --- drill 3: kill -9 the coordinator, restart, workers reconnect -----------
 ckpt="$WORK/merged.ckpt"
-"$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w5.err" & w5=$!
-"$NVFFTOOL" worker --socket "$SOCK" --threads 2 2>"$WORK/w6.err" & w6=$!
+"$NVFFTOOL" worker --endpoint "unix:$SOCK" --threads 2 2>"$WORK/w5.err" & w5=$!
+"$NVFFTOOL" worker --endpoint "unix:$SOCK" --threads 2 2>"$WORK/w6.err" & w6=$!
 "$NVFFTOOL" $SERVE_ARGS --checkpoint "$ckpt" --checkpoint-every 1 \
   >/dev/null 2>"$WORK/d3a.err" & coord=$!
 sleep 1
@@ -114,7 +117,7 @@ wait "$w6"; expect_worker_retired "drill3 worker 2" $? "$WORK/w6.err"
 compare "drill3 coordinator-killed-and-restarted run" "$WORK/d3.out"
 
 # --- drill 4: frame corruption on the wire ----------------------------------
-"$NVFFTOOL" worker --socket "$SOCK" --threads 2 --chaos-corrupt-every 5 \
+"$NVFFTOOL" worker --endpoint "unix:$SOCK" --threads 2 --chaos-corrupt-every 5 \
   2>"$WORK/w7.err" & w7=$!
 "$NVFFTOOL" $SERVE_ARGS --local-threads 1 --stall-timeout-s 1 \
   >"$WORK/d4.out" 2>"$WORK/d4.err"

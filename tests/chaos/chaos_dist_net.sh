@@ -1,0 +1,251 @@
+#!/bin/sh
+# Network-chaos drill for the distributed campaign service: every frame
+# between the workers and the coordinator crosses the deterministic netchaos
+# proxy — per-connection latency, throttling, 1-byte dribble, mid-frame
+# resets, black holes, and bit corruption, drawn from Rng::stream(seed,
+# connection#) — and the merged report must STILL come out byte-identical to
+# the uninterrupted single-process run, for both campaign engines, at every
+# seed.
+#
+# Why this can be demanded exactly: trial t is a pure function of
+# (config, t), corrupted frames are caught by the CRC envelope and the shard
+# re-dispatched, a reset or black-holed connection degrades through the
+# reconnect / quarantine / re-dispatch ladder, and shard results merge into
+# slots that never alias. The network weather may change WHO computes a
+# shard and WHEN — never a single output byte.
+#
+#   usage: chaos_dist_net.sh /path/to/nvfftool [extra-weather-seed]
+#
+# The optional second argument adds one more mc drill at that seed, so each
+# CI config can explore network weather developers' fixed seeds don't.
+set -u
+
+NVFFTOOL="$1"
+EXTRA_SEED="${2:-}"
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+  # Shoot anything the drill left behind (stuck workers, the proxy).
+  for p in $PIDS; do kill -9 "$p" 2>/dev/null; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+failures=0
+
+note() { printf '%s\n' "$*" >&2; }
+
+# wait_for_file <file> — poll for an --endpoint-file to appear (the writer
+# renames it into place atomically, so existence means complete content).
+wait_for_file() {
+  i=0
+  while [ ! -f "$1" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      note "FAIL: endpoint file $1 never appeared"
+      return 1
+    fi
+    sleep 0.1
+  done
+  return 0
+}
+
+# compare <name> <golden> <actual>
+compare() {
+  if cmp -s "$2" "$3"; then
+    note "ok: $1 — report byte-identical to the single-process run"
+  else
+    note "FAIL: $1 — report diverged from the single-process run"
+    diff "$2" "$3" | head -20 >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# expect_worker_retired <name> <exit> <errfile> — through heavy weather a
+# worker may miss the final Shutdown frame (black-holed or mid-reconnect
+# when the coordinator finished) and retire through its reconnect budget
+# with exit 1; that is the documented best-effort shutdown contract.
+expect_worker_retired() {
+  if [ "$2" -eq 0 ]; then
+    note "ok: $1 exited 0"
+  elif [ "$2" -eq 1 ] && grep -q "within the reconnect budget" "$3"; then
+    note "ok: $1 retired via its reconnect budget"
+  else
+    note "FAIL: $1 — expected exit 0 or budget retirement, got exit $2"
+    sed 's/^/    /' "$3" | tail -5 >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# mc trials are expensive (real SPICE transients, ~0.5 s each): 32 keep the
+# coordinator busy for seconds while chaos plays out. powerfail trials are
+# ~1 ms each: 2048 give the campaign enough wall-clock for workers to join
+# through the proxy AND push hundreds of shard frames through the weather.
+MC_ARGS="--trials 32 --seed 7"
+PF_ARGS="--trials 2048 --seed 3"
+BH_ARGS="--trials 16 --seed 9"
+
+note "building single-process goldens..."
+mc_golden="$WORK/mc.golden"
+pf_golden="$WORK/pf.golden"
+bh_golden="$WORK/bh.golden"
+if ! "$NVFFTOOL" mc $MC_ARGS --threads 2 >"$mc_golden" 2>/dev/null; then
+  note "FAIL: mc golden run failed"; exit 1
+fi
+if ! "$NVFFTOOL" powerfail $PF_ARGS --threads 2 >"$pf_golden" 2>/dev/null; then
+  note "FAIL: powerfail golden run failed"; exit 1
+fi
+if ! "$NVFFTOOL" mc $BH_ARGS --threads 2 >"$bh_golden" 2>/dev/null; then
+  note "FAIL: blackhole golden run failed"; exit 1
+fi
+
+# drill <tag> <seed> <coordinator-endpoint> <golden> <engine+args...>
+#
+# Coordinator listens on <coordinator-endpoint> (tcp ephemeral or unix —
+# the proxy bridges schemes, so a tcp-facing fleet can front a unix-domain
+# coordinator); the proxy draws its weather from <seed>; two workers dial
+# the PROXY. --local-threads 1 is the degradation floor: even if every
+# worker connection draws a black hole, the campaign completes.
+#
+# Start order depends on the coordinator's scheme. tcp:...:0 is ephemeral,
+# so the coordinator must come up first to learn the port. A unix PATH is
+# known a priori, so the proxy and the workers start FIRST and are already
+# knocking (proxy dropping their dials as upstream-unreachable, workers
+# burning backoff) the instant the coordinator binds — which both exercises
+# the reconnect path and guarantees fast engines don't finish before any
+# worker ever got through the weather.
+drill() {
+  tag="$1"; seed="$2"; coord_ep="$3"; golden="$4"; shift 4
+  coord_file="$WORK/$tag.coord.ep"
+  chaos_file="$WORK/$tag.chaos.ep"
+  coord=""
+
+  start_coord() {
+    "$NVFFTOOL" serve --engine "$@" \
+      --endpoint "$coord_ep" --endpoint-file "$coord_file" \
+      --shard-size 4 --local-threads 1 \
+      --stall-timeout-s 2 --send-timeout-ms 500 \
+      >"$WORK/$tag.out" 2>"$WORK/$tag.err" & coord=$!
+    PIDS="$PIDS $coord"
+  }
+  start_proxy() {
+    "$NVFFTOOL" netchaos --listen tcp:127.0.0.1:0 \
+      --upstream "$1" --seed "$seed" \
+      --endpoint-file "$chaos_file" 2>"$WORK/$tag.chaos.err" & proxy=$!
+    PIDS="$PIDS $proxy"
+  }
+  start_workers() {
+    "$NVFFTOOL" worker --endpoint "$(cat "$chaos_file")" --threads 2 \
+      --reconnect-budget-s 10 2>"$WORK/$tag.w1.err" & w1=$!
+    "$NVFFTOOL" worker --endpoint "$(cat "$chaos_file")" --threads 2 \
+      --reconnect-budget-s 10 2>"$WORK/$tag.w2.err" & w2=$!
+    PIDS="$PIDS $w1 $w2"
+  }
+
+  case "$coord_ep" in
+    unix:*)
+      start_proxy "$coord_ep"
+      wait_for_file "$chaos_file" || { failures=$((failures + 1)); return; }
+      start_workers
+      start_coord "$@"
+      ;;
+    *)
+      start_coord "$@"
+      wait_for_file "$coord_file" || { failures=$((failures + 1)); return; }
+      start_proxy "$(cat "$coord_file")"
+      wait_for_file "$chaos_file" || { failures=$((failures + 1)); return; }
+      start_workers
+      ;;
+  esac
+
+  wait "$coord"; rc=$?
+  if [ "$rc" -ne 0 ]; then
+    note "FAIL: $tag — coordinator exited $rc"
+    sed 's/^/    /' "$WORK/$tag.err" | tail -8 >&2
+    failures=$((failures + 1))
+  fi
+  compare "$tag (seed $seed)" "$golden" "$WORK/$tag.out"
+  wait "$w1"; expect_worker_retired "$tag worker 1" $? "$WORK/$tag.w1.err"
+  wait "$w2"; expect_worker_retired "$tag worker 2" $? "$WORK/$tag.w2.err"
+
+  kill -TERM "$proxy" 2>/dev/null
+  wait "$proxy"; rc=$?
+  if [ "$rc" -ne 0 ]; then
+    note "FAIL: $tag — proxy exited $rc on SIGTERM"
+    failures=$((failures + 1))
+  fi
+  # Every drawn profile is logged; surface the weather this seed produced.
+  note "  weather: $(grep -c 'profile=' "$WORK/$tag.chaos.err" || true) \
+connection(s): $(sed -n 's/.*profile=//p' "$WORK/$tag.chaos.err" | sort | \
+uniq -c | tr -s ' \n' ' ' )"
+}
+
+# --- mc through three distinct seeds of network weather ---------------------
+drill mc1031 1031 tcp:127.0.0.1:0 "$mc_golden" mc $MC_ARGS
+drill mc2063 2063 tcp:127.0.0.1:0 "$mc_golden" mc $MC_ARGS
+drill mc4099 4099 tcp:127.0.0.1:0 "$mc_golden" mc $MC_ARGS
+if [ -n "$EXTRA_SEED" ]; then
+  drill "mc$EXTRA_SEED" "$EXTRA_SEED" tcp:127.0.0.1:0 "$mc_golden" mc $MC_ARGS
+fi
+
+# --- powerfail through two seeds, tcp proxy fronting a UNIX coordinator -----
+drill pf17 17 "unix:$WORK/pf17.sock" "$pf_golden" powerfail $PF_ARGS
+drill pf29 29 "unix:$WORK/pf29.sock" "$pf_golden" powerfail $PF_ARGS
+
+# --- black-hole drill: a silent peer must not stall the coordinator ---------
+# Every connection through this proxy is a pure black hole: the worker's
+# frames vanish, the coordinator accepts a connection that never speaks.
+# The mc engine keeps the coordinator busy for seconds — plenty of window
+# for the worker to dial into the black hole while the campaign runs. The
+# campaign must complete on the local executor within a bounded time — a
+# wedged event loop would blow the budget (and the ctest timeout).
+bh_coord="$WORK/bh.coord.ep"
+bh_chaos="$WORK/bh.chaos.ep"
+start=$(date +%s)
+"$NVFFTOOL" serve --engine mc $BH_ARGS \
+  --endpoint tcp:127.0.0.1:0 --endpoint-file "$bh_coord" \
+  --shard-size 4 --local-threads 1 --stall-timeout-s 1 --send-timeout-ms 250 \
+  >"$WORK/bh.out" 2>"$WORK/bh.err" & coord=$!
+PIDS="$PIDS $coord"
+wait_for_file "$bh_coord" || failures=$((failures + 1))
+"$NVFFTOOL" netchaos --listen tcp:127.0.0.1:0 --upstream "$(cat "$bh_coord")" \
+  --seed 13 --only blackhole --clean-share 0 \
+  --endpoint-file "$bh_chaos" 2>"$WORK/bh.chaos.err" & proxy=$!
+PIDS="$PIDS $proxy"
+wait_for_file "$bh_chaos" || failures=$((failures + 1))
+"$NVFFTOOL" worker --endpoint "$(cat "$bh_chaos")" --threads 2 \
+  --reconnect-budget-s 3 2>"$WORK/bh.w.err" & w=$!
+PIDS="$PIDS $w"
+wait "$coord"; rc=$?
+elapsed=$(( $(date +%s) - start ))
+if [ "$rc" -ne 0 ]; then
+  note "FAIL: blackhole drill — coordinator exited $rc"
+  failures=$((failures + 1))
+fi
+if [ "$elapsed" -gt 120 ]; then
+  note "FAIL: blackhole drill — coordinator took ${elapsed}s (stalled?)"
+  failures=$((failures + 1))
+else
+  note "ok: blackhole drill — coordinator finished in ${elapsed}s despite a silent peer"
+fi
+compare "blackhole drill" "$bh_golden" "$WORK/bh.out"
+wait "$w"; rc=$?
+if [ "$rc" -eq 1 ] && grep -q "within the reconnect budget" "$WORK/bh.w.err"; then
+  note "ok: blackhole drill — worker retired via its reconnect budget"
+else
+  note "FAIL: blackhole drill — black-holed worker exited $rc"
+  sed 's/^/    /' "$WORK/bh.w.err" | tail -5 >&2
+  failures=$((failures + 1))
+fi
+if ! grep -q "blackhole" "$WORK/bh.chaos.err"; then
+  note "FAIL: blackhole drill — the proxy never drew a blackhole profile"
+  failures=$((failures + 1))
+fi
+kill -TERM "$proxy" 2>/dev/null
+wait "$proxy" 2>/dev/null
+
+if [ "$failures" -ne 0 ]; then
+  note "$failures network-chaos check(s) failed"
+  exit 1
+fi
+note "all network-chaos checks passed"
+exit 0

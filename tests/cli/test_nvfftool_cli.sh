@@ -139,7 +139,7 @@ else
   note "ok: interrupted campaign kept stdout clean"
 fi
 
-# --- distributed campaign service (serve / worker) --------------------------
+# --- distributed campaign service (serve / worker / netchaos) ---------------
 check_code 2 "serve without --engine is a usage error" \
   -- serve --local-threads 1
 check_code 2 "serve rejects an unknown engine" \
@@ -148,12 +148,40 @@ check_code 2 "serve rejects an unknown option" \
   -- serve --engine mc --bogus-flag
 check_code 2 "serve --resume without --checkpoint is a usage error" \
   -- serve --engine mc --trials 2 --resume
-check_code 2 "worker without --socket is a usage error" \
+check_code 2 "worker without an endpoint is a usage error" \
   -- worker
 check_code 2 "worker rejects an unknown option" \
-  -- worker --socket /tmp/x.sock --bogus-flag
+  -- worker --endpoint unix:/tmp/x.sock --bogus-flag
 check_code 0 "coordinator-only serve completes a small campaign" \
   -- serve --engine mc --trials 2 --local-threads 2
+
+# Endpoint spellings: a typo'd --endpoint is a usage error (exit 2) BEFORE
+# anything binds or dials, on both sides of the service.
+check_code 2 "serve rejects an unknown endpoint scheme" \
+  -- serve --engine mc --trials 2 --endpoint udp:127.0.0.1:9 --local-threads 1
+check_code 2 "serve rejects a tcp endpoint with a bad port" \
+  -- serve --engine mc --trials 2 --endpoint tcp:127.0.0.1:notaport --local-threads 1
+check_code 2 "worker rejects an unknown endpoint scheme" \
+  -- worker --endpoint udp:127.0.0.1:9
+check_code 2 "worker rejects a bare path without a scheme" \
+  -- worker --endpoint /tmp/x.sock
+# The deprecated --socket PATH alias must stay accepted and mean
+# --endpoint unix:PATH (old fleet scripts depend on it): an alias-spelled
+# worker dialing a dead path fails at RUNTIME (exit 1), never usage.
+check_code 1 "worker --socket alias still parses (dead path -> exit 1)" \
+  -- worker --socket "$WORK/absent.sock" --reconnect-budget-s 0.2
+check_code 1 "worker --endpoint unix: spelling parses (dead path -> exit 1)" \
+  -- worker --endpoint "unix:$WORK/absent.sock" --reconnect-budget-s 0.2
+# serve --socket alias: same unix:PATH meaning, campaign completes.
+check_code 0 "serve --socket alias still parses and serves" \
+  -- serve --engine mc --trials 2 --socket "$WORK/alias.sock" --local-threads 2
+
+check_code 2 "netchaos without --listen/--upstream is a usage error" \
+  -- netchaos --seed 1
+check_code 2 "netchaos rejects an unknown option" \
+  -- netchaos --listen tcp:127.0.0.1:0 --upstream unix:/tmp/x.sock --bogus
+check_code 2 "netchaos rejects an unknown fault class in --only" \
+  -- netchaos --listen tcp:127.0.0.1:0 --upstream unix:/tmp/x.sock --only gremlins
 
 # --- config-fingerprint mismatch on --resume --------------------------------
 # The refusal must be exit 2 (usage-class: the COMMAND asked for the wrong
@@ -166,7 +194,8 @@ if [ $? -ne 0 ]; then
 else
   for cmdline in \
     "mc --trials 2 --seed 2 --sigma 1.5 --checkpoint $WORK/fp.json --resume" \
-    "serve --engine mc --trials 2 --seed 2 --sigma 1.5 --local-threads 1 --checkpoint $WORK/fp.json --resume"
+    "serve --engine mc --trials 2 --seed 2 --sigma 1.5 --local-threads 1 --checkpoint $WORK/fp.json --resume" \
+    "serve --engine mc --trials 2 --seed 2 --sigma 1.5 --endpoint unix:$WORK/fp.sock --local-threads 1 --checkpoint $WORK/fp.json --resume"
   do
     set -- $cmdline
     "$NVFFTOOL" "$@" >"$WORK/fp.out" 2>"$WORK/fp.err"

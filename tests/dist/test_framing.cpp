@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dist/framing.hpp"
 #include "dist/messages.hpp"
@@ -224,6 +226,107 @@ TEST(Framing, SingleBitFlipsAcrossTheWholeFrameAreAllRejectedOrDetected) {
       }
     }
   }
+}
+
+// --- adversarial delivery ---------------------------------------------------
+// The network-chaos proxy (dist/netchaos.*) delivers streams in every shape
+// TCP legally can: 1-byte dribbles, arbitrary split points, kernel-sized
+// bursts. These tests pin the decoder contract under exactly those shapes —
+// every frame is delivered exactly once, at any fragmentation, and a
+// poisoned stream yields nothing further.
+
+TEST(Framing, EveryTwoChunkSplitDeliversTheFrameExactlyOnce) {
+  const std::string full = frame(MsgType::ShardAssign, "split me anywhere");
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    FrameDecoder dec;
+    dec.feed(full.data(), cut);
+    int framesBeforeRest = 0;
+    // Drain after the first chunk: a partial frame must never surface.
+    for (auto r = dec.next(); r.status == FrameDecoder::Status::Frame;
+         r = dec.next())
+      ++framesBeforeRest;
+    EXPECT_EQ(framesBeforeRest, cut == full.size() ? 1 : 0) << "cut=" << cut;
+    dec.feed(full.data() + cut, full.size() - cut);
+    int frames = framesBeforeRest;
+    for (auto r = dec.next(); r.status == FrameDecoder::Status::Frame;
+         r = dec.next()) {
+      EXPECT_EQ(r.type, MsgType::ShardAssign);
+      EXPECT_EQ(r.payload, "split me anywhere");
+      ++frames;
+    }
+    EXPECT_EQ(frames, 1) << "cut=" << cut
+                         << ": the frame must arrive exactly once";
+    EXPECT_FALSE(dec.truncated());
+  }
+}
+
+TEST(Framing, StreamSplitInsideTheCrcFieldStaysExact) {
+  // The CRC occupies header bytes 12..15; split a two-frame stream at every
+  // byte of the SECOND frame's CRC field. The decoder must deliver both
+  // frames exactly once and never mis-validate against a partial CRC.
+  const std::string first = frame(MsgType::Ready, "frame one");
+  const std::string second = frame(MsgType::Heartbeat, "frame two");
+  const std::string stream = first + second;
+  for (std::size_t inCrc = 0; inCrc <= 4; ++inCrc) {
+    const std::size_t cut = first.size() + 12 + inCrc;
+    FrameDecoder dec;
+    dec.feed(stream.data(), cut);
+    auto r = dec.next();
+    ASSERT_EQ(r.status, FrameDecoder::Status::Frame) << "inCrc=" << inCrc;
+    EXPECT_EQ(r.payload, "frame one");
+    EXPECT_EQ(dec.next().status, FrameDecoder::Status::NeedMore);
+    EXPECT_TRUE(dec.truncated()) << "mid-CRC is mid-frame";
+    dec.feed(stream.data() + cut, stream.size() - cut);
+    r = dec.next();
+    ASSERT_EQ(r.status, FrameDecoder::Status::Frame) << "inCrc=" << inCrc;
+    EXPECT_EQ(r.type, MsgType::Heartbeat);
+    EXPECT_EQ(r.payload, "frame two");
+    EXPECT_EQ(dec.next().status, FrameDecoder::Status::NeedMore);
+    EXPECT_FALSE(dec.truncated());
+  }
+}
+
+TEST(Framing, DribbledMultiFrameStreamNeverDeliversTwice) {
+  // 1-byte delivery with next() polled after EVERY byte — the worst legal
+  // TCP fragmentation (and the netchaos dribble profile verbatim). Each
+  // frame must surface exactly once, in order.
+  const std::string stream = frame(MsgType::Ready, "alpha") +
+                             frame(MsgType::Idle, "") +
+                             frame(MsgType::ShardResult, "omega");
+  FrameDecoder dec;
+  std::vector<std::pair<MsgType, std::string>> seen;
+  for (char c : stream) {
+    dec.feed(&c, 1);
+    for (auto r = dec.next(); r.status == FrameDecoder::Status::Frame;
+         r = dec.next())
+      seen.emplace_back(r.type, r.payload);
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<MsgType, std::string>{MsgType::Ready, "alpha"}));
+  EXPECT_EQ(seen[1], (std::pair<MsgType, std::string>{MsgType::Idle, ""}));
+  EXPECT_EQ(seen[2],
+            (std::pair<MsgType, std::string>{MsgType::ShardResult, "omega"}));
+}
+
+TEST(Framing, PoisonedStreamNeverYieldsTheFramesBehindTheDamage) {
+  // A corrupted frame followed by two perfectly valid ones: the valid tail
+  // must NOT be delivered — after CRC damage the stream offset itself is
+  // untrustworthy, and a "recovered" frame could be an attacker-chosen or
+  // accidental resync. Drop everything, let the reconnect path start clean.
+  std::string bad = frame(MsgType::ShardResult, "about to be damaged");
+  bad[18] ^= 0x10;
+  const std::string stream =
+      bad + frame(MsgType::Ready, "ghost") + frame(MsgType::Shutdown, "");
+  FrameDecoder dec;
+  dec.feed(stream.data(), stream.size());
+  int errors = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto r = dec.next();
+    ASSERT_NE(r.status, FrameDecoder::Status::Frame)
+        << "a frame surfaced from behind the corruption";
+    if (r.status == FrameDecoder::Status::Error) ++errors;
+  }
+  EXPECT_GE(errors, 1);
 }
 
 TEST(Messages, ControlMessagesRoundTrip) {

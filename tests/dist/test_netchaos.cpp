@@ -1,0 +1,267 @@
+// Unit tests for the deterministic network-chaos proxy. The full
+// campaign-through-chaos drill is tests/chaos/chaos_dist_net.sh; these pin
+// the proxy's contract in isolation: clean relay is faithful, fault
+// schedules are a pure function of the seed, a black hole forwards nothing,
+// and the stop flag actually stops it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "dist/channel.hpp"
+#include "dist/endpoint.hpp"
+#include "dist/netchaos.hpp"
+
+namespace nvff::dist {
+namespace {
+
+/// Upstream stand-in: accepts connections and records every received byte.
+class SinkServer {
+public:
+  SinkServer() {
+    std::string error;
+    int port = 0;
+    listener_ = Socket::listen_tcp("127.0.0.1", 0, error, port);
+    EXPECT_TRUE(listener_.valid()) << error;
+    endpoint_ = "tcp:127.0.0.1:" + std::to_string(port);
+    thread_ = std::thread([this] { serve(); });
+  }
+
+  ~SinkServer() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+  const std::string& endpoint() const { return endpoint_; }
+
+  std::string received() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return received_;
+  }
+
+  /// Blocks until at least `n` bytes arrived or `budgetMs` passed.
+  bool wait_for_bytes(std::size_t n, int budgetMs) {
+    for (int waited = 0; waited < budgetMs; waited += 10) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (received_.size() >= n) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    return received_.size() >= n;
+  }
+
+private:
+  void serve() {
+    Socket conn;
+    char buffer[4096];
+    while (!stop_.load()) {
+      if (!conn.valid()) {
+        conn = listener_.accept_pending();
+        if (!conn.valid()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+      }
+      const long n = conn.recv_some(buffer, sizeof(buffer), 10);
+      if (n < 0) {
+        conn.close();
+        continue;
+      }
+      if (n > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        received_.append(buffer, static_cast<std::size_t>(n));
+      }
+    }
+  }
+
+  Socket listener_;
+  std::string endpoint_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  std::string received_;
+};
+
+/// Runs the proxy on a background thread; joins (via the stop flag) on
+/// destruction.
+class ProxyRunner {
+public:
+  explicit ProxyRunner(NetChaosOptions options) : options_(std::move(options)) {
+    options_.stop = &stop_;
+    options_.listenEndpoint = "tcp:127.0.0.1:0";
+    options_.onListening = [this](const Endpoint& bound) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        endpoint_ = bound.to_string();
+      }
+      cv_.notify_all();
+    };
+    thread_ = std::thread([this] { outcome_ = run_netchaos(options_); });
+  }
+
+  ~ProxyRunner() { stop_and_join(); }
+
+  std::string endpoint() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !endpoint_.empty(); });
+    return endpoint_;
+  }
+
+  const NetChaosOutcome& stop_and_join() {
+    if (thread_.joinable()) {
+      stop_.store(true);
+      thread_.join();
+    }
+    return outcome_;
+  }
+
+private:
+  NetChaosOptions options_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::string endpoint_;
+  NetChaosOutcome outcome_;
+};
+
+Socket dial(const std::string& endpointText) {
+  Endpoint ep;
+  std::string error;
+  EXPECT_TRUE(parse_endpoint(endpointText, ep, error)) << error;
+  return Socket::connect_endpoint(ep, 2000);
+}
+
+NetChaosOptions only_class(const std::string& upstream, ChaosClass cls,
+                           std::uint64_t seed) {
+  NetChaosOptions opt;
+  opt.upstreamEndpoint = upstream;
+  opt.seed = seed;
+  opt.cleanShare = 0.0;
+  opt.enableLatency = cls == ChaosClass::Latency;
+  opt.enableThrottle = cls == ChaosClass::Throttle;
+  opt.enableDribble = cls == ChaosClass::Dribble;
+  opt.enableReset = cls == ChaosClass::Reset;
+  opt.enableBlackhole = cls == ChaosClass::Blackhole;
+  opt.enableCorrupt = cls == ChaosClass::Corrupt;
+  return opt;
+}
+
+TEST(NetChaos, CleanProfileRelaysFaithfully) {
+  SinkServer sink;
+  NetChaosOptions opt;
+  opt.upstreamEndpoint = sink.endpoint();
+  opt.cleanShare = 1.0; // every connection draws the control profile
+  ProxyRunner proxy(opt);
+
+  Socket client = dial(proxy.endpoint());
+  ASSERT_TRUE(client.valid());
+  std::string payload;
+  for (int i = 0; i < 4096; ++i) payload.push_back(static_cast<char>(i * 31));
+  ASSERT_EQ(client.send_all(payload), SendStatus::Ok);
+  ASSERT_TRUE(sink.wait_for_bytes(payload.size(), 5000));
+  EXPECT_EQ(sink.received(), payload);
+
+  const NetChaosOutcome& out = proxy.stop_and_join();
+  EXPECT_EQ(out.connections, 1);
+  EXPECT_EQ(out.corruptions, 0);
+  EXPECT_EQ(out.resets, 0);
+  EXPECT_EQ(out.blackholes, 0);
+}
+
+TEST(NetChaos, DribbleDeliversEveryByteInOrder) {
+  SinkServer sink;
+  ProxyRunner proxy(only_class(sink.endpoint(), ChaosClass::Dribble, 7));
+
+  Socket client = dial(proxy.endpoint());
+  ASSERT_TRUE(client.valid());
+  std::string payload = "dribble: every byte still arrives, just one by one";
+  for (int i = 0; i < 5; ++i) payload += payload; // ~1.6 KB
+  ASSERT_EQ(client.send_all(payload), SendStatus::Ok);
+  ASSERT_TRUE(sink.wait_for_bytes(payload.size(), 10000))
+      << "dribbled delivery lost bytes";
+  EXPECT_EQ(sink.received(), payload);
+}
+
+TEST(NetChaos, CorruptionIsDeterministicPerSeed) {
+  std::string original;
+  for (int i = 0; i < 8192; ++i)
+    original.push_back(static_cast<char>((i * 131) & 0xff));
+
+  // Same seed, same connection ordinal -> the same bytes must be damaged in
+  // the same way on both runs (that is what makes a chaos failure
+  // replayable under a debugger).
+  std::string run1, run2;
+  for (std::string* dst : {&run1, &run2}) {
+    SinkServer sink;
+    ProxyRunner proxy(only_class(sink.endpoint(), ChaosClass::Corrupt, 1234));
+    Socket client = dial(proxy.endpoint());
+    ASSERT_TRUE(client.valid());
+    ASSERT_EQ(client.send_all(original), SendStatus::Ok);
+    ASSERT_TRUE(sink.wait_for_bytes(original.size(), 5000));
+    const NetChaosOutcome& out = proxy.stop_and_join();
+    EXPECT_GE(out.corruptions, 1) << "8 KB must cross a corruption stride";
+    *dst = sink.received();
+  }
+  EXPECT_NE(run1, original) << "corruption profile never corrupted";
+  EXPECT_EQ(run1, run2) << "fault schedule must be a pure function of seed";
+}
+
+TEST(NetChaos, BlackholeForwardsNothing) {
+  SinkServer sink;
+  ProxyRunner proxy(only_class(sink.endpoint(), ChaosClass::Blackhole, 99));
+
+  Socket client = dial(proxy.endpoint());
+  ASSERT_TRUE(client.valid());
+  // The connection LOOKS healthy to the client (small sends land in kernel
+  // buffers), but nothing may ever reach the upstream.
+  client.send_all(std::string(1024, 'b'), /*timeoutMs=*/500);
+  EXPECT_FALSE(sink.wait_for_bytes(1, 300));
+  const NetChaosOutcome& out = proxy.stop_and_join();
+  EXPECT_EQ(out.blackholes, 1);
+  EXPECT_EQ(out.bytesForwarded, 0);
+  EXPECT_TRUE(sink.received().empty());
+}
+
+TEST(NetChaos, ResetClosesTheConnectionMidStream) {
+  SinkServer sink;
+  ProxyRunner proxy(only_class(sink.endpoint(), ChaosClass::Reset, 5));
+
+  Socket client = dial(proxy.endpoint());
+  ASSERT_TRUE(client.valid());
+  // Reset triggers after at most ~4 KB forwarded; keep sending until the
+  // proxy kills the stream under us.
+  const std::string chunk(1024, 'r');
+  bool sawClose = false;
+  for (int i = 0; i < 64 && !sawClose; ++i) {
+    if (client.send_all(chunk, /*timeoutMs=*/250) != SendStatus::Ok) {
+      sawClose = true;
+      break;
+    }
+    char buffer[64];
+    const long n = client.recv_some(buffer, sizeof(buffer), 20);
+    if (n < 0) sawClose = true;
+  }
+  EXPECT_TRUE(sawClose) << "reset profile never reset the connection";
+  const NetChaosOutcome& out = proxy.stop_and_join();
+  EXPECT_GE(out.resets, 1);
+}
+
+TEST(NetChaos, RejectsBadEndpoints) {
+  NetChaosOptions opt;
+  opt.listenEndpoint = "bogus";
+  opt.upstreamEndpoint = "tcp:127.0.0.1:1";
+  EXPECT_THROW(run_netchaos(opt), std::runtime_error);
+  opt.listenEndpoint = "tcp:127.0.0.1:0";
+  opt.upstreamEndpoint = "/not/an/endpoint";
+  EXPECT_THROW(run_netchaos(opt), std::runtime_error);
+}
+
+} // namespace
+} // namespace nvff::dist

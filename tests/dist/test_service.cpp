@@ -8,10 +8,14 @@
 // heartbeat threads all race here if they race anywhere.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +24,7 @@
 
 #include "dist/channel.hpp"
 #include "dist/coordinator.hpp"
+#include "dist/endpoint.hpp"
 #include "dist/engine.hpp"
 #include "dist/framing.hpp"
 #include "dist/messages.hpp"
@@ -153,6 +158,60 @@ std::string temp_socket_path(const char* tag) {
          std::to_string(static_cast<long>(::getpid())) + ".sock";
 }
 
+// The service tests run against BOTH transports: the default is unix-domain
+// (no port interaction in CI), and NVFF_DIST_TEST_TRANSPORT=tcp reruns the
+// same tests over tcp loopback with an ephemeral port (the build matrix does
+// exactly that). Tests learn the concrete endpoint — the bound tcp port in
+// particular — through the coordinator's onListening callback.
+bool tcp_transport() {
+  const char* t = std::getenv("NVFF_DIST_TEST_TRANSPORT");
+  return t != nullptr && std::string(t) == "tcp";
+}
+
+std::string listen_endpoint_for(const char* tag) {
+  return tcp_transport() ? std::string("tcp:127.0.0.1:0")
+                         : "unix:" + temp_socket_path(tag);
+}
+
+/// Hands the coordinator's concrete bound endpoint to worker threads that
+/// started before the listener existed.
+class EndpointRendezvous {
+public:
+  std::function<void(const Endpoint&)> callback() {
+    return [this](const Endpoint& ep) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        endpoint_ = ep.to_string();
+      }
+      cv_.notify_all();
+    };
+  }
+  std::string wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !endpoint_.empty(); });
+    return endpoint_;
+  }
+
+private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::string endpoint_;
+};
+
+/// Connects a hand-rolled test client to the coordinator's bound endpoint.
+Socket connect_client(const std::string& endpointText) {
+  Endpoint ep;
+  std::string error;
+  if (!parse_endpoint(endpointText, ep, error)) return Socket();
+  Socket sock;
+  for (int attempt = 0; attempt < 200 && !sock.valid(); ++attempt) {
+    sock = Socket::connect_endpoint(ep, /*timeoutMs=*/1000);
+    if (!sock.valid())
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return sock;
+}
+
 // --- the tests --------------------------------------------------------------
 
 TEST(DistService, CoordinatorOnlyFallbackCompletesWithoutASocket) {
@@ -160,7 +219,7 @@ TEST(DistService, CoordinatorOnlyFallbackCompletesWithoutASocket) {
   SvcEngine engine(config);
   ServeOptions options;
   options.shardSize = 4;
-  options.localThreads = 2; // no socketPath: pure local degradation mode
+  options.localThreads = 2; // no endpoint: pure local degradation mode
   const ServeOutcome outcome = serve_campaign(engine, options);
   EXPECT_TRUE(outcome.completed());
   EXPECT_EQ(outcome.exit_code(), runtime::kExitOk);
@@ -174,14 +233,18 @@ TEST(DistService, WorkerAndCoordinatorCompleteACampaignTogether) {
   const std::string socket = temp_socket_path("basic");
   SvcEngine engine(config);
 
+  EndpointRendezvous rendezvous;
   WorkerOptions wopts;
-  wopts.socketPath = socket;
   wopts.threads = 2;
   WorkerOutcome wout;
-  std::thread workerThread([&] { wout = run_worker(wopts); });
+  std::thread workerThread([&] {
+    wopts.endpoint = rendezvous.wait();
+    wout = run_worker(wopts);
+  });
 
   ServeOptions options;
-  options.socketPath = socket;
+  options.endpoint = listen_endpoint_for("basic");
+  options.onListening = rendezvous.callback();
   options.shardSize = 4;
   options.localThreads = 0; // every trial must travel over the wire
   const ServeOutcome outcome = serve_campaign(engine, options);
@@ -207,15 +270,19 @@ TEST(DistService, SlowTrialsWithLiveHeartbeatsAreNotStragglers) {
   const std::string socket = temp_socket_path("slow");
   SvcEngine engine(config);
 
+  EndpointRendezvous rendezvous;
   WorkerOptions wopts;
-  wopts.socketPath = socket;
   wopts.threads = 1;
   wopts.heartbeatIntervalSeconds = 0.05;
   WorkerOutcome wout;
-  std::thread workerThread([&] { wout = run_worker(wopts); });
+  std::thread workerThread([&] {
+    wopts.endpoint = rendezvous.wait();
+    wout = run_worker(wopts);
+  });
 
   ServeOptions options;
-  options.socketPath = socket;
+  options.endpoint = listen_endpoint_for("slow");
+  options.onListening = rendezvous.callback();
   options.shardSize = 1;
   options.localThreads = 0;
   options.stallTimeoutSeconds = 0.3;
@@ -235,15 +302,24 @@ TEST(DistService, TwoWorkersPlusLocalThreadsStayExact) {
   const std::string socket = temp_socket_path("two");
   SvcEngine engine(config);
 
+  EndpointRendezvous rendezvous;
   WorkerOptions wopts;
-  wopts.socketPath = socket;
   wopts.threads = 1;
   WorkerOutcome wa, wb;
-  std::thread ta([&] { wa = run_worker(wopts); });
-  std::thread tb([&] { wb = run_worker(wopts); });
+  std::thread ta([&] {
+    WorkerOptions o = wopts;
+    o.endpoint = rendezvous.wait();
+    wa = run_worker(o);
+  });
+  std::thread tb([&] {
+    WorkerOptions o = wopts;
+    o.endpoint = rendezvous.wait();
+    wb = run_worker(o);
+  });
 
   ServeOptions options;
-  options.socketPath = socket;
+  options.endpoint = listen_endpoint_for("two");
+  options.onListening = rendezvous.callback();
   options.shardSize = 3;
   options.localThreads = 1; // hybrid: local executor competes for shards
   const ServeOutcome outcome = serve_campaign(engine, options);
@@ -263,16 +339,20 @@ TEST(DistService, CorruptedFramesAreRejectedAndTheCampaignStillCompletes) {
   const std::string socket = temp_socket_path("chaos");
   SvcEngine engine(config);
 
+  EndpointRendezvous rendezvous;
   WorkerOptions wopts;
-  wopts.socketPath = socket;
   wopts.threads = 1;
   wopts.reconnectInitialMs = 5; // corruption drops cost a quick reconnect
   wopts.chaosCorruptEvery = 4;  // every 4th outgoing frame gets a flipped CRC
   WorkerOutcome wout;
-  std::thread workerThread([&] { wout = run_worker(wopts); });
+  std::thread workerThread([&] {
+    wopts.endpoint = rendezvous.wait();
+    wout = run_worker(wopts);
+  });
 
   ServeOptions options;
-  options.socketPath = socket;
+  options.endpoint = listen_endpoint_for("chaos");
+  options.onListening = rendezvous.callback();
   options.shardSize = 3;
   // No local threads: every shard must survive the corrupting worker, so the
   // rejection path is guaranteed to fire (a local executor could otherwise
@@ -298,8 +378,10 @@ TEST(DistService, SilentWorkerShardIsReDispatched) {
   const std::string socket = temp_socket_path("straggler");
   SvcEngine engine(config);
 
+  EndpointRendezvous rendezvous;
   ServeOptions options;
-  options.socketPath = socket;
+  options.endpoint = listen_endpoint_for("straggler");
+  options.onListening = rendezvous.callback();
   options.shardSize = 4;
   options.localThreads = 1;
   options.stallTimeoutSeconds = 0.3;
@@ -313,12 +395,7 @@ TEST(DistService, SilentWorkerShardIsReDispatched) {
   // client does), and it must be joined before the test can exit.
   bool connected = false, welcomed = false, sentReady = false, sawAssign = false;
   {
-    Socket sock;
-    for (int attempt = 0; attempt < 200 && !sock.valid(); ++attempt) {
-      sock = Socket::connect_unix(socket);
-      if (!sock.valid())
-        std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    }
+    Socket sock = connect_client(rendezvous.wait());
     connected = sock.valid();
 
     FrameDecoder decoder;
@@ -339,8 +416,9 @@ TEST(DistService, SilentWorkerShardIsReDispatched) {
       return false;
     };
     if (connected &&
-        sock.send_all(
-            encode_frame(MsgType::Hello, encode_hello({kProtocolVersion})))) {
+        sock.send_all(encode_frame(MsgType::Hello,
+                                   encode_hello({kProtocolVersion}))) ==
+            SendStatus::Ok) {
       welcomed = pump(MsgType::Welcome, [&](const std::string& payload) {
         welcomed = parse_welcome(payload, welcome);
       });
@@ -351,7 +429,8 @@ TEST(DistService, SilentWorkerShardIsReDispatched) {
       ready.fingerprintCrc = runtime::crc32(myEngine->config_blob());
       ready.trials = myEngine->trials();
       sentReady =
-          sock.send_all(encode_frame(MsgType::Ready, encode_ready(ready)));
+          sock.send_all(encode_frame(MsgType::Ready, encode_ready(ready))) ==
+          SendStatus::Ok;
     }
     if (sentReady) {
       sawAssign = pump(MsgType::ShardAssign, [](const std::string&) {});
@@ -378,8 +457,10 @@ TEST(DistService, GarbageSpeakingClientIsDroppedWithoutDerailingTheRun) {
   const std::string socket = temp_socket_path("garbage");
   SvcEngine engine(config);
 
+  EndpointRendezvous rendezvous;
   ServeOptions options;
-  options.socketPath = socket;
+  options.endpoint = listen_endpoint_for("garbage");
+  options.onListening = rendezvous.callback();
   options.shardSize = 3;
   options.localThreads = 1;
 
@@ -388,12 +469,7 @@ TEST(DistService, GarbageSpeakingClientIsDroppedWithoutDerailingTheRun) {
 
   bool connected = false;
   {
-    Socket sock;
-    for (int attempt = 0; attempt < 200 && !sock.valid(); ++attempt) {
-      sock = Socket::connect_unix(socket);
-      if (!sock.valid())
-        std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    }
+    Socket sock = connect_client(rendezvous.wait());
     connected = sock.valid();
     // Not even close to a frame; the decoder classifies, the coordinator
     // drops the connection and the local executor finishes the campaign.
@@ -412,9 +488,104 @@ TEST(DistService, GarbageSpeakingClientIsDroppedWithoutDerailingTheRun) {
   std::remove(socket.c_str());
 }
 
+// The acceptance test for the send-path degradation ladder: a handshaked
+// client that solicits responses but never drains its socket (a black hole
+// with a pulse). The coordinator's per-message send deadline must fire —
+// instead of send() wedging the event loop forever — the connection must be
+// QUARANTINED, its shards re-dispatched, and the local executor must finish
+// the campaign bit-exactly.
+TEST(DistService, NonDrainingWorkerIsQuarantinedBySendDeadline) {
+  const SvcConfig config{8, 3, 100};
+  SvcEngine engine(config);
+
+  EndpointRendezvous rendezvous;
+  ServeOptions options;
+  options.endpoint = listen_endpoint_for("quarantine");
+  options.onListening = rendezvous.callback();
+  options.shardSize = 4;
+  options.localThreads = 1;
+  // The re-dispatch must come from the QUARANTINE, not the stall watchdog.
+  options.stallTimeoutSeconds = 30.0;
+  options.sendTimeoutMs = 250;
+  // Tiny kernel send buffer (clamped to the kernel floor, ~4.6 KB on
+  // Linux): a non-draining peer plugs it within ~100 response frames, so
+  // the deadline fires in milliseconds instead of after megabytes.
+  options.sendBufferBytes = 1;
+
+  ServeOutcome outcome;
+  std::thread serveThread([&] { outcome = serve_campaign(engine, options); });
+
+  bool connected = false, welcomed = false, sentReady = false;
+  {
+    Socket sock = connect_client(rendezvous.wait());
+    connected = sock.valid();
+    // The receiving half of the same trick (it matters for tcp, where the
+    // auto-tuned receive window would otherwise absorb megabytes of
+    // responses before the coordinator's tiny send buffer ever filled):
+    // clamp OUR receive queue to the kernel floor so the pipe plugs after a
+    // couple of KB, not after minutes of bursting.
+    if (connected) sock.set_recv_buffer(1);
+
+    FrameDecoder decoder;
+    char buffer[4096];
+    WelcomeMsg welcome;
+    if (connected &&
+        sock.send_all(encode_frame(MsgType::Hello,
+                                   encode_hello({kProtocolVersion}))) ==
+            SendStatus::Ok) {
+      for (int spin = 0; spin < 500 && !welcomed; ++spin) {
+        const long n = sock.recv_some(buffer, sizeof(buffer), 10);
+        if (n < 0) break;
+        if (n > 0) decoder.feed(buffer, static_cast<std::size_t>(n));
+        const auto r = decoder.next();
+        if (r.status == FrameDecoder::Status::Frame &&
+            r.type == MsgType::Welcome)
+          welcomed = parse_welcome(r.payload, welcome);
+        if (r.status == FrameDecoder::Status::Error) break;
+      }
+    }
+    if (welcomed) {
+      // The canonical blob IS the fingerprint input; no engine needed.
+      ReadyMsg ready;
+      ready.fingerprintCrc = runtime::crc32(welcome.blob);
+      ready.trials = config.trials;
+      const std::string readyFrame =
+          encode_frame(MsgType::Ready, encode_ready(ready));
+      sentReady = sock.send_all(readyFrame) == SendStatus::Ok;
+      // ... and from here on, NEVER read. Every further Ready solicits a
+      // response; the responses pile up in the kernel until the
+      // coordinator's send deadline fires. Short client-side timeout: once
+      // OUR sends start timing out the pipe is provably plugged both ways.
+      for (int burst = 0; burst < 20000 && sentReady; ++burst) {
+        if (sock.send_all(readyFrame, /*timeoutMs=*/50) != SendStatus::Ok)
+          break;
+      }
+    }
+    // Hold the plugged connection open until the campaign finishes without
+    // us — if the event loop were wedged on send(), this join would hang
+    // (and the test would time out).
+    serveThread.join();
+  }
+
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(welcomed);
+  EXPECT_TRUE(sentReady);
+  EXPECT_TRUE(outcome.completed());
+  EXPECT_GE(outcome.sendTimeouts, 1) << "the send deadline never fired";
+  EXPECT_GE(outcome.workersQuarantined, 1)
+      << "the non-draining worker was not quarantined";
+  EXPECT_GE(outcome.redispatches, 1)
+      << "the quarantined worker's shards were not re-dispatched";
+  EXPECT_EQ(outcome.report, golden_report(config));
+}
+
 TEST(DistService, WorkerGivesUpCleanlyWhenNoCoordinatorAppears) {
   WorkerOptions wopts;
-  wopts.socketPath = temp_socket_path("absent");
+  // tcp: the discard port is about as reliably connection-refused as it
+  // gets on loopback; unix: a path nothing listens on.
+  wopts.endpoint = tcp_transport() ? std::string("tcp:127.0.0.1:9")
+                                   : "unix:" + temp_socket_path("absent");
+  wopts.connectTimeoutMs = 200;
   wopts.reconnectInitialMs = 5;
   wopts.reconnectCapMs = 20;
   wopts.reconnectBudgetSeconds = 0.2;
@@ -422,6 +593,55 @@ TEST(DistService, WorkerGivesUpCleanlyWhenNoCoordinatorAppears) {
   EXPECT_FALSE(out.shutdownReceived);
   EXPECT_EQ(out.exit_code(), 1);
   EXPECT_FALSE(out.error.empty());
+}
+
+// Regression (found by the network-chaos drill): a middlebox that ACCEPTS
+// the dial but never speaks — a proxy whose upstream coordinator died, a
+// wedged listener whose backlog still accepts — must not refresh the
+// reconnect budget. The worker once treated every successful connect() as
+// contact and spun forever against such a peer.
+TEST(DistService, WorkerRetiresWhenDialsSucceedButNoCoordinatorSpeaks) {
+  std::string error;
+  Socket listener;
+  std::string endpointText;
+  std::string unixPath;
+  if (tcp_transport()) {
+    int port = 0;
+    listener = Socket::listen_tcp("127.0.0.1", 0, error, port);
+    endpointText = "tcp:127.0.0.1:" + std::to_string(port);
+  } else {
+    unixPath = temp_socket_path("acceptonly");
+    listener = Socket::listen_unix(unixPath, error);
+    endpointText = "unix:" + unixPath;
+  }
+  ASSERT_TRUE(listener.valid()) << error;
+
+  std::atomic<bool> stop{false};
+  std::thread middlebox([&] {
+    while (!stop.load()) {
+      Socket conn = listener.accept_pending();
+      conn.close(); // accepted, then the "upstream" is gone: instant drop
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  WorkerOptions wopts;
+  wopts.endpoint = endpointText;
+  wopts.connectTimeoutMs = 200;
+  wopts.reconnectInitialMs = 5;
+  wopts.reconnectCapMs = 20;
+  wopts.reconnectBudgetSeconds = 0.3;
+  const auto t0 = std::chrono::steady_clock::now();
+  const WorkerOutcome out = run_worker(wopts);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  stop.store(true);
+  middlebox.join();
+  if (!unixPath.empty()) std::remove(unixPath.c_str());
+
+  EXPECT_FALSE(out.shutdownReceived);
+  EXPECT_EQ(out.exit_code(), 1);
+  EXPECT_LT(elapsed, std::chrono::seconds(10))
+      << "the reconnect budget never expired against an accept-only peer";
 }
 
 TEST(DistService, MergedCheckpointIsResumableBySingleProcessSupervisor) {

@@ -1,0 +1,189 @@
+// Transport-layer unit tests: endpoint parsing, the reconnect backoff, and
+// the raw TCP socket path (listen on an ephemeral port, non-blocking
+// connect, deadline-bounded send). The service-level behaviors — campaigns
+// over tcp, quarantine, chaos — live in test_service.cpp and
+// tests/chaos/chaos_dist_net.sh; this file pins the building blocks.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "dist/channel.hpp"
+#include "dist/endpoint.hpp"
+
+namespace nvff::dist {
+namespace {
+
+// --- endpoint parsing -------------------------------------------------------
+
+TEST(Endpoint, ParsesUnixPath) {
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(parse_endpoint("unix:/tmp/svc.sock", ep, error)) << error;
+  EXPECT_EQ(ep.scheme, Endpoint::Scheme::Unix);
+  EXPECT_EQ(ep.path, "/tmp/svc.sock");
+  EXPECT_EQ(ep.to_string(), "unix:/tmp/svc.sock");
+}
+
+TEST(Endpoint, ParsesTcpHostPort) {
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(parse_endpoint("tcp:127.0.0.1:8473", ep, error)) << error;
+  EXPECT_EQ(ep.scheme, Endpoint::Scheme::Tcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 8473);
+  EXPECT_EQ(ep.to_string(), "tcp:127.0.0.1:8473");
+}
+
+TEST(Endpoint, ParsesTcpEphemeralPortZero) {
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(parse_endpoint("tcp:localhost:0", ep, error)) << error;
+  EXPECT_EQ(ep.port, 0);
+}
+
+TEST(Endpoint, ParsesTcpHostnameWithColonSplitAtLastColon) {
+  // IPv6-ish / colon-rich hosts: the port is everything after the LAST colon.
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(parse_endpoint("tcp:::1:9000", ep, error)) << error;
+  EXPECT_EQ(ep.host, "::1");
+  EXPECT_EQ(ep.port, 9000);
+}
+
+TEST(Endpoint, RejectsBarePathsAndUnknownSchemes) {
+  // A bare path is ambiguous (the CLI maps the deprecated --socket PATH to
+  // unix:PATH explicitly); the parser itself is strict.
+  Endpoint ep;
+  std::string error;
+  EXPECT_FALSE(parse_endpoint("/tmp/svc.sock", ep, error));
+  EXPECT_NE(error.find("unknown scheme"), std::string::npos) << error;
+  EXPECT_FALSE(parse_endpoint("udp:127.0.0.1:1", ep, error));
+  EXPECT_FALSE(parse_endpoint("", ep, error));
+}
+
+TEST(Endpoint, RejectsMalformedTcpEndpoints) {
+  Endpoint ep;
+  std::string error;
+  EXPECT_FALSE(parse_endpoint("tcp:nohost", ep, error));      // no port
+  EXPECT_FALSE(parse_endpoint("tcp::9000", ep, error));       // empty host
+  EXPECT_FALSE(parse_endpoint("tcp:host:", ep, error));       // empty port
+  EXPECT_FALSE(parse_endpoint("tcp:host:http", ep, error));   // non-numeric
+  EXPECT_FALSE(parse_endpoint("tcp:host:65536", ep, error));  // out of range
+  EXPECT_FALSE(parse_endpoint("tcp:host:-1", ep, error));
+  EXPECT_FALSE(parse_endpoint("unix:", ep, error));           // empty path
+}
+
+// --- backoff ----------------------------------------------------------------
+
+TEST(Backoff, FirstDelayHonorsTheCap) {
+  // Regression: the first delay was returned uncapped, so a Backoff whose
+  // initial exceeded its cap waited the full initial (Backoff(1000, 500)
+  // slept 1000 ms before the first reconnect attempt).
+  Backoff backoff(1000, 500);
+  EXPECT_EQ(backoff.next_ms(), 500);
+  EXPECT_EQ(backoff.next_ms(), 500);
+}
+
+TEST(Backoff, DoublesUpToTheCapAndResets) {
+  Backoff backoff(50, 400);
+  EXPECT_EQ(backoff.next_ms(), 50);
+  EXPECT_EQ(backoff.next_ms(), 100);
+  EXPECT_EQ(backoff.next_ms(), 200);
+  EXPECT_EQ(backoff.next_ms(), 400);
+  EXPECT_EQ(backoff.next_ms(), 400); // stays at the cap
+  backoff.reset();
+  EXPECT_EQ(backoff.next_ms(), 50);
+}
+
+// --- tcp sockets ------------------------------------------------------------
+
+TEST(TcpSocket, EphemeralListenReportsBoundPortAndRoundTrips) {
+  std::string error;
+  int boundPort = 0;
+  Socket listener = Socket::listen_tcp("127.0.0.1", 0, error, boundPort);
+  ASSERT_TRUE(listener.valid()) << error;
+  ASSERT_GT(boundPort, 0) << "ephemeral bind must report the concrete port";
+
+  Socket client = Socket::connect_tcp("127.0.0.1", boundPort, 2000);
+  ASSERT_TRUE(client.valid());
+
+  Socket served;
+  for (int spin = 0; spin < 200 && !served.valid(); ++spin) {
+    served = listener.accept_pending();
+    if (!served.valid())
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(served.valid());
+
+  const std::string payload = "transport round trip";
+  ASSERT_EQ(client.send_all(payload), SendStatus::Ok);
+  std::string got;
+  char buffer[256];
+  for (int spin = 0; spin < 200 && got.size() < payload.size(); ++spin) {
+    const long n = served.recv_some(buffer, sizeof(buffer), 50);
+    if (n > 0) got.append(buffer, static_cast<std::size_t>(n));
+    ASSERT_GE(n, 0) << "peer closed unexpectedly";
+  }
+  EXPECT_EQ(got, payload);
+}
+
+TEST(TcpSocket, ListenEndpointResolvesEphemeralPort) {
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(parse_endpoint("tcp:127.0.0.1:0", ep, error));
+  Endpoint bound;
+  Socket listener = Socket::listen_endpoint(ep, error, bound);
+  ASSERT_TRUE(listener.valid()) << error;
+  EXPECT_EQ(bound.scheme, Endpoint::Scheme::Tcp);
+  EXPECT_GT(bound.port, 0);
+
+  Socket client = Socket::connect_endpoint(bound, 2000);
+  EXPECT_TRUE(client.valid());
+}
+
+TEST(TcpSocket, ConnectToClosedPortFailsInsteadOfHanging) {
+  // Bind an ephemeral port, then close the listener: the port is now about
+  // as reliably connection-refused as loopback gets.
+  std::string error;
+  int boundPort = 0;
+  {
+    Socket listener = Socket::listen_tcp("127.0.0.1", 0, error, boundPort);
+    ASSERT_TRUE(listener.valid()) << error;
+  }
+  Socket client = Socket::connect_tcp("127.0.0.1", boundPort, 1000);
+  EXPECT_FALSE(client.valid());
+}
+
+TEST(TcpSocket, SendDeadlineFiresAgainstANonDrainingPeer) {
+  // The transport-level version of the quarantine story: shrink the send
+  // buffer, never read on the other side, and a bounded send must report
+  // Timeout instead of blocking forever.
+  std::string error;
+  int boundPort = 0;
+  Socket listener = Socket::listen_tcp("127.0.0.1", 0, error, boundPort);
+  ASSERT_TRUE(listener.valid()) << error;
+  Socket client = Socket::connect_tcp("127.0.0.1", boundPort, 2000);
+  ASSERT_TRUE(client.valid());
+  Socket served;
+  for (int spin = 0; spin < 200 && !served.valid(); ++spin) {
+    served = listener.accept_pending();
+    if (!served.valid())
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(served.valid());
+  ASSERT_TRUE(served.set_send_buffer(1)); // kernel clamps to its floor
+
+  // Pump messages into a peer that never reads. The kernel floor is a few
+  // KB on both sides, so well under a MB guarantees a plugged pipe.
+  const std::string chunk(4096, 'x');
+  SendStatus status = SendStatus::Ok;
+  for (int i = 0; i < 512 && status == SendStatus::Ok; ++i)
+    status = served.send_all(chunk, /*timeoutMs=*/100);
+  EXPECT_EQ(status, SendStatus::Timeout)
+      << "a non-draining peer must surface as Timeout, not block";
+}
+
+} // namespace
+} // namespace nvff::dist
