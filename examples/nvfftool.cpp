@@ -44,6 +44,8 @@
 #include "reliability/montecarlo.hpp"
 #include "runtime/config_diff.hpp"
 #include "runtime/supervisor.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -347,7 +349,10 @@ const char* campaign_flags_help() {
          "                         campaign continues (default off)\n"
          "  --deadline-s SEC       campaign wall-clock budget: on expiry a\n"
          "                         final checkpoint is written and the run\n"
-         "                         exits 75 (resumable; default off)\n";
+         "                         exits 75 (resumable; default off)\n"
+         "  --failpoints SPEC      arm deterministic fault injection, e.g.\n"
+         "                         \"durable.write=after(1):errno(ENOSPC)\"\n"
+         "                         ('nvfftool failpoints --list' for sites)\n";
 }
 
 /// Consumes one shared supervision flag into `run`. `value` is the calling
@@ -364,6 +369,33 @@ bool parse_campaign_flag(const std::string& a,
   else if (a == "--deadline-s") run.deadlineSeconds = std::stod(value());
   else return false;
   return true;
+}
+
+/// Applies a --failpoints spec (or the NVFF_FAILPOINTS override) to the
+/// process-wide registry. A malformed spec or unknown site is a usage
+/// error: prints the parser's diagnostic plus a pointer at the inventory
+/// and returns false (caller exits kExitUsage).
+bool apply_failpoints_spec(const char* cmd, const std::string& spec) {
+  std::string error;
+  if (util::Failpoints::instance().configure(spec, error)) return true;
+  std::fprintf(stderr, "%s: --failpoints: %s\n", cmd, error.c_str());
+  std::fprintf(stderr,
+               "%s: run 'nvfftool failpoints --list' for the registered "
+               "sites and the policy/action grammar\n",
+               cmd);
+  return false;
+}
+
+/// Atomically publishes the concrete bound endpoint for script rendezvous.
+/// EINTR/partial-write-safe (util::write_file_atomic); a failure is loud —
+/// a silently missing or truncated endpoint file strands every worker.
+void publish_endpoint_file(const char* cmd, const std::string& path,
+                           const dist::Endpoint& bound) {
+  if (path.empty()) return;
+  std::string error;
+  if (!util::write_file_atomic(path, bound.to_string() + "\n", error))
+    std::fprintf(stderr, "%s: cannot write --endpoint-file: %s\n", cmd,
+                 error.c_str());
 }
 
 /// Post-parse coherence check for the shared flags; prints the diagnostic
@@ -394,6 +426,19 @@ int finish_supervised(const char* cmd, const runtime::SupervisorOutcome& sup) {
   if (sup.timeouts > 0)
     std::fprintf(stderr, "%s: %ld trial(s) hit --trial-timeout-s\n", cmd,
                  sup.timeouts);
+  if (!sup.commitError.empty()) {
+    // Disk full / quota / I/O on the FINAL commit: the previous checkpoint
+    // generation is intact (durable_file contract), so this is resumable —
+    // and no report is printed, because durability was promised and not
+    // delivered.
+    std::fprintf(stderr, "%s: final checkpoint commit failed: %s\n", cmd,
+                 sup.commitError.c_str());
+    std::fprintf(stderr,
+                 "%s: previous checkpoint generation intact; free space and "
+                 "re-run the same command to resume\n",
+                 cmd);
+    return sup.exit_code();
+  }
   if (sup.completed()) return runtime::kExitOk;
   // Interrupted runs print no report: a partial campaign's statistics are
   // not comparable to a complete one, and stdout consumers must not mistake
@@ -501,7 +546,10 @@ int cmd_mc(const std::vector<std::string>& args) {
     };
     if (parse_campaign_flag(a, value, run)) continue;
     if (parse_mc_config_flag(a, value, cfg)) continue;
-    if (a == "--threads") cfg.threads = std::stoi(value());
+    if (a == "--failpoints") {
+      if (!apply_failpoints_spec("mc", value())) return runtime::kExitUsage;
+    }
+    else if (a == "--threads") cfg.threads = std::stoi(value());
     else if (a == "--fail-on-unclassified") failOnUnclassified = true;
     else if (a == "--sweep") {
       for (const std::string& tok : split(value(), ","))
@@ -533,6 +581,7 @@ int cmd_mc(const std::vector<std::string>& args) {
       std::fprintf(stderr, "mc: %d/%d trials\n", done, total);
   };
   run.installSignalHandlers = true;
+  runtime::tolerate_eintr_signals();
   const reliability::CampaignRun campaign =
       reliability::run_campaign_supervised(cfg, run, progress);
   if (const int rc = finish_supervised("mc", campaign.supervisor);
@@ -598,7 +647,11 @@ int cmd_powerfail(const std::vector<std::string>& args) {
     };
     if (parse_campaign_flag(a, value, run)) continue;
     if (parse_powerfail_config_flag(a, value, cfg)) continue;
-    if (a == "--threads") cfg.threads = std::stoi(value());
+    if (a == "--failpoints") {
+      if (!apply_failpoints_spec("powerfail", value()))
+        return runtime::kExitUsage;
+    }
+    else if (a == "--threads") cfg.threads = std::stoi(value());
     else if (a == "--fail-on-sdc") failOnSdc = true;
     else {
       std::fprintf(stderr, "powerfail: unknown option '%s'\n", a.c_str());
@@ -614,6 +667,7 @@ int cmd_powerfail(const std::vector<std::string>& args) {
       std::fprintf(stderr, "powerfail: %d/%d trials\n", done, total);
   };
   run.installSignalHandlers = true;
+  runtime::tolerate_eintr_signals();
   const faults::CampaignRun campaign =
       faults::run_campaign_supervised(cfg, run, progress);
   if (const int rc = finish_supervised("powerfail", campaign.supervisor);
@@ -672,6 +726,8 @@ int serve_usage() {
       "                         progress froze this long (default 10)\n"
       "  --deadline-s SEC       campaign wall-clock budget; on expiry a final\n"
       "                         checkpoint is written and serve exits 75\n"
+      "  --failpoints SPEC      arm deterministic fault injection\n"
+      "                         ('nvfftool failpoints --list' for sites)\n"
       "  exit codes: 0 complete, 1 fatal, 2 usage, 75 interrupted (resumable)\n");
   return runtime::kExitUsage;
 }
@@ -702,6 +758,9 @@ int cmd_serve(const std::vector<std::string>& args) {
     else if (a == "--resume") opt.requireResume = true;
     else if (a == "--stall-timeout-s") opt.stallTimeoutSeconds = std::stod(value());
     else if (a == "--deadline-s") opt.deadlineSeconds = std::stod(value());
+    else if (a == "--failpoints") {
+      if (!apply_failpoints_spec("serve", value())) return runtime::kExitUsage;
+    }
     else {
       // Defer engine flags until --engine is known (flag order is free).
       engineArgs.push_back(a);
@@ -747,18 +806,12 @@ int cmd_serve(const std::vector<std::string>& args) {
       engineName == "mc" ? dist::make_mc_engine(mcCfg)
                          : dist::make_powerfail_engine(pfCfg);
   opt.installSignalHandlers = true;
+  runtime::tolerate_eintr_signals();
   // Announce the concrete endpoint (ephemeral tcp ports resolved) the moment
   // the listener is up — scripts either scrape stderr or poll the file.
   opt.onListening = [&endpointFile](const dist::Endpoint& bound) {
     std::fprintf(stderr, "serve: listening on %s\n", bound.to_string().c_str());
-    if (!endpointFile.empty()) {
-      const std::string tmp = endpointFile + ".tmp";
-      if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
-        std::fprintf(f, "%s\n", bound.to_string().c_str());
-        std::fclose(f);
-        std::rename(tmp.c_str(), endpointFile.c_str());
-      }
-    }
+    publish_endpoint_file("serve", endpointFile, bound);
   };
   const dist::ServeOutcome out = dist::serve_campaign(*engine, opt);
 
@@ -775,6 +828,14 @@ int cmd_serve(const std::vector<std::string>& args) {
                out.shardsMerged, out.shardsTotal, out.workersSeen,
                out.workersDropped, out.redispatches, out.framesRejected,
                out.sendTimeouts, out.workersQuarantined);
+  if (!out.commitError.empty()) {
+    std::fprintf(stderr, "serve: final checkpoint commit failed: %s\n",
+                 out.commitError.c_str());
+    std::fprintf(stderr,
+                 "serve: previous checkpoint generation intact; free space "
+                 "and re-run the same command to resume\n");
+    return out.exit_code();
+  }
   if (!out.completed()) {
     // Same contract as mc/powerfail: an interrupted campaign prints no
     // report — partial statistics must not look complete.
@@ -808,6 +869,8 @@ int worker_usage() {
       "                            unreachable this long (default 30)\n"
       "  --chaos-corrupt-every N   test hook: corrupt every Nth outgoing\n"
       "                            frame's CRC (default 0 = off)\n"
+      "  --failpoints SPEC         arm deterministic fault injection\n"
+      "                            ('nvfftool failpoints --list' for sites)\n"
       "  exit codes: 0 clean shutdown, 1 gave up, 2 usage\n");
   return runtime::kExitUsage;
 }
@@ -830,6 +893,9 @@ int cmd_worker(const std::vector<std::string>& args) {
     else if (a == "--reconnect-budget-s")
       opt.reconnectBudgetSeconds = std::stod(value());
     else if (a == "--chaos-corrupt-every") opt.chaosCorruptEvery = std::stoi(value());
+    else if (a == "--failpoints") {
+      if (!apply_failpoints_spec("worker", value())) return runtime::kExitUsage;
+    }
     else {
       std::fprintf(stderr, "worker: unknown option '%s'\n", a.c_str());
       return worker_usage();
@@ -849,6 +915,7 @@ int cmd_worker(const std::vector<std::string>& args) {
       return runtime::kExitUsage;
     }
   }
+  runtime::tolerate_eintr_signals();
   const dist::WorkerOutcome out = dist::run_worker(opt);
   std::fprintf(stderr, "worker: %d shard(s) completed, %ld reconnect(s)%s\n",
                out.shardsCompleted, out.reconnects,
@@ -902,6 +969,10 @@ int cmd_netchaos(const std::vector<std::string>& args) {
     else if (a == "--run-seconds") runSeconds = std::stod(value());
     else if (a == "--clean-share") opt.cleanShare = std::stod(value());
     else if (a == "--only") only = value();
+    else if (a == "--failpoints") {
+      if (!apply_failpoints_spec("netchaos", value()))
+        return runtime::kExitUsage;
+    }
     else {
       std::fprintf(stderr, "netchaos: unknown option '%s'\n", a.c_str());
       return netchaos_usage();
@@ -931,17 +1002,11 @@ int cmd_netchaos(const std::vector<std::string>& args) {
   opt.stop = &g_netchaosStop;
   std::signal(SIGINT, [](int) { g_netchaosStop.store(true); });
   std::signal(SIGTERM, [](int) { g_netchaosStop.store(true); });
+  runtime::tolerate_eintr_signals();
   opt.onListening = [&endpointFile](const dist::Endpoint& bound) {
     std::fprintf(stderr, "netchaos: listening on %s\n",
                  bound.to_string().c_str());
-    if (!endpointFile.empty()) {
-      const std::string tmp = endpointFile + ".tmp";
-      if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
-        std::fprintf(f, "%s\n", bound.to_string().c_str());
-        std::fclose(f);
-        std::rename(tmp.c_str(), endpointFile.c_str());
-      }
-    }
+    publish_endpoint_file("netchaos", endpointFile, bound);
   };
   const dist::NetChaosOutcome out = dist::run_netchaos(opt);
   std::fprintf(stderr,
@@ -950,6 +1015,32 @@ int cmd_netchaos(const std::vector<std::string>& args) {
                out.connections, out.bytesForwarded, out.corruptions,
                out.resets, out.blackholes);
   return runtime::kExitOk;
+}
+
+// --- failpoints (deterministic fault-injection registry) ---------------------
+
+int failpoints_usage() {
+  std::fprintf(
+      stderr,
+      "usage: nvfftool failpoints --list\n"
+      "  Prints the registered failpoint sites and their current arms.\n"
+      "  Arm sites on any campaign subcommand with\n"
+      "    --failpoints \"site=policy[:action],...\"\n"
+      "  or the NVFF_FAILPOINTS environment override.\n"
+      "  policies: off | every(N) | after(N) | times(N) | prob(P)\n"
+      "  actions:  errno(NAME|N) | short-write | delay(MS) | eintr | abort\n"
+      "            (default action: errno(EIO))\n"
+      "  seed=N pins the prob() draw stream; same seed + same spec replays\n"
+      "  the same trigger sequence at any thread count.\n");
+  return runtime::kExitUsage;
+}
+
+int cmd_failpoints(const std::vector<std::string>& args) {
+  if (args.size() == 1 && args[0] == "--list") {
+    std::fputs(util::Failpoints::instance().describe().c_str(), stdout);
+    return runtime::kExitOk;
+  }
+  return failpoints_usage();
 }
 
 int usage() {
@@ -975,7 +1066,9 @@ int usage() {
       "  worker --endpoint EP     distributed campaign worker\n"
       "                           ('nvfftool worker --help' for options)\n"
       "  netchaos [options]       deterministic network-chaos proxy\n"
-      "                           ('nvfftool netchaos --help' for options)\n");
+      "                           ('nvfftool netchaos --help' for options)\n"
+      "  failpoints --list        registered fault-injection sites and the\n"
+      "                           --failpoints / NVFF_FAILPOINTS grammar\n");
   return 2;
 }
 
@@ -984,6 +1077,12 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  // Environment override first, so a CLI --failpoints can still re-arm or
+  // disable individual sites on top of it (later entries win per site).
+  if (const char* env = std::getenv("NVFF_FAILPOINTS");
+      env != nullptr && env[0] != '\0') {
+    if (!apply_failpoints_spec("nvfftool", env)) return runtime::kExitUsage;
+  }
   try {
     if (cmd == "list") return cmd_list();
     if (cmd == "flow" && argc >= 3) return cmd_flow(argv[2]);
@@ -1030,6 +1129,12 @@ int main(int argc, char** argv) {
       for (const std::string& a : chaosArgs)
         if (a == "--help" || a == "-h") return netchaos_usage();
       return cmd_netchaos(chaosArgs);
+    }
+    if (cmd == "failpoints") {
+      const std::vector<std::string> fpArgs(argv + 2, argv + argc);
+      for (const std::string& a : fpArgs)
+        if (a == "--help" || a == "-h") return failpoints_usage();
+      return cmd_failpoints(fpArgs);
     }
     if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage();
     // An unrecognized command (or a recognized one missing its required

@@ -1,5 +1,6 @@
 #include "dist/channel.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -13,6 +14,8 @@
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "util/failpoint.hpp"
 
 namespace nvff::dist {
 
@@ -101,6 +104,16 @@ void Socket::close() {
 
 SendStatus Socket::send_all(std::string_view bytes, int timeoutMs) {
   if (fd_ < 0) return SendStatus::Closed;
+  // One failpoint evaluation per message, not per syscall: a hit either
+  // kills the send outright (errno action) or forces the first chunk down
+  // to a single byte (eintr/short-write), exercising the partial-send
+  // resume loop below deterministically.
+  std::size_t firstChunkCap = bytes.size();
+  if (const auto hit = util::failpoint("dist.send")) {
+    if (hit->action == util::FailAction::Errno) return SendStatus::Closed;
+    if (hit->action != util::FailAction::DelayMs)
+      firstChunkCap = bytes.empty() ? 0 : 1;
+  }
   // DETLINT-ALLOW(DET001): per-message send deadline — connection scheduling
   // only, never campaign results.
   const auto deadline = Clock::now() + std::chrono::milliseconds(
@@ -109,8 +122,9 @@ SendStatus Socket::send_all(std::string_view bytes, int timeoutMs) {
   while (sent < bytes.size()) {
     // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process
     // with SIGPIPE — peer death is routine in a chaos-tested service.
-    const long n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                          MSG_NOSIGNAL);
+    const std::size_t chunk =
+        sent == 0 ? std::min(bytes.size(), firstChunkCap) : bytes.size() - sent;
+    const long n = ::send(fd_, bytes.data() + sent, chunk, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
@@ -142,8 +156,14 @@ SendStatus Socket::send_all(std::string_view bytes, int timeoutMs) {
 
 long Socket::send_some(std::string_view bytes) {
   if (fd_ < 0) return -1;
+  std::size_t chunkCap = bytes.size();
+  if (const auto hit = util::failpoint("dist.send")) {
+    if (hit->action == util::FailAction::Errno) return -1;
+    if (hit->action != util::FailAction::DelayMs)
+      chunkCap = bytes.empty() ? 0 : 1; // partial write: caller re-queues the rest
+  }
   for (;;) {
-    const long n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    const long n = ::send(fd_, bytes.data(), chunkCap, MSG_NOSIGNAL);
     if (n >= 0) return n;
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
@@ -153,6 +173,12 @@ long Socket::send_some(std::string_view bytes) {
 
 long Socket::recv_some(char* buffer, std::size_t capacity, int timeoutMs) {
   if (fd_ < 0) return -1;
+  if (const auto hit = util::failpoint("dist.recv")) {
+    // Eintr mirrors a real interrupted recv (no data this round); an errno
+    // action is a hard receive error — the caller drops the connection.
+    if (hit->action == util::FailAction::Eintr) return 0;
+    if (hit->action != util::FailAction::DelayMs) return -1;
+  }
   pollfd pfd{};
   pfd.fd = fd_;
   pfd.events = POLLIN;
@@ -277,6 +303,14 @@ Socket Socket::listen_endpoint(const Endpoint& endpoint, std::string& error,
 
 Socket Socket::accept_pending() {
   if (fd_ < 0) return Socket();
+  if (const auto hit = util::failpoint("dist.accept");
+      hit && hit->action != util::FailAction::DelayMs) {
+    // Injected EMFILE/ENFILE: accept fails, the pending connection stays in
+    // the backlog, and the caller sheds it — exactly the real fd-exhaustion
+    // shape the resource drill pins.
+    errno = hit->err != 0 ? hit->err : EMFILE;
+    return Socket();
+  }
   const int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) return Socket();
   Socket s(fd);
@@ -340,6 +374,11 @@ Socket Socket::connect_tcp(const std::string& host, int port, int timeoutMs) {
 }
 
 Socket Socket::connect_endpoint(const Endpoint& endpoint, int timeoutMs) {
+  if (const auto hit = util::failpoint("dist.connect");
+      hit && hit->action != util::FailAction::DelayMs) {
+    errno = hit->err != 0 ? hit->err : ECONNREFUSED;
+    return Socket();
+  }
   if (endpoint.scheme == Endpoint::Scheme::Unix)
     return connect_unix(endpoint.path);
   return connect_tcp(endpoint.host, endpoint.port, timeoutMs);

@@ -641,6 +641,13 @@ ServeOutcome serve_campaign(CampaignEngine& engine,
           accepted.set_send_buffer(options.sendBufferBytes);
         conns.push_back(
             std::make_unique<Conn>(std::move(accepted), nextConnId++));
+      } else if (errno == EMFILE || errno == ENFILE) {
+        // Fd exhaustion: shed the connection and keep serving. The worker
+        // retries on its reconnect budget; if the condition persists the
+        // campaign still completes through the --local-threads ladder.
+        log_warn("serve: accept failed (" +
+                 std::string(errno == EMFILE ? "EMFILE" : "ENFILE") +
+                 "); shedding connection, continuing to serve");
       }
     }
 
@@ -750,10 +757,19 @@ ServeOutcome serve_campaign(CampaignEngine& engine,
     outcome.cause = runtime::StopCause::Completed;
 
   if (!ckptPath.empty()) {
-    commit_merged(); // throws on I/O failure — this one must stick
-    outcome.checkpointWritten = true;
+    try {
+      commit_merged();
+      outcome.checkpointWritten = true;
+    } catch (const runtime::DurableError& e) {
+      // Environmental commit failure with the previous generation intact:
+      // resumable (exit 75), same policy as the supervisor's final commit.
+      outcome.commitError = e.what();
+      log_warn("serve: final checkpoint commit failed: " +
+               std::string(e.what()));
+    }
   }
-  if (outcome.completed()) outcome.report = engine.report();
+  if (outcome.completed() && outcome.commitError.empty())
+    outcome.report = engine.report();
   return outcome;
 }
 

@@ -101,13 +101,18 @@ struct ServeOutcome {
   long timeouts = 0;       ///< trials recorded as watchdog/engine timeouts
   std::string boundEndpoint; ///< concrete listener endpoint (empty = none)
   bool checkpointWritten = false;
+  /// Non-empty when the final merged commit failed with a classified
+  /// DurableError: the previous generation is intact, the run resumable
+  /// (same contract as SupervisorOutcome::commitError).
+  std::string commitError;
   std::vector<std::string> quarantined;
   std::string report; ///< engine report; only set when the campaign completed
 
   bool completed() const { return trialsDone == trialsTotal; }
-  /// Same contract as the supervisor: 0 complete, 75 interrupted with a
-  /// resumable checkpoint on disk, 1 otherwise.
+  /// Same contract as the supervisor: 0 complete, 75 interrupted (or final
+  /// commit failed) with a resumable checkpoint on disk, 1 otherwise.
   int exit_code() const {
+    if (!commitError.empty()) return runtime::kExitInterrupted;
     if (completed()) return runtime::kExitOk;
     return checkpointWritten ? runtime::kExitInterrupted
                              : runtime::kExitFatal;

@@ -42,6 +42,7 @@ const char* kChaosClassNames[] = {"clean",     "latency", "throttle", "dribble",
 struct Pipe {
   std::string buf;
   bool srcEof = false;
+  bool eofSent = false; ///< SHUT_WR already propagated downstream
   Clock::time_point releaseAt{};
 };
 
@@ -236,9 +237,14 @@ NetChaosOutcome run_netchaos(const NetChaosOptions& options) {
       bool dead = false;
       auto forward = [&](Pipe& pipe, Socket& dst) {
         if (dead || pipe.buf.empty()) {
-          // Propagate EOF once the staged bytes are fully relayed.
-          if (!dead && pipe.srcEof && pipe.buf.empty() && dst.valid())
+          // Propagate EOF once the staged bytes are fully relayed. One-shot:
+          // a second SHUT_WR on the same socket is an audit-flagged no-op
+          // (and EPIPE-prone on some stacks), not a retry.
+          if (!dead && pipe.srcEof && !pipe.eofSent && pipe.buf.empty() &&
+              dst.valid()) {
             ::shutdown(dst.fd(), SHUT_WR);
+            pipe.eofSent = true;
+          }
           return;
         }
         if (conn.latencyMs > 0 && now < pipe.releaseAt) return;

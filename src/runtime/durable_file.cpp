@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "runtime/crc32.hpp"
+#include "util/failpoint.hpp"
 
 namespace nvff::runtime {
 
@@ -31,10 +32,26 @@ std::string parent_dir(const std::string& path) {
 }
 
 void fsync_dir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY);
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) return; // not fatal: some filesystems refuse O_RDONLY on dirs
-  ::fsync(fd);
+  while (::fsync(fd) != 0 && errno == EINTR) {
+  }
   ::close(fd);
+}
+
+/// Evaluates a durable-commit failpoint. Returns true when the stage should
+/// fail (errno already holds the injected value); a delay action sleeps in
+/// evaluate() and proceeds cleanly. ShortWrite at a non-write stage
+/// degrades to a plain errno failure.
+bool stage_fails(const char* site) {
+  const auto hit = util::failpoint(site);
+  if (!hit) return false;
+  if (hit->action == util::FailAction::DelayMs) return false;
+  errno = hit->err != 0 ? hit->err : EIO;
+  return true;
 }
 
 bool file_exists(const std::string& path) {
@@ -43,21 +60,42 @@ bool file_exists(const std::string& path) {
 }
 
 /// Reads the whole file. Returns false when it does not exist; throws on a
-/// hard read error.
+/// hard read error. Raw POSIX read loop rather than stdio: fread gives no
+/// way to distinguish EINTR from a real error once ferror() is set, and an
+/// EINTR storm during resume must not look like a corrupt checkpoint. Each
+/// iteration evaluates the `checkpoint.load` failpoint, so drills can
+/// inject both a retried EINTR and a hard EIO here.
 bool read_file(const std::string& path, std::string& out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
     if (errno == ENOENT) return false;
     throw std::runtime_error("cannot open '" + path + "': " + errno_text());
   }
   out.clear();
   char buf[4096];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
-  const bool readError = std::ferror(f) != 0;
-  std::fclose(f);
-  if (readError)
-    throw std::runtime_error("cannot read '" + path + "': " + errno_text());
+  for (;;) {
+    if (const auto hit = util::failpoint("checkpoint.load")) {
+      if (hit->action == util::FailAction::Eintr) continue; // retried, like real EINTR
+      if (hit->action != util::FailAction::DelayMs) {
+        ::close(fd);
+        errno = hit->err != 0 ? hit->err : EIO;
+        throw std::runtime_error("cannot read '" + path + "': " + errno_text());
+      }
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = errno_text();
+      ::close(fd);
+      throw std::runtime_error("cannot read '" + path + "': " + detail);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
   return true;
 }
 
@@ -113,22 +151,7 @@ const char* commit_error_name(CommitErrorKind kind) {
   return "?";
 }
 
-void commit_durable(const std::string& path, const std::string& payload,
-                    const CommitHooks& hooks) {
-  const auto do_write = hooks.write
-      ? hooks.write
-      : [](const void* p, std::size_t n, std::FILE* f) {
-          return std::fwrite(p, 1, n, f);
-        };
-  const auto do_flush =
-      hooks.flush ? hooks.flush : [](std::FILE* f) { return std::fflush(f); };
-  const auto do_sync = hooks.sync ? hooks.sync : [](int fd) { return ::fsync(fd); };
-  const auto do_close =
-      hooks.close ? hooks.close : [](std::FILE* f) { return std::fclose(f); };
-  const auto do_rename = hooks.rename
-      ? hooks.rename
-      : [](const char* from, const char* to) { return std::rename(from, to); };
-
+void commit_durable(const std::string& path, const std::string& payload) {
   const std::string body = envelope_wrap(payload);
   const std::string tmp = path + ".tmp";
 
@@ -142,27 +165,58 @@ void commit_durable(const std::string& path, const std::string& payload,
                                  "] " + message);
   };
 
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  std::FILE* f = nullptr;
+  if (!stage_fails("durable.open")) {
+    do {
+      f = std::fopen(tmp.c_str(), "wb");
+    } while (!f && errno == EINTR);
+  }
   if (!f)
     fail(CommitErrorKind::OpenFailed,
          "cannot create '" + tmp + "': " + errno_text());
-  const std::size_t written = do_write(body.data(), body.size(), f);
+
+  std::size_t written;
+  if (const auto hit = util::failpoint("durable.write");
+      hit && hit->action != util::FailAction::DelayMs) {
+    // Injected short write: the kernel accepted part of the buffer and then
+    // ran out of space — exactly what a real ENOSPC mid-payload looks like.
+    written = std::fwrite(body.data(), 1, body.size() / 2, f);
+    errno = hit->err != 0 ? hit->err : ENOSPC;
+  } else {
+    written = std::fwrite(body.data(), 1, body.size(), f);
+  }
   if (written != body.size()) {
     const std::string detail = errno_text();
-    do_close(f);
+    std::fclose(f);
     fail(CommitErrorKind::WriteFailed,
          "short write to '" + tmp + "' (" + std::to_string(written) + "/" +
              std::to_string(body.size()) + " bytes): " + detail);
   }
   // fsync BEFORE the rename: rename orders metadata, not data, so without
   // this a crash can leave a correctly-named file full of nothing.
-  if (do_flush(f) != 0 || do_sync(fileno(f)) != 0) {
+  bool syncOk = false;
+  if (!stage_fails("durable.fsync")) {
+    if (std::fflush(f) == 0) {
+      int rc;
+      while ((rc = ::fsync(fileno(f))) != 0 && errno == EINTR) {
+      }
+      syncOk = rc == 0;
+    }
+  }
+  if (!syncOk) {
     const std::string detail = errno_text();
-    do_close(f);
+    std::fclose(f);
     fail(CommitErrorKind::SyncFailed,
          "cannot flush '" + tmp + "': " + detail);
   }
-  if (do_close(f) != 0)
+  int closeRc;
+  if (stage_fails("durable.close")) {
+    std::fclose(f); // the real descriptor still has to go away
+    closeRc = EOF;
+  } else {
+    closeRc = std::fclose(f);
+  }
+  if (closeRc != 0)
     fail(CommitErrorKind::CloseFailed,
          "close of '" + tmp + "' reported a deferred write error: " +
              errno_text());
@@ -172,11 +226,13 @@ void commit_durable(const std::string& path, const std::string& payload,
   // the rotated copy, so the window is safe.
   if (file_exists(path)) {
     const std::string prev = path + ".1";
-    if (do_rename(path.c_str(), prev.c_str()) != 0)
+    if (stage_fails("durable.rotate") ||
+        std::rename(path.c_str(), prev.c_str()) != 0)
       fail(CommitErrorKind::RotateFailed,
            "cannot rotate '" + path + "': " + errno_text());
   }
-  if (do_rename(tmp.c_str(), path.c_str()) != 0)
+  if (stage_fails("durable.rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0)
     fail(CommitErrorKind::ReplaceFailed,
          "cannot replace '" + path + "' (previous generation rotated to '" +
              path + ".1' and still intact): " + errno_text());

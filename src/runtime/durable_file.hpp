@@ -20,8 +20,6 @@
 // a payload without the magic is returned as-is, with no checksum claim.
 #pragma once
 
-#include <cstdio>
-#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -58,17 +56,6 @@ private:
   CommitErrorKind kind_;
 };
 
-/// Syscall seams for commit_durable, overridable so tests can inject
-/// ENOSPC-style failures at every stage without filling a real disk.
-/// Each hook has the semantics of the libc call it replaces.
-struct CommitHooks {
-  std::function<std::size_t(const void*, std::size_t, std::FILE*)> write;
-  std::function<int(std::FILE*)> flush;
-  std::function<int(int)> sync;                      ///< fsync(fd)
-  std::function<int(std::FILE*)> close;              ///< fclose
-  std::function<int(const char*, const char*)> rename;
-};
-
 /// Result of load_durable: which generation was read and what got set aside.
 struct DurableLoad {
   bool found = false;     ///< an intact payload was loaded
@@ -93,15 +80,17 @@ std::string envelope_unwrap(const std::string& text);
 /// the current file to `<path>.1`, rename the temp into place, fsync the
 /// parent directory. Throws DurableError (a std::runtime_error carrying a
 /// CommitErrorKind) on I/O failure; the previous generation survives every
-/// failure mode (see CommitErrorKind). `hooks` lets tests inject write-path
-/// failures; production callers pass nothing.
-void commit_durable(const std::string& path, const std::string& payload,
-                    const CommitHooks& hooks = {});
+/// failure mode (see CommitErrorKind). Every stage evaluates a failpoint
+/// (`durable.open/write/fsync/close/rotate/rename` — see util/failpoint.hpp),
+/// which is how tests and the resource-exhaustion drills inject ENOSPC at
+/// each stage without filling a real disk.
+void commit_durable(const std::string& path, const std::string& payload);
 
 /// Loads the newest intact generation of `path` (current, then `<path>.1`).
 /// Corrupt generations are renamed to `<file>.corrupt` and reported in
 /// `quarantined`; they never abort the load. Throws std::runtime_error only
-/// on a hard read error (permissions, I/O).
+/// on a hard read error (permissions, I/O). Reads are EINTR-safe (retried),
+/// and evaluate the `checkpoint.load` failpoint per read iteration.
 DurableLoad load_durable(const std::string& path);
 
 /// Moves `path` aside to `<path>.corrupt` (best effort; returns false when

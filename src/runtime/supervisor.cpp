@@ -4,11 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstring>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "runtime/durable_file.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
@@ -88,6 +90,15 @@ void commit_checkpoint(const std::string& path, const CampaignHooks& hooks,
 }
 
 } // namespace
+
+void tolerate_eintr_signals() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0; // deliberately NOT SA_RESTART: syscalls must see EINTR
+  ::sigaction(SIGUSR1, &sa, nullptr);
+}
 
 const char* trial_status_name(TrialStatus status) {
   switch (status) {
@@ -255,7 +266,17 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
           }
           TrialStatus status;
           try {
-            status = hooks.runTrial(t, token);
+            if (const auto hit = util::failpoint("engine.alloc");
+                hit && hit->action != util::FailAction::DelayMs) {
+              // Injected per-trial resource failure (ENOMEM and friends):
+              // classified Transient so it rides the same retry-with-backoff
+              // ladder a real allocation hiccup would. The retried attempt
+              // recomputes identical bytes — counter-based RNG — so an
+              // injected storm perturbs no report byte.
+              status = TrialStatus::Transient;
+            } else {
+              status = hooks.runTrial(t, token);
+            }
           } catch (const std::exception& e) {
             // The hook contract says "never throw"; treat a breach as a
             // permanently failed trial rather than killing the campaign.
@@ -333,8 +354,17 @@ SupervisorOutcome run_supervised(const SupervisorConfig& config,
     outcome.cause = StopCause::Completed;
 
   if (!path.empty()) {
-    commit_checkpoint(path, hooks, state); // throws on I/O failure
-    outcome.checkpointWritten = true;
+    try {
+      commit_checkpoint(path, hooks, state);
+      outcome.checkpointWritten = true;
+    } catch (const DurableError& e) {
+      // A classified commit failure (disk full, quota, I/O) is environmental
+      // and, by durable_file's contract, leaves the previous generation
+      // intact — so the run is resumable, not fatal. Surface it as
+      // EX_TEMPFAIL through the outcome instead of throwing.
+      outcome.commitError = e.what();
+      log_warn("final checkpoint commit failed: " + std::string(e.what()));
+    }
   }
   return outcome;
 }

@@ -137,12 +137,19 @@ struct SupervisorOutcome {
   long transientRetries = 0;  ///< extra attempts spent on Transient
   long permanents = 0;        ///< Permanent + retry-exhausted Transient
   bool checkpointWritten = false; ///< a final durable commit succeeded
+  /// Non-empty when the FINAL durable commit failed with a classified
+  /// DurableError (disk full, quota, I/O). The previous checkpoint
+  /// generation is intact by durable_file's contract, so the run is
+  /// resumable: exit_code() reports kExitInterrupted, not kExitFatal.
+  std::string commitError;
   std::vector<std::string> quarantined; ///< corrupt files moved aside on load
 
   bool completed() const { return trialsDone == trialsTotal; }
   /// The documented process exit code for this outcome: 0 when complete,
-  /// 75 when interrupted with a resumable checkpoint on disk, 1 otherwise.
+  /// 75 when interrupted with a resumable checkpoint on disk (or when the
+  /// final commit failed but the previous generation survives), 1 otherwise.
   int exit_code() const {
+    if (!commitError.empty()) return kExitInterrupted;
     if (completed()) return kExitOk;
     return checkpointWritten ? kExitInterrupted : kExitFatal;
   }
@@ -168,9 +175,18 @@ ResumeResult resume_from_checkpoint(
 
 /// Runs a campaign under supervision. Throws std::runtime_error on fatal
 /// conditions only: bad config, checkpoint fingerprint mismatch
-/// (ConfigMismatch), final-checkpoint I/O failure, or --resume with nothing
-/// to resume. Trial failures NEVER throw — that is what the taxonomy is for.
+/// (ConfigMismatch), a hard checkpoint READ error, or --resume with nothing
+/// to resume. Trial failures NEVER throw — that is what the taxonomy is for
+/// — and a failed final COMMIT is reported through
+/// SupervisorOutcome::commitError (resumable, exit 75), not an exception.
 SupervisorOutcome run_supervised(const SupervisorConfig& config,
                                  const CampaignHooks& hooks);
+
+/// Installs a no-op SIGUSR1 handler WITHOUT SA_RESTART, so an external
+/// signal ticker makes every blocking syscall in the process actually see
+/// EINTR. Campaign CLIs call this at startup; the EINTR-storm drill in
+/// tests/chaos/chaos_resource.sh leans on it to prove every retry loop
+/// (send/recv/poll/read/fsync) really retries. Idempotent.
+void tolerate_eintr_signals();
 
 } // namespace nvff::runtime

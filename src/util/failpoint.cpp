@@ -1,0 +1,355 @@
+#include "util/failpoint.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace nvff::util {
+namespace {
+
+// The registered inventory. Order is load-bearing: prob(p) streams are keyed
+// by the site INDEX, so appending keeps existing specs replayable while
+// reordering would not — append only.
+constexpr std::array<FailpointSite, 12> kSites = {{
+    {"durable.open", "fopen of the checkpoint temp file"},
+    {"durable.write", "payload fwrite into the temp file"},
+    {"durable.fsync", "fflush + fsync of the temp file"},
+    {"durable.close", "fclose of the temp file"},
+    {"durable.rotate", "rename of the current generation to .1"},
+    {"durable.rename", "rename of the temp file over the live path"},
+    {"checkpoint.load", "read of a checkpoint generation at resume"},
+    {"dist.send", "socket send in Socket::send_all/send_some"},
+    {"dist.recv", "socket recv in Socket::recv_some"},
+    {"dist.accept", "coordinator accept of a worker connection"},
+    {"dist.connect", "worker connect to the coordinator endpoint"},
+    {"engine.alloc", "per-trial engine resource acquisition"},
+}};
+
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+
+constexpr ErrnoName kErrnoNames[] = {
+    {"ENOSPC", ENOSPC}, {"EMFILE", EMFILE}, {"ENFILE", ENFILE},
+    {"EIO", EIO},       {"EINTR", EINTR},   {"ENOMEM", ENOMEM},
+    {"EDQUOT", EDQUOT}, {"EAGAIN", EAGAIN}, {"EPIPE", EPIPE},
+    {"ECONNRESET", ECONNRESET}, {"EACCES", EACCES}, {"ETIMEDOUT", ETIMEDOUT},
+};
+
+bool parse_long(const std::string& text, long& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+/// Splits "name(arg)" into name and arg; arg empty when no parens.
+bool split_call(const std::string& text, std::string& name, std::string& arg) {
+  const std::size_t open = text.find('(');
+  if (open == std::string::npos) {
+    name = text;
+    arg.clear();
+    return true;
+  }
+  if (text.back() != ')') return false;
+  name = text.substr(0, open);
+  arg = text.substr(open + 1, text.size() - open - 2);
+  return !name.empty();
+}
+
+bool parse_errno_name(const std::string& text, int& out) {
+  for (const auto& entry : kErrnoNames) {
+    if (text == entry.name) {
+      out = entry.value;
+      return true;
+    }
+  }
+  long numeric = 0;
+  if (parse_long(text, numeric) && numeric > 0) {
+    out = static_cast<int>(numeric);
+    return true;
+  }
+  return false;
+}
+
+std::string site_inventory() {
+  std::string out;
+  for (const auto& site : kSites) {
+    if (!out.empty()) out += ", ";
+    out += site.name;
+  }
+  return out;
+}
+
+} // namespace
+
+Failpoints& Failpoints::instance() {
+  static Failpoints registry;
+  return registry;
+}
+
+const std::array<FailpointSite, 12>& Failpoints::sites() { return kSites; }
+
+int Failpoints::site_index(const char* site) {
+  for (std::size_t i = 0; i < kSites.size(); ++i) {
+    const char* a = kSites[i].name;
+    const char* b = site;
+    while (*a != '\0' && *a == *b) {
+      ++a;
+      ++b;
+    }
+    if (*a == '\0' && *b == '\0') return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Failpoints::configure(const std::string& spec, std::string& error) {
+  // Parse into a staging copy first so a malformed entry rejects the whole
+  // spec atomically instead of leaving half of it armed.
+  std::array<Arm, 12> staged;
+  std::uint64_t stagedSeed;
+  {
+    MutexLock lock(mu_);
+    staged = arms_;
+    stagedSeed = seed_;
+  }
+  bool anyOn = false;
+
+  for (const std::string& rawEntry : split(spec, ",")) {
+    const std::string entry(trim(rawEntry));
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+      error = "malformed failpoint entry '" + entry +
+              "' (want site=policy[:action] or seed=N)";
+      return false;
+    }
+    const std::string key(trim(entry.substr(0, eq)));
+    const std::string value(trim(entry.substr(eq + 1)));
+
+    if (key == "seed") {
+      long seedValue = 0;
+      if (!parse_long(value, seedValue) || seedValue < 0) {
+        error = "bad failpoint seed '" + value + "' (want a non-negative integer)";
+        return false;
+      }
+      stagedSeed = static_cast<std::uint64_t>(seedValue);
+      continue;
+    }
+
+    const int index = site_index(key.c_str());
+    if (index < 0) {
+      error = "unknown failpoint site '" + key +
+              "'; registered sites: " + site_inventory();
+      return false;
+    }
+
+    const std::size_t colon = value.find(':');
+    const std::string policyText =
+        colon == std::string::npos ? value : value.substr(0, colon);
+    const std::string actionText =
+        colon == std::string::npos ? std::string() : value.substr(colon + 1);
+
+    Arm arm;
+    std::string name;
+    std::string arg;
+    if (!split_call(std::string(trim(policyText)), name, arg)) {
+      error = "malformed failpoint policy '" + policyText + "' for site '" +
+              key + "'";
+      return false;
+    }
+    if (name == "off") {
+      arm.policy = Policy::Off;
+    } else if (name == "every" || name == "after" || name == "times") {
+      long n = 0;
+      if (!parse_long(arg, n) || n < 0 || (name == "every" && n < 1)) {
+        error = "bad count in failpoint policy '" + policyText +
+                "' for site '" + key + "'";
+        return false;
+      }
+      arm.policy = name == "every"   ? Policy::Every
+                   : name == "after" ? Policy::After
+                                     : Policy::Times;
+      arm.n = n;
+    } else if (name == "prob") {
+      double p = 0.0;
+      if (!parse_double(arg, p) || p < 0.0 || p > 1.0) {
+        error = "bad probability in failpoint policy '" + policyText +
+                "' for site '" + key + "' (want prob(P) with 0 <= P <= 1)";
+        return false;
+      }
+      arm.policy = Policy::Prob;
+      arm.p = p;
+    } else {
+      error = "unknown failpoint policy '" + name + "' for site '" + key +
+              "' (want off, every(N), after(N), times(N), or prob(P))";
+      return false;
+    }
+
+    // Action (defaults to errno(EIO)).
+    FailHit hit;
+    hit.action = FailAction::Errno;
+    hit.err = EIO;
+    const std::string action(trim(actionText));
+    if (!action.empty()) {
+      if (!split_call(action, name, arg)) {
+        error = "malformed failpoint action '" + action + "' for site '" +
+                key + "'";
+        return false;
+      }
+      if (name == "errno") {
+        if (!parse_errno_name(arg, hit.err)) {
+          error = "unknown errno '" + arg + "' in failpoint action for site '" +
+                  key + "'";
+          return false;
+        }
+      } else if (name == "short-write") {
+        hit.action = FailAction::ShortWrite;
+        hit.err = ENOSPC;
+      } else if (name == "delay") {
+        long ms = 0;
+        if (!parse_long(arg, ms) || ms < 0) {
+          error = "bad delay '" + arg + "' in failpoint action for site '" +
+                  key + "' (want delay(MS))";
+          return false;
+        }
+        hit.action = FailAction::DelayMs;
+        hit.delayMs = static_cast<int>(ms);
+      } else if (name == "eintr") {
+        hit.action = FailAction::Eintr;
+        hit.err = EINTR;
+      } else if (name == "abort") {
+        hit.action = FailAction::Abort;
+      } else {
+        error = "unknown failpoint action '" + name + "' for site '" + key +
+                "' (want errno(E), short-write, delay(MS), eintr, or abort)";
+        return false;
+      }
+    }
+    arm.hit = hit;
+    staged[static_cast<std::size_t>(index)] = arm;
+  }
+
+  for (const Arm& arm : staged)
+    if (arm.policy != Policy::Off) anyOn = true;
+
+  MutexLock lock(mu_);
+  arms_ = staged;
+  seed_ = stagedSeed;
+  anyArmed_.store(anyOn, std::memory_order_release);
+  return true;
+}
+
+void Failpoints::reset() {
+  MutexLock lock(mu_);
+  arms_ = {};
+  seed_ = 1;
+  anyArmed_.store(false, std::memory_order_release);
+  for (auto& counter : counters_) counter.store(0, std::memory_order_relaxed);
+}
+
+bool Failpoints::decide(const Arm& arm, int siteIndex, long k) const {
+  switch (arm.policy) {
+  case Policy::Off:
+    return false;
+  case Policy::Every:
+    return arm.n > 0 && (k + 1) % arm.n == 0;
+  case Policy::After:
+    return k >= arm.n;
+  case Policy::Times:
+    return k < arm.n;
+  case Policy::Prob: {
+    // Counter-based draw: evaluation k of site i decides from the stream
+    // keyed by (seed, i, k) alone, so the decision sequence is identical at
+    // any thread count and any interleaving.
+    Rng rng = Rng::stream(seed_, (static_cast<std::uint64_t>(siteIndex) << 32) |
+                                     static_cast<std::uint64_t>(k));
+    return rng.uniform() < arm.p;
+  }
+  }
+  return false;
+}
+
+std::optional<FailHit> Failpoints::evaluate(const char* site) {
+  if (!anyArmed_.load(std::memory_order_acquire)) return std::nullopt;
+  const int index = site_index(site);
+  if (index < 0) return std::nullopt;
+  const long k = counters_[static_cast<std::size_t>(index)].fetch_add(
+      1, std::memory_order_relaxed);
+  FailHit hit;
+  {
+    MutexLock lock(mu_);
+    const Arm& arm = arms_[static_cast<std::size_t>(index)];
+    if (!decide(arm, index, k)) return std::nullopt;
+    hit = arm.hit;
+  }
+  if (hit.action == FailAction::Abort) std::abort();
+  if (hit.action == FailAction::DelayMs && hit.delayMs > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(hit.delayMs));
+  return hit;
+}
+
+bool Failpoints::would_fire(const char* site, long k) const {
+  const int index = site_index(site);
+  if (index < 0) return false;
+  MutexLock lock(mu_);
+  return decide(arms_[static_cast<std::size_t>(index)], index, k);
+}
+
+long Failpoints::evaluations(const char* site) const {
+  const int index = site_index(site);
+  if (index < 0) return 0;
+  return counters_[static_cast<std::size_t>(index)].load(
+      std::memory_order_relaxed);
+}
+
+std::string Failpoints::describe() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (std::size_t i = 0; i < kSites.size(); ++i) {
+    const Arm& arm = arms_[i];
+    out += kSites[i].name;
+    out += "  [";
+    switch (arm.policy) {
+    case Policy::Off:
+      out += "off";
+      break;
+    case Policy::Every:
+      out += "every(" + std::to_string(arm.n) + ")";
+      break;
+    case Policy::After:
+      out += "after(" + std::to_string(arm.n) + ")";
+      break;
+    case Policy::Times:
+      out += "times(" + std::to_string(arm.n) + ")";
+      break;
+    case Policy::Prob:
+      out += "prob(" + std::to_string(arm.p) + ")";
+      break;
+    }
+    out += "]  ";
+    out += kSites[i].what;
+    out += '\n';
+  }
+  return out;
+}
+
+} // namespace nvff::util

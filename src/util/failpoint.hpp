@@ -1,0 +1,139 @@
+// Deterministic failpoint registry: process-wide, named fault-injection
+// sites with replayable trigger policies.
+//
+// Every place the process touches a resource that can degrade — the durable
+// checkpoint commit/load path, the socket syscall wrappers in dist/channel,
+// coordinator accept, the supervisor's trial allocation — evaluates a named
+// failpoint before (or instead of) the real operation:
+//
+//   if (auto hit = util::failpoint("durable.write")) { /* inject */ }
+//
+// Sites are a fixed compile-time inventory (Failpoints::sites()); arming one
+// happens at process start from `--failpoints "site=policy:action,..."` or
+// the NVFF_FAILPOINTS environment override, never from code. The grammar:
+//
+//   spec    := entry (',' entry)*
+//   entry   := 'seed=' N | site '=' policy [':' action]
+//   policy  := 'off' | 'every(N)' | 'after(N)' | 'times(N)' | 'prob(P)'
+//   action  := 'errno(NAME|N)' | 'short-write' | 'delay(MS)' | 'eintr'
+//            | 'abort'                  (default: errno(EIO))
+//
+// DETERMINISM CONTRACT. Each site carries its own evaluation counter; the
+// k-th evaluation of a site makes the same fire/no-fire decision for a
+// given (seed, spec) no matter how many threads race through the site or
+// in what order — counting policies depend only on k, and `prob(p)` draws
+// from the counter-based Rng::stream keyed by (seed, site#, k), never from
+// ambient RNG state. This is the same replay discipline the campaign
+// engines use, so an injected-fault run is as reproducible as a clean one.
+//
+// Actions describe HOW the site fails, in the vocabulary of the syscall it
+// guards: `errno(E)` makes the operation fail with E set, `short-write`
+// makes a write consume only part of the buffer before failing,
+// `delay(MS)` sleeps then proceeds cleanly (for races and watchdogs),
+// `eintr` simulates an interrupted syscall the site is expected to retry,
+// and `abort` kills the process at the exact stage (crash drills).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace nvff::util {
+
+/// What an armed failpoint injects when it fires.
+enum class FailAction {
+  Errno,      ///< fail the operation with `err` in errno
+  ShortWrite, ///< consume part of the buffer, then fail with `err`
+  DelayMs,    ///< sleep `delayMs`, then let the operation proceed
+  Eintr,      ///< simulate one interrupted-syscall iteration (err = EINTR)
+  Abort,      ///< std::abort() at the site — crash-drill hook
+};
+
+/// One fired evaluation, as seen by the instrumented site.
+struct FailHit {
+  FailAction action = FailAction::Errno;
+  int err = 0;     ///< errno to inject (Errno / ShortWrite / Eintr)
+  int delayMs = 0; ///< sleep length for DelayMs
+};
+
+/// A registered site: name + one-line description (for `failpoints --list`).
+struct FailpointSite {
+  const char* name;
+  const char* what;
+};
+
+/// Process-wide singleton registry. Configuration (configure/reset/seed) is
+/// expected at process start, before campaign threads exist; evaluation is
+/// thread-safe and wait-free in the common everything-off case.
+class Failpoints {
+public:
+  static Failpoints& instance();
+
+  /// Parses and merges a spec string (see grammar above). Later entries for
+  /// the same site override earlier ones, so an env override and a CLI flag
+  /// compose. On a malformed entry or unknown site, leaves the registry
+  /// untouched, fills `error` with a diagnostic naming the offending entry
+  /// (and the registered-site inventory for unknown sites), and returns
+  /// false — callers surface it as a usage error (exit 2).
+  bool configure(const std::string& spec, std::string& error);
+
+  /// Disarms every site and zeroes all evaluation counters.
+  void reset();
+
+  /// Evaluates `site`: bumps its counter and returns the injection to
+  /// perform, or nullopt. Unknown names never fire (sites are compile-time
+  /// strings; a typo shows up in tests, not as UB).
+  std::optional<FailHit> evaluate(const char* site);
+
+  /// Pure decision function: would evaluation number `k` (0-based) of
+  /// `site` fire under the current arms? Does not touch counters — the
+  /// determinism tests enumerate expected sequences with this.
+  bool would_fire(const char* site, long k) const;
+
+  /// Evaluations recorded at `site` so far.
+  long evaluations(const char* site) const;
+
+  /// True if any site is armed (cheap pre-check, also used by tests).
+  bool armed() const { return anyArmed_.load(std::memory_order_acquire); }
+
+  /// Registered-site inventory, for --list and unknown-site diagnostics.
+  static const std::array<FailpointSite, 12>& sites();
+
+  /// Human-readable inventory + current arms, one line per site.
+  std::string describe() const;
+
+private:
+  Failpoints() = default;
+
+  enum class Policy { Off, Every, After, Times, Prob };
+
+  struct Arm {
+    Policy policy = Policy::Off;
+    long n = 0;       ///< Every/After/Times parameter
+    double p = 0.0;   ///< Prob parameter
+    FailHit hit;      ///< what to inject when the policy fires
+  };
+
+  static int site_index(const char* site);
+  bool decide(const Arm& arm, int siteIndex, long k) const REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::atomic<bool> anyArmed_{false};
+  std::uint64_t seed_ GUARDED_BY(mu_) = 1;
+  std::array<Arm, 12> arms_ GUARDED_BY(mu_){};
+  // Counters live outside the lock: fetch_add gives each evaluation a
+  // unique index even when sites race, which is all determinism needs.
+  std::array<std::atomic<long>, 12> counters_{};
+};
+
+/// Convenience wrapper: `if (auto hit = util::failpoint("dist.send")) ...`.
+inline std::optional<FailHit> failpoint(const char* site) {
+  return Failpoints::instance().evaluate(site);
+}
+
+} // namespace nvff::util

@@ -1,0 +1,59 @@
+#include "util/fs.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace nvff::util {
+
+namespace {
+
+std::string errno_text() { return std::generic_category().message(errno); }
+
+} // namespace
+
+bool write_file_atomic(const std::string& path, const std::string& contents,
+                       std::string& error) {
+  const std::string tmp = path + ".tmp";
+  int fd;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    error = "cannot create '" + tmp + "': " + errno_text();
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error = "cannot write '" + tmp + "': " + errno_text();
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  int rc;
+  while ((rc = ::fsync(fd)) != 0 && errno == EINTR) {
+  }
+  if (rc != 0 || ::close(fd) != 0) {
+    error = "cannot flush '" + tmp + "': " + errno_text();
+    if (rc != 0) ::close(fd);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    error = "cannot rename '" + tmp + "' to '" + path + "': " + errno_text();
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace nvff::util

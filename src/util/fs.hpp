@@ -1,0 +1,23 @@
+// Small filesystem helpers with correct EINTR / partial-write handling.
+//
+// The endpoint-rendezvous files (`--endpoint-file` on `nvfftool serve` and
+// `netchaos`) used to be written with unchecked fopen/fprintf/rename — a
+// short write or a full disk produced a silently truncated file that a
+// worker would then parse into a garbage endpoint. This helper is the
+// audited replacement: raw POSIX write loop (EINTR retried, partial writes
+// resumed), result checked at every stage, temp file + rename so readers
+// never observe a half-written file.
+#pragma once
+
+#include <string>
+
+namespace nvff::util {
+
+/// Writes `contents` to `path` atomically: `<path>.tmp` is written with an
+/// EINTR-safe full-write loop, fsynced, closed, and renamed over `path`.
+/// Returns false with a diagnostic in `error` on any failure; the temp file
+/// is cleaned up and an existing `path` is left untouched.
+bool write_file_atomic(const std::string& path, const std::string& contents,
+                       std::string& error);
+
+} // namespace nvff::util

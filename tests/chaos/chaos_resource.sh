@@ -1,0 +1,206 @@
+#!/bin/sh
+# Resource-exhaustion survival drills, driven through the deterministic
+# failpoint registry (--failpoints): disk full at every durable commit
+# stage, EMFILE on the coordinator's accept path, an EINTR storm from a
+# real SIGUSR1 ticker, and allocation failure in the trial hot path.
+#
+# The contract under drill: environmental exhaustion NEVER costs committed
+# work and NEVER perturbs a result byte. A full disk at the final commit
+# exits 75 (EX_TEMPFAIL) with the previous checkpoint generation intact and
+# the same command resumable once space returns; a shed connection degrades
+# to local execution; an interrupted syscall is retried, not reported.
+#
+#   usage: chaos_resource.sh /path/to/nvfftool [seed]
+set -u
+
+NVFFTOOL="$1"
+SEED="${2:-7}"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+failures=0
+
+note() { printf '%s\n' "$*" >&2; }
+
+# compare <name> <golden> <file>
+compare() {
+  if cmp -s "$2" "$3"; then
+    note "ok: $1 — report byte-identical to the clean run"
+  else
+    note "FAIL: $1 — report diverged from the clean run"
+    diff "$2" "$3" | head -20 >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# expect_exit <name> <expected> <actual>
+expect_exit() {
+  if [ "$3" -eq "$2" ]; then
+    note "ok: $1 exited $2"
+  else
+    note "FAIL: $1 — expected exit $2, got $3"
+    failures=$((failures + 1))
+  fi
+}
+
+MC_ARGS="--trials 24 --seed $SEED"
+PF_ARGS="--trials 16 --seed $SEED"
+
+# Clean goldens, one per engine.
+if ! "$NVFFTOOL" mc $MC_ARGS --threads 2 >"$WORK/mc.golden" 2>/dev/null; then
+  note "FAIL: clean mc golden run failed"; exit 1
+fi
+if ! "$NVFFTOOL" powerfail $PF_ARGS --threads 2 >"$WORK/pf.golden" 2>/dev/null; then
+  note "FAIL: clean powerfail golden run failed"; exit 1
+fi
+
+# --- drill 1: disk full at EVERY durable commit stage, both engines ---------
+# Shape of each case: a clean checkpointed run commits the campaign; a rerun
+# with the stage's failpoint armed resumes every trial, reaches the final
+# commit, and hits injected ENOSPC there. That rerun must exit 75 with a
+# clean stdout (durability promised, not delivered — no report), must leave
+# the previously committed generation loadable, and the SAME command without
+# the failpoint must then resume to a byte-identical report.
+for engine in mc powerfail; do
+  case "$engine" in
+    mc) args="$MC_ARGS"; golden="$WORK/mc.golden" ;;
+    *)  args="$PF_ARGS"; golden="$WORK/pf.golden" ;;
+  esac
+  for site in durable.open durable.write durable.fsync durable.close \
+              durable.rotate durable.rename; do
+    label="drill1 $engine $site"
+    ckpt="$WORK/d1_${engine}_${site}.json"
+    if ! "$NVFFTOOL" "$engine" $args --threads 2 --checkpoint "$ckpt" \
+        >/dev/null 2>&1; then
+      note "FAIL: $label — seeding checkpointed run failed"
+      failures=$((failures + 1)); continue
+    fi
+    "$NVFFTOOL" "$engine" $args --threads 2 --checkpoint "$ckpt" --resume \
+      --failpoints "$site=every(1):errno(ENOSPC)" \
+      >"$WORK/d1.out" 2>"$WORK/d1.err"
+    expect_exit "$label ENOSPC run" 75 $?
+    if [ -s "$WORK/d1.out" ]; then
+      note "FAIL: $label — printed a report despite failing durability"
+      failures=$((failures + 1))
+    fi
+    if ! grep -q "previous checkpoint generation intact" "$WORK/d1.err"; then
+      note "FAIL: $label — diagnostic does not promise the intact generation"
+      sed 's/^/  | /' "$WORK/d1.err" | tail -3 >&2
+      failures=$((failures + 1))
+    fi
+    "$NVFFTOOL" "$engine" $args --threads 2 --checkpoint "$ckpt" --resume \
+      >"$WORK/d1_resume.out" 2>"$WORK/d1_resume.err"
+    expect_exit "$label resume after space returns" 0 $?
+    compare "$label resumed report" "$golden" "$WORK/d1_resume.out"
+  done
+done
+
+# --- drill 2: mid-campaign ENOSPC is a warning, not a lost campaign ---------
+# times(1): exactly the first commit's write fails; later cadence commits
+# and the final commit succeed. The campaign must complete with exit 0 and
+# the exact golden report — a transient full disk costs nothing but a warn.
+"$NVFFTOOL" mc $MC_ARGS --threads 1 --checkpoint "$WORK/d2.json" \
+  --checkpoint-every 4 --failpoints "durable.write=times(1):errno(ENOSPC)" \
+  >"$WORK/d2.out" 2>"$WORK/d2.err"
+expect_exit "drill2 transient mid-campaign ENOSPC" 0 $?
+compare "drill2 report" "$WORK/mc.golden" "$WORK/d2.out"
+if ! grep -qi "checkpoint" "$WORK/d2.err"; then
+  note "FAIL: drill2 — the failed mid-campaign commit was not warned about"
+  failures=$((failures + 1))
+fi
+
+# --- drill 3: EMFILE on accept — shed, keep serving, finish locally ---------
+# every(1): the coordinator can NEVER accept the worker; every pending
+# connection is shed with a warning while the event loop keeps serving, and
+# the campaign completes through --local-threads with the exact report.
+SOCK="$WORK/emfile.sock"
+"$NVFFTOOL" worker --endpoint "unix:$SOCK" --threads 2 \
+  --reconnect-budget-s 2 2>"$WORK/d3.worker.err" & w=$!
+"$NVFFTOOL" serve --engine mc $MC_ARGS --endpoint "unix:$SOCK" \
+  --local-threads 2 --failpoints "dist.accept=every(1):errno(EMFILE)" \
+  >"$WORK/d3.out" 2>"$WORK/d3.err"
+expect_exit "drill3 coordinator under EMFILE" 0 $?
+wait "$w" 2>/dev/null # never adopted; retires via its reconnect budget
+compare "drill3 report" "$WORK/mc.golden" "$WORK/d3.out"
+if ! grep -q "shedding connection" "$WORK/d3.err"; then
+  note "FAIL: drill3 — no shed-and-continue warning for the EMFILE accept"
+  sed 's/^/  | /' "$WORK/d3.err" | tail -5 >&2
+  failures=$((failures + 1))
+fi
+
+# --- drill 4: transient EMFILE — shed a few accepts, then adopt the worker --
+"$NVFFTOOL" worker --endpoint "unix:$SOCK" --threads 2 \
+  --reconnect-budget-s 10 2>"$WORK/d4.worker.err" & w=$!
+"$NVFFTOOL" serve --engine mc $MC_ARGS --endpoint "unix:$SOCK" \
+  --local-threads 1 --shard-size 4 \
+  --failpoints "dist.accept=times(2):errno(EMFILE)" \
+  >"$WORK/d4.out" 2>"$WORK/d4.err"
+expect_exit "drill4 coordinator after transient EMFILE" 0 $?
+wait "$w"
+expect_exit "drill4 worker adopted after the shed window" 0 $?
+compare "drill4 report" "$WORK/mc.golden" "$WORK/d4.out"
+
+# --- drill 5: EINTR storm — a real SIGUSR1 ticker during the campaign -------
+# The campaign commands install a no-op SIGUSR1 handler WITHOUT SA_RESTART,
+# so every blocking syscall underneath genuinely returns EINTR while the
+# ticker runs. No interruption instant may change a single report byte.
+storm() { # storm <pid> — ~100 signals/s until the target exits
+  # Give the target a beat to get through exec and install its no-op
+  # handler; a signal landing in the exec window would just kill it
+  # (default SIGUSR1 disposition), which is not the drill.
+  sleep 0.3
+  while kill -USR1 "$1" 2>/dev/null; do
+    sleep 0.01 2>/dev/null || sleep 1
+  done
+}
+"$NVFFTOOL" mc $MC_ARGS --threads 2 --checkpoint "$WORK/d5.json" \
+  --checkpoint-every 4 >"$WORK/d5.out" 2>"$WORK/d5.err" & camp=$!
+storm "$camp" & ticker=$!
+wait "$camp"
+expect_exit "drill5 mc under SIGUSR1 storm" 0 $?
+wait "$ticker" 2>/dev/null
+compare "drill5 report" "$WORK/mc.golden" "$WORK/d5.out"
+
+# The same storm over the distributed path: coordinator AND worker both get
+# ticked, so the socket send/recv/accept loops take the interruptions too.
+SOCK="$WORK/eintr.sock"
+"$NVFFTOOL" worker --endpoint "unix:$SOCK" --threads 2 \
+  2>"$WORK/d5w.err" & w=$!
+"$NVFFTOOL" serve --engine mc $MC_ARGS --endpoint "unix:$SOCK" \
+  --shard-size 4 --local-threads 1 \
+  >"$WORK/d5d.out" 2>"$WORK/d5d.err" & coord=$!
+storm "$coord" & t1=$!
+storm "$w" & t2=$!
+wait "$coord"
+expect_exit "drill5 distributed coordinator under storm" 0 $?
+wait "$w"
+expect_exit "drill5 worker under storm" 0 $?
+wait "$t1" 2>/dev/null; wait "$t2" 2>/dev/null
+compare "drill5 distributed report" "$WORK/mc.golden" "$WORK/d5d.out"
+
+# --- drill 6: injected EINTR + EIO on the checkpoint LOAD path --------------
+# times(4):eintr — four interrupted reads during resume must be retried
+# transparently: full resume, zero re-run trials, byte-identical report.
+"$NVFFTOOL" mc $MC_ARGS --threads 2 --checkpoint "$WORK/d6.json" \
+  >/dev/null 2>&1
+"$NVFFTOOL" mc $MC_ARGS --threads 2 --checkpoint "$WORK/d6.json" --resume \
+  --failpoints "checkpoint.load=times(4):eintr" \
+  >"$WORK/d6.out" 2>"$WORK/d6.err"
+expect_exit "drill6 resume through an EINTR-storm load" 0 $?
+compare "drill6 report" "$WORK/mc.golden" "$WORK/d6.out"
+
+# --- drill 7: allocation failure in the trial hot path ----------------------
+# times(2):errno(ENOMEM) — two trial slots fail to allocate and ride the
+# transient-retry ladder (maxTrialAttempts 3 > 2 even if one slot eats both
+# hits). The campaign completes exactly.
+"$NVFFTOOL" powerfail $PF_ARGS --threads 2 \
+  --failpoints "engine.alloc=times(2):errno(ENOMEM)" \
+  >"$WORK/d7.out" 2>"$WORK/d7.err"
+expect_exit "drill7 powerfail through injected ENOMEM" 0 $?
+compare "drill7 report" "$WORK/pf.golden" "$WORK/d7.out"
+
+if [ "$failures" -ne 0 ]; then
+  note "$failures resource-exhaustion check(s) failed"
+  exit 1
+fi
+note "all resource-exhaustion survival drills passed"
+exit 0

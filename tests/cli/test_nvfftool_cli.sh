@@ -183,6 +183,86 @@ check_code 2 "netchaos rejects an unknown option" \
 check_code 2 "netchaos rejects an unknown fault class in --only" \
   -- netchaos --listen tcp:127.0.0.1:0 --upstream unix:/tmp/x.sock --only gremlins
 
+# --- failpoint registry surface ---------------------------------------------
+# The fault-injection flag is part of the operational contract: a typo'd
+# spec must die as a usage error (exit 2) BEFORE any campaign work starts,
+# and the unknown-site diagnostic must carry the registered inventory so
+# the fix is one --list away.
+"$NVFFTOOL" failpoints --list >"$WORK/fp_list.out" 2>"$WORK/fp_list.err"
+if [ $? -ne 0 ]; then
+  note "FAIL: failpoints --list — expected exit 0"
+  failures=$((failures + 1))
+elif ! grep -q "durable.write" "$WORK/fp_list.out" \
+  || ! grep -q "dist.accept" "$WORK/fp_list.out" \
+  || ! grep -q "engine.alloc" "$WORK/fp_list.out"; then
+  note "FAIL: failpoints --list is missing registered sites"
+  cat "$WORK/fp_list.out" >&2
+  failures=$((failures + 1))
+else
+  note "ok: failpoints --list prints the site inventory"
+fi
+check_code 2 "failpoints without --list is a usage error" \
+  -- failpoints
+check_code 2 "mc rejects a malformed --failpoints policy" \
+  -- mc --trials 2 --failpoints "durable.write=sometimes"
+check_code 2 "mc rejects a malformed --failpoints action" \
+  -- mc --trials 2 --failpoints "durable.write=every(1):errno(EWHAT)"
+check_code 2 "powerfail rejects a malformed --failpoints spec" \
+  -- powerfail --trials 2 --failpoints "not-an-entry"
+check_code 2 "serve rejects a malformed --failpoints spec" \
+  -- serve --engine mc --trials 2 --local-threads 1 --failpoints "x"
+check_code 2 "worker rejects a malformed --failpoints spec" \
+  -- worker --endpoint unix:/tmp/x.sock --failpoints "x"
+check_code 2 "netchaos rejects a malformed --failpoints spec" \
+  -- netchaos --listen tcp:127.0.0.1:0 --upstream unix:/tmp/x.sock \
+     --failpoints "x"
+"$NVFFTOOL" mc --trials 2 --failpoints "durable.wirte=every(1)" \
+  >"$WORK/fp_bad.out" 2>"$WORK/fp_bad.err"
+if [ $? -ne 2 ]; then
+  note "FAIL: unknown failpoint site — expected exit 2"
+  failures=$((failures + 1))
+elif ! grep -q "durable.wirte" "$WORK/fp_bad.err"; then
+  note "FAIL: unknown-site diagnostic does not name the offending site"
+  cat "$WORK/fp_bad.err" >&2
+  failures=$((failures + 1))
+elif ! grep -q "durable.write" "$WORK/fp_bad.err"; then
+  note "FAIL: unknown-site diagnostic does not list the registered inventory"
+  cat "$WORK/fp_bad.err" >&2
+  failures=$((failures + 1))
+elif [ -s "$WORK/fp_bad.out" ]; then
+  note "FAIL: unknown-site refusal wrote to stdout"
+  failures=$((failures + 1))
+else
+  note "ok: unknown failpoint site exits 2 and lists the inventory"
+fi
+# The environment override obeys the same grammar and the same exit code.
+if NVFF_FAILPOINTS="garbage-spec" "$NVFFTOOL" list >/dev/null 2>"$WORK/fp_env.err"; then
+  note "FAIL: malformed NVFF_FAILPOINTS — expected a usage failure, got exit 0"
+  failures=$((failures + 1))
+elif ! grep -q "NVFF_FAILPOINTS\|failpoints" "$WORK/fp_env.err"; then
+  note "FAIL: malformed NVFF_FAILPOINTS diagnostic does not name the source"
+  cat "$WORK/fp_env.err" >&2
+  failures=$((failures + 1))
+else
+  note "ok: malformed NVFF_FAILPOINTS env override is rejected loudly"
+fi
+# A well-formed spec on a campaign actually injects: disk full at the final
+# commit must exit 75 with a clean stdout (resumable, not fatal).
+"$NVFFTOOL" mc --trials 2 --checkpoint "$WORK/fp_inject.json" \
+  --failpoints "durable.write=every(1):errno(ENOSPC)" \
+  >"$WORK/fp_inject.out" 2>"$WORK/fp_inject.err"
+status=$?
+if [ "$status" -ne 75 ]; then
+  note "FAIL: injected ENOSPC at commit — expected exit 75, got $status"
+  cat "$WORK/fp_inject.err" >&2
+  failures=$((failures + 1))
+elif [ -s "$WORK/fp_inject.out" ]; then
+  note "FAIL: injected ENOSPC run printed a report despite failing durability"
+  failures=$((failures + 1))
+else
+  note "ok: injected ENOSPC at the final commit exits 75 with clean stdout"
+fi
+
 # --- config-fingerprint mismatch on --resume --------------------------------
 # The refusal must be exit 2 (usage-class: the COMMAND asked for the wrong
 # campaign) and must explain itself with a field-by-field diff, not a shrug.

@@ -14,6 +14,7 @@
 
 #include "runtime/crc32.hpp"
 #include "runtime/durable_file.hpp"
+#include "util/failpoint.hpp"
 
 namespace nvff::runtime {
 namespace {
@@ -170,10 +171,21 @@ TEST(DurableFile, QuarantineMovesTheFileAside) {
 }
 
 // --- injected write-path failures -------------------------------------------
-// The ENOSPC/short-write/fsync-error family, driven through CommitHooks so a
-// full disk is simulated, not required. The contract under test: every
-// failure is CLASSIFIED (DurableError with the right kind), the temp file is
-// cleaned up, and the previously committed generations still load.
+// The ENOSPC/short-write/fsync-error family, driven through the failpoint
+// registry so a full disk is simulated, not required. The contract under
+// test: every failure is CLASSIFIED (DurableError with the right kind), the
+// temp file is cleaned up, and the previously committed generations still
+// load.
+
+/// Arms one failpoint spec for the duration of a test; disarms on exit so
+/// tests cannot leak injection into each other.
+struct FailpointGuard {
+  explicit FailpointGuard(const std::string& spec) {
+    std::string error;
+    EXPECT_TRUE(util::Failpoints::instance().configure(spec, error)) << error;
+  }
+  ~FailpointGuard() { util::Failpoints::instance().reset(); }
+};
 
 /// Commits two good generations, then returns the expected survivors.
 void seed_generations(const std::string& path) {
@@ -190,85 +202,81 @@ CommitErrorKind kind_of(const std::function<void()>& attempt) {
   return CommitErrorKind::None;
 }
 
-TEST(DurableFileFaults, ShortWriteIsClassifiedAndPreviousGenerationSurvives) {
-  const std::string path = scratch("enospc");
-  seed_generations(path);
-  CommitHooks hooks;
-  hooks.write = [](const void* p, std::size_t n, std::FILE* f) {
-    // ENOSPC behavior: the kernel takes part of the buffer, then refuses.
-    const std::size_t accepted = n / 2;
-    return std::fwrite(p, 1, accepted, f);
+// The exhaustive ENOSPC matrix: every commit stage fails in turn, and every
+// failure must (a) carry its classification, (b) leave no temp file, and
+// (c) leave the previously committed data loadable.
+struct StageCase {
+  const char* site;
+  CommitErrorKind expected;
+};
+
+TEST(DurableFileFaults, EnospcAtEveryStageLeavesThePreviousGenerationLoadable) {
+  const StageCase stages[] = {
+      {"durable.open", CommitErrorKind::OpenFailed},
+      {"durable.write", CommitErrorKind::WriteFailed},
+      {"durable.fsync", CommitErrorKind::SyncFailed},
+      {"durable.close", CommitErrorKind::CloseFailed},
+      {"durable.rotate", CommitErrorKind::RotateFailed},
+      {"durable.rename", CommitErrorKind::ReplaceFailed},
   };
-  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed", hooks); }),
-            CommitErrorKind::WriteFailed);
-  EXPECT_FALSE(file_exists(path + ".tmp")) << "temp file must be cleaned up";
+  for (const StageCase& stage : stages) {
+    SCOPED_TRACE(stage.site);
+    const std::string path = scratch(std::string("matrix_") + stage.site);
+    seed_generations(path);
+    CommitErrorKind kind;
+    {
+      FailpointGuard guard(std::string(stage.site) +
+                           "=every(1):errno(ENOSPC)");
+      kind = kind_of([&] { commit_durable(path, "doomed"); });
+    }
+    EXPECT_EQ(kind, stage.expected);
+    EXPECT_FALSE(file_exists(path + ".tmp")) << "temp file must be cleaned up";
+    const DurableLoad load = load_durable(path);
+    EXPECT_TRUE(load.found);
+    EXPECT_EQ(load.payload, "newest good payload")
+        << "the newest committed payload must survive a failed "
+        << stage.site;
+  }
+}
+
+TEST(DurableFileFaults, ShortWriteActionTruncatesAndClassifiesAsWriteFailed) {
+  const std::string path = scratch("shortwrite");
+  seed_generations(path);
+  CommitErrorKind kind;
+  {
+    FailpointGuard guard("durable.write=every(1):short-write");
+    kind = kind_of([&] { commit_durable(path, "doomed"); });
+  }
+  EXPECT_EQ(kind, CommitErrorKind::WriteFailed);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
   EXPECT_EQ(load_durable(path).payload, "newest good payload");
   EXPECT_EQ(envelope_unwrap(slurp(path + ".1")), "older good payload");
-}
-
-TEST(DurableFileFaults, FlushFailureIsClassifiedAsSyncFailed) {
-  const std::string path = scratch("eflush");
-  seed_generations(path);
-  CommitHooks hooks;
-  hooks.flush = [](std::FILE*) { return EOF; };
-  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed", hooks); }),
-            CommitErrorKind::SyncFailed);
-  EXPECT_FALSE(file_exists(path + ".tmp"));
-  EXPECT_EQ(load_durable(path).payload, "newest good payload");
-}
-
-TEST(DurableFileFaults, FsyncFailureIsClassifiedAsSyncFailed) {
-  const std::string path = scratch("efsync");
-  seed_generations(path);
-  CommitHooks hooks;
-  hooks.sync = [](int) { return -1; };
-  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed", hooks); }),
-            CommitErrorKind::SyncFailed);
-  EXPECT_FALSE(file_exists(path + ".tmp"));
-  EXPECT_EQ(load_durable(path).payload, "newest good payload");
-}
-
-TEST(DurableFileFaults, DeferredCloseErrorIsClassified) {
-  const std::string path = scratch("eclose");
-  seed_generations(path);
-  CommitHooks hooks;
-  hooks.close = [](std::FILE* f) {
-    std::fclose(f);
-    return EOF; // close reported a deferred write-back error
-  };
-  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed", hooks); }),
-            CommitErrorKind::CloseFailed);
-  EXPECT_FALSE(file_exists(path + ".tmp"));
-  EXPECT_EQ(load_durable(path).payload, "newest good payload");
 }
 
 TEST(DurableFileFaults, RotateFailureLeavesCurrentGenerationInPlace) {
   const std::string path = scratch("erotate");
   seed_generations(path);
-  CommitHooks hooks;
-  hooks.rename = [&](const char* from, const char* to) -> int {
-    // Fail only current -> .1; the commit must abort BEFORE the replace.
-    if (std::string(to) == path + ".1") return -1;
-    return std::rename(from, to);
-  };
-  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed", hooks); }),
-            CommitErrorKind::RotateFailed);
+  CommitErrorKind kind;
+  {
+    FailpointGuard guard("durable.rotate=every(1):errno(EIO)");
+    kind = kind_of([&] { commit_durable(path, "doomed"); });
+  }
+  EXPECT_EQ(kind, CommitErrorKind::RotateFailed);
   EXPECT_FALSE(file_exists(path + ".tmp"));
-  EXPECT_EQ(load_durable(path).payload, "newest good payload")
+  EXPECT_EQ(load_durable(path).generation, 0)
       << "a failed rotate must not have touched the current generation";
 }
 
 TEST(DurableFileFaults, ReplaceFailureFallsBackToTheRotatedGeneration) {
   const std::string path = scratch("ereplace");
   seed_generations(path);
-  CommitHooks hooks;
-  hooks.rename = [&](const char* from, const char* to) -> int {
+  CommitErrorKind kind;
+  {
     // The rotate succeeds, the tmp -> current replace fails: the newest
     // payload now lives in `.1` and MUST still load.
-    if (std::string(from) == path + ".tmp") return -1;
-    return std::rename(from, to);
-  };
-  const auto kind = kind_of([&] { commit_durable(path, "doomed", hooks); });
+    FailpointGuard guard("durable.rename=every(1):errno(EIO)");
+    kind = kind_of([&] { commit_durable(path, "doomed"); });
+  }
   EXPECT_EQ(kind, CommitErrorKind::ReplaceFailed);
   EXPECT_FALSE(file_exists(path + ".tmp"));
   const DurableLoad load = load_durable(path);
@@ -277,12 +285,23 @@ TEST(DurableFileFaults, ReplaceFailureFallsBackToTheRotatedGeneration) {
   EXPECT_EQ(load.generation, 1) << "previous generation rotated to .1 intact";
 }
 
+TEST(DurableFileFaults, SecondCommitSucceedsOnceTheFailpointStopsFiring) {
+  // times(1): the first commit hits injected ENOSPC, the retry goes
+  // through — the "free some space and re-run" recovery story.
+  const std::string path = scratch("recovery");
+  seed_generations(path);
+  FailpointGuard guard("durable.write=times(1):errno(ENOSPC)");
+  EXPECT_EQ(kind_of([&] { commit_durable(path, "doomed"); }),
+            CommitErrorKind::WriteFailed);
+  commit_durable(path, "after the storm");
+  EXPECT_EQ(load_durable(path).payload, "after the storm");
+}
+
 TEST(DurableFileFaults, ErrorMessageCarriesTheClassification) {
   const std::string path = scratch("emessage");
-  CommitHooks hooks;
-  hooks.sync = [](int) { return -1; };
   try {
-    commit_durable(path, "payload", hooks);
+    FailpointGuard guard("durable.fsync=every(1):errno(EIO)");
+    commit_durable(path, "payload");
     FAIL() << "expected DurableError";
   } catch (const DurableError& e) {
     EXPECT_NE(std::string(e.what()).find("[sync-failed]"), std::string::npos)
@@ -291,6 +310,26 @@ TEST(DurableFileFaults, ErrorMessageCarriesTheClassification) {
   EXPECT_STREQ(commit_error_name(CommitErrorKind::WriteFailed), "write-failed");
   EXPECT_STREQ(commit_error_name(CommitErrorKind::ReplaceFailed),
                "replace-failed");
+}
+
+// --- injected read-path failures --------------------------------------------
+
+TEST(DurableFileFaults, InjectedEintrDuringLoadIsRetriedTransparently) {
+  // Regression for the EINTR-storm gap: an interrupted read during resume
+  // must be retried, never reported as a corrupt or unreadable checkpoint.
+  const std::string path = scratch("eintrload");
+  commit_durable(path, "survives interruption");
+  FailpointGuard guard("checkpoint.load=times(3):eintr");
+  const DurableLoad load = load_durable(path);
+  EXPECT_TRUE(load.found);
+  EXPECT_EQ(load.payload, "survives interruption");
+}
+
+TEST(DurableFileFaults, InjectedEioDuringLoadIsAHardError) {
+  const std::string path = scratch("eioload");
+  commit_durable(path, "unreachable");
+  FailpointGuard guard("checkpoint.load=every(1):errno(EIO)");
+  EXPECT_THROW(load_durable(path), std::runtime_error);
 }
 
 } // namespace

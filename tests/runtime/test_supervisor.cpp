@@ -17,6 +17,7 @@
 
 #include "runtime/durable_file.hpp"
 #include "runtime/supervisor.hpp"
+#include "util/failpoint.hpp"
 
 namespace nvff::runtime {
 namespace {
@@ -256,6 +257,59 @@ TEST(Supervisor, SchemaCorruptPayloadIsQuarantinedAndCampaignStartsFresh) {
   EXPECT_EQ(out.trialsResumed, 0);
   EXPECT_EQ(calls.load(), 3);
   EXPECT_FALSE(out.quarantined.empty());
+}
+
+TEST(Supervisor, FinalCommitFailureIsResumableNotFatal) {
+  // Disk fills at the FINAL checkpoint commit: the campaign itself finished,
+  // but durability was promised and not delivered. Contract: classified
+  // commitError, exit 75 (EX_TEMPFAIL — free space and re-run), previous
+  // checkpoint generation untouched and loadable.
+  const std::string path = scratch("final_commit");
+  std::atomic<int> calls{0};
+  SupervisorConfig config;
+  config.trials = 8;
+  config.run.checkpointPath = path;
+  config.run.checkpointEvery = 1000; // only the final commit writes
+  commit_durable(path, join_ids({}));
+
+  std::string fpError;
+  ASSERT_TRUE(util::Failpoints::instance().configure(
+      "durable.write=every(1):errno(ENOSPC)", fpError))
+      << fpError;
+  const SupervisorOutcome out = run_supervised(config, counting_hooks(calls));
+  util::Failpoints::instance().reset();
+
+  EXPECT_EQ(out.cause, StopCause::Completed);
+  EXPECT_FALSE(out.commitError.empty());
+  EXPECT_NE(out.commitError.find("write-failed"), std::string::npos)
+      << out.commitError;
+  EXPECT_FALSE(out.checkpointWritten);
+  EXPECT_EQ(out.exit_code(), kExitInterrupted);
+  // The pre-existing generation must still load for the re-run.
+  const DurableLoad load = load_durable(path);
+  EXPECT_TRUE(load.found);
+}
+
+TEST(Supervisor, InjectedAllocFailureRidesTheTransientRetryLadder) {
+  // engine.alloc with times(2): the first two trial slots fail to allocate,
+  // are recorded as transient, retried, and the campaign still completes
+  // with every trial run exactly once at the engine level.
+  std::atomic<int> calls{0};
+  SupervisorConfig config;
+  config.trials = 6;
+  config.maxTrialAttempts = 3;
+  config.retryBackoffSeconds = 0.001;
+  std::string fpError;
+  ASSERT_TRUE(util::Failpoints::instance().configure(
+      "engine.alloc=times(2):errno(ENOMEM)", fpError))
+      << fpError;
+  const SupervisorOutcome out = run_supervised(config, counting_hooks(calls));
+  util::Failpoints::instance().reset();
+  EXPECT_TRUE(out.completed());
+  EXPECT_EQ(out.trialsDone, 6);
+  EXPECT_EQ(calls.load(), 6) << "an unallocated slot must not reach the engine";
+  EXPECT_EQ(out.transientRetries, 2);
+  EXPECT_EQ(out.permanents, 0);
 }
 
 TEST(Supervisor, ConfigMismatchInCheckpointIsFatal) {

@@ -1,0 +1,227 @@
+// Failpoint registry: spec grammar, policy semantics, and the determinism
+// contract (same seed + spec => same fire/no-fire sequence at any thread
+// count). The registry is a process-wide singleton, so every test disarms
+// it on exit via the guard below.
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nvff::util {
+namespace {
+
+struct Disarm {
+  ~Disarm() { Failpoints::instance().reset(); }
+};
+
+bool arm(const std::string& spec) {
+  std::string error;
+  const bool ok = Failpoints::instance().configure(spec, error);
+  EXPECT_TRUE(ok) << error;
+  return ok;
+}
+
+TEST(Failpoint, EverythingOffByDefault) {
+  Disarm guard;
+  Failpoints::instance().reset();
+  EXPECT_FALSE(Failpoints::instance().armed());
+  EXPECT_FALSE(failpoint("durable.write").has_value());
+}
+
+TEST(Failpoint, EveryPolicyFiresOnMultiplesOnly) {
+  Disarm guard;
+  ASSERT_TRUE(arm("dist.send=every(3):errno(EPIPE)"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i)
+    fired.push_back(failpoint("dist.send").has_value());
+  const std::vector<bool> expected = {false, false, true,  false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Failpoint, AfterPolicyFiresForeverOnceReached) {
+  Disarm guard;
+  ASSERT_TRUE(arm("durable.fsync=after(2):errno(ENOSPC)"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i)
+    fired.push_back(failpoint("durable.fsync").has_value());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true}));
+}
+
+TEST(Failpoint, TimesPolicyStopsFiringAfterTheBudget) {
+  Disarm guard;
+  ASSERT_TRUE(arm("dist.recv=times(2):eintr"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i)
+    fired.push_back(failpoint("dist.recv").has_value());
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, false, false, false}));
+}
+
+TEST(Failpoint, ActionsCarryTheirParameters) {
+  Disarm guard;
+  ASSERT_TRUE(arm("durable.write=every(1):short-write,"
+                  "dist.accept=every(1):errno(EMFILE),"
+                  "dist.recv=every(1):eintr"));
+  const auto sw = failpoint("durable.write");
+  ASSERT_TRUE(sw.has_value());
+  EXPECT_EQ(sw->action, FailAction::ShortWrite);
+  const auto em = failpoint("dist.accept");
+  ASSERT_TRUE(em.has_value());
+  EXPECT_EQ(em->action, FailAction::Errno);
+  EXPECT_EQ(em->err, EMFILE);
+  const auto ei = failpoint("dist.recv");
+  ASSERT_TRUE(ei.has_value());
+  EXPECT_EQ(ei->action, FailAction::Eintr);
+  EXPECT_EQ(ei->err, EINTR);
+}
+
+TEST(Failpoint, DefaultActionIsEio) {
+  Disarm guard;
+  ASSERT_TRUE(arm("durable.rotate=every(1)"));
+  const auto hit = failpoint("durable.rotate");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, FailAction::Errno);
+  EXPECT_EQ(hit->err, EIO);
+}
+
+TEST(Failpoint, LaterEntriesOverrideEarlierOnesPerSite) {
+  Disarm guard;
+  ASSERT_TRUE(arm("dist.send=every(1):errno(EPIPE),dist.send=off"));
+  EXPECT_FALSE(failpoint("dist.send").has_value());
+}
+
+TEST(Failpoint, ResetDisarmsAndZeroesCounters) {
+  Disarm guard;
+  ASSERT_TRUE(arm("dist.send=after(1):errno(EPIPE)"));
+  (void)failpoint("dist.send");
+  (void)failpoint("dist.send");
+  EXPECT_EQ(Failpoints::instance().evaluations("dist.send"), 2);
+  Failpoints::instance().reset();
+  EXPECT_FALSE(Failpoints::instance().armed());
+  EXPECT_EQ(Failpoints::instance().evaluations("dist.send"), 0);
+}
+
+TEST(Failpoint, MalformedSpecsAreRejectedAtomically) {
+  Disarm guard;
+  std::string error;
+  auto& fp = Failpoints::instance();
+  // Entirely bogus entries.
+  EXPECT_FALSE(fp.configure("durable.write", error));
+  EXPECT_FALSE(fp.configure("durable.write=", error));
+  EXPECT_FALSE(fp.configure("durable.write=sometimes", error));
+  EXPECT_FALSE(fp.configure("durable.write=every(0)", error));
+  EXPECT_FALSE(fp.configure("durable.write=prob(1.5)", error));
+  EXPECT_FALSE(fp.configure("durable.write=every(1):errno(EWHAT)", error));
+  EXPECT_FALSE(fp.configure("seed=notanumber", error));
+  // A valid prefix followed by a bad entry must not arm the valid part.
+  EXPECT_FALSE(fp.configure("dist.send=every(1):errno(EPIPE),bogus", error));
+  EXPECT_FALSE(fp.armed());
+  EXPECT_FALSE(failpoint("dist.send").has_value());
+}
+
+TEST(Failpoint, UnknownSiteDiagnosticListsTheInventory) {
+  Disarm guard;
+  std::string error;
+  EXPECT_FALSE(
+      Failpoints::instance().configure("durable.wirte=every(1)", error));
+  EXPECT_NE(error.find("durable.wirte"), std::string::npos) << error;
+  // The diagnostic must carry the registered inventory so a typo is
+  // self-correcting from the error message alone.
+  for (const FailpointSite& site : Failpoints::sites())
+    EXPECT_NE(error.find(site.name), std::string::npos)
+        << "missing " << site.name << " in: " << error;
+}
+
+TEST(Failpoint, DescribeListsEverySiteAndArmedPolicies) {
+  Disarm guard;
+  ASSERT_TRUE(arm("dist.accept=every(1):errno(EMFILE)"));
+  const std::string listing = Failpoints::instance().describe();
+  for (const FailpointSite& site : Failpoints::sites())
+    EXPECT_NE(listing.find(site.name), std::string::npos) << listing;
+  EXPECT_NE(listing.find("every(1)"), std::string::npos) << listing;
+}
+
+TEST(Failpoint, ProbSequenceIsAPureFunctionOfSeedAndSite) {
+  Disarm guard;
+  auto& fp = Failpoints::instance();
+  ASSERT_TRUE(arm("seed=42,dist.send=prob(0.5):errno(EPIPE)"));
+  std::vector<bool> first;
+  for (long k = 0; k < 64; ++k) first.push_back(fp.would_fire("dist.send", k));
+  // Re-configuring with the same seed replays the identical sequence…
+  fp.reset();
+  ASSERT_TRUE(arm("seed=42,dist.send=prob(0.5):errno(EPIPE)"));
+  std::vector<bool> replay;
+  for (long k = 0; k < 64; ++k) replay.push_back(fp.would_fire("dist.send", k));
+  EXPECT_EQ(first, replay);
+  // …a different seed gives a different one…
+  fp.reset();
+  ASSERT_TRUE(arm("seed=43,dist.send=prob(0.5):errno(EPIPE)"));
+  std::vector<bool> other;
+  for (long k = 0; k < 64; ++k) other.push_back(fp.would_fire("dist.send", k));
+  EXPECT_NE(first, other);
+  // …and the draws are site-keyed, so two sites at the same k differ.
+  fp.reset();
+  ASSERT_TRUE(arm("seed=42,dist.send=prob(0.5),dist.recv=prob(0.5)"));
+  std::vector<bool> sendSeq, recvSeq;
+  for (long k = 0; k < 64; ++k) {
+    sendSeq.push_back(fp.would_fire("dist.send", k));
+    recvSeq.push_back(fp.would_fire("dist.recv", k));
+  }
+  EXPECT_NE(sendSeq, recvSeq);
+  // Sanity: p=0.5 over 64 draws fires somewhere in the open middle.
+  int fires = 0;
+  for (const bool b : first) fires += b ? 1 : 0;
+  EXPECT_GT(fires, 8);
+  EXPECT_LT(fires, 56);
+}
+
+TEST(Failpoint, EvaluateAgreesWithWouldFire) {
+  Disarm guard;
+  auto& fp = Failpoints::instance();
+  ASSERT_TRUE(arm("seed=7,durable.write=prob(0.3):errno(ENOSPC)"));
+  for (long k = 0; k < 128; ++k) {
+    const bool predicted = fp.would_fire("durable.write", k);
+    EXPECT_EQ(failpoint("durable.write").has_value(), predicted) << "k=" << k;
+  }
+}
+
+// The determinism contract under contention: N threads hammer one armed
+// site concurrently; the TOTAL number of fires must equal the number of
+// indices k in [0, total) for which would_fire(k) is true — i.e. the
+// decision depends only on the evaluation index, never on thread timing.
+TEST(Failpoint, FireCountIsDeterministicUnderThreadRaces) {
+  Disarm guard;
+  auto& fp = Failpoints::instance();
+  ASSERT_TRUE(arm("seed=99,dist.send=prob(0.25):errno(EPIPE)"));
+  constexpr int kThreads = 8;
+  constexpr long kPerThread = 500;
+  std::atomic<long> fires{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&fires] {
+      for (long i = 0; i < kPerThread; ++i)
+        if (failpoint("dist.send")) fires.fetch_add(1);
+    });
+  for (std::thread& th : threads) th.join();
+  const long total = kThreads * kPerThread;
+  EXPECT_EQ(fp.evaluations("dist.send"), total);
+  long expected = 0;
+  for (long k = 0; k < total; ++k)
+    if (fp.would_fire("dist.send", k)) ++expected;
+  EXPECT_EQ(fires.load(), expected);
+}
+
+TEST(Failpoint, UnknownSiteNeverFiresAtEvaluation) {
+  Disarm guard;
+  ASSERT_TRUE(arm("dist.send=every(1):errno(EPIPE)"));
+  EXPECT_FALSE(failpoint("no.such.site").has_value());
+}
+
+} // namespace
+} // namespace nvff::util

@@ -1,0 +1,78 @@
+// write_file_atomic: the audited endpoint-file writer. Readers must only
+// ever observe a complete file, failures must clean up the temp file, and
+// a pre-existing destination must survive a failed attempt.
+#include "util/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace nvff::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+std::string scratch(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "nvff_fs_" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+TEST(WriteFileAtomic, RoundTripsContents) {
+  const std::string path = scratch("roundtrip");
+  std::string error;
+  ASSERT_TRUE(write_file_atomic(path, "unix:/tmp/sock.1234\n", error)) << error;
+  EXPECT_EQ(slurp(path), "unix:/tmp/sock.1234\n");
+  EXPECT_FALSE(file_exists(path + ".tmp")) << "temp file must not linger";
+}
+
+TEST(WriteFileAtomic, OverwritesAtomically) {
+  const std::string path = scratch("overwrite");
+  std::string error;
+  ASSERT_TRUE(write_file_atomic(path, "first", error)) << error;
+  ASSERT_TRUE(write_file_atomic(path, "second, longer contents", error))
+      << error;
+  EXPECT_EQ(slurp(path), "second, longer contents");
+}
+
+TEST(WriteFileAtomic, EmptyContentsAreValid) {
+  const std::string path = scratch("empty");
+  std::string error;
+  ASSERT_TRUE(write_file_atomic(path, "", error)) << error;
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_EQ(slurp(path), "");
+}
+
+TEST(WriteFileAtomic, MissingDirectoryFailsWithDiagnostic) {
+  const std::string path =
+      ::testing::TempDir() + "nvff_fs_no_such_dir/endpoint";
+  std::string error;
+  EXPECT_FALSE(write_file_atomic(path, "payload", error));
+  EXPECT_NE(error.find(path + ".tmp"), std::string::npos) << error;
+}
+
+TEST(WriteFileAtomic, FailedAttemptLeavesExistingFileUntouched) {
+  // Simulate the failure by pointing the write at a directory that exists
+  // but then making the rename target collide with a directory.
+  const std::string path = scratch("collide");
+  std::string error;
+  ASSERT_TRUE(write_file_atomic(path, "survivor", error)) << error;
+  const std::string bad = ::testing::TempDir() + "nvff_fs_absent/nested/x";
+  EXPECT_FALSE(write_file_atomic(bad, "doomed", error));
+  EXPECT_EQ(slurp(path), "survivor");
+}
+
+} // namespace
+} // namespace nvff::util
